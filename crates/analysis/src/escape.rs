@@ -1,0 +1,251 @@
+//! Classic thread-escape analysis — the baseline OSA is compared against
+//! in §5.1.2 (Table 7).
+//!
+//! An object *escapes* its creating thread if it may become reachable from
+//! another thread: it is stored in a static field, it is a thread/handler
+//! object itself, it is passed into an origin (constructor arguments of an
+//! origin allocation, entry-call arguments, spawn arguments), or it is
+//! reachable from any escaping object through the heap. Every access to an
+//! escaping object is conservatively treated as shared.
+//!
+//! This is deliberately the *coarse* answer: escape analysis says only
+//! *whether* an object may be shared, with no information about which
+//! origins read or write it — the distinction the paper's OSA adds.
+
+use o2_ir::ids::GStmt;
+use o2_ir::program::{Program, Stmt};
+use o2_ir::util::SparseSet;
+use o2_pta::{ObjId, PtaResult};
+use std::time::{Duration, Instant};
+
+/// The result of thread-escape analysis.
+#[derive(Clone, Debug)]
+pub struct EscapeResult {
+    /// Raw ids of escaping abstract objects.
+    pub escaped: SparseSet,
+    /// Access statements that touch at least one escaping object.
+    pub shared_access_stmts: Vec<GStmt>,
+    /// Wall-clock duration of the escape computation.
+    pub duration: Duration,
+}
+
+impl EscapeResult {
+    /// Returns `true` if `obj` escapes.
+    pub fn escapes(&self, obj: ObjId) -> bool {
+        self.escaped.contains(obj.0)
+    }
+
+    /// Number of accesses to escaping objects (comparable to OSA's
+    /// `#S-access`, but without read/write origin information).
+    pub fn num_shared_accesses(&self) -> usize {
+        self.shared_access_stmts.len()
+    }
+}
+
+/// Runs thread-escape analysis over a pointer-analysis result.
+pub fn run_escape(program: &Program, pta: &PtaResult) -> EscapeResult {
+    let start = Instant::now();
+    let mut escaped = SparseSet::new();
+    let mut worklist: Vec<u32> = Vec::new();
+    let mark = |o: u32, escaped: &mut SparseSet, worklist: &mut Vec<u32>| {
+        if escaped.insert(o) {
+            worklist.push(o);
+        }
+    };
+
+    // Seed 1: everything stored in (or loaded from) static fields.
+    for (_, _, pts) in pta.static_field_entries() {
+        for &o in pts {
+            mark(o, &mut escaped, &mut worklist);
+        }
+    }
+    // Seed 2: thread/handler objects themselves and everything passed into
+    // an origin: constructor arguments of origin allocations, entry-call
+    // arguments, spawn arguments.
+    for mi in pta.reachable_mis() {
+        let (method_id, _) = pta.mi_data(mi);
+        let method = program.method(method_id);
+        for (idx, instr) in method.body.iter().enumerate() {
+            match &instr.stmt {
+                Stmt::New { dst, class, args } if program.is_origin_class(*class) => {
+                    for &o in pta.pts_var(mi, *dst) {
+                        mark(o, &mut escaped, &mut worklist);
+                    }
+                    for a in args {
+                        for &o in pta.pts_var(mi, *a) {
+                            mark(o, &mut escaped, &mut worklist);
+                        }
+                    }
+                }
+                Stmt::Spawn { args, .. } => {
+                    for a in args {
+                        for &o in pta.pts_var(mi, *a) {
+                            mark(o, &mut escaped, &mut worklist);
+                        }
+                    }
+                }
+                Stmt::Call { callee, args, .. } => {
+                    // Entry calls pass their arguments across origins.
+                    let is_entry = pta
+                        .callees(mi, idx)
+                        .iter()
+                        .any(|t| t.origin().is_some());
+                    if is_entry {
+                        if let o2_ir::program::Callee::Virtual { recv, .. } = callee {
+                            for &o in pta.pts_var(mi, *recv) {
+                                mark(o, &mut escaped, &mut worklist);
+                            }
+                        }
+                        for a in args {
+                            for &o in pta.pts_var(mi, *a) {
+                                mark(o, &mut escaped, &mut worklist);
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // Closure: fields of escaping objects escape.
+    // Build an index obj -> union of field points-to once.
+    let mut field_pts: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for (obj, _, pts) in pta.obj_field_entries() {
+        field_pts.entry(obj.0).or_default().extend_from_slice(pts);
+    }
+    while let Some(o) = worklist.pop() {
+        if let Some(succs) = field_pts.get(&o) {
+            let succs = succs.clone();
+            for s in succs {
+                mark(s, &mut escaped, &mut worklist);
+            }
+        }
+    }
+
+    // Shared accesses: any access whose base may point to an escaping
+    // object.
+    let mut shared_access_stmts = std::collections::BTreeSet::new();
+    for mi in pta.reachable_mis() {
+        let (method_id, _) = pta.mi_data(mi);
+        let method = program.method(method_id);
+        for (idx, instr) in method.body.iter().enumerate() {
+            let stmt = GStmt::new(method_id, idx);
+            if let Some((base, _, _)) = instr.stmt.field_access() {
+                if pta.pts_var(mi, base).iter().any(|&o| escaped.contains(o)) {
+                    shared_access_stmts.insert(stmt);
+                }
+            } else if instr.stmt.static_access().is_some() {
+                shared_access_stmts.insert(stmt);
+            }
+        }
+    }
+
+    EscapeResult {
+        escaped,
+        shared_access_stmts: shared_access_stmts.into_iter().collect(),
+        duration: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osa::run_osa;
+    use o2_ir::parser::parse;
+    use o2_pta::{analyze, Policy, PtaConfig};
+
+    #[test]
+    fn static_reachable_objects_escape() {
+        let src = r#"
+            class G { field cfg; }
+            class Inner { }
+            class Main {
+                static method main() {
+                    g = new G();
+                    i = new Inner();
+                    g.cfg = i;
+                    G::root = g;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::insensitive()));
+        let esc = run_escape(&p, &pta);
+        // Both g and i (reachable through g.cfg) escape.
+        assert_eq!(esc.escaped.len(), 2);
+    }
+
+    #[test]
+    fn local_objects_do_not_escape() {
+        let src = r#"
+            class S { field data; }
+            class Main {
+                static method main() {
+                    s = new S();
+                    s.data = s;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::insensitive()));
+        let esc = run_escape(&p, &pta);
+        assert!(esc.escaped.is_empty());
+        assert_eq!(esc.num_shared_accesses(), 0);
+    }
+
+    #[test]
+    fn escape_is_coarser_than_osa() {
+        // A static variable used by only one origin: OSA reports it local,
+        // escape analysis conservatively reports every access to it shared
+        // (the precision advantage claimed in §3.3).
+        let src = r#"
+            class G { field cfg; }
+            class W impl Runnable { method run() { } }
+            class Main {
+                static method main() {
+                    g = new G();
+                    G::cfg = g;
+                    h = G::cfg;
+                    x = g.cfg;
+                    g.cfg = g;
+                    w = new W();
+                    w.start();
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let osa = run_osa(&p, &pta);
+        let esc = run_escape(&p, &pta);
+        assert_eq!(osa.num_shared_accesses(), 0, "OSA: single-origin statics are local");
+        assert!(
+            esc.num_shared_accesses() >= 3,
+            "escape analysis flags all accesses to static-reachable objects"
+        );
+    }
+
+    #[test]
+    fn objects_passed_to_threads_escape() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    w.start();
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let esc = run_escape(&p, &pta);
+        // s and the thread object w both escape.
+        assert_eq!(esc.escaped.len(), 2);
+    }
+}

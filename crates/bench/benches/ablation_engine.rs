@@ -1,0 +1,44 @@
+//! Criterion bench for the §4.1 ablation: the naive pairwise detection
+//! engine vs the optimized O2 engine (integer-id HB, canonical locksets,
+//! lock-region merging), on identical SHB inputs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use o2_analysis::run_osa;
+use o2_detect::{detect, DetectConfig};
+use o2_pta::{analyze, Policy, PtaConfig};
+use o2_shb::{build_shb, ShbConfig};
+use std::time::Duration;
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_engine");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for preset_name in ["sunflow", "zookeeper"] {
+        let w = o2_workloads::preset_by_name(preset_name)
+            .expect("preset exists")
+            .generate();
+        let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
+        let osa = run_osa(&w.program, &pta);
+        for (label, cfg) in [
+            ("naive", DetectConfig::naive()),
+            ("o2", DetectConfig::o2()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, preset_name),
+                &cfg,
+                |b, cfg| {
+                    b.iter_batched(
+                        || build_shb(&w.program, &pta, &ShbConfig::default()),
+                        |mut shb| detect(&w.program, &pta, &osa, &mut shb, cfg),
+                        criterion::BatchSize::SmallInput,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

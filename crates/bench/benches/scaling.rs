@@ -1,0 +1,45 @@
+//! Criterion bench for the Table 3 empirical complexity curve: pointer
+//! analysis time vs program size, per context policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use o2_pta::{analyze, Policy, PtaConfig};
+use std::time::Duration;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for filler in [8usize, 32, 128] {
+        let spec = o2_workloads::WorkloadSpec {
+            name: format!("scale{filler}"),
+            filler,
+            n_threads: 6,
+            call_depth: 6,
+            stress_fan_width: 6,
+            stress_fan_depth: 4,
+            stress_builders: 8,
+            ..Default::default()
+        };
+        let w = o2_workloads::generate(&spec);
+        let stmts = w.program.num_statements();
+        for policy in [Policy::insensitive(), Policy::origin1(), Policy::cfa1()] {
+            group.bench_with_input(
+                BenchmarkId::new(policy.to_string(), stmts),
+                &policy,
+                |b, &policy| {
+                    let cfg = PtaConfig {
+                        policy,
+                        timeout: Some(Duration::from_secs(10)),
+                        ..Default::default()
+                    };
+                    b.iter(|| analyze(&w.program, &cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-bench: the integer-id happens-before check vs the
+//! naive node-walking traversal it replaces (§4.1 optimization 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use o2_pta::{analyze, OriginId, Policy, PtaConfig};
+use o2_shb::{build_shb, ShbConfig};
+use std::time::Duration;
+
+fn bench_hb(c: &mut Criterion) {
+    let w = o2_workloads::preset_by_name("zookeeper")
+        .expect("preset exists")
+        .generate();
+    let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
+    let shb = build_shb(&w.program, &pta, &ShbConfig::default());
+    // Sample a deterministic set of cross-origin access pairs.
+    let mut pairs = Vec::new();
+    for (oi, trace) in shb.traces.iter().enumerate() {
+        if let Some(a) = trace.accesses.first() {
+            pairs.push((OriginId(oi as u32), a.pos));
+        }
+    }
+    let queries: Vec<_> = pairs
+        .iter()
+        .flat_map(|&a| pairs.iter().map(move |&b| (a, b)))
+        .take(256)
+        .collect();
+
+    let mut group = c.benchmark_group("shb_queries");
+    group.sample_size(20);
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("integer_id_hb", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(x, y) in &queries {
+                if shb.happens_before(x, y) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("naive_walk_hb", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for &(x, y) in &queries {
+                if shb.happens_before_naive(x, y) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hb);
+criterion_main!(benches);

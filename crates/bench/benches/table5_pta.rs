@@ -1,0 +1,41 @@
+//! Criterion bench for the Table 5 pointer-analysis comparison: the same
+//! benchmark program analyzed under each context policy.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use o2_pta::{analyze, Policy, PtaConfig};
+use std::time::Duration;
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table5_pta");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for preset_name in ["avrora", "lusearch", "tasks"] {
+        let w = o2_workloads::preset_by_name(preset_name)
+            .expect("preset exists")
+            .generate();
+        for policy in [
+            Policy::insensitive(),
+            Policy::origin1(),
+            Policy::cfa1(),
+            Policy::cfa2(),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(preset_name, policy.to_string()),
+                &policy,
+                |b, &policy| {
+                    let cfg = PtaConfig {
+                        policy,
+                        timeout: Some(Duration::from_secs(10)),
+                        ..Default::default()
+                    };
+                    b.iter(|| analyze(&w.program, &cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

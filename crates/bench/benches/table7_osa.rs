@@ -1,0 +1,33 @@
+//! Criterion bench for Table 7: OSA's linear scan vs the thread-escape
+//! baseline's heap closure, both on precomputed pointer-analysis results.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use o2_analysis::{run_escape, run_osa};
+use o2_pta::{analyze, Policy, PtaConfig};
+use std::time::Duration;
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table7_osa");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    group.warm_up_time(Duration::from_millis(500));
+    for preset_name in ["avrora", "h2", "zookeeper"] {
+        let w = o2_workloads::preset_by_name(preset_name)
+            .expect("preset exists")
+            .generate();
+        let pta = analyze(
+            &w.program,
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
+        group.bench_with_input(BenchmarkId::new("osa", preset_name), &(), |b, _| {
+            b.iter(|| run_osa(&w.program, &pta));
+        });
+        group.bench_with_input(BenchmarkId::new("escape", preset_name), &(), |b, _| {
+            b.iter(|| run_escape(&w.program, &pta));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

@@ -1,0 +1,258 @@
+//! The `o2` command-line tool: analyze a source file for data races,
+//! deadlocks, and over-synchronization.
+//!
+//! ```text
+//! o2 <file.o2> [--policy 0ctx|1cfa|2cfa|1obj|2obj|origin|korigin:K]
+//!              [--naive] [--no-dispatcher-lock]
+//!              [--deadlocks] [--oversync] [--racerd]
+//!              [--sharing] [--origins] [--timeout SECS] [--quiet]
+//! ```
+
+use o2::prelude::*;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Options {
+    file: String,
+    policy: Policy,
+    naive: bool,
+    dispatcher_lock: bool,
+    deadlocks: bool,
+    oversync: bool,
+    racerd: bool,
+    sharing: bool,
+    origins: bool,
+    timeout: Option<Duration>,
+    quiet: bool,
+    json: bool,
+    c_frontend: bool,
+    dot_shb: bool,
+    dot_callgraph: bool,
+    html: Option<String>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        file: String::new(),
+        policy: Policy::origin1(),
+        naive: false,
+        dispatcher_lock: true,
+        deadlocks: false,
+        oversync: false,
+        racerd: false,
+        sharing: false,
+        origins: false,
+        timeout: None,
+        quiet: false,
+        json: false,
+        c_frontend: false,
+        dot_shb: false,
+        dot_callgraph: false,
+        html: None,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--policy" => {
+                i += 1;
+                let v = args.get(i).ok_or("--policy needs a value")?;
+                opts.policy = parse_policy(v)?;
+            }
+            "--naive" => opts.naive = true,
+            "--no-dispatcher-lock" => opts.dispatcher_lock = false,
+            "--deadlocks" => opts.deadlocks = true,
+            "--oversync" => opts.oversync = true,
+            "--racerd" => opts.racerd = true,
+            "--sharing" => opts.sharing = true,
+            "--origins" => opts.origins = true,
+            "--quiet" => opts.quiet = true,
+            "--json" => opts.json = true,
+            "--c" => opts.c_frontend = true,
+            "--html" => {
+                i += 1;
+                opts.html = Some(args.get(i).ok_or("--html needs a path")?.clone());
+            }
+            "--dot-shb" => opts.dot_shb = true,
+            "--dot-callgraph" => opts.dot_callgraph = true,
+            "--timeout" => {
+                i += 1;
+                let v = args.get(i).ok_or("--timeout needs a value")?;
+                let secs: u64 = v.parse().map_err(|_| "invalid --timeout")?;
+                opts.timeout = Some(Duration::from_secs(secs));
+            }
+            "--help" | "-h" => return Err(String::new()),
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag {flag}"));
+            }
+            file => {
+                if !opts.file.is_empty() {
+                    return Err("multiple input files".to_string());
+                }
+                opts.file = file.to_string();
+            }
+        }
+        i += 1;
+    }
+    if opts.file.is_empty() {
+        return Err("no input file".to_string());
+    }
+    Ok(opts)
+}
+
+fn parse_policy(v: &str) -> Result<Policy, String> {
+    Ok(match v {
+        "0ctx" | "insensitive" => Policy::insensitive(),
+        "1cfa" => Policy::cfa1(),
+        "2cfa" => Policy::cfa2(),
+        "1obj" => Policy::obj1(),
+        "2obj" => Policy::obj2(),
+        "origin" | "o2" => Policy::origin1(),
+        other => {
+            if let Some(k) = other.strip_prefix("korigin:") {
+                let k: usize = k.parse().map_err(|_| "invalid k in korigin:K")?;
+                if k == 0 {
+                    return Err("korigin:K requires k >= 1".to_string());
+                }
+                Policy::origin(k)
+            } else {
+                return Err(format!("unknown policy {other}"));
+            }
+        }
+    })
+}
+
+fn usage() {
+    eprintln!(
+        "usage: o2 <file.o2> [--policy 0ctx|1cfa|2cfa|1obj|2obj|origin|korigin:K]\n\
+         \x20         [--naive] [--no-dispatcher-lock] [--deadlocks] [--oversync]\n\
+         \x20         [--racerd] [--sharing] [--origins] [--timeout SECS] [--quiet] [--json] [--c]\n\
+         \x20         [--dot-shb] [--dot-callgraph] [--html FILE]"
+    );
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            if !e.is_empty() {
+                eprintln!("error: {e}");
+            }
+            usage();
+            return ExitCode::from(2);
+        }
+    };
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    // Frontend selection: `.c` files (or --c) use the pthread-style C
+    // frontend; everything else the Java-like syntax.
+    let use_c = opts.c_frontend || opts.file.ends_with(".c");
+    let parsed = if use_c {
+        o2_ir::cfront::parse_c(&src)
+    } else {
+        o2_ir::parser::parse(&src)
+    };
+    let program = match parsed {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("{}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    let issues = o2_ir::validate::validate(&program);
+    if !issues.is_empty() {
+        for i in &issues {
+            eprintln!("{}: invalid program: {i}", opts.file);
+        }
+        return ExitCode::from(2);
+    }
+
+    let mut builder = O2Builder::new().policy(opts.policy).shb_config(ShbConfig {
+        event_dispatcher_lock: opts.dispatcher_lock,
+        ..Default::default()
+    });
+    if opts.naive {
+        builder = builder.detect_config(DetectConfig::naive());
+    }
+    if let Some(t) = opts.timeout {
+        builder = builder.pta_timeout(t).detect_timeout(t);
+    }
+    let report = builder.build().analyze(&program);
+
+    if !opts.quiet {
+        println!("{}", report.summary());
+        println!();
+    }
+    if opts.origins {
+        println!("origins:");
+        for (id, data) in report.pta.arena.origins() {
+            let m = program.method(data.entry);
+            println!(
+                "  origin {}: {} entry={}.{} depth={}",
+                id.0,
+                data.kind,
+                program.class(m.class).name,
+                m.name,
+                data.depth
+            );
+        }
+        println!();
+    }
+    if opts.sharing {
+        let text = report.osa.render(&program, &report.pta);
+        if text.is_empty() {
+            println!("no origin-shared locations with a writer\n");
+        } else {
+            println!("{text}");
+        }
+    }
+    if let Some(path) = &opts.html {
+        let html = o2_detect::render_html(&program, &report.pta, &report.races);
+        if let Err(e) = std::fs::write(path, html) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        if !opts.quiet {
+            println!("wrote HTML report to {path}");
+        }
+    }
+    if opts.dot_callgraph {
+        print!("{}", report.pta.callgraph_to_dot(&program));
+    }
+    if opts.dot_shb {
+        print!("{}", report.shb.to_dot(&report.pta));
+    }
+    if opts.json {
+        print!("{}", report.races.to_json(&program));
+    } else {
+        print!("{}", report.races.render(&program));
+    }
+    if opts.deadlocks {
+        println!();
+        print!("{}", report.detect_deadlocks(&program).render(&program, &report.shb));
+    }
+    if opts.oversync {
+        println!();
+        print!("{}", report.find_oversync(&program).render(&program));
+    }
+    if opts.racerd {
+        println!();
+        let rd = o2_racerd::run_racerd(&program);
+        println!(
+            "RacerD-style comparison: {} warnings ({} read/write, {} unprotected writes)",
+            rd.total_warnings(),
+            rd.num_read_write_races,
+            rd.num_unprotected_writes
+        );
+    }
+    if report.num_races() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

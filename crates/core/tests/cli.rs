@@ -1,0 +1,181 @@
+//! End-to-end tests of the `o2` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+fn o2_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_o2", "o2 binary built by cargo")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("o2-cli-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(contents.as_bytes()).unwrap();
+    path
+}
+
+const RACY: &str = r#"
+    class S { field data; }
+    class W impl Runnable {
+        field s;
+        method <init>(s) { this.s = s; }
+        method run() { s = this.s; s.data = s; }
+    }
+    class Main {
+        static method main() {
+            s = new S();
+            w = new W(s);
+            w.start();
+            x = s.data;
+        }
+    }
+"#;
+
+#[test]
+fn reports_race_with_exit_code_one() {
+    let file = write_temp("racy.o2", RACY);
+    let out = Command::new(o2_bin()).arg(&file).output().unwrap();
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("race #1"), "{stdout}");
+    assert!(stdout.contains("data"), "{stdout}");
+}
+
+#[test]
+fn clean_program_exits_zero() {
+    let file = write_temp("clean.o2", "class Main { static method main() { } }");
+    let out = Command::new(o2_bin()).arg(&file).output().unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("no races detected"), "{stdout}");
+}
+
+#[test]
+fn parse_error_exits_two() {
+    let file = write_temp("bad.o2", "class {");
+    let out = Command::new(o2_bin()).arg(&file).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_file_exits_two() {
+    let out = Command::new(o2_bin())
+        .arg("/nonexistent/file.o2")
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn policy_flag_changes_results() {
+    // The Figure 3 program: OPA clean, 0-ctx reports a false race.
+    let src = r#"
+        class T impl Runnable {
+            field f;
+            method run() { x = this.f; x.v = x; }
+        }
+        class Obj { field v; }
+        class Helper { static method initT(t) { o = new Obj(); t.f = o; } }
+        class TA : T { method <init>() { Helper::initT(this); } }
+        class TB : T { method <init>() { Helper::initT(this); } }
+        class Main {
+            static method main() {
+                a = new TA();
+                b = new TB();
+                a.start();
+                b.start();
+            }
+        }
+    "#;
+    let file = write_temp("fig3.o2", src);
+    let opa = Command::new(o2_bin()).arg(&file).output().unwrap();
+    assert_eq!(opa.status.code(), Some(0), "OPA: no race");
+    let zero = Command::new(o2_bin())
+        .arg(&file)
+        .args(["--policy", "0ctx"])
+        .output()
+        .unwrap();
+    assert_eq!(zero.status.code(), Some(1), "0-ctx: false positive");
+}
+
+#[test]
+fn deadlock_and_oversync_flags() {
+    let src = r#"
+        class L { }
+        class T1 impl Runnable {
+            field a; field b;
+            method <init>(a, b) { this.a = a; this.b = b; }
+            method run() { a = this.a; b = this.b; sync (a) { sync (b) { x = a; } } }
+        }
+        class T2 impl Runnable {
+            field a; field b;
+            method <init>(a, b) { this.a = a; this.b = b; }
+            method run() { a = this.a; b = this.b; sync (b) { sync (a) { x = b; } } }
+        }
+        class Main {
+            static method main() {
+                a = new L();
+                b = new L();
+                t1 = new T1(a, b);
+                t2 = new T2(a, b);
+                t1.start();
+                t2.start();
+            }
+        }
+    "#;
+    let file = write_temp("deadlock.o2", src);
+    let out = Command::new(o2_bin())
+        .arg(&file)
+        .args(["--deadlocks", "--oversync", "--quiet"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("deadlock #1"), "{stdout}");
+    assert!(stdout.contains("no over-synchronization"), "{stdout}");
+}
+
+#[test]
+fn unknown_flag_is_usage_error() {
+    let out = Command::new(o2_bin()).arg("--frobnicate").output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"), "{stderr}");
+}
+
+#[test]
+fn json_output_is_well_formed() {
+    let file = write_temp("racy_json.o2", RACY);
+    let out = Command::new(o2_bin())
+        .arg(&file)
+        .args(["--quiet", "--json"])
+        .output()
+        .unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.trim_start().starts_with('{'), "{stdout}");
+    assert!(stdout.contains("\"races\""), "{stdout}");
+    assert!(stdout.contains("\"field\": \"data\""), "{stdout}");
+    // Balanced braces as a cheap well-formedness check.
+    let opens = stdout.matches('{').count();
+    let closes = stdout.matches('}').count();
+    assert_eq!(opens, closes, "{stdout}");
+}
+
+#[test]
+fn c_frontend_by_extension() {
+    let src = r#"
+        struct S { any data; };
+        void worker(any s) { s->data = s; }
+        void main() {
+            s = malloc(S);
+            pthread_create(&t, worker, s);
+            x = s->data;
+        }
+    "#;
+    let file = write_temp("racy.c", src);
+    let out = Command::new(o2_bin()).arg(&file).output().unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("race #1"), "{stdout}");
+}

@@ -1,0 +1,158 @@
+//! Standalone HTML race reports.
+//!
+//! O2 shipped as a commercial analyzer (Coderrect); a shareable report is
+//! part of that product shape. [`render_html`] produces a dependency-free
+//! single-file report: summary tiles, the origin table, and one card per
+//! race with both access sites.
+
+use crate::{Race, RaceReport};
+use o2_analysis::MemKey;
+use o2_ir::program::Program;
+use o2_pta::PtaResult;
+use std::fmt::Write;
+
+/// Escapes text for HTML contexts.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+fn field_name(program: &Program, race: &Race) -> String {
+    match race.key {
+        MemKey::Field(_, f) => program.field_name(f).to_string(),
+        MemKey::Static(c, f) => {
+            format!("{}::{}", program.class(c).name, program.field_name(f))
+        }
+    }
+}
+
+/// Renders a complete HTML document for `report`.
+#[allow(clippy::write_with_newline)]
+pub fn render_html(program: &Program, pta: &PtaResult, report: &RaceReport) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "<!DOCTYPE html>\n<html><head><meta charset=\"utf-8\">\
+         <title>O2 race report</title>\n<style>\n\
+         body {{ font-family: system-ui, sans-serif; margin: 2rem; color: #1a1a1a; }}\n\
+         h1 {{ font-size: 1.4rem; }}\n\
+         .tiles {{ display: flex; gap: 1rem; margin: 1rem 0; }}\n\
+         .tile {{ border: 1px solid #ddd; border-radius: 8px; padding: .8rem 1.2rem; }}\n\
+         .tile b {{ display: block; font-size: 1.6rem; }}\n\
+         table {{ border-collapse: collapse; margin: 1rem 0; }}\n\
+         td, th {{ border: 1px solid #ddd; padding: .3rem .7rem; font-size: .9rem; }}\n\
+         .race {{ border: 1px solid #e0b4b4; border-left: 6px solid #c0392b; \
+                  border-radius: 6px; padding: .6rem 1rem; margin: .8rem 0; }}\n\
+         .race h3 {{ margin: .2rem 0; font-size: 1rem; }}\n\
+         code {{ background: #f6f6f6; padding: .1rem .3rem; border-radius: 4px; }}\n\
+         .w {{ color: #c0392b; font-weight: 600; }}\n\
+         .r {{ color: #2471a3; font-weight: 600; }}\n\
+         </style></head><body>\n<h1>O2 static race report</h1>\n"
+    );
+
+    // Summary tiles.
+    let _ = write!(
+        out,
+        "<div class=\"tiles\">\
+         <div class=\"tile\"><b>{}</b>races</div>\
+         <div class=\"tile\"><b>{}</b>origins</div>\
+         <div class=\"tile\"><b>{}</b>pairs checked</div>\
+         <div class=\"tile\"><b>{}</b>lock-pruned</div>\
+         <div class=\"tile\"><b>{}</b>HB-pruned</div>\
+         </div>\n",
+        report.races.len(),
+        pta.num_origins(),
+        report.pairs_checked,
+        report.lock_pruned,
+        report.hb_pruned,
+    );
+
+    // Origin table.
+    out.push_str("<h2>Origins</h2>\n<table><tr><th>id</th><th>kind</th><th>entry</th></tr>\n");
+    for (id, data) in pta.arena.origins() {
+        let m = program.method(data.entry);
+        let _ = write!(
+            out,
+            "<tr><td>{}</td><td>{}</td><td><code>{}.{}</code></td></tr>\n",
+            id.0,
+            data.kind,
+            esc(&program.class(m.class).name),
+            esc(&m.name)
+        );
+    }
+    out.push_str("</table>\n");
+
+    // Race cards.
+    out.push_str("<h2>Races</h2>\n");
+    if report.races.is_empty() {
+        out.push_str("<p>No races detected.</p>\n");
+    }
+    for (i, race) in report.races.iter().enumerate() {
+        let kind = |w: bool| if w { "<span class=\"w\">write</span>" } else { "<span class=\"r\">read</span>" };
+        let _ = write!(
+            out,
+            "<div class=\"race\"><h3>#{} &mdash; field <code>{}</code></h3>\
+             <p>{} at <code>{}</code> (origin {})<br>\
+             {} at <code>{}</code> (origin {})</p></div>\n",
+            i + 1,
+            esc(&field_name(program, race)),
+            kind(race.a.is_write),
+            esc(&program.stmt_label(race.a.stmt)),
+            race.a.origin.0,
+            kind(race.b.is_write),
+            esc(&program.stmt_label(race.b.stmt)),
+            race.b.origin.0,
+        );
+    }
+    out.push_str("</body></html>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{detect, DetectConfig};
+    use o2_analysis::run_osa;
+    use o2_ir::parser::parse;
+    use o2_pta::{analyze, Policy, PtaConfig};
+    use o2_shb::{build_shb, ShbConfig};
+
+    #[test]
+    fn html_report_contains_races_and_escapes() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    w.start();
+                    x = s.data;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let osa = run_osa(&p, &pta);
+        let mut shb = build_shb(&p, &pta, &ShbConfig::default());
+        let report = detect(&p, &pta, &osa, &mut shb, &DetectConfig::o2());
+        let html = render_html(&p, &pta, &report);
+        assert!(html.starts_with("<!DOCTYPE html>"));
+        assert!(html.contains("<b>1</b>races"), "{html}");
+        assert!(html.contains("W.run"), "{html}");
+        assert!(html.contains("&mdash; field <code>data</code>"), "{html}");
+        // The constructor name must be escaped.
+        assert!(!html.contains("<init>"), "unescaped <init>");
+    }
+
+    #[test]
+    fn escape_helper() {
+        assert_eq!(esc("<init> & \"x\""), "&lt;init&gt; &amp; &quot;x&quot;");
+    }
+}

@@ -1,0 +1,903 @@
+//! # o2-detect — the O2 race detection engine
+//!
+//! Hybrid static happens-before + lockset race detection (§4 of the
+//! paper). Candidate locations come from origin-sharing analysis (only
+//! origin-shared locations with at least one writer can race); each
+//! candidate pair of accesses from different origins is then checked
+//! against the lockset (common lock ⇒ no race) and the SHB graph
+//! (happens-before ⇒ no race).
+//!
+//! The three §4.1 optimizations are individually toggleable through
+//! [`DetectConfig`], which is how the ablation benches measure them:
+//!
+//! - `integer_hb` — intra-origin HB by node-id comparison instead of graph
+//!   traversal;
+//! - `canonical_locksets` — interned lockset ids with a cached
+//!   disjointness check instead of per-pair list intersection;
+//! - `lock_region_merging` — one representative access per
+//!   `(lock region, location, kind)` instead of every syntactic access.
+//!
+//! ```
+//! use o2_ir::parser::parse;
+//! use o2_pta::{analyze, Policy, PtaConfig};
+//! use o2_analysis::run_osa;
+//! use o2_shb::{build_shb, ShbConfig};
+//! use o2_detect::{detect, DetectConfig};
+//!
+//! let program = parse(r#"
+//!     class S { field data; }
+//!     class W impl Runnable {
+//!         field s;
+//!         method <init>(s) { this.s = s; }
+//!         method run() { s = this.s; s.data = s; }
+//!     }
+//!     class Main {
+//!         static method main() {
+//!             s = new S();
+//!             w = new W(s);
+//!             w.start();
+//!             x = s.data;
+//!         }
+//!     }
+//! "#).unwrap();
+//! let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
+//! let osa = run_osa(&program, &pta);
+//! let mut shb = build_shb(&program, &pta, &ShbConfig::default());
+//! let report = detect(&program, &pta, &osa, &mut shb, &DetectConfig::o2());
+//! assert_eq!(report.races.len(), 1); // unsynchronized write/read on S.data
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod deadlock;
+pub mod html;
+pub mod oversync;
+
+pub use deadlock::{detect_deadlocks, DeadlockCycle, DeadlockReport};
+pub use html::render_html;
+pub use oversync::{find_oversync, OversyncReport, OversyncWarning};
+
+use o2_analysis::{MemKey, OsaResult};
+use o2_ir::ids::GStmt;
+use o2_ir::program::Program;
+use o2_pta::{OriginId, PtaResult};
+use o2_shb::{AccessNode, ShbGraph};
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+/// Configuration of the race detection engine.
+#[derive(Clone, Debug)]
+pub struct DetectConfig {
+    /// §4.1 optimization 1: integer-id intra-origin happens-before.
+    pub integer_hb: bool,
+    /// §4.1 optimization 2: canonical lockset ids with cached disjointness.
+    pub canonical_locksets: bool,
+    /// §4.1 optimization 3: lock-region access merging.
+    pub lock_region_merging: bool,
+    /// Cache happens-before query results per position pair.
+    pub hb_cache: bool,
+    /// Budget: maximum access pairs checked per memory location.
+    pub max_pairs_per_location: usize,
+    /// Wall-clock budget for the whole detection.
+    pub timeout: Option<Duration>,
+}
+
+impl DetectConfig {
+    /// The full O2 engine: all three optimizations on.
+    pub fn o2() -> Self {
+        DetectConfig {
+            integer_hb: true,
+            canonical_locksets: true,
+            lock_region_merging: true,
+            hb_cache: true,
+            max_pairs_per_location: 100_000,
+            timeout: None,
+        }
+    }
+
+    /// The straw-man engine described at the end of §4 (the D4-style
+    /// baseline): per-pair graph traversal, per-pair lock-list
+    /// intersection, no region merging, no caching.
+    pub fn naive() -> Self {
+        DetectConfig {
+            integer_hb: false,
+            canonical_locksets: false,
+            lock_region_merging: false,
+            hb_cache: false,
+            max_pairs_per_location: 100_000,
+            timeout: None,
+        }
+    }
+}
+
+impl Default for DetectConfig {
+    fn default() -> Self {
+        DetectConfig::o2()
+    }
+}
+
+/// One side of a reported race.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RaceAccess {
+    /// Origin performing the access.
+    pub origin: OriginId,
+    /// The access statement.
+    pub stmt: GStmt,
+    /// `true` for writes.
+    pub is_write: bool,
+}
+
+/// A reported data race: two conflicting accesses on the same location,
+/// neither ordered by happens-before nor protected by a common lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Race {
+    /// The racy memory location.
+    pub key: MemKey,
+    /// First access.
+    pub a: RaceAccess,
+    /// Second access.
+    pub b: RaceAccess,
+}
+
+impl Race {
+    /// `true` if both sides are writes.
+    pub fn is_write_write(&self) -> bool {
+        self.a.is_write && self.b.is_write
+    }
+}
+
+/// Statistics and results of one detection run.
+#[derive(Clone, Debug, Default)]
+pub struct RaceReport {
+    /// Deduplicated races (by field and unordered statement pair), in
+    /// deterministic order.
+    pub races: Vec<Race>,
+    /// Number of access pairs examined.
+    pub pairs_checked: u64,
+    /// Pairs pruned because they share a lock.
+    pub lock_pruned: u64,
+    /// Pairs pruned by happens-before.
+    pub hb_pruned: u64,
+    /// Accesses merged away by lock-region merging.
+    pub region_merged: u64,
+    /// `true` if the time budget expired before all candidates were
+    /// checked.
+    pub timed_out: bool,
+    /// `true` if some location hit [`DetectConfig::max_pairs_per_location`]
+    /// and its remaining pairs were skipped.
+    pub pairs_budget_hit: bool,
+    /// Wall-clock duration of detection (excluding PTA/OSA/SHB).
+    pub duration: Duration,
+}
+
+impl RaceReport {
+    /// Number of distinct races.
+    pub fn num_races(&self) -> usize {
+        self.races.len()
+    }
+
+    /// Renders the report as a JSON document (hand-rolled; the workspace
+    /// keeps its dependency set minimal).
+    pub fn to_json(&self, program: &Program) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\n  \"races\": [\n");
+        for (i, r) in self.races.iter().enumerate() {
+            let field = mem_key_label(program, r.key);
+            let side = |a: &RaceAccess| {
+                format!(
+                    "{{\"kind\": \"{}\", \"at\": \"{}\", \"origin\": {}}}",
+                    if a.is_write { "write" } else { "read" },
+                    json_escape(&program.stmt_label(a.stmt)),
+                    a.origin.0
+                )
+            };
+            let _ = writeln!(
+                out,
+                "    {{\"field\": \"{}\", \"a\": {}, \"b\": {}}}{}",
+                json_escape(&field),
+                side(&r.a),
+                side(&r.b),
+                if i + 1 < self.races.len() { "," } else { "" }
+            );
+        }
+        let _ = write!(
+            out,
+            "  ],\n  \"pairs_checked\": {},\n  \"lock_pruned\": {},\n  \"hb_pruned\": {},\n  \"timed_out\": {}\n}}\n",
+            self.pairs_checked, self.lock_pruned, self.hb_pruned, self.timed_out
+        );
+        out
+    }
+
+    /// Renders a human-readable report.
+    pub fn render(&self, program: &Program) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, r) in self.races.iter().enumerate() {
+            let field = mem_key_label(program, r.key);
+            let kind = |w: bool| if w { "write" } else { "read" };
+            let _ = writeln!(
+                out,
+                "race #{}: field `{field}`\n  {} at {} [origin {}]\n  {} at {} [origin {}]",
+                i + 1,
+                kind(r.a.is_write),
+                program.stmt_label(r.a.stmt),
+                r.a.origin.0,
+                kind(r.b.is_write),
+                program.stmt_label(r.b.stmt),
+                r.b.origin.0,
+            );
+        }
+        if self.races.is_empty() {
+            out.push_str("no races detected\n");
+        }
+        out
+    }
+}
+
+/// Runs race detection over the results of the pipeline stages.
+///
+/// `shb` is mutable only for its lockset disjointness cache.
+pub fn detect(
+    program: &Program,
+    pta: &PtaResult,
+    osa: &OsaResult,
+    shb: &mut ShbGraph,
+    config: &DetectConfig,
+) -> RaceReport {
+    let start = Instant::now();
+    let deadline = config.timeout.map(|t| start + t);
+    let mut report = RaceReport::default();
+    let mut seen: BTreeSet<(MemKey, GStmt, GStmt)> = BTreeSet::new();
+    let mut hb_cache: HbCache = HashMap::new();
+    let _ = program;
+
+    // Multi-instance origins: an abstract origin entered from two or more
+    // distinct (parent, statement) creation points stands for several
+    // runtime threads (e.g. the same spawn site reached under a merged
+    // context), so its accesses may race with themselves. Context-
+    // sensitive policies split such origins; coarse ones rely on this
+    // flag for soundness.
+    let mut entry_points: HashMap<u32, BTreeSet<(u32, GStmt)>> = HashMap::new();
+    for e in &shb.entry_edges {
+        entry_points
+            .entry(e.child.0)
+            .or_default()
+            .insert((e.parent.0, e.stmt));
+    }
+    let is_multi = |o: o2_pta::OriginId| {
+        pta.origin_is_multi(o) || entry_points.get(&o.0).is_some_and(|s| s.len() >= 2)
+    };
+    // Allocator attribution: an object allocated *inside* a multi-instance
+    // origin is fresh per runtime instance, so accesses to it from its own
+    // origin never self-race. `allocated_only_by(key, o)` is true when the
+    // location's object can only be allocated by origin `o` itself.
+    let mut method_origins: HashMap<u32, o2_ir::util::SparseSet> = HashMap::new();
+    let mut mi_by_method: HashMap<u32, Vec<o2_pta::Mi>> = HashMap::new();
+    for mi in pta.reachable_mis() {
+        let (m, _) = pta.mi_data(mi);
+        mi_by_method.entry(m.0).or_default().push(mi);
+    }
+    let mut allocated_only_by = |key: &MemKey, origin: o2_pta::OriginId| -> bool {
+        let MemKey::Field(obj, _) = key else {
+            return false; // statics are never instance-local
+        };
+        let data = pta.arena.obj_data(*obj);
+        let site_method = match data.site {
+            o2_pta::AllocSite::Stmt { stmt, .. }
+            | o2_pta::AllocSite::SpawnHandle { stmt }
+            | o2_pta::AllocSite::External { stmt } => stmt.method,
+        };
+        // Under OPA the object's heap context IS the allocating method
+        // instance's context, so the attribution is exact; other policies
+        // fall back to the union over the method's instances (conservative
+        // — fewer skips).
+        if let Some(mi) = pta.mi_of(site_method, data.hctx) {
+            let s = pta.mi_origins(mi);
+            return s.len() == 1 && s.contains(origin.0);
+        }
+        let set = method_origins.entry(site_method.0).or_insert_with(|| {
+            let mut s = o2_ir::util::SparseSet::new();
+            for mi in mi_by_method.get(&site_method.0).into_iter().flatten() {
+                let mut sink = Vec::new();
+                s.union_into(pta.mi_origins(*mi), &mut sink);
+            }
+            s
+        });
+        set.len() == 1 && set.contains(origin.0)
+    };
+
+    'keys: for (key, entry) in osa.entries.iter() {
+        // Candidate locations: origin-shared per OSA, or written by a
+        // multi-instance origin (self-sharing that OSA's per-origin sets
+        // cannot express).
+        let self_shared = entry
+            .write_origins
+            .iter()
+            .any(|o| is_multi(o2_pta::OriginId(o)));
+        if !entry.is_shared() && !self_shared {
+            continue;
+        }
+        let Some(indexed) = shb.accesses_by_key.get(key) else {
+            continue;
+        };
+        // Materialize accesses, optionally merging by lock region.
+        let mut accesses: Vec<(OriginId, AccessNode)> = Vec::with_capacity(indexed.len());
+        if config.lock_region_merging {
+            let mut rep: BTreeSet<(u32, u32, bool)> = BTreeSet::new();
+            for &(origin, idx) in indexed {
+                let a = shb.traces[origin.0 as usize].accesses[idx as usize];
+                if rep.insert((origin.0, a.region, a.is_write)) {
+                    accesses.push((origin, a));
+                } else {
+                    report.region_merged += 1;
+                }
+            }
+        } else {
+            for &(origin, idx) in indexed {
+                let a = shb.traces[origin.0 as usize].accesses[idx as usize];
+                accesses.push((origin, a));
+            }
+        }
+
+        // Self-races of multi-instance origins: a write by an abstract
+        // origin that stands for several runtime threads races with the
+        // same write in another instance — unless a lock protects it or
+        // the object is allocated per-instance inside the origin.
+        for &(origin, a) in &accesses {
+            if a.is_write
+                && is_multi(origin)
+                && shb.locks.disjoint(a.lockset, a.lockset)
+                && !allocated_only_by(key, origin)
+            {
+                let dk = dedup_key(*key, a.stmt, a.stmt);
+                if seen.insert(dk) {
+                    let side = RaceAccess {
+                        origin,
+                        stmt: a.stmt,
+                        is_write: true,
+                    };
+                    report.races.push(Race {
+                        key: *key,
+                        a: side,
+                        b: side,
+                    });
+                }
+            }
+        }
+
+        let mut pairs_here: usize = 0;
+        'pairs: for i in 0..accesses.len() {
+            for j in (i + 1)..accesses.len() {
+                let (oa, a) = accesses[i];
+                let (ob, b) = accesses[j];
+                if !a.is_write && !b.is_write {
+                    continue; // read-read
+                }
+                let same_origin = oa == ob;
+                if same_origin && (!is_multi(oa) || allocated_only_by(key, oa)) {
+                    continue; // one runtime instance, or per-instance data
+                }
+                pairs_here += 1;
+                if pairs_here > config.max_pairs_per_location {
+                    report.pairs_budget_hit = true;
+                    break 'pairs;
+                }
+                report.pairs_checked += 1;
+                if report.pairs_checked % 4096 == 0 {
+                    if let Some(d) = deadline {
+                        if Instant::now() > d {
+                            report.timed_out = true;
+                            break 'keys;
+                        }
+                    }
+                }
+                // Lockset check.
+                let disjoint = if config.canonical_locksets {
+                    shb.locks.disjoint(a.lockset, b.lockset)
+                } else {
+                    shb.locks.disjoint_uncached(a.lockset, b.lockset)
+                };
+                if !disjoint {
+                    report.lock_pruned += 1;
+                    continue;
+                }
+                // Happens-before check (both directions). Two instances
+                // of a multi-instance origin are mutually unordered, so
+                // same-origin pairs skip it.
+                let pa = (oa, a.pos);
+                let pb = (ob, b.pos);
+                let ordered = if same_origin {
+                    false
+                } else if config.hb_cache {
+                    let k1 = ((oa.0, a.pos), (ob.0, b.pos));
+                    let h1 = *hb_cache
+                        .entry(k1)
+                        .or_insert_with(|| hb(shb, pa, pb, config.integer_hb));
+                    if h1 {
+                        true
+                    } else {
+                        let k2 = ((ob.0, b.pos), (oa.0, a.pos));
+                        *hb_cache
+                            .entry(k2)
+                            .or_insert_with(|| hb(shb, pb, pa, config.integer_hb))
+                    }
+                } else {
+                    hb(shb, pa, pb, config.integer_hb) || hb(shb, pb, pa, config.integer_hb)
+                };
+                if ordered {
+                    report.hb_pruned += 1;
+                    continue;
+                }
+                // Race. Deduplicate by field and unordered statement pair.
+                let dk = dedup_key(*key, a.stmt, b.stmt);
+                if seen.insert(dk) {
+                    report.races.push(Race {
+                        key: *key,
+                        a: RaceAccess {
+                            origin: oa,
+                            stmt: a.stmt,
+                            is_write: a.is_write,
+                        },
+                        b: RaceAccess {
+                            origin: ob,
+                            stmt: b.stmt,
+                            is_write: b.is_write,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    report
+        .races
+        .sort_by_key(|r| (r.a.stmt, r.b.stmt, r.a.origin.0, r.b.origin.0));
+    report.duration = start.elapsed();
+    report
+}
+
+/// Renders a memory location as `field` or `Class::field` for reports.
+pub fn mem_key_label(program: &Program, key: MemKey) -> String {
+    match key {
+        MemKey::Field(_, f) => program.field_name(f).to_string(),
+        MemKey::Static(c, f) => {
+            format!("{}::{}", program.class(c).name, program.field_name(f))
+        }
+    }
+}
+
+/// Memoized happens-before queries: ((origin, pos), (origin, pos)) → HB.
+type HbCache = HashMap<((u32, u32), (u32, u32)), bool>;
+
+/// Minimal JSON string escaping.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn hb(shb: &ShbGraph, a: (OriginId, u32), b: (OriginId, u32), integer: bool) -> bool {
+    if integer {
+        shb.happens_before(a, b)
+    } else {
+        shb.happens_before_naive(a, b)
+    }
+}
+
+/// Dedup key: races are counted per (location-up-to-field, unordered
+/// statement pair), so the same code racing over many abstract objects is
+/// reported once — matching how the paper counts reported races.
+fn dedup_key(key: MemKey, s1: GStmt, s2: GStmt) -> (MemKey, GStmt, GStmt) {
+    let norm_key = match key {
+        // Keep the field but drop the object so identical code pairs on
+        // sibling objects collapse.
+        MemKey::Field(_, f) => MemKey::Field(o2_pta::ObjId(u32::MAX), f),
+        s @ MemKey::Static(..) => s,
+    };
+    if s1 <= s2 {
+        (norm_key, s1, s2)
+    } else {
+        (norm_key, s2, s1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_analysis::run_osa;
+    use o2_ir::parser::parse;
+    use o2_pta::{analyze, Policy, PtaConfig};
+    use o2_shb::{build_shb, ShbConfig};
+
+    fn detect_races(src: &str, policy: Policy, cfg: &DetectConfig) -> (o2_ir::Program, RaceReport) {
+        let p = parse(src).unwrap();
+        o2_ir::validate::assert_valid(&p);
+        let pta = analyze(&p, &PtaConfig::with_policy(policy));
+        let osa = run_osa(&p, &pta);
+        let mut shb = build_shb(&p, &pta, &ShbConfig::default());
+        let report = detect(&p, &pta, &osa, &mut shb, cfg);
+        (p, report)
+    }
+
+    const RACY: &str = r#"
+        class S { field data; }
+        class W impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.data = s; }
+        }
+        class Main {
+            static method main() {
+                s = new S();
+                w = new W(s);
+                w.start();
+                x = s.data;
+            }
+        }
+    "#;
+
+    #[test]
+    fn detects_simple_race() {
+        let (_, r) = detect_races(RACY, Policy::origin1(), &DetectConfig::o2());
+        assert_eq!(r.num_races(), 1);
+        assert!(!r.races[0].is_write_write());
+    }
+
+    #[test]
+    fn naive_engine_agrees_with_o2_engine() {
+        let (_, r1) = detect_races(RACY, Policy::origin1(), &DetectConfig::o2());
+        let (_, r2) = detect_races(RACY, Policy::origin1(), &DetectConfig::naive());
+        assert_eq!(r1.races, r2.races);
+    }
+
+    #[test]
+    fn join_establishes_order() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    w.start();
+                    join w;
+                    x = s.data;
+                }
+            }
+        "#;
+        let (_, r) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        assert_eq!(r.num_races(), 0, "join orders the read after the write");
+        assert!(r.hb_pruned >= 1);
+    }
+
+    #[test]
+    fn common_lock_prevents_race() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; sync (s) { s.data = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    w.start();
+                    sync (s) { x = s.data; }
+                }
+            }
+        "#;
+        let (_, r) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        assert_eq!(r.num_races(), 0);
+        assert!(r.lock_pruned >= 1);
+    }
+
+    #[test]
+    fn different_locks_do_not_protect() {
+        let src = r#"
+            class S { field data; }
+            class L { }
+            class W impl Runnable {
+                field s; field l;
+                method <init>(s, l) { this.s = s; this.l = l; }
+                method run() {
+                    s = this.s; l = this.l;
+                    sync (l) { s.data = s; }
+                }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    l1 = new L();
+                    l2 = new L();
+                    w = new W(s, l1);
+                    w.start();
+                    sync (l2) { x = s.data; }
+                }
+            }
+        "#;
+        let (_, r) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        assert_eq!(r.num_races(), 1, "distinct locks do not order accesses");
+    }
+
+    #[test]
+    fn write_write_between_two_threads() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w1 = new W(s);
+                    w2 = new W(s);
+                    w1.start();
+                    w2.start();
+                }
+            }
+        "#;
+        let (_, r) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        assert_eq!(r.num_races(), 1);
+        assert!(r.races[0].is_write_write());
+    }
+
+    #[test]
+    fn events_on_same_dispatcher_do_not_race() {
+        let src = r#"
+            class G { field st; }
+            class H impl EventHandler {
+                method handleEvent(e) { G::st = e; }
+            }
+            class Main {
+                static method main() {
+                    h1 = new H();
+                    h2 = new H();
+                    e = new G();
+                    h1.handleEvent(e);
+                    h2.handleEvent(e);
+                }
+            }
+        "#;
+        let (_, r) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        assert_eq!(r.num_races(), 0, "§4.2: one global lock per dispatcher");
+    }
+
+    #[test]
+    fn event_vs_thread_races() {
+        // The hallmark of the paper: a race between an event handler and a
+        // thread (missed when events and threads are considered
+        // separately).
+        let src = r#"
+            class G { field st; }
+            class H impl EventHandler {
+                method handleEvent(e) { G::st = e; }
+            }
+            class W impl Runnable {
+                method run() { x = G::st; }
+            }
+            class Main {
+                static method main() {
+                    h = new H();
+                    e = new G();
+                    w = new W();
+                    w.start();
+                    h.handleEvent(e);
+                }
+            }
+        "#;
+        let (_, r) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        assert_eq!(r.num_races(), 1, "threads meet events");
+    }
+
+    #[test]
+    fn loop_spawned_threads_race_with_each_other() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    loop { w = new W(s); w.start(); }
+                }
+            }
+        "#;
+        let (_, r) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        assert_eq!(r.num_races(), 1, "loop duplication exposes self-races");
+        assert!(r.races[0].is_write_write());
+    }
+
+    #[test]
+    fn opa_reports_fewer_false_races_than_insensitive() {
+        // Per-thread state conflated by 0-ctx looks shared and racy; OPA
+        // proves it origin-local (the Table 8 precision story).
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                method run() { s = new S(); s.data = s; x = s.data; }
+            }
+            class Main {
+                static method main() {
+                    w1 = new W();
+                    w2 = new W();
+                    w1.start();
+                    w2.start();
+                }
+            }
+        "#;
+        let (_, r_opa) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        let (_, r_0) = detect_races(src, Policy::insensitive(), &DetectConfig::o2());
+        assert_eq!(r_opa.num_races(), 0, "OPA: thread-local state");
+        assert!(r_0.num_races() >= 1, "0-ctx: false positive");
+    }
+
+    #[test]
+    fn region_merging_reduces_pairs_but_not_races() {
+        let src = r#"
+            class S { field a; field b; field c; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() {
+                    s = this.s;
+                    s.a = s; s.a = s; s.a = s; s.a = s;
+                }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w1 = new W(s);
+                    w2 = new W(s);
+                    w1.start();
+                    w2.start();
+                }
+            }
+        "#;
+        let (_, merged) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        let mut no_merge = DetectConfig::o2();
+        no_merge.lock_region_merging = false;
+        let (_, unmerged) = detect_races(src, Policy::origin1(), &no_merge);
+        // Merging is sound on *locations*: the same set of racy locations
+        // is found, with redundant per-statement pairs collapsed to one
+        // representative (the point of the optimization).
+        let keys = |r: &RaceReport| {
+            r.races
+                .iter()
+                .map(|x| x.key)
+                .collect::<std::collections::BTreeSet<_>>()
+        };
+        assert_eq!(keys(&merged), keys(&unmerged), "merging is sound");
+        assert!(!merged.races.is_empty());
+        assert!(merged.races.len() <= unmerged.races.len());
+        assert!(
+            merged.pairs_checked < unmerged.pairs_checked,
+            "merging reduces checked pairs: {} vs {}",
+            merged.pairs_checked,
+            unmerged.pairs_checked
+        );
+        assert!(merged.region_merged > 0);
+    }
+
+    #[test]
+    fn report_renders() {
+        let (p, r) = detect_races(RACY, Policy::origin1(), &DetectConfig::o2());
+        let text = r.render(&p);
+        assert!(text.contains("race #1"), "{text}");
+        assert!(text.contains("data"), "{text}");
+    }
+
+    #[test]
+    fn empty_program_has_no_races() {
+        let src = "class Main { static method main() { } }";
+        let (p, r) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
+        assert_eq!(r.num_races(), 0);
+        assert!(r.render(&p).contains("no races"));
+    }
+}
+
+
+
+#[cfg(test)]
+mod multi_instance_tests {
+    use super::*;
+    use o2_analysis::run_osa;
+    use o2_ir::parser::parse;
+    use o2_pta::{analyze, Policy, PtaConfig};
+    use o2_shb::{build_shb, ShbConfig};
+
+    fn races(src: &str, policy: Policy) -> RaceReport {
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(policy));
+        let osa = run_osa(&p, &pta);
+        let mut shb = build_shb(&p, &pta, &ShbConfig::default());
+        detect(&p, &pta, &osa, &mut shb, &DetectConfig::o2())
+    }
+
+    /// A thread object allocated once but started in a loop stands for
+    /// arbitrarily many concurrent activations: its unprotected writes to
+    /// externally allocated state must self-race.
+    #[test]
+    fn started_in_loop_origin_self_races() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    loop { w.start(); }
+                }
+            }
+        "#;
+        let r = races(src, Policy::origin1());
+        assert_eq!(r.num_races(), 1, "{:?}", r.races);
+        assert!(r.races[0].is_write_write());
+    }
+
+    /// The same shape with a lock is race-free (instances share the lock).
+    #[test]
+    fn started_in_loop_with_lock_is_clean() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; sync (s) { s.data = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    loop { w.start(); }
+                }
+            }
+        "#;
+        let r = races(src, Policy::origin1());
+        assert_eq!(r.num_races(), 0, "{:?}", r.races);
+    }
+
+    /// Per-instance allocations inside a multi-instance origin never
+    /// self-race (each runtime thread gets a fresh object).
+    #[test]
+    fn per_instance_allocations_do_not_self_race() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                method run() { s = new S(); s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    w = new W();
+                    loop { w.start(); }
+                }
+            }
+        "#;
+        let r = races(src, Policy::origin1());
+        assert_eq!(r.num_races(), 0, "{:?}", r.races);
+    }
+}

@@ -1,0 +1,210 @@
+//! Over-synchronization detection: locks that only ever guard
+//! origin-local data.
+//!
+//! §3 of the paper lists over-synchronization as a direct client of
+//! OPA/OSA beyond race detection: a synchronized region whose every
+//! guarded access targets memory that OSA proves origin-local is pure
+//! overhead — the lock can be removed (the classic "synchronization
+//! elimination" enabled by precise sharing information).
+//!
+//! The analysis is per acquisition *site*: a site is over-synchronizing if
+//! across all origins and all lock regions it opens, no guarded access
+//! ever touches an origin-shared location.
+
+use o2_analysis::OsaResult;
+use o2_ir::ids::GStmt;
+use o2_ir::program::Program;
+use o2_shb::ShbGraph;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
+
+/// One over-synchronization warning.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OversyncWarning {
+    /// The acquisition site (a `MonitorEnter` or synchronized-method
+    /// entry).
+    pub site: GStmt,
+    /// Number of guarded accesses observed (all origin-local).
+    pub guarded_accesses: usize,
+}
+
+/// The over-synchronization report.
+#[derive(Clone, Debug, Default)]
+pub struct OversyncReport {
+    /// Warnings, ordered by site.
+    pub warnings: Vec<OversyncWarning>,
+    /// Acquisition sites that do guard shared data (for contrast).
+    pub useful_sites: usize,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+impl OversyncReport {
+    /// Renders a human-readable report.
+    pub fn render(&self, program: &Program) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, w) in self.warnings.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "over-synchronization #{}: lock at {} guards only origin-local \
+                 data ({} accesses)",
+                i + 1,
+                program.stmt_label(w.site),
+                w.guarded_accesses,
+            );
+        }
+        if self.warnings.is_empty() {
+            out.push_str("no over-synchronization detected\n");
+        }
+        out
+    }
+}
+
+/// Finds acquisition sites that only guard origin-local data.
+pub fn find_oversync(program: &Program, osa: &OsaResult, shb: &ShbGraph) -> OversyncReport {
+    let start = Instant::now();
+    let _ = program;
+    let shared_keys: BTreeSet<_> = osa.shared_entries().map(|(k, _)| *k).collect();
+    // site → (guards_shared, #accesses)
+    let mut sites: BTreeMap<GStmt, (bool, usize)> = BTreeMap::new();
+    for trace in &shb.traces {
+        for acq in &trace.acquires {
+            let end = if acq.released_pos == u32::MAX {
+                u32::MAX
+            } else {
+                acq.released_pos
+            };
+            let entry = sites.entry(acq.stmt).or_insert((false, 0));
+            for a in &trace.accesses {
+                if a.pos > acq.pos && a.pos < end {
+                    entry.1 += 1;
+                    if shared_keys.contains(&a.key) {
+                        entry.0 = true;
+                    }
+                }
+            }
+        }
+    }
+    let mut warnings = Vec::new();
+    let mut useful_sites = 0usize;
+    for (site, (guards_shared, accesses)) in sites {
+        if guards_shared {
+            useful_sites += 1;
+        } else if accesses > 0 {
+            warnings.push(OversyncWarning {
+                site,
+                guarded_accesses: accesses,
+            });
+        }
+    }
+    OversyncReport {
+        warnings,
+        useful_sites,
+        duration: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_analysis::run_osa;
+    use o2_ir::parser::parse;
+    use o2_pta::{analyze, Policy, PtaConfig};
+    use o2_shb::{build_shb, ShbConfig};
+
+    fn oversync(src: &str) -> (o2_ir::Program, OversyncReport) {
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let osa = run_osa(&p, &pta);
+        let shb = build_shb(&p, &pta, &ShbConfig::default());
+        let report = find_oversync(&p, &osa, &shb);
+        (p, report)
+    }
+
+    #[test]
+    fn lock_on_thread_local_data_is_flagged() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                method run() {
+                    s = new S();
+                    sync (s) { s.data = s; }   // s never escapes this thread
+                }
+            }
+            class Main {
+                static method main() {
+                    w1 = new W();
+                    w2 = new W();
+                    w1.start();
+                    w2.start();
+                }
+            }
+        "#;
+        let (p, report) = oversync(src);
+        assert_eq!(report.warnings.len(), 1, "{}", report.render(&p));
+        assert_eq!(report.useful_sites, 0);
+    }
+
+    #[test]
+    fn lock_on_shared_data_is_useful() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() {
+                    s = this.s;
+                    sync (s) { s.data = s; }   // genuinely shared
+                }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w1 = new W(s);
+                    w2 = new W(s);
+                    w1.start();
+                    w2.start();
+                }
+            }
+        "#;
+        let (p, report) = oversync(src);
+        assert!(report.warnings.is_empty(), "{}", report.render(&p));
+        assert_eq!(report.useful_sites, 1);
+    }
+
+    #[test]
+    fn empty_regions_are_not_flagged() {
+        let src = r#"
+            class S { }
+            class Main {
+                static method main() {
+                    s = new S();
+                    sync (s) { }
+                }
+            }
+        "#;
+        let (p, report) = oversync(src);
+        assert!(report.warnings.is_empty(), "{}", report.render(&p));
+    }
+
+    #[test]
+    fn single_origin_statics_are_oversynchronized() {
+        // The paper's example of OSA precision: a static used by only one
+        // origin. Locking around it is unnecessary.
+        let src = r#"
+            class G { }
+            class W impl Runnable { method run() { } }
+            class Main {
+                static method main() {
+                    g = new G();
+                    sync (g) { G::cfg = g; }
+                    w = new W();
+                    w.start();
+                }
+            }
+        "#;
+        let (p, report) = oversync(src);
+        assert_eq!(report.warnings.len(), 1, "{}", report.render(&p));
+    }
+}

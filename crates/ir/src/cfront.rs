@@ -1,0 +1,730 @@
+//! A C-like frontend: the pthread half of the paper's dual-frontend story.
+//!
+//! O2 analyzes both Java (via WALA) and C/C++ (via LLVM). This module is
+//! the C-shaped surface syntax, lowering onto the same IR that the
+//! Java-like [`crate::parser`] targets:
+//!
+//! - `struct` declarations become classes;
+//! - free functions become static methods of a synthetic `CUnit` class;
+//! - `global` declarations become static fields of a `Globals` class;
+//! - `pthread_create(&t, f, arg)` becomes a thread [`crate::program::Stmt::Spawn`] with a
+//!   joinable handle, `pthread_join(t)` a [`crate::program::Stmt::Join`];
+//! - `pthread_mutex_lock(m)` / `pthread_mutex_unlock(m)` become monitor
+//!   regions;
+//! - `dispatch f(arg);` models an event-loop callback registration (an
+//!   event origin), and `syscall`/`kthread`/`irq` prefixes on `spawn`-like
+//!   forms cover the kernel origin kinds;
+//! - `p->f` is a field access, `p[i]` an array access, `malloc(S)` an
+//!   allocation.
+//!
+//! ```
+//! let program = o2_ir::cfront::parse_c(r#"
+//!     struct Slab { any slabs; };
+//!     void worker(any sc) {
+//!         sc->slabs = sc;
+//!     }
+//!     void main() {
+//!         sc = malloc(Slab);
+//!         pthread_create(&t, worker, sc);
+//!         pthread_join(t);
+//!     }
+//! "#).unwrap();
+//! assert!(program.class_by_name("Slab").is_some());
+//! ```
+
+use crate::builder::{MethodBuilder, ProgramBuilder};
+use crate::origins::OriginKind;
+use crate::parser::ParseError;
+use crate::program::Program;
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Eq,
+    Arrow,
+    Amp,
+    Star,
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line = 1u32;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'*' => {
+                i += 2;
+                while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+                i = (i + 2).min(bytes.len());
+            }
+            '{' => {
+                toks.push((Tok::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                toks.push((Tok::RBrace, line));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, line));
+                i += 1;
+            }
+            '[' => {
+                toks.push((Tok::LBracket, line));
+                i += 1;
+            }
+            ']' => {
+                toks.push((Tok::RBracket, line));
+                i += 1;
+            }
+            ';' => {
+                toks.push((Tok::Semi, line));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, line));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, line));
+                i += 1;
+            }
+            '&' => {
+                toks.push((Tok::Amp, line));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, line));
+                i += 1;
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                toks.push((Tok::Arrow, line));
+                i += 2;
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n = src[start..i].parse().map_err(|_| ParseError {
+                    line,
+                    message: "invalid number".into(),
+                })?;
+                toks.push((Tok::Num(n), line));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(src[start..i].to_string()), line));
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct P {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl P {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+    fn err(&self, m: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: m.into(),
+        }
+    }
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+    fn expect(&mut self, t: Tok) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got == t {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.err(format!("expected {t:?}, found {got:?}")))
+        }
+    }
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            got => {
+                self.pos -= 1;
+                Err(self.err(format!("expected identifier, found {got:?}")))
+            }
+        }
+    }
+    fn eat(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The synthetic class holding all free functions.
+pub const C_UNIT_CLASS: &str = "CUnit";
+/// The synthetic class holding `global` variables as static fields.
+pub const C_GLOBALS_CLASS: &str = "Globals";
+
+/// Parses a C-like translation unit into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line for syntax errors and
+/// line 0 for program-level errors (missing `main`, unresolved calls).
+pub fn parse_c(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = P { toks, pos: 0 };
+    let mut pb = ProgramBuilder::new();
+    pb.add_class(C_GLOBALS_CLASS, None);
+    let cunit = pb.add_class(C_UNIT_CLASS, None);
+
+    // Pre-scan: struct names (for malloc forward references).
+    {
+        let mut i = 0;
+        while i < p.toks.len() {
+            if matches!(&p.toks[i].0, Tok::Ident(s) if s == "struct") {
+                if let Some((Tok::Ident(name), _)) = p.toks.get(i + 1) {
+                    // Only declarations (followed by `{`), not uses.
+                    if matches!(p.toks.get(i + 2), Some((Tok::LBrace, _))) {
+                        pb.add_class(name.clone(), None);
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+
+    while p.peek().is_some() {
+        if p.eat("struct") {
+            let name = p.ident()?;
+            let _class = pb
+                .class_id(&name)
+                .ok_or_else(|| p.err("struct not pre-registered"))?;
+            p.expect(Tok::LBrace)?;
+            while !matches!(p.peek(), Some(Tok::RBrace)) {
+                // `any fieldname;` — untyped field declarations.
+                let _ty = p.ident()?;
+                let fname = p.ident()?;
+                pb.field(&fname);
+                p.expect(Tok::Semi)?;
+            }
+            p.expect(Tok::RBrace)?;
+            if matches!(p.peek(), Some(Tok::Semi)) {
+                p.next()?;
+            }
+            continue;
+        }
+        if p.eat("global") {
+            let name = p.ident()?;
+            pb.field(&name);
+            p.expect(Tok::Semi)?;
+            continue;
+        }
+        // Function: `void|any name(params) { ... }`
+        let ret_ty = p.ident()?;
+        if ret_ty != "void" && ret_ty != "any" && ret_ty != "int" {
+            return Err(p.err(format!("expected declaration, found `{ret_ty}`")));
+        }
+        let name = p.ident()?;
+        p.expect(Tok::LParen)?;
+        let mut params = Vec::new();
+        while !matches!(p.peek(), Some(Tok::RParen)) {
+            // `any x` or bare `x`.
+            let first = p.ident()?;
+            let pname = if matches!(p.peek(), Some(Tok::Ident(_))) {
+                p.ident()?
+            } else {
+                first
+            };
+            params.push(pname);
+            if matches!(p.peek(), Some(Tok::Comma)) {
+                p.next()?;
+            }
+        }
+        p.expect(Tok::RParen)?;
+        let param_refs: Vec<&str> = params.iter().map(|s| s.as_str()).collect();
+        let mut mb = pb.begin_static_method(cunit, &name, &param_refs);
+        parse_block(&mut p, &mut mb)?;
+        mb.finish();
+    }
+    pb.finish().map_err(ParseError::from)
+}
+
+fn parse_block(p: &mut P, mb: &mut MethodBuilder<'_>) -> Result<(), ParseError> {
+    p.expect(Tok::LBrace)?;
+    while !matches!(p.peek(), Some(Tok::RBrace)) {
+        parse_stmt(p, mb)?;
+    }
+    p.expect(Tok::RBrace)?;
+    Ok(())
+}
+
+fn parse_args(p: &mut P) -> Result<Vec<String>, ParseError> {
+    p.expect(Tok::LParen)?;
+    let mut args = Vec::new();
+    while !matches!(p.peek(), Some(Tok::RParen)) {
+        if matches!(p.peek(), Some(Tok::Amp)) {
+            p.next()?;
+        }
+        args.push(p.ident()?);
+        if matches!(p.peek(), Some(Tok::Comma)) {
+            p.next()?;
+        }
+    }
+    p.expect(Tok::RParen)?;
+    Ok(args)
+}
+
+fn refs(v: &[String]) -> Vec<&str> {
+    v.iter().map(|s| s.as_str()).collect()
+}
+
+fn parse_stmt(p: &mut P, mb: &mut MethodBuilder<'_>) -> Result<(), ParseError> {
+    mb.at_line(p.line());
+    // Control flow is flattened: both branches of `if` and the body of
+    // `while`/`for` are included in the static trace; `while`/`for` mark
+    // the loop flag for origin doubling.
+    if p.eat("if") {
+        p.expect(Tok::LParen)?;
+        let _cond = p.ident()?;
+        p.expect(Tok::RParen)?;
+        parse_block(p, mb)?;
+        if p.eat("else") {
+            parse_block(p, mb)?;
+        }
+        return Ok(());
+    }
+    if p.eat("while") || p.eat("for") {
+        p.expect(Tok::LParen)?;
+        while !matches!(p.peek(), Some(Tok::RParen)) {
+            p.next()?;
+        }
+        p.expect(Tok::RParen)?;
+        mb.loop_open();
+        parse_block(p, mb)?;
+        mb.loop_close();
+        return Ok(());
+    }
+    if p.eat("return") {
+        let src = if matches!(p.peek(), Some(Tok::Ident(_))) {
+            Some(p.ident()?)
+        } else {
+            None
+        };
+        p.expect(Tok::Semi)?;
+        mb.ret(src.as_deref());
+        return Ok(());
+    }
+    // pthread / event-loop intrinsics.
+    if p.eat("pthread_create") {
+        p.expect(Tok::LParen)?;
+        p.expect(Tok::Amp)?;
+        let handle = p.ident()?;
+        p.expect(Tok::Comma)?;
+        let func = p.ident()?;
+        let mut args = Vec::new();
+        while matches!(p.peek(), Some(Tok::Comma)) {
+            p.next()?;
+            args.push(p.ident()?);
+        }
+        p.expect(Tok::RParen)?;
+        p.expect(Tok::Semi)?;
+        mb.spawn(
+            Some(&handle),
+            C_UNIT_CLASS,
+            &func,
+            &refs(&args),
+            OriginKind::Thread,
+        );
+        return Ok(());
+    }
+    if p.eat("pthread_join") {
+        p.expect(Tok::LParen)?;
+        let h = p.ident()?;
+        p.expect(Tok::RParen)?;
+        p.expect(Tok::Semi)?;
+        mb.join(&h);
+        return Ok(());
+    }
+    if p.eat("pthread_mutex_lock") {
+        p.expect(Tok::LParen)?;
+        if matches!(p.peek(), Some(Tok::Amp)) {
+            p.next()?;
+        }
+        let m = p.ident()?;
+        p.expect(Tok::RParen)?;
+        p.expect(Tok::Semi)?;
+        mb.sync_open(&m);
+        return Ok(());
+    }
+    if p.eat("pthread_mutex_unlock") {
+        p.expect(Tok::LParen)?;
+        if matches!(p.peek(), Some(Tok::Amp)) {
+            p.next()?;
+        }
+        let m = p.ident()?;
+        p.expect(Tok::RParen)?;
+        p.expect(Tok::Semi)?;
+        mb.sync_close(&m);
+        return Ok(());
+    }
+    for (kw, kind) in [
+        ("dispatch", OriginKind::Event { dispatcher: 0 }),
+        ("spawn_syscall", OriginKind::Syscall),
+        ("spawn_kthread", OriginKind::KernelThread),
+        ("spawn_irq", OriginKind::Interrupt),
+    ] {
+        if p.eat(kw) {
+            let func = p.ident()?;
+            let args = parse_args(p)?;
+            let mut replicas = 1u8;
+            if matches!(p.peek(), Some(Tok::Star)) {
+                p.next()?;
+                match p.next()? {
+                    Tok::Num(n) if (1..=255).contains(&n) => replicas = n as u8,
+                    Tok::Num(_) => {
+                        return Err(p.err("replica count must be between 1 and 255"))
+                    }
+                    _ => return Err(p.err("expected replica count")),
+                }
+            }
+            p.expect(Tok::Semi)?;
+            mb.spawn_replicated(None, C_UNIT_CLASS, &func, &refs(&args), kind, replicas);
+            return Ok(());
+        }
+    }
+
+    if p.eat("global_write") {
+        // `global_write(name, v);` — write a global variable.
+        p.expect(Tok::LParen)?;
+        let name = p.ident()?;
+        p.expect(Tok::Comma)?;
+        let v = p.ident()?;
+        p.expect(Tok::RParen)?;
+        p.expect(Tok::Semi)?;
+        mb.store_static(C_GLOBALS_CLASS, &name, &v);
+        return Ok(());
+    }
+
+    // Assignments and calls.
+    let first = p.ident()?;
+    match p.peek() {
+        Some(Tok::Eq) => {
+            p.next()?;
+            parse_rhs(p, mb, &first)?;
+            p.expect(Tok::Semi)?;
+        }
+        Some(Tok::Arrow) => {
+            p.next()?;
+            let field = p.ident()?;
+            p.expect(Tok::Eq)?;
+            let src = p.ident()?;
+            p.expect(Tok::Semi)?;
+            mb.store(&first, &field, &src);
+        }
+        Some(Tok::LBracket) => {
+            p.next()?;
+            // Index expressions are ignored (array smashing).
+            while !matches!(p.peek(), Some(Tok::RBracket)) {
+                p.next()?;
+            }
+            p.expect(Tok::RBracket)?;
+            p.expect(Tok::Eq)?;
+            let src = p.ident()?;
+            p.expect(Tok::Semi)?;
+            mb.store_array(&first, &src);
+        }
+        Some(Tok::LParen) => {
+            let args = parse_args(p)?;
+            p.expect(Tok::Semi)?;
+            mb.call_static(None, C_UNIT_CLASS, &first, &refs(&args));
+        }
+        other => return Err(p.err(format!("unexpected token {other:?}"))),
+    }
+    Ok(())
+}
+
+fn parse_rhs(p: &mut P, mb: &mut MethodBuilder<'_>, dst: &str) -> Result<(), ParseError> {
+    if p.eat("malloc") {
+        p.expect(Tok::LParen)?;
+        let struct_name = p.ident()?;
+        p.expect(Tok::RParen)?;
+        if !mb.class_exists(&struct_name) {
+            return Err(p.err(format!("unknown struct {struct_name}")));
+        }
+        mb.new_obj(dst, &struct_name, &[]);
+        return Ok(());
+    }
+    if p.eat("calloc_array") {
+        p.expect(Tok::LParen)?;
+        while !matches!(p.peek(), Some(Tok::RParen)) {
+            p.next()?;
+        }
+        p.expect(Tok::RParen)?;
+        mb.new_array(dst);
+        return Ok(());
+    }
+    if p.eat("global_read") {
+        // `x = global_read(name);` — read a global variable.
+        p.expect(Tok::LParen)?;
+        let name = p.ident()?;
+        p.expect(Tok::RParen)?;
+        mb.load_static(Some(dst), C_GLOBALS_CLASS, &name);
+        return Ok(());
+    }
+    let first = p.ident()?;
+    match p.peek() {
+        Some(Tok::Arrow) => {
+            p.next()?;
+            let field = p.ident()?;
+            mb.load(Some(dst), &first, &field);
+        }
+        Some(Tok::LBracket) => {
+            p.next()?;
+            while !matches!(p.peek(), Some(Tok::RBracket)) {
+                p.next()?;
+            }
+            p.expect(Tok::RBracket)?;
+            mb.load_array(Some(dst), &first);
+        }
+        Some(Tok::LParen) => {
+            let args = parse_args(p)?;
+            mb.call_static(Some(dst), C_UNIT_CLASS, &first, &refs(&args));
+        }
+        _ => {
+            mb.assign(dst, &first);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_pthread_program() {
+        let src = r#"
+            struct Slab { any slabs; };
+            void worker(any sc) {
+                sc->slabs = sc;
+            }
+            void main() {
+                sc = malloc(Slab);
+                pthread_create(&t, worker, sc);
+                pthread_join(t);
+            }
+        "#;
+        let p = parse_c(src).unwrap();
+        crate::validate::assert_valid(&p);
+        assert!(p.class_by_name("Slab").is_some());
+        let main = p.method(p.main);
+        assert!(main
+            .body
+            .iter()
+            .any(|i| matches!(i.stmt, crate::program::Stmt::Spawn { .. })));
+        assert!(main
+            .body
+            .iter()
+            .any(|i| matches!(i.stmt, crate::program::Stmt::Join { .. })));
+    }
+
+    #[test]
+    fn mutex_lock_regions() {
+        let src = r#"
+            struct S { any data; };
+            global m;
+            void f(any s, any m) {
+                pthread_mutex_lock(&m);
+                s->data = s;
+                pthread_mutex_unlock(&m);
+            }
+            void main() {
+                s = malloc(S);
+                f(s, s);
+            }
+        "#;
+        let p = parse_c(src).unwrap();
+        crate::validate::assert_valid(&p);
+        let f = {
+            let c = p.class_by_name(C_UNIT_CLASS).unwrap();
+            p.dispatch(c, &crate::program::Selector::new("f", 2)).unwrap()
+        };
+        let body = &p.method(f).body;
+        assert!(matches!(body[0].stmt, crate::program::Stmt::MonitorEnter { .. }));
+        assert!(matches!(body[2].stmt, crate::program::Stmt::MonitorExit { .. }));
+    }
+
+    #[test]
+    fn kernel_origin_kinds() {
+        let src = r#"
+            struct G { any events; };
+            void __x64_sys_read(any b) { b->events = b; }
+            void kth(any g) { g->events = g; }
+            void irqh(any g) { x = g->events; }
+            void main() {
+                g = malloc(G);
+                spawn_syscall __x64_sys_read(g) * 2;
+                spawn_kthread kth(g);
+                spawn_irq irqh(g);
+            }
+        "#;
+        let p = parse_c(src).unwrap();
+        crate::validate::assert_valid(&p);
+        let spawns: Vec<_> = p
+            .method(p.main)
+            .body
+            .iter()
+            .filter_map(|i| match &i.stmt {
+                crate::program::Stmt::Spawn { kind, replicas, .. } => Some((*kind, *replicas)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spawns,
+            vec![
+                (OriginKind::Syscall, 2),
+                (OriginKind::KernelThread, 1),
+                (OriginKind::Interrupt, 1),
+            ]
+        );
+    }
+
+    #[test]
+    fn loops_mark_origin_doubling() {
+        let src = r#"
+            void w(any x) { }
+            void main() {
+                x = malloc(S);
+                while (cond) {
+                    pthread_create(&t, w, x);
+                }
+            }
+            struct S { any f; };
+        "#;
+        let p = parse_c(src).unwrap();
+        let spawn_in_loop = p
+            .method(p.main)
+            .body
+            .iter()
+            .any(|i| matches!(i.stmt, crate::program::Stmt::Spawn { .. }) && i.in_loop);
+        assert!(spawn_in_loop);
+    }
+
+    #[test]
+    fn comments_and_arrays() {
+        let src = r#"
+            /* block comment */
+            struct B { any buf; };
+            void main() {
+                b = malloc(B); // line comment
+                arr = calloc_array(16);
+                arr[0] = b;
+                x = arr[1];
+            }
+        "#;
+        let p = parse_c(src).unwrap();
+        crate::validate::assert_valid(&p);
+        assert!(p
+            .method(p.main)
+            .body
+            .iter()
+            .any(|i| matches!(i.stmt, crate::program::Stmt::StoreArray { .. })));
+    }
+
+    #[test]
+    fn globals_lower_to_statics() {
+        let src = r#"
+            global stats;
+            struct V { any x; };
+            void worker(any v) {
+                global_write(stats, v);
+                y = global_read(stats);
+            }
+            void main() {
+                v = malloc(V);
+                pthread_create(&t, worker, v);
+            }
+        "#;
+        let p = parse_c(src).unwrap();
+        crate::validate::assert_valid(&p);
+        let worker = {
+            let c = p.class_by_name(C_UNIT_CLASS).unwrap();
+            p.dispatch(c, &crate::program::Selector::new("worker", 1))
+                .unwrap()
+        };
+        let body = &p.method(worker).body;
+        assert!(matches!(body[0].stmt, crate::program::Stmt::StoreStatic { .. }));
+        assert!(matches!(body[1].stmt, crate::program::Stmt::LoadStatic { .. }));
+    }
+
+    #[test]
+    fn error_has_line() {
+        let err = parse_c("struct S {\n any;\n};").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Origin kinds and the entry-point recognition configuration (Table 1 of
+//! the paper).
+//!
+//! An *origin* is the paper's unifying abstraction for threads and events:
+//! an entry point (the start of a thread body or event handler) plus a set
+//! of attributes (data pointers flowing into the origin). This module
+//! defines how entry points are recognized; origin *instances* are created
+//! by the pointer analysis (`o2-pta`).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// The flavor of an origin. Mirrors Figure 1 of the paper plus the
+/// kernel-specific kinds used in the Linux evaluation (§5.4).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OriginKind {
+    /// The implicit origin rooted at the program's `main` method.
+    Main,
+    /// A thread (e.g. `Runnable.run`, `Callable.call`, `pthread_create`).
+    Thread,
+    /// An event handler dispatched by a serialized event loop.
+    ///
+    /// Handlers sharing a dispatcher are mutually exclusive: the race
+    /// detector adds an implicit per-dispatcher lock (§4.2), so two events
+    /// of the same dispatcher never race with each other, only with
+    /// threads or events of other dispatchers.
+    Event {
+        /// Identifier of the dispatching event loop (Android main thread = 0).
+        dispatcher: u16,
+    },
+    /// A system-call entry (`__x64_sys_*` in the Linux kernel evaluation).
+    Syscall,
+    /// A kernel thread (`kthread_create_*`).
+    KernelThread,
+    /// An interrupt handler (`request_irq` / `request_threaded_irq`).
+    Interrupt,
+}
+
+impl OriginKind {
+    /// Returns `true` if two instances of this kind may run concurrently
+    /// with each other without any implicit serialization.
+    pub fn is_preemptive(self) -> bool {
+        !matches!(self, OriginKind::Event { .. })
+    }
+}
+
+impl fmt::Display for OriginKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OriginKind::Main => write!(f, "main"),
+            OriginKind::Thread => write!(f, "thread"),
+            OriginKind::Event { dispatcher } => write!(f, "event@{dispatcher}"),
+            OriginKind::Syscall => write!(f, "syscall"),
+            OriginKind::KernelThread => write!(f, "kthread"),
+            OriginKind::Interrupt => write!(f, "irq"),
+        }
+    }
+}
+
+/// Recognition rules for origin entry points, mirroring Table 1.
+///
+/// A method whose name matches one of these rules is an origin entry point:
+/// calling it (or `start()`-ing a class that defines it) switches the
+/// analysis into a new origin context.
+///
+/// # Examples
+///
+/// ```
+/// use o2_ir::origins::{EntryPointConfig, OriginKind};
+/// let cfg = EntryPointConfig::default();
+/// assert_eq!(cfg.entry_kind("run"), Some(OriginKind::Thread));
+/// assert_eq!(cfg.entry_kind("onReceive"), Some(OriginKind::Event { dispatcher: 0 }));
+/// assert_eq!(cfg.entry_kind("helper"), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EntryPointConfig {
+    /// Method names that start a thread origin (`run`, `call`, …).
+    pub thread_entries: Vec<String>,
+    /// Method names that start an event origin, with their dispatcher id.
+    pub event_entries: BTreeMap<String, u16>,
+    /// Name prefixes mapped to origin kinds (e.g. `__x64_sys_` → `Syscall`).
+    pub entry_prefixes: Vec<(String, OriginKind)>,
+    /// If `true`, `x.start()` on a class defining a thread entry dispatches
+    /// that entry as a new origin (the `Thread.start()` convention).
+    pub start_spawns_entry: bool,
+}
+
+impl Default for EntryPointConfig {
+    fn default() -> Self {
+        let mut event_entries = BTreeMap::new();
+        for name in [
+            "handleEvent",
+            "onReceive",
+            "onMessageEvent",
+            "actionPerformed",
+            "onEvent",
+        ] {
+            event_entries.insert(name.to_string(), 0u16);
+        }
+        EntryPointConfig {
+            thread_entries: vec!["run".to_string(), "call".to_string()],
+            event_entries,
+            entry_prefixes: vec![("__x64_sys_".to_string(), OriginKind::Syscall)],
+            start_spawns_entry: true,
+        }
+    }
+}
+
+impl EntryPointConfig {
+    /// An empty configuration that recognizes no origins besides `main` and
+    /// explicit `spawn` statements. Useful for ablations that treat the
+    /// program as single-threaded-plus-spawns.
+    pub fn none() -> Self {
+        EntryPointConfig {
+            thread_entries: Vec::new(),
+            event_entries: BTreeMap::new(),
+            entry_prefixes: Vec::new(),
+            start_spawns_entry: false,
+        }
+    }
+
+    /// Registers an additional thread entry method name (developer
+    /// annotation for customized user-level threads, §3.1).
+    pub fn add_thread_entry(&mut self, name: impl Into<String>) -> &mut Self {
+        self.thread_entries.push(name.into());
+        self
+    }
+
+    /// Registers an additional event entry method name on `dispatcher`.
+    pub fn add_event_entry(&mut self, name: impl Into<String>, dispatcher: u16) -> &mut Self {
+        self.event_entries.insert(name.into(), dispatcher);
+        self
+    }
+
+    /// Registers a name prefix rule, e.g. `__x64_sys_` → [`OriginKind::Syscall`].
+    pub fn add_prefix(&mut self, prefix: impl Into<String>, kind: OriginKind) -> &mut Self {
+        self.entry_prefixes.push((prefix.into(), kind));
+        self
+    }
+
+    /// Returns the origin kind started by calling a method named `name`,
+    /// or `None` if the method is not an entry point.
+    pub fn entry_kind(&self, name: &str) -> Option<OriginKind> {
+        if self.thread_entries.iter().any(|e| e == name) {
+            return Some(OriginKind::Thread);
+        }
+        if let Some(&dispatcher) = self.event_entries.get(name) {
+            return Some(OriginKind::Event { dispatcher });
+        }
+        for (prefix, kind) in &self.entry_prefixes {
+            if name.starts_with(prefix.as_str()) {
+                return Some(*kind);
+            }
+        }
+        None
+    }
+
+    /// Returns `true` if `name` is any kind of entry point.
+    pub fn is_entry(&self, name: &str) -> bool {
+        self.entry_kind(name).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_recognizes_table1_entries() {
+        let cfg = EntryPointConfig::default();
+        for name in ["run", "call"] {
+            assert_eq!(cfg.entry_kind(name), Some(OriginKind::Thread), "{name}");
+        }
+        for name in ["handleEvent", "onReceive", "onMessageEvent", "actionPerformed"] {
+            assert_eq!(
+                cfg.entry_kind(name),
+                Some(OriginKind::Event { dispatcher: 0 }),
+                "{name}"
+            );
+        }
+        assert_eq!(cfg.entry_kind("__x64_sys_mincore"), Some(OriginKind::Syscall));
+        assert_eq!(cfg.entry_kind("main"), None);
+    }
+
+    #[test]
+    fn custom_annotations() {
+        let mut cfg = EntryPointConfig::none();
+        assert!(!cfg.is_entry("run"));
+        cfg.add_thread_entry("myFiberBody");
+        cfg.add_event_entry("onTick", 3);
+        cfg.add_prefix("irq_", OriginKind::Interrupt);
+        assert_eq!(cfg.entry_kind("myFiberBody"), Some(OriginKind::Thread));
+        assert_eq!(cfg.entry_kind("onTick"), Some(OriginKind::Event { dispatcher: 3 }));
+        assert_eq!(cfg.entry_kind("irq_gpio"), Some(OriginKind::Interrupt));
+    }
+
+    #[test]
+    fn events_are_not_preemptive() {
+        assert!(OriginKind::Thread.is_preemptive());
+        assert!(!OriginKind::Event { dispatcher: 1 }.is_preemptive());
+        assert!(OriginKind::Syscall.is_preemptive());
+    }
+}

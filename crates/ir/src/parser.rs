@@ -1,0 +1,958 @@
+//! A textual frontend for the IR.
+//!
+//! The surface language is a small Java-like notation covering exactly the
+//! statement forms of the IR. Example:
+//!
+//! ```
+//! let src = r#"
+//! class State { field data; }
+//! class Task : Runner {
+//!     field s;
+//!     method <init>(s) { this.s = s; }
+//!     method run() {
+//!         x = this.s;
+//!         sync (x) { x.data = x; }
+//!     }
+//! }
+//! class Runner { method run() { } }
+//! class Main {
+//!     static method main() {
+//!         s = new State();
+//!         t = new Task(s);
+//!         t.start();
+//!         t.join();
+//!     }
+//! }
+//! "#;
+//! let program = o2_ir::parser::parse(src).unwrap();
+//! assert!(program.class_by_name("Task").is_some());
+//! ```
+//!
+//! Grammar sketch (`NAME* = identifier`):
+//!
+//! ```text
+//! program  := pragma* classdecl*
+//! pragma   := "pragma" ("thread_entry" NAME | "event_entry" NAME NUM
+//!             | "entry_prefix" NAME KIND) ";"
+//! class    := "class" NAME (":" NAME)? ("impl" NAME ("," NAME)*)? "{" member* "}"
+//! member   := "field" NAME ";" | ("static")? ("sync")? "method" NAME "(" args ")" block
+//! stmt     := lhs "=" rhs ";" | NAME "." NAME "(" args ")" ";"
+//!           | NAME "::" NAME "(" args ")" ";"
+//!           | "sync" "(" NAME ")" block | "loop" block
+//!           | "spawn" KIND NAME "::" NAME "(" args ")" ("*" NUM)? ("->" NAME)? ";"
+//!           | "join" NAME ";" | "return" NAME? ";"
+//! lhs      := NAME | NAME "." NAME | NAME "[" "*" "]" | NAME "::" NAME
+//! rhs      := "new" NAME "(" args ")" | "newarray" | call | lhs
+//! KIND     := "thread" | "event" ("(" NUM ")")? | "syscall" | "kthread" | "irq"
+//! ```
+
+use crate::builder::{BuildError, MethodBuilder, ProgramBuilder};
+use crate::origins::OriginKind;
+use crate::program::Program;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while parsing source text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based source line of the error.
+    pub line: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<BuildError> for ParseError {
+    fn from(e: BuildError) -> Self {
+        ParseError {
+            line: 0,
+            message: e.to_string(),
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Num(u64),
+    LBrace,
+    RBrace,
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Eq,
+    Dot,
+    Colon,
+    ColonColon,
+    Arrow,
+    Star,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Num(n) => write!(f, "{n}"),
+            Tok::LBrace => write!(f, "{{"),
+            Tok::RBrace => write!(f, "}}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::Semi => write!(f, ";"),
+            Tok::Comma => write!(f, ","),
+            Tok::Eq => write!(f, "="),
+            Tok::Dot => write!(f, "."),
+            Tok::Colon => write!(f, ":"),
+            Tok::ColonColon => write!(f, "::"),
+            Tok::Arrow => write!(f, "->"),
+            Tok::Star => write!(f, "*"),
+        }
+    }
+}
+
+fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let bytes = src.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                toks.push((Tok::LBrace, line));
+                i += 1;
+            }
+            '}' => {
+                toks.push((Tok::RBrace, line));
+                i += 1;
+            }
+            '(' => {
+                toks.push((Tok::LParen, line));
+                i += 1;
+            }
+            ')' => {
+                toks.push((Tok::RParen, line));
+                i += 1;
+            }
+            '[' => {
+                toks.push((Tok::LBracket, line));
+                i += 1;
+            }
+            ']' => {
+                toks.push((Tok::RBracket, line));
+                i += 1;
+            }
+            ';' => {
+                toks.push((Tok::Semi, line));
+                i += 1;
+            }
+            ',' => {
+                toks.push((Tok::Comma, line));
+                i += 1;
+            }
+            '=' => {
+                toks.push((Tok::Eq, line));
+                i += 1;
+            }
+            '.' => {
+                toks.push((Tok::Dot, line));
+                i += 1;
+            }
+            '*' => {
+                toks.push((Tok::Star, line));
+                i += 1;
+            }
+            ':' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b':' {
+                    toks.push((Tok::ColonColon, line));
+                    i += 2;
+                } else {
+                    toks.push((Tok::Colon, line));
+                    i += 1;
+                }
+            }
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
+                toks.push((Tok::Arrow, line));
+                i += 2;
+            }
+            '<' => {
+                // Allow `<init>`-style identifiers: short, single-line,
+                // word characters only. Anything else is a lex error (an
+                // unbounded scan would swallow whole method bodies and
+                // report wrong line numbers).
+                let start = i;
+                i += 1;
+                while i < bytes.len()
+                    && i - start <= 32
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                if i < bytes.len() && bytes[i] == b'>' && i - start > 1 {
+                    i += 1;
+                    toks.push((Tok::Ident(src[start..i].to_string()), line));
+                } else {
+                    return Err(ParseError {
+                        line,
+                        message: "malformed `<...>` identifier".to_string(),
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let n: u64 = src[start..i].parse().map_err(|_| ParseError {
+                    line,
+                    message: "invalid number".to_string(),
+                })?;
+                toks.push((Tok::Num(n), line));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
+                let start = i;
+                while i < bytes.len() {
+                    let ch = bytes[i] as char;
+                    if ch.is_ascii_alphanumeric() || ch == '_' || ch == '$' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                toks.push((Tok::Ident(src[start..i].to_string()), line));
+            }
+            other => {
+                return Err(ParseError {
+                    line,
+                    message: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    Ok(toks)
+}
+
+struct Parser {
+    toks: Vec<(Tok, u32)>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn peek2(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 1).map(|(t, _)| t)
+    }
+
+    fn peek3(&self) -> Option<&Tok> {
+        self.toks.get(self.pos + 2).map(|(t, _)| t)
+    }
+
+    fn line(&self) -> u32 {
+        self.toks
+            .get(self.pos)
+            .or_else(|| self.toks.last())
+            .map(|(_, l)| *l)
+            .unwrap_or(0)
+    }
+
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        ParseError {
+            line: self.line(),
+            message: message.into(),
+        }
+    }
+
+    fn next(&mut self) -> Result<Tok, ParseError> {
+        let t = self
+            .toks
+            .get(self.pos)
+            .map(|(t, _)| t.clone())
+            .ok_or_else(|| self.err("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(t)
+    }
+
+    fn expect(&mut self, want: Tok) -> Result<(), ParseError> {
+        let got = self.next()?;
+        if got == want {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.err(format!("expected `{want}`, found `{got}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        match self.next()? {
+            Tok::Ident(s) => Ok(s),
+            got => {
+                self.pos -= 1;
+                Err(self.err(format!("expected identifier, found `{got}`")))
+            }
+        }
+    }
+
+    fn eat_ident(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Tok::Ident(s)) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn num(&mut self) -> Result<u64, ParseError> {
+        match self.next()? {
+            Tok::Num(n) => Ok(n),
+            got => {
+                self.pos -= 1;
+                Err(self.err(format!("expected number, found `{got}`")))
+            }
+        }
+    }
+}
+
+/// Parses source text into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line for syntax errors, and
+/// with line 0 for program-level errors surfaced by the builder (missing
+/// `main`, unresolved call targets, duplicate classes).
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let toks = lex(src)?;
+    let mut p = Parser { toks, pos: 0 };
+    let mut pb = ProgramBuilder::new();
+
+    // Pragmas (entry-point annotations) come first.
+    while p.eat_ident("pragma") {
+        let kind = p.ident()?;
+        match kind.as_str() {
+            "thread_entry" => {
+                let name = p.ident()?;
+                pb.entry_config_mut().add_thread_entry(name);
+            }
+            "event_entry" => {
+                let name = p.ident()?;
+                let d = p.num()? as u16;
+                pb.entry_config_mut().add_event_entry(name, d);
+            }
+            "entry_prefix" => {
+                let prefix = p.ident()?;
+                let kind = parse_kind_name(&p.ident()?).ok_or_else(|| p.err("unknown origin kind"))?;
+                pb.entry_config_mut().add_prefix(prefix, kind);
+            }
+            other => return Err(p.err(format!("unknown pragma `{other}`"))),
+        }
+        p.expect(Tok::Semi)?;
+    }
+
+    // Pre-scan: register every class name so `new` and `extends` can be
+    // forward references.
+    let mut extends: Vec<(String, String)> = Vec::new();
+    {
+        let mut i = p.pos;
+        while i < p.toks.len() {
+            if matches!(&p.toks[i].0, Tok::Ident(s) if s == "class") {
+                if let Some((Tok::Ident(name), _)) = p.toks.get(i + 1) {
+                    pb.add_class(name.clone(), None);
+                    if let Some((Tok::Colon, _)) = p.toks.get(i + 2) {
+                        if let Some((Tok::Ident(sup), _)) = p.toks.get(i + 3) {
+                            extends.push((name.clone(), sup.clone()));
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    for (sub, sup) in extends {
+        let sub_id = pb
+            .class_id(&sub)
+            .expect("pre-scanned class must be registered");
+        let sup_id = pb.class_id(&sup).ok_or_else(|| ParseError {
+            line: 0,
+            message: format!("unknown superclass {sup}"),
+        })?;
+        pb.set_superclass(sub_id, Some(sup_id));
+    }
+
+    // Full parse.
+    while p.peek().is_some() {
+        parse_class(&mut p, &mut pb)?;
+    }
+    pb.finish().map_err(ParseError::from)
+}
+
+fn parse_kind_name(name: &str) -> Option<OriginKind> {
+    match name {
+        "thread" => Some(OriginKind::Thread),
+        "syscall" => Some(OriginKind::Syscall),
+        "kthread" => Some(OriginKind::KernelThread),
+        "irq" => Some(OriginKind::Interrupt),
+        "event" => Some(OriginKind::Event { dispatcher: 0 }),
+        _ => None,
+    }
+}
+
+fn parse_class(p: &mut Parser, pb: &mut ProgramBuilder) -> Result<(), ParseError> {
+    if !p.eat_ident("class") {
+        return Err(p.err("expected `class`"));
+    }
+    let name = p.ident()?;
+    let class = pb
+        .class_id(&name)
+        .ok_or_else(|| p.err("class not pre-registered"))?;
+    if matches!(p.peek(), Some(Tok::Colon)) {
+        p.next()?;
+        p.ident()?; // superclass already wired in the pre-scan
+    }
+    if p.eat_ident("impl") {
+        loop {
+            let iface = p.ident()?;
+            pb.add_interface(class, iface);
+            if matches!(p.peek(), Some(Tok::Comma)) {
+                p.next()?;
+            } else {
+                break;
+            }
+        }
+    }
+    p.expect(Tok::LBrace)?;
+    while !matches!(p.peek(), Some(Tok::RBrace)) {
+        if p.eat_ident("field") {
+            let fname = p.ident()?;
+            pb.field(&fname);
+            p.expect(Tok::Semi)?;
+            continue;
+        }
+        let is_static = p.eat_ident("static");
+        let is_sync = p.eat_ident("sync");
+        if !p.eat_ident("method") {
+            return Err(p.err("expected `field`, `method`, or `}`"));
+        }
+        let mname = p.ident()?;
+        p.expect(Tok::LParen)?;
+        let mut params: Vec<String> = Vec::new();
+        while !matches!(p.peek(), Some(Tok::RParen)) {
+            params.push(p.ident()?);
+            if matches!(p.peek(), Some(Tok::Comma)) {
+                p.next()?;
+            }
+        }
+        p.expect(Tok::RParen)?;
+        let param_refs: Vec<&str> = params.iter().map(|s| s.as_str()).collect();
+        let mut mb = if is_static {
+            pb.begin_static_method(class, &mname, &param_refs)
+        } else {
+            pb.begin_method(class, &mname, &param_refs)
+        };
+        if is_sync {
+            mb.synchronized();
+        }
+        parse_block(p, &mut mb)?;
+        mb.finish();
+    }
+    p.expect(Tok::RBrace)?;
+    Ok(())
+}
+
+fn parse_block(p: &mut Parser, mb: &mut MethodBuilder<'_>) -> Result<(), ParseError> {
+    p.expect(Tok::LBrace)?;
+    while !matches!(p.peek(), Some(Tok::RBrace)) {
+        parse_stmt(p, mb)?;
+    }
+    p.expect(Tok::RBrace)?;
+    Ok(())
+}
+
+fn parse_args(p: &mut Parser) -> Result<Vec<String>, ParseError> {
+    p.expect(Tok::LParen)?;
+    let mut args = Vec::new();
+    while !matches!(p.peek(), Some(Tok::RParen)) {
+        args.push(p.ident()?);
+        if matches!(p.peek(), Some(Tok::Comma)) {
+            p.next()?;
+        }
+    }
+    p.expect(Tok::RParen)?;
+    Ok(args)
+}
+
+fn as_refs(v: &[String]) -> Vec<&str> {
+    v.iter().map(|s| s.as_str()).collect()
+}
+
+fn parse_stmt(p: &mut Parser, mb: &mut MethodBuilder<'_>) -> Result<(), ParseError> {
+    mb.at_line(p.line());
+    // Keyword statements.
+    if matches!(p.peek(), Some(Tok::Ident(s)) if s == "sync")
+        && matches!(p.peek2(), Some(Tok::LParen))
+    {
+        p.next()?;
+        p.expect(Tok::LParen)?;
+        let lock = p.ident()?;
+        p.expect(Tok::RParen)?;
+        let var = lock.clone();
+        // Manual open/close to keep the recursive descent simple.
+        mb.sync_open(&var);
+        parse_block(p, mb)?;
+        mb.sync_close(&var);
+        return Ok(());
+    }
+    if matches!(p.peek(), Some(Tok::Ident(s)) if s == "loop")
+        && matches!(p.peek2(), Some(Tok::LBrace))
+    {
+        p.next()?;
+        mb.loop_open();
+        parse_block(p, mb)?;
+        mb.loop_close();
+        return Ok(());
+    }
+    if p.eat_ident("spawn") {
+        let kind_name = p.ident()?;
+        let mut kind = parse_kind_name(&kind_name)
+            .ok_or_else(|| p.err(format!("unknown spawn kind `{kind_name}`")))?;
+        if matches!(kind, OriginKind::Event { .. }) && matches!(p.peek(), Some(Tok::LParen)) {
+            p.next()?;
+            let d = p.num()? as u16;
+            p.expect(Tok::RParen)?;
+            kind = OriginKind::Event { dispatcher: d };
+        }
+        let class = p.ident()?;
+        p.expect(Tok::ColonColon)?;
+        let method = p.ident()?;
+        let args = parse_args(p)?;
+        let mut replicas = 1u8;
+        if matches!(p.peek(), Some(Tok::Star)) {
+            p.next()?;
+            let n = p.num()?;
+            if n == 0 || n > 255 {
+                return Err(p.err("replica count must be between 1 and 255"));
+            }
+            replicas = n as u8;
+        }
+        let mut handle: Option<String> = None;
+        if matches!(p.peek(), Some(Tok::Arrow)) {
+            p.next()?;
+            handle = Some(p.ident()?);
+        }
+        p.expect(Tok::Semi)?;
+        mb.spawn_replicated(
+            handle.as_deref(),
+            &class,
+            &method,
+            &as_refs(&args),
+            kind,
+            replicas,
+        );
+        return Ok(());
+    }
+    if matches!(p.peek(), Some(Tok::Ident(s)) if s == "atomic")
+        && matches!(p.peek2(), Some(Tok::Ident(_)))
+    {
+        // atomic x.f = y;
+        p.next()?;
+        let base = p.ident()?;
+        p.expect(Tok::Dot)?;
+        let field = p.ident()?;
+        p.expect(Tok::Eq)?;
+        let src = p.ident()?;
+        p.expect(Tok::Semi)?;
+        mb.store_atomic(&base, &field, &src);
+        return Ok(());
+    }
+    if p.eat_ident("join") {
+        let recv = p.ident()?;
+        p.expect(Tok::Semi)?;
+        mb.join(&recv);
+        return Ok(());
+    }
+    if p.eat_ident("return") {
+        let src = if matches!(p.peek(), Some(Tok::Ident(_))) {
+            Some(p.ident()?)
+        } else {
+            None
+        };
+        p.expect(Tok::Semi)?;
+        mb.ret(src.as_deref());
+        return Ok(());
+    }
+
+    // Statements starting with an identifier.
+    let first = p.ident()?;
+    match p.peek() {
+        Some(Tok::Eq) => {
+            p.next()?;
+            parse_rhs(p, mb, RhsDst::Var(first))?;
+            p.expect(Tok::Semi)?;
+        }
+        Some(Tok::Dot) => {
+            p.next()?;
+            let second = p.ident()?;
+            match p.peek() {
+                Some(Tok::Eq) => {
+                    // x.f = y;
+                    p.next()?;
+                    let src = p.ident()?;
+                    p.expect(Tok::Semi)?;
+                    mb.store(&first, &second, &src);
+                }
+                Some(Tok::LParen) => {
+                    // x.m(args);
+                    let args = parse_args(p)?;
+                    p.expect(Tok::Semi)?;
+                    mb.call(None, &first, &second, &as_refs(&args));
+                }
+                _ => return Err(p.err("expected `=` or `(` after field/method name")),
+            }
+        }
+        Some(Tok::LBracket) => {
+            // x[*] = y;
+            p.next()?;
+            p.expect(Tok::Star)?;
+            p.expect(Tok::RBracket)?;
+            p.expect(Tok::Eq)?;
+            let src = p.ident()?;
+            p.expect(Tok::Semi)?;
+            mb.store_array(&first, &src);
+        }
+        Some(Tok::ColonColon) => {
+            p.next()?;
+            let second = p.ident()?;
+            match p.peek() {
+                Some(Tok::Eq) => {
+                    // C::f = y;
+                    p.next()?;
+                    let src = p.ident()?;
+                    p.expect(Tok::Semi)?;
+                    if !mb.class_exists(&first) {
+                        return Err(p.err(format!("unknown class {first}")));
+                    }
+                    mb.store_static(&first, &second, &src);
+                }
+                Some(Tok::LParen) => {
+                    // C::m(args);
+                    let args = parse_args(p)?;
+                    p.expect(Tok::Semi)?;
+                    mb.call_static(None, &first, &second, &as_refs(&args));
+                }
+                _ => return Err(p.err("expected `=` or `(` after `::name`")),
+            }
+        }
+        other => {
+            return Err(p.err(format!(
+                "unexpected token after identifier: `{}`",
+                other.map(|t| t.to_string()).unwrap_or_default()
+            )))
+        }
+    }
+    Ok(())
+}
+
+enum RhsDst {
+    Var(String),
+}
+
+fn parse_rhs(p: &mut Parser, mb: &mut MethodBuilder<'_>, dst: RhsDst) -> Result<(), ParseError> {
+    let RhsDst::Var(dst) = dst;
+    if p.eat_ident("new") {
+        let class = p.ident()?;
+        if !mb.class_exists(&class) {
+            return Err(p.err(format!("unknown class {class}")));
+        }
+        let args = parse_args(p)?;
+        mb.new_obj(&dst, &class, &as_refs(&args));
+        return Ok(());
+    }
+    if p.eat_ident("newarray") {
+        mb.new_array(&dst);
+        return Ok(());
+    }
+    if matches!(p.peek(), Some(Tok::Ident(kw)) if kw == "atomic")
+        && matches!(p.peek2(), Some(Tok::Ident(_)))
+    {
+        // x = atomic y.f; (a bare variable named `atomic` falls through:
+        // the keyword form always continues with an identifier).
+        p.next()?;
+        let base = p.ident()?;
+        p.expect(Tok::Dot)?;
+        let field = p.ident()?;
+        mb.load_atomic(Some(&dst), &base, &field);
+        return Ok(());
+    }
+    let first = p.ident()?;
+    match p.peek() {
+        Some(Tok::Dot) => {
+            // Distinguish `y.f` from `y.m(args)`.
+            if matches!(p.peek3(), Some(Tok::LParen)) {
+                p.next()?;
+                let m = p.ident()?;
+                let args = parse_args(p)?;
+                mb.call(Some(&dst), &first, &m, &as_refs(&args));
+            } else {
+                p.next()?;
+                let f = p.ident()?;
+                mb.load(Some(&dst), &first, &f);
+            }
+        }
+        Some(Tok::LBracket) => {
+            p.next()?;
+            p.expect(Tok::Star)?;
+            p.expect(Tok::RBracket)?;
+            mb.load_array(Some(&dst), &first);
+        }
+        Some(Tok::ColonColon) => {
+            if matches!(p.peek3(), Some(Tok::LParen)) {
+                p.next()?;
+                let m = p.ident()?;
+                let args = parse_args(p)?;
+                mb.call_static(Some(&dst), &first, &m, &as_refs(&args));
+            } else {
+                p.next()?;
+                let f = p.ident()?;
+                if !mb.class_exists(&first) {
+                    return Err(p.err(format!("unknown class {first}")));
+                }
+                mb.load_static(Some(&dst), &first, &f);
+            }
+        }
+        _ => {
+            mb.assign(&dst, &first);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{Callee, Stmt};
+
+    const FIG2_LIKE: &str = r#"
+        class S { field data; }
+        class T impl Runnable {
+            field s; field op;
+            method <init>(s, op) { this.s = s; this.op = op; }
+            method run() {
+                s = this.s;
+                op = this.op;
+                op.act(s);
+            }
+        }
+        class Op { method act(s) { } }
+        class Main {
+            static method main() {
+                s = new S();
+                op1 = new Op();
+                t1 = new T(s, op1);
+                t1.start();
+                t1.join();
+            }
+        }
+    "#;
+
+    #[test]
+    fn parses_basic_program() {
+        let p = parse(FIG2_LIKE).unwrap();
+        assert!(p.class_by_name("T").is_some());
+        let t = p.class_by_name("T").unwrap();
+        assert!(p.is_origin_class(t));
+        let main = p.method(p.main);
+        assert_eq!(main.body.len(), 5);
+    }
+
+    #[test]
+    fn parses_all_statement_forms() {
+        let src = r#"
+            class K {
+                field g;
+                static method worker(a) { }
+                static method main() {
+                    a = new K();
+                    b = a;
+                    a.g = b;
+                    c = a.g;
+                    arr = newarray;
+                    arr[*] = a;
+                    d = arr[*];
+                    K::g = a;
+                    e = K::g;
+                    sync (a) { a.g = b; }
+                    loop { f = new K(); }
+                    spawn thread K::worker(a) -> h;
+                    spawn syscall K::worker(a) * 2;
+                    join h;
+                    r = K::worker(a);
+                    return r;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let main = p.method(p.main);
+        let spawns: Vec<_> = main
+            .body
+            .iter()
+            .filter_map(|i| match &i.stmt {
+                Stmt::Spawn { kind, replicas, .. } => Some((*kind, *replicas)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            spawns,
+            vec![(OriginKind::Thread, 1), (OriginKind::Syscall, 2)]
+        );
+        let in_loop: Vec<bool> = main.body.iter().map(|i| i.in_loop).collect();
+        assert_eq!(in_loop.iter().filter(|&&b| b).count(), 1);
+        assert!(main.body.iter().any(|i| matches!(
+            &i.stmt,
+            Stmt::Call {
+                callee: Callee::Static { .. },
+                dst: Some(_),
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn pragma_extends_entry_config() {
+        let src = r#"
+            pragma thread_entry fiberBody;
+            pragma event_entry onTick 2;
+            class C {
+                method fiberBody() { }
+                static method main() { c = new C(); c.fiberBody(); }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert!(p.entry_config.is_entry("fiberBody"));
+        assert_eq!(
+            p.entry_config.entry_kind("onTick"),
+            Some(OriginKind::Event { dispatcher: 2 })
+        );
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("class C {\n  field ;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn unknown_superclass_is_error() {
+        let err = parse("class C : Nope { static method main() { } }").unwrap_err();
+        assert!(err.message.contains("Nope"), "{err}");
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// top\nclass C { // inline\n static method main() { } }";
+        assert!(parse(src).is_ok());
+    }
+}
+
+#[cfg(test)]
+mod robustness_tests {
+    use super::*;
+
+    #[test]
+    fn unknown_class_in_new_is_an_error() {
+        let err = parse("class C { static method main() { x = new Nope(); } }").unwrap_err();
+        assert!(err.message.contains("unknown class Nope"), "{err}");
+    }
+
+    #[test]
+    fn unknown_class_in_static_access_is_an_error() {
+        let err = parse("class C { static method main() { Nope::f = x; } }").unwrap_err();
+        assert!(err.message.contains("unknown class"), "{err}");
+        let err = parse("class C { static method main() { x = Nope::f; } }").unwrap_err();
+        assert!(err.message.contains("unknown class"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_method_is_an_error_not_a_panic() {
+        let err = parse(
+            "class C { method m() { } method m() { } static method main() { } }",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("duplicate method"), "{err}");
+    }
+
+    #[test]
+    fn replica_range_is_checked() {
+        let src = |n: u64| {
+            format!(
+                "class C {{ static method w(a) {{ }} static method main() {{ a = new C(); spawn thread C::w(a) * {n}; }} }}"
+            )
+        };
+        assert!(parse(&src(2)).is_ok());
+        for bad in [0u64, 256, 1000] {
+            let err = parse(&src(bad)).unwrap_err();
+            assert!(err.message.contains("replica count"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn stray_angle_bracket_is_a_bounded_error() {
+        let err = parse("class C { static method main() { x < y; } }").unwrap_err();
+        assert!(err.message.contains("malformed"), "{err}");
+        // And the error is on the right line (no newline swallowing).
+        assert_eq!(err.line, 1);
+    }
+}
+
+#[cfg(test)]
+mod atomic_keyword_tests {
+    use super::*;
+
+    /// `atomic` remains usable as a plain variable name.
+    #[test]
+    fn atomic_as_variable_name_round_trips() {
+        let src = r#"
+            class S { field f; }
+            class Main {
+                static method main() {
+                    atomic = new S();
+                    x = atomic.f;
+                    y = atomic;
+                    atomic c.f = y;
+                }
+            }
+        "#;
+        // `atomic c.f = y;` needs a c: make it valid.
+        let src = src.replace("atomic c.f = y;", "c = new S(); atomic c.f = y;");
+        let p = parse(&src).unwrap();
+        let main = p.method(p.main);
+        assert_eq!(
+            main.body
+                .iter()
+                .filter(|i| i.stmt.is_atomic_access())
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! Pretty-printing of programs back to (approximately) the surface syntax.
+//!
+//! The output is meant for debugging and for snapshotting generated
+//! workloads; it round-trips through the parser for programs that do not
+//! use interleaved (non-nested) monitor regions.
+
+use crate::ids::MethodId;
+use crate::program::{Callee, Method, Program, Stmt};
+use std::fmt::Write;
+
+/// Renders the whole program.
+pub fn print_program(p: &Program) -> String {
+    let mut out = String::new();
+    for (ci, class) in p.classes.iter().enumerate() {
+        if class.name.starts_with("builtin.") {
+            continue;
+        }
+        let _ = write!(out, "class {}", class.name);
+        if let Some(sup) = class.superclass {
+            let _ = write!(out, " : {}", p.class(sup).name);
+        }
+        if !class.interfaces.is_empty() {
+            let _ = write!(out, " impl {}", class.interfaces.join(", "));
+        }
+        out.push_str(" {\n");
+        for (_, mid) in &class.methods {
+            let m = p.method(*mid);
+            if m.class.index() == ci {
+                print_method(p, *mid, m, &mut out);
+            }
+        }
+        out.push_str("}\n");
+    }
+    out
+}
+
+fn var_name(m: &Method, v: crate::ids::VarId) -> &str {
+    &m.var_names[v.index()]
+}
+
+fn print_method(p: &Program, _id: MethodId, m: &Method, out: &mut String) {
+    out.push_str("    ");
+    if m.is_static {
+        out.push_str("static ");
+    }
+    if m.is_synchronized {
+        out.push_str("sync ");
+    }
+    let first_param = usize::from(!m.is_static);
+    let params: Vec<&str> = (0..m.num_params)
+        .map(|i| m.var_names[first_param + i].as_str())
+        .collect();
+    let _ = writeln!(out, "method {}({}) {{", m.name, params.join(", "));
+    let mut depth: usize = 2;
+    let mut in_loop = false;
+    for instr in &m.body {
+        let s = &instr.stmt;
+        // Loop regions: open/close a `loop { }` block when the in_loop
+        // flag transitions, so the flag survives a print → parse roundtrip
+        // (it drives origin doubling).
+        if instr.in_loop && !in_loop {
+            for _ in 0..depth {
+                out.push_str("    ");
+            }
+            out.push_str("loop {\n");
+            depth += 1;
+            in_loop = true;
+        } else if !instr.in_loop && in_loop {
+            depth -= 1;
+            for _ in 0..depth {
+                out.push_str("    ");
+            }
+            out.push_str("}\n");
+            in_loop = false;
+        }
+        if matches!(s, Stmt::MonitorExit { .. }) {
+            depth = depth.saturating_sub(1);
+        }
+        for _ in 0..depth {
+            out.push_str("    ");
+        }
+        match s {
+            Stmt::New { dst, class, args } => {
+                let args: Vec<&str> = args.iter().map(|a| var_name(m, *a)).collect();
+                let _ = writeln!(
+                    out,
+                    "{} = new {}({});",
+                    var_name(m, *dst),
+                    p.class(*class).name,
+                    args.join(", ")
+                );
+            }
+            Stmt::NewArray { dst } => {
+                let _ = writeln!(out, "{} = newarray;", var_name(m, *dst));
+            }
+            Stmt::Assign { dst, src } => {
+                let _ = writeln!(out, "{} = {};", var_name(m, *dst), var_name(m, *src));
+            }
+            Stmt::StoreField { base, field, src } => {
+                let _ = writeln!(
+                    out,
+                    "{}.{} = {};",
+                    var_name(m, *base),
+                    p.field_name(*field),
+                    var_name(m, *src)
+                );
+            }
+            Stmt::LoadField { dst, base, field } => {
+                let _ = writeln!(
+                    out,
+                    "{} = {}.{};",
+                    var_name(m, *dst),
+                    var_name(m, *base),
+                    p.field_name(*field)
+                );
+            }
+            Stmt::AtomicStore { base, field, src } => {
+                let _ = writeln!(
+                    out,
+                    "atomic {}.{} = {};",
+                    var_name(m, *base),
+                    p.field_name(*field),
+                    var_name(m, *src)
+                );
+            }
+            Stmt::AtomicLoad { dst, base, field } => {
+                let _ = writeln!(
+                    out,
+                    "{} = atomic {}.{};",
+                    var_name(m, *dst),
+                    var_name(m, *base),
+                    p.field_name(*field)
+                );
+            }
+            Stmt::StoreArray { base, src } => {
+                let _ = writeln!(out, "{}[*] = {};", var_name(m, *base), var_name(m, *src));
+            }
+            Stmt::LoadArray { dst, base } => {
+                let _ = writeln!(out, "{} = {}[*];", var_name(m, *dst), var_name(m, *base));
+            }
+            Stmt::StoreStatic { class, field, src } => {
+                let _ = writeln!(
+                    out,
+                    "{}::{} = {};",
+                    p.class(*class).name,
+                    p.field_name(*field),
+                    var_name(m, *src)
+                );
+            }
+            Stmt::LoadStatic { dst, class, field } => {
+                let _ = writeln!(
+                    out,
+                    "{} = {}::{};",
+                    var_name(m, *dst),
+                    p.class(*class).name,
+                    p.field_name(*field)
+                );
+            }
+            Stmt::Call { dst, callee, args } => {
+                let args: Vec<&str> = args.iter().map(|a| var_name(m, *a)).collect();
+                let prefix = dst
+                    .map(|d| format!("{} = ", var_name(m, d)))
+                    .unwrap_or_default();
+                match callee {
+                    Callee::Virtual { recv, name } => {
+                        let _ = writeln!(
+                            out,
+                            "{prefix}{}.{name}({});",
+                            var_name(m, *recv),
+                            args.join(", ")
+                        );
+                    }
+                    Callee::Static { method } => {
+                        let target = p.method(*method);
+                        let _ = writeln!(
+                            out,
+                            "{prefix}{}::{}({});",
+                            p.class(target.class).name,
+                            target.name,
+                            args.join(", ")
+                        );
+                    }
+                }
+            }
+            Stmt::Spawn {
+                dst,
+                entry,
+                args,
+                kind,
+                replicas,
+            } => {
+                let target = p.method(*entry);
+                let args: Vec<&str> = args.iter().map(|a| var_name(m, *a)).collect();
+                let kind_text = match kind {
+                    crate::origins::OriginKind::Event { dispatcher } => {
+                        if *dispatcher == 0 {
+                            "event".to_string()
+                        } else {
+                            format!("event({dispatcher})")
+                        }
+                    }
+                    crate::origins::OriginKind::Thread => "thread".to_string(),
+                    crate::origins::OriginKind::Syscall => "syscall".to_string(),
+                    crate::origins::OriginKind::KernelThread => "kthread".to_string(),
+                    crate::origins::OriginKind::Interrupt => "irq".to_string(),
+                    crate::origins::OriginKind::Main => "thread".to_string(),
+                };
+                let _ = write!(
+                    out,
+                    "spawn {kind_text} {}::{}({})",
+                    p.class(target.class).name,
+                    target.name,
+                    args.join(", ")
+                );
+                if *replicas > 1 {
+                    let _ = write!(out, " * {replicas}");
+                }
+                if let Some(d) = dst {
+                    let _ = write!(out, " -> {}", var_name(m, *d));
+                }
+                out.push_str(";\n");
+            }
+            Stmt::MonitorEnter { var } => {
+                let _ = writeln!(out, "sync ({}) {{", var_name(m, *var));
+                depth += 1;
+            }
+            Stmt::MonitorExit { .. } => {
+                out.push_str("}\n");
+            }
+            Stmt::Join { recv } => {
+                let _ = writeln!(out, "join {};", var_name(m, *recv));
+            }
+            Stmt::Return { src } => match src {
+                Some(s) => {
+                    let _ = writeln!(out, "return {};", var_name(m, *s));
+                }
+                None => out.push_str("return;\n"),
+            },
+        }
+    }
+    if in_loop {
+        out.push_str("        }\n");
+    }
+    out.push_str("    }\n");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn print_parses_back() {
+        let src = r#"
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { x = this.s; sync (x) { x.data = x; } }
+            }
+            class Main {
+                static method main() {
+                    s = new W(s0);
+                    s.start();
+                    join s;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let text = print_program(&p);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        assert_eq!(p2.classes.len(), p.classes.len());
+        assert_eq!(p2.num_statements(), p.num_statements());
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use crate::parser::parse;
+    use crate::printer::print_program;
+    use crate::program::Stmt;
+
+    /// Loop flags and event spawn kinds must survive print → parse.
+    #[test]
+    fn loop_and_event_spawns_roundtrip() {
+        let src = r#"
+            class W impl Runnable { method run() { } }
+            class K {
+                static method handler(e) { }
+                static method main() {
+                    loop { w = new W(); w.start(); }
+                    e = new K();
+                    spawn event(3) K::handler(e) * 2;
+                }
+            }
+        "#;
+        let p1 = parse(src).unwrap();
+        let text = print_program(&p1);
+        let p2 = parse(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+        let loops = |p: &crate::program::Program| {
+            p.method(p.main).body.iter().filter(|i| i.in_loop).count()
+        };
+        assert_eq!(loops(&p1), loops(&p2), "{text}");
+        let spawn_kind = |p: &crate::program::Program| {
+            p.method(p.main)
+                .body
+                .iter()
+                .find_map(|i| match &i.stmt {
+                    Stmt::Spawn { kind, replicas, .. } => Some((*kind, *replicas)),
+                    _ => None,
+                })
+                .unwrap()
+        };
+        assert_eq!(spawn_kind(&p1), spawn_kind(&p2), "{text}");
+    }
+}

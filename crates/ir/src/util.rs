@@ -1,0 +1,266 @@
+//! Small analysis-grade containers shared by the whole workspace: a sorted
+//! sparse integer set for points-to sets and a generic hash-interner.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A sparse, sorted set of `u32` keys.
+///
+/// Points-to sets are usually tiny, so a sorted `Vec` beats both hash sets
+/// and dense bitsets on memory and iteration speed, while unions are linear
+/// merges. Iteration order is ascending, which keeps every downstream
+/// analysis deterministic.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct SparseSet {
+    items: Vec<u32>,
+}
+
+impl SparseSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        SparseSet::default()
+    }
+
+    /// Returns the number of elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the set contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Returns `true` if `value` is in the set.
+    pub fn contains(&self, value: u32) -> bool {
+        self.items.binary_search(&value).is_ok()
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: u32) -> bool {
+        match self.items.binary_search(&value) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.items.insert(pos, value);
+                true
+            }
+        }
+    }
+
+    /// Unions `other` into `self`, appending every newly added element to
+    /// `added`. Returns `true` if `self` changed.
+    pub fn union_into(&mut self, other: &SparseSet, added: &mut Vec<u32>) -> bool {
+        if other.items.is_empty() {
+            return false;
+        }
+        if self.items.is_empty() {
+            self.items.extend_from_slice(&other.items);
+            added.extend_from_slice(&other.items);
+            return true;
+        }
+        let before = added.len();
+        let mut merged = Vec::with_capacity(self.items.len() + other.items.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    merged.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push(other.items[j]);
+                    added.push(other.items[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.items[i..]);
+        for &v in &other.items[j..] {
+            merged.push(v);
+            added.push(v);
+        }
+        if added.len() == before {
+            return false;
+        }
+        self.items = merged;
+        true
+    }
+
+    /// Returns `true` if the two sets share at least one element.
+    pub fn intersects(&self, other: &SparseSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// Iterates the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Returns the elements as a sorted slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.items
+    }
+}
+
+impl FromIterator<u32> for SparseSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut s = SparseSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
+impl Extend<u32> for SparseSet {
+    fn extend<T: IntoIterator<Item = u32>>(&mut self, iter: T) {
+        for v in iter {
+            self.insert(v);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a SparseSet {
+    type Item = u32;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, u32>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter().copied()
+    }
+}
+
+/// An append-only interner mapping values of type `T` to dense `u32` keys.
+///
+/// Used for contexts, abstract objects, origins, lockset signatures, and
+/// solver node keys. Lookup by key is an indexed `Vec` access.
+#[derive(Clone, Debug, Default)]
+pub struct Interner<T: Eq + Hash + Clone> {
+    map: HashMap<T, u32>,
+    items: Vec<T>,
+}
+
+impl<T: Eq + Hash + Clone> Interner<T> {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Interner {
+            map: HashMap::new(),
+            items: Vec::new(),
+        }
+    }
+
+    /// Interns `value`, returning its dense key. Returns the existing key if
+    /// the value was interned before.
+    pub fn intern(&mut self, value: T) -> u32 {
+        if let Some(&id) = self.map.get(&value) {
+            return id;
+        }
+        let id = u32::try_from(self.items.len()).expect("interner overflow");
+        self.map.insert(value.clone(), id);
+        self.items.push(value);
+        id
+    }
+
+    /// Returns the key for `value` if it was interned before.
+    pub fn get(&self, value: &T) -> Option<u32> {
+        self.map.get(value).copied()
+    }
+
+    /// Resolves a key back to the interned value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not produced by this interner.
+    pub fn resolve(&self, id: u32) -> &T {
+        &self.items[id as usize]
+    }
+
+    /// Returns the number of interned values.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &T)> {
+        self.items.iter().enumerate().map(|(i, v)| (i as u32, v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_set_insert_and_contains() {
+        let mut s = SparseSet::new();
+        assert!(s.insert(5));
+        assert!(s.insert(1));
+        assert!(!s.insert(5));
+        assert!(s.contains(1));
+        assert!(!s.contains(2));
+        assert_eq!(s.as_slice(), &[1, 5]);
+    }
+
+    #[test]
+    fn sparse_set_union_reports_delta() {
+        let mut a: SparseSet = [1, 3, 5].into_iter().collect();
+        let b: SparseSet = [2, 3, 6].into_iter().collect();
+        let mut added = Vec::new();
+        assert!(a.union_into(&b, &mut added));
+        assert_eq!(added, vec![2, 6]);
+        assert_eq!(a.as_slice(), &[1, 2, 3, 5, 6]);
+        added.clear();
+        assert!(!a.union_into(&b, &mut added));
+        assert!(added.is_empty());
+    }
+
+    #[test]
+    fn sparse_set_union_into_empty() {
+        let mut a = SparseSet::new();
+        let b: SparseSet = [4, 9].into_iter().collect();
+        let mut added = Vec::new();
+        assert!(a.union_into(&b, &mut added));
+        assert_eq!(added, vec![4, 9]);
+    }
+
+    #[test]
+    fn sparse_set_intersects() {
+        let a: SparseSet = [1, 4, 7].into_iter().collect();
+        let b: SparseSet = [2, 4].into_iter().collect();
+        let c: SparseSet = [3, 8].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&SparseSet::new()));
+    }
+
+    #[test]
+    fn interner_dedups() {
+        let mut i = Interner::new();
+        let a = i.intern("x".to_string());
+        let b = i.intern("y".to_string());
+        let a2 = i.intern("x".to_string());
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(i.resolve(b), "y");
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get(&"y".to_string()), Some(b));
+        assert_eq!(i.get(&"z".to_string()), None);
+    }
+}

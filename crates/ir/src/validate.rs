@@ -1,0 +1,333 @@
+//! Structural validation of programs.
+//!
+//! The analyses assume a handful of well-formedness invariants (balanced
+//! monitors, in-range variable ids, a static zero-argument `main`);
+//! [`validate`] checks them all and reports every violation.
+
+use crate::ids::{ClassId, FieldId, MethodId, VarId};
+use crate::program::{Callee, Program, Stmt};
+use std::error::Error;
+use std::fmt;
+
+/// A single validation diagnostic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidationError {
+    /// Offending method, if the error is method-local.
+    pub method: Option<MethodId>,
+    /// Statement index within the method, if applicable.
+    pub stmt: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.method, self.stmt) {
+            (Some(m), Some(s)) => write!(f, "{m}#{s}: {}", self.message),
+            (Some(m), None) => write!(f, "{m}: {}", self.message),
+            _ => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl Error for ValidationError {}
+
+/// Validates `program`, returning every violation found (empty = valid).
+pub fn validate(program: &Program) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let mut err = |method: Option<MethodId>, stmt: Option<usize>, message: String| {
+        errors.push(ValidationError {
+            method,
+            stmt,
+            message,
+        });
+    };
+
+    // main: static and zero-argument.
+    let main = &program.methods[program.main.index()];
+    if !main.is_static || main.num_params != 0 {
+        err(
+            Some(program.main),
+            None,
+            "main must be static with zero parameters".to_string(),
+        );
+    }
+
+    let num_classes = program.classes.len();
+    let num_methods = program.methods.len();
+    let num_fields = program.fields.len();
+    let class_ok = |c: ClassId| c.index() < num_classes;
+    let field_ok = |f: FieldId| f.index() < num_fields;
+
+    for (ci, class) in program.classes.iter().enumerate() {
+        if let Some(sup) = class.superclass {
+            if !class_ok(sup) {
+                err(None, None, format!("class {} has invalid superclass", class.name));
+            } else {
+                // Cycle check along this chain.
+                let mut seen = vec![false; num_classes];
+                let mut cur = Some(ClassId::from_usize(ci));
+                while let Some(c) = cur {
+                    if seen[c.index()] {
+                        err(
+                            None,
+                            None,
+                            format!("inheritance cycle through class {}", class.name),
+                        );
+                        break;
+                    }
+                    seen[c.index()] = true;
+                    cur = program.classes[c.index()].superclass;
+                }
+            }
+        }
+    }
+
+    for (mi, method) in program.methods.iter().enumerate() {
+        let mid = MethodId::from_usize(mi);
+        let var_ok = |v: VarId| v.index() < method.num_vars;
+        let mut monitor_stack: Vec<VarId> = Vec::new();
+        let implicit_params = usize::from(!method.is_static);
+        if method.num_vars < implicit_params + method.num_params {
+            err(
+                Some(mid),
+                None,
+                "fewer variables than parameters".to_string(),
+            );
+        }
+        for (si, instr) in method.body.iter().enumerate() {
+            let mut check_vars = |vars: &[VarId]| {
+                for &v in vars {
+                    if !var_ok(v) {
+                        err(Some(mid), Some(si), format!("variable {v} out of range"));
+                    }
+                }
+            };
+            match &instr.stmt {
+                Stmt::New { dst, class, args } => {
+                    check_vars(&[*dst]);
+                    check_vars(args);
+                    if !class_ok(*class) {
+                        err(Some(mid), Some(si), "invalid class in new".to_string());
+                    }
+                }
+                Stmt::NewArray { dst } => check_vars(&[*dst]),
+                Stmt::Assign { dst, src } => check_vars(&[*dst, *src]),
+                Stmt::StoreField { base, field, src }
+                | Stmt::AtomicStore { base, field, src } => {
+                    check_vars(&[*base, *src]);
+                    if !field_ok(*field) {
+                        err(Some(mid), Some(si), "invalid field".to_string());
+                    }
+                }
+                Stmt::LoadField { dst, base, field }
+                | Stmt::AtomicLoad { dst, base, field } => {
+                    check_vars(&[*dst, *base]);
+                    if !field_ok(*field) {
+                        err(Some(mid), Some(si), "invalid field".to_string());
+                    }
+                }
+                Stmt::StoreArray { base, src } => check_vars(&[*base, *src]),
+                Stmt::LoadArray { dst, base } => check_vars(&[*dst, *base]),
+                Stmt::StoreStatic { class, field, src } => {
+                    check_vars(&[*src]);
+                    if !class_ok(*class) || !field_ok(*field) {
+                        err(Some(mid), Some(si), "invalid static field".to_string());
+                    }
+                }
+                Stmt::LoadStatic { dst, class, field } => {
+                    check_vars(&[*dst]);
+                    if !class_ok(*class) || !field_ok(*field) {
+                        err(Some(mid), Some(si), "invalid static field".to_string());
+                    }
+                }
+                Stmt::Call { dst, callee, args } => {
+                    if let Some(d) = dst {
+                        check_vars(&[*d]);
+                    }
+                    check_vars(args);
+                    match callee {
+                        Callee::Virtual { recv, .. } => check_vars(&[*recv]),
+                        Callee::Static { method: target } => {
+                            if target.index() >= num_methods {
+                                err(Some(mid), Some(si), "invalid call target".to_string());
+                            } else {
+                                let t = &program.methods[target.index()];
+                                if !t.is_static {
+                                    err(
+                                        Some(mid),
+                                        Some(si),
+                                        "direct call to instance method".to_string(),
+                                    );
+                                }
+                                if t.num_params != args.len() {
+                                    err(Some(mid), Some(si), "arity mismatch".to_string());
+                                }
+                            }
+                        }
+                    }
+                }
+                Stmt::Spawn {
+                    dst,
+                    entry,
+                    args,
+                    replicas,
+                    ..
+                } => {
+                    if let Some(d) = dst {
+                        check_vars(&[*d]);
+                    }
+                    check_vars(args);
+                    if *replicas == 0 {
+                        err(Some(mid), Some(si), "spawn with zero replicas".to_string());
+                    }
+                    if entry.index() >= num_methods {
+                        err(Some(mid), Some(si), "invalid spawn target".to_string());
+                    } else {
+                        let t = &program.methods[entry.index()];
+                        if !t.is_static {
+                            err(
+                                Some(mid),
+                                Some(si),
+                                "spawn target must be static".to_string(),
+                            );
+                        }
+                        if t.num_params != args.len() {
+                            err(Some(mid), Some(si), "spawn arity mismatch".to_string());
+                        }
+                    }
+                }
+                Stmt::MonitorEnter { var } => {
+                    check_vars(&[*var]);
+                    monitor_stack.push(*var);
+                }
+                Stmt::MonitorExit { var } => {
+                    check_vars(&[*var]);
+                    match monitor_stack.pop() {
+                        Some(top) if top == *var => {}
+                        Some(_) => err(
+                            Some(mid),
+                            Some(si),
+                            "monitor exit does not match innermost enter".to_string(),
+                        ),
+                        None => err(
+                            Some(mid),
+                            Some(si),
+                            "monitor exit without matching enter".to_string(),
+                        ),
+                    }
+                }
+                Stmt::Join { recv } => check_vars(&[*recv]),
+                Stmt::Return { src } => {
+                    if let Some(s) = src {
+                        check_vars(&[*s]);
+                    }
+                }
+            }
+        }
+        if !monitor_stack.is_empty() {
+            err(
+                Some(mid),
+                None,
+                "unbalanced monitor regions at method end".to_string(),
+            );
+        }
+    }
+    errors
+}
+
+/// Validates and panics with a readable report on the first invalid program.
+///
+/// # Panics
+///
+/// Panics if the program has validation errors. Intended for tests and
+/// generators, which should only ever produce valid programs.
+pub fn assert_valid(program: &Program) {
+    let errors = validate(program);
+    assert!(
+        errors.is_empty(),
+        "invalid program:\n{}",
+        errors
+            .iter()
+            .map(|e| format!("  {e}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn valid_program_passes() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        {
+            let mut m = pb.begin_static_method(c, "main", &[]);
+            m.new_obj("x", "C", &[]);
+            m.sync("x", |m| {
+                m.store("x", "f", "x");
+            });
+            m.finish();
+        }
+        let p = pb.finish().unwrap();
+        assert!(validate(&p).is_empty());
+    }
+
+    #[test]
+    fn unbalanced_monitor_is_flagged() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        {
+            let mut m = pb.begin_static_method(c, "main", &[]);
+            m.new_obj("x", "C", &[]);
+            m.sync_open("x");
+            m.finish();
+        }
+        let p = pb.finish().unwrap();
+        let errs = validate(&p);
+        assert!(errs.iter().any(|e| e.message.contains("unbalanced")));
+    }
+
+    #[test]
+    fn mismatched_monitor_is_flagged() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        {
+            let mut m = pb.begin_static_method(c, "main", &[]);
+            m.new_obj("x", "C", &[]);
+            m.new_obj("y", "C", &[]);
+            m.sync_open("x");
+            m.sync_close("y");
+            m.sync_close("x");
+            m.finish();
+        }
+        let p = pb.finish().unwrap();
+        let errs = validate(&p);
+        assert!(errs
+            .iter()
+            .any(|e| e.message.contains("does not match innermost")));
+    }
+
+    #[test]
+    fn arity_mismatch_is_flagged() {
+        let mut pb = ProgramBuilder::new();
+        let c = pb.add_class("C", None);
+        {
+            let mut m = pb.begin_static_method(c, "two", &["a", "b"]);
+            m.ret(None);
+            m.finish();
+        }
+        {
+            let mut m = pb.begin_static_method(c, "main", &[]);
+            m.new_obj("x", "C", &[]);
+            m.call_static(None, "C", "two", &["x"]);
+            m.finish();
+        }
+        // call_static resolves by (name, arity) so a 1-arg call to `two/2`
+        // fails at finish() already.
+        assert!(pb.finish().is_err());
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the IR crate: the sparse-set container and
+//! the parse → print → parse round-trip.
+
+use o2_ir::util::{Interner, SparseSet};
+use proptest::prelude::*;
+
+proptest! {
+    /// SparseSet behaves like a BTreeSet<u32>.
+    #[test]
+    fn sparse_set_models_btreeset(ops in proptest::collection::vec((any::<bool>(), 0u32..256), 0..200)) {
+        let mut sparse = SparseSet::new();
+        let mut model = std::collections::BTreeSet::new();
+        for (insert, v) in ops {
+            if insert {
+                prop_assert_eq!(sparse.insert(v), model.insert(v));
+            } else {
+                prop_assert_eq!(sparse.contains(v), model.contains(&v));
+            }
+        }
+        prop_assert_eq!(sparse.len(), model.len());
+        let collected: Vec<u32> = sparse.iter().collect();
+        let expected: Vec<u32> = model.iter().copied().collect();
+        prop_assert_eq!(collected, expected, "ascending iteration");
+    }
+
+    /// union_into is equivalent to set union, and `added` is exactly the
+    /// difference.
+    #[test]
+    fn union_into_is_set_union(
+        a in proptest::collection::btree_set(0u32..128, 0..64),
+        b in proptest::collection::btree_set(0u32..128, 0..64),
+    ) {
+        let mut sa: SparseSet = a.iter().copied().collect();
+        let sb: SparseSet = b.iter().copied().collect();
+        let mut added = Vec::new();
+        let changed = sa.union_into(&sb, &mut added);
+        let expected_union: Vec<u32> = a.union(&b).copied().collect();
+        prop_assert_eq!(sa.as_slice(), expected_union.as_slice());
+        let expected_added: Vec<u32> = b.difference(&a).copied().collect();
+        let mut added_sorted = added.clone();
+        added_sorted.sort_unstable();
+        prop_assert_eq!(added_sorted, expected_added);
+        prop_assert_eq!(changed, b.difference(&a).next().is_some());
+    }
+
+    /// intersects agrees with set intersection.
+    #[test]
+    fn intersects_models_intersection(
+        a in proptest::collection::btree_set(0u32..64, 0..32),
+        b in proptest::collection::btree_set(0u32..64, 0..32),
+    ) {
+        let sa: SparseSet = a.iter().copied().collect();
+        let sb: SparseSet = b.iter().copied().collect();
+        prop_assert_eq!(sa.intersects(&sb), a.intersection(&b).next().is_some());
+        prop_assert_eq!(sa.intersects(&sb), sb.intersects(&sa), "symmetric");
+    }
+
+    /// The interner is a bijection between values and dense ids.
+    #[test]
+    fn interner_is_bijective(values in proptest::collection::vec("[a-z]{1,6}", 1..50)) {
+        let mut interner: Interner<String> = Interner::new();
+        let ids: Vec<u32> = values.iter().map(|v| interner.intern(v.clone())).collect();
+        for (v, &id) in values.iter().zip(&ids) {
+            prop_assert_eq!(interner.resolve(id), v);
+            prop_assert_eq!(interner.get(v), Some(id));
+        }
+        let distinct: std::collections::BTreeSet<&String> = values.iter().collect();
+        prop_assert_eq!(interner.len(), distinct.len());
+    }
+}
+
+/// Parse → print → parse preserves structure for a fixed corpus of
+/// programs covering every statement form.
+#[test]
+fn print_parse_roundtrip_corpus() {
+    let corpus = [
+        r#"
+            class A { field f; method m(x) { this.f = x; return x; } }
+            class Main { static method main() { a = new A(); b = a.m(a); } }
+        "#,
+        r#"
+            class W impl Runnable { method run() { } }
+            class Main {
+                static method main() {
+                    loop { w = new W(); w.start(); }
+                    arr = newarray;
+                    arr[*] = arr;
+                    x = arr[*];
+                }
+            }
+        "#,
+        r#"
+            class K {
+                static method worker(a) { }
+                static method main() {
+                    k = new K();
+                    spawn syscall K::worker(k) * 2 -> h;
+                    join h;
+                    sync (k) { K::g = k; v = K::g; }
+                }
+            }
+        "#,
+    ];
+    for src in corpus {
+        let p1 = o2_ir::parser::parse(src).unwrap();
+        let text = o2_ir::printer::print_program(&p1);
+        let p2 = o2_ir::parser::parse(&text)
+            .unwrap_or_else(|e| panic!("roundtrip failed: {e}\n{text}"));
+        assert_eq!(p1.num_statements(), p2.num_statements());
+        assert_eq!(p1.classes.len(), p2.classes.len());
+        assert_eq!(p1.methods.len(), p2.methods.len());
+        // Second roundtrip is a fixpoint.
+        let text2 = o2_ir::printer::print_program(&p2);
+        assert_eq!(text, text2);
+    }
+}

@@ -1,0 +1,349 @@
+//! Interned analysis entities: contexts, abstract objects, and origins.
+//!
+//! All three are recursive (an object carries a heap context, a context
+//! carries objects or origins, an origin carries a parent origin), so each
+//! is interned into an append-only arena and referred to by a dense `u32`
+//! id. Interning makes context comparison O(1) and keeps the solver's node
+//! keys small.
+
+use o2_ir::ids::{ClassId, GStmt, MethodId};
+use o2_ir::origins::OriginKind;
+use o2_ir::util::Interner;
+
+/// An interned context. `Ctx::EMPTY` is the context-insensitive context.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ctx(pub u32);
+
+impl Ctx {
+    /// The empty (insensitive) context.
+    pub const EMPTY: Ctx = Ctx(0);
+}
+
+/// One element of a context string.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum CtxElem {
+    /// A call site (k-CFA).
+    Site(GStmt),
+    /// A receiver object (k-obj).
+    Obj(ObjId),
+    /// An origin (k-origin / OPA).
+    Origin(OriginId),
+}
+
+/// An interned abstract object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjId(pub u32);
+
+/// Where an abstract object was allocated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AllocSite {
+    /// A `new` / `newarray` statement. `variant` distinguishes the two
+    /// copies of origin allocations in loops and spawn replicas.
+    Stmt {
+        /// The allocation statement.
+        stmt: GStmt,
+        /// Loop/replica tag (0 for ordinary allocations).
+        variant: u8,
+    },
+    /// The synthetic handle object bound by a `spawn` statement.
+    SpawnHandle {
+        /// The spawn statement.
+        stmt: GStmt,
+    },
+    /// The anonymous object modeling the return value of an unresolved
+    /// (external) call — §4.3.
+    External {
+        /// The unresolved call statement.
+        stmt: GStmt,
+    },
+}
+
+/// Payload of an abstract object: allocation site, heap context, class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ObjData {
+    /// The allocation site.
+    pub site: AllocSite,
+    /// Heap context chosen by the context policy.
+    pub hctx: Ctx,
+    /// Runtime class of the object.
+    pub class: ClassId,
+}
+
+/// An interned origin instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OriginId(pub u32);
+
+impl OriginId {
+    /// The root origin (the `main` method).
+    pub const ROOT: OriginId = OriginId(0);
+}
+
+/// Where an origin was created.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum OriginSite {
+    /// The implicit root origin.
+    Root,
+    /// An origin allocation: `new C(..)` of an origin class (rule ⓫).
+    Alloc(GStmt),
+    /// A direct `spawn` statement.
+    Spawn(GStmt),
+}
+
+/// The identity key of an origin: creation site, parent, the 1-call-site of
+/// the enclosing wrapper method (§3.2 "Wrapper Functions and Loops"), and a
+/// loop/replica variant tag.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OriginKey {
+    /// Creation site.
+    pub site: OriginSite,
+    /// Parent origin (None when the creating code has no origin context,
+    /// e.g. under context-insensitive policies).
+    pub parent: Option<OriginId>,
+    /// Call site through which the enclosing wrapper method was invoked.
+    pub wrapper: Option<GStmt>,
+    /// Loop tag (0/1) or spawn replica index.
+    pub variant: u8,
+}
+
+/// Payload of an origin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OriginData {
+    /// Identity key.
+    pub key: OriginKey,
+    /// Kind (thread, event, syscall, …).
+    pub kind: OriginKind,
+    /// Resolved entry method.
+    pub entry: MethodId,
+    /// The context the origin's code is analyzed in (for OPA this is the
+    /// k-origin chain ending in this origin; for other policies it is the
+    /// policy-selected context of the entry).
+    pub entry_ctx: Ctx,
+    /// Nesting depth below the root origin (root = 0). Bounded by
+    /// `PtaConfig::max_origin_depth`: beyond the bound, recursively spawned
+    /// origins are soundly merged by dropping the parent from their key,
+    /// which guarantees termination for self-spawning code.
+    pub depth: u32,
+    /// `true` when this abstract origin stands for several runtime
+    /// instances that the identity key cannot distinguish: created through
+    /// a wrapper whose call-site fan-in exceeded the disambiguation limit,
+    /// or entered from a loop. The detector lets such origins race with
+    /// themselves.
+    pub multi_site: bool,
+}
+
+/// Arena of interned contexts, objects, and origins.
+#[derive(Debug)]
+pub struct Arena {
+    ctxs: Interner<Vec<CtxElem>>,
+    objs: Interner<ObjData>,
+    origin_keys: Interner<OriginKey>,
+    origins: Vec<OriginData>,
+}
+
+impl Default for Arena {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Arena {
+    /// Creates an arena with the empty context pre-interned as [`Ctx::EMPTY`].
+    pub fn new() -> Self {
+        let mut a = Arena {
+            ctxs: Interner::new(),
+            objs: Interner::new(),
+            origin_keys: Interner::new(),
+            origins: Vec::new(),
+        };
+        let empty = a.ctxs.intern(Vec::new());
+        debug_assert_eq!(empty, 0);
+        a
+    }
+
+    /// Interns a context string.
+    pub fn ctx(&mut self, elems: Vec<CtxElem>) -> Ctx {
+        Ctx(self.ctxs.intern(elems))
+    }
+
+    /// Returns the elements of a context (most recent last).
+    pub fn ctx_elems(&self, ctx: Ctx) -> &[CtxElem] {
+        self.ctxs.resolve(ctx.0)
+    }
+
+    /// Pushes `elem` onto `ctx`, keeping only the `k` most recent elements.
+    /// With `k == 0` the result is always the empty context.
+    pub fn push_trunc(&mut self, ctx: Ctx, elem: CtxElem, k: usize) -> Ctx {
+        if k == 0 {
+            return Ctx::EMPTY;
+        }
+        let mut elems = self.ctx_elems(ctx).to_vec();
+        elems.push(elem);
+        let len = elems.len();
+        if len > k {
+            elems.drain(0..len - k);
+        }
+        self.ctx(elems)
+    }
+
+    /// Keeps only the `k` most recent elements of `ctx`.
+    pub fn truncate(&mut self, ctx: Ctx, k: usize) -> Ctx {
+        let elems = self.ctx_elems(ctx);
+        if elems.len() <= k {
+            return ctx;
+        }
+        let kept = elems[elems.len() - k..].to_vec();
+        self.ctx(kept)
+    }
+
+    /// Interns an abstract object.
+    pub fn obj(&mut self, data: ObjData) -> ObjId {
+        ObjId(self.objs.intern(data))
+    }
+
+    /// Returns the payload of an object.
+    pub fn obj_data(&self, obj: ObjId) -> &ObjData {
+        self.objs.resolve(obj.0)
+    }
+
+    /// Number of interned objects (the `#Object` metric of Table 6).
+    pub fn num_objects(&self) -> usize {
+        self.objs.len()
+    }
+
+    /// Interns an origin by key, creating its payload on first sight.
+    /// Returns the id and whether the origin is new.
+    pub fn origin(
+        &mut self,
+        key: OriginKey,
+        kind: OriginKind,
+        entry: MethodId,
+        entry_ctx: Ctx,
+    ) -> (OriginId, bool) {
+        let next = self.origins.len() as u32;
+        let id = self.origin_keys.intern(key);
+        let fresh = id == next;
+        if fresh {
+            let depth = key
+                .parent
+                .map(|p| self.origins[p.0 as usize].depth + 1)
+                .unwrap_or(0);
+            self.origins.push(OriginData {
+                key,
+                kind,
+                entry,
+                entry_ctx,
+                depth,
+                multi_site: false,
+            });
+        }
+        (OriginId(id), fresh)
+    }
+
+    /// Returns the nesting depth of an origin (root = 0).
+    pub fn origin_depth(&self, origin: OriginId) -> u32 {
+        self.origins[origin.0 as usize].depth
+    }
+
+    /// Marks an origin as standing for multiple runtime instances.
+    pub fn mark_origin_multi(&mut self, origin: OriginId) {
+        self.origins[origin.0 as usize].multi_site = true;
+    }
+
+    /// Returns the payload of an origin.
+    pub fn origin_data(&self, origin: OriginId) -> &OriginData {
+        &self.origins[origin.0 as usize]
+    }
+
+    /// Updates the stored entry context of an origin (used by policies that
+    /// only learn the entry context when the entry call is processed).
+    pub fn set_origin_entry_ctx(&mut self, origin: OriginId, ctx: Ctx) {
+        self.origins[origin.0 as usize].entry_ctx = ctx;
+    }
+
+    /// Number of origins created so far (the `#O` metric of Table 5).
+    pub fn num_origins(&self) -> usize {
+        self.origins.len()
+    }
+
+    /// Iterates all origins in creation order.
+    pub fn origins(&self) -> impl Iterator<Item = (OriginId, &OriginData)> {
+        self.origins
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (OriginId(i as u32), d))
+    }
+
+    /// Returns the most recent origin element of `ctx`, if any.
+    pub fn last_origin(&self, ctx: Ctx) -> Option<OriginId> {
+        self.ctx_elems(ctx).iter().rev().find_map(|e| match e {
+            CtxElem::Origin(o) => Some(*o),
+            _ => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_ir::ids::MethodId;
+
+    #[test]
+    fn empty_ctx_is_zero() {
+        let a = Arena::new();
+        assert!(a.ctx_elems(Ctx::EMPTY).is_empty());
+    }
+
+    #[test]
+    fn push_trunc_keeps_most_recent() {
+        let mut a = Arena::new();
+        let s1 = CtxElem::Site(GStmt::new(MethodId(0), 1));
+        let s2 = CtxElem::Site(GStmt::new(MethodId(0), 2));
+        let s3 = CtxElem::Site(GStmt::new(MethodId(0), 3));
+        let c1 = a.push_trunc(Ctx::EMPTY, s1, 2);
+        let c2 = a.push_trunc(c1, s2, 2);
+        let c3 = a.push_trunc(c2, s3, 2);
+        assert_eq!(a.ctx_elems(c3), &[s2, s3]);
+        assert_eq!(a.push_trunc(c3, s1, 0), Ctx::EMPTY);
+    }
+
+    #[test]
+    fn interning_is_stable() {
+        let mut a = Arena::new();
+        let s1 = CtxElem::Site(GStmt::new(MethodId(0), 1));
+        let c1 = a.push_trunc(Ctx::EMPTY, s1, 1);
+        let c2 = a.push_trunc(Ctx::EMPTY, s1, 1);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn origin_interning_dedups_by_key() {
+        let mut a = Arena::new();
+        let key = OriginKey {
+            site: OriginSite::Root,
+            parent: None,
+            wrapper: None,
+            variant: 0,
+        };
+        let (o1, fresh1) = a.origin(key, OriginKind::Main, MethodId(0), Ctx::EMPTY);
+        let (o2, fresh2) = a.origin(key, OriginKind::Main, MethodId(0), Ctx::EMPTY);
+        assert_eq!(o1, o2);
+        assert!(fresh1);
+        assert!(!fresh2);
+        assert_eq!(a.num_origins(), 1);
+    }
+
+    #[test]
+    fn last_origin_finds_deepest() {
+        let mut a = Arena::new();
+        let key = OriginKey {
+            site: OriginSite::Root,
+            parent: None,
+            wrapper: None,
+            variant: 0,
+        };
+        let (root, _) = a.origin(key, OriginKind::Main, MethodId(0), Ctx::EMPTY);
+        let c = a.push_trunc(Ctx::EMPTY, CtxElem::Origin(root), 2);
+        assert_eq!(a.last_origin(c), Some(root));
+        assert_eq!(a.last_origin(Ctx::EMPTY), None);
+    }
+}

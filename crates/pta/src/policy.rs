@@ -1,0 +1,243 @@
+//! Context-sensitivity policies.
+//!
+//! The solver is parametric in how callee and heap contexts are selected;
+//! this module provides the four families compared throughout the paper's
+//! evaluation: context-insensitive (*0-ctx*), call-site sensitivity
+//! (*k-CFA + heap*), object sensitivity (*k-obj + heap*), and origin
+//! sensitivity (*k-origin*, i.e. OPA).
+
+use crate::context::{Arena, Ctx, CtxElem, ObjId};
+use o2_ir::ids::GStmt;
+use std::fmt;
+
+/// A context-selection policy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Policy {
+    /// Context-insensitive analysis (the paper's *0-ctx* baseline).
+    Insensitive,
+    /// k-call-site sensitivity with `hk`-deep heap contexts (*k-CFA + heap*).
+    CallSite {
+        /// Method context depth.
+        k: usize,
+        /// Heap context depth.
+        hk: usize,
+    },
+    /// k-object sensitivity with `hk`-deep heap contexts (*k-obj + heap*).
+    Object {
+        /// Method context depth.
+        k: usize,
+        /// Heap context depth.
+        hk: usize,
+    },
+    /// k-origin sensitivity (*OPA*). Functions inherit their caller's
+    /// origin; context switches happen only at origin allocations and
+    /// origin entry points (Table 2 rules ⓫/⓬). The heap is
+    /// origin-sensitive.
+    Origin {
+        /// Origin chain depth (the paper's default is 1).
+        k: usize,
+    },
+}
+
+impl Policy {
+    /// The paper's `0-ctx` baseline.
+    pub fn insensitive() -> Self {
+        Policy::Insensitive
+    }
+
+    /// `1-CFA` with 1-deep heap contexts.
+    pub fn cfa1() -> Self {
+        Policy::CallSite { k: 1, hk: 1 }
+    }
+
+    /// `2-CFA` with 1-deep heap contexts.
+    pub fn cfa2() -> Self {
+        Policy::CallSite { k: 2, hk: 1 }
+    }
+
+    /// `1-obj` with 1-deep heap contexts.
+    pub fn obj1() -> Self {
+        Policy::Object { k: 1, hk: 1 }
+    }
+
+    /// `2-obj` with 1-deep heap contexts.
+    pub fn obj2() -> Self {
+        Policy::Object { k: 2, hk: 1 }
+    }
+
+    /// `1-origin` — the paper's OPA default.
+    pub fn origin1() -> Self {
+        Policy::Origin { k: 1 }
+    }
+
+    /// `k-origin` for nested origins (§3.2 "K-Origin-Sensitivity").
+    pub fn origin(k: usize) -> Self {
+        Policy::Origin { k }
+    }
+
+    /// Returns `true` for the origin-sensitive policy.
+    pub fn is_origin(&self) -> bool {
+        matches!(self, Policy::Origin { .. })
+    }
+
+    /// The origin chain depth for [`Policy::Origin`], 1 otherwise.
+    pub fn origin_k(&self) -> usize {
+        match self {
+            Policy::Origin { k } => *k,
+            _ => 1,
+        }
+    }
+
+    /// Selects the callee context for a *normal* (non-origin-entry) call.
+    ///
+    /// `site` is the call statement, `recv` the receiver object for virtual
+    /// calls. Origin entries and origin allocations are handled by the
+    /// solver directly (they are policy-independent rules of OPA; under
+    /// non-origin policies they behave like normal calls).
+    pub fn call_ctx(
+        &self,
+        arena: &mut Arena,
+        caller: Ctx,
+        site: GStmt,
+        recv: Option<ObjId>,
+    ) -> Ctx {
+        match *self {
+            Policy::Insensitive => Ctx::EMPTY,
+            Policy::CallSite { k, .. } => arena.push_trunc(caller, CtxElem::Site(site), k),
+            Policy::Object { k, .. } => match recv {
+                Some(obj) => {
+                    // Callee context = the receiver's allocation chain with
+                    // the receiver itself as the most recent element.
+                    let hctx = arena.obj_data(obj).hctx;
+                    let mut full = arena.ctx_elems(hctx).to_vec();
+                    full.push(CtxElem::Obj(obj));
+                    let len = full.len();
+                    if len > k {
+                        full.drain(0..len - k);
+                    }
+                    arena.ctx(full)
+                }
+                // Static calls inherit the caller context under object
+                // sensitivity.
+                None => caller,
+            },
+            // Functions within the same origin share the same context.
+            Policy::Origin { .. } => caller,
+        }
+    }
+
+    /// Selects the heap context for an allocation performed in `alloc_ctx`.
+    pub fn heap_ctx(&self, arena: &mut Arena, alloc_ctx: Ctx) -> Ctx {
+        match *self {
+            Policy::Insensitive => Ctx::EMPTY,
+            Policy::CallSite { hk, .. } | Policy::Object { hk, .. } => {
+                arena.truncate(alloc_ctx, hk)
+            }
+            // The origin-sensitive heap abstraction keeps the full origin
+            // chain.
+            Policy::Origin { .. } => alloc_ctx,
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Policy::Insensitive => write!(f, "0-ctx"),
+            Policy::CallSite { k, .. } => write!(f, "{k}-CFA"),
+            Policy::Object { k, .. } => write!(f, "{k}-obj"),
+            Policy::Origin { k } => {
+                if k == 1 {
+                    write!(f, "O2")
+                } else {
+                    write!(f, "{k}-origin")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{AllocSite, ObjData};
+    use o2_ir::ids::{ClassId, MethodId};
+
+    fn site(i: usize) -> GStmt {
+        GStmt::new(MethodId(0), i)
+    }
+
+    #[test]
+    fn insensitive_is_always_empty() {
+        let mut a = Arena::new();
+        let p = Policy::insensitive();
+        assert_eq!(p.call_ctx(&mut a, Ctx::EMPTY, site(1), None), Ctx::EMPTY);
+        assert_eq!(p.heap_ctx(&mut a, Ctx::EMPTY), Ctx::EMPTY);
+    }
+
+    #[test]
+    fn cfa_pushes_sites() {
+        let mut a = Arena::new();
+        let p = Policy::cfa2();
+        let c1 = p.call_ctx(&mut a, Ctx::EMPTY, site(1), None);
+        let c2 = p.call_ctx(&mut a, c1, site(2), None);
+        let c3 = p.call_ctx(&mut a, c2, site(3), None);
+        assert_eq!(
+            a.ctx_elems(c3),
+            &[CtxElem::Site(site(2)), CtxElem::Site(site(3))]
+        );
+        // Heap context keeps only the most recent site.
+        let h = p.heap_ctx(&mut a, c3);
+        assert_eq!(a.ctx_elems(h), &[CtxElem::Site(site(3))]);
+    }
+
+    #[test]
+    fn object_sensitivity_chains_receivers() {
+        let mut a = Arena::new();
+        let p = Policy::obj2();
+        // o1 allocated with empty heap ctx; o2 allocated with heap ctx [o1].
+        let o1 = a.obj(ObjData {
+            site: AllocSite::Stmt {
+                stmt: site(1),
+                variant: 0,
+            },
+            hctx: Ctx::EMPTY,
+            class: ClassId(0),
+        });
+        let h1 = a.push_trunc(Ctx::EMPTY, CtxElem::Obj(o1), 1);
+        let o2 = a.obj(ObjData {
+            site: AllocSite::Stmt {
+                stmt: site(2),
+                variant: 0,
+            },
+            hctx: h1,
+            class: ClassId(0),
+        });
+        let c = p.call_ctx(&mut a, Ctx::EMPTY, site(3), Some(o2));
+        assert_eq!(a.ctx_elems(c), &[CtxElem::Obj(o1), CtxElem::Obj(o2)]);
+        // Static calls inherit the caller context.
+        assert_eq!(p.call_ctx(&mut a, c, site(4), None), c);
+    }
+
+    #[test]
+    fn origin_policy_inherits_caller_ctx() {
+        let mut a = Arena::new();
+        let p = Policy::origin1();
+        let c = a.push_trunc(
+            Ctx::EMPTY,
+            CtxElem::Origin(crate::context::OriginId(0)),
+            1,
+        );
+        assert_eq!(p.call_ctx(&mut a, c, site(1), None), c);
+        assert_eq!(p.heap_ctx(&mut a, c), c);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Policy::insensitive().to_string(), "0-ctx");
+        assert_eq!(Policy::cfa2().to_string(), "2-CFA");
+        assert_eq!(Policy::obj1().to_string(), "1-obj");
+        assert_eq!(Policy::origin1().to_string(), "O2");
+        assert_eq!(Policy::origin(2).to_string(), "2-origin");
+    }
+}

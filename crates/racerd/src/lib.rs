@@ -1,0 +1,532 @@
+//! # o2-racerd — a RacerD-style syntactic race detector baseline
+//!
+//! A reimplementation of the *design* of Facebook's RacerD (Blackshear et
+//! al., OOPSLA 2018) as characterized in §2 of the O2 paper: compositional
+//! per-method summaries, clever syntactic reasoning, **no pointer
+//! analysis** — aliasing is judged by field *name*, lock protection by a
+//! "some lock held" boolean, and there is no happens-before reasoning.
+//! This is the comparison baseline of Tables 5, 8 and 9.
+//!
+//! What is modeled:
+//!
+//! - bottom-up method summaries of field accesses with a lock bit,
+//!   propagated through a class-hierarchy-analysis call graph;
+//! - an ownership heuristic: accesses through a locally allocated object
+//!   are owned and never reported (RacerD's main false-positive filter);
+//! - two warning classes, as in the paper's comparison methodology:
+//!   read/write races and unprotected-write pairs.
+//!
+//! What is deliberately *not* modeled (the reason O2 wins on precision):
+//! pointer aliasing, origins, happens-before edges from `start`/`join`,
+//! lock identities.
+//!
+//! ```
+//! use o2_ir::parser::parse;
+//! use o2_racerd::run_racerd;
+//!
+//! let program = parse(r#"
+//!     class S { field data; }
+//!     class W impl Runnable {
+//!         field s;
+//!         method <init>(s) { this.s = s; }
+//!         method run() { s = this.s; s.data = s; }
+//!     }
+//!     class Main {
+//!         static method main() {
+//!             s = new S();
+//!             w = new W(s);
+//!             w.start();
+//!             x = s.data;
+//!         }
+//!     }
+//! "#).unwrap();
+//! let report = run_racerd(&program);
+//! assert!(report.total_warnings() >= 1);
+//! ```
+
+#![warn(missing_docs)]
+
+use o2_ir::ids::{FieldId, GStmt, MethodId, VarId};
+use o2_ir::program::{Callee, Program, Selector, Stmt};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// One field access in a method summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SummaryAccess {
+    /// Accessed field (by name — RacerD does not reason about pointers).
+    pub field: FieldId,
+    /// The access statement.
+    pub stmt: GStmt,
+    /// `true` for writes.
+    pub is_write: bool,
+    /// `true` if *some* lock is held around the access.
+    pub locked: bool,
+}
+
+/// One reported warning: a pair of conflicting accesses on the same field
+/// name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Warning {
+    /// The conflicting field.
+    pub field: FieldId,
+    /// First access.
+    pub a: SummaryAccess,
+    /// Second access.
+    pub b: SummaryAccess,
+    /// `true` for an unprotected-write violation (both sides unlocked),
+    /// `false` for a read/write race (one side locked).
+    pub unprotected_write: bool,
+}
+
+/// The RacerD-style report.
+#[derive(Clone, Debug, Default)]
+pub struct RacerDReport {
+    /// Reported warnings (capped per field by the pair budget).
+    pub warnings: Vec<Warning>,
+    /// Number of read/write race warnings.
+    pub num_read_write_races: usize,
+    /// Number of unprotected-write pair warnings.
+    pub num_unprotected_writes: usize,
+    /// Wall-clock duration.
+    pub duration: Duration,
+}
+
+impl RacerDReport {
+    /// Total warnings, the paper's comparison metric ("we add up the
+    /// numbers of read/write races and of the pairs of conflict field
+    /// accesses shown in unprotected writes").
+    pub fn total_warnings(&self) -> usize {
+        self.num_read_write_races + self.num_unprotected_writes
+    }
+
+    /// Renders a human-readable report.
+    pub fn render(&self, program: &Program) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for (i, w) in self.warnings.iter().enumerate() {
+            let kind = if w.unprotected_write {
+                "unprotected write"
+            } else {
+                "read/write race"
+            };
+            let _ = writeln!(
+                out,
+                "warning #{}: {kind} on `{}` between {} and {}",
+                i + 1,
+                program.field_name(w.field),
+                program.stmt_label(w.a.stmt),
+                program.stmt_label(w.b.stmt),
+            );
+        }
+        out
+    }
+}
+
+/// Maximum access pairs reported per field.
+const PAIR_BUDGET: usize = 10_000;
+
+/// Runs the RacerD-style analysis on `program`.
+pub fn run_racerd(program: &Program) -> RacerDReport {
+    let start = Instant::now();
+    let analysis = Analysis::new(program);
+    let summaries = analysis.compute_summaries();
+    let concurrent = analysis.concurrent_methods();
+
+    // Group accesses of concurrent methods by field name.
+    let mut by_field: BTreeMap<FieldId, Vec<SummaryAccess>> = BTreeMap::new();
+    for (m, summary) in summaries.iter().enumerate() {
+        let mid = MethodId::from_usize(m);
+        if !concurrent.contains(&mid) {
+            continue;
+        }
+        // Only the method's own accesses: callee accesses surface in the
+        // callee's own entry (they are in `concurrent` too), so counting
+        // summaries here would double-report.
+        for a in &summary.own {
+            by_field.entry(a.field).or_default().push(*a);
+        }
+    }
+
+    let mut report = RacerDReport::default();
+    let mut seen: BTreeSet<(FieldId, GStmt, GStmt)> = BTreeSet::new();
+    for (field, accesses) in by_field {
+        let any_write = accesses.iter().any(|a| a.is_write);
+        if !any_write || accesses.len() < 2 {
+            continue;
+        }
+        let mut pairs = 0usize;
+        for i in 0..accesses.len() {
+            for j in (i + 1)..accesses.len() {
+                let (a, b) = (accesses[i], accesses[j]);
+                if !a.is_write && !b.is_write {
+                    continue;
+                }
+                if a.stmt == b.stmt {
+                    continue;
+                }
+                if a.locked && b.locked {
+                    continue; // RacerD: both under (some) lock → protected.
+                }
+                pairs += 1;
+                if pairs > PAIR_BUDGET {
+                    break;
+                }
+                let key = if a.stmt <= b.stmt {
+                    (field, a.stmt, b.stmt)
+                } else {
+                    (field, b.stmt, a.stmt)
+                };
+                if !seen.insert(key) {
+                    continue;
+                }
+                let unprotected = !a.locked && !b.locked;
+                if unprotected {
+                    report.num_unprotected_writes += 1;
+                } else {
+                    report.num_read_write_races += 1;
+                }
+                report.warnings.push(Warning {
+                    field,
+                    a,
+                    b,
+                    unprotected_write: unprotected,
+                });
+            }
+        }
+    }
+    report
+        .warnings
+        .sort_by_key(|w| (w.field, w.a.stmt, w.b.stmt));
+    report.duration = start.elapsed();
+    report
+}
+
+#[derive(Clone, Debug, Default)]
+struct MethodSummary {
+    /// The method's own (non-owned) accesses.
+    own: Vec<SummaryAccess>,
+}
+
+struct Analysis<'p> {
+    program: &'p Program,
+    /// CHA dispatch: selector → all concrete targets.
+    cha: HashMap<Selector, Vec<MethodId>>,
+}
+
+impl<'p> Analysis<'p> {
+    fn new(program: &'p Program) -> Self {
+        let mut cha: HashMap<Selector, Vec<MethodId>> = HashMap::new();
+        for class in &program.classes {
+            for (sel, mid) in &class.methods {
+                cha.entry(sel.clone()).or_default().push(*mid);
+            }
+        }
+        Analysis { program, cha }
+    }
+
+    /// Methods that may run concurrently with something else: everything
+    /// syntactically reachable from an origin entry point, plus everything
+    /// reachable from main if the program creates origins at all.
+    fn concurrent_methods(&self) -> HashSet<MethodId> {
+        let mut roots: Vec<MethodId> = Vec::new();
+        let mut has_origins = false;
+        for (mi, method) in self.program.methods.iter().enumerate() {
+            let mid = MethodId::from_usize(mi);
+            if self.program.entry_config.is_entry(&method.name) {
+                roots.push(mid);
+                has_origins = true;
+            }
+            for instr in &method.body {
+                if let Stmt::Spawn { entry, .. } = &instr.stmt {
+                    roots.push(*entry);
+                    has_origins = true;
+                }
+            }
+        }
+        if has_origins {
+            roots.push(self.program.main);
+        }
+        let mut reach: HashSet<MethodId> = HashSet::new();
+        let mut stack = roots;
+        while let Some(m) = stack.pop() {
+            if !reach.insert(m) {
+                continue;
+            }
+            for instr in &self.program.method(m).body {
+                match &instr.stmt {
+                    Stmt::Call { callee, args, .. } => match callee {
+                        Callee::Virtual { name, .. } => {
+                            let sel = Selector::new(name.clone(), args.len());
+                            if let Some(ts) = self.cha.get(&sel) {
+                                stack.extend(ts.iter().copied());
+                            }
+                            // `start()` reaches the entry methods via the
+                            // thread-entry convention.
+                            if name == "start" {
+                                for entry_name in &self.program.entry_config.thread_entries {
+                                    let sel = Selector::new(entry_name.clone(), 0);
+                                    if let Some(ts) = self.cha.get(&sel) {
+                                        stack.extend(ts.iter().copied());
+                                    }
+                                }
+                            }
+                        }
+                        Callee::Static { method } => stack.push(*method),
+                    },
+                    Stmt::New { class, args, .. } => {
+                        let sel = Selector::new(o2_ir::program::CTOR_NAME, args.len());
+                        if let Some(ctor) = self.program.dispatch(*class, &sel) {
+                            stack.push(ctor);
+                        }
+                    }
+                    Stmt::Spawn { entry, .. } => stack.push(*entry),
+                    _ => {}
+                }
+            }
+        }
+        reach
+    }
+
+    /// Per-method summaries: own field accesses with lock bits, with the
+    /// ownership filter applied.
+    fn compute_summaries(&self) -> Vec<MethodSummary> {
+        let mut summaries = Vec::with_capacity(self.program.methods.len());
+        for (mi, method) in self.program.methods.iter().enumerate() {
+            let mid = MethodId::from_usize(mi);
+            // Ownership: variables assigned from `new`/`newarray` in this
+            // method own their object; accesses through them are not
+            // reported (RacerD's ownership domain).
+            let mut owned: HashSet<VarId> = HashSet::new();
+            let mut lock_depth: usize = usize::from(method.is_synchronized);
+            let mut own = Vec::new();
+            for (idx, instr) in method.body.iter().enumerate() {
+                let stmt = GStmt::new(mid, idx);
+                // Record accesses against the ownership state *before* this
+                // statement's own ownership effects.
+                if let Some((base, field, is_write)) = instr.stmt.field_access() {
+                    if !owned.contains(&base) {
+                        own.push(SummaryAccess {
+                            field,
+                            stmt,
+                            is_write,
+                            // RacerD treats atomics as protected accesses.
+                            locked: lock_depth > 0 || instr.stmt.is_atomic_access(),
+                        });
+                    }
+                }
+                if let Some((_, field, is_write)) = instr.stmt.static_access() {
+                    own.push(SummaryAccess {
+                        field,
+                        stmt,
+                        is_write,
+                        locked: lock_depth > 0,
+                    });
+                }
+                match &instr.stmt {
+                    Stmt::New { dst, args, .. } => {
+                        // Passing an owned object into a constructor
+                        // transfers ownership away.
+                        for a in args {
+                            owned.remove(a);
+                        }
+                        owned.insert(*dst);
+                    }
+                    Stmt::NewArray { dst } => {
+                        owned.insert(*dst);
+                    }
+                    Stmt::Assign { dst, src } => {
+                        if owned.contains(src) {
+                            owned.insert(*dst);
+                        } else {
+                            owned.remove(dst);
+                        }
+                    }
+                    Stmt::Call { args, .. } | Stmt::Spawn { args, .. } => {
+                        for a in args {
+                            owned.remove(a);
+                        }
+                    }
+                    Stmt::StoreField { base, src, .. }
+                        // Storing into a non-owned base publishes the value.
+                        if !owned.contains(base) => {
+                            owned.remove(src);
+                        }
+                    Stmt::StoreStatic { src, .. } => {
+                        owned.remove(src);
+                    }
+                    Stmt::MonitorEnter { .. } => lock_depth += 1,
+                    Stmt::MonitorExit { .. } => lock_depth = lock_depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            summaries.push(MethodSummary { own });
+        }
+        summaries
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use o2_ir::parser::parse;
+
+    #[test]
+    fn reports_unprotected_write() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    w.start();
+                    x = s.data;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let r = run_racerd(&p);
+        assert!(r.total_warnings() >= 1);
+        assert!(r.num_unprotected_writes >= 1);
+    }
+
+    #[test]
+    fn both_locked_is_protected() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; sync (s) { s.data = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    w.start();
+                    sync (s) { x = s.data; }
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let r = run_racerd(&p);
+        // The only remaining warnings involve the constructor handoff of
+        // W.s, not S.data.
+        let data = p.field_by_name("data").unwrap();
+        assert!(
+            !r.warnings.iter().any(|w| w.field == data),
+            "{}",
+            r.render(&p)
+        );
+    }
+
+    #[test]
+    fn no_threads_no_warnings() {
+        let src = r#"
+            class S { field data; }
+            class Main {
+                static method main() {
+                    s = new S();
+                    s.data = s;
+                    x = s.data;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let r = run_racerd(&p);
+        assert_eq!(r.total_warnings(), 0);
+    }
+
+    #[test]
+    fn ownership_filters_local_allocations() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                method run() { s = new S(); s.data = s; x = s.data; }
+            }
+            class Main {
+                static method main() {
+                    w1 = new W();
+                    w2 = new W();
+                    w1.start();
+                    w2.start();
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let r = run_racerd(&p);
+        assert_eq!(
+            r.total_warnings(),
+            0,
+            "owned accesses are filtered: {}",
+            r.render(&p)
+        );
+    }
+
+    #[test]
+    fn field_name_aliasing_overreports_vs_pointer_analysis() {
+        // Two *different* objects with the same field name, each local to
+        // one thread: O2 proves disjointness via pointers, RacerD conflates
+        // by name and warns — the false-positive mechanism the paper
+        // describes.
+        let src = r#"
+            class S { field data; }
+            class W1 impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; s.data = s; }
+            }
+            class W2 impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    a = new S();
+                    b = new S();
+                    w1 = new W1(a);
+                    w2 = new W2(b);
+                    w1.start();
+                    w2.start();
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let r = run_racerd(&p);
+        let data = p.field_by_name("data").unwrap();
+        assert!(
+            r.warnings.iter().any(|w| w.field == data),
+            "RacerD conflates same-named fields: {}",
+            r.render(&p)
+        );
+    }
+
+    #[test]
+    fn one_side_locked_is_read_write_race() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; sync (s) { s.data = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    w.start();
+                    x = s.data;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let r = run_racerd(&p);
+        assert!(r.num_read_write_races >= 1, "{}", r.render(&p));
+    }
+}

@@ -1,0 +1,616 @@
+//! The static happens-before (SHB) graph with origins — Table 4 of the
+//! paper, plus the first optimization of §4.1: intra-origin happens-before
+//! is represented by monotonically increasing node ids instead of explicit
+//! edges, so an intra-origin HB check is one integer comparison, and only
+//! *inter-origin* edges (entry ⓬, join ⓭) are materialized.
+
+use crate::locks::{LockElem, LockSetId, LockTable};
+use o2_analysis::MemKey;
+use o2_ir::ids::GStmt;
+use o2_ir::origins::OriginKind;
+use o2_ir::program::{Program, Stmt};
+use o2_pta::{CallTarget, Mi, ObjId, OriginId, PtaResult};
+use std::collections::{BTreeMap, HashSet};
+use std::time::{Duration, Instant};
+
+/// Configuration for SHB construction.
+#[derive(Clone, Debug)]
+pub struct ShbConfig {
+    /// Maximum number of nodes per origin trace; traces are truncated
+    /// beyond this budget (and flagged).
+    pub node_budget: usize,
+    /// Maximum call depth while walking an origin's code paths.
+    pub max_walk_depth: usize,
+    /// Maximum `(method instance, lockset)` visits per origin; truncates
+    /// the trace beyond it (guards against the method-instance explosion
+    /// of deep object-sensitive pointer analyses).
+    pub max_visited_methods: usize,
+    /// If `true`, all accesses of an event origin carry the implicit
+    /// per-dispatcher lock (§4.2), so handlers on the same dispatcher never
+    /// race with each other.
+    pub event_dispatcher_lock: bool,
+    /// Treat the root (main) origin as running on this dispatcher. Used by
+    /// the Android harness, where the synthetic `main` plays the UI
+    /// thread: lifecycle callbacks must be serialized with the event
+    /// handlers of the same dispatcher.
+    pub main_dispatcher: Option<u16>,
+    /// Wall-clock budget for the whole construction; traces are truncated
+    /// when it expires.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for ShbConfig {
+    fn default() -> Self {
+        ShbConfig {
+            node_budget: 1_000_000,
+            max_walk_depth: 2_000,
+            max_visited_methods: 100_000,
+            event_dispatcher_lock: true,
+            main_dispatcher: None,
+            timeout: None,
+        }
+    }
+}
+
+/// A memory-access node in an origin's static trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessNode {
+    /// The accessed memory location.
+    pub key: MemKey,
+    /// The access statement (for reporting).
+    pub stmt: GStmt,
+    /// `true` for writes.
+    pub is_write: bool,
+    /// Canonical lockset held at the access.
+    pub lockset: LockSetId,
+    /// Position in the origin's trace (intra-origin HB = position order).
+    pub pos: u32,
+    /// Lock-region sequence number (third optimization of §4.1): accesses
+    /// with equal `(region, key, is_write)` are merged into one
+    /// representative by the detector.
+    pub region: u32,
+}
+
+/// An inter-origin `entry` edge: the parent's node at `pos` happens-before
+/// everything in the child (Table 4 rule ⓬).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EntryEdge {
+    /// Parent origin.
+    pub parent: OriginId,
+    /// Node position of the entry call in the parent's trace.
+    pub pos: u32,
+    /// Child origin.
+    pub child: OriginId,
+    /// The entry statement.
+    pub stmt: GStmt,
+}
+
+/// An inter-origin `join` edge: everything in the child happens-before the
+/// parent's node at `pos` (Table 4 rule ⓭).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct JoinEdge {
+    /// Joined (child) origin.
+    pub child: OriginId,
+    /// Parent origin performing the join.
+    pub parent: OriginId,
+    /// Node position of the join in the parent's trace.
+    pub pos: u32,
+    /// The join statement.
+    pub stmt: GStmt,
+}
+
+/// A lock acquisition in an origin's trace (used by the deadlock and
+/// over-synchronization analyses built on top of the SHB graph).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AcquireNode {
+    /// Trace position of the acquisition.
+    pub pos: u32,
+    /// The acquiring statement (`MonitorEnter` or a synchronized method's
+    /// first statement).
+    pub stmt: GStmt,
+    /// Lock elements acquired (the may-points-to set of the lock variable).
+    pub elems: Vec<u32>,
+    /// Canonical lockset held *before* this acquisition.
+    pub held_before: LockSetId,
+    /// Trace position of the matching release (`u32::MAX` while open).
+    pub released_pos: u32,
+}
+
+/// The static trace of one origin.
+#[derive(Clone, Debug, Default)]
+pub struct OriginTrace {
+    /// Access nodes in position order.
+    pub accesses: Vec<AccessNode>,
+    /// Lock acquisitions in position order.
+    pub acquires: Vec<AcquireNode>,
+    /// Total number of nodes (accesses + entry + join nodes).
+    pub len: u32,
+    /// `true` if the node budget truncated this trace.
+    pub truncated: bool,
+}
+
+/// Construction statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShbStats {
+    /// Total nodes across all traces.
+    pub num_nodes: u64,
+    /// Total access nodes.
+    pub num_accesses: u64,
+    /// Number of entry edges.
+    pub num_entry_edges: usize,
+    /// Number of join edges.
+    pub num_join_edges: usize,
+    /// Number of canonical locksets.
+    pub num_locksets: usize,
+}
+
+/// The SHB graph: per-origin traces plus inter-origin edges.
+#[derive(Debug)]
+pub struct ShbGraph {
+    /// Traces indexed by raw origin id.
+    pub traces: Vec<OriginTrace>,
+    /// Canonical lockset table (mutable for its disjointness cache).
+    pub locks: LockTable,
+    /// All entry edges.
+    pub entry_edges: Vec<EntryEdge>,
+    /// All join edges.
+    pub join_edges: Vec<JoinEdge>,
+    out_entries: Vec<Vec<usize>>,
+    out_joins: Vec<Vec<usize>>,
+    /// Access index: location → list of `(origin, index into
+    /// `traces\[origin\].accesses`).
+    pub accesses_by_key: BTreeMap<MemKey, Vec<(OriginId, u32)>>,
+    /// Construction statistics.
+    pub stats: ShbStats,
+    /// Wall-clock construction time.
+    pub duration: Duration,
+}
+
+impl ShbGraph {
+    /// Intra- and inter-origin happens-before query between two trace
+    /// positions: does `(a_origin, a_pos)` happen before `(b_origin, b_pos)`?
+    ///
+    /// Intra-origin is an integer comparison; inter-origin is a DFS over
+    /// entry/join edges with per-origin minimal-position pruning.
+    pub fn happens_before(&self, a: (OriginId, u32), b: (OriginId, u32)) -> bool {
+        if a.0 == b.0 {
+            return a.1 < b.1;
+        }
+        // Origin ids are dense and small; a flat vector beats a hash map
+        // for the per-origin minimal-position pruning.
+        let mut best: Vec<u32> = vec![u32::MAX; self.traces.len()];
+        let mut stack: Vec<(OriginId, u32)> = vec![(a.0, a.1)];
+        while let Some((o, p)) = stack.pop() {
+            if best[o.0 as usize] <= p {
+                continue;
+            }
+            best[o.0 as usize] = p;
+            if o == b.0 && p <= b.1 {
+                return true;
+            }
+            for &ei in &self.out_entries[o.0 as usize] {
+                let e = &self.entry_edges[ei];
+                if e.pos >= p {
+                    stack.push((e.child, 0));
+                }
+            }
+            // A join edge is usable from any position in the child (the
+            // child's last node is at or after every position).
+            for &ji in &self.out_joins[o.0 as usize] {
+                let j = &self.join_edges[ji];
+                stack.push((j.parent, j.pos));
+            }
+        }
+        false
+    }
+
+    /// The straw-man happens-before used by the naive baseline: the same
+    /// relation, computed by walking the trace node-by-node and scanning
+    /// the edge lists at every node (what explicit intra-origin HB edges
+    /// cost before the §4.1 integer-id optimization).
+    pub fn happens_before_naive(&self, a: (OriginId, u32), b: (OriginId, u32)) -> bool {
+        if a.0 == b.0 {
+            // Walk positions one at a time, as a DFS over explicit
+            // intra-origin edges would.
+            let mut p = a.1;
+            let len = self.traces[a.0 .0 as usize].len;
+            while p < len {
+                if p == b.1 && a.1 != b.1 {
+                    return true;
+                }
+                p += 1;
+            }
+            return false;
+        }
+        let mut visited: HashSet<(u32, u32)> = HashSet::new();
+        let mut stack: Vec<(OriginId, u32)> = vec![(a.0, a.1)];
+        while let Some((o, start)) = stack.pop() {
+            if !visited.insert((o.0, start)) {
+                continue;
+            }
+            if o == b.0 && start <= b.1 {
+                return true;
+            }
+            // Step through every node position, scanning all edges at each
+            // step (the redundant traversal the paper optimizes away).
+            let len = self.traces[o.0 as usize].len;
+            let mut p = start;
+            while p < len {
+                for e in &self.entry_edges {
+                    if e.parent == o && e.pos == p {
+                        stack.push((e.child, 0));
+                    }
+                }
+                p += 1;
+            }
+            for j in &self.join_edges {
+                if j.child == o {
+                    stack.push((j.parent, j.pos));
+                }
+            }
+        }
+        false
+    }
+
+    /// Renders the origin-level SHB graph in Graphviz dot format: one node
+    /// per origin (labeled with kind and trace size), entry edges solid,
+    /// join edges dashed.
+    pub fn to_dot(&self, pta: &PtaResult) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("digraph shb {\n  node [shape=ellipse, fontsize=10];\n");
+        for (origin, data) in pta.arena.origins() {
+            let t = &self.traces[origin.0 as usize];
+            let _ = writeln!(
+                out,
+                "  o{} [label=\"O{} {} ({} accesses)\"];",
+                origin.0,
+                origin.0,
+                data.kind,
+                t.accesses.len()
+            );
+        }
+        for e in &self.entry_edges {
+            let _ = writeln!(out, "  o{} -> o{} [label=\"@{}\"];", e.parent.0, e.child.0, e.pos);
+        }
+        for j in &self.join_edges {
+            let _ = writeln!(
+                out,
+                "  o{} -> o{} [style=dashed, label=\"join@{}\"];",
+                j.child.0, j.parent.0, j.pos
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+
+    /// Entry edges leaving `origin`.
+    pub fn entries_of(&self, origin: OriginId) -> impl Iterator<Item = &EntryEdge> {
+        self.out_entries[origin.0 as usize]
+            .iter()
+            .map(move |&i| &self.entry_edges[i])
+    }
+}
+
+/// Builds the SHB graph from a pointer-analysis result.
+pub fn build_shb(program: &Program, pta: &PtaResult, config: &ShbConfig) -> ShbGraph {
+    let start = Instant::now();
+    let num_origins = pta.num_origins();
+    let mut builder = Builder {
+        program,
+        pta,
+        config,
+        locks: LockTable::new(),
+        traces: vec![OriginTrace::default(); num_origins],
+        entry_edges: Vec::new(),
+        join_edges: Vec::new(),
+        accesses_by_key: BTreeMap::new(),
+        fresh_lock_counter: 0,
+        deadline: config.timeout.map(|t| start + t),
+        visit_ticks: 0,
+    };
+    for (origin, _) in pta.arena.origins() {
+        builder.walk_origin(origin);
+    }
+    let mut out_entries = vec![Vec::new(); num_origins];
+    for (i, e) in builder.entry_edges.iter().enumerate() {
+        out_entries[e.parent.0 as usize].push(i);
+    }
+    let mut out_joins = vec![Vec::new(); num_origins];
+    for (i, j) in builder.join_edges.iter().enumerate() {
+        out_joins[j.child.0 as usize].push(i);
+    }
+    let stats = ShbStats {
+        num_nodes: builder.traces.iter().map(|t| t.len as u64).sum(),
+        num_accesses: builder.traces.iter().map(|t| t.accesses.len() as u64).sum(),
+        num_entry_edges: builder.entry_edges.len(),
+        num_join_edges: builder.join_edges.len(),
+        num_locksets: builder.locks.num_sets(),
+    };
+    ShbGraph {
+        traces: builder.traces,
+        locks: builder.locks,
+        entry_edges: builder.entry_edges,
+        join_edges: builder.join_edges,
+        out_entries,
+        out_joins,
+        accesses_by_key: builder.accesses_by_key,
+        stats,
+        duration: start.elapsed(),
+    }
+}
+
+struct Builder<'a> {
+    program: &'a Program,
+    pta: &'a PtaResult,
+    config: &'a ShbConfig,
+    locks: LockTable,
+    traces: Vec<OriginTrace>,
+    entry_edges: Vec<EntryEdge>,
+    join_edges: Vec<JoinEdge>,
+    accesses_by_key: BTreeMap<MemKey, Vec<(OriginId, u32)>>,
+    fresh_lock_counter: u32,
+    deadline: Option<Instant>,
+    visit_ticks: u64,
+}
+
+struct WalkState {
+    origin: OriginId,
+    pos: u32,
+    region: u32,
+    lock_stack: Vec<Vec<u32>>,
+    open_acquires: Vec<usize>,
+    current_set: LockSetId,
+    dispatcher_elem: Option<u32>,
+    /// Memoized method visits. The third component is the *inter-origin
+    /// epoch*: the number of entry/join edges emitted so far in this
+    /// origin's trace. A method already walked is re-walked after a new
+    /// inter-origin edge, because only those edges change the cross-origin
+    /// happens-before status of its accesses — recording only the first
+    /// call would falsely order post-spawn accesses before the spawn.
+    visited: HashSet<(Mi, LockSetId, u32)>,
+    inter_epoch: u32,
+    truncated: bool,
+}
+
+impl<'a> Builder<'a> {
+    fn walk_origin(&mut self, origin: OriginId) {
+        let kind = self.pta.arena.origin_data(origin).kind;
+        let dispatcher_elem = match kind {
+            OriginKind::Event { dispatcher } if self.config.event_dispatcher_lock => {
+                Some(self.locks.elem(LockElem::Dispatcher(dispatcher)))
+            }
+            OriginKind::Main => self
+                .config
+                .main_dispatcher
+                .map(|d| self.locks.elem(LockElem::Dispatcher(d))),
+            _ => None,
+        };
+        let mut st = WalkState {
+            origin,
+            pos: 0,
+            region: 0,
+            lock_stack: Vec::new(),
+            open_acquires: Vec::new(),
+            current_set: LockSetId::EMPTY,
+            dispatcher_elem,
+            visited: HashSet::new(),
+            inter_epoch: 0,
+            truncated: false,
+        };
+        st.current_set = self.recompute_lockset(&st);
+        let entries: Vec<Mi> = self.pta.origin_entries(origin).to_vec();
+        for mi in entries {
+            self.walk_method(&mut st, mi, 0);
+        }
+        let t = &mut self.traces[origin.0 as usize];
+        t.len = st.pos;
+        t.truncated = st.truncated;
+    }
+
+    fn recompute_lockset(&mut self, st: &WalkState) -> LockSetId {
+        let mut elems: Vec<u32> = st.lock_stack.iter().flatten().copied().collect();
+        if let Some(d) = st.dispatcher_elem {
+            elems.push(d);
+        }
+        self.locks.set(elems)
+    }
+
+    fn lock_elems_for_var(&mut self, mi: Mi, var: o2_ir::ids::VarId, stmt: GStmt) -> Vec<u32> {
+        let pts = self.pta.pts_var(mi, var);
+        if pts.is_empty() {
+            // Unknown lock: a fresh element, distinct from everything —
+            // sound (protects nothing in common).
+            self.fresh_lock_counter += 1;
+            let id = self
+                .locks
+                .elem(LockElem::Obj(ObjId(u32::MAX - self.fresh_lock_counter)));
+            let _ = stmt;
+            vec![id]
+        } else {
+            pts.iter()
+                .map(|&o| self.locks.elem(LockElem::Obj(ObjId(o))))
+                .collect()
+        }
+    }
+
+    fn record_acquire(&mut self, st: &mut WalkState, stmt: GStmt, elems: Vec<u32>) {
+        let idx = self.traces[st.origin.0 as usize].acquires.len();
+        self.traces[st.origin.0 as usize].acquires.push(AcquireNode {
+            pos: st.pos,
+            stmt,
+            elems,
+            held_before: st.current_set,
+            released_pos: u32::MAX,
+        });
+        st.open_acquires.push(idx);
+        st.pos += 1;
+    }
+
+    fn record_release(&mut self, st: &mut WalkState) {
+        if let Some(idx) = st.open_acquires.pop() {
+            self.traces[st.origin.0 as usize].acquires[idx].released_pos = st.pos;
+            st.pos += 1;
+        }
+    }
+
+    fn record_access(&mut self, st: &mut WalkState, key: MemKey, stmt: GStmt, is_write: bool) {
+        if st.pos as usize >= self.config.node_budget {
+            st.truncated = true;
+            return;
+        }
+        let node = AccessNode {
+            key,
+            stmt,
+            is_write,
+            lockset: st.current_set,
+            pos: st.pos,
+            region: st.region,
+        };
+        st.pos += 1;
+        let idx = self.traces[st.origin.0 as usize].accesses.len() as u32;
+        self.traces[st.origin.0 as usize].accesses.push(node);
+        self.accesses_by_key
+            .entry(key)
+            .or_default()
+            .push((st.origin, idx));
+    }
+
+    fn walk_method(&mut self, st: &mut WalkState, mi: Mi, depth: usize) {
+        if st.truncated {
+            return;
+        }
+        if st.visited.len() >= self.config.max_visited_methods {
+            st.truncated = true;
+            return;
+        }
+        if depth > self.config.max_walk_depth {
+            st.truncated = true;
+            return;
+        }
+        self.visit_ticks += 1;
+        if self.visit_ticks.is_multiple_of(256) {
+            if let Some(d) = self.deadline {
+                if Instant::now() > d {
+                    st.truncated = true;
+                    return;
+                }
+            }
+        }
+        if !st.visited.insert((mi, st.current_set, st.inter_epoch)) {
+            return;
+        }
+        let (method_id, _) = self.pta.mi_data(mi);
+        let method = self.program.method(method_id);
+        let synced = method.is_synchronized;
+        if synced {
+            let elems = if method.is_static {
+                vec![self.locks.elem(LockElem::Class(method.class))]
+            } else {
+                self.lock_elems_for_var(mi, o2_ir::ids::VarId(0), GStmt::new(method_id, 0))
+            };
+            // The acquisition site of a synchronized method is the method
+            // entry itself; key it one past the body so it cannot collide
+            // with the first statement's GStmt (Program::stmt_label renders
+            // out-of-range indexes as the method entry).
+            self.record_acquire(st, GStmt::new(method_id, method.body.len()), elems.clone());
+            st.lock_stack.push(elems);
+            st.current_set = self.recompute_lockset(st);
+            st.region += 1;
+        }
+        for (idx, instr) in method.body.iter().enumerate() {
+            if st.truncated {
+                break;
+            }
+            let g = GStmt::new(method_id, idx);
+            if let Some((base, field, is_write)) = instr.stmt.field_access() {
+                let atomic = instr.stmt.is_atomic_access();
+                for &obj in self.pta.pts_var(mi, base) {
+                    let key = MemKey::Field(ObjId(obj), field);
+                    if atomic {
+                        // Atomic accesses hold the cell's implicit lock.
+                        let elem = self.locks.elem(LockElem::AtomicCell(ObjId(obj), field));
+                        let base_elems: Vec<u32> =
+                            self.locks.set_elems(st.current_set).to_vec();
+                        let mut elems = base_elems;
+                        elems.push(elem);
+                        let save = st.current_set;
+                        st.current_set = self.locks.set(elems);
+                        st.region += 1;
+                        self.record_access(st, key, g, is_write);
+                        st.current_set = save;
+                        st.region += 1;
+                    } else {
+                        self.record_access(st, key, g, is_write);
+                    }
+                }
+                continue;
+            }
+            if let Some((class, field, is_write)) = instr.stmt.static_access() {
+                self.record_access(st, MemKey::Static(class, field), g, is_write);
+                continue;
+            }
+            match &instr.stmt {
+                Stmt::MonitorEnter { var } => {
+                    let elems = self.lock_elems_for_var(mi, *var, g);
+                    self.record_acquire(st, g, elems.clone());
+                    st.lock_stack.push(elems);
+                    st.current_set = self.recompute_lockset(st);
+                    st.region += 1;
+                }
+                Stmt::MonitorExit { .. } => {
+                    st.lock_stack.pop();
+                    self.record_release(st);
+                    st.current_set = self.recompute_lockset(st);
+                    st.region += 1;
+                }
+                Stmt::Call { .. } | Stmt::New { .. } | Stmt::Spawn { .. } => {
+                    let targets: Vec<CallTarget> = self.pta.callees(mi, idx).to_vec();
+                    for t in targets {
+                        match t {
+                            CallTarget::Normal(callee) => {
+                                self.walk_method(st, callee, depth + 1);
+                            }
+                            CallTarget::Entry { origin: child, .. }
+                            | CallTarget::SpawnEntry { origin: child, .. } => {
+                                // Entry node: parent's position happens-
+                                // before everything in the child.
+                                self.entry_edges.push(EntryEdge {
+                                    parent: st.origin,
+                                    pos: st.pos,
+                                    child,
+                                    stmt: g,
+                                });
+                                st.pos += 1;
+                                st.region += 1;
+                                st.inter_epoch += 1;
+                            }
+                        }
+                    }
+                }
+                Stmt::Join { .. } => {
+                    let joined: Vec<OriginId> = self.pta.joined_origins(mi, idx).to_vec();
+                    for child in joined {
+                        self.join_edges.push(JoinEdge {
+                            child,
+                            parent: st.origin,
+                            pos: st.pos,
+                            stmt: g,
+                        });
+                        st.pos += 1;
+                        st.region += 1;
+                        st.inter_epoch += 1;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if synced {
+            st.lock_stack.pop();
+            self.record_release(st);
+            st.current_set = self.recompute_lockset(st);
+            st.region += 1;
+        }
+        // Allow re-walking this method when encountered under a different
+        // lockset later; keep it visited for the same lockset.
+    }
+}

@@ -1,0 +1,181 @@
+//! Canonical lockset representation — the second optimization of §4.1.
+//!
+//! Every distinct combination of locks is interned once and referred to by
+//! a [`LockSetId`]; disjointness between two canonical ids is computed once
+//! and cached. This replaces per-access lock lists with a single integer
+//! and turns the common-lock check into a cache lookup.
+
+use o2_ir::ids::ClassId;
+use o2_ir::util::Interner;
+use o2_pta::ObjId;
+use std::collections::HashMap;
+
+/// One lock in a lockset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LockElem {
+    /// A monitor on an abstract object.
+    Obj(ObjId),
+    /// The class-level monitor of a static synchronized method.
+    Class(ClassId),
+    /// The implicit lock serializing all event handlers of one dispatcher
+    /// (§4.2: "we protect the memory accesses within all the event
+    /// handlers by one global lock").
+    Dispatcher(u16),
+    /// The implicit per-cell serialization of atomic accesses: two atomic
+    /// operations on the same `(object, field)` never race with each
+    /// other, while a plain access to the same cell (which does not hold
+    /// this element) still does — the paper's future-work treatment of
+    /// `std::atomic`, modeled as happens-before via mutual exclusion.
+    AtomicCell(ObjId, o2_ir::ids::FieldId),
+}
+
+/// An interned canonical lockset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LockSetId(pub u32);
+
+impl LockSetId {
+    /// The empty lockset.
+    pub const EMPTY: LockSetId = LockSetId(0);
+}
+
+/// The lockset interner plus the disjointness cache.
+#[derive(Debug)]
+pub struct LockTable {
+    elems: Interner<LockElem>,
+    sets: Interner<Vec<u32>>,
+    disjoint_cache: HashMap<(u32, u32), bool>,
+    /// Number of disjointness queries answered from the cache.
+    pub cache_hits: u64,
+    /// Number of disjointness queries computed.
+    pub cache_misses: u64,
+}
+
+impl Default for LockTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LockTable {
+    /// Creates a table with the empty lockset pre-interned as
+    /// [`LockSetId::EMPTY`].
+    pub fn new() -> Self {
+        let mut t = LockTable {
+            elems: Interner::new(),
+            sets: Interner::new(),
+            disjoint_cache: HashMap::new(),
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        let empty = t.sets.intern(Vec::new());
+        debug_assert_eq!(empty, 0);
+        t
+    }
+
+    /// Interns one lock element.
+    pub fn elem(&mut self, e: LockElem) -> u32 {
+        self.elems.intern(e)
+    }
+
+    /// Interns a lockset from element ids (deduplicated and sorted here).
+    pub fn set(&mut self, mut elems: Vec<u32>) -> LockSetId {
+        elems.sort_unstable();
+        elems.dedup();
+        LockSetId(self.sets.intern(elems))
+    }
+
+    /// Returns the element ids of a canonical lockset (sorted).
+    pub fn set_elems(&self, id: LockSetId) -> &[u32] {
+        self.sets.resolve(id.0)
+    }
+
+    /// Resolves an element id back to its [`LockElem`].
+    pub fn elem_data(&self, id: u32) -> LockElem {
+        *self.elems.resolve(id)
+    }
+
+    /// Returns `true` if the two locksets share no lock. Cached per
+    /// unordered id pair.
+    pub fn disjoint(&mut self, a: LockSetId, b: LockSetId) -> bool {
+        if a == LockSetId::EMPTY || b == LockSetId::EMPTY {
+            return true;
+        }
+        if a == b {
+            return false;
+        }
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if let Some(&d) = self.disjoint_cache.get(&key) {
+            self.cache_hits += 1;
+            return d;
+        }
+        self.cache_misses += 1;
+        let d = !intersects(self.sets.resolve(a.0), self.sets.resolve(b.0));
+        self.disjoint_cache.insert(key, d);
+        d
+    }
+
+    /// Uncached disjointness — used by the naive baseline detector to model
+    /// per-pair lock-list comparison.
+    pub fn disjoint_uncached(&self, a: LockSetId, b: LockSetId) -> bool {
+        !intersects(self.sets.resolve(a.0), self.sets.resolve(b.0))
+    }
+
+    /// Number of distinct lock combinations seen.
+    pub fn num_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
+
+fn intersects(a: &[u32], b: &[u32]) -> bool {
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_set_is_id_zero() {
+        let mut t = LockTable::new();
+        assert_eq!(t.set(vec![]), LockSetId::EMPTY);
+    }
+
+    #[test]
+    fn sets_are_canonical() {
+        let mut t = LockTable::new();
+        let a = t.elem(LockElem::Obj(ObjId(1)));
+        let b = t.elem(LockElem::Obj(ObjId(2)));
+        let s1 = t.set(vec![a, b]);
+        let s2 = t.set(vec![b, a, a]);
+        assert_eq!(s1, s2);
+    }
+
+    #[test]
+    fn disjointness_and_cache() {
+        let mut t = LockTable::new();
+        let a = t.elem(LockElem::Obj(ObjId(1)));
+        let b = t.elem(LockElem::Obj(ObjId(2)));
+        let c = t.elem(LockElem::Dispatcher(0));
+        let s_ab = t.set(vec![a, b]);
+        let s_bc = t.set(vec![b, c]);
+        let s_c = t.set(vec![c]);
+        assert!(!t.disjoint(s_ab, s_bc));
+        assert!(t.disjoint(s_ab, s_c));
+        assert!(t.disjoint(s_ab, LockSetId::EMPTY));
+        assert!(!t.disjoint(s_c, s_c));
+        let misses = t.cache_misses;
+        assert!(t.disjoint(s_ab, s_c));
+        assert_eq!(t.cache_misses, misses, "second query hits the cache");
+        assert!(t.cache_hits >= 1);
+        assert!(!t.disjoint_uncached(s_ab, s_bc));
+        assert!(t.disjoint_uncached(s_ab, s_c));
+    }
+}

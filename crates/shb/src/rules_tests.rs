@@ -1,0 +1,328 @@
+//! Per-rule tests for the Table 4 SHB construction rules: each test
+//! isolates one rule and checks the trace/edge structure it produces.
+
+#![cfg(test)]
+
+use crate::{build_shb, LockSetId, ShbConfig, ShbGraph};
+use o2_analysis::MemKey;
+use o2_ir::parser::parse;
+use o2_pta::{analyze, OriginId, Policy, PtaConfig};
+
+fn shb(src: &str) -> (o2_ir::Program, ShbGraph) {
+    let p = parse(src).unwrap();
+    let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+    let g = build_shb(&p, &pta, &ShbConfig::default());
+    (p, g)
+}
+
+/// Rules ⓮/⓯: field writes and reads become write/read nodes, one per
+/// pointed-to object, in program order.
+#[test]
+fn rules_14_15_field_access_nodes() {
+    let src = r#"
+        class C { field f; }
+        class Main {
+            static method main() {
+                x = new C();
+                x.f = x;
+                y = x.f;
+            }
+        }
+    "#;
+    let (p, g) = shb(src);
+    let f = p.field_by_name("f").unwrap();
+    let root = &g.traces[OriginId::ROOT.0 as usize];
+    let nodes: Vec<_> = root
+        .accesses
+        .iter()
+        .filter(|a| matches!(a.key, MemKey::Field(_, ff) if ff == f))
+        .collect();
+    assert_eq!(nodes.len(), 2);
+    assert!(nodes[0].is_write);
+    assert!(!nodes[1].is_write);
+    assert!(nodes[0].pos < nodes[1].pos, "program order = position order");
+}
+
+/// Rules ⓰/⓱: array accesses produce nodes on the `*` field.
+#[test]
+fn rules_16_17_array_access_nodes() {
+    let src = r#"
+        class C { }
+        class Main {
+            static method main() {
+                a = newarray;
+                v = new C();
+                a[*] = v;
+                w = a[*];
+            }
+        }
+    "#;
+    let (_, g) = shb(src);
+    let root = &g.traces[OriginId::ROOT.0 as usize];
+    let stars: Vec<_> = root
+        .accesses
+        .iter()
+        .filter(|a| matches!(a.key, MemKey::Field(_, f) if f == o2_ir::ARRAY_FIELD))
+        .collect();
+    assert_eq!(stars.len(), 2);
+    assert!(stars[0].is_write && !stars[1].is_write);
+}
+
+/// Rule ⓲: calls inline the callee's nodes between the caller's
+/// surrounding nodes (call → f_first, f_last → call_next).
+#[test]
+fn rule_18_call_nodes_in_order() {
+    let src = r#"
+        class C { field pre; field inner; field post; }
+        class Lib { static method touch(x) { x.inner = x; } }
+        class Main {
+            static method main() {
+                x = new C();
+                x.pre = x;
+                Lib::touch(x);
+                x.post = x;
+            }
+        }
+    "#;
+    let (p, g) = shb(src);
+    let root = &g.traces[OriginId::ROOT.0 as usize];
+    let pos_of = |name: &str| {
+        let f = p.field_by_name(name).unwrap();
+        root.accesses
+            .iter()
+            .find(|a| matches!(a.key, MemKey::Field(_, ff) if ff == f))
+            .unwrap()
+            .pos
+    };
+    let (pre, inner, post) = (pos_of("pre"), pos_of("inner"), pos_of("post"));
+    assert!(pre < inner, "callee nodes come after the call");
+    assert!(inner < post, "callee nodes come before the continuation");
+}
+
+/// Rule ⓳: `synchronized` produces lock/unlock effects — accesses inside
+/// carry the monitor's objects in their lockset, one lockset per
+/// points-to target of the lock variable.
+#[test]
+fn rule_19_lock_nodes_per_object() {
+    let src = r#"
+        class C { field f; }
+        class L { }
+        class Main {
+            static method main() {
+                x = new C();
+                l1 = new L();
+                l2 = new L();
+                l = l1;
+                l = l2;
+                sync (l) { x.f = x; }
+            }
+        }
+    "#;
+    let (p, g) = shb(src);
+    let f = p.field_by_name("f").unwrap();
+    let root = &g.traces[OriginId::ROOT.0 as usize];
+    let w = root
+        .accesses
+        .iter()
+        .find(|a| matches!(a.key, MemKey::Field(_, ff) if ff == f))
+        .unwrap();
+    // The lock variable may point to either L object: both are in the
+    // lockset (may-lock, as in the paper's rule ∀⟨o,Ok⟩ ∈ pts(x)).
+    assert_eq!(g.locks.set_elems(w.lockset).len(), 2);
+}
+
+/// Rule ⓬ (inter-origin): `x.entry(..)` produces an entry edge from the
+/// parent's position to the child origin.
+#[test]
+fn rule_20_entry_edge() {
+    let src = r#"
+        class W impl Runnable { method run() { } }
+        class Main {
+            static method main() {
+                w = new W();
+                w.start();
+            }
+        }
+    "#;
+    let (_, g) = shb(src);
+    assert_eq!(g.entry_edges.len(), 1);
+    let e = &g.entry_edges[0];
+    assert_eq!(e.parent, OriginId::ROOT);
+    assert_ne!(e.child, OriginId::ROOT);
+    // Everything in the child happens after the parent's entry position.
+    assert!(g.happens_before((e.parent, e.pos.saturating_sub(1)), (e.child, 0)));
+}
+
+/// Rule ⓭ (inter-origin): `x.join()` produces a join edge into the
+/// parent's position.
+#[test]
+fn rule_21_join_edge() {
+    let src = r#"
+        class W impl Runnable { method run() { } }
+        class Main {
+            static method main() {
+                w = new W();
+                w.start();
+                join w;
+            }
+        }
+    "#;
+    let (_, g) = shb(src);
+    assert_eq!(g.join_edges.len(), 1);
+    let j = &g.join_edges[0];
+    assert_eq!(j.parent, OriginId::ROOT);
+    // Everything in the child happens before the parent's join position.
+    assert!(g.happens_before((j.child, 0), (j.parent, j.pos)));
+}
+
+/// Statics produce nodes keyed by (class, field) signatures.
+#[test]
+fn static_access_nodes() {
+    let src = r#"
+        class G { }
+        class Main {
+            static method main() {
+                v = new G();
+                G::slot = v;
+                w = G::slot;
+            }
+        }
+    "#;
+    let (p, g) = shb(src);
+    let root = &g.traces[OriginId::ROOT.0 as usize];
+    let statics: Vec<_> = root
+        .accesses
+        .iter()
+        .filter(|a| matches!(a.key, MemKey::Static(..)))
+        .collect();
+    assert_eq!(statics.len(), 2);
+    let _ = p;
+}
+
+/// Static synchronized methods hold the class monitor.
+#[test]
+fn static_sync_method_holds_class_lock() {
+    let src = r#"
+        class G { }
+        class Lib {
+            static sync method poke() { v = G::slot; G::slot = v; }
+        }
+        class Main {
+            static method main() { Lib::poke(); }
+        }
+    "#;
+    let (_, g) = shb(src);
+    let root = &g.traces[OriginId::ROOT.0 as usize];
+    let w = root
+        .accesses
+        .iter()
+        .find(|a| a.is_write)
+        .expect("the static store");
+    assert_ne!(w.lockset, LockSetId::EMPTY);
+    assert_eq!(root.acquires.len(), 1);
+    assert_ne!(root.acquires[0].released_pos, u32::MAX);
+}
+
+/// Re-walking a method under a different lockset records both variants
+/// (no false negatives from visited-set merging).
+#[test]
+fn rewalk_under_different_lockset() {
+    let src = r#"
+        class C { field f; }
+        class Lib { static method touch(x) { x.f = x; } }
+        class Main {
+            static method main() {
+                x = new C();
+                Lib::touch(x);
+                sync (x) { Lib::touch(x); }
+            }
+        }
+    "#;
+    let (p, g) = shb(src);
+    let f = p.field_by_name("f").unwrap();
+    let root = &g.traces[OriginId::ROOT.0 as usize];
+    let writes: Vec<_> = root
+        .accesses
+        .iter()
+        .filter(|a| matches!(a.key, MemKey::Field(_, ff) if ff == f))
+        .collect();
+    assert_eq!(writes.len(), 2, "one unlocked + one locked variant");
+    assert!(writes.iter().any(|a| a.lockset == LockSetId::EMPTY));
+    assert!(writes.iter().any(|a| a.lockset != LockSetId::EMPTY));
+}
+
+/// The dot exports produce well-formed Graphviz text.
+#[test]
+fn dot_exports() {
+    let src = r#"
+        class W impl Runnable { method run() { } }
+        class Main {
+            static method main() {
+                w = new W();
+                w.start();
+                join w;
+            }
+        }
+    "#;
+    let p = parse(src).unwrap();
+    let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+    let g = build_shb(&p, &pta, &ShbConfig::default());
+    let shb_dot = g.to_dot(&pta);
+    assert!(shb_dot.starts_with("digraph shb {"), "{shb_dot}");
+    assert!(shb_dot.contains("thread"), "{shb_dot}");
+    assert!(shb_dot.contains("join@"), "{shb_dot}");
+    assert!(shb_dot.ends_with("}\n"));
+    let cg_dot = pta.callgraph_to_dot(&p);
+    assert!(cg_dot.starts_with("digraph callgraph {"), "{cg_dot}");
+    assert!(cg_dot.contains("W.run"), "{cg_dot}");
+    assert!(cg_dot.contains("color=red"), "entry edges highlighted: {cg_dot}");
+}
+
+/// Regression: a method called both before and after a spawn must have its
+/// accesses recorded at BOTH positions — memoizing only the first call
+/// would falsely order the post-spawn access before the entry edge.
+#[test]
+fn rewalk_after_inter_origin_edge() {
+    let src = r#"
+        class S { field data; }
+        class Lib { static method touch(s) { x = s.data; } }
+        class W impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.data = s; }
+        }
+        class Main {
+            static method main() {
+                s = new S();
+                Lib::touch(s);
+                w = new W(s);
+                w.start();
+                Lib::touch(s);
+            }
+        }
+    "#;
+    let p = parse(src).unwrap();
+    let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+    let g = build_shb(&p, &pta, &ShbConfig::default());
+    let data = p.field_by_name("data").unwrap();
+    let root = &g.traces[OriginId::ROOT.0 as usize];
+    let reads: Vec<u32> = root
+        .accesses
+        .iter()
+        .filter(|a| matches!(a.key, MemKey::Field(_, f) if f == data) && !a.is_write)
+        .map(|a| a.pos)
+        .collect();
+    assert_eq!(reads.len(), 2, "both touch() calls must appear in the trace");
+    let entry_pos = g.entry_edges[0].pos;
+    assert!(reads[0] < entry_pos, "first read precedes the spawn");
+    assert!(reads[1] > entry_pos, "second read follows the spawn");
+    // And the race is real: the post-spawn read vs the thread write.
+    let child = g.entry_edges[0].child;
+    let w = g.traces[child.0 as usize]
+        .accesses
+        .iter()
+        .find(|a| a.is_write)
+        .unwrap();
+    assert!(!g.happens_before((OriginId::ROOT, reads[1]), (child, w.pos)));
+    assert!(!g.happens_before((child, w.pos), (OriginId::ROOT, reads[1])));
+}

@@ -1,0 +1,309 @@
+//! The Android analysis harness of §4.2.
+//!
+//! Android apps have no `main`; O2 "automatically generate\[s\] an analysis
+//! harness from the main Activity" (found in `AndroidManifest.xml`),
+//! treats **lifecycle** event handlers (`onCreate`, `onStart`, …) as
+//! ordinary *method calls* on the UI thread, treats **normal** event
+//! handlers as *origin entries*, and follows `startActivity` /
+//! `startActivityForResult` into new per-activity harnesses.
+//!
+//! This module provides the same pipeline over a declarative app model:
+//! an [`AppSpec`] (the manifest analogue) is compiled by [`build_harness`]
+//! into an IR [`Program`] whose synthetic `main` plays the role of the
+//! generated harness.
+
+use o2_ir::builder::ProgramBuilder;
+use o2_ir::program::Program;
+use std::collections::BTreeSet;
+
+/// The lifecycle callbacks invoked, in order, for every activity —
+/// modeled as plain method calls, per §4.2.
+pub const LIFECYCLE: [&str; 4] = ["onCreate", "onStart", "onResume", "onDestroy"];
+
+/// One event handler registered by an activity.
+#[derive(Clone, Debug)]
+pub struct HandlerSpec {
+    /// Handler entry method name. Must be (or be added as) an event entry
+    /// in the program's [`o2_ir::EntryPointConfig`]; defaults cover
+    /// `onReceive`, `handleEvent`, `actionPerformed`, `onMessageEvent`.
+    pub entry: String,
+    /// Field names of the activity's state the handler reads.
+    pub reads: Vec<String>,
+    /// Field names of the activity's state the handler writes.
+    pub writes: Vec<String>,
+}
+
+/// One background task (`AsyncTask` / worker thread) started by an
+/// activity — a genuine thread origin.
+#[derive(Clone, Debug)]
+pub struct TaskSpec {
+    /// Task class name suffix.
+    pub name: String,
+    /// Activity state fields the task reads.
+    pub reads: Vec<String>,
+    /// Activity state fields the task writes.
+    pub writes: Vec<String>,
+    /// If `true`, accesses are guarded by the activity's lock object.
+    pub locked: bool,
+}
+
+/// One activity of the app.
+#[derive(Clone, Debug)]
+pub struct ActivitySpec {
+    /// Activity class name.
+    pub name: String,
+    /// State fields initialized in `onCreate`.
+    pub state_fields: Vec<String>,
+    /// Registered (non-lifecycle) event handlers.
+    pub handlers: Vec<HandlerSpec>,
+    /// Background tasks spawned from `onCreate`.
+    pub tasks: Vec<TaskSpec>,
+    /// Activities started via `startActivity` (by name).
+    pub starts: Vec<String>,
+}
+
+/// The whole app: the manifest analogue.
+#[derive(Clone, Debug)]
+pub struct AppSpec {
+    /// The `AndroidManifest.xml` main activity.
+    pub main_activity: String,
+    /// All activities.
+    pub activities: Vec<ActivitySpec>,
+}
+
+impl AppSpec {
+    fn activity(&self, name: &str) -> Option<&ActivitySpec> {
+        self.activities.iter().find(|a| a.name == name)
+    }
+}
+
+/// Compiles an [`AppSpec`] into an analyzable [`Program`].
+///
+/// The synthetic `main` is the harness: for the main activity (and,
+/// transitively, every activity reachable through `startActivity`) it
+/// calls the lifecycle methods as plain calls, dispatches each registered
+/// handler (an event origin on dispatcher 0 — the Android main thread),
+/// and `onCreate` spawns the declared background tasks (thread origins).
+///
+/// # Panics
+///
+/// Panics if `main_activity` names an unknown activity or the spec is
+/// internally inconsistent (these are programming errors in the spec).
+pub fn build_harness(app: &AppSpec) -> Program {
+    let mut pb = ProgramBuilder::new();
+    pb.add_class("Bundle", None);
+    pb.add_class("Intent", None);
+    pb.add_class("UiLock", None);
+
+    // Declare every activity class with its lifecycle, handlers, tasks.
+    for act in &app.activities {
+        let task_classes: Vec<String> = act
+            .tasks
+            .iter()
+            .map(|t| format!("{}${}", act.name, t.name))
+            .collect();
+        for (t, tc) in act.tasks.iter().zip(&task_classes) {
+            let cls = pb.add_class(tc.clone(), None);
+            {
+                let mut m = pb.begin_ctor(cls, &["act", "lk"]);
+                m.store("this", "taskAct", "act");
+                m.store("this", "taskLock", "lk");
+                m.finish();
+            }
+            {
+                let mut m = pb.begin_method(cls, "run", &[]);
+                m.load(Some("act"), "this", "taskAct");
+                m.load(Some("lk"), "this", "taskLock");
+                let emit = |m: &mut o2_ir::builder::MethodBuilder<'_>| {
+                    for f in &t.reads {
+                        m.load(None, "act", f);
+                    }
+                    for f in &t.writes {
+                        m.store("act", f, "act");
+                    }
+                };
+                if t.locked {
+                    m.sync("lk", emit);
+                } else {
+                    emit(&mut m);
+                }
+                m.finish();
+            }
+        }
+        let handler_classes: Vec<String> = act
+            .handlers
+            .iter()
+            .enumerate()
+            .map(|(i, _)| format!("{}$H{i}", act.name))
+            .collect();
+        for (h, hc) in act.handlers.iter().zip(&handler_classes) {
+            let cls = pb.add_class(hc.clone(), None);
+            {
+                let mut m = pb.begin_ctor(cls, &["act"]);
+                m.store("this", "handlerAct", "act");
+                m.finish();
+            }
+            {
+                let mut m = pb.begin_method(cls, &h.entry, &["intent"]);
+                m.load(Some("act"), "this", "handlerAct");
+                for f in &h.reads {
+                    m.load(None, "act", f);
+                }
+                for f in &h.writes {
+                    m.store("act", f, "act");
+                }
+                m.finish();
+            }
+        }
+        let cls = pb.add_class(act.name.clone(), None);
+        {
+            let mut m = pb.begin_ctor(cls, &[]);
+            m.new_obj("lk", "UiLock", &[]);
+            m.store("this", "uiLock", "lk");
+            m.finish();
+        }
+        {
+            // onCreate initializes state and spawns tasks.
+            let mut m = pb.begin_method(cls, "onCreate", &["bundle"]);
+            for f in &act.state_fields {
+                m.new_obj("st", "Bundle", &[]);
+                m.store("this", f, "st");
+            }
+            m.load(Some("lk"), "this", "uiLock");
+            for tc in &task_classes {
+                let v = format!("t_{}", tc.replace(['$', '.'], "_"));
+                m.new_obj(&v, tc, &["this", "lk"]);
+                m.call(None, &v, "start", &[]);
+            }
+            m.finish();
+        }
+        for name in &LIFECYCLE[1..] {
+            let mut m = pb.begin_method(cls, name, &["bundle"]);
+            // Lifecycle callbacks touch the state on the UI thread.
+            for f in act.state_fields.iter().take(1) {
+                m.load(None, "this", f);
+            }
+            m.finish();
+        }
+    }
+
+    // The harness: walk activities from the main activity across
+    // startActivity edges.
+    let harness_cls = pb.add_class("Harness", None);
+    let mut visited: BTreeSet<&str> = BTreeSet::new();
+    let mut order: Vec<&ActivitySpec> = Vec::new();
+    let mut stack = vec![app.main_activity.as_str()];
+    while let Some(name) = stack.pop() {
+        if !visited.insert(name) {
+            continue;
+        }
+        let act = app
+            .activity(name)
+            .unwrap_or_else(|| panic!("unknown activity {name}"));
+        order.push(act);
+        for s in &act.starts {
+            stack.push(s.as_str());
+        }
+    }
+    {
+        let mut m = pb.begin_static_method(harness_cls, "main", &[]);
+        m.new_obj("bundle", "Bundle", &[]);
+        m.new_obj("intent", "Intent", &[]);
+        for act in &order {
+            let v = format!("a_{}", act.name.replace('.', "_"));
+            m.new_obj(&v, &act.name, &[]);
+            // Lifecycle: plain method calls (§4.2).
+            for lc in LIFECYCLE {
+                m.call(None, &v, lc, &["bundle"]);
+            }
+            // Normal handlers: origin entries.
+            for (i, h) in act.handlers.iter().enumerate() {
+                let hv = format!("h_{}_{i}", act.name.replace('.', "_"));
+                let hc = format!("{}$H{i}", act.name);
+                m.new_obj(&hv, &hc, &[&v]);
+                m.call(None, &hv, &h.entry, &["intent"]);
+            }
+        }
+        m.finish();
+    }
+    let program = pb.finish().expect("harness construction is internally consistent");
+    o2_ir::validate::assert_valid(&program);
+    program
+}
+
+/// A ready-made demo app: a browser-like two-activity app with a
+/// background fetcher racing against a settings handler (the Firefox
+/// Focus shape).
+pub fn demo_app() -> AppSpec {
+    AppSpec {
+        main_activity: "MainActivity".to_string(),
+        activities: vec![
+            ActivitySpec {
+                name: "MainActivity".to_string(),
+                state_fields: vec!["session".to_string(), "theme".to_string()],
+                handlers: vec![
+                    HandlerSpec {
+                        entry: "onReceive".to_string(),
+                        reads: vec!["session".to_string()],
+                        writes: vec!["theme".to_string()],
+                    },
+                    HandlerSpec {
+                        entry: "handleEvent".to_string(),
+                        reads: vec!["theme".to_string()],
+                        writes: vec![],
+                    },
+                ],
+                tasks: vec![TaskSpec {
+                    name: "Fetcher".to_string(),
+                    reads: vec!["theme".to_string()],
+                    writes: vec!["session".to_string()],
+                    locked: false,
+                }],
+                starts: vec!["SettingsActivity".to_string()],
+            },
+            ActivitySpec {
+                name: "SettingsActivity".to_string(),
+                state_fields: vec!["prefs".to_string()],
+                handlers: vec![HandlerSpec {
+                    entry: "onReceive".to_string(),
+                    reads: vec![],
+                    writes: vec!["prefs".to_string()],
+                }],
+                tasks: vec![],
+                starts: vec![],
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_app_builds() {
+        let p = build_harness(&demo_app());
+        assert!(p.class_by_name("MainActivity").is_some());
+        assert!(p.class_by_name("SettingsActivity").is_some());
+        assert!(p.class_by_name("MainActivity$Fetcher").is_some());
+    }
+
+    #[test]
+    fn start_activity_chain_is_followed() {
+        let app = demo_app();
+        let p = build_harness(&app);
+        // The harness must dispatch SettingsActivity's handler too: its
+        // handler class exists and its entry method is reachable as an
+        // origin (checked end-to-end in the integration tests; here we
+        // check the structure).
+        assert!(p.class_by_name("SettingsActivity$H0").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown activity")]
+    fn unknown_start_target_panics() {
+        let mut app = demo_app();
+        app.activities[0].starts.push("Nope".to_string());
+        let _ = build_harness(&app);
+    }
+}

@@ -1,0 +1,806 @@
+//! Deterministic synthetic workload generator.
+//!
+//! Each paper benchmark is reproduced *in shape*: the number of origins,
+//! the thread/event mix, call-chain depth, alias structure, and lock
+//! discipline are controlled per benchmark, because those are the program
+//! properties that drive the relative cost and precision of the context
+//! abstractions compared in Tables 5–9.
+//!
+//! ## Planted patterns
+//!
+//! **True races** (`planted_races`, `racy_statics`) — origin-shared fields
+//! written without a common lock. Every sound analysis must report them.
+//!
+//! **Protected sharing** (`protected_fields`) — shared fields consistently
+//! guarded by one lock (exercises lockset pruning).
+//!
+//! **Fork-join ordering** (`fork_join_fields`) — written by a joined
+//! thread, read by main after `join` (exercises happens-before pruning).
+//!
+//! **False-positive bait** — origin-local data flowing through shared code,
+//! conflated by weaker context abstractions but proven local by OPA
+//! (the §5.3 precision mechanism). Four sub-patterns with distinct
+//! signatures:
+//!
+//! | pattern                   | conflated by                      |
+//! |---------------------------|-----------------------------------|
+//! | `merges_depth1`           | 0-ctx                             |
+//! | `merges_depth2`           | 0-ctx, 1-CFA                      |
+//! | `merges_depth3`           | 0-ctx, 1-CFA, 2-CFA               |
+//! | `factory_merges`          | 0-ctx, k-obj (singleton receiver) |
+//! | `heap_conflations`        | 0-ctx, k-CFA (1-deep heap ctx)    |
+//!
+//! A *context-stress* component (static call fans and builder chains)
+//! multiplies the method instances of k-CFA/k-obj without affecting 0-ctx
+//! or OPA, reproducing the Table 5 performance gap.
+
+use o2_ir::builder::{MethodBuilder, ProgramBuilder};
+use o2_ir::origins::OriginKind;
+use o2_ir::program::Program;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one synthetic workload.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Workload name (used in reports).
+    pub name: String,
+    /// RNG seed; generation is fully deterministic in the spec.
+    pub seed: u64,
+    /// Number of thread origins spawned from main.
+    pub n_threads: usize,
+    /// Number of event-handler origins dispatched from main (dispatcher 0).
+    pub n_events: usize,
+    /// Call-chain depth from an origin entry to the shared accesses.
+    pub call_depth: usize,
+    /// Number of truly shared data objects (workers use them round-robin).
+    pub n_shared_objects: usize,
+    /// Ground-truth racy instance fields.
+    pub planted_races: usize,
+    /// Ground-truth racy static (global) fields.
+    pub racy_statics: usize,
+    /// Shared fields protected by a common lock.
+    pub protected_fields: usize,
+    /// Shared fields ordered by fork-join.
+    pub fork_join_fields: usize,
+    /// Param-merge bait at chain depth 1 (0-ctx false positives).
+    pub merges_depth1: usize,
+    /// Param-merge bait at chain depth 2 (0-ctx and 1-CFA).
+    pub merges_depth2: usize,
+    /// Param-merge bait at chain depth 3 (0-ctx, 1-CFA, 2-CFA).
+    pub merges_depth3: usize,
+    /// Singleton-factory bait (0-ctx and k-obj).
+    pub factory_merges: usize,
+    /// Deep-allocation bait (0-ctx and k-CFA, via 1-deep heap contexts).
+    pub heap_conflations: usize,
+    /// Width of the static call fan (k-CFA cost multiplier).
+    pub stress_fan_width: usize,
+    /// Depth of the static call fan.
+    pub stress_fan_depth: usize,
+    /// Length of the builder chain (k-obj cost multiplier).
+    pub stress_builders: usize,
+    /// Spawn thread 0 twice through a wrapper called from two sites (§3.2).
+    pub use_wrappers: bool,
+    /// Spawn thread 1 inside a loop (origin doubling).
+    pub loop_spawn: bool,
+    /// Thread 0 spawns a nested child thread (k-origin nesting, cf. Redis).
+    pub nested_spawn: bool,
+    /// Use C-style `spawn` (pthread_create) instead of Runnable objects.
+    pub c_style: bool,
+    /// Extra self-contained statements per method (scales program size).
+    pub filler: usize,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            name: "default".to_string(),
+            seed: 42,
+            n_threads: 3,
+            n_events: 0,
+            call_depth: 3,
+            n_shared_objects: 1,
+            planted_races: 2,
+            racy_statics: 1,
+            protected_fields: 2,
+            fork_join_fields: 1,
+            merges_depth1: 1,
+            merges_depth2: 1,
+            merges_depth3: 1,
+            factory_merges: 1,
+            heap_conflations: 1,
+            stress_fan_width: 3,
+            stress_fan_depth: 3,
+            stress_builders: 3,
+            use_wrappers: false,
+            loop_spawn: false,
+            nested_spawn: false,
+            c_style: false,
+            filler: 2,
+        }
+    }
+}
+
+/// Ground truth recorded during generation.
+#[derive(Clone, Debug, Default)]
+pub struct GroundTruth {
+    /// Racy instance/static fields whose race is *realized* (at least two
+    /// concurrently-running origins access them).
+    pub racy_fields: Vec<String>,
+    /// Shared-but-safe fields (protected or fork-join ordered).
+    pub benign_fields: Vec<String>,
+    /// Bait fields per pattern (false positives for the policies listed in
+    /// the module docs).
+    pub merge1_fields: Vec<String>,
+    /// Depth-2 param-merge bait fields.
+    pub merge2_fields: Vec<String>,
+    /// Depth-3 param-merge bait fields.
+    pub merge3_fields: Vec<String>,
+    /// Singleton-factory bait fields.
+    pub factory_fields: Vec<String>,
+    /// Deep-allocation bait fields.
+    pub heap_fields: Vec<String>,
+    /// Number of concurrently-running thread origins (incl. wrapper/loop
+    /// duplication).
+    pub effective_threads: usize,
+    /// Number of event origins.
+    pub effective_events: usize,
+}
+
+impl GroundTruth {
+    /// `true` if at least two origins can actually run in parallel (two
+    /// threads, or a thread plus an event — events alone are serialized by
+    /// the dispatcher lock).
+    pub fn has_parallelism(&self) -> bool {
+        self.effective_threads >= 2 || (self.effective_threads >= 1 && self.effective_events >= 1)
+    }
+}
+
+/// A generated program plus its ground truth.
+#[derive(Clone, Debug)]
+pub struct GeneratedWorkload {
+    /// The benchmark name.
+    pub name: String,
+    /// The generated program.
+    pub program: Program,
+    /// What was planted.
+    pub truth: GroundTruth,
+}
+
+/// Generates the workload described by `spec`.
+pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut truth = GroundTruth::default();
+    let mut pb = ProgramBuilder::new();
+
+    // Wrapper/loop/nested duplication is only emitted by the Java-style
+    // branch; C-style workers are spawned directly.
+    truth.effective_threads = spec.n_threads
+        + usize::from(spec.use_wrappers && spec.n_threads > 0 && !spec.c_style)
+        + usize::from(spec.loop_spawn && spec.n_threads > 1 && !spec.c_style)
+        + usize::from(spec.nested_spawn && spec.n_threads > 0 && !spec.c_style);
+    truth.effective_events = spec.n_events;
+    let n_origins = spec.n_threads + spec.n_events;
+    // Every shared object must be reached by at least two origins for its
+    // planted races to be realized.
+    let n_shared = spec.n_shared_objects.clamp(1, (n_origins / 2).max(1));
+
+    // ---- shared data classes ---------------------------------------------
+    let racy_per_obj = distribute(spec.planted_races, n_shared);
+    let prot_per_obj = distribute(spec.protected_fields, n_shared);
+    let fj_per_obj = distribute(spec.fork_join_fields, n_shared);
+    for i in 0..n_shared {
+        pb.add_class(format!("Shared{i}"), None);
+        for r in 0..racy_per_obj[i] {
+            let f = format!("racy{i}_{r}");
+            pb.field(&f);
+            if origins_on_object(spec, &truth, i, n_shared) {
+                truth.racy_fields.push(f);
+            }
+        }
+        for r in 0..prot_per_obj[i] {
+            let f = format!("prot{i}_{r}");
+            pb.field(&f);
+            truth.benign_fields.push(f);
+        }
+        for r in 0..fj_per_obj[i] {
+            let f = format!("fj{i}_{r}");
+            pb.field(&f);
+            truth.benign_fields.push(f);
+        }
+    }
+    pb.add_class("Lock", None);
+    pb.add_class("Val", None);
+    pb.add_class("Globals", None);
+    pb.field("pad");
+    for g in 0..spec.racy_statics {
+        let f = format!("gstat{g}");
+        pb.field(&f);
+        if truth.has_parallelism() {
+            truth.racy_fields.push(f);
+        }
+    }
+
+    // ---- false-positive bait classes --------------------------------------
+    let bait_realized = truth.has_parallelism();
+    for (cat, count, depth) in [
+        ("pm1", spec.merges_depth1, 1usize),
+        ("pm2", spec.merges_depth2, 2),
+        ("pm3", spec.merges_depth3, 3),
+    ] {
+        for j in 0..count {
+            let cls = pb.add_class(format!("{}_{j}_Data", cat.to_uppercase()), None);
+            let _ = cls;
+            let f = format!("{cat}v{j}");
+            pb.field(&f);
+            if bait_realized {
+                match depth {
+                    1 => truth.merge1_fields.push(f),
+                    2 => truth.merge2_fields.push(f),
+                    _ => truth.merge3_fields.push(f),
+                }
+            }
+        }
+    }
+    for j in 0..spec.factory_merges {
+        pb.add_class(format!("PF{j}_Data"), None);
+        let f = format!("pfv{j}");
+        pb.field(&f);
+        if bait_realized {
+            truth.factory_fields.push(f);
+        }
+    }
+    for j in 0..spec.heap_conflations {
+        pb.add_class(format!("HC{j}_Data"), None);
+        let f = format!("hcv{j}");
+        pb.field(&f);
+        if bait_realized {
+            truth.heap_fields.push(f);
+        }
+    }
+
+    // ---- bait helper code ---------------------------------------------------
+    // Param-merge chains: PmLib::pm{cat}_{j}_{level}(p). The pointer merge
+    // happens at the first shared frame, so a k-deep chain defeats k-CFA.
+    let pmlib = pb.add_class("PmLib", None);
+    for (cat, count, depth) in [
+        ("pm1", spec.merges_depth1, 1usize),
+        ("pm2", spec.merges_depth2, 2),
+        ("pm3", spec.merges_depth3, 3),
+    ] {
+        for j in 0..count {
+            for level in 1..=depth {
+                let mut m =
+                    pb.begin_static_method(pmlib, &format!("{cat}_{j}_{level}"), &["p"]);
+                if level < depth {
+                    let next = format!("{cat}_{j}_{}", level + 1);
+                    m.call_static(None, "PmLib", &next, &["p"]);
+                } else {
+                    let f = format!("{cat}v{j}");
+                    m.store("p", &f, "p");
+                    m.load(None, "p", &f);
+                }
+                m.finish();
+            }
+        }
+    }
+    // Singleton factory with instance mix methods.
+    if spec.factory_merges > 0 {
+        let fact = pb.add_class("Factory", None);
+        pb.begin_ctor(fact, &[]).finish();
+        for j in 0..spec.factory_merges {
+            let mut m = pb.begin_method(fact, &format!("mix{j}"), &["p"]);
+            let f = format!("pfv{j}");
+            m.store("p", &f, "p");
+            m.load(None, "p", &f);
+            m.finish();
+        }
+        pb.field("factory");
+    }
+    // Deep allocators: one allocation site whose 1-deep heap context cannot
+    // distinguish callers.
+    if spec.heap_conflations > 0 {
+        let ha = pb.add_class("HeapLib", None);
+        for j in 0..spec.heap_conflations {
+            let mut m = pb.begin_static_method(ha, &format!("halloc{j}"), &["holder"]);
+            let f = format!("hcv{j}");
+            let slot = format!("hslot{j}");
+            m.new_obj("o", &format!("HC{j}_Data"), &[]);
+            m.store("holder", &slot, "o");
+            m.load(Some("y"), "holder", &slot);
+            m.store("y", &f, "y");
+            m.load(None, "y", &f);
+            m.finish();
+            pb.field(&slot);
+        }
+    }
+
+    // ---- context stress -------------------------------------------------------
+    emit_context_stress(&mut pb, spec);
+
+    // ---- shared worker logic ----------------------------------------------------
+    emit_worker_body(&mut pb, spec, n_shared, &racy_per_obj, &prot_per_obj, &mut rng);
+
+    // ---- per-origin entry classes -------------------------------------------------
+    let emit_patterns = |m: &mut MethodBuilder<'_>, spec: &WorkloadSpec| {
+        for (cat, count) in [
+            ("pm1", spec.merges_depth1),
+            ("pm2", spec.merges_depth2),
+            ("pm3", spec.merges_depth3),
+        ] {
+            for j in 0..count {
+                let v = format!("lv_{cat}_{j}");
+                m.new_obj(&v, &format!("{}_{j}_Data", cat.to_uppercase()), &[]);
+                let entry = format!("{cat}_{j}_1");
+                m.call_static(None, "PmLib", &entry, &[&v]);
+            }
+        }
+        for j in 0..spec.factory_merges {
+            let v = format!("lv_pf_{j}");
+            m.new_obj(&v, &format!("PF{j}_Data"), &[]);
+            m.load_static(Some("factRef"), "Globals", "factory");
+            let mix = format!("mix{j}");
+            m.call(None, "factRef", &mix, &[&v]);
+        }
+        for j in 0..spec.heap_conflations {
+            let h = format!("halloc{j}");
+            m.call_static(None, "HeapLib", &h, &["this"]);
+        }
+    };
+
+    if !spec.c_style {
+        for t in 0..spec.n_threads {
+            let cls = pb.add_class(format!("Worker{t}"), None);
+            {
+                let mut m = pb.begin_ctor(cls, &["shared", "lock"]);
+                m.store("this", "wshared", "shared");
+                m.store("this", "wlock", "lock");
+                m.finish();
+            }
+            {
+                let mut m = pb.begin_method(cls, "run", &[]);
+                m.load(Some("shared"), "this", "wshared");
+                m.load(Some("lock"), "this", "wlock");
+                m.call_static(None, "Work", "body", &["shared", "lock"]);
+                emit_patterns(&mut m, spec);
+                // The first handle-tracked thread of each shared object
+                // writes the fork-join fields.
+                if is_fj_writer(spec, t, n_shared) {
+                    let i = t % n_shared;
+                    for r in 0..fj_per_obj[i] {
+                        m.load(Some("v"), "this", "wshared");
+                        let f = format!("fj{i}_{r}");
+                        m.store("v", &f, "v");
+                    }
+                }
+                if spec.nested_spawn && t == 0 {
+                    m.new_obj("inner", "Nested", &["shared", "lock"]);
+                    m.call(None, "inner", "start", &[]);
+                }
+                m.finish();
+            }
+        }
+        if spec.nested_spawn {
+            let cls = pb.add_class("Nested", None);
+            {
+                let mut m = pb.begin_ctor(cls, &["shared", "lock"]);
+                m.store("this", "wshared", "shared");
+                m.store("this", "wlock", "lock");
+                m.finish();
+            }
+            {
+                let mut m = pb.begin_method(cls, "run", &[]);
+                m.load(Some("shared"), "this", "wshared");
+                m.load(Some("lock"), "this", "wlock");
+                m.call_static(None, "Work", "body", &["shared", "lock"]);
+                m.finish();
+            }
+        }
+    } else {
+        let cfun = pb.add_class("CThreads", None);
+        let csink = pb.add_class("CSink", None);
+        pb.begin_ctor(csink, &[]).finish();
+        pb.field("slock");
+        for t in 0..spec.n_threads {
+            let mut m = pb.begin_static_method(cfun, &format!("worker{t}"), &["shared"]);
+            m.load(Some("lock"), "shared", "slock");
+            m.call_static(None, "Work", "body", &["shared", "lock"]);
+            // C-style bait: param merges only (no receiver objects).
+            for (cat, count) in [
+                ("pm1", spec.merges_depth1),
+                ("pm2", spec.merges_depth2),
+                ("pm3", spec.merges_depth3),
+            ] {
+                for j in 0..count {
+                    let v = format!("lv_{cat}_{j}");
+                    m.new_obj(&v, &format!("{}_{j}_Data", cat.to_uppercase()), &[]);
+                    let entry = format!("{cat}_{j}_1");
+                    m.call_static(None, "PmLib", &entry, &[&v]);
+                }
+            }
+            // Per-origin holder so the bait stays a *false* positive.
+            if spec.heap_conflations > 0 {
+                m.new_obj("csink", "CSink", &[]);
+            }
+            for j in 0..spec.heap_conflations {
+                let h = format!("halloc{j}");
+                m.call_static(None, "HeapLib", &h, &["csink"]);
+            }
+            if is_fj_writer(spec, t, n_shared) {
+                let i = t % n_shared;
+                for r in 0..fj_per_obj[i] {
+                    let f = format!("fj{i}_{r}");
+                    m.store("shared", &f, "shared");
+                }
+            }
+            m.finish();
+        }
+    }
+
+    for e in 0..spec.n_events {
+        let cls = pb.add_class(format!("Handler{e}"), None);
+        {
+            let mut m = pb.begin_ctor(cls, &["shared", "lock"]);
+            m.store("this", "hshared", "shared");
+            m.store("this", "hlock", "lock");
+            m.finish();
+        }
+        {
+            let mut m = pb.begin_method(cls, "handleEvent", &["ev"]);
+            m.load(Some("shared"), "this", "hshared");
+            m.load(Some("lock"), "this", "hlock");
+            m.call_static(None, "Work", "body", &["shared", "lock"]);
+            emit_patterns(&mut m, spec);
+            m.finish();
+        }
+    }
+
+    if spec.use_wrappers && !spec.c_style && spec.n_threads > 0 {
+        let cls = pb.add_class("Spawner", None);
+        let mut m = pb.begin_static_method(cls, "startWorker", &["shared", "lock"]);
+        m.new_obj("w", "Worker0", &["shared", "lock"]);
+        m.call(None, "w", "start", &[]);
+        m.finish();
+    }
+
+    // ---- main ---------------------------------------------------------------------
+    let main_cls = pb.add_class("Main", None);
+    {
+        let mut m = pb.begin_static_method(main_cls, "main", &[]);
+        m.new_obj("lock", "Lock", &[]);
+        m.new_obj("val", "Val", &[]);
+        if spec.factory_merges > 0 {
+            m.new_obj("fact", "Factory", &[]);
+            m.store_static("Globals", "factory", "fact");
+        }
+        let mut shared_vars = Vec::new();
+        for i in 0..n_shared {
+            let v = format!("sh{i}");
+            m.new_obj(&v, &format!("Shared{i}"), &[]);
+            if spec.c_style {
+                m.store(&v, "slock", "lock");
+            }
+            shared_vars.push(v);
+        }
+        if (spec.stress_fan_depth > 0 && spec.stress_fan_width > 0) || spec.stress_builders > 0 {
+            m.new_obj("sacc", "StressAcc", &[]);
+        }
+        if spec.stress_fan_depth > 0 && spec.stress_fan_width > 0 {
+            m.call_static(None, "Stress", "fan0_0", &["sacc"]);
+        }
+        if spec.stress_builders > 0 {
+            m.call_static(None, "Stress", "builders", &["sacc"]);
+        }
+        let mut handles: Vec<String> = Vec::new();
+        for t in 0..spec.n_threads {
+            let sh = shared_vars[t % n_shared].clone();
+            if spec.c_style {
+                let h = format!("h{t}");
+                let target = format!("worker{t}");
+                m.spawn(Some(&h), "CThreads", &target, &[&sh], OriginKind::Thread);
+                handles.push(h);
+            } else if spec.use_wrappers && t == 0 {
+                m.call_static(None, "Spawner", "startWorker", &[&sh, "lock"]);
+                m.call_static(None, "Spawner", "startWorker", &[&sh, "lock"]);
+            } else if spec.loop_spawn && t == 1 {
+                let cls = format!("Worker{t}");
+                m.loop_body(|m| {
+                    m.new_obj("wl", &cls, &[&sh, "lock"]);
+                    m.call(None, "wl", "start", &[]);
+                });
+            } else {
+                let v = format!("w{t}");
+                let cls = format!("Worker{t}");
+                m.new_obj(&v, &cls, &[&sh, "lock"]);
+                m.call(None, &v, "start", &[]);
+                handles.push(v);
+            }
+        }
+        for e in 0..spec.n_events {
+            let sh = shared_vars[e % n_shared].clone();
+            let v = format!("hd{e}");
+            m.new_obj(&v, &format!("Handler{e}"), &[&sh, "lock"]);
+            m.call(None, &v, "handleEvent", &["val"]);
+        }
+        // Join every handle-tracked thread, then read the fork-join fields.
+        for h in &handles {
+            m.join(h);
+        }
+        for (i, v) in shared_vars.iter().enumerate() {
+            for r in 0..fj_per_obj[i] {
+                m.load(None, v, &format!("fj{i}_{r}"));
+            }
+        }
+        let _ = rng.gen::<u64>();
+        m.finish();
+    }
+
+    let program = pb.finish().unwrap_or_else(|e| panic!("generator bug: {e}"));
+    o2_ir::validate::assert_valid(&program);
+    GeneratedWorkload {
+        name: spec.name.clone(),
+        program,
+        truth,
+    }
+}
+
+/// Does shared object `i` see at least two concurrently-running origins?
+fn origins_on_object(
+    spec: &WorkloadSpec,
+    truth: &GroundTruth,
+    i: usize,
+    n_shared: usize,
+) -> bool {
+    let mut threads = (0..spec.n_threads).filter(|t| t % n_shared == i).count();
+    if spec.use_wrappers && spec.n_threads > 0 && !spec.c_style && i == 0 {
+        threads += 1; // worker 0 spawned twice
+    }
+    if spec.loop_spawn && spec.n_threads > 1 && !spec.c_style && 1 % n_shared == i {
+        threads += 1; // worker 1 doubled by the loop
+    }
+    if spec.nested_spawn && spec.n_threads > 0 && !spec.c_style && i == 0 {
+        threads += 1; // the nested child reuses worker 0's object
+    }
+    let events = (0..spec.n_events).filter(|e| e % n_shared == i).count();
+    let _ = truth;
+    threads >= 2 || (threads >= 1 && events >= 1)
+}
+
+/// The first handle-tracked thread per shared object writes its fork-join
+/// fields (so main's post-join read is ordered).
+fn is_fj_writer(spec: &WorkloadSpec, t: usize, n_shared: usize) -> bool {
+    if !spec.c_style && ((spec.use_wrappers && t == 0) || (spec.loop_spawn && t == 1)) {
+        return false; // not joinable
+    }
+    let i = t % n_shared;
+    // The first joinable thread mapped to object i.
+    (0..t).all(|u| {
+        u % n_shared != i
+            || (!spec.c_style && ((spec.use_wrappers && u == 0) || (spec.loop_spawn && u == 1)))
+    })
+}
+
+fn distribute(total: usize, buckets: usize) -> Vec<usize> {
+    let mut out = vec![total / buckets; buckets];
+    for slot in out.iter_mut().take(total % buckets) {
+        *slot += 1;
+    }
+    out
+}
+
+fn emit_worker_body(
+    pb: &mut ProgramBuilder,
+    spec: &WorkloadSpec,
+    n_shared: usize,
+    racy_per_obj: &[usize],
+    prot_per_obj: &[usize],
+    rng: &mut StdRng,
+) {
+    let work = pb.add_class("Work", None);
+    {
+        let mut m = pb.begin_static_method(work, "body", &["shared", "lock"]);
+        emit_filler(&mut m, spec.filler);
+        if spec.call_depth > 0 {
+            m.call_static(None, "Work", "step1", &["shared", "lock"]);
+        } else {
+            m.call_static(None, "Work", "accesses", &["shared", "lock"]);
+        }
+        m.finish();
+    }
+    for d in 1..=spec.call_depth {
+        let mut m = pb.begin_static_method(work, &format!("step{d}"), &["shared", "lock"]);
+        emit_filler(&mut m, spec.filler);
+        if d < spec.call_depth {
+            let next = format!("step{}", d + 1);
+            m.call_static(None, "Work", &next, &["shared", "lock"]);
+        } else {
+            m.call_static(None, "Work", "accesses", &["shared", "lock"]);
+        }
+        m.finish();
+    }
+    {
+        let mut m = pb.begin_static_method(work, "accesses", &["shared", "lock"]);
+        m.new_obj("val", "Val", &[]);
+        for i in 0..n_shared {
+            for r in 0..racy_per_obj[i] {
+                let f = format!("racy{i}_{r}");
+                if rng.gen_bool(0.5) {
+                    m.store("shared", &f, "val");
+                    m.load(None, "shared", &f);
+                } else {
+                    m.load(None, "shared", &f);
+                    m.store("shared", &f, "val");
+                }
+            }
+            for r in 0..prot_per_obj[i] {
+                let f = format!("prot{i}_{r}");
+                m.sync("lock", |m| {
+                    m.store("shared", &f, "val");
+                    m.load(None, "shared", &f);
+                });
+            }
+        }
+        for g in 0..spec.racy_statics {
+            let f = format!("gstat{g}");
+            m.store_static("Globals", &f, "val");
+            m.load_static(None, "Globals", &f);
+        }
+        emit_filler(&mut m, spec.filler);
+        m.finish();
+    }
+}
+
+fn emit_filler(m: &mut MethodBuilder<'_>, n: usize) {
+    for i in 0..n {
+        let v = format!("fill{i}");
+        m.new_obj(&v, "Val", &[]);
+        m.store(&v, "pad", &v);
+        m.load(None, &v, "pad");
+    }
+}
+
+fn emit_context_stress(pb: &mut ProgramBuilder, spec: &WorkloadSpec) {
+    // The accumulator object: every stress method deposits a fresh object
+    // into `acc.pool` / `acc.bpool` and reads the accumulated set back, so
+    // the solver's work grows with (#method instances) x (#abstract
+    // objects) -- both of which are multiplied by the context policy under
+    // test and stay linear under 0-ctx and OPA.
+    let acc_cls = pb.add_class("StressAcc", None);
+    pb.begin_ctor(acc_cls, &[]).finish();
+    pb.field("pool");
+    pb.field("bpool");
+    pb.field("pad");
+    let cls = pb.add_class("Stress", None);
+    let w = spec.stress_fan_width;
+    let d = spec.stress_fan_depth;
+    if w > 0 && d > 0 {
+        // Static call fan: every level-l method is called from the W call
+        // sites of every level-(l-1) method, so k-CFA analyzes Theta(W^k)
+        // instances per method while 0-ctx and OPA analyze one.
+        for level in 0..d {
+            let methods_here = if level == 0 { 1 } else { w };
+            for i in 0..methods_here {
+                let mut m = pb.begin_static_method(cls, &format!("fan{level}_{i}"), &["acc"]);
+                m.new_obj("tmp", "Val", &[]);
+                m.store("acc", "pool", "tmp");
+                m.load(Some("y"), "acc", "pool");
+                m.store("y", "pad", "tmp");
+                if level + 1 < d {
+                    for j in 0..w {
+                        let next = format!("fan{}_{j}", level + 1);
+                        m.call_static(None, "Stress", &next, &["acc"]);
+                    }
+                }
+                m.finish();
+            }
+        }
+    }
+    // Builder chain: every level allocates the next builder at TWO sites.
+    // Under object sensitivity the heap context of Builder{i+1} is the
+    // receiving Builder{i} object, so abstract objects double per level --
+    // exponential in the chain length, which is why most k-obj entries of
+    // Table 5 read ">4h". 0-ctx, k-CFA (1-deep heap) and OPA stay linear.
+    let b = spec.stress_builders;
+    if b > 0 {
+        let builder_classes: Vec<_> = (0..b)
+            .map(|i| pb.add_class(format!("Builder{i}"), None))
+            .collect();
+        for (i, &bc) in builder_classes.iter().enumerate() {
+            pb.begin_ctor(bc, &[]).finish();
+            let mut m = pb.begin_method(bc, "build", &["acc"]);
+            m.new_obj("v", "Val", &[]);
+            m.store("acc", "bpool", "v");
+            m.load(Some("y"), "acc", "bpool");
+            m.store("y", "pad", "v");
+            if i + 1 < b {
+                let next_cls = format!("Builder{}", i + 1);
+                m.new_obj("nb1", &next_cls, &[]);
+                m.call(None, "nb1", "build", &["acc"]);
+                m.new_obj("nb2", &next_cls, &[]);
+                m.call(None, "nb2", "build", &["acc"]);
+            }
+            m.finish();
+        }
+        let mut m = pb.begin_static_method(cls, "builders", &["acc"]);
+        let v = "b0";
+        m.new_obj(v, "Builder0", &[]);
+        m.call(None, v, "build", &["acc"]);
+        m.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_generates_valid_program() {
+        let w = generate(&WorkloadSpec::default());
+        assert!(w.program.num_statements() > 50);
+        assert_eq!(w.truth.racy_fields.len(), 3); // 2 field + 1 static
+        assert!(w.truth.has_parallelism());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&WorkloadSpec::default());
+        let b = generate(&WorkloadSpec::default());
+        assert_eq!(
+            o2_ir::printer::print_program(&a.program),
+            o2_ir::printer::print_program(&b.program)
+        );
+    }
+
+    #[test]
+    fn c_style_uses_spawn() {
+        let w = generate(&WorkloadSpec {
+            c_style: true,
+            ..WorkloadSpec::default()
+        });
+        let text = o2_ir::printer::print_program(&w.program);
+        assert!(text.contains("spawn thread"), "{text}");
+    }
+
+    #[test]
+    fn single_thread_has_no_realized_races() {
+        let w = generate(&WorkloadSpec {
+            n_threads: 1,
+            n_events: 0,
+            ..WorkloadSpec::default()
+        });
+        assert!(w.truth.racy_fields.is_empty());
+        assert!(!w.truth.has_parallelism());
+    }
+
+    #[test]
+    fn events_alone_are_serialized() {
+        let w = generate(&WorkloadSpec {
+            n_threads: 0,
+            n_events: 4,
+            ..WorkloadSpec::default()
+        });
+        assert!(!w.truth.has_parallelism());
+        assert!(w.truth.racy_fields.is_empty());
+    }
+
+    #[test]
+    fn scaling_filler_scales_statements() {
+        let small = generate(&WorkloadSpec::default());
+        let big = generate(&WorkloadSpec {
+            filler: 20,
+            ..WorkloadSpec::default()
+        });
+        assert!(big.program.num_statements() > small.program.num_statements() * 2);
+    }
+
+    #[test]
+    fn wrapper_and_loop_increase_effective_threads() {
+        let w = generate(&WorkloadSpec {
+            n_threads: 2,
+            use_wrappers: true,
+            loop_spawn: true,
+            ..WorkloadSpec::default()
+        });
+        assert_eq!(w.truth.effective_threads, 4);
+    }
+}

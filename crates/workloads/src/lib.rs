@@ -1,0 +1,32 @@
+//! # o2-workloads — benchmark programs for the O2 evaluation
+//!
+//! Three sources of programs:
+//!
+//! - [`figures`] — the paper's illustrative Figure 2 / Figure 3 programs;
+//! - [`realbugs`] — models of the §5.4 real-world bugs (Table 10), each
+//!   reproducing the published code structure and confirmed race count;
+//! - [`generator`] + [`presets`] — a deterministic synthetic generator and
+//!   one named preset per benchmark of Tables 5–9, matching each
+//!   benchmark's origin count, thread/event mix, and precision profile.
+//!
+//! ```
+//! use o2_workloads::presets::preset_by_name;
+//! let avrora = preset_by_name("avrora").unwrap();
+//! let w = avrora.generate();
+//! assert!(w.program.num_statements() > 100);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod android;
+pub mod figures;
+pub mod generator;
+pub mod presets;
+pub mod realbugs;
+pub mod realbugs_c;
+
+pub use generator::{generate, GeneratedWorkload, GroundTruth, WorkloadSpec};
+pub use presets::{all_presets, preset_by_name, Preset};
+pub use android::{build_harness, ActivitySpec, AppSpec, HandlerSpec, TaskSpec};
+pub use realbugs::{all_models, RealBugModel};
+pub use realbugs_c::all_c_models;

@@ -1,0 +1,70 @@
+//! A miniature of the paper's evaluation: run one benchmark preset under
+//! every context policy and print the Table 5 / Table 8 style comparison.
+//!
+//! Run with: `cargo run --release --example benchmark_tour [preset]`
+
+use o2::prelude::*;
+use std::time::Duration;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "avrora".to_string());
+    let preset = o2_workloads::preset_by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown preset `{name}`; available:");
+        for p in o2_workloads::all_presets() {
+            eprintln!("  {}", p.name);
+        }
+        std::process::exit(1);
+    });
+    let w = preset.generate();
+    println!(
+        "== {} ==  ({} statements, {} planted races, #O target {})\n",
+        preset.name,
+        w.program.num_statements(),
+        w.truth.racy_fields.len(),
+        preset.paper.num_origins
+    );
+    println!(
+        "{:>8} | {:>9} | {:>9} | {:>7} | {:>7} | {:>9}",
+        "policy", "pta", "detect", "#O", "races", "status"
+    );
+    println!("{}", "-".repeat(64));
+    for policy in [
+        Policy::insensitive(),
+        Policy::cfa1(),
+        Policy::cfa2(),
+        Policy::obj1(),
+        Policy::obj2(),
+        Policy::origin1(),
+    ] {
+        let analyzer = O2Builder::new()
+            .policy(policy)
+            .pta_timeout(Duration::from_secs(10))
+            .detect_timeout(Duration::from_secs(10))
+            .build();
+        let report = analyzer.analyze(&w.program);
+        println!(
+            "{:>8} | {:>9.2?} | {:>9.2?} | {:>7} | {:>7} | {:>9}",
+            policy.to_string(),
+            report.timings.pta,
+            report.timings.detect,
+            report.num_origins(),
+            report.num_races(),
+            if report.timed_out() { "TIMEOUT" } else { "ok" }
+        );
+    }
+    let rd_start = std::time::Instant::now();
+    let rd = o2_racerd::run_racerd(&w.program);
+    println!(
+        "{:>8} | {:>9.2?} | {:>9} | {:>7} | {:>7} | {:>9}",
+        "RacerD",
+        rd_start.elapsed(),
+        "-",
+        "-",
+        rd.total_warnings(),
+        "ok"
+    );
+    println!(
+        "\nO2 reports exactly the planted ground truth; weaker contexts add \
+         false positives; RacerD-style syntactic matching reports the most."
+    );
+}

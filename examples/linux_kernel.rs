@@ -1,0 +1,43 @@
+//! The Linux kernel case study (§5.4): four origin kinds — system calls,
+//! driver functions, kernel threads, and interrupt handlers — and the
+//! `update_vsyscall_tz` race on `vdata[CS_HRES_COARSE]`.
+//!
+//! Run with: `cargo run --example linux_kernel`
+
+use o2::prelude::*;
+
+fn main() {
+    let model = o2_workloads::realbugs::linux_kernel();
+    println!("== {} ==", model.name);
+    println!("{}\n", model.description);
+
+    let report = O2Builder::new().build().analyze(&model.program);
+
+    // The paper configures syscall origins in pairs ("for each system
+    // call, we create two origins representing concurrent calls of the
+    // same system call").
+    println!("origins ({}):", report.num_origins());
+    let mut by_kind: std::collections::BTreeMap<String, usize> = Default::default();
+    for (_, data) in report.pta.arena.origins() {
+        *by_kind.entry(data.kind.to_string()).or_default() += 1;
+    }
+    for (kind, n) in &by_kind {
+        println!("  {kind}: {n}");
+    }
+
+    println!(
+        "\nO2 found {} races (paper: {} confirmed in the kernel):\n",
+        report.num_races(),
+        model.expected_races
+    );
+    print!("{}", report.races.render(&model.program));
+
+    // The origin-sharing view: like the paper's finding that most kernel
+    // memory is origin-local, only a handful of locations are shared.
+    let shared = report.osa.shared_entries().count();
+    let total = report.osa.entries.len();
+    println!(
+        "\norigin-shared locations: {shared} of {total} accessed locations \
+         (the rest are origin-local — candidates for region-based memory management)"
+    );
+}

@@ -1,0 +1,91 @@
+//! The Memcached slab-reassign bug (§5.4): an event handler reads the
+//! slab class table without the lock that the worker thread holds — a
+//! race only visible when threads and events are analyzed together.
+//!
+//! Run with: `cargo run --example memcached_model`
+
+use o2::prelude::*;
+
+fn main() {
+    let model = o2_workloads::realbugs::memcached();
+    println!("== {} ==", model.name);
+    println!("{}\n", model.description);
+
+    let report = O2Builder::new().build().analyze(&model.program);
+    println!("O2 found {} races (paper: {} confirmed):\n", report.num_races(), model.expected_races);
+    print!("{}", report.races.render(&model.program));
+
+    // Show which origin kinds participate in each race — the point of the
+    // case study is the thread/event combination.
+    println!("race participants:");
+    for (i, race) in report.races.races.iter().enumerate() {
+        let kind = |o: o2_pta::OriginId| report.pta.arena.origin_data(o).kind;
+        println!(
+            "  race #{}: {} vs {}",
+            i + 1,
+            kind(race.a.origin),
+            kind(race.b.origin)
+        );
+    }
+
+    // What a thread-only view would see: strip the event entry points and
+    // re-analyze. The handler becomes a synchronous call and every race
+    // disappears — exactly how tools that ignore events miss these bugs.
+    let mut thread_only = model.program.clone();
+    thread_only.entry_config.event_entries.clear();
+    let blind = O2Builder::new().build().analyze(&thread_only);
+    println!(
+        "\nwithout thread/event unification: {} races (all {} missed)",
+        blind.num_races(),
+        report.num_races()
+    );
+
+    // The developers' fix: take the slabs lock in the reassign path.
+    let fixed = o2_ir::parser::parse(
+        r#"
+        class SlabClass { field slabs; }
+        class G { }
+        class Lock { }
+        class Reassign impl EventHandler {
+            field sc; field lk;
+            method <init>(sc, lk) { this.sc = sc; this.lk = lk; }
+            method handleEvent(e) {
+                sc = this.sc;
+                lk = this.lk;
+                sync (lk) { x = sc.slabs; }
+            }
+        }
+        class Worker impl Runnable {
+            field sc; field lk;
+            method <init>(sc, lk) { this.sc = sc; this.lk = lk; }
+            method run() {
+                sc = this.sc;
+                lk = this.lk;
+                sync (lk) { sc.slabs = sc; }
+            }
+        }
+        class Main {
+            static method main() {
+                sc = new SlabClass();
+                lk = new Lock();
+                r = new Reassign(sc, lk);
+                ev = new G();
+                r.handleEvent(ev);
+                w = new Worker(sc, lk);
+                w.start();
+            }
+        }
+    "#,
+    )
+    .expect("fixed model parses");
+    let after = O2Builder::new().build().analyze(&fixed);
+    println!("after the developers' fix: {} races on slabs", {
+        let slabs = fixed.field_by_name("slabs").unwrap();
+        after
+            .races
+            .races
+            .iter()
+            .filter(|r| matches!(r.key, MemKey::Field(_, f) if f == slabs))
+            .count()
+    });
+}

@@ -1,0 +1,52 @@
+//! The C/pthread frontend: the same Memcached-shaped bug expressed in
+//! C-like syntax (the paper's LLVM side), analyzed by the same pipeline.
+//!
+//! Run with: `cargo run --example pthread_c`
+
+use o2::prelude::*;
+
+const C_SRC: &str = r#"
+    /* A slab allocator shared between a worker thread and the
+       event-driven reassign path, memcached-style. */
+    struct SlabClass { any slabs; any slab_list; };
+    struct Mutex { any m; };
+    global stats;
+
+    void do_slabs_newslab(any sc, any lk) {
+        pthread_mutex_lock(&lk);
+        sc->slabs = sc;               /* with lock */
+        pthread_mutex_unlock(&lk);
+        global_write(stats, sc);      /* RACE on the stats global */
+    }
+
+    void do_slabs_reassign(any sc) {
+        x = sc->slabs;                /* RACE: missing lock */
+        y = global_read(stats);       /* RACE on the stats global */
+    }
+
+    void main() {
+        sc = malloc(SlabClass);
+        lk = malloc(Mutex);
+        dispatch do_slabs_reassign(sc);
+        pthread_create(&t, do_slabs_newslab, sc, lk);
+        pthread_join(t);
+    }
+"#;
+
+fn main() {
+    let program = o2_ir::cfront::parse_c(C_SRC).expect("valid C-like source");
+    let report = O2Builder::new().build().analyze(&program);
+
+    println!("== C frontend (pthread + event loop) ==\n");
+    println!("origins:");
+    for (id, data) in report.pta.arena.origins() {
+        let m = program.method(data.entry);
+        println!("  origin {}: {:8} {}", id.0, data.kind.to_string(), m.name);
+    }
+    println!("\nraces:");
+    print!("{}", report.races.render(&program));
+    println!(
+        "\nSame IR, same analyses — the C and Java frontends share the whole \
+         pipeline, as O2 shares its engine between LLVM and WALA."
+    );
+}

@@ -1,0 +1,55 @@
+//! Quickstart: analyze the paper's Figure 2 program end-to-end.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use o2::prelude::*;
+
+fn main() {
+    // The Figure 2 program: two threads with the same entry point but
+    // different origin attributes.
+    let program = o2_workloads::figures::figure2();
+
+    // The default configuration is the paper's: 1-origin-sensitive pointer
+    // analysis (OPA), origin-sharing analysis (OSA), SHB construction, and
+    // the optimized race detection engine.
+    let analyzer = O2Builder::new().build();
+    let report = analyzer.analyze(&program);
+
+    println!("== O2 quickstart: Figure 2 ==\n");
+    println!("{}", report.summary());
+
+    // Origins: main plus the two threads T1 and T2.
+    println!("\norigins ({}):", report.num_origins());
+    for (id, data) in report.pta.arena.origins() {
+        println!("  origin {} kind={} entry={}", id.0, data.kind, {
+            let m = program.method(data.entry);
+            format!("{}.{}", program.class(m.class).name, m.name)
+        });
+    }
+
+    // OSA: which locations are origin-shared and by whom (Figure 2(d)).
+    println!("\norigin-sharing analysis:");
+    let osa_text = report.osa.render(&program, &report.pta);
+    if osa_text.is_empty() {
+        println!("  (no origin-shared locations with a writer)");
+    } else {
+        print!("{osa_text}");
+    }
+
+    // Races: none — the per-thread Y objects are proven origin-local.
+    println!("\nrace report:");
+    print!("{}", report.races.render(&program));
+
+    // Contrast with the context-insensitive baseline on Figure 3, where
+    // the missing context switch at origin allocations manufactures a
+    // false alias and a false race.
+    let fig3 = o2_workloads::figures::figure3();
+    let opa = analyzer.analyze(&fig3);
+    let zero = O2Builder::new()
+        .policy(Policy::insensitive())
+        .build()
+        .analyze(&fig3);
+    println!("\n== Figure 3: context switch at origin allocations ==");
+    println!("OPA   races: {}", opa.num_races());
+    println!("0-ctx races: {} (false positives from the shared helper)", zero.num_races());
+}

@@ -1,0 +1,14 @@
+//! Umbrella package for the O2 reproduction.
+//!
+//! This crate only hosts the workspace-level examples (`examples/`) and
+//! cross-crate integration tests (`tests/`). The actual functionality lives
+//! in the member crates; the one-stop public API is the [`o2`] facade crate.
+//!
+//! ```
+//! use o2::prelude::*;
+//! let program = o2_workloads::figures::figure2();
+//! let report = O2Builder::new().build().analyze(&program);
+//! assert!(report.races.races.is_empty());
+//! ```
+
+pub use o2 as facade;

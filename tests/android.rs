@@ -1,0 +1,162 @@
+//! Integration tests for the §4.2 Android harness: lifecycle callbacks as
+//! method calls, normal handlers as origins, startActivity chains, the
+//! dispatcher lock, and UI-vs-background races.
+
+use o2::prelude::*;
+use o2_workloads::android::{build_harness, demo_app, ActivitySpec, AppSpec, HandlerSpec, TaskSpec};
+
+fn ui_analyzer() -> O2 {
+    // The harness main models the UI thread: same dispatcher as handlers.
+    O2Builder::new()
+        .shb_config(ShbConfig {
+            main_dispatcher: Some(0),
+            ..Default::default()
+        })
+        .build()
+}
+
+#[test]
+fn handlers_become_event_origins_and_lifecycle_does_not() {
+    let program = build_harness(&demo_app());
+    let report = ui_analyzer().analyze(&program);
+    let events = report
+        .pta
+        .arena
+        .origins()
+        .filter(|(_, d)| matches!(d.kind, OriginKind::Event { .. }))
+        .count();
+    let threads = report
+        .pta
+        .arena
+        .origins()
+        .filter(|(_, d)| d.kind == OriginKind::Thread)
+        .count();
+    // 2 handlers on MainActivity + 1 on SettingsActivity; 1 AsyncTask.
+    assert_eq!(events, 3);
+    assert_eq!(threads, 1);
+    // Lifecycle methods are NOT origins: onCreate is reachable but only as
+    // a normal call from the harness.
+    let onc = {
+        let c = program.class_by_name("MainActivity").unwrap();
+        program
+            .dispatch(c, &o2_ir::Selector::new("onCreate", 1))
+            .unwrap()
+    };
+    for (_, d) in report.pta.arena.origins() {
+        assert_ne!(d.entry, onc, "onCreate must not be an origin entry");
+    }
+}
+
+#[test]
+fn background_task_races_with_ui() {
+    let program = build_harness(&demo_app());
+    let report = ui_analyzer().analyze(&program);
+    assert!(report.num_races() >= 2, "{}", report.races.render(&program));
+    // Every race involves the background thread (UI-side code is
+    // serialized by the dispatcher lock).
+    for race in &report.races.races {
+        let kinds = [
+            report.pta.arena.origin_data(race.a.origin).kind,
+            report.pta.arena.origin_data(race.b.origin).kind,
+        ];
+        assert!(
+            kinds.contains(&OriginKind::Thread),
+            "UI-only race reported: {race:?}"
+        );
+    }
+}
+
+#[test]
+fn locked_task_does_not_race_with_lifecycle() {
+    // If the task synchronizes on the activity's UI lock... it still races
+    // with handlers (they hold the dispatcher lock, not the UI lock), but
+    // a fully single-threaded app reports nothing.
+    let app = AppSpec {
+        main_activity: "A".to_string(),
+        activities: vec![ActivitySpec {
+            name: "A".to_string(),
+            state_fields: vec!["st".to_string()],
+            handlers: vec![HandlerSpec {
+                entry: "onReceive".to_string(),
+                reads: vec!["st".to_string()],
+                writes: vec!["st".to_string()],
+            }],
+            tasks: vec![],
+            starts: vec![],
+        }],
+    };
+    let program = build_harness(&app);
+    let report = ui_analyzer().analyze(&program);
+    assert_eq!(
+        report.num_races(),
+        0,
+        "no background work, no races: {}",
+        report.races.render(&program)
+    );
+}
+
+#[test]
+fn start_activity_chain_handlers_are_analyzed() {
+    let program = build_harness(&demo_app());
+    let report = ui_analyzer().analyze(&program);
+    // SettingsActivity's handler must have produced an origin.
+    let settings_handler = {
+        let c = program.class_by_name("SettingsActivity$H0").unwrap();
+        program
+            .dispatch(c, &o2_ir::Selector::new("onReceive", 1))
+            .unwrap()
+    };
+    assert!(
+        report
+            .pta
+            .arena
+            .origins()
+            .any(|(_, d)| d.entry == settings_handler),
+        "startActivity chain must be followed into new harnesses"
+    );
+}
+
+#[test]
+fn multiple_tasks_race_with_each_other() {
+    let app = AppSpec {
+        main_activity: "A".to_string(),
+        activities: vec![ActivitySpec {
+            name: "A".to_string(),
+            state_fields: vec!["st".to_string()],
+            handlers: vec![],
+            // The tasks work on `buf`, which the UI-side lifecycle never
+            // touches — so consistent locking between the tasks suffices.
+            tasks: vec![
+                TaskSpec {
+                    name: "T1".to_string(),
+                    reads: vec![],
+                    writes: vec!["buf".to_string()],
+                    locked: false,
+                },
+                TaskSpec {
+                    name: "T2".to_string(),
+                    reads: vec![],
+                    writes: vec!["buf".to_string()],
+                    locked: false,
+                },
+            ],
+            starts: vec![],
+        }],
+    };
+    let program = build_harness(&app);
+    let report = ui_analyzer().analyze(&program);
+    assert!(report.num_races() >= 1);
+    // With both tasks locked, the races on `st` disappear.
+    let mut locked = app.clone();
+    for t in &mut locked.activities[0].tasks {
+        t.locked = true;
+    }
+    let program2 = build_harness(&locked);
+    let report2 = ui_analyzer().analyze(&program2);
+    assert_eq!(
+        report2.num_races(),
+        0,
+        "{}",
+        report2.races.render(&program2)
+    );
+}

@@ -1,0 +1,119 @@
+//! Cross-policy integration tests: soundness of every context abstraction
+//! on the real-bug models and the qualitative relations of §5.3.
+
+use o2::prelude::*;
+use o2_workloads::realbugs;
+
+fn races_with(program: &Program, policy: Policy) -> RaceReport {
+    O2Builder::new()
+        .policy(policy)
+        .build()
+        .analyze(program)
+        .races
+}
+
+/// Every policy (not just OPA) finds the Table 10 bugs: they are true
+/// races on genuinely shared state, so no sound abstraction may miss them.
+#[test]
+fn all_policies_find_the_real_bugs() {
+    for m in realbugs::all_models() {
+        for policy in [
+            Policy::insensitive(),
+            Policy::cfa1(),
+            Policy::cfa2(),
+            Policy::obj1(),
+            Policy::origin1(),
+            Policy::origin(2),
+        ] {
+            let report = races_with(&m.program, policy);
+            assert!(
+                report.races.len() >= m.expected_races,
+                "{} under {policy}: {} < {}",
+                m.name,
+                report.races.len(),
+                m.expected_races
+            );
+        }
+    }
+}
+
+/// OPA is *exact* on the real-bug models (no extra warnings); weaker
+/// abstractions may only add, never subtract.
+#[test]
+fn opa_is_exact_weaker_policies_superset() {
+    for m in realbugs::all_models() {
+        let opa = races_with(&m.program, Policy::origin1());
+        assert_eq!(opa.races.len(), m.expected_races, "{}", m.name);
+        let zero = races_with(&m.program, Policy::insensitive());
+        assert!(
+            zero.races.len() >= opa.races.len(),
+            "{}: 0-ctx shrank the report",
+            m.name
+        );
+    }
+}
+
+/// The naive engine agrees with the optimized engine on every real bug
+/// (the §4.1 optimizations are sound).
+#[test]
+fn engines_agree_on_real_bugs() {
+    for m in realbugs::all_models() {
+        let fast = O2Builder::new().build().analyze(&m.program);
+        let slow = O2Builder::new()
+            .detect_config(DetectConfig::naive())
+            .build()
+            .analyze(&m.program);
+        assert_eq!(
+            fast.races.races, slow.races.races,
+            "{}: engines disagree",
+            m.name
+        );
+    }
+}
+
+/// Deadlock analysis runs clean over every real-bug model (they contain
+/// races, not deadlocks) — a cross-analysis sanity check.
+#[test]
+fn real_bug_models_have_no_deadlocks() {
+    for m in realbugs::all_models() {
+        let report = O2Builder::new().build().analyze(&m.program);
+        let dl = report.detect_deadlocks(&m.program);
+        assert!(
+            dl.cycles.is_empty(),
+            "{}: unexpected deadlock\n{}",
+            m.name,
+            dl.render(&m.program, &report.shb)
+        );
+    }
+}
+
+/// The memcached model's lock is *not* over-synchronization: it guards a
+/// genuinely shared slab table.
+#[test]
+fn memcached_lock_is_useful() {
+    let m = realbugs::memcached();
+    let report = O2Builder::new().build().analyze(&m.program);
+    let os = report.find_oversync(&m.program);
+    assert_eq!(os.warnings.len(), 0, "{}", os.render(&m.program));
+    assert!(os.useful_sites >= 1);
+}
+
+/// Table 9's #S-obj relation on the distributed presets: OPA never counts
+/// more shared objects than 0-ctx.
+#[test]
+fn shared_objects_monotone_on_distributed() {
+    for name in ["hdfs", "yarn"] {
+        let w = o2_workloads::preset_by_name(name).unwrap().generate();
+        let opa = O2Builder::new().build().analyze(&w.program);
+        let zero = O2Builder::new()
+            .policy(Policy::insensitive())
+            .build()
+            .analyze(&w.program);
+        assert!(
+            opa.osa.num_shared_objects() <= zero.osa.num_shared_objects(),
+            "{name}: OPA {} vs 0-ctx {}",
+            opa.osa.num_shared_objects(),
+            zero.osa.num_shared_objects()
+        );
+    }
+}
