@@ -1,0 +1,241 @@
+//! Std-only micro-benchmark harness.
+//!
+//! Replaces the former Criterion benches with `std::time::Instant`
+//! best-of-N timing so the workspace builds fully offline. Groups mirror
+//! the old bench files:
+//!
+//! ```text
+//! bench [--group NAME]... [--iters N] [--out PATH]
+//!
+//! groups: table5_pta   policy comparison on three mid-size presets
+//!         table7_osa   OSA linear scan vs thread-escape closure
+//!         ablation     naive vs optimized detection engine
+//!         shb_queries  integer-id HB vs naive edge-walking HB
+//!         scaling      PTA wall time vs program size per policy
+//!         pr1          parallel detect scaling + delta-solver stats
+//!                      (writes BENCH_pr1.json; see `--out`)
+//! ```
+//!
+//! Without `--group`, every group runs. `--out` changes where the `pr1`
+//! group writes its JSON report (default `BENCH_pr1.json`).
+
+use o2_analysis::{run_escape, run_osa};
+use o2_bench::{fmt_dur, pr1};
+use o2_detect::{detect, DetectConfig};
+use o2_pta::{analyze, OriginId, Policy, PtaConfig};
+use o2_shb::{build_shb, ShbConfig};
+use std::time::{Duration, Instant};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut groups: Vec<String> = Vec::new();
+    let mut iters = 3usize;
+    let mut out = "BENCH_pr1.json".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--group" => {
+                i += 1;
+                groups.push(args.get(i).cloned().unwrap_or_else(|| usage()));
+            }
+            "--iters" => {
+                i += 1;
+                iters = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out" => {
+                i += 1;
+                out = args.get(i).cloned().unwrap_or_else(|| usage());
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if groups.is_empty() {
+        groups = vec![
+            "table5_pta".into(),
+            "table7_osa".into(),
+            "ablation".into(),
+            "shb_queries".into(),
+            "scaling".into(),
+            "pr1".into(),
+        ];
+    }
+    for g in &groups {
+        match g.as_str() {
+            "table5_pta" => table5_pta(iters),
+            "table7_osa" => table7_osa(iters),
+            "ablation" => ablation(iters),
+            "shb_queries" => shb_queries(iters),
+            "scaling" => scaling(iters),
+            "pr1" => pr1_group(iters, &out),
+            other => {
+                eprintln!("unknown group `{other}`");
+                usage();
+            }
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!("usage: bench [--group NAME]... [--iters N] [--out PATH]");
+    std::process::exit(2);
+}
+
+/// Best-of-N wall time of `f` after one untimed warm-up call.
+fn time<T>(iters: usize, mut f: impl FnMut() -> T) -> Duration {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed());
+    }
+    best
+}
+
+fn cell(group: &str, id: &str, d: Duration) {
+    println!("{group:>12} | {id:<32} | {:>9}", fmt_dur(d));
+}
+
+/// Table 5: the same program under each context policy.
+fn table5_pta(iters: usize) {
+    for preset_name in ["avrora", "lusearch", "tasks"] {
+        let w = o2_workloads::preset_by_name(preset_name)
+            .expect("preset exists")
+            .generate();
+        for policy in [
+            Policy::insensitive(),
+            Policy::origin1(),
+            Policy::cfa1(),
+            Policy::cfa2(),
+        ] {
+            let cfg = PtaConfig {
+                policy,
+                timeout: Some(Duration::from_secs(10)),
+                ..Default::default()
+            };
+            let d = time(iters, || analyze(&w.program, &cfg));
+            cell("table5_pta", &format!("{preset_name}/{policy}"), d);
+        }
+    }
+}
+
+/// Table 7: OSA's linear scan vs the thread-escape heap closure.
+fn table7_osa(iters: usize) {
+    for preset_name in ["avrora", "h2", "zookeeper"] {
+        let w = o2_workloads::preset_by_name(preset_name)
+            .expect("preset exists")
+            .generate();
+        let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
+        let d = time(iters, || run_osa(&w.program, &pta));
+        cell("table7_osa", &format!("osa/{preset_name}"), d);
+        let d = time(iters, || run_escape(&w.program, &pta));
+        cell("table7_osa", &format!("escape/{preset_name}"), d);
+    }
+}
+
+/// §4.1 ablation: the naive pairwise engine vs the optimized O2 engine
+/// on identical SHB inputs.
+fn ablation(iters: usize) {
+    for preset_name in ["sunflow", "zookeeper"] {
+        let w = o2_workloads::preset_by_name(preset_name)
+            .expect("preset exists")
+            .generate();
+        let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
+        let osa = run_osa(&w.program, &pta);
+        let shb = build_shb(&w.program, &pta, &ShbConfig::default());
+        for (label, cfg) in [("naive", DetectConfig::naive()), ("o2", DetectConfig::o2())] {
+            let d = time(iters, || detect(&w.program, &pta, &osa, &shb, &cfg));
+            cell("ablation", &format!("{label}/{preset_name}"), d);
+        }
+    }
+}
+
+/// §4.1 optimization 1: integer-id HB vs naive edge-walking HB on a
+/// deterministic sample of cross-origin access pairs.
+fn shb_queries(iters: usize) {
+    let w = o2_workloads::preset_by_name("zookeeper")
+        .expect("preset exists")
+        .generate();
+    let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
+    let shb = build_shb(&w.program, &pta, &ShbConfig::default());
+    let mut pairs = Vec::new();
+    for (oi, trace) in shb.traces.iter().enumerate() {
+        if let Some(a) = trace.accesses.first() {
+            pairs.push((OriginId(oi as u32), a.pos));
+        }
+    }
+    let queries: Vec<_> = pairs
+        .iter()
+        .flat_map(|&a| pairs.iter().map(move |&b| (a, b)))
+        .take(256)
+        .collect();
+    // Repeat each pass so a cell is long enough for the timer.
+    let d = time(iters, || {
+        let mut hits = 0usize;
+        for _ in 0..64 {
+            for &(x, y) in &queries {
+                if shb.happens_before(x, y) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    });
+    cell("shb_queries", "integer_id_hb (x64)", d);
+    let d = time(iters, || {
+        let mut hits = 0usize;
+        for _ in 0..64 {
+            for &(x, y) in &queries {
+                if shb.happens_before_naive(x, y) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    });
+    cell("shb_queries", "naive_walk_hb (x64)", d);
+}
+
+/// Table 3 shape: PTA wall time vs program size, per policy.
+fn scaling(iters: usize) {
+    for filler in [8usize, 32, 128] {
+        let spec = o2_workloads::WorkloadSpec {
+            name: format!("scale{filler}"),
+            filler,
+            n_threads: 6,
+            call_depth: 6,
+            stress_fan_width: 6,
+            stress_fan_depth: 4,
+            stress_builders: 8,
+            ..Default::default()
+        };
+        let w = o2_workloads::generate(&spec);
+        let stmts = w.program.num_statements();
+        for policy in [Policy::insensitive(), Policy::origin1(), Policy::cfa1()] {
+            let cfg = PtaConfig {
+                policy,
+                timeout: Some(Duration::from_secs(10)),
+                ..Default::default()
+            };
+            let d = time(iters, || analyze(&w.program, &cfg));
+            cell("scaling", &format!("{policy}/{stmts}stmts"), d);
+        }
+    }
+}
+
+/// The PR 1 harness: parallel detect scaling and delta-solver statistics,
+/// written to `out` as JSON.
+fn pr1_group(iters: usize, out: &str) {
+    let opts = pr1::Pr1Options {
+        iters,
+        out_path: Some(out.to_string()),
+        ..Default::default()
+    };
+    let report = pr1::run(&opts);
+    print!("{}", report.render());
+    println!("wrote {out}");
+}

@@ -2,8 +2,9 @@
 //!
 //! Regenerates every table of the paper's evaluation section on the
 //! synthetic benchmark suite. The `reproduce` binary prints the tables;
-//! the Criterion benches under `benches/` measure the same pipelines with
-//! statistical rigor.
+//! the `bench` binary times the same pipelines with std-only best-of-N
+//! timers (no external benchmarking dependency), and its `pr1` group
+//! writes the parallel-detect / delta-solver report to `BENCH_pr1.json`.
 //!
 //! Absolute numbers differ from the paper (the substrate is a synthetic
 //! IR, not DaCapo-on-HotSpot or LLVM-compiled C), but the *shape* of every
@@ -17,6 +18,7 @@ use o2_workloads::presets::{Group, Preset};
 use std::fmt::Write as _;
 use std::time::Duration;
 
+pub mod pr1;
 pub mod tables;
 
 /// The outcome of running one (program, policy) cell of a table.

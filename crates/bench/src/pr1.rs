@@ -1,0 +1,395 @@
+//! The PR 1 performance harness: thread-scaling of the parallel
+//! race-checking engine and difference-propagation statistics of the
+//! OPA solver, written to `BENCH_pr1.json`.
+//!
+//! Everything here is std-only (`std::time::Instant` timers, best-of-N
+//! repetitions); there is no external benchmarking dependency. The JSON
+//! schema is stable so downstream tooling can diff runs:
+//!
+//! ```json
+//! {
+//!   "host_parallelism": 8,
+//!   "solver": [ { "preset", "policy", "edges", "steps_full", ... } ],
+//!   "detect_scaling": { "preset", "pairs_checked", "runs": [ ... ] }
+//! }
+//! ```
+
+use crate::fmt_dur;
+use o2_analysis::run_osa;
+use o2_detect::{detect, DetectConfig};
+use o2_pta::{analyze, Policy, PtaConfig};
+use o2_shb::{build_shb, ShbConfig};
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Options for the PR 1 harness run.
+#[derive(Clone, Debug)]
+pub struct Pr1Options {
+    /// Preset used for the detect-scaling section (the suite's largest
+    /// by default).
+    pub scaling_preset: String,
+    /// Presets compared in the solver-statistics section.
+    pub solver_presets: Vec<String>,
+    /// Worker counts exercised by the scaling section.
+    pub threads: Vec<usize>,
+    /// Repetitions per timed cell (best-of-N).
+    pub iters: usize,
+    /// Where to write the JSON report; `None` skips the write.
+    pub out_path: Option<String>,
+}
+
+impl Default for Pr1Options {
+    fn default() -> Self {
+        Pr1Options {
+            scaling_preset: "telegram".to_string(),
+            solver_presets: vec![
+                "avrora".to_string(),
+                "lusearch".to_string(),
+                "zookeeper".to_string(),
+                "telegram".to_string(),
+            ],
+            threads: vec![1, 2, 4, 8],
+            iters: 3,
+            out_path: Some("BENCH_pr1.json".to_string()),
+        }
+    }
+}
+
+/// One (preset, policy) row of the solver-statistics section.
+#[derive(Clone, Debug)]
+pub struct SolverRow {
+    /// Preset name.
+    pub preset: String,
+    /// Context policy.
+    pub policy: String,
+    /// Pointer-assignment-graph edges (identical across modes).
+    pub edges: u64,
+    /// Worklist steps with full-set propagation.
+    pub steps_full: u64,
+    /// Worklist steps with difference propagation.
+    pub steps_diff: u64,
+    /// Object-transfer units with full-set propagation.
+    pub propagated_full: u64,
+    /// Object-transfer units with difference propagation.
+    pub propagated_diff: u64,
+    /// Best-of-N wall time, full-set mode.
+    pub time_full: Duration,
+    /// Best-of-N wall time, difference mode.
+    pub time_diff: Duration,
+}
+
+impl SolverRow {
+    /// Fraction of object transfers eliminated by difference
+    /// propagation (0 when the baseline moved nothing).
+    pub fn reduction(&self) -> f64 {
+        if self.propagated_full == 0 {
+            0.0
+        } else {
+            1.0 - self.propagated_diff as f64 / self.propagated_full as f64
+        }
+    }
+}
+
+/// One worker-count row of the detect-scaling section.
+#[derive(Clone, Debug)]
+pub struct ScalingRow {
+    /// Requested worker count.
+    pub threads: usize,
+    /// Workers actually spawned (capped by candidate count).
+    pub threads_used: usize,
+    /// Best-of-N wall time of the detection stage.
+    pub time: Duration,
+    /// Access pairs examined (identical across worker counts).
+    pub pairs_checked: u64,
+    /// `pairs_checked / time`, the paper-style throughput metric.
+    pub pairs_per_sec: f64,
+    /// Speedup over the single-worker run.
+    pub speedup: f64,
+    /// `true` if the report JSON is byte-identical to the
+    /// single-worker report.
+    pub identical_to_serial: bool,
+}
+
+/// The full harness result.
+#[derive(Clone, Debug)]
+pub struct Pr1Report {
+    /// `std::thread::available_parallelism()` on the measuring host —
+    /// read this before trusting any speedup number.
+    pub host_parallelism: usize,
+    /// Solver-statistics rows.
+    pub solver: Vec<SolverRow>,
+    /// Preset used for the scaling section.
+    pub scaling_preset: String,
+    /// Races found on the scaling preset (identical across rows).
+    pub races: usize,
+    /// Scaling rows, one per requested worker count.
+    pub scaling: Vec<ScalingRow>,
+}
+
+/// Best-of-N timing: one untimed warm-up call, then `iters` timed
+/// repetitions keeping the fastest (the usual way to suppress cold-cache
+/// and scheduler noise without a statistics dependency).
+fn best_of<T>(iters: usize, mut f: impl FnMut() -> T) -> (Duration, T) {
+    let mut best = Duration::MAX;
+    let mut value = f();
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        let v = f();
+        let d = t0.elapsed();
+        if d < best {
+            best = d;
+            value = v;
+        }
+    }
+    (best, value)
+}
+
+/// Runs the solver-statistics section: every preset analyzed under
+/// origin-1 with difference propagation on and off.
+pub fn solver_rows(presets: &[String], iters: usize) -> Vec<SolverRow> {
+    let mut rows = Vec::new();
+    for name in presets {
+        let Some(preset) = o2_workloads::preset_by_name(name) else {
+            continue;
+        };
+        let w = preset.generate();
+        let policy = Policy::origin1();
+        let diff_cfg = PtaConfig {
+            policy,
+            difference_propagation: true,
+            ..Default::default()
+        };
+        let full_cfg = PtaConfig {
+            policy,
+            difference_propagation: false,
+            ..Default::default()
+        };
+        let (time_diff, diff) = best_of(iters, || analyze(&w.program, &diff_cfg));
+        let (time_full, full) = best_of(iters, || analyze(&w.program, &full_cfg));
+        assert_eq!(
+            diff.stats.num_edges, full.stats.num_edges,
+            "{name}: propagation mode must not change the graph"
+        );
+        rows.push(SolverRow {
+            preset: name.clone(),
+            policy: policy.to_string(),
+            edges: diff.stats.num_edges,
+            steps_full: full.stats.solve_steps,
+            steps_diff: diff.stats.solve_steps,
+            propagated_full: full.stats.propagated_objects,
+            propagated_diff: diff.stats.propagated_objects,
+            time_full,
+            time_diff,
+        });
+    }
+    rows
+}
+
+/// Runs the detect-scaling section: the pipeline prefix (PTA, OSA, SHB)
+/// once, then the pair check at each worker count over the frozen SHB.
+pub fn scaling_rows(
+    preset_name: &str,
+    threads: &[usize],
+    iters: usize,
+) -> (Vec<ScalingRow>, usize) {
+    let w = o2_workloads::preset_by_name(preset_name)
+        .expect("scaling preset exists")
+        .generate();
+    let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
+    let osa = run_osa(&w.program, &pta);
+    let shb = build_shb(&w.program, &pta, &ShbConfig::default());
+
+    let mut rows: Vec<ScalingRow> = Vec::new();
+    let mut serial_json = String::new();
+    let mut serial_time = Duration::MAX;
+    let mut races = 0usize;
+    for &t in threads {
+        let cfg = DetectConfig::o2().with_threads(t.max(1));
+        let (time, report) =
+            best_of(iters, || detect(&w.program, &pta, &osa, &shb, &cfg));
+        let json = report.to_json(&w.program);
+        if rows.is_empty() {
+            serial_json = json.clone();
+            serial_time = time;
+            races = report.races.len();
+        }
+        let secs = time.as_secs_f64().max(1e-9);
+        rows.push(ScalingRow {
+            threads: t,
+            threads_used: report.threads_used,
+            time,
+            pairs_checked: report.pairs_checked,
+            pairs_per_sec: report.pairs_checked as f64 / secs,
+            speedup: serial_time.as_secs_f64() / secs,
+            identical_to_serial: json == serial_json,
+        });
+    }
+    (rows, races)
+}
+
+/// Runs the full harness and (optionally) writes `BENCH_pr1.json`.
+pub fn run(opts: &Pr1Options) -> Pr1Report {
+    let solver = solver_rows(&opts.solver_presets, opts.iters);
+    let (scaling, races) = scaling_rows(&opts.scaling_preset, &opts.threads, opts.iters);
+    let report = Pr1Report {
+        host_parallelism: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        solver,
+        scaling_preset: opts.scaling_preset.clone(),
+        races,
+        scaling,
+    };
+    if let Some(path) = &opts.out_path {
+        std::fs::write(path, report.to_json()).expect("write BENCH_pr1.json");
+    }
+    report
+}
+
+impl Pr1Report {
+    /// Serializes the report (hand-rolled JSON; the workspace keeps its
+    /// dependency set minimal).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"host_parallelism\": {},", self.host_parallelism);
+        out.push_str("  \"solver\": [\n");
+        for (i, r) in self.solver.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "    {{\"preset\": \"{}\", \"policy\": \"{}\", \"edges\": {}, \
+                 \"steps_full\": {}, \"steps_diff\": {}, \
+                 \"propagated_full\": {}, \"propagated_diff\": {}, \
+                 \"reduction\": {:.4}, \"time_full_ms\": {:.3}, \"time_diff_ms\": {:.3}}}{}",
+                r.preset,
+                r.policy,
+                r.edges,
+                r.steps_full,
+                r.steps_diff,
+                r.propagated_full,
+                r.propagated_diff,
+                r.reduction(),
+                r.time_full.as_secs_f64() * 1e3,
+                r.time_diff.as_secs_f64() * 1e3,
+                if i + 1 < self.solver.len() { "," } else { "" }
+            );
+        }
+        out.push_str("  ],\n  \"detect_scaling\": {\n");
+        let _ = writeln!(out, "    \"preset\": \"{}\",", self.scaling_preset);
+        let _ = writeln!(out, "    \"races\": {},", self.races);
+        let pairs = self.scaling.first().map(|r| r.pairs_checked).unwrap_or(0);
+        let _ = writeln!(out, "    \"pairs_checked\": {pairs},");
+        out.push_str("    \"runs\": [\n");
+        for (i, r) in self.scaling.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "      {{\"threads\": {}, \"threads_used\": {}, \"time_ms\": {:.3}, \
+                 \"pairs_per_sec\": {:.0}, \"speedup\": {:.3}, \
+                 \"identical_to_serial\": {}}}{}",
+                r.threads,
+                r.threads_used,
+                r.time.as_secs_f64() * 1e3,
+                r.pairs_per_sec,
+                r.speedup,
+                r.identical_to_serial,
+                if i + 1 < self.scaling.len() { "," } else { "" }
+            );
+        }
+        out.push_str("    ]\n  }\n}\n");
+        out
+    }
+
+    /// Renders the human-readable summary printed by the harness.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "## PR 1 harness (host parallelism: {})\n",
+            self.host_parallelism
+        );
+        let _ = writeln!(
+            out,
+            "### OPA solver: difference propagation vs full-set baseline\n"
+        );
+        let _ = writeln!(
+            out,
+            "{:>10} {:>8} {:>9} {:>11} {:>11} {:>11} {:>11} {:>6} {:>9} {:>9}",
+            "preset",
+            "policy",
+            "edges",
+            "steps/full",
+            "steps/diff",
+            "objs/full",
+            "objs/diff",
+            "red.",
+            "t/full",
+            "t/diff"
+        );
+        for r in &self.solver {
+            let _ = writeln!(
+                out,
+                "{:>10} {:>8} {:>9} {:>11} {:>11} {:>11} {:>11} {:>5.0}% {:>9} {:>9}",
+                r.preset,
+                r.policy,
+                r.edges,
+                r.steps_full,
+                r.steps_diff,
+                r.propagated_full,
+                r.propagated_diff,
+                r.reduction() * 100.0,
+                fmt_dur(r.time_full),
+                fmt_dur(r.time_diff),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\n### Parallel pair check on `{}` ({} races)\n",
+            self.scaling_preset, self.races
+        );
+        let _ = writeln!(
+            out,
+            "{:>8} {:>6} {:>9} {:>12} {:>13} {:>8} {:>10}",
+            "threads", "used", "time", "pairs", "pairs/s", "speedup", "identical"
+        );
+        for r in &self.scaling {
+            let _ = writeln!(
+                out,
+                "{:>8} {:>6} {:>9} {:>12} {:>13.0} {:>7.2}x {:>10}",
+                r.threads,
+                r.threads_used,
+                fmt_dur(r.time),
+                r.pairs_checked,
+                r.pairs_per_sec,
+                r.speedup,
+                r.identical_to_serial,
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_on_a_small_preset() {
+        let opts = Pr1Options {
+            scaling_preset: "xalan".to_string(),
+            solver_presets: vec!["xalan".to_string()],
+            threads: vec![1, 2],
+            iters: 1,
+            out_path: None,
+        };
+        let report = run(&opts);
+        assert_eq!(report.solver.len(), 1);
+        assert_eq!(report.scaling.len(), 2);
+        assert!(report.scaling.iter().all(|r| r.identical_to_serial));
+        assert!(
+            report.solver[0].propagated_diff <= report.solver[0].propagated_full,
+            "difference propagation must not move more objects"
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"detect_scaling\""), "{json}");
+        assert!(json.contains("\"propagated_diff\""), "{json}");
+    }
+}

@@ -402,8 +402,8 @@ pub fn ablation(budget: Duration) -> String {
     ];
     for (name, mut cfg) in configs {
         cfg.timeout = Some(budget);
-        let mut shb = o2_shb::build_shb(&w.program, &pta, &ShbConfig::default());
-        let report = o2_detect::detect(&w.program, &pta, &osa, &mut shb, &cfg);
+        let shb = o2_shb::build_shb(&w.program, &pta, &ShbConfig::default());
+        let report = o2_detect::detect(&w.program, &pta, &osa, &shb, &cfg);
         out.push_str(&row(
             &[
                 name.to_string(),

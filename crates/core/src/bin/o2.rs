@@ -5,7 +5,7 @@
 //! o2 <file.o2> [--policy 0ctx|1cfa|2cfa|1obj|2obj|origin|korigin:K]
 //!              [--naive] [--no-dispatcher-lock]
 //!              [--deadlocks] [--oversync] [--racerd]
-//!              [--sharing] [--origins] [--timeout SECS] [--quiet]
+//!              [--sharing] [--origins] [--timeout SECS] [--threads N] [--quiet]
 //! ```
 
 use o2::prelude::*;
@@ -23,6 +23,7 @@ struct Options {
     sharing: bool,
     origins: bool,
     timeout: Option<Duration>,
+    threads: Option<usize>,
     quiet: bool,
     json: bool,
     c_frontend: bool,
@@ -43,6 +44,7 @@ fn parse_args() -> Result<Options, String> {
         sharing: false,
         origins: false,
         timeout: None,
+        threads: None,
         quiet: false,
         json: false,
         c_frontend: false,
@@ -80,6 +82,11 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.get(i).ok_or("--timeout needs a value")?;
                 let secs: u64 = v.parse().map_err(|_| "invalid --timeout")?;
                 opts.timeout = Some(Duration::from_secs(secs));
+            }
+            "--threads" => {
+                i += 1;
+                let v = args.get(i).ok_or("--threads needs a value")?;
+                opts.threads = Some(v.parse().map_err(|_| "invalid --threads")?);
             }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => {
@@ -126,7 +133,8 @@ fn usage() {
     eprintln!(
         "usage: o2 <file.o2> [--policy 0ctx|1cfa|2cfa|1obj|2obj|origin|korigin:K]\n\
          \x20         [--naive] [--no-dispatcher-lock] [--deadlocks] [--oversync]\n\
-         \x20         [--racerd] [--sharing] [--origins] [--timeout SECS] [--quiet] [--json] [--c]\n\
+         \x20         [--racerd] [--sharing] [--origins] [--timeout SECS] [--threads N]\n\
+         \x20         [--quiet] [--json] [--c]\n\
          \x20         [--dot-shb] [--dot-callgraph] [--html FILE]"
     );
 }
@@ -178,6 +186,9 @@ fn main() -> ExitCode {
     });
     if opts.naive {
         builder = builder.detect_config(DetectConfig::naive());
+    }
+    if let Some(t) = opts.threads {
+        builder = builder.detect_threads(t);
     }
     if let Some(t) = opts.timeout {
         builder = builder.pta_timeout(t).detect_timeout(t);

@@ -191,6 +191,13 @@ impl O2Builder {
         self
     }
 
+    /// Sets the worker-thread count for the race-checking engine
+    /// (0 = available parallelism).
+    pub fn detect_threads(mut self, threads: usize) -> Self {
+        self.detect.threads = threads;
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> O2 {
         O2 {
@@ -237,7 +244,7 @@ impl O2 {
             timeout: self.shb.timeout.or(down_budget),
             ..self.shb.clone()
         };
-        let mut shb = build_shb(program, &pta, &shb_cfg);
+        let shb = build_shb(program, &pta, &shb_cfg);
         let t_shb = shb.duration;
         let detect_cfg = if pta.timed_out {
             DetectConfig {
@@ -252,7 +259,7 @@ impl O2 {
                 ..self.detect.clone()
             }
         };
-        let races = detect(program, &pta, &osa, &mut shb, &detect_cfg);
+        let races = detect(program, &pta, &osa, &shb, &detect_cfg);
         let t_detect = races.duration;
         AnalysisReport {
             pta,

@@ -140,8 +140,8 @@ mod tests {
         let p = parse(src).unwrap();
         let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
         let osa = run_osa(&p, &pta);
-        let mut shb = build_shb(&p, &pta, &ShbConfig::default());
-        let report = detect(&p, &pta, &osa, &mut shb, &DetectConfig::o2());
+        let shb = build_shb(&p, &pta, &ShbConfig::default());
+        let report = detect(&p, &pta, &osa, &shb, &DetectConfig::o2());
         let html = render_html(&p, &pta, &report);
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains("<b>1</b>races"), "{html}");

@@ -42,8 +42,8 @@
 //! "#).unwrap();
 //! let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
 //! let osa = run_osa(&program, &pta);
-//! let mut shb = build_shb(&program, &pta, &ShbConfig::default());
-//! let report = detect(&program, &pta, &osa, &mut shb, &DetectConfig::o2());
+//! let shb = build_shb(&program, &pta, &ShbConfig::default());
+//! let report = detect(&program, &pta, &osa, &shb, &DetectConfig::o2());
 //! assert_eq!(report.races.len(), 1); // unsynchronized write/read on S.data
 //! ```
 
@@ -61,8 +61,9 @@ use o2_analysis::{MemKey, OsaResult};
 use o2_ir::ids::GStmt;
 use o2_ir::program::Program;
 use o2_pta::{OriginId, PtaResult};
-use o2_shb::{AccessNode, ShbGraph};
+use o2_shb::{AccessNode, LockSetId, LockTable, ShbGraph};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// Configuration of the race detection engine.
@@ -80,6 +81,12 @@ pub struct DetectConfig {
     pub max_pairs_per_location: usize,
     /// Wall-clock budget for the whole detection.
     pub timeout: Option<Duration>,
+    /// Worker threads for the per-location pair check. `0` (the default)
+    /// uses [`std::thread::available_parallelism`]. Per-location checks
+    /// only read the frozen SHB graph and lockset table, so they fan out
+    /// across workers; results are merged back in candidate order, making
+    /// the report byte-identical for every thread count.
+    pub threads: usize,
 }
 
 impl DetectConfig {
@@ -92,6 +99,7 @@ impl DetectConfig {
             hb_cache: true,
             max_pairs_per_location: 100_000,
             timeout: None,
+            threads: 0,
         }
     }
 
@@ -106,6 +114,25 @@ impl DetectConfig {
             hb_cache: false,
             max_pairs_per_location: 100_000,
             timeout: None,
+            threads: 0,
+        }
+    }
+
+    /// The same configuration with an explicit worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Resolves the configured worker count: `0` means all available
+    /// hardware parallelism.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
         }
     }
 }
@@ -166,6 +193,14 @@ pub struct RaceReport {
     /// `true` if some location hit [`DetectConfig::max_pairs_per_location`]
     /// and its remaining pairs were skipped.
     pub pairs_budget_hit: bool,
+    /// Worker threads used for the pair check.
+    pub threads_used: usize,
+    /// Lockset-disjointness queries answered from a worker-local cache
+    /// (summed over workers; only meaningful with
+    /// [`DetectConfig::canonical_locksets`]).
+    pub lock_cache_hits: u64,
+    /// Lockset-disjointness queries computed (summed over workers).
+    pub lock_cache_misses: u64,
     /// Wall-clock duration of detection (excluding PTA/OSA/SHB).
     pub duration: Duration,
 }
@@ -234,22 +269,92 @@ impl RaceReport {
     }
 }
 
+/// One candidate memory location with its (possibly region-merged) access
+/// list and precomputed per-origin flags, ready to be checked by any
+/// worker without touching the pointer-analysis result.
+struct Candidate {
+    key: MemKey,
+    accesses: Vec<(OriginId, AccessNode)>,
+    region_merged: u64,
+    /// `origin id → (multi_instance, allocated_only_by_that_origin)` for
+    /// every origin appearing in `accesses`.
+    flags: HashMap<u32, (bool, bool)>,
+}
+
+/// Per-candidate results produced by a worker, merged serially in
+/// candidate order so the final report is independent of scheduling.
+#[derive(Default)]
+struct KeyOutcome {
+    /// Races in discovery order, *before* global deduplication (the merge
+    /// phase applies the cross-location `seen` filter).
+    races: Vec<Race>,
+    pairs_checked: u64,
+    lock_pruned: u64,
+    hb_pruned: u64,
+    pairs_budget_hit: bool,
+    timed_out: bool,
+}
+
+/// What one worker hands back to the merge phase: per-candidate outcomes
+/// tagged with the candidate index, plus its local lock-cache hit/miss
+/// counters.
+type WorkerResult = (Vec<(usize, KeyOutcome)>, u64, u64);
+
+/// A worker-local mirror of [`LockTable`]'s disjointness cache: the same
+/// short-circuits and memoization over the *shared, frozen* table, with
+/// hit/miss counters merged into the report at the end.
+#[derive(Default)]
+struct LocalLockCache {
+    cache: HashMap<(u32, u32), bool>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LocalLockCache {
+    fn disjoint(&mut self, locks: &LockTable, a: LockSetId, b: LockSetId) -> bool {
+        if a == LockSetId::EMPTY || b == LockSetId::EMPTY {
+            return true;
+        }
+        if a == b {
+            return false;
+        }
+        let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
+        if let Some(&d) = self.cache.get(&key) {
+            self.hits += 1;
+            return d;
+        }
+        self.misses += 1;
+        let d = locks.disjoint_uncached(a, b);
+        self.cache.insert(key, d);
+        d
+    }
+}
+
 /// Runs race detection over the results of the pipeline stages.
 ///
-/// `shb` is mutable only for its lockset disjointness cache.
+/// The check is embarrassingly parallel across memory locations: phase 1
+/// collects per-location access lists and per-origin flags serially (this
+/// is the only part that reads the pointer analysis), phase 2 fans the
+/// candidates out over [`DetectConfig::threads`] workers that share only
+/// the frozen SHB graph (each worker keeps local happens-before and
+/// lockset-disjointness caches), and phase 3 merges the per-candidate
+/// outcomes back in candidate order. Because the merge order is fixed,
+/// the report is byte-identical for every worker count (absent a
+/// [`DetectConfig::timeout`], which aborts mid-flight wherever the clock
+/// expires).
 pub fn detect(
     program: &Program,
     pta: &PtaResult,
     osa: &OsaResult,
-    shb: &mut ShbGraph,
+    shb: &ShbGraph,
     config: &DetectConfig,
 ) -> RaceReport {
     let start = Instant::now();
     let deadline = config.timeout.map(|t| start + t);
     let mut report = RaceReport::default();
-    let mut seen: BTreeSet<(MemKey, GStmt, GStmt)> = BTreeSet::new();
-    let mut hb_cache: HbCache = HashMap::new();
     let _ = program;
+
+    // ---- phase 1: serial candidate collection ---------------------------
 
     // Multi-instance origins: an abstract origin entered from two or more
     // distinct (parent, statement) creation points stands for several
@@ -306,7 +411,8 @@ pub fn detect(
         set.len() == 1 && set.contains(origin.0)
     };
 
-    'keys: for (key, entry) in osa.entries.iter() {
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (key, entry) in osa.entries.iter() {
         // Candidate locations: origin-shared per OSA, or written by a
         // multi-instance origin (self-sharing that OSA's per-origin sets
         // cannot express).
@@ -321,6 +427,7 @@ pub fn detect(
             continue;
         };
         // Materialize accesses, optionally merging by lock region.
+        let mut region_merged = 0u64;
         let mut accesses: Vec<(OriginId, AccessNode)> = Vec::with_capacity(indexed.len());
         if config.lock_region_merging {
             let mut rep: BTreeSet<(u32, u32, bool)> = BTreeSet::new();
@@ -329,7 +436,7 @@ pub fn detect(
                 if rep.insert((origin.0, a.region, a.is_write)) {
                     accesses.push((origin, a));
                 } else {
-                    report.region_merged += 1;
+                    region_merged += 1;
                 }
             }
         } else {
@@ -338,121 +445,223 @@ pub fn detect(
                 accesses.push((origin, a));
             }
         }
-
-        // Self-races of multi-instance origins: a write by an abstract
-        // origin that stands for several runtime threads races with the
-        // same write in another instance — unless a lock protects it or
-        // the object is allocated per-instance inside the origin.
-        for &(origin, a) in &accesses {
-            if a.is_write
-                && is_multi(origin)
-                && shb.locks.disjoint(a.lockset, a.lockset)
-                && !allocated_only_by(key, origin)
-            {
-                let dk = dedup_key(*key, a.stmt, a.stmt);
-                if seen.insert(dk) {
-                    let side = RaceAccess {
-                        origin,
-                        stmt: a.stmt,
-                        is_write: true,
-                    };
-                    report.races.push(Race {
-                        key: *key,
-                        a: side,
-                        b: side,
-                    });
-                }
+        let mut flags: HashMap<u32, (bool, bool)> = HashMap::new();
+        for &(origin, _) in &accesses {
+            if let std::collections::hash_map::Entry::Vacant(e) = flags.entry(origin.0) {
+                let multi = is_multi(origin);
+                // Allocator attribution only matters for multi-instance
+                // origins (it gates self-races); skip the lookup otherwise.
+                let sole = multi && allocated_only_by(key, origin);
+                e.insert((multi, sole));
             }
         }
+        candidates.push(Candidate {
+            key: *key,
+            accesses,
+            region_merged,
+            flags,
+        });
+    }
 
-        let mut pairs_here: usize = 0;
-        'pairs: for i in 0..accesses.len() {
-            for j in (i + 1)..accesses.len() {
-                let (oa, a) = accesses[i];
-                let (ob, b) = accesses[j];
-                if !a.is_write && !b.is_write {
-                    continue; // read-read
-                }
-                let same_origin = oa == ob;
-                if same_origin && (!is_multi(oa) || allocated_only_by(key, oa)) {
-                    continue; // one runtime instance, or per-instance data
-                }
-                pairs_here += 1;
-                if pairs_here > config.max_pairs_per_location {
-                    report.pairs_budget_hit = true;
-                    break 'pairs;
-                }
-                report.pairs_checked += 1;
-                if report.pairs_checked % 4096 == 0 {
-                    if let Some(d) = deadline {
-                        if Instant::now() > d {
-                            report.timed_out = true;
-                            break 'keys;
-                        }
-                    }
-                }
-                // Lockset check.
-                let disjoint = if config.canonical_locksets {
-                    shb.locks.disjoint(a.lockset, b.lockset)
-                } else {
-                    shb.locks.disjoint_uncached(a.lockset, b.lockset)
-                };
-                if !disjoint {
-                    report.lock_pruned += 1;
-                    continue;
-                }
-                // Happens-before check (both directions). Two instances
-                // of a multi-instance origin are mutually unordered, so
-                // same-origin pairs skip it.
-                let pa = (oa, a.pos);
-                let pb = (ob, b.pos);
-                let ordered = if same_origin {
-                    false
-                } else if config.hb_cache {
-                    let k1 = ((oa.0, a.pos), (ob.0, b.pos));
-                    let h1 = *hb_cache
-                        .entry(k1)
-                        .or_insert_with(|| hb(shb, pa, pb, config.integer_hb));
-                    if h1 {
-                        true
-                    } else {
-                        let k2 = ((ob.0, b.pos), (oa.0, a.pos));
-                        *hb_cache
-                            .entry(k2)
-                            .or_insert_with(|| hb(shb, pb, pa, config.integer_hb))
-                    }
-                } else {
-                    hb(shb, pa, pb, config.integer_hb) || hb(shb, pb, pa, config.integer_hb)
-                };
-                if ordered {
-                    report.hb_pruned += 1;
-                    continue;
-                }
-                // Race. Deduplicate by field and unordered statement pair.
-                let dk = dedup_key(*key, a.stmt, b.stmt);
-                if seen.insert(dk) {
-                    report.races.push(Race {
-                        key: *key,
-                        a: RaceAccess {
-                            origin: oa,
-                            stmt: a.stmt,
-                            is_write: a.is_write,
-                        },
-                        b: RaceAccess {
-                            origin: ob,
-                            stmt: b.stmt,
-                            is_write: b.is_write,
-                        },
-                    });
-                }
+    // ---- phase 2: parallel per-candidate checking -----------------------
+
+    let workers = config.effective_threads().clamp(1, candidates.len().max(1));
+    let next = AtomicUsize::new(0);
+    let out_of_time = AtomicBool::new(false);
+    let run_worker = || {
+        let mut hb_cache: HbCache = HashMap::new();
+        let mut locks = LocalLockCache::default();
+        let mut pair_tick: u64 = 0;
+        let mut outcomes: Vec<(usize, KeyOutcome)> = Vec::new();
+        loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= candidates.len() || out_of_time.load(Ordering::Relaxed) {
+                break;
+            }
+            let outcome = check_candidate(
+                &candidates[i],
+                shb,
+                config,
+                deadline,
+                &out_of_time,
+                &mut hb_cache,
+                &mut locks,
+                &mut pair_tick,
+            );
+            outcomes.push((i, outcome));
+        }
+        (outcomes, locks.hits, locks.misses)
+    };
+    let worker_results: Vec<WorkerResult> = if workers <= 1 {
+        vec![run_worker()]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers).map(|_| s.spawn(run_worker)).collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("detect worker panicked"))
+                .collect()
+        })
+    };
+
+    // ---- phase 3: deterministic merge -----------------------------------
+
+    let mut merged: Vec<(usize, KeyOutcome)> = Vec::with_capacity(candidates.len());
+    for (outcomes, hits, misses) in worker_results {
+        merged.extend(outcomes);
+        report.lock_cache_hits += hits;
+        report.lock_cache_misses += misses;
+    }
+    merged.sort_unstable_by_key(|(i, _)| *i);
+    let mut seen: BTreeSet<(MemKey, GStmt, GStmt)> = BTreeSet::new();
+    for (i, outcome) in merged {
+        report.region_merged += candidates[i].region_merged;
+        report.pairs_checked += outcome.pairs_checked;
+        report.lock_pruned += outcome.lock_pruned;
+        report.hb_pruned += outcome.hb_pruned;
+        report.pairs_budget_hit |= outcome.pairs_budget_hit;
+        report.timed_out |= outcome.timed_out;
+        for r in outcome.races {
+            // Deduplicate by field and unordered statement pair, across
+            // all locations, in candidate order.
+            if seen.insert(dedup_key(r.key, r.a.stmt, r.b.stmt)) {
+                report.races.push(r);
             }
         }
     }
+    report.timed_out |= out_of_time.load(Ordering::Relaxed);
+    report.threads_used = workers;
     report
         .races
-        .sort_by_key(|r| (r.a.stmt, r.b.stmt, r.a.origin.0, r.b.origin.0));
+        .sort_by_key(|r| (r.key, r.a.stmt, r.b.stmt, r.a.origin.0, r.b.origin.0));
     report.duration = start.elapsed();
     report
+}
+
+/// Checks every conflicting access pair of one candidate location.
+/// Runs on worker threads: reads only the frozen SHB graph plus the
+/// worker-local caches.
+#[allow(clippy::too_many_arguments)]
+fn check_candidate(
+    cand: &Candidate,
+    shb: &ShbGraph,
+    config: &DetectConfig,
+    deadline: Option<Instant>,
+    out_of_time: &AtomicBool,
+    hb_cache: &mut HbCache,
+    locks: &mut LocalLockCache,
+    pair_tick: &mut u64,
+) -> KeyOutcome {
+    let mut out = KeyOutcome::default();
+    let key = cand.key;
+    let accesses = &cand.accesses;
+    let multi = |o: OriginId| cand.flags.get(&o.0).is_some_and(|f| f.0);
+    let sole_alloc = |o: OriginId| cand.flags.get(&o.0).is_some_and(|f| f.1);
+
+    // Self-races of multi-instance origins: a write by an abstract
+    // origin that stands for several runtime threads races with the
+    // same write in another instance — unless a lock protects it or
+    // the object is allocated per-instance inside the origin.
+    for &(origin, a) in accesses {
+        if a.is_write
+            && multi(origin)
+            && locks.disjoint(&shb.locks, a.lockset, a.lockset)
+            && !sole_alloc(origin)
+        {
+            let side = RaceAccess {
+                origin,
+                stmt: a.stmt,
+                is_write: true,
+            };
+            out.races.push(Race {
+                key,
+                a: side,
+                b: side,
+            });
+        }
+    }
+
+    let mut pairs_here: usize = 0;
+    'pairs: for i in 0..accesses.len() {
+        for j in (i + 1)..accesses.len() {
+            let (oa, a) = accesses[i];
+            let (ob, b) = accesses[j];
+            if !a.is_write && !b.is_write {
+                continue; // read-read
+            }
+            let same_origin = oa == ob;
+            if same_origin && (!multi(oa) || sole_alloc(oa)) {
+                continue; // one runtime instance, or per-instance data
+            }
+            pairs_here += 1;
+            if pairs_here > config.max_pairs_per_location {
+                out.pairs_budget_hit = true;
+                break 'pairs;
+            }
+            out.pairs_checked += 1;
+            *pair_tick += 1;
+            if pair_tick.is_multiple_of(4096) {
+                if let Some(d) = deadline {
+                    if Instant::now() > d {
+                        out.timed_out = true;
+                        out_of_time.store(true, Ordering::Relaxed);
+                        break 'pairs;
+                    }
+                }
+            }
+            // Lockset check.
+            let disjoint = if config.canonical_locksets {
+                locks.disjoint(&shb.locks, a.lockset, b.lockset)
+            } else {
+                shb.locks.disjoint_uncached(a.lockset, b.lockset)
+            };
+            if !disjoint {
+                out.lock_pruned += 1;
+                continue;
+            }
+            // Happens-before check (both directions). Two instances
+            // of a multi-instance origin are mutually unordered, so
+            // same-origin pairs skip it.
+            let pa = (oa, a.pos);
+            let pb = (ob, b.pos);
+            let ordered = if same_origin {
+                false
+            } else if config.hb_cache {
+                let k1 = ((oa.0, a.pos), (ob.0, b.pos));
+                let h1 = *hb_cache
+                    .entry(k1)
+                    .or_insert_with(|| hb(shb, pa, pb, config.integer_hb));
+                if h1 {
+                    true
+                } else {
+                    let k2 = ((ob.0, b.pos), (oa.0, a.pos));
+                    *hb_cache
+                        .entry(k2)
+                        .or_insert_with(|| hb(shb, pb, pa, config.integer_hb))
+                }
+            } else {
+                hb(shb, pa, pb, config.integer_hb) || hb(shb, pb, pa, config.integer_hb)
+            };
+            if ordered {
+                out.hb_pruned += 1;
+                continue;
+            }
+            out.races.push(Race {
+                key,
+                a: RaceAccess {
+                    origin: oa,
+                    stmt: a.stmt,
+                    is_write: a.is_write,
+                },
+                b: RaceAccess {
+                    origin: ob,
+                    stmt: b.stmt,
+                    is_write: b.is_write,
+                },
+            });
+        }
+    }
+    out
 }
 
 /// Renders a memory location as `field` or `Class::field` for reports.
@@ -524,8 +733,8 @@ mod tests {
         o2_ir::validate::assert_valid(&p);
         let pta = analyze(&p, &PtaConfig::with_policy(policy));
         let osa = run_osa(&p, &pta);
-        let mut shb = build_shb(&p, &pta, &ShbConfig::default());
-        let report = detect(&p, &pta, &osa, &mut shb, cfg);
+        let shb = build_shb(&p, &pta, &ShbConfig::default());
+        let report = detect(&p, &pta, &osa, &shb, cfg);
         (p, report)
     }
 
@@ -830,8 +1039,8 @@ mod multi_instance_tests {
         let p = parse(src).unwrap();
         let pta = analyze(&p, &PtaConfig::with_policy(policy));
         let osa = run_osa(&p, &pta);
-        let mut shb = build_shb(&p, &pta, &ShbConfig::default());
-        detect(&p, &pta, &osa, &mut shb, &DetectConfig::o2())
+        let shb = build_shb(&p, &pta, &ShbConfig::default());
+        detect(&p, &pta, &osa, &shb, &DetectConfig::o2())
     }
 
     /// A thread object allocated once but started in a loop stands for

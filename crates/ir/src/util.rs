@@ -142,6 +142,71 @@ impl<'a> IntoIterator for &'a SparseSet {
     }
 }
 
+/// A small deterministic pseudo-random number generator (SplitMix64).
+///
+/// The workspace builds fully offline, so the workload generator and the
+/// seeded property tests use this instead of an external `rand` crate.
+/// SplitMix64 passes BigCrush for this purpose and, crucially, a given seed
+/// produces the same stream on every platform and every run, which keeps
+/// generated workloads byte-identical across machines.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform value in `[0, bound)`; `bound` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift reduction with rejection sampling, so
+    /// the result is exactly uniform (no modulo bias).
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be non-zero");
+        loop {
+            let x = self.next_u64();
+            let (hi, lo) = {
+                let wide = (x as u128) * (bound as u128);
+                ((wide >> 64) as u64, wide as u64)
+            };
+            if lo >= bound || lo >= bound.wrapping_neg() % bound {
+                return hi;
+            }
+        }
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 random bits give a uniform double in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < p
+    }
+
+    /// Returns a uniform `usize` in `[lo, hi)`; `lo < hi` required.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "gen_range requires lo < hi");
+        lo + self.next_below((hi - lo) as u64) as usize
+    }
+}
+
 /// An append-only interner mapping values of type `T` to dense `u32` keys.
 ///
 /// Used for contexts, abstract objects, origins, lockset signatures, and

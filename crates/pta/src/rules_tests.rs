@@ -322,6 +322,175 @@ fn recursive_spawn_terminates() {
     assert!(r.num_origins() <= 16);
 }
 
+/// Difference propagation and the full-set baseline reach the same
+/// fixpoint on every rule fixture, for every policy — compared through
+/// canonical (interning-order-independent) snapshots — while the diff
+/// solver never transfers more objects than the baseline.
+#[test]
+fn difference_propagation_matches_full_set_baseline() {
+    let fixtures = [
+        "class C { } class Main { static method main() { x = new C(); y = new C(); } }",
+        r#"
+            class C { field f; }
+            class Main {
+                static method main() {
+                    base = new C();
+                    v = new C();
+                    base.f = v;
+                    x = base.f;
+                }
+            }
+        "#,
+        r#"
+            class A { method get() { r = new A(); return r; } }
+            class B : A { method get() { r = new B(); return r; } }
+            class Main {
+                static method main() {
+                    o = new B();
+                    x = o.get();
+                }
+            }
+        "#,
+        r#"
+            class T impl Runnable {
+                field f;
+                method <init>() { o = new T2(); this.f = o; }
+                method run() { }
+            }
+            class T2 { }
+            class Main {
+                static method main() {
+                    a = new T();
+                    b = new T();
+                    a.start();
+                    b.start();
+                }
+            }
+        "#,
+        r#"
+            class H impl EventHandler {
+                field seen;
+                method handleEvent(e) { this.seen = e; }
+            }
+            class Ev { }
+            class Main {
+                static method main() {
+                    h = new H();
+                    e1 = new Ev();
+                    h.handleEvent(e1);
+                }
+            }
+        "#,
+        r#"
+            class Inner impl Runnable {
+                field sink;
+                method <init>(sink) { this.sink = sink; }
+                method run() {
+                    o = new Val();
+                    s = this.sink;
+                    s.slot = o;
+                }
+            }
+            class Val { }
+            class Sink { field slot; }
+            class Outer impl Runnable {
+                method run() {
+                    sink = new Sink();
+                    i = new Inner(sink);
+                    i.start();
+                }
+            }
+            class Main {
+                static method main() {
+                    o1 = new Outer();
+                    o2 = new Outer();
+                    o1.start();
+                    o2.start();
+                }
+            }
+        "#,
+    ];
+    let policies = [
+        Policy::insensitive(),
+        Policy::cfa1(),
+        Policy::origin1(),
+        Policy::origin(2),
+    ];
+    for (i, src) in fixtures.iter().enumerate() {
+        let p = parse(src).unwrap();
+        for policy in policies {
+            let diff = analyze(&p, &PtaConfig::with_policy(policy));
+            let full = analyze(
+                &p,
+                &PtaConfig {
+                    difference_propagation: false,
+                    ..PtaConfig::with_policy(policy)
+                },
+            );
+            assert_eq!(
+                diff.canonical_snapshot(),
+                full.canonical_snapshot(),
+                "fixture {i}, {policy}: points-to fixpoints differ"
+            );
+            assert_eq!(diff.stats.num_objects, full.stats.num_objects, "fixture {i}");
+            assert_eq!(diff.stats.num_origins, full.stats.num_origins, "fixture {i}");
+            assert_eq!(diff.stats.num_mis, full.stats.num_mis, "fixture {i}");
+            assert_eq!(diff.stats.num_edges, full.stats.num_edges, "fixture {i}");
+            assert!(
+                diff.stats.propagated_objects <= full.stats.propagated_objects,
+                "fixture {i}, {policy}: diff moved more objects ({} > {})",
+                diff.stats.propagated_objects,
+                full.stats.propagated_objects
+            );
+        }
+    }
+}
+
+/// On a program whose assignments are written use-before-def, points-to
+/// sets arrive in several worklist waves, so nodes re-fire — the case
+/// difference propagation exists for. The baseline must re-push full
+/// sets (strictly more steps and strictly more transferred objects),
+/// while both modes still reach the same fixpoint.
+#[test]
+fn difference_propagation_strictly_beats_baseline_on_refiring_flow() {
+    let src = r#"
+        class A { field f; }
+        class Main {
+            static method main() {
+                s = c;
+                c = t;
+                t = a.f;
+                a.f = b;
+                a = new A();
+                b = new A();
+                c = new A();
+            }
+        }
+    "#;
+    let p = parse(src).unwrap();
+    let diff = analyze(&p, &PtaConfig::default());
+    let full = analyze(
+        &p,
+        &PtaConfig {
+            difference_propagation: false,
+            ..Default::default()
+        },
+    );
+    assert_eq!(diff.canonical_snapshot(), full.canonical_snapshot());
+    assert!(
+        diff.stats.solve_steps < full.stats.solve_steps,
+        "expected strictly fewer steps: {} vs {}",
+        diff.stats.solve_steps,
+        full.stats.solve_steps
+    );
+    assert!(
+        diff.stats.propagated_objects < full.stats.propagated_objects,
+        "expected strictly fewer transfers: {} vs {}",
+        diff.stats.propagated_objects,
+        full.stats.propagated_objects
+    );
+}
+
 /// k-origin (k=2) distinguishes nested spawn chains that k=1 merges.
 #[test]
 fn korigin_refines_nested_spawns() {

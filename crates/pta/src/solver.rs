@@ -112,6 +112,17 @@ pub struct PtaConfig {
     /// pointing the destination at an anonymous object of the built-in
     /// external class, one per call site.
     pub anonymous_external_objects: bool,
+    /// Difference propagation (the standard Andersen optimization): on each
+    /// worklist firing, push only the objects the node acquired since its
+    /// last firing, and merge source sets into targets with a single batch
+    /// union at edge insertion. When `false` the solver re-propagates the
+    /// node's *entire* points-to set at every firing — the textbook
+    /// full-set baseline, retained as a reference implementation for
+    /// equivalence tests and for measuring how many redundant object
+    /// transfers difference propagation removes (see
+    /// [`PtaStats::propagated_objects`]). Both modes reach the same
+    /// fixpoint.
+    pub difference_propagation: bool,
 }
 
 impl Default for PtaConfig {
@@ -123,6 +134,7 @@ impl Default for PtaConfig {
             wrapper_site_limit: 8,
             max_origin_depth: 8,
             anonymous_external_objects: true,
+            difference_propagation: true,
         }
     }
 }
@@ -152,6 +164,15 @@ pub struct PtaStats {
     pub num_mis: usize,
     /// Propagation steps executed.
     pub solve_steps: u64,
+    /// Object-transfer units pushed across points-to edges by worklist
+    /// firings: the sum over firings of `batch size × out-degree`, where
+    /// the batch is the node's delta under difference propagation and its
+    /// entire points-to set under the full-set baseline. One-time edge
+    /// seeding (carrying the source set over a newly inserted edge) is
+    /// necessary work in either mode and is excluded, so the counter
+    /// isolates exactly the redundant re-propagation that difference
+    /// propagation removes.
+    pub propagated_objects: u64,
 }
 
 #[derive(Debug, Default)]
@@ -164,6 +185,21 @@ struct NodeData {
     stores: Vec<(FieldId, NodeId)>,
     vcalls: Vec<u32>,
     joins: Vec<u32>,
+}
+
+/// Splits the node table into a shared borrow of `from` and a mutable
+/// borrow of `to` (`from != to`), so a batch set union can read one node
+/// while appending into the other without cloning either set.
+fn two_nodes(nodes: &mut [NodeData], from: NodeId, to: NodeId) -> (&NodeData, &mut NodeData) {
+    let (fi, ti) = (from as usize, to as usize);
+    debug_assert_ne!(fi, ti);
+    if fi < ti {
+        let (left, right) = nodes.split_at_mut(ti);
+        (&left[fi], &mut right[0])
+    } else {
+        let (left, right) = nodes.split_at_mut(fi);
+        (&right[0], &mut left[ti])
+    }
 }
 
 #[derive(Debug)]
@@ -256,6 +292,79 @@ impl PtaResult {
             Some(n) => self.nodes[n as usize].pts.as_slice(),
             None => EMPTY_OBJS,
         }
+    }
+
+    /// Renders every non-empty points-to entry as a map from a canonical
+    /// node descriptor to the sorted canonical descriptors of the objects
+    /// it points to.
+    ///
+    /// Descriptors are grounded entirely in program-level identities
+    /// (methods, statement indices, classes, fields) rather than the dense
+    /// interning ids, so two runs that compute the same abstraction
+    /// produce byte-identical snapshots even when their internal id
+    /// assignment differs — e.g. the difference-propagation solver and the
+    /// full-set baseline visit nodes in different orders and may intern
+    /// objects, contexts, and method instances in different sequences.
+    /// Used by the solver equivalence tests and handy for diffing runs.
+    pub fn canonical_snapshot(&self) -> BTreeMap<String, Vec<String>> {
+        let mut out = BTreeMap::new();
+        for (id, key) in self.node_keys.iter() {
+            let pts = &self.nodes[id as usize].pts;
+            if pts.is_empty() {
+                continue;
+            }
+            let desc = match *key {
+                NodeKey::Var(mi, v) => format!("var {} {:?}", self.canon_mi(mi), v),
+                NodeKey::Ret(mi) => format!("ret {}", self.canon_mi(mi)),
+                NodeKey::ObjField(o, f) => format!("fld {} {:?}", self.canon_obj(o), f),
+                NodeKey::Static(c, f) => format!("static {c:?} {f:?}"),
+            };
+            let mut objs: Vec<String> = pts.iter().map(|o| self.canon_obj(ObjId(o))).collect();
+            objs.sort();
+            out.insert(desc, objs);
+        }
+        out
+    }
+
+    fn canon_mi(&self, mi: Mi) -> String {
+        let (method, ctx) = *self.mis.resolve(mi.0);
+        format!("{:?}@{}", method, self.canon_ctx(ctx))
+    }
+
+    fn canon_ctx(&self, ctx: Ctx) -> String {
+        let elems: Vec<String> = self
+            .arena
+            .ctx_elems(ctx)
+            .iter()
+            .map(|e| match *e {
+                CtxElem::Site(g) => format!("S{g:?}"),
+                CtxElem::Obj(o) => self.canon_obj(o),
+                CtxElem::Origin(orig) => self.canon_origin(orig),
+            })
+            .collect();
+        format!("[{}]", elems.join(","))
+    }
+
+    fn canon_obj(&self, obj: ObjId) -> String {
+        let d = self.arena.obj_data(obj);
+        format!(
+            "O{{{:?},h{},{:?}}}",
+            d.site,
+            self.canon_ctx(d.hctx),
+            d.class
+        )
+    }
+
+    fn canon_origin(&self, origin: OriginId) -> String {
+        let d = self.arena.origin_data(origin);
+        let parent = match d.key.parent {
+            Some(p) => self.canon_origin(p),
+            None => "-".to_string(),
+        };
+        format!(
+            "G{{{:?},p{},w{:?},v{},{:?},{:?}}}",
+            d.key.site, parent, d.key.wrapper, d.key.variant, d.kind, d.entry
+        )
     }
 
     /// Call-graph targets of statement `stmt_idx` in `mi`.
@@ -394,6 +503,7 @@ struct Solver<'p> {
     origin_entry_mis: BTreeMap<OriginId, Vec<Mi>>,
     num_edges: u64,
     steps: u64,
+    propagated: u64,
     iters: u64,
     timed_out: bool,
     deadline: Option<Instant>,
@@ -423,6 +533,7 @@ impl<'p> Solver<'p> {
             origin_entry_mis: BTreeMap::new(),
             num_edges: 0,
             steps: 0,
+            propagated: 0,
             iters: 0,
             timed_out: false,
             deadline,
@@ -495,6 +606,14 @@ impl<'p> Solver<'p> {
         }
     }
 
+    fn enqueue_node(&mut self, node: NodeId) {
+        let n = &mut self.nodes[node as usize];
+        if !n.queued {
+            n.queued = true;
+            self.worklist.push_back(node);
+        }
+    }
+
     fn add_edge(&mut self, from: NodeId, to: NodeId) {
         if from == to {
             return;
@@ -507,10 +626,26 @@ impl<'p> Solver<'p> {
             }
         }
         self.num_edges += 1;
-        // Propagate the full current pts along the new edge.
-        let objs: Vec<u32> = self.nodes[from as usize].pts.iter().collect();
-        for o in objs {
-            self.add_pts(to, ObjId(o));
+        if self.cfg.difference_propagation {
+            // Targeted transfer: one linear merge of `from.pts` into
+            // `to.pts`; only the objects `to` had not seen land in its
+            // delta, and nothing else downstream is disturbed. This
+            // seeding is necessary work in either mode (the baseline does
+            // it inside the source's next firing), so it is not counted
+            // toward `propagated` — that counter measures firing traffic.
+            let (from_n, to_n) = two_nodes(&mut self.nodes, from, to);
+            let changed = to_n.pts.union_into(&from_n.pts, &mut to_n.delta);
+            if changed {
+                self.enqueue_node(to);
+            }
+        } else {
+            // Classic full-set baseline: re-enqueue the source; its next
+            // firing re-pushes its entire points-to set to *every*
+            // successor (the new edge's target among them), and every
+            // downstream node whose set changes does the same.
+            if !self.nodes[from as usize].pts.is_empty() {
+                self.enqueue_node(from);
+            }
         }
     }
 
@@ -554,13 +689,24 @@ impl<'p> Solver<'p> {
                 break;
             };
             self.nodes[node as usize].queued = false;
+            // Difference propagation pushes only the objects acquired since
+            // the node last fired; the full-set baseline re-examines the
+            // node's entire points-to set every time it fires (including
+            // firings triggered by a new outgoing edge, where nothing in
+            // the set is new).
             let delta = std::mem::take(&mut self.nodes[node as usize].delta);
+            let delta = if self.cfg.difference_propagation {
+                delta
+            } else {
+                self.nodes[node as usize].pts.iter().collect()
+            };
             if delta.is_empty() {
                 continue;
             }
             self.steps += delta.len() as u64;
             // Copy edges.
             let succs = self.nodes[node as usize].succs.clone();
+            self.propagated += delta.len() as u64 * succs.len() as u64;
             for s in succs {
                 for &o in &delta {
                     self.add_pts(s, ObjId(o));
@@ -1347,6 +1493,7 @@ impl<'p> Solver<'p> {
             num_origins: self.arena.num_origins(),
             num_mis: self.mi_info.iter().filter(|i| i.processed).count(),
             solve_steps: self.steps,
+            propagated_objects: self.propagated,
         };
         let mi_processed: Vec<bool> = self.mi_info.iter().map(|i| i.processed).collect();
         // Origin reachability: BFS from each origin's entry MIs over

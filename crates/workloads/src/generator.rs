@@ -37,8 +37,7 @@
 use o2_ir::builder::{MethodBuilder, ProgramBuilder};
 use o2_ir::origins::OriginKind;
 use o2_ir::program::Program;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use o2_ir::util::SplitMix64;
 
 /// Parameters of one synthetic workload.
 #[derive(Clone, Debug)]
@@ -169,7 +168,7 @@ pub struct GeneratedWorkload {
 
 /// Generates the workload described by `spec`.
 pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = SplitMix64::seed_from_u64(spec.seed);
     let mut truth = GroundTruth::default();
     let mut pb = ProgramBuilder::new();
 
@@ -531,7 +530,7 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
                 m.load(None, v, &format!("fj{i}_{r}"));
             }
         }
-        let _ = rng.gen::<u64>();
+        let _ = rng.next_u64();
         m.finish();
     }
 
@@ -594,7 +593,7 @@ fn emit_worker_body(
     n_shared: usize,
     racy_per_obj: &[usize],
     prot_per_obj: &[usize],
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
 ) {
     let work = pb.add_class("Work", None);
     {

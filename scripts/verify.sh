@@ -1,0 +1,23 @@
+#!/usr/bin/env sh
+# Full offline verification: release build, complete test suite, lints,
+# and the PR 1 performance report (BENCH_pr1.json at the repo root).
+#
+# The workspace has no external dependencies, so every step runs with
+# --offline and must succeed without network access.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline --workspace
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline --workspace
+
+echo "==> cargo clippy --offline -- -D warnings"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> bench --group pr1 (writes BENCH_pr1.json)"
+cargo run --release --offline -p o2-bench --bin bench -- --group pr1
+
+echo "==> verify OK"

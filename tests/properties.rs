@@ -1,97 +1,79 @@
-//! Property-based tests over randomly drawn workload specifications.
+//! Randomized property tests over workload specifications drawn from a
+//! fixed-seed PRNG.
 //!
 //! These check the analysis-wide invariants rather than individual
 //! programs: soundness of every policy on planted races, exactness of O2
 //! on the generator's ground truth, agreement between the optimized and
 //! naive engines, and the algebraic properties of the happens-before
-//! relation.
+//! relation. Each test enumerates the same deterministic spec sample, so
+//! failures reproduce exactly (the failing spec index is in the panic
+//! message) without an external property-testing dependency.
 
 use o2::prelude::*;
+use o2_ir::util::SplitMix64;
 use o2_workloads::{generate, WorkloadSpec};
-use proptest::prelude::*;
 
-fn arb_spec() -> impl Strategy<Value = WorkloadSpec> {
-    (
-        0usize..4,  // threads
-        0usize..3,  // events
-        0usize..4,  // call depth
-        0usize..3,  // planted races
-        0usize..2,  // racy statics
-        0usize..3,  // protected
-        (0usize..2, 0usize..2, 0usize..2, 0usize..2, 0usize..2),
-        (0usize..3, 0usize..3, 0usize..4), // fan w, fan d, builders
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<u64>(),
-    )
-        .prop_map(
-            |(
-                n_threads,
-                n_events,
-                call_depth,
-                planted_races,
-                racy_statics,
-                protected_fields,
-                (m1, m2, m3, fact, heap),
-                (fw, fd, builders),
-                use_wrappers,
-                loop_spawn,
-                c_style,
-                seed,
-            )| {
-                WorkloadSpec {
-                    name: "prop".to_string(),
-                    seed,
-                    n_threads,
-                    n_events,
-                    call_depth,
-                    n_shared_objects: 1,
-                    planted_races,
-                    racy_statics,
-                    protected_fields,
-                    fork_join_fields: 1,
-                    merges_depth1: m1,
-                    merges_depth2: m2,
-                    merges_depth3: m3,
-                    factory_merges: fact,
-                    heap_conflations: heap,
-                    stress_fan_width: fw,
-                    stress_fan_depth: fd,
-                    stress_builders: builders,
-                    use_wrappers,
-                    loop_spawn,
-                    nested_spawn: false,
-                    c_style,
-                    filler: 1,
-                }
-            },
-        )
+const CASES: u64 = 24;
+
+/// Draws a random spec with the same shape distribution the proptest
+/// strategy used: small origin counts, shallow call chains, a mix of
+/// merge stressors, and every frontend/wrapper/loop toggle.
+fn draw_spec(rng: &mut SplitMix64) -> WorkloadSpec {
+    WorkloadSpec {
+        name: "prop".to_string(),
+        seed: rng.next_u64(),
+        n_threads: rng.gen_range(0, 4),
+        n_events: rng.gen_range(0, 3),
+        call_depth: rng.gen_range(0, 4),
+        n_shared_objects: 1,
+        planted_races: rng.gen_range(0, 3),
+        racy_statics: rng.gen_range(0, 2),
+        protected_fields: rng.gen_range(0, 3),
+        fork_join_fields: 1,
+        merges_depth1: rng.gen_range(0, 2),
+        merges_depth2: rng.gen_range(0, 2),
+        merges_depth3: rng.gen_range(0, 2),
+        factory_merges: rng.gen_range(0, 2),
+        heap_conflations: rng.gen_range(0, 2),
+        stress_fan_width: rng.gen_range(0, 3),
+        stress_fan_depth: rng.gen_range(0, 3),
+        stress_builders: rng.gen_range(0, 4),
+        use_wrappers: rng.gen_bool(0.5),
+        loop_spawn: rng.gen_bool(0.5),
+        nested_spawn: false,
+        c_style: rng.gen_bool(0.5),
+        filler: 1,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+fn spec_sample() -> Vec<WorkloadSpec> {
+    let mut rng = SplitMix64::seed_from_u64(0x02_5EED);
+    (0..CASES).map(|_| draw_spec(&mut rng)).collect()
+}
 
-    /// O2 is exact on the generator's ground truth: two races per realized
-    /// racy field, nothing else.
-    #[test]
-    fn o2_exact_on_ground_truth(spec in arb_spec()) {
-        let w = generate(&spec);
+/// O2 is exact on the generator's ground truth: two races per realized
+/// racy field, nothing else.
+#[test]
+fn o2_exact_on_ground_truth() {
+    for (i, spec) in spec_sample().iter().enumerate() {
+        let w = generate(spec);
         let report = O2Builder::new().build().analyze(&w.program);
-        prop_assert_eq!(
+        assert_eq!(
             report.num_races(),
             2 * w.truth.racy_fields.len(),
-            "spec: {:?}\nreport:\n{}",
+            "case {i}, spec: {:?}\nreport:\n{}",
             spec,
             report.races.render(&w.program)
         );
     }
+}
 
-    /// Every policy is sound on the planted races: each realized racy field
-    /// appears in its race report.
-    #[test]
-    fn all_policies_sound_on_planted_races(spec in arb_spec()) {
-        let w = generate(&spec);
+/// Every policy is sound on the planted races: each realized racy field
+/// appears in its race report.
+#[test]
+fn all_policies_sound_on_planted_races() {
+    for (i, spec) in spec_sample().iter().enumerate() {
+        let w = generate(spec);
         for policy in [Policy::insensitive(), Policy::cfa1(), Policy::origin1()] {
             let report = O2Builder::new().policy(policy).build().analyze(&w.program);
             let reported: std::collections::BTreeSet<String> = report
@@ -104,19 +86,21 @@ proptest! {
                 })
                 .collect();
             for f in &w.truth.racy_fields {
-                prop_assert!(
+                assert!(
                     reported.contains(f),
-                    "{policy}: missed planted race on {f}"
+                    "case {i}, {policy}: missed planted race on {f}"
                 );
             }
         }
     }
+}
 
-    /// The naive (D4-style) engine and the optimized O2 engine agree on the
-    /// set of racy locations.
-    #[test]
-    fn naive_and_optimized_engines_agree(spec in arb_spec()) {
-        let w = generate(&spec);
+/// The naive (D4-style) engine and the optimized O2 engine agree on the
+/// set of racy locations.
+#[test]
+fn naive_and_optimized_engines_agree() {
+    for (i, spec) in spec_sample().iter().enumerate() {
+        let w = generate(spec);
         let fast = O2Builder::new().build().analyze(&w.program);
         let slow = O2Builder::new()
             .detect_config(DetectConfig::naive())
@@ -131,13 +115,15 @@ proptest! {
                 })
                 .collect::<std::collections::BTreeSet<_>>()
         };
-        prop_assert_eq!(keys(&fast.races), keys(&slow.races));
+        assert_eq!(keys(&fast.races), keys(&slow.races), "case {i}");
     }
+}
 
-    /// Happens-before is irreflexive and antisymmetric on access nodes.
-    #[test]
-    fn happens_before_is_a_strict_order(spec in arb_spec()) {
-        let w = generate(&spec);
+/// Happens-before is irreflexive and antisymmetric on access nodes.
+#[test]
+fn happens_before_is_a_strict_order() {
+    for (i, spec) in spec_sample().iter().enumerate() {
+        let w = generate(spec);
         let report = O2Builder::new().build().analyze(&w.program);
         let shb = &report.shb;
         let mut nodes = Vec::new();
@@ -147,20 +133,23 @@ proptest! {
             }
         }
         for &a in nodes.iter().take(12) {
-            prop_assert!(!shb.happens_before(a, a), "irreflexive");
+            assert!(!shb.happens_before(a, a), "case {i}: irreflexive");
             for &b in nodes.iter().take(12) {
-                if shb.happens_before(a, b) && shb.happens_before(b, a) {
-                    prop_assert!(false, "antisymmetry violated: {a:?} {b:?}");
-                }
+                assert!(
+                    !(shb.happens_before(a, b) && shb.happens_before(b, a)),
+                    "case {i}: antisymmetry violated: {a:?} {b:?}"
+                );
             }
         }
     }
+}
 
-    /// The optimized integer-id HB and the naive edge-walking HB are the
-    /// same relation.
-    #[test]
-    fn hb_implementations_agree(spec in arb_spec()) {
-        let w = generate(&spec);
+/// The optimized integer-id HB and the naive edge-walking HB are the
+/// same relation.
+#[test]
+fn hb_implementations_agree() {
+    for (i, spec) in spec_sample().iter().enumerate() {
+        let w = generate(spec);
         let report = O2Builder::new().build().analyze(&w.program);
         let shb = &report.shb;
         let mut nodes = Vec::new();
@@ -171,21 +160,21 @@ proptest! {
         }
         for &a in nodes.iter().take(8) {
             for &b in nodes.iter().take(8) {
-                prop_assert_eq!(
+                assert_eq!(
                     shb.happens_before(a, b),
                     shb.happens_before_naive(a, b),
-                    "disagree on {:?} -> {:?}",
-                    a,
-                    b
+                    "case {i}: disagree on {a:?} -> {b:?}"
                 );
             }
         }
     }
+}
 
-    /// Protected and fork-join fields never appear in any O2 report.
-    #[test]
-    fn benign_fields_never_reported(spec in arb_spec()) {
-        let w = generate(&spec);
+/// Protected and fork-join fields never appear in any O2 report.
+#[test]
+fn benign_fields_never_reported() {
+    for (i, spec) in spec_sample().iter().enumerate() {
+        let w = generate(spec);
         let report = O2Builder::new().build().analyze(&w.program);
         let benign: std::collections::BTreeSet<&str> =
             w.truth.benign_fields.iter().map(|s| s.as_str()).collect();
@@ -194,18 +183,24 @@ proptest! {
                 MemKey::Field(_, f) => w.program.field_name(f),
                 MemKey::Static(_, f) => w.program.field_name(f),
             };
-            prop_assert!(!benign.contains(f), "benign field {f} reported");
+            assert!(!benign.contains(f), "case {i}: benign field {f} reported");
         }
     }
+}
 
-    /// Generated programs always validate and print/reparse.
-    #[test]
-    fn generated_programs_roundtrip(spec in arb_spec()) {
-        let w = generate(&spec);
+/// Generated programs always validate and print/reparse.
+#[test]
+fn generated_programs_roundtrip() {
+    for (i, spec) in spec_sample().iter().enumerate() {
+        let w = generate(spec);
         o2_ir::validate::assert_valid(&w.program);
         let text = o2_ir::printer::print_program(&w.program);
         let reparsed = o2_ir::parser::parse(&text)
-            .map_err(|e| TestCaseError::fail(format!("reparse: {e}")))?;
-        prop_assert_eq!(reparsed.num_statements(), w.program.num_statements());
+            .unwrap_or_else(|e| panic!("case {i}: reparse failed: {e}"));
+        assert_eq!(
+            reparsed.num_statements(),
+            w.program.num_statements(),
+            "case {i}"
+        );
     }
 }
