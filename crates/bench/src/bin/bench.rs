@@ -14,13 +14,16 @@
 //!         scaling      PTA wall time vs program size per policy
 //!         pr1          parallel detect scaling + delta-solver stats
 //!                      (writes BENCH_pr1.json; see `--out`)
+//!         pr2          precision-pipeline pass counts + real-bug recall
+//!                      (writes BENCH_pr2.json; see `--out`)
 //! ```
 //!
 //! Without `--group`, every group runs. `--out` changes where the `pr1`
-//! group writes its JSON report (default `BENCH_pr1.json`).
+//! and `pr2` groups write their JSON reports (defaults `BENCH_pr1.json`
+//! and `BENCH_pr2.json`).
 
 use o2_analysis::{run_escape, run_osa};
-use o2_bench::{fmt_dur, pr1};
+use o2_bench::{fmt_dur, pr1, pr2};
 use o2_detect::{detect, DetectConfig};
 use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 use o2_shb::{build_shb, ShbConfig};
@@ -30,7 +33,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut groups: Vec<String> = Vec::new();
     let mut iters = 3usize;
-    let mut out = "BENCH_pr1.json".to_string();
+    let mut out: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -47,7 +50,7 @@ fn main() {
             }
             "--out" => {
                 i += 1;
-                out = args.get(i).cloned().unwrap_or_else(|| usage());
+                out = Some(args.get(i).cloned().unwrap_or_else(|| usage()));
             }
             _ => usage(),
         }
@@ -61,6 +64,7 @@ fn main() {
             "shb_queries".into(),
             "scaling".into(),
             "pr1".into(),
+            "pr2".into(),
         ];
     }
     for g in &groups {
@@ -70,7 +74,8 @@ fn main() {
             "ablation" => ablation(iters),
             "shb_queries" => shb_queries(iters),
             "scaling" => scaling(iters),
-            "pr1" => pr1_group(iters, &out),
+            "pr1" => pr1_group(iters, out.as_deref().unwrap_or("BENCH_pr1.json")),
+            "pr2" => pr2_group(iters, out.as_deref().unwrap_or("BENCH_pr2.json")),
             other => {
                 eprintln!("unknown group `{other}`");
                 usage();
@@ -236,6 +241,19 @@ fn pr1_group(iters: usize, out: &str) {
         ..Default::default()
     };
     let report = pr1::run(&opts);
+    print!("{}", report.render());
+    println!("wrote {out}");
+}
+
+/// The PR 2 harness: precision-pipeline pass counts on the presets and
+/// recall over the real-bug models, written to `out` as JSON.
+fn pr2_group(iters: usize, out: &str) {
+    let opts = pr2::Pr2Options {
+        iters,
+        out_path: Some(out.to_string()),
+        ..Default::default()
+    };
+    let report = pr2::run(&opts);
     print!("{}", report.render());
     println!("wrote {out}");
 }

@@ -6,11 +6,27 @@
 //!              [--naive] [--no-dispatcher-lock]
 //!              [--deadlocks] [--oversync] [--racerd]
 //!              [--sharing] [--origins] [--timeout SECS] [--threads N] [--quiet]
+//!              [--format text|json|sarif]
 //! ```
+//!
+//! `--format` selects the triaged precision-pipeline output (confidence
+//! tiers, pruned and `@suppress(race)`-suppressed races): `text` for the
+//! human summary, `json` for the machine-readable report, `sarif` for a
+//! SARIF 2.1.0 document covering races, deadlocks, and over-sync. The
+//! legacy `--json` flag still prints the raw detector report.
 
 use o2::prelude::*;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// Output selector for the triaged pipeline report (`--format`). `None`
+/// keeps the legacy raw-detector output paths.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
 
 struct Options {
     file: String,
@@ -26,6 +42,7 @@ struct Options {
     threads: Option<usize>,
     quiet: bool,
     json: bool,
+    format: Option<Format>,
     c_frontend: bool,
     dot_shb: bool,
     dot_callgraph: bool,
@@ -47,6 +64,7 @@ fn parse_args() -> Result<Options, String> {
         threads: None,
         quiet: false,
         json: false,
+        format: None,
         c_frontend: false,
         dot_shb: false,
         dot_callgraph: false,
@@ -70,6 +88,16 @@ fn parse_args() -> Result<Options, String> {
             "--origins" => opts.origins = true,
             "--quiet" => opts.quiet = true,
             "--json" => opts.json = true,
+            "--format" => {
+                i += 1;
+                let v = args.get(i).ok_or("--format needs a value")?;
+                opts.format = Some(match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format {other}")),
+                });
+            }
             "--c" => opts.c_frontend = true,
             "--html" => {
                 i += 1;
@@ -134,7 +162,7 @@ fn usage() {
         "usage: o2 <file.o2> [--policy 0ctx|1cfa|2cfa|1obj|2obj|origin|korigin:K]\n\
          \x20         [--naive] [--no-dispatcher-lock] [--deadlocks] [--oversync]\n\
          \x20         [--racerd] [--sharing] [--origins] [--timeout SECS] [--threads N]\n\
-         \x20         [--quiet] [--json] [--c]\n\
+         \x20         [--quiet] [--json] [--format text|json|sarif] [--c]\n\
          \x20         [--dot-shb] [--dot-callgraph] [--html FILE]"
     );
 }
@@ -237,6 +265,24 @@ fn main() -> ExitCode {
     }
     if opts.dot_shb {
         print!("{}", report.shb.to_dot(&report.pta));
+    }
+    if let Some(format) = opts.format {
+        // Pipeline mode: triage the detector output (suppression,
+        // ownership pruning, guarded-by inference, racerd agreement) and
+        // print the requested rendering. The exit code reflects the
+        // *triaged* race list, so `@suppress(race)` and pruning make a
+        // clean run exit 0.
+        let pipeline = report.run_pipeline(&program);
+        match format {
+            Format::Text => print!("{}", pipeline.render(&program)),
+            Format::Json => print!("{}", pipeline.to_json(&program)),
+            Format::Sarif => print!("{}", pipeline.to_sarif(&program)),
+        }
+        return if pipeline.races.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
     }
     if opts.json {
         print!("{}", report.races.to_json(&program));

@@ -50,6 +50,7 @@ pub mod prelude {
         DeadlockReport, DetectConfig, OversyncReport, Race, RaceReport,
     };
     pub use o2_ir::{EntryPointConfig, OriginKind, Program};
+    pub use o2_passes::{PipelineReport, Tier, TriagedRace};
     pub use o2_pta::{Policy, PtaConfig, PtaResult};
     pub use o2_shb::{ShbConfig, ShbGraph};
 }
@@ -113,6 +114,13 @@ impl AnalysisReport {
     /// SHB results.
     pub fn find_oversync(&self, program: &Program) -> o2_detect::OversyncReport {
         o2_detect::find_oversync(program, &self.osa, &self.shb)
+    }
+
+    /// Runs the post-detection precision pipeline (suppression, ownership
+    /// pruning, guarded-by inference, RacerD agreement, deadlock and
+    /// over-sync checks) over this report and returns the triaged result.
+    pub fn run_pipeline(&self, program: &Program) -> o2_passes::PipelineReport {
+        o2_passes::run_pipeline(program, &self.pta, &self.osa, &self.shb, &self.races)
     }
 
     /// A one-paragraph textual summary (policy, origins, sharing, races).

@@ -11,12 +11,14 @@ use o2_ir::program::Program;
 use o2_pta::PtaResult;
 use std::fmt::Write;
 
-/// Escapes text for HTML contexts.
+/// Escapes text for HTML contexts, including single-quoted attribute
+/// positions (`'` must become `&#39;`; `&apos;` is XML, not HTML 4).
 fn esc(s: &str) -> String {
     s.replace('&', "&amp;")
         .replace('<', "&lt;")
         .replace('>', "&gt;")
         .replace('"', "&quot;")
+        .replace('\'', "&#39;")
 }
 
 fn field_name(program: &Program, race: &Race) -> String {
@@ -154,5 +156,9 @@ mod tests {
     #[test]
     fn escape_helper() {
         assert_eq!(esc("<init> & \"x\""), "&lt;init&gt; &amp; &quot;x&quot;");
+        // Single quotes break out of single-quoted attributes if left
+        // unescaped.
+        assert_eq!(esc("it's a='b'"), "it&#39;s a=&#39;b&#39;");
+        assert_eq!(esc("&#39;"), "&amp;#39;", "no double-escaping");
     }
 }

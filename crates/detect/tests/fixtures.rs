@@ -1,0 +1,149 @@
+//! Fixture tests for the deadlock and over-synchronization clients.
+//!
+//! These pin the externally visible behavior of `detect_deadlocks` and
+//! `find_oversync` — gate-lock suppression on both sides, and the
+//! origin-local redundant-sync warning — so the precision-pipeline
+//! refactor (which re-hosts both checks as passes) cannot change their
+//! results silently.
+
+use o2_analysis::run_osa;
+use o2_detect::{detect_deadlocks, find_oversync, DeadlockReport, OversyncReport};
+use o2_ir::parser::parse;
+use o2_ir::program::Program;
+use o2_pta::{analyze, Policy, PtaConfig};
+use o2_shb::{build_shb, ShbConfig, ShbGraph};
+
+fn run(src: &str) -> (Program, ShbGraph, DeadlockReport, OversyncReport) {
+    let p = parse(src).unwrap();
+    let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+    let osa = run_osa(&p, &pta);
+    let shb = build_shb(&p, &pta, &ShbConfig::default());
+    let deadlocks = detect_deadlocks(&p, &shb);
+    let oversync = find_oversync(&p, &osa, &shb);
+    (p, shb, deadlocks, oversync)
+}
+
+/// AB-BA where `T2`'s reversed acquisition is wrapped in a gate lock
+/// only when the template's `GATE2` marker is replaced by a real `sync`.
+fn ab_ba(t1_gated: bool, t2_gated: bool) -> String {
+    let body = |order: &str, gated: bool| {
+        let inner = match order {
+            "ab" => "sync (a) { sync (b) { x = a; } }",
+            _ => "sync (b) { sync (a) { x = b; } }",
+        };
+        if gated {
+            format!("sync (g) {{ {inner} }}")
+        } else {
+            inner.to_string()
+        }
+    };
+    format!(
+        r#"
+        class L {{ }}
+        class T1 impl Runnable {{
+            field g; field a; field b;
+            method <init>(g, a, b) {{ this.g = g; this.a = a; this.b = b; }}
+            method run() {{
+                g = this.g; a = this.a; b = this.b;
+                {t1}
+            }}
+        }}
+        class T2 impl Runnable {{
+            field g; field a; field b;
+            method <init>(g, a, b) {{ this.g = g; this.a = a; this.b = b; }}
+            method run() {{
+                g = this.g; a = this.a; b = this.b;
+                {t2}
+            }}
+        }}
+        class Main {{
+            static method main() {{
+                g = new L();
+                a = new L();
+                b = new L();
+                t1 = new T1(g, a, b);
+                t2 = new T2(g, a, b);
+                t1.start();
+                t2.start();
+            }}
+        }}
+        "#,
+        t1 = body("ab", t1_gated),
+        t2 = body("ba", t2_gated),
+    )
+}
+
+#[test]
+fn ungated_ab_ba_deadlocks() {
+    let (p, shb, deadlocks, _) = run(&ab_ba(false, false));
+    assert_eq!(deadlocks.cycles.len(), 1, "{}", deadlocks.render(&p, &shb));
+    assert_eq!(deadlocks.cycles[0].locks.len(), 2);
+}
+
+#[test]
+fn common_gate_lock_suppresses_the_cycle() {
+    // Both threads serialize their nested acquisitions under `g`: the
+    // interleaving that deadlocks cannot happen.
+    let (p, shb, deadlocks, _) = run(&ab_ba(true, true));
+    assert!(deadlocks.cycles.is_empty(), "{}", deadlocks.render(&p, &shb));
+}
+
+#[test]
+fn one_sided_gate_lock_does_not_help() {
+    // Only T1 takes the gate: T2 can still interleave into the window
+    // and the cycle must be reported.
+    let (p, shb, deadlocks, _) = run(&ab_ba(true, false));
+    assert_eq!(deadlocks.cycles.len(), 1, "{}", deadlocks.render(&p, &shb));
+}
+
+#[test]
+fn origin_local_sync_is_redundant() {
+    // Each worker locks an object it allocated itself and never
+    // publishes; the region guards only origin-local data.
+    let src = r#"
+        class S { field data; }
+        class W impl Runnable {
+            method run() {
+                s = new S();
+                sync (s) { s.data = s; }
+            }
+        }
+        class Main {
+            static method main() {
+                w1 = new W(); w1.start();
+                w2 = new W(); w2.start();
+            }
+        }
+    "#;
+    let (p, _, _, oversync) = run(src);
+    assert_eq!(oversync.warnings.len(), 1, "{}", oversync.render(&p));
+    assert_eq!(oversync.useful_sites, 0);
+    assert!(oversync.warnings[0].guarded_accesses >= 1);
+}
+
+#[test]
+fn shared_sync_is_not_flagged() {
+    // The same region guarding an object both workers reach is useful
+    // synchronization, not over-sync.
+    let src = r#"
+        class S { field data; }
+        class W impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() {
+                s = this.s;
+                sync (s) { s.data = s; }
+            }
+        }
+        class Main {
+            static method main() {
+                s = new S();
+                w1 = new W(s); w1.start();
+                w2 = new W(s); w2.start();
+            }
+        }
+    "#;
+    let (p, _, _, oversync) = run(src);
+    assert!(oversync.warnings.is_empty(), "{}", oversync.render(&p));
+    assert_eq!(oversync.useful_sites, 1);
+}

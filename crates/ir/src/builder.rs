@@ -312,6 +312,7 @@ pub struct MethodBuilder<'p> {
     num_params: usize,
     is_static: bool,
     is_synchronized: bool,
+    suppress_races: bool,
     vars: HashMap<String, VarId>,
     var_names: Vec<String>,
     body: Vec<Instr>,
@@ -335,6 +336,7 @@ impl<'p> MethodBuilder<'p> {
             num_params: params.len(),
             is_static,
             is_synchronized: false,
+            suppress_races: false,
             vars: HashMap::new(),
             var_names: Vec::new(),
             body: Vec::new(),
@@ -354,6 +356,13 @@ impl<'p> MethodBuilder<'p> {
     /// Marks the whole method as synchronized on `this`.
     pub fn synchronized(&mut self) -> &mut Self {
         self.is_synchronized = true;
+        self
+    }
+
+    /// Marks the method as `@suppress(race)`: races involving its accesses
+    /// are reported in the suppressed list instead of the main report.
+    pub fn suppress_races(&mut self) -> &mut Self {
+        self.suppress_races = true;
         self
     }
 
@@ -715,6 +724,7 @@ impl<'p> MethodBuilder<'p> {
             num_params: self.num_params,
             is_static: self.is_static,
             is_synchronized: self.is_synchronized,
+            suppress_races: self.suppress_races,
             num_vars: self.var_names.len(),
             var_names: self.var_names,
             body: self.body,

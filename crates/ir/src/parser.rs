@@ -35,7 +35,9 @@
 //! pragma   := "pragma" ("thread_entry" NAME | "event_entry" NAME NUM
 //!             | "entry_prefix" NAME KIND) ";"
 //! class    := "class" NAME (":" NAME)? ("impl" NAME ("," NAME)*)? "{" member* "}"
-//! member   := "field" NAME ";" | ("static")? ("sync")? "method" NAME "(" args ")" block
+//! member   := "field" NAME ";"
+//!           | ("@" "suppress" "(" "race" ")")? ("static")? ("sync")?
+//!             "method" NAME "(" args ")" block
 //! stmt     := lhs "=" rhs ";" | NAME "." NAME "(" args ")" ";"
 //!           | NAME "::" NAME "(" args ")" ";"
 //!           | "sync" "(" NAME ")" block | "loop" block
@@ -96,6 +98,7 @@ enum Tok {
     ColonColon,
     Arrow,
     Star,
+    At,
 }
 
 impl fmt::Display for Tok {
@@ -117,6 +120,7 @@ impl fmt::Display for Tok {
             Tok::ColonColon => write!(f, "::"),
             Tok::Arrow => write!(f, "->"),
             Tok::Star => write!(f, "*"),
+            Tok::At => write!(f, "@"),
         }
     }
 }
@@ -181,6 +185,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
             }
             '*' => {
                 toks.push((Tok::Star, line));
+                i += 1;
+            }
+            '@' => {
+                toks.push((Tok::At, line));
                 i += 1;
             }
             ':' => {
@@ -450,6 +458,25 @@ fn parse_class(p: &mut Parser, pb: &mut ProgramBuilder) -> Result<(), ParseError
             p.expect(Tok::Semi)?;
             continue;
         }
+        // `@suppress(race)` before a method excludes its accesses from
+        // race reports (the triage engine moves them to the suppressed
+        // list instead of dropping them silently).
+        let suppress = if matches!(p.peek(), Some(Tok::At)) {
+            p.next()?;
+            let ann = p.ident()?;
+            if ann != "suppress" {
+                return Err(p.err(format!("unknown annotation `@{ann}`")));
+            }
+            p.expect(Tok::LParen)?;
+            let what = p.ident()?;
+            if what != "race" {
+                return Err(p.err(format!("unknown suppression kind `{what}`")));
+            }
+            p.expect(Tok::RParen)?;
+            true
+        } else {
+            false
+        };
         let is_static = p.eat_ident("static");
         let is_sync = p.eat_ident("sync");
         if !p.eat_ident("method") {
@@ -473,6 +500,9 @@ fn parse_class(p: &mut Parser, pb: &mut ProgramBuilder) -> Result<(), ParseError
         };
         if is_sync {
             mb.synchronized();
+        }
+        if suppress {
+            mb.suppress_races();
         }
         parse_block(p, &mut mb)?;
         mb.finish();
@@ -954,5 +984,65 @@ mod atomic_keyword_tests {
                 .count(),
             1
         );
+    }
+}
+
+#[cfg(test)]
+mod suppression_tests {
+    use super::*;
+
+    #[test]
+    fn suppress_annotation_sets_method_flag() {
+        let src = r#"
+            class S { field f; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                @suppress(race) method run() { x = this.s; x.f = x; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    w.start();
+                    s.f = s;
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        let run = p
+            .methods
+            .iter()
+            .position(|m| m.name == "run")
+            .map(crate::ids::MethodId::from_usize)
+            .unwrap();
+        assert!(p.method(run).suppress_races);
+        assert!(p.is_race_suppressed(crate::ids::GStmt::new(run, 0)));
+        assert!(!p.method(p.main).suppress_races);
+        // Round-trips through the printer.
+        let printed = crate::printer::print_program(&p);
+        assert!(printed.contains("@suppress(race) method run"), "{printed}");
+        let again = parse(&printed).unwrap();
+        let run2 = again
+            .methods
+            .iter()
+            .position(|m| m.name == "run")
+            .map(crate::ids::MethodId::from_usize)
+            .unwrap();
+        assert!(again.method(run2).suppress_races);
+    }
+
+    #[test]
+    fn unknown_annotation_is_an_error() {
+        let src = "class Main { @inline method main() { } }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("unknown annotation"), "{err}");
+    }
+
+    #[test]
+    fn unknown_suppression_kind_is_an_error() {
+        let src = "class Main { @suppress(deadlock) static method main() { } }";
+        let err = parse(src).unwrap_err();
+        assert!(err.message.contains("unknown suppression kind"), "{err}");
     }
 }

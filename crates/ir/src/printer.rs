@@ -40,6 +40,9 @@ fn var_name(m: &Method, v: crate::ids::VarId) -> &str {
 
 fn print_method(p: &Program, _id: MethodId, m: &Method, out: &mut String) {
     out.push_str("    ");
+    if m.suppress_races {
+        out.push_str("@suppress(race) ");
+    }
     if m.is_static {
         out.push_str("static ");
     }

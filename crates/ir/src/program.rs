@@ -304,6 +304,9 @@ pub struct Method {
     /// `true` if the whole body is implicitly synchronized on `this`
     /// (Java `synchronized` methods).
     pub is_synchronized: bool,
+    /// `true` if the method is annotated `@suppress(race)`: races whose
+    /// accesses fall in its body are triaged into the suppressed list.
+    pub suppress_races: bool,
     /// Total number of local variables, including `this` and parameters.
     pub num_vars: usize,
     /// Debug names of the variables, indexed by [`VarId`].
@@ -456,6 +459,11 @@ impl Program {
         self.methods.iter().enumerate().flat_map(|(mi, m)| {
             (0..m.body.len()).map(move |si| GStmt::new(MethodId::from_usize(mi), si))
         })
+    }
+
+    /// `true` if `g` lies in a method annotated `@suppress(race)`.
+    pub fn is_race_suppressed(&self, g: GStmt) -> bool {
+        self.method(g.method).suppress_races
     }
 
     /// A human-readable label for a statement, used in race reports:

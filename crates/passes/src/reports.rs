@@ -1,0 +1,45 @@
+//! The pre-existing whole-program checks — lock-order deadlock detection
+//! and over-synchronization analysis — refactored as pipeline passes, so
+//! they run under the same manager, share the [`crate::AnalysisCtx`],
+//! and get per-pass timing and counters like every precision pass.
+
+use crate::{AnalysisCtx, Pass, PassStats, PipelineState};
+use o2_detect::{detect_deadlocks, find_oversync};
+
+/// Lock-order deadlock detection as a pipeline pass.
+pub struct DeadlockPass;
+
+impl Pass for DeadlockPass {
+    fn name(&self) -> &'static str {
+        "deadlock"
+    }
+
+    fn run(&mut self, ctx: &AnalysisCtx<'_>, state: &mut PipelineState) -> PassStats {
+        let report = detect_deadlocks(ctx.program, ctx.shb);
+        let stats = vec![
+            ("cycles", report.cycles.len() as u64),
+            ("lock_order_edges", report.num_edges as u64),
+        ];
+        state.deadlocks = Some(report);
+        stats
+    }
+}
+
+/// Over-synchronization detection as a pipeline pass.
+pub struct OversyncPass;
+
+impl Pass for OversyncPass {
+    fn name(&self) -> &'static str {
+        "oversync"
+    }
+
+    fn run(&mut self, ctx: &AnalysisCtx<'_>, state: &mut PipelineState) -> PassStats {
+        let report = find_oversync(ctx.program, ctx.osa, ctx.shb);
+        let stats = vec![
+            ("warnings", report.warnings.len() as u64),
+            ("useful_sites", report.useful_sites as u64),
+        ];
+        state.oversync = Some(report);
+        stats
+    }
+}

@@ -1,0 +1,225 @@
+//! Hand-rolled SARIF 2.1.0 output (std-only, no serialization
+//! dependency, matching the workspace's offline build policy).
+//!
+//! The emitted document is deliberately minimal but valid: one run, one
+//! tool driver with three rules (`o2/race`, `o2/deadlock`,
+//! `o2/oversync`), and one result per finding. The models analyzed here
+//! are synthetic IR programs without source files, so findings carry
+//! *logical* locations (`Class.method:line` fully-qualified names)
+//! rather than physical artifact locations. Serialization reads only
+//! from the report's already-sorted lists and contains no timestamps or
+//! absolute paths, so the bytes are identical across runs and across
+//! `--threads` values.
+
+use crate::triage::{json_escape, Tier};
+use crate::{PipelineReport, TriagedRace};
+use o2_detect::RaceAccess;
+use o2_ir::program::Program;
+use o2_shb::LockElem;
+use std::fmt::Write as _;
+
+const RULES: [(&str, &str, &str); 3] = [
+    (
+        "o2/race",
+        "DataRace",
+        "Two origins access the same memory location without ordering or a common lock, and at least one access is a write.",
+    ),
+    (
+        "o2/deadlock",
+        "LockOrderDeadlock",
+        "A cycle in the lock-order graph: origins acquire the same locks in opposite orders with no gate lock or happens-before ordering.",
+    ),
+    (
+        "o2/oversync",
+        "OverSynchronization",
+        "A synchronized region that only guards origin-local data; the lock can be removed.",
+    ),
+];
+
+fn level_of(tier: Tier) -> &'static str {
+    match tier {
+        Tier::High => "error",
+        Tier::Medium => "warning",
+        Tier::Low => "note",
+    }
+}
+
+fn access_phrase(program: &Program, acc: &RaceAccess) -> String {
+    format!(
+        "{} at {} (origin {})",
+        if acc.is_write { "write" } else { "read" },
+        program.stmt_label(acc.stmt),
+        acc.origin.0
+    )
+}
+
+fn location(out: &mut String, program: &Program, stmt: o2_ir::ids::GStmt) {
+    let _ = writeln!(
+        out,
+        "            {{\"logicalLocations\": [{{\"fullyQualifiedName\": \"{}\", \"kind\": \"member\"}}]}}",
+        json_escape(&program.stmt_label(stmt))
+    );
+}
+
+fn race_result(
+    out: &mut String,
+    program: &Program,
+    tr: &TriagedRace,
+    suppressed: bool,
+    last: bool,
+) {
+    let loc = json_escape(&o2_detect::mem_key_label(program, tr.race.key));
+    let mut message = format!(
+        "Data race on {loc}: {} vs {}.",
+        access_phrase(program, &tr.race.a),
+        access_phrase(program, &tr.race.b)
+    );
+    for note in &tr.notes {
+        let _ = write!(message, " {note}.");
+    }
+    out.push_str("        {\n");
+    let _ = writeln!(out, "          \"ruleId\": \"o2/race\",");
+    let _ = writeln!(out, "          \"ruleIndex\": 0,");
+    let _ = writeln!(out, "          \"level\": \"{}\",", level_of(tr.tier));
+    let _ = writeln!(
+        out,
+        "          \"message\": {{\"text\": \"{}\"}},",
+        json_escape(&message)
+    );
+    out.push_str("          \"locations\": [\n");
+    location(out, program, tr.race.a.stmt);
+    out.pop();
+    out.push_str(",\n");
+    location(out, program, tr.race.b.stmt);
+    out.push_str("          ],\n");
+    let _ = writeln!(
+        out,
+        "          \"partialFingerprints\": {{\"o2RaceKey\": \"{}|{}|{}\"}},",
+        loc,
+        json_escape(&program.stmt_label(tr.race.a.stmt)),
+        json_escape(&program.stmt_label(tr.race.b.stmt))
+    );
+    if suppressed {
+        out.push_str("          \"suppressions\": [{\"kind\": \"inSource\"}],\n");
+    }
+    let _ = writeln!(
+        out,
+        "          \"properties\": {{\"tier\": \"{}\", \"score\": {}}}",
+        tr.tier, tr.score
+    );
+    out.push_str(if last { "        }\n" } else { "        },\n" });
+}
+
+fn lock_label(elem: &LockElem, program: &Program) -> String {
+    match elem {
+        LockElem::Obj(o) => format!("obj#{}", o.0),
+        LockElem::Class(c) => format!("{}.class", program.class(*c).name),
+        LockElem::Dispatcher(d) => format!("dispatcher#{d}"),
+        LockElem::AtomicCell(o, f) => {
+            format!("obj#{}.{} (atomic)", o.0, program.field_name(*f))
+        }
+    }
+}
+
+/// Serializes a pipeline report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &PipelineReport, program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"o2\",\n");
+    out.push_str("          \"informationUri\": \"https://example.org/o2\",\n");
+    out.push_str("          \"version\": \"0.1.0\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, (id, name, desc)) in RULES.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "            {{\"id\": \"{id}\", \"name\": \"{name}\", \"shortDescription\": {{\"text\": \"{}\"}}}}{}",
+            json_escape(desc),
+            if i + 1 < RULES.len() { "," } else { "" }
+        );
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+
+    let deadlocks = report
+        .deadlocks
+        .as_ref()
+        .map(|d| d.cycles.as_slice())
+        .unwrap_or(&[]);
+    let oversync = report
+        .oversync
+        .as_ref()
+        .map(|o| o.warnings.as_slice())
+        .unwrap_or(&[]);
+    let total = report.races.len() + report.suppressed.len() + deadlocks.len() + oversync.len();
+    let mut emitted = 0usize;
+
+    for tr in &report.races {
+        emitted += 1;
+        race_result(&mut out, program, tr, false, emitted == total);
+    }
+    for tr in &report.suppressed {
+        emitted += 1;
+        race_result(&mut out, program, tr, true, emitted == total);
+    }
+    for cycle in deadlocks {
+        emitted += 1;
+        let locks: Vec<String> = cycle
+            .locks
+            .iter()
+            .map(|e| lock_label(e, program))
+            .collect();
+        let stmts: Vec<String> = cycle
+            .stmts
+            .iter()
+            .map(|&s| program.stmt_label(s))
+            .collect();
+        out.push_str("        {\n");
+        out.push_str("          \"ruleId\": \"o2/deadlock\",\n");
+        out.push_str("          \"ruleIndex\": 1,\n");
+        out.push_str("          \"level\": \"error\",\n");
+        let _ = writeln!(
+            out,
+            "          \"message\": {{\"text\": \"Lock-order cycle {} acquired in conflicting order at {}.\"}},",
+            json_escape(&locks.join(" -> ")),
+            json_escape(&stmts.join(", "))
+        );
+        out.push_str("          \"locations\": [\n");
+        if let Some(&s) = cycle.stmts.first() {
+            location(&mut out, program, s);
+        }
+        out.push_str("          ]\n");
+        out.push_str(if emitted == total {
+            "        }\n"
+        } else {
+            "        },\n"
+        });
+    }
+    for w in oversync {
+        emitted += 1;
+        out.push_str("        {\n");
+        out.push_str("          \"ruleId\": \"o2/oversync\",\n");
+        out.push_str("          \"ruleIndex\": 2,\n");
+        out.push_str("          \"level\": \"note\",\n");
+        let _ = writeln!(
+            out,
+            "          \"message\": {{\"text\": \"Synchronization at {} guards only origin-local data ({} guarded accesses).\"}},",
+            json_escape(&program.stmt_label(w.site)),
+            w.guarded_accesses
+        );
+        out.push_str("          \"locations\": [\n");
+        location(&mut out, program, w.site);
+        out.push_str("          ]\n");
+        out.push_str(if emitted == total {
+            "        }\n"
+        } else {
+            "        },\n"
+        });
+    }
+
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}

@@ -1,6 +1,8 @@
 #!/usr/bin/env sh
-# Full offline verification: release build, complete test suite, lints,
-# and the PR 1 performance report (BENCH_pr1.json at the repo root).
+# Full offline verification: release build, complete test suite (which
+# diffs the checked-in golden JSON/SARIF reports under tests/golden/),
+# lints, and the PR 1/PR 2 reports (BENCH_pr1.json and BENCH_pr2.json at
+# the repo root).
 #
 # The workspace has no external dependencies, so every step runs with
 # --offline and must succeed without network access.
@@ -19,5 +21,11 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 
 echo "==> bench --group pr1 (writes BENCH_pr1.json)"
 cargo run --release --offline -p o2-bench --bin bench -- --group pr1
+
+echo "==> bench --group pr2 (writes BENCH_pr2.json)"
+cargo run --release --offline -p o2-bench --bin bench -- --group pr2
+
+echo "==> golden report diffs"
+cargo test -q --offline --test golden
 
 echo "==> verify OK"

@@ -1,0 +1,105 @@
+//! Golden-file regression tests for the precision-pipeline reports.
+//!
+//! The triaged JSON and SARIF renderings of two §5.4 real-bug models
+//! (`memcached`, `zookeeper`) are checked in under `tests/golden/` and
+//! string-diffed here. Any change to triage scoring, pass order, or
+//! serialization shows up as a readable diff in `cargo test`.
+//!
+//! To bless new goldens after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden
+//! ```
+
+use o2::prelude::*;
+use std::path::PathBuf;
+
+fn golden_path(name: &str, ext: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.{ext}"))
+}
+
+/// Renders the pipeline report of one model as `(json, sarif)`.
+fn render(model: &o2_workloads::realbugs::RealBugModel) -> (String, String) {
+    let report = O2Builder::new().build().analyze(&model.program);
+    let pipeline = report.run_pipeline(&model.program);
+    (
+        pipeline.to_json(&model.program),
+        pipeline.to_sarif(&model.program),
+    )
+}
+
+fn check(name: &str, ext: &str, actual: &str) {
+    let path = golden_path(name, ext);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with UPDATE_GOLDEN=1)", path.display()));
+    if expected != actual {
+        // Point at the first differing line so the failure is readable
+        // without an external diff tool.
+        let mismatch = expected
+            .lines()
+            .zip(actual.lines())
+            .position(|(e, a)| e != a)
+            .map(|i| {
+                format!(
+                    "first differing line {}:\n  golden: {}\n  actual: {}",
+                    i + 1,
+                    expected.lines().nth(i).unwrap_or(""),
+                    actual.lines().nth(i).unwrap_or("")
+                )
+            })
+            .unwrap_or_else(|| {
+                format!(
+                    "line counts differ: golden {} vs actual {}",
+                    expected.lines().count(),
+                    actual.lines().count()
+                )
+            });
+        panic!(
+            "golden mismatch for {} ({mismatch})\nbless with UPDATE_GOLDEN=1 cargo test --test golden",
+            path.display()
+        );
+    }
+}
+
+#[test]
+fn memcached_pipeline_reports_match_goldens() {
+    let m = o2_workloads::realbugs::memcached();
+    let (json, sarif) = render(&m);
+    check("memcached", "json", &json);
+    check("memcached", "sarif", &sarif);
+}
+
+#[test]
+fn zookeeper_pipeline_reports_match_goldens() {
+    let m = o2_workloads::realbugs::zookeeper();
+    let (json, sarif) = render(&m);
+    check("zookeeper", "json", &json);
+    check("zookeeper", "sarif", &sarif);
+}
+
+#[test]
+fn goldens_put_every_race_in_the_high_tier() {
+    // The goldens must never silently capture a recall regression: each
+    // model's triaged report carries exactly the paper's confirmed races,
+    // all in the high tier.
+    for m in [
+        o2_workloads::realbugs::memcached(),
+        o2_workloads::realbugs::zookeeper(),
+    ] {
+        let report = O2Builder::new().build().analyze(&m.program);
+        let pipeline = report.run_pipeline(&m.program);
+        assert_eq!(pipeline.races.len(), m.expected_races, "{}", m.name);
+        assert!(pipeline.pruned.is_empty(), "{}", m.name);
+        assert!(
+            pipeline.races.iter().all(|tr| tr.tier == Tier::High),
+            "{}: every confirmed race is high-confidence",
+            m.name
+        );
+    }
+}
