@@ -197,11 +197,11 @@ pub fn run_osa_bounded(
                     let entry = entries
                         .entry(MemKey::Field(ObjId(obj), field))
                         .or_default();
-                    record(entry, mi, stmt, is_write, origins, &mut sink);
+                    record_access(entry, mi, stmt, is_write, origins, &mut sink);
                 }
             } else if let Some((class, field, is_write)) = instr.stmt.static_access() {
                 let entry = entries.entry(MemKey::Static(class, field)).or_default();
-                record(entry, mi, stmt, is_write, origins, &mut sink);
+                record_access(entry, mi, stmt, is_write, origins, &mut sink);
             }
         }
     }
@@ -212,7 +212,7 @@ pub fn run_osa_bounded(
     }
 }
 
-fn record(
+pub(crate) fn record_access(
     entry: &mut SharingEntry,
     mi: Mi,
     stmt: GStmt,

@@ -1,0 +1,265 @@
+//! Incremental origin-sharing analysis over the analysis database.
+//!
+//! The cold scan ([`run_osa_bounded`]) visits reachable method instances
+//! in `Mi` index order and issues a deterministic sequence of `record`
+//! calls per instance. That per-instance sequence is exactly what
+//! [`o2_db::OsaMiArtifact`] stores, in canonical (name/digest-based)
+//! form. A warm run replays the stored sequence for every instance whose
+//! state signature ([`o2_pta::CanonIndex::mi_sig`]) is unchanged — same
+//! body, same canonical points-to sets — and rescans only the rest.
+//! Because replay reproduces the identical `record` sequence, the warm
+//! [`OsaResult`] is equal to a cold run's, entry for entry.
+
+use crate::osa::{record_access, MemKey, OsaResult, SharingEntry};
+use o2_db::{AnalysisDb, DbMemKey, DbOsaAccess, Digest, OsaMiArtifact, StableIds};
+use o2_ir::ids::GStmt;
+use o2_ir::program::Program;
+use o2_pta::{CanonIndex, ObjId, PtaResult};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Converts a dense-id memory key to its canonical database form.
+pub fn memkey_to_db(
+    key: MemKey,
+    program: &Program,
+    canon: &CanonIndex,
+    names: &mut StableIds,
+) -> DbMemKey {
+    match key {
+        MemKey::Field(obj, field) => DbMemKey::Field {
+            obj: canon.obj_digest(obj),
+            field: names.intern(program.field_name(field)),
+        },
+        MemKey::Static(class, field) => DbMemKey::Static {
+            class: names.intern(&program.class(class).name),
+            field: names.intern(program.field_name(field)),
+        },
+    }
+}
+
+/// Translates a canonical memory key back onto this run's dense ids.
+/// Returns `None` when any referenced name or object digest does not
+/// exist in the current run (the artifact is then stale and its owner
+/// must be recomputed).
+pub fn memkey_from_db(
+    key: DbMemKey,
+    program: &Program,
+    canon: &CanonIndex,
+    names: &StableIds,
+) -> Option<MemKey> {
+    match key {
+        DbMemKey::Field { obj, field } => {
+            let obj = canon.obj_of_digest(obj)?;
+            let field = program.field_by_name(names.resolve(field)?)?;
+            Some(MemKey::Field(obj, field))
+        }
+        DbMemKey::Static { class, field } => {
+            let class = program.class_by_name(names.resolve(class)?)?;
+            let field = program.field_by_name(names.resolve(field)?)?;
+            Some(MemKey::Static(class, field))
+        }
+    }
+}
+
+/// A warm OSA run: the result plus replay accounting.
+#[derive(Debug)]
+pub struct OsaIncr {
+    /// The sharing result, equal to what a cold scan would compute.
+    pub result: OsaResult,
+    /// Method instances replayed from stored artifacts.
+    pub mis_replayed: usize,
+    /// Method instances rescanned (signature changed or artifact stale).
+    pub mis_rescanned: usize,
+}
+
+/// Runs OSA incrementally: replays the stored per-instance contribution
+/// wherever the instance's state signature is unchanged, rescans the
+/// rest, and rewrites the database section to exactly the artifacts of
+/// this run (stale entries are dropped).
+pub fn run_osa_incremental(
+    program: &Program,
+    pta: &PtaResult,
+    canon: &CanonIndex,
+    db: &mut AnalysisDb,
+    budget: Option<Duration>,
+) -> OsaIncr {
+    let start = Instant::now();
+    let deadline = budget.map(|b| start + b);
+    let mut truncated = false;
+    let mut entries: BTreeMap<MemKey, SharingEntry> = BTreeMap::new();
+    let mut sink = Vec::new();
+    let mut scanned: u64 = 0;
+    let mut next_store: BTreeMap<Digest, OsaMiArtifact> = BTreeMap::new();
+    let mut names = std::mem::take(&mut db.names);
+    let mut mis_replayed = 0usize;
+    let mut mis_rescanned = 0usize;
+
+    'outer: for mi in pta.reachable_mis() {
+        let (method_id, _) = pta.mi_data(mi);
+        let origins = pta.mi_origins(mi);
+        if origins.is_empty() {
+            continue;
+        }
+        let mi_key = canon.mi_digest(mi);
+        let sig = canon.mi_sig(mi);
+
+        // Replay path: unchanged signature and fully translatable keys.
+        if let Some(art) = db.osa_mi.get(&mi_key) {
+            if art.sig == sig {
+                let decoded: Option<Vec<(MemKey, u32, bool)>> = art
+                    .accesses
+                    .iter()
+                    .map(|a| {
+                        memkey_from_db(a.key, program, canon, &names)
+                            .map(|k| (k, a.index, a.is_write))
+                    })
+                    .collect();
+                if let Some(accs) = decoded {
+                    for (key, index, is_write) in accs {
+                        let entry = entries.entry(key).or_default();
+                        let stmt = GStmt::new(method_id, index as usize);
+                        record_access(entry, mi, stmt, is_write, origins, &mut sink);
+                    }
+                    next_store.insert(mi_key, art.clone());
+                    mis_replayed += 1;
+                    continue;
+                }
+            }
+        }
+
+        // Rescan path: the cold scan of this one instance, recording the
+        // canonical artifact as it goes.
+        mis_rescanned += 1;
+        let method = program.method(method_id);
+        let mut art = OsaMiArtifact {
+            sig,
+            accesses: Vec::new(),
+        };
+        for (idx, instr) in method.body.iter().enumerate() {
+            scanned += 1;
+            if scanned.is_multiple_of(4096) {
+                if let Some(d) = deadline {
+                    if Instant::now() > d {
+                        truncated = true;
+                        break 'outer;
+                    }
+                }
+            }
+            let stmt = GStmt::new(method_id, idx);
+            if let Some((base, field, is_write)) = instr.stmt.field_access() {
+                for &obj in pta.pts_var(mi, base) {
+                    let key = MemKey::Field(ObjId(obj), field);
+                    let entry = entries.entry(key).or_default();
+                    record_access(entry, mi, stmt, is_write, origins, &mut sink);
+                    art.accesses.push(DbOsaAccess {
+                        key: memkey_to_db(key, program, canon, &mut names),
+                        index: idx as u32,
+                        is_write,
+                    });
+                }
+            } else if let Some((class, field, is_write)) = instr.stmt.static_access() {
+                let key = MemKey::Static(class, field);
+                let entry = entries.entry(key).or_default();
+                record_access(entry, mi, stmt, is_write, origins, &mut sink);
+                art.accesses.push(DbOsaAccess {
+                    key: memkey_to_db(key, program, canon, &mut names),
+                    index: idx as u32,
+                    is_write,
+                });
+            }
+        }
+        next_store.insert(mi_key, art);
+    }
+
+    // A truncated scan must not poison the store with partial artifacts.
+    if !truncated {
+        db.osa_mi = next_store;
+    }
+    db.names = names;
+    OsaIncr {
+        result: OsaResult {
+            entries,
+            duration: start.elapsed(),
+            truncated,
+        },
+        mis_replayed,
+        mis_rescanned,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osa::run_osa;
+    use o2_ir::parser::parse;
+    use o2_pta::{analyze, Policy, PtaConfig};
+
+    const SRC: &str = r#"
+        class S { field data; field extra; }
+        class W impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.data = s; }
+        }
+        class Main {
+            static method main() {
+                s = new S();
+                w = new W(s);
+                w.start();
+                x = s.data;
+            }
+        }
+    "#;
+
+    fn setup(src: &str) -> (o2_ir::Program, o2_pta::PtaResult, CanonIndex) {
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let digests = o2_ir::digest_program(&p);
+        let canon = CanonIndex::build(&p, &pta, &digests);
+        (p, pta, canon)
+    }
+
+    fn entries_equal(a: &OsaResult, b: &OsaResult) -> bool {
+        if a.entries.len() != b.entries.len() {
+            return false;
+        }
+        a.entries.iter().zip(b.entries.iter()).all(|((ka, ea), (kb, eb))| {
+            ka == kb
+                && ea.accesses == eb.accesses
+                && ea.write_origins.as_slice() == eb.write_origins.as_slice()
+                && ea.read_origins.as_slice() == eb.read_origins.as_slice()
+        })
+    }
+
+    #[test]
+    fn warm_replay_equals_cold_scan() {
+        let (p, pta, canon) = setup(SRC);
+        let cold = run_osa(&p, &pta);
+        let mut db = AnalysisDb::new(Digest(1, 1));
+        // First incremental run populates the store (everything rescanned).
+        let first = run_osa_incremental(&p, &pta, &canon, &mut db, None);
+        assert_eq!(first.mis_replayed, 0);
+        assert!(first.mis_rescanned > 0);
+        assert!(entries_equal(&first.result, &cold));
+        // Second run replays everything.
+        let second = run_osa_incremental(&p, &pta, &canon, &mut db, None);
+        assert_eq!(second.mis_rescanned, 0);
+        assert_eq!(second.mis_replayed, first.mis_rescanned);
+        assert!(entries_equal(&second.result, &cold));
+    }
+
+    #[test]
+    fn edit_rescans_only_the_changed_instance() {
+        let (p, pta, canon) = setup(SRC);
+        let mut db = AnalysisDb::new(Digest(1, 1));
+        run_osa_incremental(&p, &pta, &canon, &mut db, None);
+        // Edit main: add a second read. Only main's instance rescans.
+        let edited = SRC.replace("x = s.data;", "x = s.data; y = s.extra;");
+        let (p2, pta2, canon2) = setup(&edited);
+        let warm = run_osa_incremental(&p2, &pta2, &canon2, &mut db, None);
+        let cold = run_osa(&p2, &pta2);
+        assert!(entries_equal(&warm.result, &cold));
+        assert_eq!(warm.mis_rescanned, 1, "only the edited main rescans");
+        assert!(warm.mis_replayed > 0);
+    }
+}

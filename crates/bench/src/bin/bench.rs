@@ -16,14 +16,16 @@
 //!                      (writes BENCH_pr1.json; see `--out`)
 //!         pr2          precision-pipeline pass counts + real-bug recall
 //!                      (writes BENCH_pr2.json; see `--out`)
+//!         pr3          cold vs warm analysis after a 1-function edit
+//!                      (writes BENCH_pr3.json; see `--out`)
 //! ```
 //!
-//! Without `--group`, every group runs. `--out` changes where the `pr1`
-//! and `pr2` groups write their JSON reports (defaults `BENCH_pr1.json`
-//! and `BENCH_pr2.json`).
+//! Without `--group`, every group runs. `--out` changes where the `pr1`,
+//! `pr2`, and `pr3` groups write their JSON reports (defaults
+//! `BENCH_pr1.json`, `BENCH_pr2.json`, and `BENCH_pr3.json`).
 
 use o2_analysis::{run_escape, run_osa};
-use o2_bench::{fmt_dur, pr1, pr2};
+use o2_bench::{fmt_dur, pr1, pr2, pr3};
 use o2_detect::{detect, DetectConfig};
 use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 use o2_shb::{build_shb, ShbConfig};
@@ -65,6 +67,7 @@ fn main() {
             "scaling".into(),
             "pr1".into(),
             "pr2".into(),
+            "pr3".into(),
         ];
     }
     for g in &groups {
@@ -76,6 +79,7 @@ fn main() {
             "scaling" => scaling(iters),
             "pr1" => pr1_group(iters, out.as_deref().unwrap_or("BENCH_pr1.json")),
             "pr2" => pr2_group(iters, out.as_deref().unwrap_or("BENCH_pr2.json")),
+            "pr3" => pr3_group(iters, out.as_deref().unwrap_or("BENCH_pr3.json")),
             other => {
                 eprintln!("unknown group `{other}`");
                 usage();
@@ -254,6 +258,19 @@ fn pr2_group(iters: usize, out: &str) {
         ..Default::default()
     };
     let report = pr2::run(&opts);
+    print!("{}", report.render());
+    println!("wrote {out}");
+}
+
+/// The PR 3 harness: cold vs warm analysis after a single-function edit,
+/// with the database's replay/re-check counters, written to `out` as JSON.
+fn pr3_group(iters: usize, out: &str) {
+    let opts = pr3::Pr3Options {
+        iters,
+        out_path: Some(out.to_string()),
+        ..Default::default()
+    };
+    let report = pr3::run(&opts);
     print!("{}", report.render());
     println!("wrote {out}");
 }

@@ -6,7 +6,8 @@
 //!              [--naive] [--no-dispatcher-lock]
 //!              [--deadlocks] [--oversync] [--racerd]
 //!              [--sharing] [--origins] [--timeout SECS] [--threads N] [--quiet]
-//!              [--format text|json|sarif]
+//!              [--format text|json|sarif] [--save-db FILE] [--load-db FILE]
+//! o2 diff-analyze <old.o2> <new.o2> [same flags]
 //! ```
 //!
 //! `--format` selects the triaged precision-pipeline output (confidence
@@ -14,8 +15,15 @@
 //! human summary, `json` for the machine-readable report, `sarif` for a
 //! SARIF 2.1.0 document covering races, deadlocks, and over-sync. The
 //! legacy `--json` flag still prints the raw detector report.
+//!
+//! `--save-db`/`--load-db` persist the incremental analysis database
+//! between runs: a warm run replays stored per-origin artifacts for
+//! everything the edit did not touch and produces output byte-identical
+//! to a cold run. `diff-analyze` runs both versions in one process and
+//! reports what was re-analyzed.
 
 use o2::prelude::*;
+use o2_db::{AnalysisDb, CachedReports};
 use std::process::ExitCode;
 use std::time::Duration;
 
@@ -30,6 +38,9 @@ enum Format {
 
 struct Options {
     file: String,
+    /// Second input of `diff-analyze` mode.
+    file2: String,
+    diff: bool,
     policy: Policy,
     naive: bool,
     dispatcher_lock: bool,
@@ -47,11 +58,15 @@ struct Options {
     dot_shb: bool,
     dot_callgraph: bool,
     html: Option<String>,
+    save_db: Option<String>,
+    load_db: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         file: String::new(),
+        file2: String::new(),
+        diff: false,
         policy: Policy::origin1(),
         naive: false,
         dispatcher_lock: true,
@@ -69,8 +84,11 @@ fn parse_args() -> Result<Options, String> {
         dot_shb: false,
         dot_callgraph: false,
         html: None,
+        save_db: None,
+        load_db: None,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -103,6 +121,14 @@ fn parse_args() -> Result<Options, String> {
                 i += 1;
                 opts.html = Some(args.get(i).ok_or("--html needs a path")?.clone());
             }
+            "--save-db" => {
+                i += 1;
+                opts.save_db = Some(args.get(i).ok_or("--save-db needs a path")?.clone());
+            }
+            "--load-db" => {
+                i += 1;
+                opts.load_db = Some(args.get(i).ok_or("--load-db needs a path")?.clone());
+            }
             "--dot-shb" => opts.dot_shb = true,
             "--dot-callgraph" => opts.dot_callgraph = true,
             "--timeout" => {
@@ -114,23 +140,36 @@ fn parse_args() -> Result<Options, String> {
             "--threads" => {
                 i += 1;
                 let v = args.get(i).ok_or("--threads needs a value")?;
-                opts.threads = Some(v.parse().map_err(|_| "invalid --threads")?);
+                let n: usize = v.parse().map_err(|_| "invalid --threads")?;
+                if n == 0 {
+                    return Err(
+                        "--threads must be at least 1 (omit the flag to use all cores)"
+                            .to_string(),
+                    );
+                }
+                opts.threads = Some(n);
             }
             "--help" | "-h" => return Err(String::new()),
             flag if flag.starts_with("--") => {
                 return Err(format!("unknown flag {flag}"));
             }
-            file => {
-                if !opts.file.is_empty() {
-                    return Err("multiple input files".to_string());
-                }
-                opts.file = file.to_string();
-            }
+            file => files.push(file.to_string()),
         }
         i += 1;
     }
-    if opts.file.is_empty() {
-        return Err("no input file".to_string());
+    if files.first().map(String::as_str) == Some("diff-analyze") {
+        if files.len() != 3 {
+            return Err("diff-analyze needs exactly two input files".to_string());
+        }
+        opts.diff = true;
+        opts.file = files[1].clone();
+        opts.file2 = files[2].clone();
+    } else {
+        match files.len() {
+            0 => return Err("no input file".to_string()),
+            1 => opts.file = files[0].clone(),
+            _ => return Err("multiple input files".to_string()),
+        }
     }
     Ok(opts)
 }
@@ -163,8 +202,72 @@ fn usage() {
          \x20         [--naive] [--no-dispatcher-lock] [--deadlocks] [--oversync]\n\
          \x20         [--racerd] [--sharing] [--origins] [--timeout SECS] [--threads N]\n\
          \x20         [--quiet] [--json] [--format text|json|sarif] [--c]\n\
-         \x20         [--dot-shb] [--dot-callgraph] [--html FILE]"
+         \x20         [--dot-shb] [--dot-callgraph] [--html FILE]\n\
+         \x20         [--save-db FILE] [--load-db FILE]\n\
+         \x20      o2 diff-analyze <old.o2> <new.o2> [same flags]"
     );
+}
+
+/// Reads, parses (selecting the frontend by `--c` or the extension), and
+/// validates one input program.
+fn load_program(path: &str, force_c: bool) -> Result<Program, String> {
+    let src =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let use_c = force_c || path.ends_with(".c");
+    let program = if use_c {
+        o2_ir::cfront::parse_c(&src).map_err(|e| format!("{path}: {e}"))?
+    } else {
+        o2_ir::parser::parse(&src).map_err(|e| format!("{path}: {e}"))?
+    };
+    let issues = o2_ir::validate::validate(&program);
+    if let Some(issue) = issues.first() {
+        return Err(format!("{path}: invalid program: {issue}"));
+    }
+    Ok(program)
+}
+
+/// `o2 diff-analyze old new`: analyze `old` cold, then `new` warm from
+/// `old`'s in-memory database, print the function-level digest diff and
+/// the replay counters, then the triaged report of `new`.
+fn run_diff(engine: &O2, opts: &Options, old: &Program, new: &Program) -> ExitCode {
+    let d = engine.diff_analyze(old, new);
+    if !opts.quiet {
+        println!(
+            "diff: {} changed, {} added, {} removed, {} invalidated",
+            d.diff.changed.len(),
+            d.diff.added.len(),
+            d.diff.removed.len(),
+            d.diff.invalidated.len()
+        );
+        for name in &d.diff.changed {
+            println!("  ~ {name}");
+        }
+        for name in &d.diff.added {
+            println!("  + {name}");
+        }
+        for name in &d.diff.removed {
+            println!("  - {name}");
+        }
+        println!("{}", d.stats.summary());
+        println!();
+    }
+    if let Some(path) = &opts.save_db {
+        if let Err(e) = d.db.save(std::path::Path::new(path)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    let pipeline = d.new.run_pipeline(new);
+    match opts.format {
+        Some(Format::Json) => print!("{}", pipeline.to_json(new)),
+        Some(Format::Sarif) => print!("{}", pipeline.to_sarif(new)),
+        _ => print!("{}", pipeline.render(new)),
+    }
+    if pipeline.races.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 fn main() -> ExitCode {
@@ -178,35 +281,13 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let src = match std::fs::read_to_string(&opts.file) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("error: cannot read {}: {e}", opts.file);
-            return ExitCode::from(2);
-        }
-    };
-    // Frontend selection: `.c` files (or --c) use the pthread-style C
-    // frontend; everything else the Java-like syntax.
-    let use_c = opts.c_frontend || opts.file.ends_with(".c");
-    let parsed = if use_c {
-        o2_ir::cfront::parse_c(&src)
-    } else {
-        o2_ir::parser::parse(&src)
-    };
-    let program = match parsed {
+    let program = match load_program(&opts.file, opts.c_frontend) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("{}: {e}", opts.file);
+            eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
-    let issues = o2_ir::validate::validate(&program);
-    if !issues.is_empty() {
-        for i in &issues {
-            eprintln!("{}: invalid program: {i}", opts.file);
-        }
-        return ExitCode::from(2);
-    }
 
     let mut builder = O2Builder::new().policy(opts.policy).shb_config(ShbConfig {
         event_dispatcher_lock: opts.dispatcher_lock,
@@ -221,10 +302,89 @@ fn main() -> ExitCode {
     if let Some(t) = opts.timeout {
         builder = builder.pta_timeout(t).detect_timeout(t);
     }
-    let report = builder.build().analyze(&program);
+    let engine = builder.build();
+
+    if opts.diff {
+        let new = match load_program(&opts.file2, opts.c_frontend) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        return run_diff(&engine, &opts, &program, &new);
+    }
+
+    // Incremental database: load (or start fresh at a not-yet-existing
+    // path, so `--load-db X --save-db X` works from the first run on).
+    let use_db = opts.load_db.is_some() || opts.save_db.is_some();
+    let mut db = match &opts.load_db {
+        Some(path) if std::path::Path::new(path).exists() => {
+            match AnalysisDb::load(std::path::Path::new(path)) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        _ => AnalysisDb::new(engine.config_sig()),
+    };
+
+    // Fast path: digest-identical program and configuration with cached
+    // rendered reports — print the cached rendering without re-running
+    // anything. Only when no side output needs the full analysis result.
+    let wants_full_report = opts.origins
+        || opts.sharing
+        || opts.deadlocks
+        || opts.oversync
+        || opts.racerd
+        || opts.json
+        || opts.dot_shb
+        || opts.dot_callgraph
+        || opts.html.is_some();
+    if use_db && !wants_full_report {
+        if let Some(format) = opts.format {
+            if db.config_sig == engine.config_sig()
+                && db.program_sig == o2_ir::digest_program(&program).program
+            {
+                if let Some(reports) = db.reports.clone() {
+                    if !opts.quiet {
+                        eprintln!("o2: replayed cached reports from database");
+                    }
+                    match format {
+                        Format::Text => print!("{}", reports.text),
+                        Format::Json => print!("{}", reports.json),
+                        Format::Sarif => print!("{}", reports.sarif),
+                    }
+                    if let Some(path) = &opts.save_db {
+                        if let Err(e) = db.save(std::path::Path::new(path)) {
+                            eprintln!("error: cannot write {path}: {e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                    return if reports.n_races == 0 {
+                        ExitCode::SUCCESS
+                    } else {
+                        ExitCode::from(1)
+                    };
+                }
+            }
+        }
+    }
+
+    let (report, incr_stats) = if use_db {
+        let (r, s) = engine.analyze_with_db(&program, &mut db);
+        (r, Some(s))
+    } else {
+        (engine.analyze(&program), None)
+    };
 
     if !opts.quiet {
         println!("{}", report.summary());
+        if let Some(s) = incr_stats {
+            println!("{}", s.summary());
+        }
         println!();
     }
     if opts.origins {
@@ -266,50 +426,71 @@ fn main() -> ExitCode {
     if opts.dot_shb {
         print!("{}", report.shb.to_dot(&report.pta));
     }
-    if let Some(format) = opts.format {
+
+    let code = if let Some(format) = opts.format {
         // Pipeline mode: triage the detector output (suppression,
         // ownership pruning, guarded-by inference, racerd agreement) and
         // print the requested rendering. The exit code reflects the
         // *triaged* race list, so `@suppress(race)` and pruning make a
         // clean run exit 0.
         let pipeline = report.run_pipeline(&program);
+        if use_db {
+            db.reports = Some(CachedReports {
+                n_races: pipeline.races.len() as u64,
+                text: pipeline.render(&program),
+                json: pipeline.to_json(&program),
+                sarif: pipeline.to_sarif(&program),
+            });
+        }
         match format {
             Format::Text => print!("{}", pipeline.render(&program)),
             Format::Json => print!("{}", pipeline.to_json(&program)),
             Format::Sarif => print!("{}", pipeline.to_sarif(&program)),
         }
-        return if pipeline.races.is_empty() {
+        if pipeline.races.is_empty() {
             ExitCode::SUCCESS
         } else {
             ExitCode::from(1)
-        };
-    }
-    if opts.json {
-        print!("{}", report.races.to_json(&program));
+        }
     } else {
-        print!("{}", report.races.render(&program));
+        if opts.json {
+            print!("{}", report.races.to_json(&program));
+        } else {
+            print!("{}", report.races.render(&program));
+        }
+        if opts.deadlocks {
+            println!();
+            print!(
+                "{}",
+                report.detect_deadlocks(&program).render(&program, &report.shb)
+            );
+        }
+        if opts.oversync {
+            println!();
+            print!("{}", report.find_oversync(&program).render(&program));
+        }
+        if opts.racerd {
+            println!();
+            let rd = o2_racerd::run_racerd(&program);
+            println!(
+                "RacerD-style comparison: {} warnings ({} read/write, {} unprotected writes)",
+                rd.total_warnings(),
+                rd.num_read_write_races,
+                rd.num_unprotected_writes
+            );
+        }
+        if report.num_races() > 0 {
+            ExitCode::from(1)
+        } else {
+            ExitCode::SUCCESS
+        }
+    };
+
+    if let Some(path) = &opts.save_db {
+        if let Err(e) = db.save(std::path::Path::new(path)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
     }
-    if opts.deadlocks {
-        println!();
-        print!("{}", report.detect_deadlocks(&program).render(&program, &report.shb));
-    }
-    if opts.oversync {
-        println!();
-        print!("{}", report.find_oversync(&program).render(&program));
-    }
-    if opts.racerd {
-        println!();
-        let rd = o2_racerd::run_racerd(&program);
-        println!(
-            "RacerD-style comparison: {} warnings ({} read/write, {} unprotected writes)",
-            rd.total_warnings(),
-            rd.num_read_write_races,
-            rd.num_unprotected_writes
-        );
-    }
-    if report.num_races() > 0 {
-        ExitCode::from(1)
-    } else {
-        ExitCode::SUCCESS
-    }
+    code
 }

@@ -1,0 +1,440 @@
+//! Incremental orchestration: the whole pipeline against an
+//! [`AnalysisDb`].
+//!
+//! [`O2::analyze_with_db`] runs the same stages as [`O2::analyze`], but
+//! threads the analysis database through them: OSA replays stored
+//! per-method-instance artifacts, SHB replays stored per-origin
+//! subgraphs, and detection replays cached per-candidate verdicts —
+//! wherever the corresponding content signature is unchanged. The
+//! pointer analysis itself is always re-solved (it is the cheap stage
+//! and its dense ids anchor every replay), so a warm run produces a
+//! report *byte-identical* to a cold run on the same program.
+//!
+//! Invalidation rule: an artifact is reused iff its stored content
+//! signature equals the signature recomputed from this run's program
+//! and solver state. There is no dependency tracking to get wrong —
+//! a stale artifact simply fails its signature match and the stage
+//! recomputes it.
+
+use crate::{AnalysisReport, Timings, O2};
+use o2_analysis::{run_osa_bounded, run_osa_incremental};
+use o2_db::{AnalysisDb, Digest, DigestHasher};
+use o2_detect::{detect, detect_incremental, DetectConfig};
+use o2_ir::{digest_diff, digest_program, DigestDiff, Program};
+use o2_pta::{CanonIndex, Policy};
+use o2_shb::{build_shb, build_shb_incremental, ShbConfig};
+use std::time::{Duration, Instant};
+
+/// Replay/recompute counters of one [`O2::analyze_with_db`] run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IncrStats {
+    /// `false` when the run bypassed the database (pointer analysis hit
+    /// its budget, so dense ids were unstable and nothing was replayed
+    /// or stored).
+    pub incremental: bool,
+    /// OSA method instances replayed from stored artifacts.
+    pub mis_replayed: usize,
+    /// OSA method instances rescanned.
+    pub mis_rescanned: usize,
+    /// SHB origins replayed from stored subgraphs.
+    pub origins_replayed: usize,
+    /// SHB origins re-walked.
+    pub origins_walked: usize,
+    /// Race candidates whose verdict was replayed.
+    pub candidates_replayed: usize,
+    /// Race candidates actually re-checked.
+    pub candidates_rechecked: usize,
+    /// Access pairs accounted from cached verdicts.
+    pub pairs_replayed: u64,
+    /// Access pairs examined by this run's checks.
+    pub pairs_rechecked: u64,
+}
+
+impl IncrStats {
+    /// One-line textual rendering (used by `--load-db` diagnostics and
+    /// `diff-analyze`).
+    pub fn summary(&self) -> String {
+        if !self.incremental {
+            return "incremental: bypassed (pointer analysis timed out)".to_string();
+        }
+        format!(
+            "incremental: mis {}r/{}s, origins {}r/{}w, candidates {}r/{}c, pairs {}r/{}c",
+            self.mis_replayed,
+            self.mis_rescanned,
+            self.origins_replayed,
+            self.origins_walked,
+            self.candidates_replayed,
+            self.candidates_rechecked,
+            self.pairs_replayed,
+            self.pairs_rechecked,
+        )
+    }
+}
+
+fn write_policy(h: &mut DigestHasher, p: Policy) {
+    match p {
+        Policy::Insensitive => {
+            h.write_u8(0);
+            h.write_u64(0);
+            h.write_u64(0);
+        }
+        Policy::CallSite { k, hk } => {
+            h.write_u8(1);
+            h.write_u64(k as u64);
+            h.write_u64(hk as u64);
+        }
+        Policy::Object { k, hk } => {
+            h.write_u8(2);
+            h.write_u64(k as u64);
+            h.write_u64(hk as u64);
+        }
+        Policy::Origin { k } => {
+            h.write_u8(3);
+            h.write_u64(k as u64);
+            h.write_u64(0);
+        }
+    }
+}
+
+fn write_timeout(h: &mut DigestHasher, t: Option<Duration>) {
+    match t {
+        Some(d) => {
+            h.write_bool(true);
+            h.write_u64(d.as_nanos() as u64);
+        }
+        None => {
+            h.write_bool(false);
+            h.write_u64(0);
+        }
+    }
+}
+
+impl O2 {
+    /// Digest of every configuration field that can influence analysis
+    /// *results*. A database recorded under a different signature is
+    /// cleared before use. `detect.threads` is deliberately excluded:
+    /// the report is byte-identical for every worker count, so warm
+    /// databases are shareable across `--threads` settings.
+    pub fn config_sig(&self) -> Digest {
+        let mut h = DigestHasher::with_tag("o2.config.v1");
+        write_policy(&mut h, self.pta.policy);
+        write_timeout(&mut h, self.pta.timeout);
+        h.write_u64(self.pta.max_steps);
+        h.write_u64(self.pta.wrapper_site_limit as u64);
+        h.write_u32(self.pta.max_origin_depth);
+        h.write_bool(self.pta.anonymous_external_objects);
+        h.write_bool(self.pta.difference_propagation);
+        h.write_u64(self.shb.node_budget as u64);
+        h.write_u64(self.shb.max_walk_depth as u64);
+        h.write_u64(self.shb.max_visited_methods as u64);
+        h.write_bool(self.shb.event_dispatcher_lock);
+        match self.shb.main_dispatcher {
+            Some(d) => {
+                h.write_bool(true);
+                h.write_u32(u32::from(d));
+            }
+            None => {
+                h.write_bool(false);
+                h.write_u32(0);
+            }
+        }
+        write_timeout(&mut h, self.shb.timeout);
+        h.write_bool(self.detect.integer_hb);
+        h.write_bool(self.detect.canonical_locksets);
+        h.write_bool(self.detect.lock_region_merging);
+        h.write_bool(self.detect.hb_cache);
+        h.write_u64(self.detect.max_pairs_per_location as u64);
+        write_timeout(&mut h, self.detect.timeout);
+        h.finish()
+    }
+
+    /// Runs the full pipeline against `db`, replaying stored artifacts
+    /// for every unchanged origin / method instance / candidate and
+    /// rewriting the database to exactly this run's artifacts.
+    ///
+    /// The report is equal to what [`O2::analyze`] computes on the same
+    /// program (asserted byte-identical over rendered outputs by the
+    /// equivalence tests). If the pointer analysis hits its budget the
+    /// run bypasses the database entirely — a truncated solve has
+    /// unstable dense ids, so nothing is replayed and the stored
+    /// artifacts are left untouched for the next full run.
+    pub fn analyze_with_db(
+        &self,
+        program: &Program,
+        db: &mut AnalysisDb,
+    ) -> (AnalysisReport, IncrStats) {
+        let t0 = Instant::now();
+        let cfg_sig = self.config_sig();
+        if !db.compatible_with(cfg_sig) {
+            db.clear_artifacts();
+        }
+        db.config_sig = cfg_sig;
+        let digests = digest_program(program);
+
+        let pta = o2_pta::analyze(program, &self.pta);
+        let t_pta = pta.duration;
+        let down_budget = if pta.timed_out {
+            Some(Duration::from_millis(500))
+        } else {
+            self.pta.timeout
+        };
+
+        if pta.timed_out {
+            let osa = run_osa_bounded(program, &pta, down_budget);
+            let t_osa = osa.duration;
+            let shb_cfg = ShbConfig {
+                timeout: self.shb.timeout.or(down_budget),
+                ..self.shb.clone()
+            };
+            let shb = build_shb(program, &pta, &shb_cfg);
+            let t_shb = shb.duration;
+            let detect_cfg = DetectConfig {
+                timeout: Some(Duration::from_millis(500)),
+                ..self.detect.clone()
+            };
+            let races = detect(program, &pta, &osa, &shb, &detect_cfg);
+            let t_detect = races.duration;
+            let report = AnalysisReport {
+                pta,
+                osa,
+                shb,
+                races,
+                timings: Timings {
+                    pta: t_pta,
+                    osa: t_osa,
+                    shb: t_shb,
+                    detect: t_detect,
+                    total: t0.elapsed(),
+                },
+            };
+            return (report, IncrStats::default());
+        }
+
+        let canon = CanonIndex::build(program, &pta, &digests);
+        let osa = run_osa_incremental(program, &pta, &canon, db, down_budget);
+        let t_osa = osa.result.duration;
+        let shb_cfg = ShbConfig {
+            timeout: self.shb.timeout.or(down_budget),
+            ..self.shb.clone()
+        };
+        let shb = build_shb_incremental(program, &pta, &shb_cfg, &canon, db);
+        let t_shb = shb.graph.duration;
+        let detect_cfg = DetectConfig {
+            timeout: self.detect.timeout.or(self.pta.timeout),
+            ..self.detect.clone()
+        };
+        let det = detect_incremental(
+            program,
+            &pta,
+            &osa.result,
+            &shb.graph,
+            &detect_cfg,
+            &canon,
+            &shb.fresh_base,
+            db,
+        );
+        let t_detect = det.report.duration;
+
+        // Commit the program identity the database now describes. Cached
+        // rendered reports survive only a digest-identical program.
+        if db.program_sig != digests.program {
+            db.reports = None;
+        }
+        db.program_sig = digests.program;
+        db.fn_digests = digests.fns.clone();
+        db.closure_digests = digests.closures.clone();
+        db.origin_sigs = pta
+            .arena
+            .origins()
+            .map(|(o, _)| (canon.origin_digest(o), canon.origin_sig(o)))
+            .collect();
+
+        let stats = IncrStats {
+            incremental: true,
+            mis_replayed: osa.mis_replayed,
+            mis_rescanned: osa.mis_rescanned,
+            origins_replayed: shb.origins_replayed,
+            origins_walked: shb.origins_walked,
+            candidates_replayed: det.candidates_replayed,
+            candidates_rechecked: det.candidates_rechecked,
+            pairs_replayed: det.pairs_replayed,
+            pairs_rechecked: det.pairs_rechecked,
+        };
+        let report = AnalysisReport {
+            pta,
+            osa: osa.result,
+            shb: shb.graph,
+            races: det.report,
+            timings: Timings {
+                pta: t_pta,
+                osa: t_osa,
+                shb: t_shb,
+                detect: t_detect,
+                total: t0.elapsed(),
+            },
+        };
+        (report, stats)
+    }
+
+    /// Analyzes `old`, then `new` warm from `old`'s database, and
+    /// reports what changed: the function-level digest diff and the
+    /// replay counters of the warm run.
+    pub fn diff_analyze(&self, old: &Program, new: &Program) -> DiffAnalysis {
+        let mut db = AnalysisDb::new(self.config_sig());
+        let (old_report, _) = self.analyze_with_db(old, &mut db);
+        let (new_report, stats) = self.analyze_with_db(new, &mut db);
+        let diff = digest_diff(&digest_program(old), &digest_program(new));
+        DiffAnalysis {
+            diff,
+            old: old_report,
+            new: new_report,
+            stats,
+            db,
+        }
+    }
+}
+
+/// Result of [`O2::diff_analyze`]: both end-to-end reports plus the
+/// digest diff and the warm run's replay counters.
+#[derive(Debug)]
+pub struct DiffAnalysis {
+    /// Function-level digest diff between the two versions.
+    pub diff: DigestDiff,
+    /// Cold report on the old program.
+    pub old: AnalysisReport,
+    /// Warm report on the new program (byte-equal to a cold run).
+    pub new: AnalysisReport,
+    /// Replay counters of the warm run.
+    pub stats: IncrStats,
+    /// The database after both runs (describes `new`).
+    pub db: AnalysisDb,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::O2Builder;
+    use o2_ir::parser::parse;
+
+    const BASE: &str = r#"
+        class S { field data; field extra; }
+        class W1 impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.data = s; }
+        }
+        class W2 impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.extra = s; }
+        }
+        class Main {
+            static method main() {
+                s = new S();
+                a = new W1(s);
+                b = new W2(s);
+                a.start();
+                b.start();
+                x = s.data;
+                y = s.extra;
+            }
+        }
+    "#;
+
+    // W2 writes `data` instead of `extra`: one function body changed.
+    const EDITED: &str = r#"
+        class S { field data; field extra; }
+        class W1 impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.data = s; }
+        }
+        class W2 impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.data = s; s.extra = s; }
+        }
+        class Main {
+            static method main() {
+                s = new S();
+                a = new W1(s);
+                b = new W2(s);
+                a.start();
+                b.start();
+                x = s.data;
+                y = s.extra;
+            }
+        }
+    "#;
+
+    fn render_all(program: &Program, report: &AnalysisReport) -> (String, String, String) {
+        let p = report.run_pipeline(program);
+        (p.render(program), p.to_json(program), p.to_sarif(program))
+    }
+
+    #[test]
+    fn warm_rerun_replays_everything() {
+        let program = parse(BASE).unwrap();
+        let o2 = O2Builder::new().build();
+        let mut db = AnalysisDb::new(o2.config_sig());
+        let (cold, s0) = o2.analyze_with_db(&program, &mut db);
+        assert!(s0.incremental);
+        assert_eq!(s0.mis_replayed, 0);
+        let (warm, s1) = o2.analyze_with_db(&program, &mut db);
+        assert_eq!(s1.mis_rescanned, 0, "{}", s1.summary());
+        assert_eq!(s1.origins_walked, 0, "{}", s1.summary());
+        assert_eq!(s1.candidates_rechecked, 0, "{}", s1.summary());
+        assert_eq!(render_all(&program, &cold), render_all(&program, &warm));
+    }
+
+    #[test]
+    fn diff_analyze_matches_cold_and_recomputes_less() {
+        let old = parse(BASE).unwrap();
+        let new = parse(EDITED).unwrap();
+        let o2 = O2Builder::new().build();
+        let d = o2.diff_analyze(&old, &new);
+        assert_eq!(d.diff.changed, vec!["W2.run/0".to_string()]);
+        assert!(d.stats.incremental);
+        assert!(d.stats.mis_replayed > 0, "{}", d.stats.summary());
+        assert!(d.stats.origins_replayed > 0, "{}", d.stats.summary());
+        let cold = o2.analyze(&new);
+        assert_eq!(render_all(&new, &cold), render_all(&new, &d.new));
+        // Strictly fewer re-checked candidates than a cold run checks.
+        let total = d.stats.candidates_replayed + d.stats.candidates_rechecked;
+        assert!(
+            d.stats.candidates_rechecked < total,
+            "{}",
+            d.stats.summary()
+        );
+    }
+
+    #[test]
+    fn config_change_invalidates_database() {
+        let program = parse(BASE).unwrap();
+        let o2 = O2Builder::new().build();
+        let mut db = AnalysisDb::new(o2.config_sig());
+        o2.analyze_with_db(&program, &mut db);
+        let naive = O2Builder::new().detect_config(DetectConfig::naive()).build();
+        assert_ne!(o2.config_sig(), naive.config_sig());
+        let (_, s) = naive.analyze_with_db(&program, &mut db);
+        assert!(s.incremental);
+        assert_eq!(s.mis_replayed, 0, "cleared db replays nothing");
+        assert_eq!(db.config_sig, naive.config_sig());
+    }
+
+    #[test]
+    fn db_roundtrips_through_bytes() {
+        let program = parse(BASE).unwrap();
+        let o2 = O2Builder::new().build();
+        let mut db = AnalysisDb::new(o2.config_sig());
+        o2.analyze_with_db(&program, &mut db);
+        let bytes = db.to_bytes();
+        let back = AnalysisDb::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes);
+        let mut db2 = back;
+        let (_, s) = o2.analyze_with_db(&program, &mut db2);
+        assert_eq!(s.mis_rescanned, 0, "{}", s.summary());
+        assert_eq!(s.origins_walked, 0, "{}", s.summary());
+        assert_eq!(s.candidates_rechecked, 0, "{}", s.summary());
+    }
+}

@@ -35,6 +35,10 @@
 
 #![warn(missing_docs)]
 
+pub mod incremental;
+
+pub use incremental::{DiffAnalysis, IncrStats};
+
 use o2_analysis::{run_osa_bounded, OsaResult};
 use o2_detect::{detect, DetectConfig, RaceReport};
 use o2_ir::program::Program;
@@ -44,8 +48,9 @@ use std::time::{Duration, Instant};
 
 /// Re-exports of the most commonly used items across the workspace.
 pub mod prelude {
-    pub use crate::{AnalysisReport, O2Builder, Timings, O2};
+    pub use crate::{AnalysisReport, DiffAnalysis, IncrStats, O2Builder, Timings, O2};
     pub use o2_analysis::{MemKey, OsaResult};
+    pub use o2_db::AnalysisDb;
     pub use o2_detect::{
         DeadlockReport, DetectConfig, OversyncReport, Race, RaceReport,
     };

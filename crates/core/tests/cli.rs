@@ -163,6 +163,108 @@ fn json_output_is_well_formed() {
 }
 
 #[test]
+fn threads_zero_is_rejected() {
+    let file = write_temp("racy_t0.o2", RACY);
+    let out = Command::new(o2_bin())
+        .arg(&file)
+        .args(["--threads", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--threads must be at least 1"), "{stderr}");
+}
+
+#[test]
+fn threads_one_is_accepted() {
+    let file = write_temp("racy_t1.o2", RACY);
+    let out = Command::new(o2_bin())
+        .arg(&file)
+        .args(["--threads", "1", "--quiet"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1));
+}
+
+/// `--save-db` then `--load-db`: the warm run replays the cached reports
+/// (it prints the replay note) and its stdout is byte-identical to the
+/// cold run's.
+#[test]
+fn save_and_load_db_roundtrip() {
+    let file = write_temp("racy_db.o2", RACY);
+    let db = std::env::temp_dir().join("o2-cli-tests").join("racy.o2db");
+    let _ = std::fs::remove_file(&db);
+    let cold = Command::new(o2_bin())
+        .arg(&file)
+        .args(["--quiet", "--format", "json", "--save-db"])
+        .arg(&db)
+        .output()
+        .unwrap();
+    assert_eq!(cold.status.code(), Some(1));
+    assert!(db.exists(), "database written");
+    let warm = Command::new(o2_bin())
+        .arg(&file)
+        .args(["--format", "json", "--load-db"])
+        .arg(&db)
+        .output()
+        .unwrap();
+    assert_eq!(warm.status.code(), Some(1));
+    assert_eq!(cold.stdout, warm.stdout, "warm output byte-identical");
+    let stderr = String::from_utf8_lossy(&warm.stderr);
+    assert!(stderr.contains("replayed cached reports"), "{stderr}");
+}
+
+#[test]
+fn load_db_with_corrupt_file_exits_two() {
+    let file = write_temp("racy_db2.o2", RACY);
+    let db = write_temp("corrupt.o2db", "not a database");
+    let out = Command::new(o2_bin())
+        .arg(&file)
+        .args(["--quiet", "--load-db"])
+        .arg(&db)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("database"), "{stderr}");
+}
+
+#[test]
+fn diff_analyze_reports_changed_functions() {
+    let old = write_temp("diff_old.o2", RACY);
+    // Same program with W.run also writing a second time.
+    let new = write_temp(
+        "diff_new.o2",
+        &RACY.replace("s.data = s;", "s.data = s; s.data = s;"),
+    );
+    let out = Command::new(o2_bin())
+        .arg("diff-analyze")
+        .arg(&old)
+        .arg(&new)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("diff: 1 changed"), "{stdout}");
+    assert!(stdout.contains("~ W.run/0"), "{stdout}");
+    assert!(stdout.contains("incremental:"), "{stdout}");
+    assert!(stdout.contains("race(s) after triage"), "{stdout}");
+}
+
+#[test]
+fn diff_analyze_needs_two_files() {
+    let old = write_temp("diff_only.o2", RACY);
+    let out = Command::new(o2_bin())
+        .arg("diff-analyze")
+        .arg(&old)
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("exactly two input files"), "{stderr}");
+}
+
+#[test]
 fn c_frontend_by_extension() {
     let src = r#"
         struct S { any data; };

@@ -1,0 +1,948 @@
+//! # o2-db — the incremental analysis database
+//!
+//! A content-addressed store for O2's stage artifacts, the foundation of
+//! warm (incremental) re-analysis. The design follows digest-driven
+//! abstract interpretation and RacerD-style per-procedure summaries:
+//! every artifact is keyed by a 128-bit structural [`Digest`] of the
+//! *content* it was computed from, so a lookup hit is a proof (modulo
+//! hash collisions) that replaying the stored artifact reproduces what
+//! the stage would recompute.
+//!
+//! Section inventory (one map per pipeline stage):
+//!
+//! | section            | key                       | value                         |
+//! |--------------------|---------------------------|-------------------------------|
+//! | `fn_digests`       | qualified method name     | structural body digest        |
+//! | `closure_digests`  | qualified method name     | digest of the callee closure  |
+//! | `origin_sigs`      | canonical origin identity | per-origin solver-state sig   |
+//! | `osa_mi`           | canonical method-instance | sharing-map contribution      |
+//! | `shb_origin`       | canonical origin identity | SHB trace + edges subgraph    |
+//! | `verdicts`         | candidate content digest  | race-check verdict + counters |
+//! | `reports`          | (whole program)           | rendered text/JSON/SARIF      |
+//!
+//! Cross-run identity is **name-based**, never id-based: methods are
+//! `Class.name/arity` strings, objects and origins are digests of their
+//! allocation-site chains. Dense per-run ids (`ObjId`, `OriginId`, …)
+//! mean nothing across two parses of two different program versions.
+//!
+//! The on-disk image is a versioned std-only binary format (magic
+//! `O2DB`); see [`AnalysisDb::save`] / [`AnalysisDb::load`].
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod digest;
+
+pub use codec::{DbError, Reader, Writer};
+pub use digest::{digest_of_sorted, mix64, Digest, DigestHasher};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// On-disk format magic.
+pub const MAGIC: &[u8; 4] = b"O2DB";
+/// On-disk format version. Bump on any incompatible artifact change.
+pub const DB_VERSION: u32 = 1;
+
+/// An append-only interner for the strings artifacts reference (method
+/// qnames, class names, field names). Keeps repeated names out of the
+/// per-artifact encodings.
+#[derive(Clone, Debug, Default)]
+pub struct StableIds {
+    names: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl StableIds {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        StableIds::default()
+    }
+
+    /// Interns `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> u32 {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = u32::try_from(self.names.len()).expect("stable id overflow");
+        self.index.insert(name.to_string(), id);
+        self.names.push(name.to_string());
+        id
+    }
+
+    /// Resolves a stable id back to its string.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.names.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    fn encode(&self, w: &mut Writer) {
+        w.count(self.names.len());
+        for n in &self.names {
+            w.str(n);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        let n = r.count()?;
+        let mut t = StableIds::new();
+        for _ in 0..n {
+            let s = r.str()?;
+            t.intern(&s);
+        }
+        Ok(t)
+    }
+}
+
+/// A statement position in name-based canonical form: the method's
+/// interned qualified name plus the body index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DbStmt {
+    /// Stable id of the qualified method name (`Class.name/arity`).
+    pub method: u32,
+    /// Statement index in the method body.
+    pub index: u32,
+}
+
+impl DbStmt {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.method);
+        w.u32(self.index);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        Ok(DbStmt {
+            method: r.u32()?,
+            index: r.u32()?,
+        })
+    }
+}
+
+/// A memory location in canonical form.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DbMemKey {
+    /// An instance field: canonical object digest + field-name id.
+    Field {
+        /// Digest of the abstract object's allocation-site chain.
+        obj: Digest,
+        /// Stable id of the field name.
+        field: u32,
+    },
+    /// A static field: class-name id + field-name id.
+    Static {
+        /// Stable id of the class name.
+        class: u32,
+        /// Stable id of the field name.
+        field: u32,
+    },
+}
+
+impl DbMemKey {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            DbMemKey::Field { obj, field } => {
+                w.u8(0);
+                w.digest(obj);
+                w.u32(field);
+            }
+            DbMemKey::Static { class, field } => {
+                w.u8(1);
+                w.u32(class);
+                w.u32(field);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        Ok(match r.u8()? {
+            0 => DbMemKey::Field {
+                obj: r.digest()?,
+                field: r.u32()?,
+            },
+            1 => DbMemKey::Static {
+                class: r.u32()?,
+                field: r.u32()?,
+            },
+            _ => return Err(DbError::Corrupt("bad memkey tag")),
+        })
+    }
+}
+
+/// A lock element in canonical form. Fresh (unresolved) lock objects are
+/// stored symbolically by their per-origin allocation ordinal, because
+/// their concrete ids depend on how many fresh locks *earlier* origins
+/// allocated in the same build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DbLockElem {
+    /// A concrete abstract object used as a monitor.
+    Obj(Digest),
+    /// The `k`-th fresh lock allocated while walking this origin.
+    Fresh(u32),
+    /// A class object (static synchronization); class-name id.
+    Class(u32),
+    /// The implicit serialization lock of event dispatcher `d`.
+    Dispatcher(u16),
+    /// The per-location exclusion token of an atomic cell.
+    AtomicCell(Digest, u32),
+}
+
+impl DbLockElem {
+    fn encode(&self, w: &mut Writer) {
+        match *self {
+            DbLockElem::Obj(d) => {
+                w.u8(0);
+                w.digest(d);
+            }
+            DbLockElem::Fresh(k) => {
+                w.u8(1);
+                w.u32(k);
+            }
+            DbLockElem::Class(c) => {
+                w.u8(2);
+                w.u32(c);
+            }
+            DbLockElem::Dispatcher(d) => {
+                w.u8(3);
+                w.u16(d);
+            }
+            DbLockElem::AtomicCell(d, f) => {
+                w.u8(4);
+                w.digest(d);
+                w.u32(f);
+            }
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        Ok(match r.u8()? {
+            0 => DbLockElem::Obj(r.digest()?),
+            1 => DbLockElem::Fresh(r.u32()?),
+            2 => DbLockElem::Class(r.u32()?),
+            3 => DbLockElem::Dispatcher(r.u16()?),
+            4 => DbLockElem::AtomicCell(r.digest()?, r.u32()?),
+            _ => return Err(DbError::Corrupt("bad lock elem tag")),
+        })
+    }
+}
+
+/// One recorded field/static access of a method instance (OSA artifact).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbOsaAccess {
+    /// The accessed location.
+    pub key: DbMemKey,
+    /// Body index of the accessing statement (the method is the
+    /// artifact's own method instance).
+    pub index: u32,
+    /// `true` for writes.
+    pub is_write: bool,
+}
+
+/// The sharing-map contribution of one method instance: exactly the
+/// `record` calls its body scan performs, in scan order.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct OsaMiArtifact {
+    /// Content signature the artifact was computed under.
+    pub sig: Digest,
+    /// The access sequence in scan order.
+    pub accesses: Vec<DbOsaAccess>,
+}
+
+impl OsaMiArtifact {
+    fn encode(&self, w: &mut Writer) {
+        w.digest(self.sig);
+        w.count(self.accesses.len());
+        for a in &self.accesses {
+            a.key.encode(w);
+            w.u32(a.index);
+            w.bool(a.is_write);
+        }
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        let sig = r.digest()?;
+        let n = r.count()?;
+        let mut accesses = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            accesses.push(DbOsaAccess {
+                key: DbMemKey::decode(r)?,
+                index: r.u32()?,
+                is_write: r.bool()?,
+            });
+        }
+        Ok(OsaMiArtifact { sig, accesses })
+    }
+}
+
+/// A canonical access node of an origin trace (SHB artifact).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbShbAccess {
+    /// Accessed location.
+    pub key: DbMemKey,
+    /// Accessing statement.
+    pub stmt: DbStmt,
+    /// `true` for writes.
+    pub is_write: bool,
+    /// Index into the artifact's local lockset table.
+    pub lockset: u32,
+    /// Trace position.
+    pub pos: u32,
+    /// Lock-region number.
+    pub region: u32,
+}
+
+/// A canonical acquire node of an origin trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbShbAcquire {
+    /// Trace position of the acquisition.
+    pub pos: u32,
+    /// Acquiring statement (one past the body for synchronized methods).
+    pub stmt: DbStmt,
+    /// Acquired lock elements, in the exact order the walk interned them.
+    pub elems: Vec<DbLockElem>,
+    /// Index into the local lockset table: locks held before this one.
+    pub held_before: u32,
+    /// Position of the matching release; `u32::MAX` if held to trace end.
+    pub released_pos: u32,
+}
+
+/// An inter-origin edge out of the artifact's origin.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbEdge {
+    /// Canonical identity of the other origin (child for entry edges,
+    /// parent for join edges).
+    pub other: Digest,
+    /// Trace position of the edge in this origin.
+    pub pos: u32,
+    /// The statement creating the edge.
+    pub stmt: DbStmt,
+}
+
+/// The SHB subgraph contributed by one origin: its trace, its acquires,
+/// and every inter-origin edge discovered while walking it.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ShbOriginArtifact {
+    /// Content signature the artifact was computed under.
+    pub sig: Digest,
+    /// Local lockset table referenced by accesses and acquires.
+    pub sets: Vec<Vec<DbLockElem>>,
+    /// Access nodes in trace order.
+    pub accesses: Vec<DbShbAccess>,
+    /// Acquire nodes in trace order.
+    pub acquires: Vec<DbShbAcquire>,
+    /// Final trace length (position counter).
+    pub len: u32,
+    /// `true` if the walk hit its node budget.
+    pub truncated: bool,
+    /// Entry edges out of this origin (this origin is the parent).
+    pub entry_edges: Vec<DbEdge>,
+    /// Join edges emitted while walking this origin (this origin is the
+    /// parent performing the join; `other` is the joined child).
+    pub join_edges: Vec<DbEdge>,
+    /// Number of fresh locks the walk allocated.
+    pub fresh_count: u32,
+}
+
+impl ShbOriginArtifact {
+    fn encode(&self, w: &mut Writer) {
+        w.digest(self.sig);
+        w.count(self.sets.len());
+        for s in &self.sets {
+            w.count(s.len());
+            for e in s {
+                e.encode(w);
+            }
+        }
+        w.count(self.accesses.len());
+        for a in &self.accesses {
+            a.key.encode(w);
+            a.stmt.encode(w);
+            w.bool(a.is_write);
+            w.u32(a.lockset);
+            w.u32(a.pos);
+            w.u32(a.region);
+        }
+        w.count(self.acquires.len());
+        for a in &self.acquires {
+            w.u32(a.pos);
+            a.stmt.encode(w);
+            w.count(a.elems.len());
+            for e in &a.elems {
+                e.encode(w);
+            }
+            w.u32(a.held_before);
+            w.u32(a.released_pos);
+        }
+        w.u32(self.len);
+        w.bool(self.truncated);
+        for edges in [&self.entry_edges, &self.join_edges] {
+            w.count(edges.len());
+            for e in edges {
+                w.digest(e.other);
+                w.u32(e.pos);
+                e.stmt.encode(w);
+            }
+        }
+        w.u32(self.fresh_count);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        let sig = r.digest()?;
+        let n_sets = r.count()?;
+        let mut sets = Vec::with_capacity(n_sets.min(1 << 16));
+        for _ in 0..n_sets {
+            let k = r.count()?;
+            let mut s = Vec::with_capacity(k.min(1 << 12));
+            for _ in 0..k {
+                s.push(DbLockElem::decode(r)?);
+            }
+            sets.push(s);
+        }
+        let n_acc = r.count()?;
+        let mut accesses = Vec::with_capacity(n_acc.min(1 << 16));
+        for _ in 0..n_acc {
+            accesses.push(DbShbAccess {
+                key: DbMemKey::decode(r)?,
+                stmt: DbStmt::decode(r)?,
+                is_write: r.bool()?,
+                lockset: r.u32()?,
+                pos: r.u32()?,
+                region: r.u32()?,
+            });
+        }
+        let n_acq = r.count()?;
+        let mut acquires = Vec::with_capacity(n_acq.min(1 << 16));
+        for _ in 0..n_acq {
+            let pos = r.u32()?;
+            let stmt = DbStmt::decode(r)?;
+            let k = r.count()?;
+            let mut elems = Vec::with_capacity(k.min(1 << 12));
+            for _ in 0..k {
+                elems.push(DbLockElem::decode(r)?);
+            }
+            acquires.push(DbShbAcquire {
+                pos,
+                stmt,
+                elems,
+                held_before: r.u32()?,
+                released_pos: r.u32()?,
+            });
+        }
+        let len = r.u32()?;
+        let truncated = r.bool()?;
+        let mut edge_lists = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let k = r.count()?;
+            let mut edges = Vec::with_capacity(k.min(1 << 16));
+            for _ in 0..k {
+                edges.push(DbEdge {
+                    other: r.digest()?,
+                    pos: r.u32()?,
+                    stmt: DbStmt::decode(r)?,
+                });
+            }
+            edge_lists.push(edges);
+        }
+        let join_edges = edge_lists.pop().expect("two edge lists");
+        let entry_edges = edge_lists.pop().expect("two edge lists");
+        Ok(ShbOriginArtifact {
+            sig,
+            sets,
+            accesses,
+            acquires,
+            len,
+            truncated,
+            entry_edges,
+            join_edges,
+            fresh_count: r.u32()?,
+        })
+    }
+}
+
+/// One side of a cached race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbRaceAccess {
+    /// Canonical identity of the accessing origin.
+    pub origin: Digest,
+    /// Accessing statement.
+    pub stmt: DbStmt,
+    /// `true` for writes.
+    pub is_write: bool,
+}
+
+/// A cached race between two accesses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DbRace {
+    /// The racy location.
+    pub key: DbMemKey,
+    /// First access.
+    pub a: DbRaceAccess,
+    /// Second access.
+    pub b: DbRaceAccess,
+}
+
+/// The verdict of checking one candidate location: the races found plus
+/// the counters the check contributed to the report totals.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct VerdictArtifact {
+    /// Races found at this candidate, in discovery order.
+    pub races: Vec<DbRace>,
+    /// Pairs actually compared.
+    pub pairs_checked: u64,
+    /// Pairs pruned by common-lock reasoning.
+    pub lock_pruned: u64,
+    /// Pairs pruned by a happens-before path.
+    pub hb_pruned: u64,
+    /// `true` if the per-location pair budget was hit.
+    pub budget_hit: bool,
+}
+
+impl VerdictArtifact {
+    fn encode(&self, w: &mut Writer) {
+        w.count(self.races.len());
+        for race in &self.races {
+            race.key.encode(w);
+            for side in [&race.a, &race.b] {
+                w.digest(side.origin);
+                side.stmt.encode(w);
+                w.bool(side.is_write);
+            }
+        }
+        w.u64(self.pairs_checked);
+        w.u64(self.lock_pruned);
+        w.u64(self.hb_pruned);
+        w.bool(self.budget_hit);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        let n = r.count()?;
+        let mut races = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let key = DbMemKey::decode(r)?;
+            let mut sides = Vec::with_capacity(2);
+            for _ in 0..2 {
+                sides.push(DbRaceAccess {
+                    origin: r.digest()?,
+                    stmt: DbStmt::decode(r)?,
+                    is_write: r.bool()?,
+                });
+            }
+            let b = sides.pop().expect("two sides");
+            let a = sides.pop().expect("two sides");
+            races.push(DbRace { key, a, b });
+        }
+        Ok(VerdictArtifact {
+            races,
+            pairs_checked: r.u64()?,
+            lock_pruned: r.u64()?,
+            hb_pruned: r.u64()?,
+            budget_hit: r.bool()?,
+        })
+    }
+}
+
+/// Fully rendered reports of a run, reused wholesale when the program
+/// digest is unchanged.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct CachedReports {
+    /// Number of triaged races (drives the CLI exit code).
+    pub n_races: u64,
+    /// `render()` output of the precision pipeline.
+    pub text: String,
+    /// `to_json()` output.
+    pub json: String,
+    /// `to_sarif()` output.
+    pub sarif: String,
+}
+
+impl CachedReports {
+    fn encode(&self, w: &mut Writer) {
+        w.u64(self.n_races);
+        w.str(&self.text);
+        w.str(&self.json);
+        w.str(&self.sarif);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        Ok(CachedReports {
+            n_races: r.u64()?,
+            text: r.str()?,
+            json: r.str()?,
+            sarif: r.str()?,
+        })
+    }
+}
+
+/// Per-section entry counts, for diagnostics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DbStats {
+    /// Function body digests.
+    pub functions: usize,
+    /// Origin state signatures.
+    pub origins: usize,
+    /// OSA method-instance artifacts.
+    pub osa_mis: usize,
+    /// SHB origin artifacts.
+    pub shb_origins: usize,
+    /// Detection verdicts.
+    pub verdicts: usize,
+    /// `true` if rendered reports are cached.
+    pub has_reports: bool,
+}
+
+/// The analysis database: every section keyed by content digests.
+#[derive(Clone, Debug, Default)]
+pub struct AnalysisDb {
+    /// Digest of the analysis configuration the artifacts were computed
+    /// under. A mismatch invalidates the whole database.
+    pub config_sig: Digest,
+    /// Digest of the whole program of the last run.
+    pub program_sig: Digest,
+    /// Per-function structural body digests, by qualified name.
+    pub fn_digests: BTreeMap<String, Digest>,
+    /// Per-function callee-closure digests, by qualified name.
+    pub closure_digests: BTreeMap<String, Digest>,
+    /// Interned strings referenced by artifacts.
+    pub names: StableIds,
+    /// Per-origin solver-state signatures: canonical origin identity →
+    /// signature of its points-to partition.
+    pub origin_sigs: BTreeMap<Digest, Digest>,
+    /// OSA contributions: canonical method-instance digest → artifact.
+    pub osa_mi: BTreeMap<Digest, OsaMiArtifact>,
+    /// SHB subgraphs: canonical origin identity → artifact.
+    pub shb_origin: BTreeMap<Digest, ShbOriginArtifact>,
+    /// Race-check verdicts: candidate content digest → verdict.
+    pub verdicts: BTreeMap<Digest, VerdictArtifact>,
+    /// Rendered reports of the last run.
+    pub reports: Option<CachedReports>,
+}
+
+impl AnalysisDb {
+    /// Creates an empty database bound to `config_sig`.
+    pub fn new(config_sig: Digest) -> Self {
+        AnalysisDb {
+            config_sig,
+            ..Default::default()
+        }
+    }
+
+    /// `true` if the database holds artifacts usable under `config_sig`.
+    /// A fresh database (no recorded run) is compatible with anything.
+    pub fn compatible_with(&self, config_sig: Digest) -> bool {
+        self.program_sig == Digest::default() || self.config_sig == config_sig
+    }
+
+    /// Drops every artifact section, keeping the database usable for the
+    /// next run (called when the configuration signature changes).
+    pub fn clear_artifacts(&mut self) {
+        self.program_sig = Digest::default();
+        self.fn_digests.clear();
+        self.closure_digests.clear();
+        self.names = StableIds::new();
+        self.origin_sigs.clear();
+        self.osa_mi.clear();
+        self.shb_origin.clear();
+        self.verdicts.clear();
+        self.reports = None;
+    }
+
+    /// Per-section entry counts.
+    pub fn stats(&self) -> DbStats {
+        DbStats {
+            functions: self.fn_digests.len(),
+            origins: self.origin_sigs.len(),
+            osa_mis: self.osa_mi.len(),
+            shb_origins: self.shb_origin.len(),
+            verdicts: self.verdicts.len(),
+            has_reports: self.reports.is_some(),
+        }
+    }
+
+    /// Serializes the database. Identical content yields identical bytes
+    /// (every section is a `BTreeMap` iterated in key order).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u32(DB_VERSION);
+        w.digest(self.config_sig);
+        w.digest(self.program_sig);
+        for map in [&self.fn_digests, &self.closure_digests] {
+            w.count(map.len());
+            for (name, d) in map {
+                w.str(name);
+                w.digest(*d);
+            }
+        }
+        self.names.encode(&mut w);
+        w.count(self.origin_sigs.len());
+        for (k, v) in &self.origin_sigs {
+            w.digest(*k);
+            w.digest(*v);
+        }
+        w.count(self.osa_mi.len());
+        for (k, v) in &self.osa_mi {
+            w.digest(*k);
+            v.encode(&mut w);
+        }
+        w.count(self.shb_origin.len());
+        for (k, v) in &self.shb_origin {
+            w.digest(*k);
+            v.encode(&mut w);
+        }
+        w.count(self.verdicts.len());
+        for (k, v) in &self.verdicts {
+            w.digest(*k);
+            v.encode(&mut w);
+        }
+        match &self.reports {
+            None => w.bool(false),
+            Some(rep) => {
+                w.bool(true);
+                rep.encode(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Deserializes a database image.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, DbError> {
+        let mut r = Reader::new(bytes);
+        if r.bytes()? != MAGIC {
+            return Err(DbError::BadMagic);
+        }
+        let version = r.u32()?;
+        if version != DB_VERSION {
+            return Err(DbError::BadVersion(version));
+        }
+        let config_sig = r.digest()?;
+        let program_sig = r.digest()?;
+        let mut name_maps = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let n = r.count()?;
+            let mut map = BTreeMap::new();
+            for _ in 0..n {
+                let name = r.str()?;
+                map.insert(name, r.digest()?);
+            }
+            name_maps.push(map);
+        }
+        let closure_digests = name_maps.pop().expect("two digest maps");
+        let fn_digests = name_maps.pop().expect("two digest maps");
+        let names = StableIds::decode(&mut r)?;
+        let n = r.count()?;
+        let mut origin_sigs = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.digest()?;
+            origin_sigs.insert(k, r.digest()?);
+        }
+        let n = r.count()?;
+        let mut osa_mi = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.digest()?;
+            osa_mi.insert(k, OsaMiArtifact::decode(&mut r)?);
+        }
+        let n = r.count()?;
+        let mut shb_origin = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.digest()?;
+            shb_origin.insert(k, ShbOriginArtifact::decode(&mut r)?);
+        }
+        let n = r.count()?;
+        let mut verdicts = BTreeMap::new();
+        for _ in 0..n {
+            let k = r.digest()?;
+            verdicts.insert(k, VerdictArtifact::decode(&mut r)?);
+        }
+        let reports = if r.bool()? {
+            Some(CachedReports::decode(&mut r)?)
+        } else {
+            None
+        };
+        if !r.is_done() {
+            return Err(DbError::Corrupt("trailing bytes after image"));
+        }
+        Ok(AnalysisDb {
+            config_sig,
+            program_sig,
+            fn_digests,
+            closure_digests,
+            names,
+            origin_sigs,
+            osa_mi,
+            shb_origin,
+            verdicts,
+            reports,
+        })
+    }
+
+    /// Writes the database image to `path`.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), DbError> {
+        std::fs::write(path, self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a database image from `path`.
+    pub fn load(path: &std::path::Path) -> Result<Self, DbError> {
+        let bytes = std::fs::read(path)?;
+        AnalysisDb::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> AnalysisDb {
+        let mut db = AnalysisDb::new(Digest(1, 2));
+        db.program_sig = Digest(3, 4);
+        db.fn_digests.insert("A.f/0".into(), Digest(5, 6));
+        db.closure_digests.insert("A.f/0".into(), Digest(7, 8));
+        let m = db.names.intern("A.f/0");
+        let f = db.names.intern("x");
+        db.origin_sigs.insert(Digest(9, 1), Digest(2, 3));
+        db.osa_mi.insert(
+            Digest(4, 5),
+            OsaMiArtifact {
+                sig: Digest(6, 7),
+                accesses: vec![DbOsaAccess {
+                    key: DbMemKey::Field {
+                        obj: Digest(8, 9),
+                        field: f,
+                    },
+                    index: 3,
+                    is_write: true,
+                }],
+            },
+        );
+        db.shb_origin.insert(
+            Digest(10, 11),
+            ShbOriginArtifact {
+                sig: Digest(12, 13),
+                sets: vec![vec![], vec![DbLockElem::Fresh(0), DbLockElem::Dispatcher(2)]],
+                accesses: vec![DbShbAccess {
+                    key: DbMemKey::Static { class: m, field: f },
+                    stmt: DbStmt { method: m, index: 1 },
+                    is_write: false,
+                    lockset: 1,
+                    pos: 4,
+                    region: 2,
+                }],
+                acquires: vec![DbShbAcquire {
+                    pos: 2,
+                    stmt: DbStmt { method: m, index: 0 },
+                    elems: vec![DbLockElem::Obj(Digest(14, 15))],
+                    held_before: 0,
+                    released_pos: u32::MAX,
+                }],
+                len: 6,
+                truncated: false,
+                entry_edges: vec![DbEdge {
+                    other: Digest(16, 17),
+                    pos: 5,
+                    stmt: DbStmt { method: m, index: 2 },
+                }],
+                join_edges: vec![],
+                fresh_count: 1,
+            },
+        );
+        db.verdicts.insert(
+            Digest(18, 19),
+            VerdictArtifact {
+                races: vec![DbRace {
+                    key: DbMemKey::Field {
+                        obj: Digest(8, 9),
+                        field: f,
+                    },
+                    a: DbRaceAccess {
+                        origin: Digest(9, 1),
+                        stmt: DbStmt { method: m, index: 3 },
+                        is_write: true,
+                    },
+                    b: DbRaceAccess {
+                        origin: Digest(10, 11),
+                        stmt: DbStmt { method: m, index: 1 },
+                        is_write: false,
+                    },
+                }],
+                pairs_checked: 12,
+                lock_pruned: 3,
+                hb_pruned: 4,
+                budget_hit: false,
+            },
+        );
+        db.reports = Some(CachedReports {
+            n_races: 1,
+            text: "text".into(),
+            json: "{}".into(),
+            sarif: "{\"runs\":[]}".into(),
+        });
+        db
+    }
+
+    #[test]
+    fn image_roundtrip_is_lossless() {
+        let db = sample_db();
+        let bytes = db.to_bytes();
+        let back = AnalysisDb::from_bytes(&bytes).unwrap();
+        assert_eq!(back.to_bytes(), bytes);
+        assert_eq!(back.config_sig, db.config_sig);
+        assert_eq!(back.program_sig, db.program_sig);
+        assert_eq!(back.fn_digests, db.fn_digests);
+        assert_eq!(back.origin_sigs, db.origin_sigs);
+        assert_eq!(back.osa_mi, db.osa_mi);
+        assert_eq!(back.shb_origin, db.shb_origin);
+        assert_eq!(back.verdicts, db.verdicts);
+        assert_eq!(back.reports, db.reports);
+        assert_eq!(back.names.resolve(0), Some("A.f/0"));
+    }
+
+    #[test]
+    fn encoding_is_deterministic() {
+        assert_eq!(sample_db().to_bytes(), sample_db().to_bytes());
+    }
+
+    #[test]
+    fn bad_magic_and_version_rejected() {
+        assert!(matches!(
+            AnalysisDb::from_bytes(b"nonsense"),
+            Err(DbError::Truncated) | Err(DbError::BadMagic) | Err(DbError::Corrupt(_))
+        ));
+        let mut w = Writer::new();
+        w.bytes(MAGIC);
+        w.u32(DB_VERSION + 1);
+        assert!(matches!(
+            AnalysisDb::from_bytes(&w.into_bytes()),
+            Err(DbError::BadVersion(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_image_rejected() {
+        let bytes = sample_db().to_bytes();
+        for cut in [bytes.len() / 4, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                AnalysisDb::from_bytes(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
+        }
+    }
+
+    #[test]
+    fn compatibility_gate() {
+        let fresh = AnalysisDb::new(Digest(1, 1));
+        assert!(fresh.compatible_with(Digest(2, 2)), "fresh db is neutral");
+        let mut used = sample_db();
+        assert!(used.compatible_with(Digest(1, 2)));
+        assert!(!used.compatible_with(Digest(9, 9)));
+        used.clear_artifacts();
+        assert!(used.compatible_with(Digest(9, 9)));
+        assert_eq!(used.stats(), DbStats::default());
+    }
+}

@@ -51,10 +51,12 @@
 
 pub mod deadlock;
 pub mod html;
+pub mod incr;
 pub mod oversync;
 
 pub use deadlock::{detect_deadlocks, DeadlockCycle, DeadlockReport};
 pub use html::render_html;
+pub use incr::{detect_incremental, DetectIncr};
 pub use oversync::{find_oversync, OversyncReport, OversyncWarning};
 
 use o2_analysis::{MemKey, OsaResult};
@@ -352,9 +354,56 @@ pub fn detect(
     let start = Instant::now();
     let deadline = config.timeout.map(|t| start + t);
     let mut report = RaceReport::default();
-    let _ = program;
 
     // ---- phase 1: serial candidate collection ---------------------------
+    let candidates = collect_candidates(program, pta, osa, shb, config);
+
+    // ---- phase 2: parallel per-candidate checking -----------------------
+    let todo: Vec<usize> = (0..candidates.len()).collect();
+    let workers = config.effective_threads().clamp(1, candidates.len().max(1));
+    let (mut merged, hits, misses, out_of_time) =
+        check_candidates_parallel(&candidates, &todo, shb, config, deadline, workers);
+    report.lock_cache_hits = hits;
+    report.lock_cache_misses = misses;
+
+    // ---- phase 3: deterministic merge -----------------------------------
+    merged.sort_unstable_by_key(|(i, _)| *i);
+    let mut seen: BTreeSet<(MemKey, GStmt, GStmt)> = BTreeSet::new();
+    for (i, outcome) in merged {
+        report.region_merged += candidates[i].region_merged;
+        report.pairs_checked += outcome.pairs_checked;
+        report.lock_pruned += outcome.lock_pruned;
+        report.hb_pruned += outcome.hb_pruned;
+        report.pairs_budget_hit |= outcome.pairs_budget_hit;
+        report.timed_out |= outcome.timed_out;
+        for r in outcome.races {
+            // Deduplicate by field and unordered statement pair, across
+            // all locations, in candidate order.
+            if seen.insert(dedup_key(r.key, r.a.stmt, r.b.stmt)) {
+                report.races.push(r);
+            }
+        }
+    }
+    report.timed_out |= out_of_time;
+    report.threads_used = workers;
+    report
+        .races
+        .sort_by_key(|r| (r.key, r.a.stmt, r.b.stmt, r.a.origin.0, r.b.origin.0));
+    report.duration = start.elapsed();
+    report
+}
+
+/// Phase 1 of [`detect`]: collects the candidate locations with their
+/// (possibly region-merged) access lists and per-origin flags. Serial —
+/// the only detection phase that reads the pointer-analysis result.
+fn collect_candidates(
+    program: &Program,
+    pta: &PtaResult,
+    osa: &OsaResult,
+    shb: &ShbGraph,
+    config: &DetectConfig,
+) -> Vec<Candidate> {
+    let _ = program;
 
     // Multi-instance origins: an abstract origin entered from two or more
     // distinct (parent, statement) creation points stands for several
@@ -462,10 +511,21 @@ pub fn detect(
             flags,
         });
     }
+    candidates
+}
 
-    // ---- phase 2: parallel per-candidate checking -----------------------
-
-    let workers = config.effective_threads().clamp(1, candidates.len().max(1));
+/// Phase 2 of [`detect`]: fans the candidate indices in `todo` out over
+/// `workers` threads. Returns the per-candidate outcomes (tagged with
+/// their index into `candidates`, unsorted), the summed lock-cache
+/// hit/miss counters, and whether the deadline expired.
+fn check_candidates_parallel(
+    candidates: &[Candidate],
+    todo: &[usize],
+    shb: &ShbGraph,
+    config: &DetectConfig,
+    deadline: Option<Instant>,
+    workers: usize,
+) -> (Vec<(usize, KeyOutcome)>, u64, u64, bool) {
     let next = AtomicUsize::new(0);
     let out_of_time = AtomicBool::new(false);
     let run_worker = || {
@@ -474,10 +534,11 @@ pub fn detect(
         let mut pair_tick: u64 = 0;
         let mut outcomes: Vec<(usize, KeyOutcome)> = Vec::new();
         loop {
-            let i = next.fetch_add(1, Ordering::Relaxed);
-            if i >= candidates.len() || out_of_time.load(Ordering::Relaxed) {
+            let t = next.fetch_add(1, Ordering::Relaxed);
+            if t >= todo.len() || out_of_time.load(Ordering::Relaxed) {
                 break;
             }
+            let i = todo[t];
             let outcome = check_candidate(
                 &candidates[i],
                 shb,
@@ -492,6 +553,7 @@ pub fn detect(
         }
         (outcomes, locks.hits, locks.misses)
     };
+    let workers = workers.clamp(1, todo.len().max(1));
     let worker_results: Vec<WorkerResult> = if workers <= 1 {
         vec![run_worker()]
     } else {
@@ -503,39 +565,14 @@ pub fn detect(
                 .collect()
         })
     };
-
-    // ---- phase 3: deterministic merge -----------------------------------
-
-    let mut merged: Vec<(usize, KeyOutcome)> = Vec::with_capacity(candidates.len());
-    for (outcomes, hits, misses) in worker_results {
+    let mut merged: Vec<(usize, KeyOutcome)> = Vec::with_capacity(todo.len());
+    let (mut hits, mut misses) = (0u64, 0u64);
+    for (outcomes, h, m) in worker_results {
         merged.extend(outcomes);
-        report.lock_cache_hits += hits;
-        report.lock_cache_misses += misses;
+        hits += h;
+        misses += m;
     }
-    merged.sort_unstable_by_key(|(i, _)| *i);
-    let mut seen: BTreeSet<(MemKey, GStmt, GStmt)> = BTreeSet::new();
-    for (i, outcome) in merged {
-        report.region_merged += candidates[i].region_merged;
-        report.pairs_checked += outcome.pairs_checked;
-        report.lock_pruned += outcome.lock_pruned;
-        report.hb_pruned += outcome.hb_pruned;
-        report.pairs_budget_hit |= outcome.pairs_budget_hit;
-        report.timed_out |= outcome.timed_out;
-        for r in outcome.races {
-            // Deduplicate by field and unordered statement pair, across
-            // all locations, in candidate order.
-            if seen.insert(dedup_key(r.key, r.a.stmt, r.b.stmt)) {
-                report.races.push(r);
-            }
-        }
-    }
-    report.timed_out |= out_of_time.load(Ordering::Relaxed);
-    report.threads_used = workers;
-    report
-        .races
-        .sort_by_key(|r| (r.key, r.a.stmt, r.b.stmt, r.a.origin.0, r.b.origin.0));
-    report.duration = start.elapsed();
-    report
+    (merged, hits, misses, out_of_time.load(Ordering::Relaxed))
 }
 
 /// Checks every conflicting access pair of one candidate location.

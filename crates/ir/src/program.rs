@@ -52,7 +52,7 @@ impl fmt::Display for Selector {
 
 /// A class: a name, an optional superclass, marker interfaces, and a
 /// dispatch table from selectors to concrete methods.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Class {
     /// Fully qualified class name (unique within a program).
     pub name: String,
@@ -291,7 +291,7 @@ pub struct Instr {
 }
 
 /// A method: parameters, a local-variable universe, and a statement body.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Method {
     /// Method name.
     pub name: String,
@@ -344,7 +344,11 @@ impl Method {
 
 /// A whole program: class table, method table, interned field names, and
 /// the designated `main` entry.
-#[derive(Clone, Debug)]
+///
+/// Equality (`==`) is full structural equality including diagnostic line
+/// numbers; see [`structurally_equal`] for the line-insensitive variant
+/// used to compare parsed text against programmatically built programs.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Program {
     /// All classes; indexed by [`ClassId`].
     pub classes: Vec<Class>,
@@ -466,6 +470,14 @@ impl Program {
         self.method(g.method).suppress_races
     }
 
+    /// The qualified name of a method: `Class.name/arity`. Unique within
+    /// a well-formed program and stable across parses, so it serves as
+    /// the cross-run identity of the method in the analysis database.
+    pub fn method_qname(&self, id: MethodId) -> String {
+        let m = self.method(id);
+        format!("{}.{}/{}", self.class(m.class).name, m.name, m.num_params)
+    }
+
     /// A human-readable label for a statement, used in race reports:
     /// `Class.method:line`.
     pub fn stmt_label(&self, g: GStmt) -> String {
@@ -483,4 +495,38 @@ impl Program {
             format!("{cls}.{}#{}", m.name, g.index)
         }
     }
+}
+
+/// Structural equality of two programs, ignoring diagnostic line numbers.
+///
+/// This is the round-trip invariant of the printer/parser pair: printing a
+/// program (which emits no line information) and re-parsing it (which
+/// assigns fresh source lines) must reproduce everything the analyses can
+/// observe — classes, dispatch tables, method attributes, variable
+/// universes, and statement bodies.
+pub fn structurally_equal(a: &Program, b: &Program) -> bool {
+    if a.classes != b.classes
+        || a.fields != b.fields
+        || a.main != b.main
+        || a.entry_config != b.entry_config
+        || a.methods.len() != b.methods.len()
+    {
+        return false;
+    }
+    a.methods.iter().zip(&b.methods).all(|(ma, mb)| {
+        ma.name == mb.name
+            && ma.class == mb.class
+            && ma.num_params == mb.num_params
+            && ma.is_static == mb.is_static
+            && ma.is_synchronized == mb.is_synchronized
+            && ma.suppress_races == mb.suppress_races
+            && ma.num_vars == mb.num_vars
+            && ma.var_names == mb.var_names
+            && ma.body.len() == mb.body.len()
+            && ma
+                .body
+                .iter()
+                .zip(&mb.body)
+                .all(|(ia, ib)| ia.stmt == ib.stmt && ia.in_loop == ib.in_loop)
+    })
 }

@@ -160,10 +160,23 @@ fn print_parse_roundtrip_corpus() {
         let p2 = o2_ir::parser::parse(&text)
             .unwrap_or_else(|e| panic!("roundtrip failed: {e}\n{text}"));
         assert_eq!(p1.num_statements(), p2.num_statements());
-        assert_eq!(p1.classes.len(), p2.classes.len());
-        assert_eq!(p1.methods.len(), p2.methods.len());
-        // Second roundtrip is a fixpoint.
+        // Parse-originated programs round-trip to a *structurally equal*
+        // program: same classes, fields, entry config, attributes, and
+        // statement bodies (line numbers excluded).
+        assert!(
+            o2_ir::structurally_equal(&p1, &p2),
+            "not structurally equal:\n{src}"
+        );
+        // Second roundtrip is a fixpoint — and with identical text the
+        // assigned source lines agree too, so even the line-sensitive
+        // content digests match.
         let text2 = o2_ir::printer::print_program(&p2);
         assert_eq!(text, text2);
+        let p3 = o2_ir::parser::parse(&text2).unwrap();
+        assert_eq!(
+            o2_ir::digest_program(&p2).program,
+            o2_ir::digest_program(&p3).program,
+            "digest changed across printed-form roundtrip:\n{src}"
+        );
     }
 }

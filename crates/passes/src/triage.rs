@@ -327,15 +327,13 @@ pub fn render(report: &PipelineReport, program: &Program) -> String {
             program.stmt_label(tr.race.b.stmt),
         );
     }
+    // Deliberately no per-pass durations: the text rendering, like the
+    // JSON and SARIF ones, is byte-stable across runs so that warm
+    // (database-replayed) runs compare equal to cold runs. Timings live
+    // in `PipelineReport::passes` for callers that want them.
     for run in &report.passes {
         let stats: Vec<String> = run.stats.iter().map(|(k, v)| format!("{k}={v}")).collect();
-        let _ = writeln!(
-            out,
-            "  pass {:<12} {:>8.3}ms  {}",
-            run.name,
-            run.duration.as_secs_f64() * 1e3,
-            stats.join(" ")
-        );
+        let _ = writeln!(out, "  pass {:<12} {}", run.name, stats.join(" "));
     }
     out
 }

@@ -1,0 +1,493 @@
+//! Canonical cross-run identities over one solved [`PtaResult`].
+//!
+//! Dense interning ids (`ObjId`, `OriginId`, `Mi`, `Ctx`) are an accident
+//! of solver visit order and mean nothing across two runs on two program
+//! versions. The incremental database ([`o2_db`]) therefore keys every
+//! artifact by *content digests* grounded in program-level identities:
+//! qualified method names, statement indices, allocation-site chains, and
+//! origin creation keys. [`CanonIndex`] computes those digests for one
+//! solved result, together with
+//!
+//! - **reverse maps** digest → current dense id, used by warm runs to
+//!   translate stored artifacts back onto this run's interners, and
+//! - **state signatures** ([`CanonIndex::origin_sig`] /
+//!   [`CanonIndex::mi_sig`]): digests of the points-to partition an origin
+//!   or method instance observes. Downstream stages (OSA, SHB, detection)
+//!   replay their cached artifacts exactly when the signature — not merely
+//!   the syntax — is unchanged, which keeps replay sound under aliasing
+//!   changes that propagate through untouched code.
+//!
+//! The origin identity digest deliberately excludes `entry_ctx` (which may
+//! contain the origin itself) and recurses only through the parent chain,
+//! so it is acyclic; context and object digests recurse through interning
+//! order, which is a DAG by construction.
+
+use crate::context::{AllocSite, CtxElem, ObjId, OriginId, OriginSite};
+use crate::solver::{CallTarget, Mi, PtaResult};
+use o2_db::{Digest, DigestHasher};
+use o2_ir::program::Program;
+use o2_ir::{GStmt, MethodId, OriginKind, ProgramDigests, VarId};
+use std::collections::HashMap;
+
+/// Canonical digests and state signatures for one solved [`PtaResult`].
+#[derive(Debug)]
+pub struct CanonIndex {
+    qnames: Vec<String>,
+    obj_digests: Vec<Digest>,
+    origin_digests: Vec<Digest>,
+    mi_digests: Vec<Digest>,
+    mi_sigs: Vec<Digest>,
+    origin_sigs: Vec<Digest>,
+    origin_mis: Vec<Vec<Mi>>,
+    by_origin: HashMap<Digest, OriginId>,
+    by_mi: HashMap<Digest, Mi>,
+    by_obj: HashMap<Digest, ObjId>,
+    by_qname: HashMap<String, MethodId>,
+}
+
+fn write_stmt(h: &mut DigestHasher, qnames: &[String], g: GStmt) {
+    h.write_str(&qnames[g.method.index()]);
+    h.write_u32(g.index);
+}
+
+fn write_kind(h: &mut DigestHasher, kind: OriginKind) {
+    match kind {
+        OriginKind::Main => h.write_u8(0),
+        OriginKind::Thread => h.write_u8(1),
+        OriginKind::Event { dispatcher } => {
+            h.write_u8(2);
+            h.write_u32(u32::from(dispatcher));
+        }
+        OriginKind::Syscall => h.write_u8(3),
+        OriginKind::KernelThread => h.write_u8(4),
+        OriginKind::Interrupt => h.write_u8(5),
+    }
+}
+
+/// Recursive digest builders with memo tables. Recursion is a DAG by
+/// interning order (an object's heap context only references objects and
+/// origins interned before it; an origin's parent has strictly smaller
+/// nesting depth), so every chain terminates.
+struct BuilderImpl<'a> {
+    program: &'a Program,
+    pta: &'a PtaResult,
+    qnames: &'a [String],
+    ctx_memo: HashMap<u32, Digest>,
+    obj_memo: Vec<Option<Digest>>,
+    origin_memo: Vec<Option<Digest>>,
+}
+
+impl BuilderImpl<'_> {
+    fn origin_digest(&mut self, origin: OriginId) -> Digest {
+        if let Some(d) = self.origin_memo[origin.0 as usize] {
+            return d;
+        }
+        let data = self.pta.arena.origin_data(origin).clone();
+        let mut h = DigestHasher::with_tag("o2.origin.v1");
+        write_kind(&mut h, data.kind);
+        h.write_u32(data.depth);
+        h.write_bool(data.multi_site);
+        match data.key.site {
+            OriginSite::Root => h.write_u8(0),
+            OriginSite::Alloc(g) => {
+                h.write_u8(1);
+                write_stmt(&mut h, self.qnames, g);
+            }
+            OriginSite::Spawn(g) => {
+                h.write_u8(2);
+                write_stmt(&mut h, self.qnames, g);
+            }
+        }
+        match data.key.parent {
+            None => h.write_bool(false),
+            Some(p) => {
+                h.write_bool(true);
+                let pd = self.origin_digest(p);
+                h.write_digest(pd);
+            }
+        }
+        match data.key.wrapper {
+            None => h.write_bool(false),
+            Some(g) => {
+                h.write_bool(true);
+                write_stmt(&mut h, self.qnames, g);
+            }
+        }
+        h.write_u8(data.key.variant);
+        h.write_str(&self.qnames[data.entry.index()]);
+        let d = h.finish();
+        self.origin_memo[origin.0 as usize] = Some(d);
+        d
+    }
+
+    fn obj_digest(&mut self, obj: ObjId) -> Digest {
+        if let Some(d) = self.obj_memo[obj.0 as usize] {
+            return d;
+        }
+        let data = *self.pta.arena.obj_data(obj);
+        let mut h = DigestHasher::with_tag("o2.obj.v1");
+        match data.site {
+            AllocSite::Stmt { stmt, variant } => {
+                h.write_u8(0);
+                write_stmt(&mut h, self.qnames, stmt);
+                h.write_u8(variant);
+            }
+            AllocSite::SpawnHandle { stmt } => {
+                h.write_u8(1);
+                write_stmt(&mut h, self.qnames, stmt);
+            }
+            AllocSite::External { stmt } => {
+                h.write_u8(2);
+                write_stmt(&mut h, self.qnames, stmt);
+            }
+        }
+        h.write_str(&self.program.classes[data.class.index()].name);
+        let hctx = self.ctx_digest(data.hctx);
+        h.write_digest(hctx);
+        let d = h.finish();
+        self.obj_memo[obj.0 as usize] = Some(d);
+        d
+    }
+
+    fn ctx_digest(&mut self, ctx: crate::context::Ctx) -> Digest {
+        if let Some(&d) = self.ctx_memo.get(&ctx.0) {
+            return d;
+        }
+        let elems: Vec<CtxElem> = self.pta.arena.ctx_elems(ctx).to_vec();
+        let mut h = DigestHasher::with_tag("o2.ctx.v1");
+        h.write_u32(elems.len() as u32);
+        for e in elems {
+            match e {
+                CtxElem::Site(g) => {
+                    h.write_u8(0);
+                    write_stmt(&mut h, self.qnames, g);
+                }
+                CtxElem::Obj(o) => {
+                    h.write_u8(1);
+                    let od = self.obj_digest(o);
+                    h.write_digest(od);
+                }
+                CtxElem::Origin(o) => {
+                    h.write_u8(2);
+                    let od = self.origin_digest(o);
+                    h.write_digest(od);
+                }
+            }
+        }
+        let d = h.finish();
+        self.ctx_memo.insert(ctx.0, d);
+        d
+    }
+}
+
+impl CanonIndex {
+    /// Builds the canonical index for `pta`, a solved result over
+    /// `program` whose structural digests are `digests`.
+    pub fn build(program: &Program, pta: &PtaResult, digests: &ProgramDigests) -> CanonIndex {
+        let qnames = digests.qnames.clone();
+        let num_objs = pta.arena.num_objects();
+        let num_origins = pta.arena.num_origins();
+        let num_mis = pta.num_mis();
+
+        let mut b = BuilderImpl {
+            program,
+            pta,
+            qnames: &qnames,
+            ctx_memo: HashMap::new(),
+            obj_memo: vec![None; num_objs],
+            origin_memo: vec![None; num_origins],
+        };
+
+        let origin_digests: Vec<Digest> = (0..num_origins as u32)
+            .map(|i| b.origin_digest(OriginId(i)))
+            .collect();
+        let obj_digests: Vec<Digest> = (0..num_objs as u32)
+            .map(|i| b.obj_digest(ObjId(i)))
+            .collect();
+
+        // Method-instance digests: qualified name + context digest.
+        let mut mi_digests = Vec::with_capacity(num_mis);
+        for i in 0..num_mis as u32 {
+            let (method, ctx) = pta.mi_data(Mi(i));
+            let mut h = DigestHasher::with_tag("o2.mi.v1");
+            h.write_str(&qnames[method.index()]);
+            h.write_digest(b.ctx_digest(ctx));
+            mi_digests.push(h.finish());
+        }
+
+        // Per-mi state signatures: body digest + canonical points-to of
+        // every local variable (the pointer facts a body scan consumes).
+        let mut mi_sigs = Vec::with_capacity(num_mis);
+        for i in 0..num_mis as u32 {
+            let (method, _) = pta.mi_data(Mi(i));
+            let m = program.method(method);
+            let mut h = DigestHasher::with_tag("o2.mi.sig.v1");
+            h.write_digest(mi_digests[i as usize]);
+            h.write_digest(digests.by_method[method.index()]);
+            h.write_u32(m.num_vars as u32);
+            for v in 0..m.num_vars as u32 {
+                let pts = pta.pts_var(Mi(i), VarId(v));
+                h.write_u32(pts.len() as u32);
+                for &o in pts {
+                    h.write_digest(obj_digests[o as usize]);
+                }
+            }
+            mi_sigs.push(h.finish());
+        }
+
+        // Which method instances run under each origin, in Mi index order
+        // (the order every downstream stage iterates them in).
+        let mut origin_mis: Vec<Vec<Mi>> = vec![Vec::new(); num_origins];
+        for mi in pta.reachable_mis() {
+            for o in pta.mi_origins(mi).iter() {
+                origin_mis[o as usize].push(mi);
+            }
+        }
+
+        // Per-origin state signatures: everything the OSA/SHB walk of this
+        // origin observes — its identity, entry context, entry instances,
+        // and for each of its method instances the body + points-to
+        // signature, resolved call targets, and joined origins.
+        let mut origin_sigs = Vec::with_capacity(num_origins);
+        for i in 0..num_origins as u32 {
+            let origin = OriginId(i);
+            let data = pta.arena.origin_data(origin).clone();
+            let mut h = DigestHasher::with_tag("o2.origin.sig.v1");
+            h.write_digest(origin_digests[i as usize]);
+            h.write_digest(b.ctx_digest(data.entry_ctx));
+            let entries = pta.origin_entries(origin);
+            h.write_u32(entries.len() as u32);
+            for &mi in entries {
+                h.write_digest(mi_digests[mi.0 as usize]);
+            }
+            h.write_u32(origin_mis[i as usize].len() as u32);
+            for &mi in &origin_mis[i as usize] {
+                let (method, _) = pta.mi_data(mi);
+                let body_len = program.method(method).body.len();
+                h.write_digest(mi_sigs[mi.0 as usize]);
+                for idx in 0..body_len {
+                    let targets = pta.callees(mi, idx);
+                    if !targets.is_empty() {
+                        h.write_u32(idx as u32);
+                        h.write_u32(targets.len() as u32);
+                        for t in targets {
+                            match t {
+                                CallTarget::Normal(_) => h.write_u8(0),
+                                CallTarget::Entry { origin: o, .. } => {
+                                    h.write_u8(1);
+                                    h.write_digest(origin_digests[o.0 as usize]);
+                                }
+                                CallTarget::SpawnEntry { origin: o, .. } => {
+                                    h.write_u8(2);
+                                    h.write_digest(origin_digests[o.0 as usize]);
+                                }
+                            }
+                            h.write_digest(mi_digests[t.mi().0 as usize]);
+                        }
+                    }
+                    let joined = pta.joined_origins(mi, idx);
+                    if !joined.is_empty() {
+                        h.write_u32(idx as u32);
+                        h.write_u32(joined.len() as u32);
+                        for &o in joined {
+                            h.write_digest(origin_digests[o.0 as usize]);
+                        }
+                    }
+                }
+            }
+            origin_sigs.push(h.finish());
+        }
+
+        let by_origin = origin_digests
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, OriginId(i as u32)))
+            .collect();
+        let by_obj = obj_digests
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, ObjId(i as u32)))
+            .collect();
+        let by_mi = mi_digests
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (d, Mi(i as u32)))
+            .collect();
+        let by_qname = qnames
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (q.clone(), MethodId::from_usize(i)))
+            .collect();
+
+        CanonIndex {
+            qnames,
+            obj_digests,
+            origin_digests,
+            mi_digests,
+            mi_sigs,
+            origin_sigs,
+            origin_mis,
+            by_origin,
+            by_mi,
+            by_obj,
+            by_qname,
+        }
+    }
+
+    /// Qualified name (`Class.name/arity`) of a method.
+    pub fn qname(&self, m: MethodId) -> &str {
+        &self.qnames[m.index()]
+    }
+
+    /// Canonical identity digest of an abstract object.
+    pub fn obj_digest(&self, obj: ObjId) -> Digest {
+        self.obj_digests[obj.0 as usize]
+    }
+
+    /// Canonical identity digest of an origin.
+    pub fn origin_digest(&self, origin: OriginId) -> Digest {
+        self.origin_digests[origin.0 as usize]
+    }
+
+    /// Canonical identity digest of a method instance.
+    pub fn mi_digest(&self, mi: Mi) -> Digest {
+        self.mi_digests[mi.0 as usize]
+    }
+
+    /// State signature of a method instance: body digest + the canonical
+    /// points-to sets of its locals.
+    pub fn mi_sig(&self, mi: Mi) -> Digest {
+        self.mi_sigs[mi.0 as usize]
+    }
+
+    /// State signature of an origin's solver-state partition.
+    pub fn origin_sig(&self, origin: OriginId) -> Digest {
+        self.origin_sigs[origin.0 as usize]
+    }
+
+    /// Method instances attributed to `origin`, in `Mi` index order.
+    pub fn origin_mis(&self, origin: OriginId) -> &[Mi] {
+        &self.origin_mis[origin.0 as usize]
+    }
+
+    /// Resolves a canonical origin digest to this run's dense id.
+    pub fn origin_of_digest(&self, d: Digest) -> Option<OriginId> {
+        self.by_origin.get(&d).copied()
+    }
+
+    /// Resolves a canonical object digest to this run's dense id.
+    pub fn obj_of_digest(&self, d: Digest) -> Option<ObjId> {
+        self.by_obj.get(&d).copied()
+    }
+
+    /// Resolves a canonical method-instance digest to this run's dense id.
+    pub fn mi_of_digest(&self, d: Digest) -> Option<Mi> {
+        self.by_mi.get(&d).copied()
+    }
+
+    /// Resolves a qualified method name back to this run's dense id.
+    pub fn method_of_qname(&self, q: &str) -> Option<MethodId> {
+        self.by_qname.get(q).copied()
+    }
+
+    /// Number of origins indexed.
+    pub fn num_origins(&self) -> usize {
+        self.origin_digests.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{analyze, Policy, PtaConfig};
+    use o2_ir::parser::parse;
+
+    const TWO_THREADS: &str = r#"
+        class S { field a; field b; }
+        class W1 impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.a = s; }
+        }
+        class W2 impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.b = s; }
+        }
+        class Main {
+            static method main() {
+                s = new S();
+                w1 = new W1(s);
+                w2 = new W2(s);
+                w1.start();
+                w2.start();
+            }
+        }
+    "#;
+
+    fn index_of(src: &str) -> (CanonIndex, usize) {
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let digests = o2_ir::digest_program(&p);
+        let n = pta.num_origins();
+        (CanonIndex::build(&p, &pta, &digests), n)
+    }
+
+    #[test]
+    fn digests_and_sigs_stable_across_reruns() {
+        let (a, n) = index_of(TWO_THREADS);
+        let (b, _) = index_of(TWO_THREADS);
+        for i in 0..n as u32 {
+            let o = OriginId(i);
+            assert_eq!(a.origin_digest(o), b.origin_digest(o));
+            assert_eq!(a.origin_sig(o), b.origin_sig(o));
+        }
+    }
+
+    #[test]
+    fn origin_digests_are_distinct_and_reversible() {
+        let (idx, n) = index_of(TWO_THREADS);
+        assert_eq!(n, 3);
+        let mut seen = std::collections::BTreeSet::new();
+        for i in 0..n as u32 {
+            let d = idx.origin_digest(OriginId(i));
+            assert!(seen.insert(d), "origin digests must be unique");
+            assert_eq!(idx.origin_of_digest(d), Some(OriginId(i)));
+        }
+    }
+
+    #[test]
+    fn editing_one_entry_changes_only_that_origins_sig() {
+        let (base, n) = index_of(TWO_THREADS);
+        // Append a statement to W2.run: W2's origin signature must change,
+        // W1's must not (its digest closure is untouched).
+        let edited = TWO_THREADS.replace("s = this.s; s.b = s;", "s = this.s; s.b = s; s.a = s;");
+        let (new, n2) = index_of(&edited);
+        assert_eq!(n, n2);
+        let mut changed = 0;
+        for i in 0..n as u32 {
+            let o = OriginId(i);
+            let d = base.origin_digest(o);
+            let same_identity = new.origin_of_digest(d) == Some(o)
+                || new.origin_of_digest(d).is_some();
+            assert!(same_identity, "origin identities survive a body edit");
+            let o_new = new.origin_of_digest(d).unwrap();
+            if base.origin_sig(o) != new.origin_sig(o_new) {
+                changed += 1;
+            }
+        }
+        assert_eq!(changed, 1, "exactly the edited origin's sig changes");
+    }
+
+    #[test]
+    fn mi_sigs_track_points_to_changes() {
+        let (idx, _) = index_of(TWO_THREADS);
+        // Every reachable mi has a digest reversible to itself.
+        let p = parse(TWO_THREADS).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        for mi in pta.reachable_mis() {
+            let d = idx.mi_digest(mi);
+            assert_eq!(idx.mi_of_digest(d), Some(mi));
+        }
+    }
+}

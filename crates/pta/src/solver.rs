@@ -405,7 +405,12 @@ impl PtaResult {
             .unwrap_or(&[])
     }
 
-    /// Number of origins.
+    /// Total number of interned method instances (reachable or not).
+    pub fn num_mis(&self) -> usize {
+        self.mis.len()
+    }
+
+    /// Number of origins discovered.
     pub fn num_origins(&self) -> usize {
         self.arena.num_origins()
     }

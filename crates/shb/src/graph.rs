@@ -294,63 +294,25 @@ impl ShbGraph {
 /// Builds the SHB graph from a pointer-analysis result.
 pub fn build_shb(program: &Program, pta: &PtaResult, config: &ShbConfig) -> ShbGraph {
     let start = Instant::now();
-    let num_origins = pta.num_origins();
-    let mut builder = Builder {
-        program,
-        pta,
-        config,
-        locks: LockTable::new(),
-        traces: vec![OriginTrace::default(); num_origins],
-        entry_edges: Vec::new(),
-        join_edges: Vec::new(),
-        accesses_by_key: BTreeMap::new(),
-        fresh_lock_counter: 0,
-        deadline: config.timeout.map(|t| start + t),
-        visit_ticks: 0,
-    };
+    let mut builder = Builder::new(program, pta, config, start);
     for (origin, _) in pta.arena.origins() {
         builder.walk_origin(origin);
     }
-    let mut out_entries = vec![Vec::new(); num_origins];
-    for (i, e) in builder.entry_edges.iter().enumerate() {
-        out_entries[e.parent.0 as usize].push(i);
-    }
-    let mut out_joins = vec![Vec::new(); num_origins];
-    for (i, j) in builder.join_edges.iter().enumerate() {
-        out_joins[j.child.0 as usize].push(i);
-    }
-    let stats = ShbStats {
-        num_nodes: builder.traces.iter().map(|t| t.len as u64).sum(),
-        num_accesses: builder.traces.iter().map(|t| t.accesses.len() as u64).sum(),
-        num_entry_edges: builder.entry_edges.len(),
-        num_join_edges: builder.join_edges.len(),
-        num_locksets: builder.locks.num_sets(),
-    };
-    ShbGraph {
-        traces: builder.traces,
-        locks: builder.locks,
-        entry_edges: builder.entry_edges,
-        join_edges: builder.join_edges,
-        out_entries,
-        out_joins,
-        accesses_by_key: builder.accesses_by_key,
-        stats,
-        duration: start.elapsed(),
-    }
+    builder.finish(start)
 }
 
-struct Builder<'a> {
-    program: &'a Program,
-    pta: &'a PtaResult,
-    config: &'a ShbConfig,
-    locks: LockTable,
-    traces: Vec<OriginTrace>,
-    entry_edges: Vec<EntryEdge>,
-    join_edges: Vec<JoinEdge>,
-    accesses_by_key: BTreeMap<MemKey, Vec<(OriginId, u32)>>,
-    fresh_lock_counter: u32,
-    deadline: Option<Instant>,
-    visit_ticks: u64,
+pub(crate) struct Builder<'a> {
+    pub(crate) program: &'a Program,
+    pub(crate) pta: &'a PtaResult,
+    pub(crate) config: &'a ShbConfig,
+    pub(crate) locks: LockTable,
+    pub(crate) traces: Vec<OriginTrace>,
+    pub(crate) entry_edges: Vec<EntryEdge>,
+    pub(crate) join_edges: Vec<JoinEdge>,
+    pub(crate) accesses_by_key: BTreeMap<MemKey, Vec<(OriginId, u32)>>,
+    pub(crate) fresh_lock_counter: u32,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) visit_ticks: u64,
 }
 
 struct WalkState {
@@ -373,7 +335,58 @@ struct WalkState {
 }
 
 impl<'a> Builder<'a> {
-    fn walk_origin(&mut self, origin: OriginId) {
+    pub(crate) fn new(
+        program: &'a Program,
+        pta: &'a PtaResult,
+        config: &'a ShbConfig,
+        start: Instant,
+    ) -> Builder<'a> {
+        Builder {
+            program,
+            pta,
+            config,
+            locks: LockTable::new(),
+            traces: vec![OriginTrace::default(); pta.num_origins()],
+            entry_edges: Vec::new(),
+            join_edges: Vec::new(),
+            accesses_by_key: BTreeMap::new(),
+            fresh_lock_counter: 0,
+            deadline: config.timeout.map(|t| start + t),
+            visit_ticks: 0,
+        }
+    }
+
+    pub(crate) fn finish(self, start: Instant) -> ShbGraph {
+        let num_origins = self.traces.len();
+        let mut out_entries = vec![Vec::new(); num_origins];
+        for (i, e) in self.entry_edges.iter().enumerate() {
+            out_entries[e.parent.0 as usize].push(i);
+        }
+        let mut out_joins = vec![Vec::new(); num_origins];
+        for (i, j) in self.join_edges.iter().enumerate() {
+            out_joins[j.child.0 as usize].push(i);
+        }
+        let stats = ShbStats {
+            num_nodes: self.traces.iter().map(|t| t.len as u64).sum(),
+            num_accesses: self.traces.iter().map(|t| t.accesses.len() as u64).sum(),
+            num_entry_edges: self.entry_edges.len(),
+            num_join_edges: self.join_edges.len(),
+            num_locksets: self.locks.num_sets(),
+        };
+        ShbGraph {
+            traces: self.traces,
+            locks: self.locks,
+            entry_edges: self.entry_edges,
+            join_edges: self.join_edges,
+            out_entries,
+            out_joins,
+            accesses_by_key: self.accesses_by_key,
+            stats,
+            duration: start.elapsed(),
+        }
+    }
+
+    pub(crate) fn walk_origin(&mut self, origin: OriginId) {
         let kind = self.pta.arena.origin_data(origin).kind;
         let dispatcher_elem = match kind {
             OriginKind::Event { dispatcher } if self.config.event_dispatcher_lock => {

@@ -1,0 +1,648 @@
+//! Incremental SHB construction over the analysis database.
+//!
+//! The cold build walks origins in arena index order; each walk appends
+//! to shared state (the lock-element interner, the global fresh-lock
+//! counter, the edge lists, the access index) in a deterministic order.
+//! A warm run must reproduce that shared state *exactly* — the deadlock
+//! report renders raw lock-element object ids (including the synthetic
+//! `u32::MAX - k` ids of fresh locks), so even the interleaving of
+//! element interning matters.
+//!
+//! Per origin, [`o2_db::ShbOriginArtifact`] therefore stores the complete
+//! walk effect in canonical form: access and acquire nodes with their
+//! trace positions, locksets as a local table of canonical elements,
+//! fresh locks as per-origin ordinals, and the inter-origin edges the
+//! walk emitted. Replay re-interns elements in the cold order — the
+//! dispatcher element first, then per trace event ascending by position
+//! (acquired elements in stored order; an access's lockset introduces at
+//! most the atomic-cell element) — and allocates fresh locks from the
+//! shared counter by ordinal. An origin is replayed exactly when its
+//! state signature ([`o2_pta::CanonIndex::origin_sig`]) is unchanged;
+//! everything else is re-walked cold, and truncated walks are never
+//! cached.
+
+use crate::graph::{AccessNode, AcquireNode, Builder, EntryEdge, JoinEdge, ShbConfig, ShbGraph};
+use crate::locks::LockElem;
+use o2_analysis::{memkey_from_db, memkey_to_db, MemKey};
+use o2_db::{
+    AnalysisDb, DbEdge, DbLockElem, DbShbAccess, DbShbAcquire, DbStmt, Digest, ShbOriginArtifact,
+    StableIds,
+};
+use o2_ir::ids::GStmt;
+use o2_ir::origins::OriginKind;
+use o2_ir::program::Program;
+use o2_pta::{CanonIndex, ObjId, OriginId, PtaResult};
+use std::collections::{BTreeMap, HashMap};
+use std::time::Instant;
+
+/// A warm SHB build: the graph plus replay accounting.
+#[derive(Debug)]
+pub struct ShbIncr {
+    /// The graph, equal to what a cold [`crate::build_shb`] would build.
+    pub graph: ShbGraph,
+    /// Origins replayed from stored artifacts.
+    pub origins_replayed: usize,
+    /// Origins re-walked (signature changed, artifact stale or absent).
+    pub origins_walked: usize,
+    /// Per-origin value of the shared fresh-lock counter just before that
+    /// origin's walk/replay. Lets downstream stages express a fresh lock
+    /// element (`ObjId(u32::MAX - k)`) as an origin-relative ordinal,
+    /// which *is* stable across runs.
+    pub fresh_base: Vec<u32>,
+}
+
+/// One origin's artifact translated onto this run's dense ids, but not
+/// yet interned. Translation is a pure read so that a failure can fall
+/// back to a cold walk without having perturbed the shared interners.
+struct DecodedOrigin {
+    accesses: Vec<(MemKey, GStmt, bool, u32, u32, u32)>,
+    acquires: Vec<(u32, GStmt, Vec<LockElem>, u32, u32)>,
+    sets: Vec<Vec<LockElem>>,
+    entry_edges: Vec<(OriginId, u32, GStmt)>,
+    join_edges: Vec<(OriginId, u32, GStmt)>,
+}
+
+fn stmt_to_db(g: GStmt, canon: &CanonIndex, names: &mut StableIds) -> DbStmt {
+    DbStmt {
+        method: names.intern(canon.qname(g.method)),
+        index: g.index,
+    }
+}
+
+fn stmt_from_db(s: DbStmt, canon: &CanonIndex, names: &StableIds) -> Option<GStmt> {
+    let method = canon.method_of_qname(names.resolve(s.method)?)?;
+    Some(GStmt::new(method, s.index as usize))
+}
+
+/// Fresh-lock ids are `u32::MAX - k` for counter values `k = 1..`; they
+/// can never collide with dense object ids.
+fn is_fresh(obj: ObjId, fresh_total: u32) -> bool {
+    fresh_total > 0 && obj.0 >= u32::MAX - fresh_total
+}
+
+fn elem_to_db(
+    e: LockElem,
+    program: &Program,
+    canon: &CanonIndex,
+    names: &mut StableIds,
+    fresh_before: u32,
+    fresh_after: u32,
+) -> Option<DbLockElem> {
+    Some(match e {
+        LockElem::Obj(o) if is_fresh(o, fresh_after) => {
+            let counter = u32::MAX - o.0;
+            // A fresh lock from another origin cannot appear here; bail
+            // (and walk cold) rather than encode a wrong ordinal.
+            if counter <= fresh_before {
+                return None;
+            }
+            DbLockElem::Fresh(counter - fresh_before - 1)
+        }
+        LockElem::Obj(o) => DbLockElem::Obj(canon.obj_digest(o)),
+        LockElem::Class(c) => DbLockElem::Class(names.intern(&program.class(c).name)),
+        LockElem::Dispatcher(d) => DbLockElem::Dispatcher(d),
+        LockElem::AtomicCell(o, f) => {
+            DbLockElem::AtomicCell(canon.obj_digest(o), names.intern(program.field_name(f)))
+        }
+    })
+}
+
+fn elem_from_db(
+    e: DbLockElem,
+    program: &Program,
+    canon: &CanonIndex,
+    names: &StableIds,
+    fresh_base: u32,
+) -> Option<LockElem> {
+    Some(match e {
+        DbLockElem::Obj(d) => LockElem::Obj(canon.obj_of_digest(d)?),
+        DbLockElem::Fresh(ordinal) => {
+            LockElem::Obj(ObjId(u32::MAX - (fresh_base + ordinal + 1)))
+        }
+        DbLockElem::Class(nid) => {
+            LockElem::Class(program.class_by_name(names.resolve(nid)?)?)
+        }
+        DbLockElem::Dispatcher(d) => LockElem::Dispatcher(d),
+        DbLockElem::AtomicCell(d, f) => LockElem::AtomicCell(
+            canon.obj_of_digest(d)?,
+            program.field_by_name(names.resolve(f)?)?,
+        ),
+    })
+}
+
+/// Encodes the walk effect of `origin` from the builder's state. `e0`,
+/// `j0` and `fresh_before` are the edge-list lengths and fresh counter
+/// captured just before the walk. Returns `None` for truncated traces
+/// (never cached) or untranslatable state.
+fn encode_origin(
+    builder: &Builder<'_>,
+    origin: OriginId,
+    canon: &CanonIndex,
+    names: &mut StableIds,
+    e0: usize,
+    j0: usize,
+    fresh_before: u32,
+) -> Option<ShbOriginArtifact> {
+    let program = builder.program;
+    let trace = &builder.traces[origin.0 as usize];
+    if trace.truncated {
+        return None;
+    }
+    let fresh_after = builder.fresh_lock_counter;
+
+    let mut set_local: HashMap<u32, u32> = HashMap::new();
+    let mut sets: Vec<Vec<DbLockElem>> = Vec::new();
+    let mut local_of = |sid: crate::locks::LockSetId,
+                        names: &mut StableIds,
+                        sets: &mut Vec<Vec<DbLockElem>>|
+     -> Option<u32> {
+        if let Some(&i) = set_local.get(&sid.0) {
+            return Some(i);
+        }
+        let elems: Option<Vec<DbLockElem>> = builder
+            .locks
+            .set_elems(sid)
+            .iter()
+            .map(|&eid| {
+                elem_to_db(
+                    builder.locks.elem_data(eid),
+                    program,
+                    canon,
+                    names,
+                    fresh_before,
+                    fresh_after,
+                )
+            })
+            .collect();
+        let i = sets.len() as u32;
+        sets.push(elems?);
+        set_local.insert(sid.0, i);
+        Some(i)
+    };
+
+    let mut accesses = Vec::with_capacity(trace.accesses.len());
+    for a in &trace.accesses {
+        accesses.push(DbShbAccess {
+            key: memkey_to_db(a.key, program, canon, names),
+            stmt: stmt_to_db(a.stmt, canon, names),
+            is_write: a.is_write,
+            lockset: local_of(a.lockset, names, &mut sets)?,
+            pos: a.pos,
+            region: a.region,
+        });
+    }
+    let mut acquires = Vec::with_capacity(trace.acquires.len());
+    for q in &trace.acquires {
+        let elems: Option<Vec<DbLockElem>> = q
+            .elems
+            .iter()
+            .map(|&eid| {
+                elem_to_db(
+                    builder.locks.elem_data(eid),
+                    program,
+                    canon,
+                    names,
+                    fresh_before,
+                    fresh_after,
+                )
+            })
+            .collect();
+        acquires.push(DbShbAcquire {
+            pos: q.pos,
+            stmt: stmt_to_db(q.stmt, canon, names),
+            elems: elems?,
+            held_before: local_of(q.held_before, names, &mut sets)?,
+            released_pos: q.released_pos,
+        });
+    }
+    let entry_edges = builder.entry_edges[e0..]
+        .iter()
+        .map(|e| DbEdge {
+            other: canon.origin_digest(e.child),
+            pos: e.pos,
+            stmt: stmt_to_db(e.stmt, canon, names),
+        })
+        .collect();
+    let join_edges = builder.join_edges[j0..]
+        .iter()
+        .map(|j| DbEdge {
+            other: canon.origin_digest(j.child),
+            pos: j.pos,
+            stmt: stmt_to_db(j.stmt, canon, names),
+        })
+        .collect();
+
+    Some(ShbOriginArtifact {
+        sig: canon.origin_sig(origin),
+        sets,
+        accesses,
+        acquires,
+        len: trace.len,
+        truncated: false,
+        entry_edges,
+        join_edges,
+        fresh_count: fresh_after - fresh_before,
+    })
+}
+
+/// Pure translation of an artifact onto this run's ids; `None` marks a
+/// stale artifact (the caller walks cold instead). Nothing is interned.
+fn decode_origin(
+    art: &ShbOriginArtifact,
+    program: &Program,
+    canon: &CanonIndex,
+    names: &StableIds,
+    fresh_base: u32,
+) -> Option<DecodedOrigin> {
+    let sets: Option<Vec<Vec<LockElem>>> = art
+        .sets
+        .iter()
+        .map(|s| {
+            s.iter()
+                .map(|&e| elem_from_db(e, program, canon, names, fresh_base))
+                .collect()
+        })
+        .collect();
+    let sets = sets?;
+    let n_sets = sets.len() as u32;
+
+    let mut accesses = Vec::with_capacity(art.accesses.len());
+    for a in &art.accesses {
+        if a.lockset >= n_sets {
+            return None;
+        }
+        accesses.push((
+            memkey_from_db(a.key, program, canon, names)?,
+            stmt_from_db(a.stmt, canon, names)?,
+            a.is_write,
+            a.lockset,
+            a.pos,
+            a.region,
+        ));
+    }
+    let mut acquires = Vec::with_capacity(art.acquires.len());
+    for q in &art.acquires {
+        if q.held_before >= n_sets {
+            return None;
+        }
+        let elems: Option<Vec<LockElem>> = q
+            .elems
+            .iter()
+            .map(|&e| elem_from_db(e, program, canon, names, fresh_base))
+            .collect();
+        acquires.push((
+            q.pos,
+            stmt_from_db(q.stmt, canon, names)?,
+            elems?,
+            q.held_before,
+            q.released_pos,
+        ));
+    }
+    let decode_edges = |edges: &[DbEdge]| -> Option<Vec<(OriginId, u32, GStmt)>> {
+        edges
+            .iter()
+            .map(|e| {
+                Some((
+                    canon.origin_of_digest(e.other)?,
+                    e.pos,
+                    stmt_from_db(e.stmt, canon, names)?,
+                ))
+            })
+            .collect()
+    };
+    Some(DecodedOrigin {
+        accesses,
+        acquires,
+        sets,
+        entry_edges: decode_edges(&art.entry_edges)?,
+        join_edges: decode_edges(&art.join_edges)?,
+    })
+}
+
+/// Replays one decoded origin into the builder, reproducing the cold
+/// walk's interning order exactly.
+fn apply_replay(
+    builder: &mut Builder<'_>,
+    origin: OriginId,
+    dec: &DecodedOrigin,
+    len: u32,
+    fresh_count: u32,
+) {
+    // The cold walk interns the dispatcher element before anything else.
+    let kind = builder.pta.arena.origin_data(origin).kind;
+    match kind {
+        OriginKind::Event { dispatcher } if builder.config.event_dispatcher_lock => {
+            builder.locks.elem(LockElem::Dispatcher(dispatcher));
+        }
+        OriginKind::Main => {
+            if let Some(d) = builder.config.main_dispatcher {
+                builder.locks.elem(LockElem::Dispatcher(d));
+            }
+        }
+        _ => {}
+    }
+
+    // Intern sets lazily, per event: every element of a stored set except
+    // the event's own contribution is already interned by an earlier
+    // event, so interning a set's elements in stored order reproduces the
+    // cold first-interning sequence.
+    let mut set_ids: Vec<Option<crate::locks::LockSetId>> = vec![None; dec.sets.len()];
+    // Merge acquires and accesses ascending by trace position (positions
+    // are unique within an origin).
+    let (mut ai, mut xi) = (0usize, 0usize);
+    while ai < dec.acquires.len() || xi < dec.accesses.len() {
+        let take_acquire = match (dec.acquires.get(ai), dec.accesses.get(xi)) {
+            (Some(q), Some(a)) => q.0 < a.4,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        if take_acquire {
+            let (pos, stmt, elems, held_local, released_pos) = &dec.acquires[ai];
+            let elem_ids: Vec<u32> = elems.iter().map(|&e| builder.locks.elem(e)).collect();
+            let held_before = intern_set(builder, &dec.sets, &mut set_ids, *held_local);
+            builder.traces[origin.0 as usize].acquires.push(AcquireNode {
+                pos: *pos,
+                stmt: *stmt,
+                elems: elem_ids,
+                held_before,
+                released_pos: *released_pos,
+            });
+            ai += 1;
+        } else {
+            let (key, stmt, is_write, set_local, pos, region) = dec.accesses[xi];
+            let lockset = intern_set(builder, &dec.sets, &mut set_ids, set_local);
+            let idx = builder.traces[origin.0 as usize].accesses.len() as u32;
+            builder.traces[origin.0 as usize].accesses.push(AccessNode {
+                key,
+                stmt,
+                is_write,
+                lockset,
+                pos,
+                region,
+            });
+            builder
+                .accesses_by_key
+                .entry(key)
+                .or_default()
+                .push((origin, idx));
+            xi += 1;
+        }
+    }
+
+    for &(child, pos, stmt) in &dec.entry_edges {
+        builder.entry_edges.push(EntryEdge {
+            parent: origin,
+            pos,
+            child,
+            stmt,
+        });
+    }
+    for &(child, pos, stmt) in &dec.join_edges {
+        builder.join_edges.push(JoinEdge {
+            child,
+            parent: origin,
+            pos,
+            stmt,
+        });
+    }
+    let t = &mut builder.traces[origin.0 as usize];
+    t.len = len;
+    t.truncated = false;
+    builder.fresh_lock_counter += fresh_count;
+}
+
+fn intern_set(
+    builder: &mut Builder<'_>,
+    sets: &[Vec<LockElem>],
+    set_ids: &mut [Option<crate::locks::LockSetId>],
+    local: u32,
+) -> crate::locks::LockSetId {
+    if let Some(id) = set_ids[local as usize] {
+        return id;
+    }
+    let ids: Vec<u32> = sets[local as usize]
+        .iter()
+        .map(|&e| builder.locks.elem(e))
+        .collect();
+    let id = builder.locks.set(ids);
+    set_ids[local as usize] = Some(id);
+    id
+}
+
+/// Builds the SHB graph incrementally: replays the stored subgraph of
+/// every origin whose state signature is unchanged, re-walks the rest,
+/// and rewrites the database section to exactly this run's (non-
+/// truncated) artifacts.
+pub fn build_shb_incremental(
+    program: &Program,
+    pta: &PtaResult,
+    config: &ShbConfig,
+    canon: &CanonIndex,
+    db: &mut AnalysisDb,
+) -> ShbIncr {
+    let start = Instant::now();
+    let mut builder = Builder::new(program, pta, config, start);
+    let mut names = std::mem::take(&mut db.names);
+    let mut next_store: BTreeMap<Digest, ShbOriginArtifact> = BTreeMap::new();
+    let mut origins_replayed = 0usize;
+    let mut origins_walked = 0usize;
+    let mut fresh_base = Vec::with_capacity(pta.num_origins());
+
+    for (origin, _) in pta.arena.origins() {
+        fresh_base.push(builder.fresh_lock_counter);
+        let od = canon.origin_digest(origin);
+        let sig = canon.origin_sig(origin);
+        let mut replayed = false;
+        if let Some(art) = db.shb_origin.get(&od) {
+            if art.sig == sig && !art.truncated {
+                if let Some(dec) =
+                    decode_origin(art, program, canon, &names, builder.fresh_lock_counter)
+                {
+                    apply_replay(&mut builder, origin, &dec, art.len, art.fresh_count);
+                    next_store.insert(od, art.clone());
+                    origins_replayed += 1;
+                    replayed = true;
+                }
+            }
+        }
+        if !replayed {
+            origins_walked += 1;
+            let e0 = builder.entry_edges.len();
+            let j0 = builder.join_edges.len();
+            let f0 = builder.fresh_lock_counter;
+            builder.walk_origin(origin);
+            if let Some(art) = encode_origin(&builder, origin, canon, &mut names, e0, j0, f0) {
+                next_store.insert(od, art);
+            }
+        }
+    }
+
+    db.shb_origin = next_store;
+    db.names = names;
+    ShbIncr {
+        graph: builder.finish(start),
+        origins_replayed,
+        origins_walked,
+        fresh_base,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_shb;
+    use o2_ir::parser::parse;
+    use o2_pta::{analyze, Policy, PtaConfig};
+
+    const SRC: &str = r#"
+        class S { field a; field b; }
+        class W1 impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; sync (s) { s.a = s; } }
+        }
+        class W2 impl Runnable {
+            field s;
+            method <init>(s) { this.s = s; }
+            method run() { s = this.s; s.b = s; }
+        }
+        class Main {
+            static method main() {
+                s = new S();
+                w1 = new W1(s);
+                w2 = new W2(s);
+                w1.start();
+                w2.start();
+                join w2;
+                x = s.a;
+            }
+        }
+    "#;
+
+    fn setup(src: &str) -> (o2_ir::Program, o2_pta::PtaResult, CanonIndex) {
+        let p = parse(src).unwrap();
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let digests = o2_ir::digest_program(&p);
+        let canon = CanonIndex::build(&p, &pta, &digests);
+        (p, pta, canon)
+    }
+
+    /// Structural graph equality, down to interned element ids (the
+    /// deadlock report renders raw element object ids, so replay must
+    /// reproduce them exactly). Lockset *ids* may differ in numbering;
+    /// their element content must not.
+    fn graphs_equal(a: &ShbGraph, b: &ShbGraph) -> bool {
+        a.traces.len() == b.traces.len()
+            && a.traces.iter().zip(&b.traces).all(|(x, y)| {
+                x.len == y.len
+                    && x.truncated == y.truncated
+                    && x.acquires.len() == y.acquires.len()
+                    && x.acquires.iter().zip(&y.acquires).all(|(m, n)| {
+                        m.pos == n.pos
+                            && m.stmt == n.stmt
+                            && m.elems == n.elems
+                            && m.released_pos == n.released_pos
+                            && a.locks.set_elems(m.held_before)
+                                == b.locks.set_elems(n.held_before)
+                    })
+                    && x.accesses.len() == y.accesses.len()
+                    && x.accesses.iter().zip(&y.accesses).all(|(m, n)| {
+                        m.key == n.key
+                            && m.stmt == n.stmt
+                            && m.is_write == n.is_write
+                            && m.pos == n.pos
+                            && m.region == n.region
+                            && a.locks.set_elems(m.lockset) == b.locks.set_elems(n.lockset)
+                    })
+            })
+            && a.entry_edges == b.entry_edges
+            && a.join_edges == b.join_edges
+            && a.accesses_by_key == b.accesses_by_key
+    }
+
+    #[test]
+    fn warm_replay_equals_cold_build() {
+        let (p, pta, canon) = setup(SRC);
+        let cold = build_shb(&p, &pta, &ShbConfig::default());
+        let mut db = AnalysisDb::new(Digest(1, 1));
+        let first = build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
+        assert_eq!(first.origins_replayed, 0);
+        assert!(graphs_equal(&first.graph, &cold));
+        let second = build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
+        assert_eq!(second.origins_walked, 0);
+        assert_eq!(second.origins_replayed, first.origins_walked);
+        assert!(graphs_equal(&second.graph, &cold));
+    }
+
+    #[test]
+    fn edit_rewalks_only_the_changed_origin() {
+        let (p, pta, canon) = setup(SRC);
+        let mut db = AnalysisDb::new(Digest(1, 1));
+        build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
+        // Edit W2.run only; W1's origin replays.
+        let edited = SRC.replace("s = this.s; s.b = s;", "s = this.s; s.b = s; y = s.b;");
+        let (p2, pta2, canon2) = setup(&edited);
+        let warm = build_shb_incremental(&p2, &pta2, &ShbConfig::default(), &canon2, &mut db);
+        let cold = build_shb(&p2, &pta2, &ShbConfig::default());
+        assert!(graphs_equal(&warm.graph, &cold));
+        assert!(warm.origins_replayed >= 1, "untouched origins replay");
+        assert!(
+            warm.origins_walked < canon2.num_origins(),
+            "not everything re-walks"
+        );
+    }
+
+    #[test]
+    fn fresh_locks_replay_with_identical_ids() {
+        // A lock variable with an empty points-to set draws a fresh
+        // element from the shared counter; replay must reproduce the
+        // exact synthetic object id.
+        let src = r#"
+            class S { field a; }
+            class W impl Runnable {
+                field s;
+                field l;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; l = this.l; sync (l) { s.a = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    w.start();
+                    s.a = s;
+                }
+            }
+        "#;
+        let (p, pta, canon) = setup(src);
+        let cold = build_shb(&p, &pta, &ShbConfig::default());
+        let has_fresh = cold.traces.iter().flat_map(|t| &t.acquires).any(|q| {
+            q.elems
+                .iter()
+                .any(|&e| matches!(cold.locks.elem_data(e), LockElem::Obj(o) if o.0 > 1_000_000))
+        });
+        assert!(has_fresh, "test setup must exercise a fresh lock");
+        let mut db = AnalysisDb::new(Digest(1, 1));
+        build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
+        let warm = build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
+        assert_eq!(warm.origins_walked, 0);
+        assert!(graphs_equal(&warm.graph, &cold));
+    }
+
+    #[test]
+    fn truncated_walks_are_not_cached() {
+        let (p, pta, canon) = setup(SRC);
+        let cfg = ShbConfig {
+            node_budget: 1,
+            ..Default::default()
+        };
+        let mut db = AnalysisDb::new(Digest(1, 1));
+        let first = build_shb_incremental(&p, &pta, &cfg, &canon, &mut db);
+        assert!(first.graph.traces.iter().any(|t| t.truncated));
+        let warm = build_shb_incremental(&p, &pta, &cfg, &canon, &mut db);
+        // Truncated origins were never stored, so they walk again.
+        assert!(warm.origins_walked > 0);
+        let cold = build_shb(&p, &pta, &cfg);
+        assert!(graphs_equal(&warm.graph, &cold));
+    }
+}

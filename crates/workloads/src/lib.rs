@@ -21,11 +21,13 @@
 pub mod android;
 pub mod figures;
 pub mod generator;
+pub mod mutate;
 pub mod presets;
 pub mod realbugs;
 pub mod realbugs_c;
 
 pub use generator::{generate, GeneratedWorkload, GroundTruth, WorkloadSpec};
+pub use mutate::single_function_edit;
 pub use presets::{all_presets, preset_by_name, Preset};
 pub use android::{build_harness, ActivitySpec, AppSpec, HandlerSpec, TaskSpec};
 pub use realbugs::{all_models, RealBugModel};

@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Full offline verification: release build, complete test suite (which
 # diffs the checked-in golden JSON/SARIF reports under tests/golden/),
-# lints, and the PR 1/PR 2 reports (BENCH_pr1.json and BENCH_pr2.json at
-# the repo root).
+# lints, and the PR 1/PR 2/PR 3 reports (BENCH_pr1.json, BENCH_pr2.json,
+# and BENCH_pr3.json at the repo root).
 #
 # The workspace has no external dependencies, so every step runs with
 # --offline and must succeed without network access.
@@ -24,6 +24,12 @@ cargo run --release --offline -p o2-bench --bin bench -- --group pr1
 
 echo "==> bench --group pr2 (writes BENCH_pr2.json)"
 cargo run --release --offline -p o2-bench --bin bench -- --group pr2
+
+echo "==> bench --group pr3 (writes BENCH_pr3.json)"
+cargo run --release --offline -p o2-bench --bin bench -- --group pr3
+
+echo "==> incremental warm-vs-cold equivalence"
+cargo test -q --offline --test incremental --test db_determinism --test roundtrip
 
 echo "==> golden report diffs"
 cargo test -q --offline --test golden
