@@ -86,10 +86,7 @@ pub fn run_escape(program: &Program, pta: &PtaResult) -> EscapeResult {
                 }
                 Stmt::Call { callee, args, .. } => {
                     // Entry calls pass their arguments across origins.
-                    let is_entry = pta
-                        .callees(mi, idx)
-                        .iter()
-                        .any(|t| t.origin().is_some());
+                    let is_entry = pta.callees(mi, idx).iter().any(|t| t.origin().is_some());
                     if is_entry {
                         if let o2_ir::program::Callee::Virtual { recv, .. } = callee {
                             for &o in pta.pts_var(mi, *recv) {
@@ -218,7 +215,11 @@ mod tests {
         let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
         let osa = run_osa(&p, &pta);
         let esc = run_escape(&p, &pta);
-        assert_eq!(osa.num_shared_accesses(), 0, "OSA: single-origin statics are local");
+        assert_eq!(
+            osa.num_shared_accesses(),
+            0,
+            "OSA: single-origin statics are local"
+        );
         assert!(
             esc.num_shared_accesses() >= 3,
             "escape analysis flags all accesses to static-reachable objects"

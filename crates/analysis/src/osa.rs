@@ -8,12 +8,17 @@
 //! answers not only *whether* a location is shared but *how* — which
 //! origins read and which write — which is exactly what race detection
 //! needs.
+//!
+//! Locations are interned into the run's [`LocTable`] as the scan first
+//! touches them; sharing state lives in a dense `Vec<SharingEntry>`
+//! indexed by [`LocId`], so the hot recording path is an indexed store
+//! rather than a `BTreeMap` walk.
 
+use crate::loc::{LocId, LocTable};
 use o2_ir::ids::{ClassId, FieldId, GStmt};
 use o2_ir::program::Program;
 use o2_ir::util::SparseSet;
 use o2_pta::{Mi, ObjId, PtaResult};
-use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// An abstract memory location.
@@ -39,12 +44,15 @@ pub struct Access {
 }
 
 /// Sharing information for one memory location.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SharingEntry {
     /// Origins that write the location.
     pub write_origins: SparseSet,
     /// Origins that read the location.
     pub read_origins: SparseSet,
+    /// Readers ∪ writers, maintained incrementally as accesses are
+    /// recorded so queries never re-union the two sets.
+    all_origins: SparseSet,
     /// All syntactic accesses.
     pub accesses: Vec<Access>,
 }
@@ -53,29 +61,23 @@ impl SharingEntry {
     /// A location is origin-shared if at least two origins access it and
     /// at least one of them writes.
     pub fn is_shared(&self) -> bool {
-        if self.write_origins.is_empty() {
-            return false;
-        }
-        let mut all = self.write_origins.clone();
-        let mut sink = Vec::new();
-        all.union_into(&self.read_origins, &mut sink);
-        all.len() >= 2
+        !self.write_origins.is_empty() && self.all_origins.len() >= 2
     }
 
     /// All origins touching the location (readers ∪ writers).
-    pub fn all_origins(&self) -> SparseSet {
-        let mut all = self.write_origins.clone();
-        let mut sink = Vec::new();
-        all.union_into(&self.read_origins, &mut sink);
-        all
+    pub fn all_origins(&self) -> &SparseSet {
+        &self.all_origins
     }
 }
 
 /// The output of origin-sharing analysis.
 #[derive(Clone, Debug)]
 pub struct OsaResult {
-    /// Sharing info per memory location, in deterministic order.
-    pub entries: BTreeMap<MemKey, SharingEntry>,
+    /// The run's location interner. SHB keeps interning into this same
+    /// table, so an id minted here indexes every downstream dense store.
+    pub locs: LocTable,
+    /// Sharing info per location, indexed by [`LocId`].
+    pub entries: Vec<SharingEntry>,
     /// Wall-clock duration of the scan (excludes the pointer analysis).
     pub duration: Duration,
     /// `true` if the scan stopped early on its time budget.
@@ -83,9 +85,19 @@ pub struct OsaResult {
 }
 
 impl OsaResult {
-    /// Iterates only the origin-shared locations.
+    /// The sharing entry of an interned location, if the scan saw it.
+    pub fn entry(&self, id: LocId) -> Option<&SharingEntry> {
+        self.entries.get(id.index())
+    }
+
+    /// Iterates only the origin-shared locations, in `MemKey` order.
     pub fn shared_entries(&self) -> impl Iterator<Item = (&MemKey, &SharingEntry)> {
-        self.entries.iter().filter(|(_, e)| e.is_shared())
+        self.locs.sorted_ids().into_iter().filter_map(move |id| {
+            match self.entries.get(id.index()) {
+                Some(e) if e.is_shared() => Some((self.locs.key_ref(id), e)),
+                _ => None,
+            }
+        })
     }
 
     /// Number of shared memory *accesses* (the `#S-access` metric of
@@ -160,18 +172,24 @@ pub fn run_osa(program: &Program, pta: &PtaResult) -> OsaResult {
     run_osa_bounded(program, pta, None)
 }
 
+/// Returns the dense slot for an interned id, growing the store on first
+/// sight of a new location.
+pub(crate) fn entry_slot(entries: &mut Vec<SharingEntry>, id: LocId) -> &mut SharingEntry {
+    if id.index() >= entries.len() {
+        entries.resize_with(id.index() + 1, SharingEntry::default);
+    }
+    &mut entries[id.index()]
+}
+
 /// Like [`run_osa`], with a wall-clock budget: the scan stops early (and
 /// sets [`OsaResult::truncated`]) when the budget expires. Needed when
 /// scanning the method-instance explosion of deep object-sensitive runs.
-pub fn run_osa_bounded(
-    program: &Program,
-    pta: &PtaResult,
-    budget: Option<Duration>,
-) -> OsaResult {
+pub fn run_osa_bounded(program: &Program, pta: &PtaResult, budget: Option<Duration>) -> OsaResult {
     let start = Instant::now();
     let deadline = budget.map(|b| start + b);
     let mut truncated = false;
-    let mut entries: BTreeMap<MemKey, SharingEntry> = BTreeMap::new();
+    let mut locs = LocTable::new();
+    let mut entries: Vec<SharingEntry> = Vec::new();
     let mut sink = Vec::new();
     let mut scanned: u64 = 0;
     'outer: for mi in pta.reachable_mis() {
@@ -194,18 +212,19 @@ pub fn run_osa_bounded(
             let stmt = GStmt::new(method_id, idx);
             if let Some((base, field, is_write)) = instr.stmt.field_access() {
                 for &obj in pta.pts_var(mi, base) {
-                    let entry = entries
-                        .entry(MemKey::Field(ObjId(obj), field))
-                        .or_default();
+                    let id = locs.intern(MemKey::Field(ObjId(obj), field));
+                    let entry = entry_slot(&mut entries, id);
                     record_access(entry, mi, stmt, is_write, origins, &mut sink);
                 }
             } else if let Some((class, field, is_write)) = instr.stmt.static_access() {
-                let entry = entries.entry(MemKey::Static(class, field)).or_default();
+                let id = locs.intern(MemKey::Static(class, field));
+                let entry = entry_slot(&mut entries, id);
                 record_access(entry, mi, stmt, is_write, origins, &mut sink);
             }
         }
     }
     OsaResult {
+        locs,
         entries,
         duration: start.elapsed(),
         truncated,
@@ -226,6 +245,8 @@ pub(crate) fn record_access(
     } else {
         entry.read_origins.union_into(origins, sink);
     }
+    sink.clear();
+    entry.all_origins.union_into(origins, sink);
     let access = Access { mi, stmt, is_write };
     if !entry.accesses.contains(&access) {
         entry.accesses.push(access);
@@ -282,6 +303,7 @@ mod tests {
         assert_eq!(e.write_origins.len(), 1);
         assert_eq!(e.read_origins.len(), 1);
         assert!(!e.write_origins.intersects(&e.read_origins));
+        assert_eq!(e.all_origins().len(), 2);
         assert_eq!(osa.num_shared_objects(), 2);
     }
 

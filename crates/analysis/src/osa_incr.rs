@@ -10,12 +10,14 @@
 //! Because replay reproduces the identical `record` sequence, the warm
 //! [`OsaResult`] is equal to a cold run's, entry for entry.
 
-use crate::osa::{record_access, MemKey, OsaResult, SharingEntry};
-use o2_db::{AnalysisDb, DbMemKey, DbOsaAccess, Digest, OsaMiArtifact, StableIds};
-use o2_ir::ids::GStmt;
+use crate::loc::LocTable;
+use crate::osa::{entry_slot, record_access, MemKey, OsaResult, SharingEntry};
+use o2_db::{
+    AnalysisDb, DbMemKey, DbOsaAccess, Digest, FastMap, FastSet, OsaMiArtifact, StableIds,
+};
+use o2_ir::ids::{ClassId, FieldId, GStmt};
 use o2_ir::program::Program;
 use o2_pta::{CanonIndex, ObjId, PtaResult};
-use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Converts a dense-id memory key to its canonical database form.
@@ -37,6 +39,63 @@ pub fn memkey_to_db(
     }
 }
 
+/// Memoized stable-id → program-id resolution for artifact decoding.
+/// The same few field and class names repeat across thousands of stored
+/// accesses; each name's string is pushed through the program's lookup
+/// maps once per run instead of once per access.
+#[derive(Default)]
+pub struct KeyResolver {
+    fields: FastMap<u32, Option<FieldId>>,
+    classes: FastMap<u32, Option<ClassId>>,
+    keys: FastMap<DbMemKey, Option<MemKey>>,
+}
+
+impl KeyResolver {
+    /// Translates a whole canonical key, memoized. Stored access lists
+    /// repeat the same few hundred distinct keys thousands of times, so
+    /// a replay pays one table probe per access instead of a digest
+    /// lookup plus one name resolution per component.
+    pub fn memkey(
+        &mut self,
+        program: &Program,
+        canon: &CanonIndex,
+        names: &StableIds,
+        key: DbMemKey,
+    ) -> Option<MemKey> {
+        if let Some(&k) = self.keys.get(&key) {
+            return k;
+        }
+        let k = match key {
+            DbMemKey::Field { obj, field } => canon.obj_of_digest(obj).and_then(|obj| {
+                self.field(program, names, field)
+                    .map(|f| MemKey::Field(obj, f))
+            }),
+            DbMemKey::Static { class, field } => self.class(program, names, class).and_then(|c| {
+                self.field(program, names, field)
+                    .map(|f| MemKey::Static(c, f))
+            }),
+        };
+        self.keys.insert(key, k);
+        k
+    }
+
+    /// Resolves a field-name id, memoized.
+    pub fn field(&mut self, program: &Program, names: &StableIds, id: u32) -> Option<FieldId> {
+        *self
+            .fields
+            .entry(id)
+            .or_insert_with(|| names.resolve(id).and_then(|n| program.field_by_name(n)))
+    }
+
+    /// Resolves a class-name id, memoized.
+    pub fn class(&mut self, program: &Program, names: &StableIds, id: u32) -> Option<ClassId> {
+        *self
+            .classes
+            .entry(id)
+            .or_insert_with(|| names.resolve(id).and_then(|n| program.class_by_name(n)))
+    }
+}
+
 /// Translates a canonical memory key back onto this run's dense ids.
 /// Returns `None` when any referenced name or object digest does not
 /// exist in the current run (the artifact is then stale and its owner
@@ -47,18 +106,19 @@ pub fn memkey_from_db(
     canon: &CanonIndex,
     names: &StableIds,
 ) -> Option<MemKey> {
-    match key {
-        DbMemKey::Field { obj, field } => {
-            let obj = canon.obj_of_digest(obj)?;
-            let field = program.field_by_name(names.resolve(field)?)?;
-            Some(MemKey::Field(obj, field))
-        }
-        DbMemKey::Static { class, field } => {
-            let class = program.class_by_name(names.resolve(class)?)?;
-            let field = program.field_by_name(names.resolve(field)?)?;
-            Some(MemKey::Static(class, field))
-        }
-    }
+    memkey_from_db_cached(key, program, canon, names, &mut KeyResolver::default())
+}
+
+/// [`memkey_from_db`] with a caller-held [`KeyResolver`], for decode
+/// loops that translate many keys against the same name table.
+pub fn memkey_from_db_cached(
+    key: DbMemKey,
+    program: &Program,
+    canon: &CanonIndex,
+    names: &StableIds,
+    resolver: &mut KeyResolver,
+) -> Option<MemKey> {
+    resolver.memkey(program, canon, names, key)
 }
 
 /// A warm OSA run: the result plus replay accounting.
@@ -86,13 +146,22 @@ pub fn run_osa_incremental(
     let start = Instant::now();
     let deadline = budget.map(|b| start + b);
     let mut truncated = false;
-    let mut entries: BTreeMap<MemKey, SharingEntry> = BTreeMap::new();
+    let mut locs = LocTable::new();
+    let mut entries: Vec<SharingEntry> = Vec::new();
     let mut sink = Vec::new();
     let mut scanned: u64 = 0;
-    let mut next_store: BTreeMap<Digest, OsaMiArtifact> = BTreeMap::new();
+    // Replayed artifacts are *moved* from the old store at the end of the
+    // run rather than cloned as they are visited: an unchanged program
+    // would otherwise deep-copy every access list on every warm run.
+    let mut replayed_keys: Vec<Digest> = Vec::new();
+    let mut rescanned_arts: Vec<(Digest, OsaMiArtifact)> = Vec::new();
     let mut names = std::mem::take(&mut db.names);
     let mut mis_replayed = 0usize;
     let mut mis_rescanned = 0usize;
+    let mut resolver = KeyResolver::default();
+    // One decode buffer for the whole run; a Vec per replayed instance
+    // shows up in warm-run profiles.
+    let mut decode_buf: Vec<(MemKey, u32, bool)> = Vec::new();
 
     'outer: for mi in pta.reachable_mis() {
         let (method_id, _) = pta.mi_data(mi);
@@ -106,21 +175,26 @@ pub fn run_osa_incremental(
         // Replay path: unchanged signature and fully translatable keys.
         if let Some(art) = db.osa_mi.get(&mi_key) {
             if art.sig == sig {
-                let decoded: Option<Vec<(MemKey, u32, bool)>> = art
-                    .accesses
-                    .iter()
-                    .map(|a| {
-                        memkey_from_db(a.key, program, canon, &names)
-                            .map(|k| (k, a.index, a.is_write))
-                    })
-                    .collect();
-                if let Some(accs) = decoded {
-                    for (key, index, is_write) in accs {
-                        let entry = entries.entry(key).or_default();
+                // Decode fully before recording anything: a stale key
+                // must leave `entries` untouched so the rescan below
+                // starts clean.
+                decode_buf.clear();
+                let decoded = art.accesses.iter().all(|a| {
+                    match resolver.memkey(program, canon, &names, a.key) {
+                        Some(k) => {
+                            decode_buf.push((k, a.index, a.is_write));
+                            true
+                        }
+                        None => false,
+                    }
+                });
+                if decoded {
+                    for &(key, index, is_write) in &decode_buf {
+                        let entry = entry_slot(&mut entries, locs.intern(key));
                         let stmt = GStmt::new(method_id, index as usize);
                         record_access(entry, mi, stmt, is_write, origins, &mut sink);
                     }
-                    next_store.insert(mi_key, art.clone());
+                    replayed_keys.push(mi_key);
                     mis_replayed += 1;
                     continue;
                 }
@@ -149,7 +223,7 @@ pub fn run_osa_incremental(
             if let Some((base, field, is_write)) = instr.stmt.field_access() {
                 for &obj in pta.pts_var(mi, base) {
                     let key = MemKey::Field(ObjId(obj), field);
-                    let entry = entries.entry(key).or_default();
+                    let entry = entry_slot(&mut entries, locs.intern(key));
                     record_access(entry, mi, stmt, is_write, origins, &mut sink);
                     art.accesses.push(DbOsaAccess {
                         key: memkey_to_db(key, program, canon, &mut names),
@@ -159,7 +233,7 @@ pub fn run_osa_incremental(
                 }
             } else if let Some((class, field, is_write)) = instr.stmt.static_access() {
                 let key = MemKey::Static(class, field);
-                let entry = entries.entry(key).or_default();
+                let entry = entry_slot(&mut entries, locs.intern(key));
                 record_access(entry, mi, stmt, is_write, origins, &mut sink);
                 art.accesses.push(DbOsaAccess {
                     key: memkey_to_db(key, program, canon, &mut names),
@@ -168,16 +242,21 @@ pub fn run_osa_incremental(
                 });
             }
         }
-        next_store.insert(mi_key, art);
+        rescanned_arts.push((mi_key, art));
     }
 
     // A truncated scan must not poison the store with partial artifacts.
+    // The store is pruned in place: replayed entries stay where they
+    // are, stale ones (not visited this run) drop, rescans insert.
     if !truncated {
-        db.osa_mi = next_store;
+        let visited: FastSet<Digest> = replayed_keys.into_iter().collect();
+        db.osa_mi.retain(|k, _| visited.contains(k));
+        db.osa_mi.extend(rescanned_arts);
     }
     db.names = names;
     OsaIncr {
         result: OsaResult {
+            locs,
             entries,
             duration: start.elapsed(),
             truncated,
@@ -220,15 +299,22 @@ mod tests {
     }
 
     fn entries_equal(a: &OsaResult, b: &OsaResult) -> bool {
-        if a.entries.len() != b.entries.len() {
+        if a.entries.len() != b.entries.len() || a.locs.len() != b.locs.len() {
             return false;
         }
-        a.entries.iter().zip(b.entries.iter()).all(|((ka, ea), (kb, eb))| {
-            ka == kb
-                && ea.accesses == eb.accesses
-                && ea.write_origins.as_slice() == eb.write_origins.as_slice()
-                && ea.read_origins.as_slice() == eb.read_origins.as_slice()
-        })
+        // Compare in canonical key order so the check is independent of
+        // the two runs' interning orders.
+        a.locs
+            .sorted_ids()
+            .into_iter()
+            .zip(b.locs.sorted_ids())
+            .all(|(ia, ib)| {
+                a.locs.key(ia) == b.locs.key(ib)
+                    && match (a.entry(ia), b.entry(ib)) {
+                        (Some(ea), Some(eb)) => ea == eb,
+                        _ => false,
+                    }
+            })
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!                      (writes BENCH_pr2.json; see `--out`)
 //!         pr3          cold vs warm analysis after a 1-function edit
 //!                      (writes BENCH_pr3.json; see `--out`)
+//!         pr5          data-plane cold/warm/scaling summary
+//!                      (writes BENCH_pr5.json; see `--out`)
 //! ```
 //!
 //! Without `--group`, every group runs. `--out` changes where the `pr1`,
@@ -25,7 +27,7 @@
 //! `BENCH_pr1.json`, `BENCH_pr2.json`, and `BENCH_pr3.json`).
 
 use o2_analysis::{run_escape, run_osa};
-use o2_bench::{fmt_dur, pr1, pr2, pr3};
+use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5};
 use o2_detect::{detect, DetectConfig};
 use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 use o2_shb::{build_shb, ShbConfig};
@@ -68,6 +70,7 @@ fn main() {
             "pr1".into(),
             "pr2".into(),
             "pr3".into(),
+            "pr5".into(),
         ];
     }
     for g in &groups {
@@ -80,6 +83,7 @@ fn main() {
             "pr1" => pr1_group(iters, out.as_deref().unwrap_or("BENCH_pr1.json")),
             "pr2" => pr2_group(iters, out.as_deref().unwrap_or("BENCH_pr2.json")),
             "pr3" => pr3_group(iters, out.as_deref().unwrap_or("BENCH_pr3.json")),
+            "pr5" => pr5_group(iters, out.as_deref().unwrap_or("BENCH_pr5.json")),
             other => {
                 eprintln!("unknown group `{other}`");
                 usage();
@@ -154,8 +158,8 @@ fn ablation(iters: usize) {
             .expect("preset exists")
             .generate();
         let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
-        let osa = run_osa(&w.program, &pta);
-        let shb = build_shb(&w.program, &pta, &ShbConfig::default());
+        let mut osa = run_osa(&w.program, &pta);
+        let shb = build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
         for (label, cfg) in [("naive", DetectConfig::naive()), ("o2", DetectConfig::o2())] {
             let d = time(iters, || detect(&w.program, &pta, &osa, &shb, &cfg));
             cell("ablation", &format!("{label}/{preset_name}"), d);
@@ -170,7 +174,12 @@ fn shb_queries(iters: usize) {
         .expect("preset exists")
         .generate();
     let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
-    let shb = build_shb(&w.program, &pta, &ShbConfig::default());
+    let shb = build_shb(
+        &w.program,
+        &pta,
+        &ShbConfig::default(),
+        &mut o2_analysis::LocTable::new(),
+    );
     let mut pairs = Vec::new();
     for (oi, trace) in shb.traces.iter().enumerate() {
         if let Some(a) = trace.accesses.first() {
@@ -271,6 +280,19 @@ fn pr3_group(iters: usize, out: &str) {
         ..Default::default()
     };
     let report = pr3::run(&opts);
+    print!("{}", report.render());
+    println!("wrote {out}");
+}
+
+/// The PR 5 harness: end-to-end cold time, the digest-reusing warm path,
+/// and the detect-scaling curve, written to `out` as JSON.
+fn pr5_group(iters: usize, out: &str) {
+    let opts = pr5::Pr5Options {
+        iters,
+        out_path: Some(out.to_string()),
+        ..Default::default()
+    };
+    let report = pr5::run(&opts);
     print!("{}", report.render());
     println!("wrote {out}");
 }

@@ -21,6 +21,7 @@ use std::time::Duration;
 pub mod pr1;
 pub mod pr2;
 pub mod pr3;
+pub mod pr5;
 pub mod tables;
 
 /// The outcome of running one (program, policy) cell of a table.

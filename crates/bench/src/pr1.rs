@@ -196,8 +196,8 @@ pub fn scaling_rows(
         .expect("scaling preset exists")
         .generate();
     let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
-    let osa = run_osa(&w.program, &pta);
-    let shb = build_shb(&w.program, &pta, &ShbConfig::default());
+    let mut osa = run_osa(&w.program, &pta);
+    let shb = build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
 
     let mut rows: Vec<ScalingRow> = Vec::new();
     let mut serial_json = String::new();
@@ -205,8 +205,7 @@ pub fn scaling_rows(
     let mut races = 0usize;
     for &t in threads {
         let cfg = DetectConfig::o2().with_threads(t.max(1));
-        let (time, report) =
-            best_of(iters, || detect(&w.program, &pta, &osa, &shb, &cfg));
+        let (time, report) = best_of(iters, || detect(&w.program, &pta, &osa, &shb, &cfg));
         let json = report.to_json(&w.program);
         if rows.is_empty() {
             serial_json = json.clone();

@@ -106,8 +106,8 @@ fn tier_count(report: &PipelineReport, tier: Tier) -> usize {
 pub fn preset_row(name: &str, policy: Policy, iters: usize) -> Option<PresetRow> {
     let w = o2_workloads::preset_by_name(name)?.generate();
     let pta = analyze(&w.program, &PtaConfig::with_policy(policy));
-    let osa = run_osa(&w.program, &pta);
-    let shb = build_shb(&w.program, &pta, &ShbConfig::default());
+    let mut osa = run_osa(&w.program, &pta);
+    let shb = build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
     let races = detect(&w.program, &pta, &osa, &shb, &DetectConfig::o2());
     let mut best = Duration::MAX;
     let mut report = run_pipeline(&w.program, &pta, &osa, &shb, &races);
@@ -147,8 +147,8 @@ fn realbugs_summary<'a>(
     let mut removed = 0usize;
     for (program, _expected) in programs {
         let pta = analyze(program, &PtaConfig::with_policy(Policy::origin1()));
-        let osa = run_osa(program, &pta);
-        let shb = build_shb(program, &pta, &ShbConfig::default());
+        let mut osa = run_osa(program, &pta);
+        let shb = build_shb(program, &pta, &ShbConfig::default(), &mut osa.locs);
         let detected = detect(program, &pta, &osa, &shb, &DetectConfig::o2());
         let report = run_pipeline(program, &pta, &osa, &shb, &detected);
         models += 1;
@@ -178,9 +178,7 @@ pub fn run(opts: &Pr2Options) -> Pr2Report {
     let c = o2_workloads::all_c_models();
     let report = Pr2Report {
         presets,
-        realbugs_java: realbugs_summary(
-            java.iter().map(|m| (&m.program, m.expected_races)),
-        ),
+        realbugs_java: realbugs_summary(java.iter().map(|m| (&m.program, m.expected_races))),
         realbugs_c: realbugs_summary(c.iter().map(|m| (&m.program, m.expected_races))),
     };
     if let Some(path) = &opts.out_path {
@@ -231,12 +229,9 @@ impl Pr2Report {
             );
         }
         out.push_str("  ],\n  \"realbugs\": {\n");
-        for (i, (label, s)) in [
-            ("java", &self.realbugs_java),
-            ("c", &self.realbugs_c),
-        ]
-        .iter()
-        .enumerate()
+        for (i, (label, s)) in [("java", &self.realbugs_java), ("c", &self.realbugs_c)]
+            .iter()
+            .enumerate()
         {
             let _ = writeln!(
                 out,

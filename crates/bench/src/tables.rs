@@ -20,8 +20,10 @@ pub fn table3(budget: Duration) -> String {
     );
     let widths = [10, 8, 10, 10, 10, 10, 10];
     out.push_str(&row(
-        &["#stmts", "h", "0-ctx", "1-origin", "1-CFA", "2-CFA", "1-obj"]
-            .map(String::from),
+        &[
+            "#stmts", "h", "0-ctx", "1-origin", "1-CFA", "2-CFA", "1-obj",
+        ]
+        .map(String::from),
         &widths,
     ));
     for filler in [8usize, 32, 128, 512] {
@@ -144,9 +146,8 @@ pub fn table6(budget: Duration) -> String {
             .into_iter()
             .map(|p| run_policy(&w.program, p, budget))
             .collect();
-        let cell = |f: &dyn Fn(&RunOutcome) -> String| -> Vec<String> {
-            outcomes.iter().map(f).collect()
-        };
+        let cell =
+            |f: &dyn Fn(&RunOutcome) -> String| -> Vec<String> { outcomes.iter().map(f).collect() };
         let rows: Vec<(&str, Vec<String>)> = vec![
             (
                 "time",
@@ -282,8 +283,7 @@ pub fn table8(budget: Duration) -> String {
             if o.timed_out {
                 cells.push("-".to_string());
             } else if base.races > 0 {
-                let red = 100.0 * (base.races.saturating_sub(o.races)) as f64
-                    / base.races as f64;
+                let red = 100.0 * (base.races.saturating_sub(o.races)) as f64 / base.races as f64;
                 cells.push(format!("{}({red:.0}%)", o.races));
             } else {
                 cells.push(o.races.to_string());
@@ -306,8 +306,16 @@ pub fn table9(budget: Duration) -> String {
     );
     let widths = [12, 9, 9, 11, 11, 11, 11];
     out.push_str(&row(
-        &["app", "O2", "RacerD", "Sobj:0ctx", "Sobj:1CFA", "Sobj:2CFA", "Sobj:O2"]
-            .map(String::from),
+        &[
+            "app",
+            "O2",
+            "RacerD",
+            "Sobj:0ctx",
+            "Sobj:1CFA",
+            "Sobj:2CFA",
+            "Sobj:O2",
+        ]
+        .map(String::from),
         &widths,
     ));
     for preset in presets_of(Group::Distributed) {
@@ -332,7 +340,10 @@ pub fn table9(budget: Duration) -> String {
 /// Table 10: new races in real-world software (the §5.4 models).
 pub fn table10() -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 10: new races detected by O2 (confirmed by developers)");
+    let _ = writeln!(
+        out,
+        "Table 10: new races detected by O2 (confirmed by developers)"
+    );
     let widths = [18, 10, 10, 8];
     out.push_str(&row(
         &["code base", "detected", "paper", "match"].map(String::from),
@@ -373,7 +384,9 @@ pub fn ablation(budget: Duration) -> String {
         &["engine", "detect", "pairs", "races"].map(String::from),
         &widths,
     ));
-    let w = o2_workloads::preset_by_name("zookeeper").unwrap().generate();
+    let w = o2_workloads::preset_by_name("zookeeper")
+        .unwrap()
+        .generate();
     let pta = o2_pta::analyze(
         &w.program,
         &o2_pta::PtaConfig {
@@ -382,7 +395,7 @@ pub fn ablation(budget: Duration) -> String {
             ..Default::default()
         },
     );
-    let osa = run_osa(&w.program, &pta);
+    let mut osa = run_osa(&w.program, &pta);
     let configs: Vec<(&str, DetectConfig)> = vec![
         ("naive (D4-style)", DetectConfig::naive()),
         ("+ integer-id HB", {
@@ -402,7 +415,7 @@ pub fn ablation(budget: Duration) -> String {
     ];
     for (name, mut cfg) in configs {
         cfg.timeout = Some(budget);
-        let shb = o2_shb::build_shb(&w.program, &pta, &ShbConfig::default());
+        let shb = o2_shb::build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
         let report = o2_detect::detect(&w.program, &pta, &osa, &shb, &cfg);
         out.push_str(&row(
             &[

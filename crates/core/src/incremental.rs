@@ -23,7 +23,22 @@ use o2_detect::{detect, detect_incremental, DetectConfig};
 use o2_ir::{digest_diff, digest_program, DigestDiff, Program};
 use o2_pta::{CanonIndex, Policy};
 use o2_shb::{build_shb, build_shb_incremental, ShbConfig};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
+
+/// Rewrites `dst` to equal `src`, reusing the existing `String` keys of
+/// unchanged entries. A warm run commits the full per-method digest maps
+/// every time; cloning them key-by-key re-allocates every method name.
+fn update_digest_map(dst: &mut BTreeMap<String, Digest>, src: &BTreeMap<String, Digest>) {
+    dst.retain(|k, _| src.contains_key(k));
+    for (k, &v) in src {
+        if let Some(d) = dst.get_mut(k) {
+            *d = v;
+        } else {
+            dst.insert(k.clone(), v);
+        }
+    }
+}
 
 /// Replay/recompute counters of one [`O2::analyze_with_db`] run.
 #[derive(Clone, Copy, Debug, Default)]
@@ -163,13 +178,27 @@ impl O2 {
         program: &Program,
         db: &mut AnalysisDb,
     ) -> (AnalysisReport, IncrStats) {
+        let digests = digest_program(program);
+        self.analyze_with_db_prepared(program, db, &digests)
+    }
+
+    /// [`O2::analyze_with_db`] with the program digests supplied by the
+    /// caller. Digesting a large program is a measurable slice of a warm
+    /// run, and callers such as `--load-db` verification have already
+    /// computed the digests to validate the image — this entry point lets
+    /// them be reused instead of recomputed.
+    pub fn analyze_with_db_prepared(
+        &self,
+        program: &Program,
+        db: &mut AnalysisDb,
+        digests: &o2_ir::ProgramDigests,
+    ) -> (AnalysisReport, IncrStats) {
         let t0 = Instant::now();
         let cfg_sig = self.config_sig();
         if !db.compatible_with(cfg_sig) {
             db.clear_artifacts();
         }
         db.config_sig = cfg_sig;
-        let digests = digest_program(program);
 
         let pta = o2_pta::analyze(program, &self.pta);
         let t_pta = pta.duration;
@@ -180,13 +209,13 @@ impl O2 {
         };
 
         if pta.timed_out {
-            let osa = run_osa_bounded(program, &pta, down_budget);
+            let mut osa = run_osa_bounded(program, &pta, down_budget);
             let t_osa = osa.duration;
             let shb_cfg = ShbConfig {
                 timeout: self.shb.timeout.or(down_budget),
                 ..self.shb.clone()
             };
-            let shb = build_shb(program, &pta, &shb_cfg);
+            let shb = build_shb(program, &pta, &shb_cfg, &mut osa.locs);
             let t_shb = shb.duration;
             let detect_cfg = DetectConfig {
                 timeout: Some(Duration::from_millis(500)),
@@ -210,14 +239,14 @@ impl O2 {
             return (report, IncrStats::default());
         }
 
-        let canon = CanonIndex::build(program, &pta, &digests);
-        let osa = run_osa_incremental(program, &pta, &canon, db, down_budget);
+        let canon = CanonIndex::build(program, &pta, digests);
+        let mut osa = run_osa_incremental(program, &pta, &canon, db, down_budget);
         let t_osa = osa.result.duration;
         let shb_cfg = ShbConfig {
             timeout: self.shb.timeout.or(down_budget),
             ..self.shb.clone()
         };
-        let shb = build_shb_incremental(program, &pta, &shb_cfg, &canon, db);
+        let shb = build_shb_incremental(program, &pta, &shb_cfg, &canon, &mut osa.result.locs, db);
         let t_shb = shb.graph.duration;
         let detect_cfg = DetectConfig {
             timeout: self.detect.timeout.or(self.pta.timeout),
@@ -241,8 +270,8 @@ impl O2 {
             db.reports = None;
         }
         db.program_sig = digests.program;
-        db.fn_digests = digests.fns.clone();
-        db.closure_digests = digests.closures.clone();
+        update_digest_map(&mut db.fn_digests, &digests.fns);
+        update_digest_map(&mut db.closure_digests, &digests.closures);
         db.origin_sigs = pta
             .arena
             .origins()
@@ -414,7 +443,9 @@ mod tests {
         let o2 = O2Builder::new().build();
         let mut db = AnalysisDb::new(o2.config_sig());
         o2.analyze_with_db(&program, &mut db);
-        let naive = O2Builder::new().detect_config(DetectConfig::naive()).build();
+        let naive = O2Builder::new()
+            .detect_config(DetectConfig::naive())
+            .build();
         assert_ne!(o2.config_sig(), naive.config_sig());
         let (_, s) = naive.analyze_with_db(&program, &mut db);
         assert!(s.incremental);

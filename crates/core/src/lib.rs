@@ -51,9 +51,7 @@ pub mod prelude {
     pub use crate::{AnalysisReport, DiffAnalysis, IncrStats, O2Builder, Timings, O2};
     pub use o2_analysis::{MemKey, OsaResult};
     pub use o2_db::AnalysisDb;
-    pub use o2_detect::{
-        DeadlockReport, DetectConfig, OversyncReport, Race, RaceReport,
-    };
+    pub use o2_detect::{DeadlockReport, DetectConfig, OversyncReport, Race, RaceReport};
     pub use o2_ir::{EntryPointConfig, OriginKind, Program};
     pub use o2_passes::{PipelineReport, Tier, TriagedRace};
     pub use o2_pta::{Policy, PtaConfig, PtaResult};
@@ -251,13 +249,15 @@ impl O2 {
         } else {
             self.pta.timeout
         };
-        let osa = run_osa_bounded(program, &pta, down_budget);
+        let mut osa = run_osa_bounded(program, &pta, down_budget);
         let t_osa = osa.duration;
         let shb_cfg = ShbConfig {
             timeout: self.shb.timeout.or(down_budget),
             ..self.shb.clone()
         };
-        let shb = build_shb(program, &pta, &shb_cfg);
+        // SHB interns into OSA's location table so every downstream
+        // consumer shares one dense id space.
+        let shb = build_shb(program, &pta, &shb_cfg, &mut osa.locs);
         let t_shb = shb.duration;
         let detect_cfg = if pta.timed_out {
             DetectConfig {

@@ -243,7 +243,12 @@ fn diff_analyze_reports_changed_functions() {
         .arg(&new)
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("diff: 1 changed"), "{stdout}");
     assert!(stdout.contains("~ W.run/0"), "{stdout}");
@@ -277,7 +282,12 @@ fn c_frontend_by_extension() {
     "#;
     let file = write_temp("racy.c", src);
     let out = Command::new(o2_bin()).arg(&file).output().unwrap();
-    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("race #1"), "{stdout}");
 }

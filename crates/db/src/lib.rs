@@ -32,9 +32,11 @@
 
 pub mod codec;
 pub mod digest;
+pub mod fxmap;
 
 pub use codec::{DbError, Reader, Writer};
 pub use digest::{digest_of_sorted, mix64, Digest, DigestHasher};
+pub use fxmap::{FastMap, FastSet, FxBuildHasher, FxHasher};
 
 use std::collections::{BTreeMap, HashMap};
 
@@ -127,7 +129,7 @@ impl DbStmt {
 }
 
 /// A memory location in canonical form.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum DbMemKey {
     /// An instance field: canonical object digest + field-name id.
     Field {
@@ -825,10 +827,16 @@ mod tests {
             Digest(10, 11),
             ShbOriginArtifact {
                 sig: Digest(12, 13),
-                sets: vec![vec![], vec![DbLockElem::Fresh(0), DbLockElem::Dispatcher(2)]],
+                sets: vec![
+                    vec![],
+                    vec![DbLockElem::Fresh(0), DbLockElem::Dispatcher(2)],
+                ],
                 accesses: vec![DbShbAccess {
                     key: DbMemKey::Static { class: m, field: f },
-                    stmt: DbStmt { method: m, index: 1 },
+                    stmt: DbStmt {
+                        method: m,
+                        index: 1,
+                    },
                     is_write: false,
                     lockset: 1,
                     pos: 4,
@@ -836,7 +844,10 @@ mod tests {
                 }],
                 acquires: vec![DbShbAcquire {
                     pos: 2,
-                    stmt: DbStmt { method: m, index: 0 },
+                    stmt: DbStmt {
+                        method: m,
+                        index: 0,
+                    },
                     elems: vec![DbLockElem::Obj(Digest(14, 15))],
                     held_before: 0,
                     released_pos: u32::MAX,
@@ -846,7 +857,10 @@ mod tests {
                 entry_edges: vec![DbEdge {
                     other: Digest(16, 17),
                     pos: 5,
-                    stmt: DbStmt { method: m, index: 2 },
+                    stmt: DbStmt {
+                        method: m,
+                        index: 2,
+                    },
                 }],
                 join_edges: vec![],
                 fresh_count: 1,
@@ -862,12 +876,18 @@ mod tests {
                     },
                     a: DbRaceAccess {
                         origin: Digest(9, 1),
-                        stmt: DbStmt { method: m, index: 3 },
+                        stmt: DbStmt {
+                            method: m,
+                            index: 3,
+                        },
                         is_write: true,
                     },
                     b: DbRaceAccess {
                         origin: Digest(10, 11),
-                        stmt: DbStmt { method: m, index: 1 },
+                        stmt: DbStmt {
+                            method: m,
+                            index: 1,
+                        },
                         is_write: false,
                     },
                 }],

@@ -114,14 +114,17 @@ pub fn detect_deadlocks(program: &Program, shb: &ShbGraph) -> DeadlockReport {
                     if held == acquired {
                         continue;
                     }
-                    edges.entry((held, acquired)).or_default().push(LockOrderEdge {
-                        held,
-                        acquired,
-                        origin,
-                        stmt: acq.stmt,
-                        pos: acq.pos,
-                        held_before: acq.held_before,
-                    });
+                    edges
+                        .entry((held, acquired))
+                        .or_default()
+                        .push(LockOrderEdge {
+                            held,
+                            acquired,
+                            origin,
+                            stmt: acq.stmt,
+                            pos: acq.pos,
+                            held_before: acq.held_before,
+                        });
                 }
             }
         }
@@ -193,9 +196,7 @@ pub fn detect_deadlocks(program: &Program, shb: &ShbGraph) -> DeadlockReport {
                 continue;
             }
             let pick = |h: u32, acq: u32| edges[&(h, acq)].first().copied();
-            let (Some(e1), Some(e2), Some(e3)) =
-                (pick(a, b), pick(b, c), pick(c, a))
-            else {
+            let (Some(e1), Some(e2), Some(e3)) = (pick(a, b), pick(b, c), pick(c, a)) else {
                 continue;
             };
             let origins: BTreeSet<u32> = [e1.origin.0, e2.origin.0, e3.origin.0]
@@ -263,7 +264,12 @@ mod tests {
     fn deadlocks(src: &str) -> (o2_ir::Program, ShbGraph, DeadlockReport) {
         let p = parse(src).unwrap();
         let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-        let shb = build_shb(&p, &pta, &ShbConfig::default());
+        let shb = build_shb(
+            &p,
+            &pta,
+            &ShbConfig::default(),
+            &mut o2_analysis::LocTable::new(),
+        );
         let report = detect_deadlocks(&p, &shb);
         (p, shb, report)
     }
@@ -481,12 +487,13 @@ mod gate_tests {
         "#;
         let p = parse(src).unwrap();
         let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-        let shb = build_shb(&p, &pta, &ShbConfig::default());
-        let report = detect_deadlocks(&p, &shb);
-        assert!(
-            report.cycles.is_empty(),
-            "{}",
-            report.render(&p, &shb)
+        let shb = build_shb(
+            &p,
+            &pta,
+            &ShbConfig::default(),
+            &mut o2_analysis::LocTable::new(),
         );
+        let report = detect_deadlocks(&p, &shb);
+        assert!(report.cycles.is_empty(), "{}", report.render(&p, &shb));
     }
 }

@@ -92,7 +92,13 @@ pub fn render_html(program: &Program, pta: &PtaResult, report: &RaceReport) -> S
         out.push_str("<p>No races detected.</p>\n");
     }
     for (i, race) in report.races.iter().enumerate() {
-        let kind = |w: bool| if w { "<span class=\"w\">write</span>" } else { "<span class=\"r\">read</span>" };
+        let kind = |w: bool| {
+            if w {
+                "<span class=\"w\">write</span>"
+            } else {
+                "<span class=\"r\">read</span>"
+            }
+        };
         let _ = write!(
             out,
             "<div class=\"race\"><h3>#{} &mdash; field <code>{}</code></h3>\
@@ -141,8 +147,8 @@ mod tests {
         "#;
         let p = parse(src).unwrap();
         let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-        let osa = run_osa(&p, &pta);
-        let shb = build_shb(&p, &pta, &ShbConfig::default());
+        let mut osa = run_osa(&p, &pta);
+        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
         let report = detect(&p, &pta, &osa, &shb, &DetectConfig::o2());
         let html = render_html(&p, &pta, &report);
         assert!(html.starts_with("<!DOCTYPE html>"));

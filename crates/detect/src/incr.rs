@@ -24,12 +24,12 @@ use crate::{
     check_candidates_parallel, collect_candidates, dedup_key, Candidate, DetectConfig, KeyOutcome,
     Race, RaceAccess, RaceReport,
 };
-use o2_analysis::{memkey_from_db, memkey_to_db, MemKey, OsaResult};
+use o2_analysis::{memkey_to_db, KeyResolver, MemKey, OsaResult};
 use o2_db::{
-    digest_of_sorted, AnalysisDb, DbRace, DbRaceAccess, DbStmt, Digest, DigestHasher, StableIds,
-    VerdictArtifact,
+    digest_of_sorted, AnalysisDb, DbRace, DbRaceAccess, DbStmt, Digest, DigestHasher, FastMap,
+    StableIds, VerdictArtifact,
 };
-use o2_ir::ids::GStmt;
+use o2_ir::ids::{GStmt, MethodId};
 use o2_ir::program::Program;
 use o2_pta::{CanonIndex, OriginId, PtaResult};
 use o2_shb::{LockElem, ShbGraph};
@@ -163,8 +163,21 @@ fn hb_sigs(shb: &ShbGraph, canon: &CanonIndex, include_len: bool) -> HbSigs {
     HbSigs { local, reach }
 }
 
+/// Memo tables shared across the candidate digests of one run. Locksets
+/// are interned ([`o2_shb::LockSets`]) and candidates cluster on a few
+/// origin sets, so both sub-digests repeat heavily; computing each once
+/// keeps the digest pass cheaper than the checks it replaces.
+#[derive(Default)]
+struct SigMemo {
+    /// `(lockset id, fresh base)` → sorted element digests.
+    locksets: FastMap<(u32, u32), Vec<Digest>>,
+    /// Sorted accessing-origin set → HB-neighborhood signature.
+    hoods: FastMap<Vec<u32>, Digest>,
+}
+
 /// Digest over everything [`crate::check_candidate`] reads for one
 /// candidate.
+#[allow(clippy::too_many_arguments)]
 fn candidate_digest(
     cand: &Candidate,
     program: &Program,
@@ -173,6 +186,7 @@ fn candidate_digest(
     fresh_base: &[u32],
     hb: &HbSigs,
     config_sig: Digest,
+    memo: &mut SigMemo,
 ) -> Digest {
     let mut h = DigestHasher::with_tag("o2.cand.v1");
     h.write_digest(config_sig);
@@ -188,39 +202,52 @@ fn candidate_digest(
         h.write_bool(a.is_write);
         h.write_u32(a.pos);
         h.write_u32(a.region);
-        let mut elems: Vec<Digest> = shb
-            .locks
-            .set_elems(a.lockset)
-            .iter()
-            .map(|&eid| {
-                elem_digest(
-                    shb.locks.elem_data(eid),
-                    program,
-                    canon,
-                    fresh_base.get(origin.0 as usize).copied().unwrap_or(0),
-                )
-            })
-            .collect();
-        elems.sort_unstable();
+        let fresh = fresh_base.get(origin.0 as usize).copied().unwrap_or(0);
+        let elems = memo
+            .locksets
+            .entry((a.lockset.0, fresh))
+            .or_insert_with(|| {
+                let mut elems: Vec<Digest> = shb
+                    .locks
+                    .set_elems(a.lockset)
+                    .iter()
+                    .map(|&eid| elem_digest(shb.locks.elem_data(eid), program, canon, fresh))
+                    .collect();
+                elems.sort_unstable();
+                elems
+            });
         h.write_u64(elems.len() as u64);
-        for d in elems {
+        for &d in elems.iter() {
             h.write_digest(d);
         }
     }
     // Per-origin flags in first-appearance order (deterministic).
     for &o in &origins {
-        let (multi, sole) = cand.flags.get(&o).copied().unwrap_or((false, false));
+        let (multi, sole) = cand
+            .flags
+            .get(o as usize)
+            .copied()
+            .unwrap_or((false, false));
         h.write_digest(canon.origin_digest(OriginId(o)));
         h.write_bool(multi);
         h.write_bool(sole);
     }
     // HB neighborhood: every origin the pair check can traverse.
-    let mut hood: BTreeSet<u32> = BTreeSet::new();
-    for &o in &origins {
-        hood.extend(hb.reach[o as usize].iter().copied());
-    }
-    let hood_locals: Vec<Digest> = hood.iter().map(|&o| hb.local[o as usize]).collect();
-    let hood_sig = digest_of_sorted("o2.cand.hood.v1", &hood_locals);
+    let mut okey = origins;
+    okey.sort_unstable();
+    let hood_sig = match memo.hoods.get(&okey) {
+        Some(&d) => d,
+        None => {
+            let mut hood: BTreeSet<u32> = BTreeSet::new();
+            for &o in &okey {
+                hood.extend(hb.reach[o as usize].iter().copied());
+            }
+            let hood_locals: Vec<Digest> = hood.iter().map(|&o| hb.local[o as usize]).collect();
+            let d = digest_of_sorted("o2.cand.hood.v1", &hood_locals);
+            memo.hoods.insert(okey, d);
+            d
+        }
+    };
     h.write_digest(hood_sig);
     h.finish()
 }
@@ -237,12 +264,7 @@ fn detect_config_sig(config: &DetectConfig) -> Digest {
     h.finish()
 }
 
-fn race_to_db(
-    r: &Race,
-    program: &Program,
-    canon: &CanonIndex,
-    names: &mut StableIds,
-) -> DbRace {
+fn race_to_db(r: &Race, program: &Program, canon: &CanonIndex, names: &mut StableIds) -> DbRace {
     let side = |a: &RaceAccess, names: &mut StableIds| DbRaceAccess {
         origin: canon.origin_digest(a.origin),
         stmt: DbStmt {
@@ -258,26 +280,51 @@ fn race_to_db(
     }
 }
 
+/// Memoized name → id resolution for verdict decoding. Stored races
+/// repeat the same few origins, methods, and keys; without the memo a
+/// warm run pays a string-keyed lookup per race side.
+#[derive(Default)]
+struct RaceMemo {
+    keys: KeyResolver,
+    methods: FastMap<u32, Option<MethodId>>,
+}
+
+impl RaceMemo {
+    fn method(&mut self, canon: &CanonIndex, names: &StableIds, id: u32) -> Option<MethodId> {
+        *self
+            .methods
+            .entry(id)
+            .or_insert_with(|| names.resolve(id).and_then(|q| canon.method_of_qname(q)))
+    }
+}
+
+fn race_side(
+    a: &DbRaceAccess,
+    canon: &CanonIndex,
+    names: &StableIds,
+    memo: &mut RaceMemo,
+) -> Option<RaceAccess> {
+    Some(RaceAccess {
+        origin: canon.origin_of_digest(a.origin)?,
+        stmt: GStmt::new(
+            memo.method(canon, names, a.stmt.method)?,
+            a.stmt.index as usize,
+        ),
+        is_write: a.is_write,
+    })
+}
+
 fn race_from_db(
     r: &DbRace,
     program: &Program,
     canon: &CanonIndex,
     names: &StableIds,
+    memo: &mut RaceMemo,
 ) -> Option<Race> {
-    let side = |a: &DbRaceAccess| -> Option<RaceAccess> {
-        Some(RaceAccess {
-            origin: canon.origin_of_digest(a.origin)?,
-            stmt: GStmt::new(
-                canon.method_of_qname(names.resolve(a.stmt.method)?)?,
-                a.stmt.index as usize,
-            ),
-            is_write: a.is_write,
-        })
-    };
     Some(Race {
-        key: memkey_from_db(r.key, program, canon, names)?,
-        a: side(&r.a)?,
-        b: side(&r.b)?,
+        key: memo.keys.memkey(program, canon, names, r.key)?,
+        a: race_side(&r.a, canon, names, memo)?,
+        b: race_side(&r.b, canon, names, memo)?,
     })
 }
 
@@ -307,23 +354,29 @@ pub fn detect_incremental(
     let hb = hb_sigs(shb, canon, !config.integer_hb);
     let cfg_sig = detect_config_sig(config);
 
+    let mut memo = SigMemo::default();
     let digests: Vec<Digest> = candidates
         .iter()
-        .map(|c| candidate_digest(c, program, canon, shb, fresh_base, &hb, cfg_sig))
+        .map(|c| candidate_digest(c, program, canon, shb, fresh_base, &hb, cfg_sig, &mut memo))
         .collect();
 
     // Partition into replayable and to-check. Decoding failures (stale
-    // name/digest references) fall through to a re-check.
+    // name/digest references) fall through to a re-check. The old verdict
+    // map is taken out wholesale: replayed artifacts move into the next
+    // map as-is instead of being re-encoded through `race_to_db`.
+    let mut old_verdicts = std::mem::take(&mut db.verdicts);
     let mut outcomes: Vec<Option<KeyOutcome>> = Vec::with_capacity(candidates.len());
+    let mut replayed: Vec<bool> = vec![false; candidates.len()];
     let mut todo: Vec<usize> = Vec::new();
     let mut candidates_replayed = 0usize;
     let mut pairs_replayed = 0u64;
+    let mut rmemo = RaceMemo::default();
     for (i, d) in digests.iter().enumerate() {
-        let replay = db.verdicts.get(d).and_then(|art| {
+        let replay = old_verdicts.get(d).and_then(|art| {
             let races: Option<Vec<Race>> = art
                 .races
                 .iter()
-                .map(|r| race_from_db(r, program, canon, &names))
+                .map(|r| race_from_db(r, program, canon, &names, &mut rmemo))
                 .collect();
             Some(KeyOutcome {
                 races: races?,
@@ -338,6 +391,7 @@ pub fn detect_incremental(
             Some(o) => {
                 candidates_replayed += 1;
                 pairs_replayed += o.pairs_checked;
+                replayed[i] = true;
                 outcomes.push(Some(o));
             }
             None => {
@@ -359,8 +413,13 @@ pub fn detect_incremental(
         outcomes[i] = Some(o);
     }
 
+    // A timed-out run saw only part of the candidate set; it keeps the
+    // old verdicts rather than dropping artifacts it never got to, so
+    // verdict storage is skipped entirely below.
+    let timed_out_run = out_of_time || outcomes.iter().flatten().any(|o| o.timed_out);
+
     // Deterministic merge, identical to the cold path's phase 3.
-    let mut seen: BTreeSet<(MemKey, GStmt, GStmt)> = BTreeSet::new();
+    let mut seen: std::collections::HashSet<(MemKey, GStmt, GStmt)> = Default::default();
     let mut next_verdicts: BTreeMap<Digest, VerdictArtifact> = BTreeMap::new();
     for (i, outcome) in outcomes.iter().enumerate() {
         let Some(outcome) = outcome else {
@@ -377,21 +436,27 @@ pub fn detect_incremental(
                 report.races.push(*r);
             }
         }
-        if !outcome.timed_out {
-            next_verdicts.insert(
-                digests[i],
-                VerdictArtifact {
-                    races: outcome
-                        .races
-                        .iter()
-                        .map(|r| race_to_db(r, program, canon, &mut names))
-                        .collect(),
-                    pairs_checked: outcome.pairs_checked,
-                    lock_pruned: outcome.lock_pruned,
-                    hb_pruned: outcome.hb_pruned,
-                    budget_hit: outcome.pairs_budget_hit,
-                },
-            );
+        if !timed_out_run {
+            // A replayed candidate's stored artifact is moved over as-is
+            // (same digest ⇒ same content); only re-checked candidates
+            // are encoded.
+            let art = if replayed[i] {
+                old_verdicts.remove(&digests[i])
+            } else {
+                None
+            };
+            let art = art.unwrap_or_else(|| VerdictArtifact {
+                races: outcome
+                    .races
+                    .iter()
+                    .map(|r| race_to_db(r, program, canon, &mut names))
+                    .collect(),
+                pairs_checked: outcome.pairs_checked,
+                lock_pruned: outcome.lock_pruned,
+                hb_pruned: outcome.hb_pruned,
+                budget_hit: outcome.pairs_budget_hit,
+            });
+            next_verdicts.insert(digests[i], art);
         }
     }
     report.timed_out |= out_of_time;
@@ -401,11 +466,11 @@ pub fn detect_incremental(
         .sort_by_key(|r| (r.key, r.a.stmt, r.b.stmt, r.a.origin.0, r.b.origin.0));
     report.duration = start.elapsed();
 
-    // A timed-out run saw only part of the candidate set; keep the old
-    // verdicts rather than dropping artifacts it never got to.
-    if !report.timed_out {
-        db.verdicts = next_verdicts;
-    }
+    db.verdicts = if timed_out_run {
+        old_verdicts
+    } else {
+        next_verdicts
+    };
     db.names = names;
     let _ = pta;
     DetectIncr {
@@ -478,18 +543,39 @@ mod tests {
 
     #[test]
     fn warm_replay_equals_cold_detect() {
-        let s = stages(SRC);
+        let mut s = stages(SRC);
         let cfg = DetectConfig::o2();
         let mut db = AnalysisDb::new(Digest(1, 1));
-        let shb = build_shb_incremental(&s.p, &s.pta, &ShbConfig::default(), &s.canon, &mut db);
+        let shb = build_shb_incremental(
+            &s.p,
+            &s.pta,
+            &ShbConfig::default(),
+            &s.canon,
+            &mut s.osa.locs,
+            &mut db,
+        );
         let cold = detect(&s.p, &s.pta, &s.osa, &shb.graph, &cfg);
         let first = detect_incremental(
-            &s.p, &s.pta, &s.osa, &shb.graph, &cfg, &s.canon, &shb.fresh_base, &mut db,
+            &s.p,
+            &s.pta,
+            &s.osa,
+            &shb.graph,
+            &cfg,
+            &s.canon,
+            &shb.fresh_base,
+            &mut db,
         );
         assert_eq!(first.candidates_replayed, 0);
         assert!(reports_equal(&first.report, &cold));
         let second = detect_incremental(
-            &s.p, &s.pta, &s.osa, &shb.graph, &cfg, &s.canon, &shb.fresh_base, &mut db,
+            &s.p,
+            &s.pta,
+            &s.osa,
+            &shb.graph,
+            &cfg,
+            &s.canon,
+            &shb.fresh_base,
+            &mut db,
         );
         assert_eq!(second.candidates_rechecked, 0);
         assert_eq!(second.candidates_replayed, first.candidates_rechecked);
@@ -503,12 +589,26 @@ mod tests {
 
     #[test]
     fn edit_rechecks_only_affected_candidates() {
-        let s = stages(SRC);
+        let mut s = stages(SRC);
         let cfg = DetectConfig::o2();
         let mut db = AnalysisDb::new(Digest(1, 1));
-        let shb = build_shb_incremental(&s.p, &s.pta, &ShbConfig::default(), &s.canon, &mut db);
+        let shb = build_shb_incremental(
+            &s.p,
+            &s.pta,
+            &ShbConfig::default(),
+            &s.canon,
+            &mut s.osa.locs,
+            &mut db,
+        );
         let base = detect_incremental(
-            &s.p, &s.pta, &s.osa, &shb.graph, &cfg, &s.canon, &shb.fresh_base, &mut db,
+            &s.p,
+            &s.pta,
+            &s.osa,
+            &shb.graph,
+            &cfg,
+            &s.canon,
+            &shb.fresh_base,
+            &mut db,
         );
         assert!(base.candidates_rechecked >= 2, "S.a and S.b are candidates");
         // Edit W2.run (touches S.b only). W1's candidate on S.a still
@@ -518,11 +618,24 @@ mod tests {
             "method run() { s = this.s; s.b = s; }",
             "method run() { s = this.s; s.b = s; z = s.b; }",
         );
-        let s2 = stages(&edited);
-        let shb2 =
-            build_shb_incremental(&s2.p, &s2.pta, &ShbConfig::default(), &s2.canon, &mut db);
+        let mut s2 = stages(&edited);
+        let shb2 = build_shb_incremental(
+            &s2.p,
+            &s2.pta,
+            &ShbConfig::default(),
+            &s2.canon,
+            &mut s2.osa.locs,
+            &mut db,
+        );
         let warm = detect_incremental(
-            &s2.p, &s2.pta, &s2.osa, &shb2.graph, &cfg, &s2.canon, &shb2.fresh_base, &mut db,
+            &s2.p,
+            &s2.pta,
+            &s2.osa,
+            &shb2.graph,
+            &cfg,
+            &s2.canon,
+            &shb2.fresh_base,
+            &mut db,
         );
         let cold = detect(&s2.p, &s2.pta, &s2.osa, &shb2.graph, &cfg);
         assert!(reports_equal(&warm.report, &cold));
@@ -541,16 +654,37 @@ mod tests {
 
     #[test]
     fn config_change_invalidates_verdicts() {
-        let s = stages(SRC);
+        let mut s = stages(SRC);
         let mut db = AnalysisDb::new(Digest(1, 1));
-        let shb = build_shb_incremental(&s.p, &s.pta, &ShbConfig::default(), &s.canon, &mut db);
+        let shb = build_shb_incremental(
+            &s.p,
+            &s.pta,
+            &ShbConfig::default(),
+            &s.canon,
+            &mut s.osa.locs,
+            &mut db,
+        );
         let cfg = DetectConfig::o2();
         detect_incremental(
-            &s.p, &s.pta, &s.osa, &shb.graph, &cfg, &s.canon, &shb.fresh_base, &mut db,
+            &s.p,
+            &s.pta,
+            &s.osa,
+            &shb.graph,
+            &cfg,
+            &s.canon,
+            &shb.fresh_base,
+            &mut db,
         );
         let naive = DetectConfig::naive();
         let warm = detect_incremental(
-            &s.p, &s.pta, &s.osa, &shb.graph, &naive, &s.canon, &shb.fresh_base, &mut db,
+            &s.p,
+            &s.pta,
+            &s.osa,
+            &shb.graph,
+            &naive,
+            &s.canon,
+            &shb.fresh_base,
+            &mut db,
         );
         assert_eq!(warm.candidates_replayed, 0, "different engine, no replay");
         let cold = detect(&s.p, &s.pta, &s.osa, &shb.graph, &naive);

@@ -41,8 +41,8 @@
 //!     }
 //! "#).unwrap();
 //! let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
-//! let osa = run_osa(&program, &pta);
-//! let shb = build_shb(&program, &pta, &ShbConfig::default());
+//! let mut osa = run_osa(&program, &pta);
+//! let shb = build_shb(&program, &pta, &ShbConfig::default(), &mut osa.locs);
 //! let report = detect(&program, &pta, &osa, &shb, &DetectConfig::o2());
 //! assert_eq!(report.races.len(), 1); // unsynchronized write/read on S.data
 //! ```
@@ -64,7 +64,7 @@ use o2_ir::ids::GStmt;
 use o2_ir::program::Program;
 use o2_pta::{OriginId, PtaResult};
 use o2_shb::{AccessNode, LockSetId, LockTable, ShbGraph};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
@@ -278,9 +278,11 @@ struct Candidate {
     key: MemKey,
     accesses: Vec<(OriginId, AccessNode)>,
     region_merged: u64,
-    /// `origin id → (multi_instance, allocated_only_by_that_origin)` for
-    /// every origin appearing in `accesses`.
-    flags: HashMap<u32, (bool, bool)>,
+    /// Dense `origin id → (multi_instance, allocated_only_by_that_origin)`
+    /// covering every origin appearing in `accesses` (slots for origins
+    /// that never touch this location stay at the `(false, false)`
+    /// default, which the checks below treat as "not multi-instance").
+    flags: Vec<(bool, bool)>,
 }
 
 /// Per-candidate results produced by a worker, merged serially in
@@ -368,7 +370,9 @@ pub fn detect(
 
     // ---- phase 3: deterministic merge -----------------------------------
     merged.sort_unstable_by_key(|(i, _)| *i);
-    let mut seen: BTreeSet<(MemKey, GStmt, GStmt)> = BTreeSet::new();
+    // Candidate order already fixes which duplicate survives, so the dedup
+    // set only needs membership, not ordering.
+    let mut seen: HashSet<(MemKey, GStmt, GStmt)> = HashSet::new();
     for (i, outcome) in merged {
         report.region_merged += candidates[i].region_merged;
         report.pairs_checked += outcome.pairs_checked;
@@ -461,7 +465,15 @@ fn collect_candidates(
     };
 
     let mut candidates: Vec<Candidate> = Vec::new();
-    for (key, entry) in osa.entries.iter() {
+    // Walk candidate ids in canonical `MemKey` order (the order the old
+    // keyed map iterated in), so region-merge representatives and the
+    // phase-3 dedup retain exactly the same accesses as before the
+    // dense-id refactor.
+    for id in osa.locs.sorted_ids() {
+        let Some(entry) = osa.entry(id) else {
+            continue; // interned by SHB only (e.g. truncated OSA scan)
+        };
+        let key = osa.locs.key(id);
         // Candidate locations: origin-shared per OSA, or written by a
         // multi-instance origin (self-sharing that OSA's per-origin sets
         // cannot express).
@@ -472,9 +484,10 @@ fn collect_candidates(
         if !entry.is_shared() && !self_shared {
             continue;
         }
-        let Some(indexed) = shb.accesses_by_key.get(key) else {
+        let indexed = shb.accesses_of(id);
+        if indexed.is_empty() {
             continue;
-        };
+        }
         // Materialize accesses, optionally merging by lock region.
         let mut region_merged = 0u64;
         let mut accesses: Vec<(OriginId, AccessNode)> = Vec::with_capacity(indexed.len());
@@ -494,18 +507,25 @@ fn collect_candidates(
                 accesses.push((origin, a));
             }
         }
-        let mut flags: HashMap<u32, (bool, bool)> = HashMap::new();
+        let mut flags: Vec<(bool, bool)> = Vec::new();
+        let mut flag_set: Vec<bool> = Vec::new();
         for &(origin, _) in &accesses {
-            if let std::collections::hash_map::Entry::Vacant(e) = flags.entry(origin.0) {
+            let slot = origin.0 as usize;
+            if slot >= flags.len() {
+                flags.resize(slot + 1, (false, false));
+                flag_set.resize(slot + 1, false);
+            }
+            if !flag_set[slot] {
+                flag_set[slot] = true;
                 let multi = is_multi(origin);
                 // Allocator attribution only matters for multi-instance
                 // origins (it gates self-races); skip the lookup otherwise.
-                let sole = multi && allocated_only_by(key, origin);
-                e.insert((multi, sole));
+                let sole = multi && allocated_only_by(&key, origin);
+                flags[slot] = (multi, sole);
             }
         }
         candidates.push(Candidate {
-            key: *key,
+            key,
             accesses,
             region_merged,
             flags,
@@ -528,28 +548,40 @@ fn check_candidates_parallel(
 ) -> (Vec<(usize, KeyOutcome)>, u64, u64, bool) {
     let next = AtomicUsize::new(0);
     let out_of_time = AtomicBool::new(false);
+    // Claim contiguous chunks of the candidate range instead of single
+    // indices: one atomic per ~chunk keeps the claim overhead negligible
+    // and gives each worker runs of adjacent candidates (which share trace
+    // and reach-closure locality), while `workers * 8` chunks per worker
+    // still balance the tail. Outcomes carry their candidate index, so the
+    // claiming schedule cannot affect the merged report.
+    let chunk = (todo.len() / (workers.max(1) * 8)).max(1);
     let run_worker = || {
         let mut hb_cache: HbCache = HashMap::new();
         let mut locks = LocalLockCache::default();
         let mut pair_tick: u64 = 0;
         let mut outcomes: Vec<(usize, KeyOutcome)> = Vec::new();
-        loop {
-            let t = next.fetch_add(1, Ordering::Relaxed);
-            if t >= todo.len() || out_of_time.load(Ordering::Relaxed) {
+        'claim: loop {
+            let begin = next.fetch_add(chunk, Ordering::Relaxed);
+            if begin >= todo.len() || out_of_time.load(Ordering::Relaxed) {
                 break;
             }
-            let i = todo[t];
-            let outcome = check_candidate(
-                &candidates[i],
-                shb,
-                config,
-                deadline,
-                &out_of_time,
-                &mut hb_cache,
-                &mut locks,
-                &mut pair_tick,
-            );
-            outcomes.push((i, outcome));
+            let end = (begin + chunk).min(todo.len());
+            for &i in &todo[begin..end] {
+                if out_of_time.load(Ordering::Relaxed) {
+                    break 'claim;
+                }
+                let outcome = check_candidate(
+                    &candidates[i],
+                    shb,
+                    config,
+                    deadline,
+                    &out_of_time,
+                    &mut hb_cache,
+                    &mut locks,
+                    &mut pair_tick,
+                );
+                outcomes.push((i, outcome));
+            }
         }
         (outcomes, locks.hits, locks.misses)
     };
@@ -592,8 +624,8 @@ fn check_candidate(
     let mut out = KeyOutcome::default();
     let key = cand.key;
     let accesses = &cand.accesses;
-    let multi = |o: OriginId| cand.flags.get(&o.0).is_some_and(|f| f.0);
-    let sole_alloc = |o: OriginId| cand.flags.get(&o.0).is_some_and(|f| f.1);
+    let multi = |o: OriginId| cand.flags.get(o.0 as usize).is_some_and(|f| f.0);
+    let sole_alloc = |o: OriginId| cand.flags.get(o.0 as usize).is_some_and(|f| f.1);
 
     // Self-races of multi-instance origins: a write by an abstract
     // origin that stands for several runtime threads races with the
@@ -664,17 +696,19 @@ fn check_candidate(
             let ordered = if same_origin {
                 false
             } else if config.hb_cache {
-                let k1 = ((oa.0, a.pos), (ob.0, b.pos));
-                let h1 = *hb_cache
-                    .entry(k1)
-                    .or_insert_with(|| hb(shb, pa, pb, config.integer_hb));
-                if h1 {
+                // One memoized reachability closure per source position
+                // answers *every* sink in O(1), so a position queried
+                // against k partners costs one DFS instead of k.
+                let ra = hb_cache
+                    .entry((oa.0, a.pos))
+                    .or_insert_with(|| shb.reach_closure(pa));
+                if ra.get(ob.0 as usize).is_some_and(|&m| m <= b.pos) {
                     true
                 } else {
-                    let k2 = ((ob.0, b.pos), (oa.0, a.pos));
-                    *hb_cache
-                        .entry(k2)
-                        .or_insert_with(|| hb(shb, pb, pa, config.integer_hb))
+                    let rb = hb_cache
+                        .entry((ob.0, b.pos))
+                        .or_insert_with(|| shb.reach_closure(pb));
+                    rb.get(oa.0 as usize).is_some_and(|&m| m <= a.pos)
                 }
             } else {
                 hb(shb, pa, pb, config.integer_hb) || hb(shb, pb, pa, config.integer_hb)
@@ -711,8 +745,12 @@ pub fn mem_key_label(program: &Program, key: MemKey) -> String {
     }
 }
 
-/// Memoized happens-before queries: ((origin, pos), (origin, pos)) → HB.
-type HbCache = HashMap<((u32, u32), (u32, u32)), bool>;
+/// Memoized reachability closures: `(origin, pos)` → the per-origin
+/// minimum reachable positions from that node
+/// ([`ShbGraph::reach_closure`]). One closure answers every
+/// happens-before query with that source in O(1), replacing the old
+/// per-(source, sink) boolean cache.
+type HbCache = HashMap<(u32, u32), Vec<u32>>;
 
 /// Minimal JSON string escaping.
 fn json_escape(s: &str) -> String {
@@ -769,8 +807,8 @@ mod tests {
         let p = parse(src).unwrap();
         o2_ir::validate::assert_valid(&p);
         let pta = analyze(&p, &PtaConfig::with_policy(policy));
-        let osa = run_osa(&p, &pta);
-        let shb = build_shb(&p, &pta, &ShbConfig::default());
+        let mut osa = run_osa(&p, &pta);
+        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
         let report = detect(&p, &pta, &osa, &shb, cfg);
         (p, report)
     }
@@ -1062,8 +1100,6 @@ mod tests {
     }
 }
 
-
-
 #[cfg(test)]
 mod multi_instance_tests {
     use super::*;
@@ -1075,8 +1111,8 @@ mod multi_instance_tests {
     fn races(src: &str, policy: Policy) -> RaceReport {
         let p = parse(src).unwrap();
         let pta = analyze(&p, &PtaConfig::with_policy(policy));
-        let osa = run_osa(&p, &pta);
-        let shb = build_shb(&p, &pta, &ShbConfig::default());
+        let mut osa = run_osa(&p, &pta);
+        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
         detect(&p, &pta, &osa, &shb, &DetectConfig::o2())
     }
 

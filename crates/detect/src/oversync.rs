@@ -116,8 +116,8 @@ mod tests {
     fn oversync(src: &str) -> (o2_ir::Program, OversyncReport) {
         let p = parse(src).unwrap();
         let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-        let osa = run_osa(&p, &pta);
-        let shb = build_shb(&p, &pta, &ShbConfig::default());
+        let mut osa = run_osa(&p, &pta);
+        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
         let report = find_oversync(&p, &osa, &shb);
         (p, report)
     }

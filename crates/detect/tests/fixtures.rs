@@ -16,8 +16,8 @@ use o2_shb::{build_shb, ShbConfig, ShbGraph};
 fn run(src: &str) -> (Program, ShbGraph, DeadlockReport, OversyncReport) {
     let p = parse(src).unwrap();
     let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-    let osa = run_osa(&p, &pta);
-    let shb = build_shb(&p, &pta, &ShbConfig::default());
+    let mut osa = run_osa(&p, &pta);
+    let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
     let deadlocks = detect_deadlocks(&p, &shb);
     let oversync = find_oversync(&p, &osa, &shb);
     (p, shb, deadlocks, oversync)
@@ -85,7 +85,11 @@ fn common_gate_lock_suppresses_the_cycle() {
     // Both threads serialize their nested acquisitions under `g`: the
     // interleaving that deadlocks cannot happen.
     let (p, shb, deadlocks, _) = run(&ab_ba(true, true));
-    assert!(deadlocks.cycles.is_empty(), "{}", deadlocks.render(&p, &shb));
+    assert!(
+        deadlocks.cycles.is_empty(),
+        "{}",
+        deadlocks.render(&p, &shb)
+    );
 }
 
 #[test]

@@ -148,12 +148,7 @@ impl ProgramBuilder {
     pub fn add_class(&mut self, name: impl Into<String>, superclass: Option<ClassId>) -> ClassId {
         let name = name.into();
         let id = ClassId::from_usize(self.classes.len());
-        if self
-            .class_by_name
-            .insert(name.clone(), id)
-            .is_some()
-            && self.duplicate_class.is_none()
-        {
+        if self.class_by_name.insert(name.clone(), id).is_some() && self.duplicate_class.is_none() {
             self.duplicate_class = Some(name.clone());
         }
         self.classes.push(Class {

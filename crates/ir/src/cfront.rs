@@ -446,9 +446,7 @@ fn parse_stmt(p: &mut P, mb: &mut MethodBuilder<'_>) -> Result<(), ParseError> {
                 p.next()?;
                 match p.next()? {
                     Tok::Num(n) if (1..=255).contains(&n) => replicas = n as u8,
-                    Tok::Num(_) => {
-                        return Err(p.err("replica count must be between 1 and 255"))
-                    }
+                    Tok::Num(_) => return Err(p.err("replica count must be between 1 and 255")),
                     _ => return Err(p.err("expected replica count")),
                 }
             }
@@ -612,11 +610,18 @@ mod tests {
         crate::validate::assert_valid(&p);
         let f = {
             let c = p.class_by_name(C_UNIT_CLASS).unwrap();
-            p.dispatch(c, &crate::program::Selector::new("f", 2)).unwrap()
+            p.dispatch(c, &crate::program::Selector::new("f", 2))
+                .unwrap()
         };
         let body = &p.method(f).body;
-        assert!(matches!(body[0].stmt, crate::program::Stmt::MonitorEnter { .. }));
-        assert!(matches!(body[2].stmt, crate::program::Stmt::MonitorExit { .. }));
+        assert!(matches!(
+            body[0].stmt,
+            crate::program::Stmt::MonitorEnter { .. }
+        ));
+        assert!(matches!(
+            body[2].stmt,
+            crate::program::Stmt::MonitorExit { .. }
+        ));
     }
 
     #[test]
@@ -718,8 +723,14 @@ mod tests {
                 .unwrap()
         };
         let body = &p.method(worker).body;
-        assert!(matches!(body[0].stmt, crate::program::Stmt::StoreStatic { .. }));
-        assert!(matches!(body[1].stmt, crate::program::Stmt::LoadStatic { .. }));
+        assert!(matches!(
+            body[0].stmt,
+            crate::program::Stmt::StoreStatic { .. }
+        ));
+        assert!(matches!(
+            body[1].stmt,
+            crate::program::Stmt::LoadStatic { .. }
+        ));
     }
 
     #[test]

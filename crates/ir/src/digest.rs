@@ -500,7 +500,10 @@ mod tests {
         let diff = digest_diff(&d, &d);
         assert!(diff.is_empty());
         assert!(diff.invalidated.is_empty());
-        assert_eq!(diff.summary(), "0 changed, 0 added, 0 removed, 0 invalidated");
+        assert_eq!(
+            diff.summary(),
+            "0 changed, 0 added, 0 removed, 0 invalidated"
+        );
     }
 
     #[test]

@@ -171,14 +171,22 @@ mod tests {
         for name in ["run", "call"] {
             assert_eq!(cfg.entry_kind(name), Some(OriginKind::Thread), "{name}");
         }
-        for name in ["handleEvent", "onReceive", "onMessageEvent", "actionPerformed"] {
+        for name in [
+            "handleEvent",
+            "onReceive",
+            "onMessageEvent",
+            "actionPerformed",
+        ] {
             assert_eq!(
                 cfg.entry_kind(name),
                 Some(OriginKind::Event { dispatcher: 0 }),
                 "{name}"
             );
         }
-        assert_eq!(cfg.entry_kind("__x64_sys_mincore"), Some(OriginKind::Syscall));
+        assert_eq!(
+            cfg.entry_kind("__x64_sys_mincore"),
+            Some(OriginKind::Syscall)
+        );
         assert_eq!(cfg.entry_kind("main"), None);
     }
 
@@ -190,7 +198,10 @@ mod tests {
         cfg.add_event_entry("onTick", 3);
         cfg.add_prefix("irq_", OriginKind::Interrupt);
         assert_eq!(cfg.entry_kind("myFiberBody"), Some(OriginKind::Thread));
-        assert_eq!(cfg.entry_kind("onTick"), Some(OriginKind::Event { dispatcher: 3 }));
+        assert_eq!(
+            cfg.entry_kind("onTick"),
+            Some(OriginKind::Event { dispatcher: 3 })
+        );
         assert_eq!(cfg.entry_kind("irq_gpio"), Some(OriginKind::Interrupt));
     }
 

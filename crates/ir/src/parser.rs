@@ -371,7 +371,8 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
             }
             "entry_prefix" => {
                 let prefix = p.ident()?;
-                let kind = parse_kind_name(&p.ident()?).ok_or_else(|| p.err("unknown origin kind"))?;
+                let kind =
+                    parse_kind_name(&p.ident()?).ok_or_else(|| p.err("unknown origin kind"))?;
                 pb.entry_config_mut().add_prefix(prefix, kind);
             }
             other => return Err(p.err(format!("unknown pragma `{other}`"))),
@@ -925,10 +926,8 @@ mod robustness_tests {
 
     #[test]
     fn duplicate_method_is_an_error_not_a_panic() {
-        let err = parse(
-            "class C { method m() { } method m() { } static method main() { } }",
-        )
-        .unwrap_err();
+        let err = parse("class C { method m() { } method m() { } static method main() { } }")
+            .unwrap_err();
         assert!(err.message.contains("duplicate method"), "{err}");
     }
 

@@ -67,10 +67,7 @@ pub struct Class {
 impl Class {
     /// Looks up a method declared directly in this class.
     pub fn local_method(&self, sel: &Selector) -> Option<MethodId> {
-        self.methods
-            .iter()
-            .find(|(s, _)| s == sel)
-            .map(|(_, m)| *m)
+        self.methods.iter().find(|(s, _)| s == sel).map(|(_, m)| *m)
     }
 }
 

@@ -62,7 +62,11 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
     for (ci, class) in program.classes.iter().enumerate() {
         if let Some(sup) = class.superclass {
             if !class_ok(sup) {
-                err(None, None, format!("class {} has invalid superclass", class.name));
+                err(
+                    None,
+                    None,
+                    format!("class {} has invalid superclass", class.name),
+                );
             } else {
                 // Cycle check along this chain.
                 let mut seen = vec![false; num_classes];
@@ -113,15 +117,13 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
                 }
                 Stmt::NewArray { dst } => check_vars(&[*dst]),
                 Stmt::Assign { dst, src } => check_vars(&[*dst, *src]),
-                Stmt::StoreField { base, field, src }
-                | Stmt::AtomicStore { base, field, src } => {
+                Stmt::StoreField { base, field, src } | Stmt::AtomicStore { base, field, src } => {
                     check_vars(&[*base, *src]);
                     if !field_ok(*field) {
                         err(Some(mid), Some(si), "invalid field".to_string());
                     }
                 }
-                Stmt::LoadField { dst, base, field }
-                | Stmt::AtomicLoad { dst, base, field } => {
+                Stmt::LoadField { dst, base, field } | Stmt::AtomicLoad { dst, base, field } => {
                     check_vars(&[*dst, *base]);
                     if !field_ok(*field) {
                         err(Some(mid), Some(si), "invalid field".to_string());

@@ -5,7 +5,7 @@
 //! seeds, so every run checks exactly the same inputs — failures reproduce
 //! without a shrinker or an external property-testing dependency.
 
-use o2_ir::util::{Interner, SplitMix64, SparseSet};
+use o2_ir::util::{Interner, SparseSet, SplitMix64};
 
 const CASES: u64 = 64;
 
@@ -32,7 +32,11 @@ fn sparse_set_models_btreeset() {
     }
 }
 
-fn random_btree_set(rng: &mut SplitMix64, bound: u64, max_len: usize) -> std::collections::BTreeSet<u32> {
+fn random_btree_set(
+    rng: &mut SplitMix64,
+    bound: u64,
+    max_len: usize,
+) -> std::collections::BTreeSet<u32> {
     let n = rng.gen_range(0, max_len);
     (0..n).map(|_| rng.next_below(bound) as u32).collect()
 }
@@ -119,7 +123,10 @@ fn splitmix_is_deterministic_and_bounded() {
             falses += 1;
         }
     }
-    assert!(trues > 300 && falses > 300, "gen_bool badly skewed: {trues}/{falses}");
+    assert!(
+        trues > 300 && falses > 300,
+        "gen_bool badly skewed: {trues}/{falses}"
+    );
 }
 
 /// Parse → print → parse preserves structure for a fixed corpus of
@@ -157,8 +164,8 @@ fn print_parse_roundtrip_corpus() {
     for src in corpus {
         let p1 = o2_ir::parser::parse(src).unwrap();
         let text = o2_ir::printer::print_program(&p1);
-        let p2 = o2_ir::parser::parse(&text)
-            .unwrap_or_else(|e| panic!("roundtrip failed: {e}\n{text}"));
+        let p2 =
+            o2_ir::parser::parse(&text).unwrap_or_else(|e| panic!("roundtrip failed: {e}\n{text}"));
         assert_eq!(p1.num_statements(), p2.num_statements());
         // Parse-originated programs round-trip to a *structurally equal*
         // program: same classes, fields, entry config, attributes, and

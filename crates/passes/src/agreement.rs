@@ -44,9 +44,6 @@ impl Pass for RacerdAgreementPass {
         }
         let total = report.total_warnings() as u64;
         state.racerd = Some(report);
-        vec![
-            ("racerd_warnings", total),
-            ("agreements", agreements),
-        ]
+        vec![("racerd_warnings", total), ("agreements", agreements)]
     }
 }

@@ -46,8 +46,7 @@ impl Pass for GuardedByPass {
 
     fn run(&mut self, ctx: &AnalysisCtx<'_>, state: &mut PipelineState) -> PassStats {
         // Infer a dominant guard per racy location.
-        let keys: BTreeMap<MemKey, ()> =
-            state.races.iter().map(|tr| (tr.race.key, ())).collect();
+        let keys: BTreeMap<MemKey, ()> = state.races.iter().map(|tr| (tr.race.key, ())).collect();
         let mut inferred: BTreeMap<MemKey, GuardInference> = BTreeMap::new();
         for &key in keys.keys() {
             if let Some(inf) = infer_guard(ctx, key) {
@@ -90,7 +89,8 @@ impl Pass for GuardedByPass {
 /// majority and at least two accesses. Ties break toward the smallest
 /// element id, so inference is deterministic.
 pub fn infer_guard(ctx: &AnalysisCtx<'_>, key: MemKey) -> Option<GuardInference> {
-    let accesses = ctx.shb.accesses_by_key.get(&key)?;
+    let loc = ctx.osa.locs.lookup(&key)?;
+    let accesses = ctx.shb.accesses_of(loc);
     let total = accesses.len() as u32;
     if total < 3 {
         // With fewer than three accesses "all but one" and "majority"
@@ -104,7 +104,9 @@ pub fn infer_guard(ctx: &AnalysisCtx<'_>, key: MemKey) -> Option<GuardInference>
             *counts.entry(elem).or_insert(0) += 1;
         }
     }
-    let (&elem, &covered) = counts.iter().max_by_key(|&(e, c)| (*c, std::cmp::Reverse(*e)))?;
+    let (&elem, &covered) = counts
+        .iter()
+        .max_by_key(|&(e, c)| (*c, std::cmp::Reverse(*e)))?;
     if covered >= 2 && covered * 2 > total && covered < total {
         Some(GuardInference {
             elem,
@@ -118,15 +120,14 @@ pub fn infer_guard(ctx: &AnalysisCtx<'_>, key: MemKey) -> Option<GuardInference>
 
 /// Human-readable name of a lock element, e.g. `Lock#5`, `G.class`,
 /// `dispatcher#0`, or `S.f (atomic)`.
-pub fn lock_elem_label(
-    program: &Program,
-    pta: &PtaResult,
-    locks: &LockTable,
-    elem: u32,
-) -> String {
+pub fn lock_elem_label(program: &Program, pta: &PtaResult, locks: &LockTable, elem: u32) -> String {
     match locks.elem_data(elem) {
         LockElem::Obj(obj) if obj.0 < pta.arena.num_objects() as u32 => {
-            format!("{}#{}", program.class(pta.arena.obj_data(obj).class).name, obj.0)
+            format!(
+                "{}#{}",
+                program.class(pta.arena.obj_data(obj).class).name,
+                obj.0
+            )
         }
         LockElem::Obj(obj) => format!("unknown-lock#{}", u32::MAX - obj.0),
         LockElem::Class(c) => format!("{}.class", program.class(c).name),

@@ -37,8 +37,8 @@
 //! "#;
 //! let program = parse(src).unwrap();
 //! let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
-//! let osa = run_osa(&program, &pta);
-//! let shb = build_shb(&program, &pta, &ShbConfig::default());
+//! let mut osa = run_osa(&program, &pta);
+//! let shb = build_shb(&program, &pta, &ShbConfig::default(), &mut osa.locs);
 //! let races = detect(&program, &pta, &osa, &shb, &DetectConfig::o2());
 //! let report = run_pipeline(&program, &pta, &osa, &shb, &races);
 //! assert_eq!(report.races.len(), 1);

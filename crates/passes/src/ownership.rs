@@ -127,8 +127,7 @@ fn pre_publication_pair(ctx: &AnalysisCtx<'_>, obj: ObjId, a: GStmt, b: GStmt) -
             return false;
         }
     }
-    let Some(pub_idx) = publication_index(ctx.pta, &mis, method, alloc.index as usize, obj)
-    else {
+    let Some(pub_idx) = publication_index(ctx.pta, &mis, method, alloc.index as usize, obj) else {
         return false;
     };
     let in_window = |g: GStmt| {

@@ -167,16 +167,8 @@ pub fn to_sarif(report: &PipelineReport, program: &Program) -> String {
     }
     for cycle in deadlocks {
         emitted += 1;
-        let locks: Vec<String> = cycle
-            .locks
-            .iter()
-            .map(|e| lock_label(e, program))
-            .collect();
-        let stmts: Vec<String> = cycle
-            .stmts
-            .iter()
-            .map(|&s| program.stmt_label(s))
-            .collect();
+        let locks: Vec<String> = cycle.locks.iter().map(|e| lock_label(e, program)).collect();
+        let stmts: Vec<String> = cycle.stmts.iter().map(|&s| program.stmt_label(s)).collect();
         out.push_str("        {\n");
         out.push_str("          \"ruleId\": \"o2/deadlock\",\n");
         out.push_str("          \"ruleIndex\": 1,\n");

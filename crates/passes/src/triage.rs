@@ -123,11 +123,9 @@ impl Pass for SuppressionPass {
 
     fn run(&mut self, ctx: &AnalysisCtx<'_>, state: &mut PipelineState) -> PassStats {
         let program = ctx.program;
-        let (suppressed, live): (Vec<_>, Vec<_>) =
-            state.races.drain(..).partition(|tr| {
-                program.is_race_suppressed(tr.race.a.stmt)
-                    || program.is_race_suppressed(tr.race.b.stmt)
-            });
+        let (suppressed, live): (Vec<_>, Vec<_>) = state.races.drain(..).partition(|tr| {
+            program.is_race_suppressed(tr.race.a.stmt) || program.is_race_suppressed(tr.race.b.stmt)
+        });
         state.races = live;
         for mut tr in suppressed {
             tr.notes.push("@suppress(race) annotation".to_string());
@@ -236,7 +234,11 @@ pub fn report_to_json(report: &PipelineReport, program: &Program) -> String {
             out,
             "    {}{}",
             triaged_json(program, tr),
-            if i + 1 < report.suppressed.len() { "," } else { "" }
+            if i + 1 < report.suppressed.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     out.push_str("  ],\n  \"pruned\": [\n");

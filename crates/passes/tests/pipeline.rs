@@ -14,8 +14,8 @@ fn pipeline_for(
     policy: Policy,
 ) -> (PipelineReport, o2_detect::RaceReport) {
     let pta = analyze(program, &PtaConfig::with_policy(policy));
-    let osa = run_osa(program, &pta);
-    let shb = build_shb(program, &pta, &ShbConfig::default());
+    let mut osa = run_osa(program, &pta);
+    let shb = build_shb(program, &pta, &ShbConfig::default(), &mut osa.locs);
     let races = detect(program, &pta, &osa, &shb, &DetectConfig::o2());
     let report = run_pipeline(program, &pta, &osa, &shb, &races);
     (report, races)
@@ -54,12 +54,12 @@ fn zero_ctx_bait_is_pruned_with_no_tp_loss() {
     // reported, in the high tier.
     let fields = race_fields(&report, &w.program);
     for racy in &w.truth.racy_fields {
-        let found = report.races.iter().find(|tr| {
-            o2_detect::mem_key_label(&w.program, tr.race.key).contains(racy.as_str())
-        });
-        let tr = found.unwrap_or_else(|| {
-            panic!("planted race on `{racy}` lost (fields: {fields:?})")
-        });
+        let found = report
+            .races
+            .iter()
+            .find(|tr| o2_detect::mem_key_label(&w.program, tr.race.key).contains(racy.as_str()));
+        let tr =
+            found.unwrap_or_else(|| panic!("planted race on `{racy}` lost (fields: {fields:?})"));
         assert_eq!(
             tr.tier,
             Tier::High,
@@ -72,7 +72,10 @@ fn zero_ctx_bait_is_pruned_with_no_tp_loss() {
     for p in &report.pruned {
         let label = o2_detect::mem_key_label(&w.program, p.race.key);
         assert!(
-            !w.truth.racy_fields.iter().any(|r| label.contains(r.as_str())),
+            !w.truth
+                .racy_fields
+                .iter()
+                .any(|r| label.contains(r.as_str())),
             "planted race pruned: {label} ({})",
             p.reason
         );
@@ -96,8 +99,7 @@ fn origin_policy_keeps_planted_races_high() {
                 .races
                 .iter()
                 .find(|tr| {
-                    o2_detect::mem_key_label(&w.program, tr.race.key)
-                        .contains(racy.as_str())
+                    o2_detect::mem_key_label(&w.program, tr.race.key).contains(racy.as_str())
                 })
                 .unwrap_or_else(|| panic!("{name}: planted race on `{racy}` lost"));
             assert_eq!(tr.tier, Tier::High, "{name}: `{racy}` must stay high");
@@ -133,7 +135,10 @@ fn suppression_moves_races_out_of_the_main_report() {
         .any(|n| n.contains("@suppress")));
     // Suppressed races appear in SARIF with an inSource suppression.
     let sarif = report.to_sarif(&program);
-    assert!(sarif.contains("\"suppressions\": [{\"kind\": \"inSource\"}]"), "{sarif}");
+    assert!(
+        sarif.contains("\"suppressions\": [{\"kind\": \"inSource\"}]"),
+        "{sarif}"
+    );
 }
 
 #[test]
@@ -142,8 +147,8 @@ fn reports_are_deterministic_across_thread_counts() {
         .expect("preset exists")
         .generate();
     let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
-    let osa = run_osa(&w.program, &pta);
-    let shb = build_shb(&w.program, &pta, &ShbConfig::default());
+    let mut osa = run_osa(&w.program, &pta);
+    let shb = build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
     let mut outputs = Vec::new();
     for threads in [1usize, 4] {
         let cfg = DetectConfig::o2().with_threads(threads);
@@ -151,8 +156,14 @@ fn reports_are_deterministic_across_thread_counts() {
         let report = run_pipeline(&w.program, &pta, &osa, &shb, &races);
         outputs.push((report.to_json(&w.program), report.to_sarif(&w.program)));
     }
-    assert_eq!(outputs[0].0, outputs[1].0, "JSON must not depend on --threads");
-    assert_eq!(outputs[0].1, outputs[1].1, "SARIF must not depend on --threads");
+    assert_eq!(
+        outputs[0].0, outputs[1].0,
+        "JSON must not depend on --threads"
+    );
+    assert_eq!(
+        outputs[0].1, outputs[1].1,
+        "SARIF must not depend on --threads"
+    );
 }
 
 #[test]
@@ -192,8 +203,8 @@ fn refactored_passes_match_the_standalone_clients() {
     "#;
     let program = parse(src).unwrap();
     let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
-    let osa = run_osa(&program, &pta);
-    let shb = build_shb(&program, &pta, &ShbConfig::default());
+    let mut osa = run_osa(&program, &pta);
+    let shb = build_shb(&program, &pta, &ShbConfig::default(), &mut osa.locs);
     let races = detect(&program, &pta, &osa, &shb, &DetectConfig::o2());
     let report = run_pipeline(&program, &pta, &osa, &shb, &races);
 

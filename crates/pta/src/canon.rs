@@ -24,9 +24,10 @@
 
 use crate::context::{AllocSite, CtxElem, ObjId, OriginId, OriginSite};
 use crate::solver::{CallTarget, Mi, PtaResult};
+use o2_db::FastMap;
 use o2_db::{Digest, DigestHasher};
 use o2_ir::program::Program;
-use o2_ir::{GStmt, MethodId, OriginKind, ProgramDigests, VarId};
+use o2_ir::{GStmt, MethodId, OriginKind, ProgramDigests};
 use std::collections::HashMap;
 
 /// Canonical digests and state signatures for one solved [`PtaResult`].
@@ -39,10 +40,10 @@ pub struct CanonIndex {
     mi_sigs: Vec<Digest>,
     origin_sigs: Vec<Digest>,
     origin_mis: Vec<Vec<Mi>>,
-    by_origin: HashMap<Digest, OriginId>,
-    by_mi: HashMap<Digest, Mi>,
-    by_obj: HashMap<Digest, ObjId>,
-    by_qname: HashMap<String, MethodId>,
+    by_origin: FastMap<Digest, OriginId>,
+    by_mi: FastMap<Digest, Mi>,
+    by_obj: FastMap<Digest, ObjId>,
+    by_qname: FastMap<String, MethodId>,
 }
 
 fn write_stmt(h: &mut DigestHasher, qnames: &[String], g: GStmt) {
@@ -217,16 +218,32 @@ impl CanonIndex {
 
         // Per-mi state signatures: body digest + canonical points-to of
         // every local variable (the pointer facts a body scan consumes).
+        // The solver's nodes are walked once up front; probing `pts_var`
+        // per (mi, var) costs a hash lookup each and dominates warm runs.
+        let mut var_pts: Vec<Vec<(u32, &[u32])>> = vec![Vec::new(); num_mis];
+        for (mi, v, pts) in pta.var_pts_iter() {
+            if (mi.0 as usize) < num_mis && !pts.is_empty() {
+                var_pts[mi.0 as usize].push((v.index() as u32, pts));
+            }
+        }
+        for l in &mut var_pts {
+            l.sort_unstable_by_key(|&(v, _)| v);
+        }
         let mut mi_sigs = Vec::with_capacity(num_mis);
         for i in 0..num_mis as u32 {
             let (method, _) = pta.mi_data(Mi(i));
             let m = program.method(method);
-            let mut h = DigestHasher::with_tag("o2.mi.sig.v1");
+            let mut h = DigestHasher::with_tag("o2.mi.sig.v2");
             h.write_digest(mi_digests[i as usize]);
             h.write_digest(digests.by_method[method.index()]);
             h.write_u32(m.num_vars as u32);
-            for v in 0..m.num_vars as u32 {
-                let pts = pta.pts_var(Mi(i), VarId(v));
+            // Sparse stream: most locals point nowhere, so only non-empty
+            // sets are hashed, each tagged with its variable index. The
+            // count prefix keeps the encoding prefix-free.
+            let vars = &var_pts[i as usize];
+            h.write_u32(vars.len() as u32);
+            for &(v, pts) in vars {
+                h.write_u32(v);
                 h.write_u32(pts.len() as u32);
                 for &o in pts {
                     h.write_digest(obj_digests[o as usize]);
@@ -247,12 +264,83 @@ impl CanonIndex {
         // Per-origin state signatures: everything the OSA/SHB walk of this
         // origin observes — its identity, entry context, entry instances,
         // and for each of its method instances the body + points-to
-        // signature, resolved call targets, and joined origins.
+        // signature, resolved call targets, and joined origins. Edges are
+        // grouped per mi once up front: an mi shared by k origins would
+        // otherwise probe the edge maps k × body_len times.
+        let mut mi_calls: Vec<Vec<(u32, &[CallTarget])>> = vec![Vec::new(); num_mis];
+        for (mi, idx, targets) in pta.call_edges_iter() {
+            if (mi.0 as usize) < num_mis && !targets.is_empty() {
+                mi_calls[mi.0 as usize].push((idx, targets));
+            }
+        }
+        let mut mi_joins: Vec<Vec<(u32, &[OriginId])>> = vec![Vec::new(); num_mis];
+        for (mi, idx, joined) in pta.join_edges_iter() {
+            if (mi.0 as usize) < num_mis && !joined.is_empty() {
+                mi_joins[mi.0 as usize].push((idx, joined));
+            }
+        }
+        // Per-mi scan signatures: the body/points-to signature plus the
+        // body-ordered call and join edge stream. This is everything an
+        // origin's walk observes about one method instance, and none of
+        // it depends on *which* origin is walking — so it is hashed once
+        // per instance, not once per (origin, instance) pair.
+        let mut mi_scan_sigs = vec![Digest::EMPTY; num_mis];
+        for mi in pta.reachable_mis() {
+            if pta.mi_origins(mi).is_empty() {
+                continue;
+            }
+            let (method, _) = pta.mi_data(mi);
+            let body_len = program.method(method).body.len() as u32;
+            let mut h = DigestHasher::with_tag("o2.mi.scan.v1");
+            h.write_digest(mi_sigs[mi.0 as usize]);
+            // Merge the two ascending edge lists; at equal statement
+            // indices the call block precedes the join block, matching
+            // a per-statement walk of the body.
+            let (calls, joins) = (&mi_calls[mi.0 as usize], &mi_joins[mi.0 as usize]);
+            let (mut ci, mut ji) = (0, 0);
+            loop {
+                let next_c = calls.get(ci).map_or(u32::MAX, |&(x, _)| x.min(body_len));
+                let next_j = joins.get(ji).map_or(u32::MAX, |&(x, _)| x.min(body_len));
+                if next_c >= body_len && next_j >= body_len {
+                    break;
+                }
+                if next_c <= next_j {
+                    let (idx, targets) = calls[ci];
+                    ci += 1;
+                    h.write_u32(idx);
+                    h.write_u32(targets.len() as u32);
+                    for t in targets {
+                        match t {
+                            CallTarget::Normal(_) => h.write_u8(0),
+                            CallTarget::Entry { origin: o, .. } => {
+                                h.write_u8(1);
+                                h.write_digest(origin_digests[o.0 as usize]);
+                            }
+                            CallTarget::SpawnEntry { origin: o, .. } => {
+                                h.write_u8(2);
+                                h.write_digest(origin_digests[o.0 as usize]);
+                            }
+                        }
+                        h.write_digest(mi_digests[t.mi().0 as usize]);
+                    }
+                } else {
+                    let (idx, joined) = joins[ji];
+                    ji += 1;
+                    h.write_u32(idx);
+                    h.write_u32(joined.len() as u32);
+                    for &o in joined {
+                        h.write_digest(origin_digests[o.0 as usize]);
+                    }
+                }
+            }
+            mi_scan_sigs[mi.0 as usize] = h.finish();
+        }
+
         let mut origin_sigs = Vec::with_capacity(num_origins);
         for i in 0..num_origins as u32 {
             let origin = OriginId(i);
             let data = pta.arena.origin_data(origin).clone();
-            let mut h = DigestHasher::with_tag("o2.origin.sig.v1");
+            let mut h = DigestHasher::with_tag("o2.origin.sig.v2");
             h.write_digest(origin_digests[i as usize]);
             h.write_digest(b.ctx_digest(data.entry_ctx));
             let entries = pta.origin_entries(origin);
@@ -262,38 +350,7 @@ impl CanonIndex {
             }
             h.write_u32(origin_mis[i as usize].len() as u32);
             for &mi in &origin_mis[i as usize] {
-                let (method, _) = pta.mi_data(mi);
-                let body_len = program.method(method).body.len();
-                h.write_digest(mi_sigs[mi.0 as usize]);
-                for idx in 0..body_len {
-                    let targets = pta.callees(mi, idx);
-                    if !targets.is_empty() {
-                        h.write_u32(idx as u32);
-                        h.write_u32(targets.len() as u32);
-                        for t in targets {
-                            match t {
-                                CallTarget::Normal(_) => h.write_u8(0),
-                                CallTarget::Entry { origin: o, .. } => {
-                                    h.write_u8(1);
-                                    h.write_digest(origin_digests[o.0 as usize]);
-                                }
-                                CallTarget::SpawnEntry { origin: o, .. } => {
-                                    h.write_u8(2);
-                                    h.write_digest(origin_digests[o.0 as usize]);
-                                }
-                            }
-                            h.write_digest(mi_digests[t.mi().0 as usize]);
-                        }
-                    }
-                    let joined = pta.joined_origins(mi, idx);
-                    if !joined.is_empty() {
-                        h.write_u32(idx as u32);
-                        h.write_u32(joined.len() as u32);
-                        for &o in joined {
-                            h.write_digest(origin_digests[o.0 as usize]);
-                        }
-                    }
-                }
+                h.write_digest(mi_scan_sigs[mi.0 as usize]);
             }
             origin_sigs.push(h.finish());
         }
@@ -394,6 +451,13 @@ impl CanonIndex {
     pub fn num_origins(&self) -> usize {
         self.origin_digests.len()
     }
+
+    /// Number of method instances indexed. Method-instance ids are dense
+    /// in `0..num_mis()`, so consumers can allocate flat per-instance
+    /// stores instead of keyed maps.
+    pub fn num_mis(&self) -> usize {
+        self.mi_digests.len()
+    }
 }
 
 #[cfg(test)]
@@ -468,8 +532,8 @@ mod tests {
         for i in 0..n as u32 {
             let o = OriginId(i);
             let d = base.origin_digest(o);
-            let same_identity = new.origin_of_digest(d) == Some(o)
-                || new.origin_of_digest(d).is_some();
+            let same_identity =
+                new.origin_of_digest(d) == Some(o) || new.origin_of_digest(d).is_some();
             assert!(same_identity, "origin identities survive a body edit");
             let o_new = new.origin_of_digest(d).unwrap();
             if base.origin_sig(o) != new.origin_sig(o_new) {

@@ -353,7 +353,10 @@ mod tests {
                 p.dispatch(c, &o2_ir::Selector::new("run", 0)).unwrap()
             };
             let reached: Vec<_> = r.reachable_mis().map(|mi| r.mi_data(mi).0).collect();
-            assert!(reached.contains(&run_m), "{policy}: run() must be reachable");
+            assert!(
+                reached.contains(&run_m),
+                "{policy}: run() must be reachable"
+            );
             assert!(r.num_origins() >= 3, "{policy}: origins discovered");
             assert!(!r.timed_out);
         }

@@ -223,11 +223,7 @@ mod tests {
     fn origin_policy_inherits_caller_ctx() {
         let mut a = Arena::new();
         let p = Policy::origin1();
-        let c = a.push_trunc(
-            Ctx::EMPTY,
-            CtxElem::Origin(crate::context::OriginId(0)),
-            1,
-        );
+        let c = a.push_trunc(Ctx::EMPTY, CtxElem::Origin(crate::context::OriginId(0)), 1);
         assert_eq!(p.call_ctx(&mut a, c, site(1), None), c);
         assert_eq!(p.heap_ctx(&mut a, c), c);
     }

@@ -432,8 +432,14 @@ fn difference_propagation_matches_full_set_baseline() {
                 full.canonical_snapshot(),
                 "fixture {i}, {policy}: points-to fixpoints differ"
             );
-            assert_eq!(diff.stats.num_objects, full.stats.num_objects, "fixture {i}");
-            assert_eq!(diff.stats.num_origins, full.stats.num_origins, "fixture {i}");
+            assert_eq!(
+                diff.stats.num_objects, full.stats.num_objects,
+                "fixture {i}"
+            );
+            assert_eq!(
+                diff.stats.num_origins, full.stats.num_origins,
+                "fixture {i}"
+            );
             assert_eq!(diff.stats.num_mis, full.stats.num_mis, "fixture {i}");
             assert_eq!(diff.stats.num_edges, full.stats.num_edges, "fixture {i}");
             assert!(

@@ -18,7 +18,9 @@
 //! | ⓫    | origin allocation    | `Solver::create_origins_for_new` |
 //! | ⓬    | origin entry call    | `Solver::dispatch_entry`      |
 
-use crate::context::{AllocSite, Arena, Ctx, CtxElem, ObjData, ObjId, OriginId, OriginKey, OriginSite};
+use crate::context::{
+    AllocSite, Arena, Ctx, CtxElem, ObjData, ObjId, OriginId, OriginKey, OriginSite,
+};
 use crate::policy::Policy;
 use o2_ir::ids::{ClassId, FieldId, GStmt, MethodId, VarId, ARRAY_FIELD};
 use o2_ir::origins::OriginKind;
@@ -383,6 +385,40 @@ impl PtaResult {
             .unwrap_or(EMPTY_ORIGINS)
     }
 
+    /// Iterates every recorded call edge as `(mi, stmt_idx, targets)`,
+    /// ascending by `(mi, stmt_idx)`. Bulk alternative to probing
+    /// [`PtaResult::callees`] per statement when a consumer (such as
+    /// [`crate::CanonIndex::build`]) needs the edges of whole method
+    /// bodies.
+    pub fn call_edges_iter(&self) -> impl Iterator<Item = (Mi, u32, &[CallTarget])> {
+        self.call_edges
+            .iter()
+            .map(|(&(mi, idx), v)| (Mi(mi), idx, v.as_slice()))
+    }
+
+    /// Iterates every recorded join edge as `(mi, stmt_idx, origins)`,
+    /// ascending by `(mi, stmt_idx)`.
+    pub fn join_edges_iter(&self) -> impl Iterator<Item = (Mi, u32, &[OriginId])> {
+        self.join_edges
+            .iter()
+            .map(|(&(mi, idx), v)| (Mi(mi), idx, v.as_slice()))
+    }
+
+    /// Iterates every local variable holding a non-empty points-to set,
+    /// as `(mi, var, objects)`. Order is unspecified (interning order);
+    /// bulk alternative to probing [`PtaResult::pts_var`] per variable.
+    pub fn var_pts_iter(&self) -> impl Iterator<Item = (Mi, VarId, &[u32])> {
+        self.node_keys
+            .iter()
+            .filter_map(move |(id, key)| match *key {
+                NodeKey::Var(mi, v) => {
+                    let pts = self.nodes[id as usize].pts.as_slice();
+                    (!pts.is_empty()).then_some((mi, v, pts))
+                }
+                _ => None,
+            })
+    }
+
     /// The origins whose code may execute method instance `mi`
     /// (computed by a BFS over normal call edges from each origin entry).
     pub fn mi_origins(&self, mi: Mi) -> &SparseSet {
@@ -428,7 +464,8 @@ impl PtaResult {
     /// origin id.
     pub fn callgraph_to_dot(&self, program: &Program) -> String {
         use std::fmt::Write;
-        let mut out = String::from("digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+        let mut out =
+            String::from("digraph callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
         for mi in self.reachable_mis() {
             let (m, _) = self.mi_data(mi);
             let method = program.method(m);
@@ -446,8 +483,7 @@ impl PtaResult {
                     CallTarget::Normal(callee) => {
                         let _ = writeln!(out, "  m{caller} -> m{};", callee.0);
                     }
-                    CallTarget::Entry { origin, mi }
-                    | CallTarget::SpawnEntry { origin, mi } => {
+                    CallTarget::Entry { origin, mi } | CallTarget::SpawnEntry { origin, mi } => {
                         let _ = writeln!(
                             out,
                             "  m{caller} -> m{} [style=bold, color=red, label=\"O{}\"];",
@@ -464,22 +500,26 @@ impl PtaResult {
     /// Iterates all object-field points-to entries `(object, field, pts)`.
     /// Used by the thread-escape baseline to close over the heap graph.
     pub fn obj_field_entries(&self) -> impl Iterator<Item = (ObjId, FieldId, &[u32])> {
-        self.node_keys.iter().filter_map(move |(id, key)| match key {
-            NodeKey::ObjField(obj, field) => {
-                Some((*obj, *field, self.nodes[id as usize].pts.as_slice()))
-            }
-            _ => None,
-        })
+        self.node_keys
+            .iter()
+            .filter_map(move |(id, key)| match key {
+                NodeKey::ObjField(obj, field) => {
+                    Some((*obj, *field, self.nodes[id as usize].pts.as_slice()))
+                }
+                _ => None,
+            })
     }
 
     /// Iterates all static-field points-to entries `(class, field, pts)`.
     pub fn static_field_entries(&self) -> impl Iterator<Item = (ClassId, FieldId, &[u32])> {
-        self.node_keys.iter().filter_map(move |(id, key)| match key {
-            NodeKey::Static(class, field) => {
-                Some((*class, *field, self.nodes[id as usize].pts.as_slice()))
-            }
-            _ => None,
-        })
+        self.node_keys
+            .iter()
+            .filter_map(move |(id, key)| match key {
+                NodeKey::Static(class, field) => {
+                    Some((*class, *field, self.nodes[id as usize].pts.as_slice()))
+                }
+                _ => None,
+            })
     }
 }
 
@@ -672,8 +712,7 @@ impl<'p> Solver<'p> {
         self.root_origin = root;
         let initial_ctx = if self.cfg.policy.is_origin() {
             let k = self.cfg.policy.origin_k();
-            self.arena
-                .push_trunc(Ctx::EMPTY, CtxElem::Origin(root), k)
+            self.arena.push_trunc(Ctx::EMPTY, CtxElem::Origin(root), k)
         } else {
             Ctx::EMPTY
         };
@@ -799,14 +838,12 @@ impl<'p> Solver<'p> {
                 let d = self.var_node(mi, dst);
                 self.add_edge(s, d);
             }
-            Stmt::StoreField { base, field, src }
-            | Stmt::AtomicStore { base, field, src } => {
+            Stmt::StoreField { base, field, src } | Stmt::AtomicStore { base, field, src } => {
                 let b = self.var_node(mi, base);
                 let s = self.var_node(mi, src);
                 self.register_store(b, field, s);
             }
-            Stmt::LoadField { dst, base, field }
-            | Stmt::AtomicLoad { dst, base, field } => {
+            Stmt::LoadField { dst, base, field } | Stmt::AtomicLoad { dst, base, field } => {
                 let b = self.var_node(mi, base);
                 let d = self.var_node(mi, dst);
                 self.register_load(b, field, d);
@@ -856,7 +893,15 @@ impl<'p> Solver<'p> {
                     let ctx = self.mi_ctx(mi);
                     let callee_ctx = self.cfg.policy.call_ctx(&mut self.arena, ctx, g, None);
                     let callee_mi = self.mi(method, callee_ctx);
-                    self.wire_call(mi, idx, callee_mi, None, &args, dst, CallTarget::Normal(callee_mi));
+                    self.wire_call(
+                        mi,
+                        idx,
+                        callee_mi,
+                        None,
+                        &args,
+                        dst,
+                        CallTarget::Normal(callee_mi),
+                    );
                 }
             },
             Stmt::Spawn {
@@ -1070,10 +1115,7 @@ impl<'p> Solver<'p> {
         let ctx = self.mi_ctx(mi);
         let callee_ctx = match forced_ctx {
             Some(c) => c,
-            None => self
-                .cfg
-                .policy
-                .call_ctx(&mut self.arena, ctx, g, Some(obj)),
+            None => self.cfg.policy.call_ctx(&mut self.arena, ctx, g, Some(obj)),
         };
         let ctor_mi = self.mi(ctor, callee_ctx);
         // Bind `this`.
@@ -1212,9 +1254,8 @@ impl<'p> Solver<'p> {
                     .program
                     .dispatch(class, &Selector::new("start", 0))
                     .is_none();
-            let is_direct_entry = entry_cfg.is_entry(&name)
-                && entry_sel.name == name
-                && entry_sel.arity == arity;
+            let is_direct_entry =
+                entry_cfg.is_entry(&name) && entry_sel.name == name && entry_sel.arity == arity;
             if is_start || is_direct_entry {
                 self.dispatch_entry(vc_idx, obj, class, &entry_sel);
                 return;
@@ -1232,19 +1273,13 @@ impl<'p> Solver<'p> {
             return;
         };
         let g = GStmt::new(self.mi_method(caller), stmt_idx as usize);
-        let origins = self
-            .origin_of_obj
-            .get(&obj)
-            .cloned()
-            .unwrap_or_default();
+        let origins = self.origin_of_obj.get(&obj).cloned().unwrap_or_default();
         for origin in origins {
             let entry_ctx = if self.cfg.policy.is_origin() {
                 self.arena.origin_data(origin).entry_ctx
             } else {
                 let ctx = self.mi_ctx(caller);
-                self.cfg
-                    .policy
-                    .call_ctx(&mut self.arena, ctx, g, Some(obj))
+                self.cfg.policy.call_ctx(&mut self.arena, ctx, g, Some(obj))
             };
             let entry_mi = self.mi(target, entry_ctx);
             let entries = self.origin_entry_mis.entry(origin).or_default();
@@ -1320,10 +1355,7 @@ impl<'p> Solver<'p> {
             return;
         };
         let ctx = self.mi_ctx(caller);
-        let callee_ctx = self
-            .cfg
-            .policy
-            .call_ctx(&mut self.arena, ctx, g, Some(obj));
+        let callee_ctx = self.cfg.policy.call_ctx(&mut self.arena, ctx, g, Some(obj));
         let callee_mi = self.mi(target, callee_ctx);
         let (args, dst_node) = {
             let vc = &self.vcalls[vc_idx as usize];
@@ -1510,7 +1542,11 @@ impl<'p> Solver<'p> {
         let mut mi_origins: Vec<SparseSet> = vec![SparseSet::new(); num_mis];
         let origin_ids: Vec<OriginId> = self.origin_entry_mis.keys().copied().collect();
         for origin in origin_ids {
-            let entries = self.origin_entry_mis.get(&origin).cloned().unwrap_or_default();
+            let entries = self
+                .origin_entry_mis
+                .get(&origin)
+                .cloned()
+                .unwrap_or_default();
             let mut stack: Vec<Mi> = entries;
             while let Some(mi) = stack.pop() {
                 if !mi_origins[mi.0 as usize].insert(origin.0) {

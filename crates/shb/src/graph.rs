@@ -5,12 +5,12 @@
 //! *inter-origin* edges (entry ⓬, join ⓭) are materialized.
 
 use crate::locks::{LockElem, LockSetId, LockTable};
-use o2_analysis::MemKey;
+use o2_analysis::{LocId, LocTable, MemKey};
 use o2_ir::ids::GStmt;
 use o2_ir::origins::OriginKind;
 use o2_ir::program::{Program, Stmt};
 use o2_pta::{CallTarget, Mi, ObjId, OriginId, PtaResult};
-use std::collections::{BTreeMap, HashSet};
+use std::collections::HashSet;
 use std::time::{Duration, Instant};
 
 /// Configuration for SHB construction.
@@ -157,9 +157,11 @@ pub struct ShbGraph {
     pub join_edges: Vec<JoinEdge>,
     out_entries: Vec<Vec<usize>>,
     out_joins: Vec<Vec<usize>>,
-    /// Access index: location → list of `(origin, index into
-    /// `traces\[origin\].accesses`).
-    pub accesses_by_key: BTreeMap<MemKey, Vec<(OriginId, u32)>>,
+    /// Dense access index: [`LocId`] → list of `(origin, index into
+    /// `traces\[origin\].accesses`)`. Ids come from the run's shared
+    /// [`LocTable`] (the one `build_shb` interned into), so a slot here
+    /// lines up with the same location's OSA sharing entry.
+    pub accesses_by_loc: Vec<Vec<(OriginId, u32)>>,
     /// Construction statistics.
     pub stats: ShbStats,
     /// Wall-clock construction time.
@@ -270,7 +272,11 @@ impl ShbGraph {
             );
         }
         for e in &self.entry_edges {
-            let _ = writeln!(out, "  o{} -> o{} [label=\"@{}\"];", e.parent.0, e.child.0, e.pos);
+            let _ = writeln!(
+                out,
+                "  o{} -> o{} [label=\"@{}\"];",
+                e.parent.0, e.child.0, e.pos
+            );
         }
         for j in &self.join_edges {
             let _ = writeln!(
@@ -289,12 +295,60 @@ impl ShbGraph {
             .iter()
             .map(move |&i| &self.entry_edges[i])
     }
+
+    /// Trace positions of every access to one interned location, empty if
+    /// the walk never touched it.
+    pub fn accesses_of(&self, loc: LocId) -> &[(OriginId, u32)] {
+        self.accesses_by_loc
+            .get(loc.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// The full inter-origin reachability closure of one trace position:
+    /// `result[o]` is the minimal position in origin `o` reachable from
+    /// `from` over entry/join edges (`u32::MAX` if unreachable).
+    ///
+    /// This is [`ShbGraph::happens_before`]'s DFS run to fixpoint instead
+    /// of stopping at the query target: for `b.0 != from.0`,
+    /// `happens_before(from, b)` ⟺ `result[b.0] <= b.1`. Detect workers
+    /// memoize these vectors per source position, turning the per-pair HB
+    /// query of a candidate into one indexed comparison.
+    pub fn reach_closure(&self, from: (OriginId, u32)) -> Vec<u32> {
+        let mut best: Vec<u32> = vec![u32::MAX; self.traces.len()];
+        let mut stack: Vec<(OriginId, u32)> = vec![from];
+        while let Some((o, p)) = stack.pop() {
+            if best[o.0 as usize] <= p {
+                continue;
+            }
+            best[o.0 as usize] = p;
+            for &ei in &self.out_entries[o.0 as usize] {
+                let e = &self.entry_edges[ei];
+                if e.pos >= p {
+                    stack.push((e.child, 0));
+                }
+            }
+            for &ji in &self.out_joins[o.0 as usize] {
+                let j = &self.join_edges[ji];
+                stack.push((j.parent, j.pos));
+            }
+        }
+        best
+    }
 }
 
-/// Builds the SHB graph from a pointer-analysis result.
-pub fn build_shb(program: &Program, pta: &PtaResult, config: &ShbConfig) -> ShbGraph {
+/// Builds the SHB graph from a pointer-analysis result, interning every
+/// accessed location into `locs` — normally the table the preceding OSA
+/// run minted, so that one id space spans both stages. (The walk can
+/// still intern locations OSA never saw, e.g. after a truncated scan.)
+pub fn build_shb(
+    program: &Program,
+    pta: &PtaResult,
+    config: &ShbConfig,
+    locs: &mut LocTable,
+) -> ShbGraph {
     let start = Instant::now();
-    let mut builder = Builder::new(program, pta, config, start);
+    let mut builder = Builder::new(program, pta, config, locs, start);
     for (origin, _) in pta.arena.origins() {
         builder.walk_origin(origin);
     }
@@ -306,10 +360,11 @@ pub(crate) struct Builder<'a> {
     pub(crate) pta: &'a PtaResult,
     pub(crate) config: &'a ShbConfig,
     pub(crate) locks: LockTable,
+    pub(crate) locs: &'a mut LocTable,
     pub(crate) traces: Vec<OriginTrace>,
     pub(crate) entry_edges: Vec<EntryEdge>,
     pub(crate) join_edges: Vec<JoinEdge>,
-    pub(crate) accesses_by_key: BTreeMap<MemKey, Vec<(OriginId, u32)>>,
+    pub(crate) accesses_by_loc: Vec<Vec<(OriginId, u32)>>,
     pub(crate) fresh_lock_counter: u32,
     pub(crate) deadline: Option<Instant>,
     pub(crate) visit_ticks: u64,
@@ -339,17 +394,20 @@ impl<'a> Builder<'a> {
         program: &'a Program,
         pta: &'a PtaResult,
         config: &'a ShbConfig,
+        locs: &'a mut LocTable,
         start: Instant,
     ) -> Builder<'a> {
+        let accesses_by_loc = vec![Vec::new(); locs.len()];
         Builder {
             program,
             pta,
             config,
             locks: LockTable::new(),
+            locs,
             traces: vec![OriginTrace::default(); pta.num_origins()],
             entry_edges: Vec::new(),
             join_edges: Vec::new(),
-            accesses_by_key: BTreeMap::new(),
+            accesses_by_loc,
             fresh_lock_counter: 0,
             deadline: config.timeout.map(|t| start + t),
             visit_ticks: 0,
@@ -380,7 +438,7 @@ impl<'a> Builder<'a> {
             join_edges: self.join_edges,
             out_entries,
             out_joins,
-            accesses_by_key: self.accesses_by_key,
+            accesses_by_loc: self.accesses_by_loc,
             stats,
             duration: start.elapsed(),
         }
@@ -448,13 +506,15 @@ impl<'a> Builder<'a> {
 
     fn record_acquire(&mut self, st: &mut WalkState, stmt: GStmt, elems: Vec<u32>) {
         let idx = self.traces[st.origin.0 as usize].acquires.len();
-        self.traces[st.origin.0 as usize].acquires.push(AcquireNode {
-            pos: st.pos,
-            stmt,
-            elems,
-            held_before: st.current_set,
-            released_pos: u32::MAX,
-        });
+        self.traces[st.origin.0 as usize]
+            .acquires
+            .push(AcquireNode {
+                pos: st.pos,
+                stmt,
+                elems,
+                held_before: st.current_set,
+                released_pos: u32::MAX,
+            });
         st.open_acquires.push(idx);
         st.pos += 1;
     }
@@ -482,10 +542,11 @@ impl<'a> Builder<'a> {
         st.pos += 1;
         let idx = self.traces[st.origin.0 as usize].accesses.len() as u32;
         self.traces[st.origin.0 as usize].accesses.push(node);
-        self.accesses_by_key
-            .entry(key)
-            .or_default()
-            .push((st.origin, idx));
+        let loc = self.locs.intern(key);
+        if loc.index() >= self.accesses_by_loc.len() {
+            self.accesses_by_loc.resize_with(loc.index() + 1, Vec::new);
+        }
+        self.accesses_by_loc[loc.index()].push((st.origin, idx));
     }
 
     fn walk_method(&mut self, st: &mut WalkState, mi: Mi, depth: usize) {
@@ -542,8 +603,7 @@ impl<'a> Builder<'a> {
                     if atomic {
                         // Atomic accesses hold the cell's implicit lock.
                         let elem = self.locks.elem(LockElem::AtomicCell(ObjId(obj), field));
-                        let base_elems: Vec<u32> =
-                            self.locks.set_elems(st.current_set).to_vec();
+                        let base_elems: Vec<u32> = self.locks.set_elems(st.current_set).to_vec();
                         let mut elems = base_elems;
                         elems.push(elem);
                         let save = st.current_set;

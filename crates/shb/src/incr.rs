@@ -23,16 +23,16 @@
 
 use crate::graph::{AccessNode, AcquireNode, Builder, EntryEdge, JoinEdge, ShbConfig, ShbGraph};
 use crate::locks::LockElem;
-use o2_analysis::{memkey_from_db, memkey_to_db, MemKey};
+use o2_analysis::{memkey_from_db_cached, memkey_to_db, KeyResolver, LocTable, MemKey};
 use o2_db::{
-    AnalysisDb, DbEdge, DbLockElem, DbShbAccess, DbShbAcquire, DbStmt, Digest, ShbOriginArtifact,
-    StableIds,
+    AnalysisDb, DbEdge, DbLockElem, DbShbAccess, DbShbAcquire, DbStmt, Digest, FastMap, FastSet,
+    ShbOriginArtifact, StableIds,
 };
-use o2_ir::ids::GStmt;
+use o2_ir::ids::{GStmt, MethodId};
 use o2_ir::origins::OriginKind;
 use o2_ir::program::Program;
 use o2_pta::{CanonIndex, ObjId, OriginId, PtaResult};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// A warm SHB build: the graph plus replay accounting.
@@ -69,8 +69,32 @@ fn stmt_to_db(g: GStmt, canon: &CanonIndex, names: &mut StableIds) -> DbStmt {
     }
 }
 
-fn stmt_from_db(s: DbStmt, canon: &CanonIndex, names: &StableIds) -> Option<GStmt> {
-    let method = canon.method_of_qname(names.resolve(s.method)?)?;
+/// Memoized stable-id → current-run-id resolution shared across all
+/// decoded artifacts of one warm build: the same few method, class, and
+/// field names repeat across thousands of stored accesses, and each
+/// string lookup costs a hash of the name.
+#[derive(Default)]
+struct NameCache {
+    methods: FastMap<u32, Option<MethodId>>,
+    keys: KeyResolver,
+}
+
+impl NameCache {
+    fn method(&mut self, canon: &CanonIndex, names: &StableIds, id: u32) -> Option<MethodId> {
+        *self
+            .methods
+            .entry(id)
+            .or_insert_with(|| names.resolve(id).and_then(|q| canon.method_of_qname(q)))
+    }
+}
+
+fn stmt_from_db(
+    s: DbStmt,
+    canon: &CanonIndex,
+    names: &StableIds,
+    cache: &mut NameCache,
+) -> Option<GStmt> {
+    let method = cache.method(canon, names, s.method)?;
     Some(GStmt::new(method, s.index as usize))
 }
 
@@ -113,19 +137,16 @@ fn elem_from_db(
     canon: &CanonIndex,
     names: &StableIds,
     fresh_base: u32,
+    cache: &mut NameCache,
 ) -> Option<LockElem> {
     Some(match e {
         DbLockElem::Obj(d) => LockElem::Obj(canon.obj_of_digest(d)?),
-        DbLockElem::Fresh(ordinal) => {
-            LockElem::Obj(ObjId(u32::MAX - (fresh_base + ordinal + 1)))
-        }
-        DbLockElem::Class(nid) => {
-            LockElem::Class(program.class_by_name(names.resolve(nid)?)?)
-        }
+        DbLockElem::Fresh(ordinal) => LockElem::Obj(ObjId(u32::MAX - (fresh_base + ordinal + 1))),
+        DbLockElem::Class(nid) => LockElem::Class(cache.keys.class(program, names, nid)?),
         DbLockElem::Dispatcher(d) => LockElem::Dispatcher(d),
         DbLockElem::AtomicCell(d, f) => LockElem::AtomicCell(
             canon.obj_of_digest(d)?,
-            program.field_by_name(names.resolve(f)?)?,
+            cache.keys.field(program, names, f)?,
         ),
     })
 }
@@ -253,13 +274,14 @@ fn decode_origin(
     canon: &CanonIndex,
     names: &StableIds,
     fresh_base: u32,
+    cache: &mut NameCache,
 ) -> Option<DecodedOrigin> {
     let sets: Option<Vec<Vec<LockElem>>> = art
         .sets
         .iter()
         .map(|s| {
             s.iter()
-                .map(|&e| elem_from_db(e, program, canon, names, fresh_base))
+                .map(|&e| elem_from_db(e, program, canon, names, fresh_base, cache))
                 .collect()
         })
         .collect();
@@ -272,8 +294,8 @@ fn decode_origin(
             return None;
         }
         accesses.push((
-            memkey_from_db(a.key, program, canon, names)?,
-            stmt_from_db(a.stmt, canon, names)?,
+            memkey_from_db_cached(a.key, program, canon, names, &mut cache.keys)?,
+            stmt_from_db(a.stmt, canon, names, cache)?,
             a.is_write,
             a.lockset,
             a.pos,
@@ -288,24 +310,24 @@ fn decode_origin(
         let elems: Option<Vec<LockElem>> = q
             .elems
             .iter()
-            .map(|&e| elem_from_db(e, program, canon, names, fresh_base))
+            .map(|&e| elem_from_db(e, program, canon, names, fresh_base, cache))
             .collect();
         acquires.push((
             q.pos,
-            stmt_from_db(q.stmt, canon, names)?,
+            stmt_from_db(q.stmt, canon, names, cache)?,
             elems?,
             q.held_before,
             q.released_pos,
         ));
     }
-    let decode_edges = |edges: &[DbEdge]| -> Option<Vec<(OriginId, u32, GStmt)>> {
+    let mut decode_edges = |edges: &[DbEdge]| -> Option<Vec<(OriginId, u32, GStmt)>> {
         edges
             .iter()
             .map(|e| {
                 Some((
                     canon.origin_of_digest(e.other)?,
                     e.pos,
-                    stmt_from_db(e.stmt, canon, names)?,
+                    stmt_from_db(e.stmt, canon, names, cache)?,
                 ))
             })
             .collect()
@@ -360,13 +382,15 @@ fn apply_replay(
             let (pos, stmt, elems, held_local, released_pos) = &dec.acquires[ai];
             let elem_ids: Vec<u32> = elems.iter().map(|&e| builder.locks.elem(e)).collect();
             let held_before = intern_set(builder, &dec.sets, &mut set_ids, *held_local);
-            builder.traces[origin.0 as usize].acquires.push(AcquireNode {
-                pos: *pos,
-                stmt: *stmt,
-                elems: elem_ids,
-                held_before,
-                released_pos: *released_pos,
-            });
+            builder.traces[origin.0 as usize]
+                .acquires
+                .push(AcquireNode {
+                    pos: *pos,
+                    stmt: *stmt,
+                    elems: elem_ids,
+                    held_before,
+                    released_pos: *released_pos,
+                });
             ai += 1;
         } else {
             let (key, stmt, is_write, set_local, pos, region) = dec.accesses[xi];
@@ -380,11 +404,13 @@ fn apply_replay(
                 pos,
                 region,
             });
-            builder
-                .accesses_by_key
-                .entry(key)
-                .or_default()
-                .push((origin, idx));
+            let loc = builder.locs.intern(key);
+            if loc.index() >= builder.accesses_by_loc.len() {
+                builder
+                    .accesses_by_loc
+                    .resize_with(loc.index() + 1, Vec::new);
+            }
+            builder.accesses_by_loc[loc.index()].push((origin, idx));
             xi += 1;
         }
     }
@@ -438,15 +464,21 @@ pub fn build_shb_incremental(
     pta: &PtaResult,
     config: &ShbConfig,
     canon: &CanonIndex,
+    locs: &mut LocTable,
     db: &mut AnalysisDb,
 ) -> ShbIncr {
     let start = Instant::now();
-    let mut builder = Builder::new(program, pta, config, start);
+    let mut builder = Builder::new(program, pta, config, locs, start);
     let mut names = std::mem::take(&mut db.names);
-    let mut next_store: BTreeMap<Digest, ShbOriginArtifact> = BTreeMap::new();
+    // Replayed artifacts are *moved* from the old store at the end of the
+    // run rather than cloned as they are visited: an unchanged program
+    // would otherwise deep-copy every trace on every warm run.
+    let mut replayed_keys: Vec<Digest> = Vec::new();
+    let mut walked_arts: Vec<(Digest, ShbOriginArtifact)> = Vec::new();
     let mut origins_replayed = 0usize;
     let mut origins_walked = 0usize;
     let mut fresh_base = Vec::with_capacity(pta.num_origins());
+    let mut cache = NameCache::default();
 
     for (origin, _) in pta.arena.origins() {
         fresh_base.push(builder.fresh_lock_counter);
@@ -455,11 +487,16 @@ pub fn build_shb_incremental(
         let mut replayed = false;
         if let Some(art) = db.shb_origin.get(&od) {
             if art.sig == sig && !art.truncated {
-                if let Some(dec) =
-                    decode_origin(art, program, canon, &names, builder.fresh_lock_counter)
-                {
+                if let Some(dec) = decode_origin(
+                    art,
+                    program,
+                    canon,
+                    &names,
+                    builder.fresh_lock_counter,
+                    &mut cache,
+                ) {
                     apply_replay(&mut builder, origin, &dec, art.len, art.fresh_count);
-                    next_store.insert(od, art.clone());
+                    replayed_keys.push(od);
                     origins_replayed += 1;
                     replayed = true;
                 }
@@ -472,12 +509,16 @@ pub fn build_shb_incremental(
             let f0 = builder.fresh_lock_counter;
             builder.walk_origin(origin);
             if let Some(art) = encode_origin(&builder, origin, canon, &mut names, e0, j0, f0) {
-                next_store.insert(od, art);
+                walked_arts.push((od, art));
             }
         }
     }
 
-    db.shb_origin = next_store;
+    // Prune the store in place: replayed entries stay where they are,
+    // stale ones (not visited this run) drop, fresh walks insert.
+    let visited: FastSet<Digest> = replayed_keys.into_iter().collect();
+    db.shb_origin.retain(|k, _| visited.contains(k));
+    db.shb_origin.extend(walked_arts);
     db.names = names;
     ShbIncr {
         graph: builder.finish(start),
@@ -493,6 +534,7 @@ mod tests {
     use crate::build_shb;
     use o2_ir::parser::parse;
     use o2_pta::{analyze, Policy, PtaConfig};
+    use std::collections::BTreeMap;
 
     const SRC: &str = r#"
         class S { field a; field b; }
@@ -527,6 +569,20 @@ mod tests {
         (p, pta, canon)
     }
 
+    /// Canonical view of the dense access index: key → (origin, index)
+    /// list, recovered through each access node's own key so the check is
+    /// independent of the two runs' `LocId` numberings.
+    fn index_by_key(g: &ShbGraph) -> BTreeMap<MemKey, Vec<(u32, u32)>> {
+        let mut m: BTreeMap<MemKey, Vec<(u32, u32)>> = BTreeMap::new();
+        for slot in &g.accesses_by_loc {
+            for &(o, i) in slot {
+                let key = g.traces[o.0 as usize].accesses[i as usize].key;
+                m.entry(key).or_default().push((o.0, i));
+            }
+        }
+        m
+    }
+
     /// Structural graph equality, down to interned element ids (the
     /// deadlock report renders raw element object ids, so replay must
     /// reproduce them exactly). Lockset *ids* may differ in numbering;
@@ -542,8 +598,7 @@ mod tests {
                             && m.stmt == n.stmt
                             && m.elems == n.elems
                             && m.released_pos == n.released_pos
-                            && a.locks.set_elems(m.held_before)
-                                == b.locks.set_elems(n.held_before)
+                            && a.locks.set_elems(m.held_before) == b.locks.set_elems(n.held_before)
                     })
                     && x.accesses.len() == y.accesses.len()
                     && x.accesses.iter().zip(&y.accesses).all(|(m, n)| {
@@ -557,18 +612,32 @@ mod tests {
             })
             && a.entry_edges == b.entry_edges
             && a.join_edges == b.join_edges
-            && a.accesses_by_key == b.accesses_by_key
+            && index_by_key(a) == index_by_key(b)
     }
 
     #[test]
     fn warm_replay_equals_cold_build() {
         let (p, pta, canon) = setup(SRC);
-        let cold = build_shb(&p, &pta, &ShbConfig::default());
+        let cold = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
         let mut db = AnalysisDb::new(Digest(1, 1));
-        let first = build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
+        let first = build_shb_incremental(
+            &p,
+            &pta,
+            &ShbConfig::default(),
+            &canon,
+            &mut LocTable::new(),
+            &mut db,
+        );
         assert_eq!(first.origins_replayed, 0);
         assert!(graphs_equal(&first.graph, &cold));
-        let second = build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
+        let second = build_shb_incremental(
+            &p,
+            &pta,
+            &ShbConfig::default(),
+            &canon,
+            &mut LocTable::new(),
+            &mut db,
+        );
         assert_eq!(second.origins_walked, 0);
         assert_eq!(second.origins_replayed, first.origins_walked);
         assert!(graphs_equal(&second.graph, &cold));
@@ -578,12 +647,26 @@ mod tests {
     fn edit_rewalks_only_the_changed_origin() {
         let (p, pta, canon) = setup(SRC);
         let mut db = AnalysisDb::new(Digest(1, 1));
-        build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
+        build_shb_incremental(
+            &p,
+            &pta,
+            &ShbConfig::default(),
+            &canon,
+            &mut LocTable::new(),
+            &mut db,
+        );
         // Edit W2.run only; W1's origin replays.
         let edited = SRC.replace("s = this.s; s.b = s;", "s = this.s; s.b = s; y = s.b;");
         let (p2, pta2, canon2) = setup(&edited);
-        let warm = build_shb_incremental(&p2, &pta2, &ShbConfig::default(), &canon2, &mut db);
-        let cold = build_shb(&p2, &pta2, &ShbConfig::default());
+        let warm = build_shb_incremental(
+            &p2,
+            &pta2,
+            &ShbConfig::default(),
+            &canon2,
+            &mut LocTable::new(),
+            &mut db,
+        );
+        let cold = build_shb(&p2, &pta2, &ShbConfig::default(), &mut LocTable::new());
         assert!(graphs_equal(&warm.graph, &cold));
         assert!(warm.origins_replayed >= 1, "untouched origins replay");
         assert!(
@@ -615,7 +698,7 @@ mod tests {
             }
         "#;
         let (p, pta, canon) = setup(src);
-        let cold = build_shb(&p, &pta, &ShbConfig::default());
+        let cold = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
         let has_fresh = cold.traces.iter().flat_map(|t| &t.acquires).any(|q| {
             q.elems
                 .iter()
@@ -623,8 +706,22 @@ mod tests {
         });
         assert!(has_fresh, "test setup must exercise a fresh lock");
         let mut db = AnalysisDb::new(Digest(1, 1));
-        build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
-        let warm = build_shb_incremental(&p, &pta, &ShbConfig::default(), &canon, &mut db);
+        build_shb_incremental(
+            &p,
+            &pta,
+            &ShbConfig::default(),
+            &canon,
+            &mut LocTable::new(),
+            &mut db,
+        );
+        let warm = build_shb_incremental(
+            &p,
+            &pta,
+            &ShbConfig::default(),
+            &canon,
+            &mut LocTable::new(),
+            &mut db,
+        );
         assert_eq!(warm.origins_walked, 0);
         assert!(graphs_equal(&warm.graph, &cold));
     }
@@ -637,12 +734,12 @@ mod tests {
             ..Default::default()
         };
         let mut db = AnalysisDb::new(Digest(1, 1));
-        let first = build_shb_incremental(&p, &pta, &cfg, &canon, &mut db);
+        let first = build_shb_incremental(&p, &pta, &cfg, &canon, &mut LocTable::new(), &mut db);
         assert!(first.graph.traces.iter().any(|t| t.truncated));
-        let warm = build_shb_incremental(&p, &pta, &cfg, &canon, &mut db);
+        let warm = build_shb_incremental(&p, &pta, &cfg, &canon, &mut LocTable::new(), &mut db);
         // Truncated origins were never stored, so they walk again.
         assert!(warm.origins_walked > 0);
-        let cold = build_shb(&p, &pta, &cfg);
+        let cold = build_shb(&p, &pta, &cfg, &mut LocTable::new());
         assert!(graphs_equal(&warm.graph, &cold));
     }
 }

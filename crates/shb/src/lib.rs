@@ -15,6 +15,7 @@
 //!    are merged by the detector into a single representative.
 //!
 //! ```
+//! use o2_analysis::LocTable;
 //! use o2_ir::parser::parse;
 //! use o2_pta::{analyze, Policy, PtaConfig};
 //! use o2_shb::{build_shb, ShbConfig};
@@ -26,7 +27,8 @@
 //!     }
 //! "#).unwrap();
 //! let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
-//! let shb = build_shb(&program, &pta, &ShbConfig::default());
+//! let mut locs = LocTable::new();
+//! let shb = build_shb(&program, &pta, &ShbConfig::default(), &mut locs);
 //! assert_eq!(shb.entry_edges.len(), 1);
 //! assert_eq!(shb.join_edges.len(), 1);
 //! ```
@@ -39,23 +41,27 @@ pub mod graph;
 pub mod incr;
 pub mod locks;
 
-pub use graph::{build_shb, AccessNode, AcquireNode, EntryEdge, JoinEdge, OriginTrace, ShbConfig, ShbGraph, ShbStats};
+pub use graph::{
+    build_shb, AccessNode, AcquireNode, EntryEdge, JoinEdge, OriginTrace, ShbConfig, ShbGraph,
+    ShbStats,
+};
 pub use incr::{build_shb_incremental, ShbIncr};
 pub use locks::{LockElem, LockSetId, LockTable};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use o2_analysis::MemKey;
+    use o2_analysis::{LocTable, MemKey};
     use o2_ir::parser::parse;
     use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 
-    fn shb_for(src: &str) -> (o2_ir::Program, o2_pta::PtaResult, ShbGraph) {
+    fn shb_for(src: &str) -> (o2_ir::Program, o2_pta::PtaResult, ShbGraph, LocTable) {
         let p = parse(src).unwrap();
         o2_ir::validate::assert_valid(&p);
         let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-        let shb = build_shb(&p, &pta, &ShbConfig::default());
-        (p, pta, shb)
+        let mut locs = LocTable::new();
+        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut locs);
+        (p, pta, shb, locs)
     }
 
     const FORK_JOIN: &str = r#"
@@ -79,7 +85,7 @@ mod tests {
 
     #[test]
     fn entry_and_join_edges_exist() {
-        let (_, _, shb) = shb_for(FORK_JOIN);
+        let (_, _, shb, _) = shb_for(FORK_JOIN);
         assert_eq!(shb.entry_edges.len(), 1);
         assert_eq!(shb.join_edges.len(), 1);
         assert_eq!(shb.stats.num_entry_edges, 1);
@@ -89,7 +95,7 @@ mod tests {
     /// join() happen-after; the thread's write is ordered between them.
     #[test]
     fn fork_join_happens_before() {
-        let (p, pta, shb) = shb_for(FORK_JOIN);
+        let (p, pta, shb, _) = shb_for(FORK_JOIN);
         let data = p.field_by_name("data").unwrap();
         let root = OriginId::ROOT;
         let child = OriginId(1);
@@ -143,7 +149,7 @@ mod tests {
                 }
             }
         "#;
-        let (_, _, shb) = shb_for(src);
+        let (_, _, shb, _) = shb_for(src);
         let a = (OriginId(1), 0u32);
         let b = (OriginId(2), 0u32);
         assert!(!shb.happens_before(a, b));
@@ -171,7 +177,7 @@ mod tests {
                 }
             }
         "#;
-        let (p, _, shb) = shb_for(src);
+        let (p, _, shb, _) = shb_for(src);
         let data = p.field_by_name("data").unwrap();
         let writes: Vec<_> = shb.traces[1]
             .accesses
@@ -201,7 +207,7 @@ mod tests {
                 }
             }
         "#;
-        let (p, _, shb) = shb_for(src);
+        let (p, _, shb, _) = shb_for(src);
         let data = p.field_by_name("data").unwrap();
         let w = shb.traces[1]
             .accesses
@@ -228,7 +234,7 @@ mod tests {
                 }
             }
         "#;
-        let (_, pta, mut shb) = shb_for(src);
+        let (_, pta, mut shb, _) = shb_for(src);
         // The two event origins' writes both hold the dispatcher lock, so
         // their locksets are NOT disjoint.
         let ev_origins: Vec<OriginId> = pta
@@ -264,7 +270,7 @@ mod tests {
             event_dispatcher_lock: false,
             ..Default::default()
         };
-        let shb = build_shb(&p, &pta, &cfg);
+        let shb = build_shb(&p, &pta, &cfg, &mut LocTable::new());
         let ev = pta
             .arena
             .origins()
@@ -286,24 +292,47 @@ mod tests {
                 node_budget: 1,
                 ..Default::default()
             };
-            let shb = build_shb(&p, &pta, &cfg);
+            let shb = build_shb(&p, &pta, &cfg, &mut LocTable::new());
             (p, pta, shb)
         };
         assert!(shb.traces[0].truncated);
     }
 
     #[test]
-    fn accesses_by_key_indexes_all_traces() {
-        let (p, _, shb) = shb_for(FORK_JOIN);
+    fn access_index_covers_all_traces() {
+        let (p, _, shb, locs) = shb_for(FORK_JOIN);
         let data = p.field_by_name("data").unwrap();
-        let (key, entries) = shb
-            .accesses_by_key
+        let (loc, key) = locs
             .iter()
-            .find(|(k, _)| matches!(k, MemKey::Field(_, f) if *f == data))
+            .find(|(_, k)| matches!(k, MemKey::Field(_, f) if *f == data))
             .unwrap();
         assert!(matches!(key, MemKey::Field(..)));
         let origins: std::collections::BTreeSet<u32> =
-            entries.iter().map(|(o, _)| o.0).collect();
+            shb.accesses_of(loc).iter().map(|(o, _)| o.0).collect();
         assert_eq!(origins.len(), 2, "accessed from main and the thread");
+    }
+
+    #[test]
+    fn reach_closure_agrees_with_happens_before() {
+        let (_, _, shb, _) = shb_for(FORK_JOIN);
+        for (oi, trace) in shb.traces.iter().enumerate() {
+            for p in 0..trace.len {
+                let a = (OriginId(oi as u32), p);
+                let reach = shb.reach_closure(a);
+                for (oj, tj) in shb.traces.iter().enumerate() {
+                    if oi == oj {
+                        continue;
+                    }
+                    for q in 0..tj.len {
+                        let b = (OriginId(oj as u32), q);
+                        assert_eq!(
+                            shb.happens_before(a, b),
+                            reach[oj] <= q,
+                            "closure vs DFS disagree on {a:?} -> {b:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

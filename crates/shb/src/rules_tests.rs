@@ -4,14 +4,14 @@
 #![cfg(test)]
 
 use crate::{build_shb, LockSetId, ShbConfig, ShbGraph};
-use o2_analysis::MemKey;
+use o2_analysis::{LocTable, MemKey};
 use o2_ir::parser::parse;
 use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 
 fn shb(src: &str) -> (o2_ir::Program, ShbGraph) {
     let p = parse(src).unwrap();
     let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-    let g = build_shb(&p, &pta, &ShbConfig::default());
+    let g = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
     (p, g)
 }
 
@@ -40,7 +40,10 @@ fn rules_14_15_field_access_nodes() {
     assert_eq!(nodes.len(), 2);
     assert!(nodes[0].is_write);
     assert!(!nodes[1].is_write);
-    assert!(nodes[0].pos < nodes[1].pos, "program order = position order");
+    assert!(
+        nodes[0].pos < nodes[1].pos,
+        "program order = position order"
+    );
 }
 
 /// Rules ⓰/⓱: array accesses produce nodes on the `*` field.
@@ -266,7 +269,7 @@ fn dot_exports() {
     "#;
     let p = parse(src).unwrap();
     let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-    let g = build_shb(&p, &pta, &ShbConfig::default());
+    let g = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
     let shb_dot = g.to_dot(&pta);
     assert!(shb_dot.starts_with("digraph shb {"), "{shb_dot}");
     assert!(shb_dot.contains("thread"), "{shb_dot}");
@@ -275,7 +278,10 @@ fn dot_exports() {
     let cg_dot = pta.callgraph_to_dot(&p);
     assert!(cg_dot.starts_with("digraph callgraph {"), "{cg_dot}");
     assert!(cg_dot.contains("W.run"), "{cg_dot}");
-    assert!(cg_dot.contains("color=red"), "entry edges highlighted: {cg_dot}");
+    assert!(
+        cg_dot.contains("color=red"),
+        "entry edges highlighted: {cg_dot}"
+    );
 }
 
 /// Regression: a method called both before and after a spawn must have its
@@ -303,7 +309,7 @@ fn rewalk_after_inter_origin_edge() {
     "#;
     let p = parse(src).unwrap();
     let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-    let g = build_shb(&p, &pta, &ShbConfig::default());
+    let g = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
     let data = p.field_by_name("data").unwrap();
     let root = &g.traces[OriginId::ROOT.0 as usize];
     let reads: Vec<u32> = root
@@ -312,7 +318,11 @@ fn rewalk_after_inter_origin_edge() {
         .filter(|a| matches!(a.key, MemKey::Field(_, f) if f == data) && !a.is_write)
         .map(|a| a.pos)
         .collect();
-    assert_eq!(reads.len(), 2, "both touch() calls must appear in the trace");
+    assert_eq!(
+        reads.len(),
+        2,
+        "both touch() calls must appear in the trace"
+    );
     let entry_pos = g.entry_edges[0].pos;
     assert!(reads[0] < entry_pos, "first read precedes the spawn");
     assert!(reads[1] > entry_pos, "second read follows the spawn");

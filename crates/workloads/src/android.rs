@@ -226,7 +226,9 @@ pub fn build_harness(app: &AppSpec) -> Program {
         }
         m.finish();
     }
-    let program = pb.finish().expect("harness construction is internally consistent");
+    let program = pb
+        .finish()
+        .expect("harness construction is internally consistent");
     o2_ir::validate::assert_valid(&program);
     program
 }

@@ -269,8 +269,7 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
     ] {
         for j in 0..count {
             for level in 1..=depth {
-                let mut m =
-                    pb.begin_static_method(pmlib, &format!("{cat}_{j}_{level}"), &["p"]);
+                let mut m = pb.begin_static_method(pmlib, &format!("{cat}_{j}_{level}"), &["p"]);
                 if level < depth {
                     let next = format!("{cat}_{j}_{}", level + 1);
                     m.call_static(None, "PmLib", &next, &["p"]);
@@ -318,7 +317,14 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
     emit_context_stress(&mut pb, spec);
 
     // ---- shared worker logic ----------------------------------------------------
-    emit_worker_body(&mut pb, spec, n_shared, &racy_per_obj, &prot_per_obj, &mut rng);
+    emit_worker_body(
+        &mut pb,
+        spec,
+        n_shared,
+        &racy_per_obj,
+        &prot_per_obj,
+        &mut rng,
+    );
 
     // ---- per-origin entry classes -------------------------------------------------
     let emit_patterns = |m: &mut MethodBuilder<'_>, spec: &WorkloadSpec| {
@@ -544,12 +550,7 @@ pub fn generate(spec: &WorkloadSpec) -> GeneratedWorkload {
 }
 
 /// Does shared object `i` see at least two concurrently-running origins?
-fn origins_on_object(
-    spec: &WorkloadSpec,
-    truth: &GroundTruth,
-    i: usize,
-    n_shared: usize,
-) -> bool {
+fn origins_on_object(spec: &WorkloadSpec, truth: &GroundTruth, i: usize, n_shared: usize) -> bool {
     let mut threads = (0..spec.n_threads).filter(|t| t % n_shared == i).count();
     if spec.use_wrappers && spec.n_threads > 0 && !spec.c_style && i == 0 {
         threads += 1; // worker 0 spawned twice

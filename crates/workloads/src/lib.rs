@@ -26,9 +26,9 @@ pub mod presets;
 pub mod realbugs;
 pub mod realbugs_c;
 
+pub use android::{build_harness, ActivitySpec, AppSpec, HandlerSpec, TaskSpec};
 pub use generator::{generate, GeneratedWorkload, GroundTruth, WorkloadSpec};
 pub use mutate::single_function_edit;
 pub use presets::{all_presets, preset_by_name, Preset};
-pub use android::{build_harness, ActivitySpec, AppSpec, HandlerSpec, TaskSpec};
 pub use realbugs::{all_models, RealBugModel};
 pub use realbugs_c::all_c_models;

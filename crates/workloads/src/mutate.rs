@@ -51,7 +51,11 @@ mod tests {
             validate::assert_valid(&mutated);
             let diff = digest_diff(&digest_program(&program), &digest_program(&mutated));
             assert_eq!(diff.changed, vec![qname.clone()], "{}", preset.name);
-            assert!(diff.added.is_empty() && diff.removed.is_empty(), "{}", preset.name);
+            assert!(
+                diff.added.is_empty() && diff.removed.is_empty(),
+                "{}",
+                preset.name
+            );
             assert!(diff.invalidated.contains(&qname), "{}", preset.name);
         }
     }

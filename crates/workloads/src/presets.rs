@@ -159,95 +159,516 @@ pub fn all_presets() -> Vec<Preset> {
     vec![
         // ---- DaCapo (Tables 5, 7, 8) -----------------------------------
         preset(
-        "avrora", DaCapo, p(4, 12633, 38), 3, 0, 1, 1, 0, 2, 40, (8, 5), 11, 3, 3, no),
+            "avrora",
+            DaCapo,
+            p(4, 12633, 38),
+            3,
+            0,
+            1,
+            1,
+            0,
+            2,
+            40,
+            (8, 5),
+            11,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "batik", DaCapo, p(4, 4369, 186), 3, 0, 1, 2, 1, 2, 30, (12, 6), 12, 3, 3, no),
+            "batik",
+            DaCapo,
+            p(4, 4369, 186),
+            3,
+            0,
+            1,
+            2,
+            1,
+            2,
+            30,
+            (12, 6),
+            12,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "eclipse", DaCapo, p(4, 958, 7), 3, 0, 1, 1, 0, 2, 40, (6, 5), 11, 3, 3, no),
+            "eclipse",
+            DaCapo,
+            p(4, 958, 7),
+            3,
+            0,
+            1,
+            1,
+            0,
+            2,
+            40,
+            (6, 5),
+            11,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "h2", DaCapo, p(3, 9698, 2817), 2, 0, 1, 6, 2, 3, 18, (12, 6), 12, 5, 12, no),
+            "h2",
+            DaCapo,
+            p(3, 9698, 2817),
+            2,
+            0,
+            1,
+            6,
+            2,
+            3,
+            18,
+            (12, 6),
+            12,
+            5,
+            12,
+            no,
+        ),
         preset(
-        "jython", DaCapo, p(4, 7997, 3651), 3, 0, 1, 8, 2, 3, 12, (8, 5), 12, 4, 14, no),
+            "jython",
+            DaCapo,
+            p(4, 7997, 3651),
+            3,
+            0,
+            1,
+            8,
+            2,
+            3,
+            12,
+            (8, 5),
+            12,
+            4,
+            14,
+            no,
+        ),
         preset(
-        "luindex", DaCapo, p(3, 3218, 1792), 2, 0, 1, 5, 1, 2, 10, (8, 5), 12, 3, 8, no),
+            "luindex",
+            DaCapo,
+            p(3, 3218, 1792),
+            2,
+            0,
+            1,
+            5,
+            1,
+            2,
+            10,
+            (8, 5),
+            12,
+            3,
+            8,
+            no,
+        ),
         preset(
-        "lusearch", DaCapo, p(3, 567, 341), 2, 0, 1, 3, 1, 2, 6, (12, 6), 6, 3, 4, no),
+            "lusearch",
+            DaCapo,
+            p(3, 567, 341),
+            2,
+            0,
+            1,
+            3,
+            1,
+            2,
+            6,
+            (12, 6),
+            6,
+            3,
+            4,
+            no,
+        ),
         preset(
-        "pmd", DaCapo, p(3, 307, 256), 2, 0, 1, 4, 1, 2, 2, (6, 5), 12, 3, 4, no),
+            "pmd",
+            DaCapo,
+            p(3, 307, 256),
+            2,
+            0,
+            1,
+            4,
+            1,
+            2,
+            2,
+            (6, 5),
+            12,
+            3,
+            4,
+            no,
+        ),
         preset(
-        "sunflow", DaCapo, p(9, 9238, 1925), 8, 0, 2, 4, 1, 2, 16, (6, 5), 11, 3, 4, no),
+            "sunflow",
+            DaCapo,
+            p(9, 9238, 1925),
+            8,
+            0,
+            2,
+            4,
+            1,
+            2,
+            16,
+            (6, 5),
+            11,
+            3,
+            4,
+            no,
+        ),
         preset(
-        "tomcat", DaCapo, p(6, 751, 307), 5, 0, 2, 2, 1, 2, 8, (12, 6), 10, 3, 4, no),
+            "tomcat",
+            DaCapo,
+            p(6, 751, 307),
+            5,
+            0,
+            2,
+            2,
+            1,
+            2,
+            8,
+            (12, 6),
+            10,
+            3,
+            4,
+            no,
+        ),
         preset(
-        "tradebeans", DaCapo, p(3, 193, 75), 2, 0, 1, 1, 1, 2, 6, (6, 5), 12, 3, 3, no),
+            "tradebeans",
+            DaCapo,
+            p(3, 193, 75),
+            2,
+            0,
+            1,
+            1,
+            1,
+            2,
+            6,
+            (6, 5),
+            12,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "tradesoap", DaCapo, p(3, 264, 64), 2, 0, 1, 1, 1, 2, 8, (6, 5), 12, 3, 3, no),
+            "tradesoap",
+            DaCapo,
+            p(3, 264, 64),
+            2,
+            0,
+            1,
+            1,
+            1,
+            2,
+            8,
+            (6, 5),
+            12,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "xalan", DaCapo, p(3, 6, 1), 2, 0, 1, 0, 1, 2, 2, (12, 6), 11, 3, 6, no),
+            "xalan",
+            DaCapo,
+            p(3, 6, 1),
+            2,
+            0,
+            1,
+            0,
+            1,
+            2,
+            2,
+            (12, 6),
+            11,
+            3,
+            6,
+            no,
+        ),
         // ---- Android (Table 5 middle) -----------------------------------
         preset(
-        "connectbot", Android, p_o(11), 2, 8, 2, 2, 1, 2, 10, (12, 6), 12, 3, 3, no),
+            "connectbot",
+            Android,
+            p_o(11),
+            2,
+            8,
+            2,
+            2,
+            1,
+            2,
+            10,
+            (12, 6),
+            12,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "sipdroid", Android, p_o(15), 4, 10, 2, 3, 1, 2, 12, (12, 6), 12, 3, 4, no),
+            "sipdroid",
+            Android,
+            p_o(15),
+            4,
+            10,
+            2,
+            3,
+            1,
+            2,
+            12,
+            (12, 6),
+            12,
+            3,
+            4,
+            no,
+        ),
         preset(
-        "k9mail", Android, p_o(23), 4, 18, 3, 3, 1, 2, 14, (12, 6), 12, 3, 3, no),
+            "k9mail",
+            Android,
+            p_o(23),
+            4,
+            18,
+            3,
+            3,
+            1,
+            2,
+            14,
+            (12, 6),
+            12,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "tasks", Android, p_o(7), 2, 4, 2, 2, 0, 2, 8, (13, 6), 12, 3, 3, no),
+            "tasks",
+            Android,
+            p_o(7),
+            2,
+            4,
+            2,
+            2,
+            0,
+            2,
+            8,
+            (13, 6),
+            12,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "fbreader", Android, p_o(15), 4, 10, 2, 2, 1, 2, 10, (16, 6), 12, 3, 3, no),
+            "fbreader",
+            Android,
+            p_o(15),
+            4,
+            10,
+            2,
+            2,
+            1,
+            2,
+            10,
+            (16, 6),
+            12,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "vlc", Android, p_o(4), 1, 2, 1, 2, 1, 2, 8, (12, 6), 12, 3, 8, no),
+            "vlc",
+            Android,
+            p_o(4),
+            1,
+            2,
+            1,
+            2,
+            1,
+            2,
+            8,
+            (12, 6),
+            12,
+            3,
+            8,
+            no,
+        ),
         preset(
-        "firefox_focus", Android, p_o(8), 2, 5, 2, 2, 1, 2, 10, (16, 6), 12, 3, 3, no),
+            "firefox_focus",
+            Android,
+            p_o(8),
+            2,
+            5,
+            2,
+            2,
+            1,
+            2,
+            10,
+            (16, 6),
+            12,
+            3,
+            3,
+            no,
+        ),
         preset(
-        "telegram", Android, p_o(134), 13, 120, 4, 4, 2, 3, 16, (16, 6), 12, 3, 2, no),
+            "telegram",
+            Android,
+            p_o(134),
+            13,
+            120,
+            4,
+            4,
+            2,
+            3,
+            16,
+            (16, 6),
+            12,
+            3,
+            2,
+            no,
+        ),
         preset(
-        "zoom", Android, p_o(15), 4, 10, 2, 3, 1, 2, 10, (16, 6), 12, 3, 6, no),
+            "zoom",
+            Android,
+            p_o(15),
+            4,
+            10,
+            2,
+            3,
+            1,
+            2,
+            10,
+            (16, 6),
+            12,
+            3,
+            6,
+            no,
+        ),
         preset(
-        "chrome", Android, p_o(34), 8, 25, 3, 3, 1, 2, 12, (16, 6), 12, 3, 3, no),
+            "chrome",
+            Android,
+            p_o(34),
+            8,
+            25,
+            3,
+            3,
+            1,
+            2,
+            12,
+            (16, 6),
+            12,
+            3,
+            3,
+            no,
+        ),
         // ---- Distributed systems (Tables 5, 9) --------------------------
         preset(
-        "hbase",
+            "hbase",
             Distributed,
             p(16, 1269, 687),
-            14, 0, 4, 14, 2, 4, 20, (16, 6), 12, 6, 18,
+            14,
+            0,
+            4,
+            14,
+            2,
+            4,
+            20,
+            (16, 6),
+            12,
+            6,
+            18,
             (true, false, false, false),
         ),
         preset(
-        "hdfs",
+            "hdfs",
             Distributed,
             p(12, 2322, 910),
-            10, 0, 4, 18, 2, 4, 24, (12, 6), 12, 6, 18,
+            10,
+            0,
+            4,
+            18,
+            2,
+            4,
+            24,
+            (12, 6),
+            12,
+            6,
+            18,
             (false, true, false, false),
         ),
         preset(
-        "yarn", Distributed, p(14, 5387, 1164), 13, 0, 5, 22, 2, 4, 26, (8, 5), 12, 6, 20, no),
+            "yarn",
+            Distributed,
+            p(14, 5387, 1164),
+            13,
+            0,
+            5,
+            22,
+            2,
+            4,
+            26,
+            (8, 5),
+            12,
+            6,
+            20,
+            no,
+        ),
         preset(
-        "zookeeper",
+            "zookeeper",
             Distributed,
             p(40, 1389, 747),
-            20, 19, 6, 15, 2, 4, 20, (8, 5), 12, 5, 10, no,
+            20,
+            19,
+            6,
+            15,
+            2,
+            4,
+            20,
+            (8, 5),
+            12,
+            5,
+            10,
+            no,
         ),
         // ---- C/C++ programs (Table 6) ------------------------------------
         preset(
-        "memcached",
+            "memcached",
             CStyle,
             p_o(12),
-            8, 3, 3, 5, 3, 2, 6, (6, 4), 4, 3, 6,
+            8,
+            3,
+            3,
+            5,
+            3,
+            2,
+            6,
+            (6, 4),
+            4,
+            3,
+            6,
             (false, false, false, true),
         ),
         preset(
-        "redis",
+            "redis",
             CStyle,
             p_o(15),
-            14, 0, 4, 3, 2, 2, 8, (10, 6), 4, 4, 10,
+            14,
+            0,
+            4,
+            3,
+            2,
+            2,
+            8,
+            (10, 6),
+            4,
+            4,
+            10,
             (false, false, false, true),
         ),
         preset(
-        "sqlite3",
+            "sqlite3",
             CStyle,
             p_o(3),
-            2, 0, 1, 1, 1, 2, 4, (16, 6), 0, 8, 40,
+            2,
+            0,
+            1,
+            1,
+            1,
+            2,
+            4,
+            (16, 6),
+            0,
+            8,
+            40,
             (false, false, false, true),
         ),
     ]

@@ -48,5 +48,8 @@ fn main() {
         .origins()
         .filter(|(_, d)| matches!(d.kind, OriginKind::Event { .. }))
         .count();
-    println!("\nevent origins: {event_origins}, races: {}", report.num_races());
+    println!(
+        "\nevent origins: {event_origins}, races: {}",
+        report.num_races()
+    );
 }

@@ -7,7 +7,9 @@ use o2::prelude::*;
 use std::time::Duration;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "avrora".to_string());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "avrora".to_string());
     let preset = o2_workloads::preset_by_name(&name).unwrap_or_else(|| {
         eprintln!("unknown preset `{name}`; available:");
         for p in o2_workloads::all_presets() {

@@ -12,7 +12,11 @@ fn main() {
     println!("{}\n", model.description);
 
     let report = O2Builder::new().build().analyze(&model.program);
-    println!("O2 found {} races (paper: {} confirmed):\n", report.num_races(), model.expected_races);
+    println!(
+        "O2 found {} races (paper: {} confirmed):\n",
+        report.num_races(),
+        model.expected_races
+    );
     print!("{}", report.races.render(&model.program));
 
     // Show which origin kinds participate in each race — the point of the

@@ -51,5 +51,8 @@ fn main() {
         .analyze(&fig3);
     println!("\n== Figure 3: context switch at origin allocations ==");
     println!("OPA   races: {}", opa.num_races());
-    println!("0-ctx races: {} (false positives from the shared helper)", zero.num_races());
+    println!(
+        "0-ctx races: {} (false positives from the shared helper)",
+        zero.num_races()
+    );
 }

@@ -1,14 +1,18 @@
 #!/usr/bin/env sh
-# Full offline verification: release build, complete test suite (which
-# diffs the checked-in golden JSON/SARIF reports under tests/golden/),
-# lints, and the PR 1/PR 2/PR 3 reports (BENCH_pr1.json, BENCH_pr2.json,
-# and BENCH_pr3.json at the repo root).
+# Full offline verification: formatting, release build, complete test
+# suite (which diffs the checked-in golden JSON/SARIF reports under
+# tests/golden/), lints, and the PR 1/PR 2/PR 3/PR 5 reports
+# (BENCH_pr1.json, BENCH_pr2.json, BENCH_pr3.json, and BENCH_pr5.json
+# at the repo root).
 #
 # The workspace has no external dependencies, so every step runs with
 # --offline and must succeed without network access.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
 
 echo "==> cargo build --release --offline"
 cargo build --release --offline --workspace
@@ -27,6 +31,9 @@ cargo run --release --offline -p o2-bench --bin bench -- --group pr2
 
 echo "==> bench --group pr3 (writes BENCH_pr3.json)"
 cargo run --release --offline -p o2-bench --bin bench -- --group pr3
+
+echo "==> bench --group pr5 (writes BENCH_pr5.json)"
+cargo run --release --offline -p o2-bench --bin bench -- --group pr5
 
 echo "==> incremental warm-vs-cold equivalence"
 cargo test -q --offline --test incremental --test db_determinism --test roundtrip

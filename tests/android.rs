@@ -3,7 +3,9 @@
 //! dispatcher lock, and UI-vs-background races.
 
 use o2::prelude::*;
-use o2_workloads::android::{build_harness, demo_app, ActivitySpec, AppSpec, HandlerSpec, TaskSpec};
+use o2_workloads::android::{
+    build_harness, demo_app, ActivitySpec, AppSpec, HandlerSpec, TaskSpec,
+};
 
 fn ui_analyzer() -> O2 {
     // The harness main models the UI thread: same dispatcher as handlers.

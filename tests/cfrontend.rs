@@ -88,12 +88,8 @@ fn linux_style_origins_in_c() {
     // Two races: the tz field and the vdata element (both W/W between the
     // two concurrent syscall origins).
     assert_eq!(report.num_races(), 2, "{}", report.races.render(&program));
-    let kinds: std::collections::BTreeSet<_> = report
-        .pta
-        .arena
-        .origins()
-        .map(|(_, d)| d.kind)
-        .collect();
+    let kinds: std::collections::BTreeSet<_> =
+        report.pta.arena.origins().map(|(_, d)| d.kind).collect();
     assert!(kinds.contains(&OriginKind::Syscall));
 }
 

@@ -21,7 +21,9 @@ fn db_bytes_for(program: &Program, threads: usize) -> (Vec<u8>, String) {
 #[test]
 fn db_bytes_identical_across_thread_counts() {
     for name in PRESETS {
-        let w = o2_workloads::preset_by_name(name).expect("preset exists").generate();
+        let w = o2_workloads::preset_by_name(name)
+            .expect("preset exists")
+            .generate();
         let (base_bytes, base_json) = db_bytes_for(&w.program, 1);
         for threads in [2usize, 8] {
             let (bytes, json) = db_bytes_for(&w.program, threads);
@@ -29,7 +31,10 @@ fn db_bytes_identical_across_thread_counts() {
                 bytes, base_bytes,
                 "{name}: database bytes differ at {threads} threads"
             );
-            assert_eq!(json, base_json, "{name}: report differs at {threads} threads");
+            assert_eq!(
+                json, base_json,
+                "{name}: report differs at {threads} threads"
+            );
         }
     }
 }
@@ -37,7 +42,9 @@ fn db_bytes_identical_across_thread_counts() {
 #[test]
 fn db_bytes_identical_across_repeated_runs() {
     for name in PRESETS {
-        let w = o2_workloads::preset_by_name(name).expect("preset exists").generate();
+        let w = o2_workloads::preset_by_name(name)
+            .expect("preset exists")
+            .generate();
         let engine = O2Builder::new().build();
         let mut db1 = AnalysisDb::new(engine.config_sig());
         engine.analyze_with_db(&w.program, &mut db1);
@@ -49,7 +56,11 @@ fn db_bytes_identical_across_repeated_runs() {
         // ...and a warm rewrite of the first: artifacts are replaced by
         // exactly the artifacts of the new run, so bytes are unchanged.
         engine.analyze_with_db(&w.program, &mut db1);
-        assert_eq!(db1.to_bytes(), first, "{name}: warm rewrite changed the database");
+        assert_eq!(
+            db1.to_bytes(),
+            first,
+            "{name}: warm rewrite changed the database"
+        );
     }
 }
 
@@ -57,7 +68,9 @@ fn db_bytes_identical_across_repeated_runs() {
 /// the database came from a *different* thread count's run.
 #[test]
 fn warm_reports_identical_across_thread_counts() {
-    let w = o2_workloads::preset_by_name("avrora").expect("preset exists").generate();
+    let w = o2_workloads::preset_by_name("avrora")
+        .expect("preset exists")
+        .generate();
     let (edited, _) = o2_workloads::single_function_edit(&w.program);
     let serial = O2Builder::new().detect_threads(1).build();
     let mut db = AnalysisDb::new(serial.config_sig());

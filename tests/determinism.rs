@@ -12,10 +12,20 @@ use o2::AnalysisReport;
 
 /// A cross-section of the suite: each benchmark group, sizes from tiny
 /// to the largest preset.
-const PRESETS: &[&str] = &["xalan", "avrora", "sunflow", "zookeeper", "k9mail", "telegram"];
+const PRESETS: &[&str] = &[
+    "xalan",
+    "avrora",
+    "sunflow",
+    "zookeeper",
+    "k9mail",
+    "telegram",
+];
 
 fn analyze_with_threads(program: &Program, threads: usize) -> AnalysisReport {
-    O2Builder::new().detect_threads(threads).build().analyze(program)
+    O2Builder::new()
+        .detect_threads(threads)
+        .build()
+        .analyze(program)
 }
 
 /// The parallel engine's report is byte-identical to the sequential
@@ -116,9 +126,6 @@ fn parallel_detect_reports_are_nonempty_where_expected() {
         .expect("preset exists")
         .generate();
     let report = analyze_with_threads(&w.program, 8);
-    assert!(
-        report.races.num_races() > 0,
-        "telegram should report races"
-    );
+    assert!(report.races.num_races() > 0, "telegram should report races");
     assert!(report.races.threads_used >= 1);
 }

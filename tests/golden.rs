@@ -36,8 +36,12 @@ fn check(name: &str, ext: &str, actual: &str) {
         std::fs::write(&path, actual).unwrap();
         return;
     }
-    let expected = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("missing golden {}: {e} (run with UPDATE_GOLDEN=1)", path.display()));
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} (run with UPDATE_GOLDEN=1)",
+            path.display()
+        )
+    });
     if expected != actual {
         // Point at the first differing line so the failure is readable
         // without an external diff tool.
@@ -81,6 +85,33 @@ fn zookeeper_pipeline_reports_match_goldens() {
     let (json, sarif) = render(&m);
     check("zookeeper", "json", &json);
     check("zookeeper", "sarif", &sarif);
+}
+
+#[test]
+fn goldens_are_byte_identical_across_thread_counts() {
+    // The detect worker count must never leak into any rendering: every
+    // thread count reproduces the checked-in goldens byte for byte, and
+    // the text report (no golden file) agrees across counts too.
+    for (name, m) in [
+        ("memcached", o2_workloads::realbugs::memcached()),
+        ("zookeeper", o2_workloads::realbugs::zookeeper()),
+    ] {
+        let mut texts = Vec::new();
+        for threads in [1usize, 4] {
+            let engine = O2Builder::new()
+                .detect_config(DetectConfig::o2().with_threads(threads))
+                .build();
+            let report = engine.analyze(&m.program);
+            let pipeline = report.run_pipeline(&m.program);
+            check(name, "json", &pipeline.to_json(&m.program));
+            check(name, "sarif", &pipeline.to_sarif(&m.program));
+            texts.push(pipeline.render(&m.program));
+        }
+        assert_eq!(
+            texts[0], texts[1],
+            "{name}: text report must not depend on --threads"
+        );
+    }
 }
 
 #[test]

@@ -11,7 +11,14 @@ use o2::prelude::*;
 use o2::{AnalysisReport, IncrStats};
 use o2_workloads::single_function_edit;
 
-const PRESETS: &[&str] = &["xalan", "avrora", "sunflow", "zookeeper", "k9mail", "telegram"];
+const PRESETS: &[&str] = &[
+    "xalan",
+    "avrora",
+    "sunflow",
+    "zookeeper",
+    "k9mail",
+    "telegram",
+];
 
 fn renders(program: &Program, report: &AnalysisReport) -> (String, String, String) {
     let p = report.run_pipeline(program);
@@ -72,7 +79,9 @@ fn presets_warm_equals_cold_after_edit() {
     let mut replayed_pairs = 0u64;
     let mut rechecked_pairs = 0u64;
     for name in PRESETS {
-        let w = o2_workloads::preset_by_name(name).expect("preset exists").generate();
+        let w = o2_workloads::preset_by_name(name)
+            .expect("preset exists")
+            .generate();
         let (stats, _) = check_workload(name, &w.program, true);
         replayed_pairs += stats.pairs_replayed;
         rechecked_pairs += stats.pairs_rechecked;
@@ -112,7 +121,9 @@ fn realbug_models_warm_equals_cold_after_edit() {
 #[test]
 fn unchanged_program_replays_fully() {
     for name in PRESETS {
-        let w = o2_workloads::preset_by_name(name).expect("preset exists").generate();
+        let w = o2_workloads::preset_by_name(name)
+            .expect("preset exists")
+            .generate();
         let engine = O2Builder::new().build();
         let mut db = AnalysisDb::new(engine.config_sig());
         engine.analyze_with_db(&w.program, &mut db);

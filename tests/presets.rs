@@ -112,12 +112,8 @@ fn object_sensitivity_false_positives_come_from_factories() {
         robj.num_races(),
         ropa.num_races()
     );
-    let factory_fields: std::collections::BTreeSet<&str> = w
-        .truth
-        .factory_fields
-        .iter()
-        .map(|s| s.as_str())
-        .collect();
+    let factory_fields: std::collections::BTreeSet<&str> =
+        w.truth.factory_fields.iter().map(|s| s.as_str()).collect();
     let reported: std::collections::BTreeSet<&str> = robj
         .races
         .races
@@ -139,7 +135,10 @@ fn shb_prunes_fork_join_and_locked_accesses() {
     let w = p.generate();
     let report = O2Builder::new().build().analyze(&w.program);
     assert!(report.races.hb_pruned > 0, "fork-join pattern exercises HB");
-    assert!(report.races.lock_pruned > 0, "locked pattern exercises locks");
+    assert!(
+        report.races.lock_pruned > 0,
+        "locked pattern exercises locks"
+    );
 }
 
 #[test]

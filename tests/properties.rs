@@ -195,8 +195,8 @@ fn generated_programs_roundtrip() {
         let w = generate(spec);
         o2_ir::validate::assert_valid(&w.program);
         let text = o2_ir::printer::print_program(&w.program);
-        let reparsed = o2_ir::parser::parse(&text)
-            .unwrap_or_else(|e| panic!("case {i}: reparse failed: {e}"));
+        let reparsed =
+            o2_ir::parser::parse(&text).unwrap_or_else(|e| panic!("case {i}: reparse failed: {e}"));
         assert_eq!(
             reparsed.num_statements(),
             w.program.num_statements(),

@@ -24,12 +24,7 @@ fn table10_counts_match_paper() {
 fn total_is_forty_confirmed_races() {
     let total: usize = realbugs::all_models()
         .iter()
-        .map(|m| {
-            O2Builder::new()
-                .build()
-                .analyze(&m.program)
-                .num_races()
-        })
+        .map(|m| O2Builder::new().build().analyze(&m.program).num_races())
         .sum();
     assert_eq!(total, 40, "\"more than 40 unique races\" (§1)");
 }
@@ -41,11 +36,12 @@ fn races_require_thread_event_unification() {
     // Disabling event origins (empty entry config minus event entries)
     // must lose races in the event-involving models.
     for m in realbugs::all_models() {
-        let has_events = m
-            .program
-            .methods
-            .iter()
-            .any(|method| m.program.entry_config.event_entries.contains_key(&method.name));
+        let has_events = m.program.methods.iter().any(|method| {
+            m.program
+                .entry_config
+                .event_entries
+                .contains_key(&method.name)
+        });
         if !has_events {
             continue;
         }
@@ -78,9 +74,7 @@ fn memcached_race_involves_event_and_thread() {
         "a worker thread is involved"
     );
     assert!(
-        kinds
-            .iter()
-            .any(|k| matches!(k, OriginKind::Event { .. })),
+        kinds.iter().any(|k| matches!(k, OriginKind::Event { .. })),
         "the slab-reassign event handler is involved"
     );
 }
@@ -90,12 +84,8 @@ fn linux_model_uses_all_four_origin_kinds() {
     // §5.4: syscalls, driver functions, kernel threads, interrupt handlers.
     let m = realbugs::linux_kernel();
     let report = O2Builder::new().build().analyze(&m.program);
-    let kinds: std::collections::BTreeSet<_> = report
-        .pta
-        .arena
-        .origins()
-        .map(|(_, d)| d.kind)
-        .collect();
+    let kinds: std::collections::BTreeSet<_> =
+        report.pta.arena.origins().map(|(_, d)| d.kind).collect();
     assert!(kinds.contains(&OriginKind::Syscall));
     assert!(kinds.contains(&OriginKind::KernelThread));
     assert!(kinds.contains(&OriginKind::Interrupt));

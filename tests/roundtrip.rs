@@ -15,8 +15,7 @@ use o2_ir::{digest_program, parser, printer, structurally_equal, validate};
 fn assert_roundtrip(name: &str, program: &o2_ir::Program) {
     // First pass canonicalizes the field/class table order.
     let text = printer::print_program(program);
-    let canonical =
-        parser::parse(&text).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
+    let canonical = parser::parse(&text).unwrap_or_else(|e| panic!("{name}: reparse failed: {e}"));
     validate::assert_valid(&canonical);
     assert_eq!(
         canonical.num_statements(),
@@ -38,7 +37,11 @@ fn assert_roundtrip(name: &str, program: &o2_ir::Program) {
         digest_program(&reparsed).program,
         "{name}: program digest changed across print/parse"
     );
-    assert_eq!(text2, printer::print_program(&reparsed), "{name}: printer not a fixpoint");
+    assert_eq!(
+        text2,
+        printer::print_program(&reparsed),
+        "{name}: printer not a fixpoint"
+    );
 }
 
 /// Pinpoints the first structural difference, for a readable failure.
