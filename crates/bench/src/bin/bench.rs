@@ -20,14 +20,23 @@
 //!                      (writes BENCH_pr3.json; see `--out`)
 //!         pr5          data-plane cold/warm/scaling summary
 //!                      (writes BENCH_pr5.json; see `--out`)
+//!         pr6          mega-scale prune/cold-warm/memory summary
+//!                      (writes BENCH_pr6.json; see `--out`)
+//!
+//! bench --regress BASELINE.json CURRENT.json
 //! ```
 //!
 //! Without `--group`, every group runs. `--out` changes where the `pr1`,
 //! `pr2`, and `pr3` groups write their JSON reports (defaults
 //! `BENCH_pr1.json`, `BENCH_pr2.json`, and `BENCH_pr3.json`).
+//!
+//! `--regress` compares the cold end-to-end rows of two harness JSON
+//! reports and exits 1 if any row in CURRENT is more than 25% (and more
+//! than an absolute 5 ms) slower than BASELINE — the CI gate run by
+//! `scripts/verify.sh` against the committed `BENCH_*.json` files.
 
 use o2_analysis::{run_escape, run_osa};
-use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5};
+use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5, pr6};
 use o2_detect::{detect, DetectConfig};
 use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 use o2_shb::{build_shb, ShbConfig};
@@ -41,6 +50,12 @@ fn main() {
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--regress" => {
+                let baseline = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                let current = args.get(i + 2).cloned().unwrap_or_else(|| usage());
+                regress(&baseline, &current);
+                return;
+            }
             "--group" => {
                 i += 1;
                 groups.push(args.get(i).cloned().unwrap_or_else(|| usage()));
@@ -71,6 +86,7 @@ fn main() {
             "pr2".into(),
             "pr3".into(),
             "pr5".into(),
+            "pr6".into(),
         ];
     }
     for g in &groups {
@@ -84,6 +100,7 @@ fn main() {
             "pr2" => pr2_group(iters, out.as_deref().unwrap_or("BENCH_pr2.json")),
             "pr3" => pr3_group(iters, out.as_deref().unwrap_or("BENCH_pr3.json")),
             "pr5" => pr5_group(iters, out.as_deref().unwrap_or("BENCH_pr5.json")),
+            "pr6" => pr6_group(iters, out.as_deref().unwrap_or("BENCH_pr6.json")),
             other => {
                 eprintln!("unknown group `{other}`");
                 usage();
@@ -93,8 +110,31 @@ fn main() {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: bench [--group NAME]... [--iters N] [--out PATH]");
+    eprintln!(
+        "usage: bench [--group NAME]... [--iters N] [--out PATH]\n       \
+         bench --regress BASELINE.json CURRENT.json"
+    );
     std::process::exit(2);
+}
+
+/// The CI regression gate: compares cold rows of two harness reports and
+/// exits 1 on any >25% (and >5 ms) slow-down.
+fn regress(baseline: &str, current: &str) {
+    let base = std::fs::read_to_string(baseline)
+        .unwrap_or_else(|e| panic!("read baseline {baseline}: {e}"));
+    let cur =
+        std::fs::read_to_string(current).unwrap_or_else(|e| panic!("read current {current}: {e}"));
+    let rows = pr6::cold_rows(&base).len();
+    let failures = pr6::regression_failures(&base, &cur);
+    if failures.is_empty() {
+        println!("regress {baseline} vs {current}: ok ({rows} cold rows compared)");
+    } else {
+        eprintln!("regress {baseline} vs {current}: FAIL");
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
 }
 
 /// Best-of-N wall time of `f` after one untimed warm-up call.
@@ -293,6 +333,17 @@ fn pr5_group(iters: usize, out: &str) {
         ..Default::default()
     };
     let report = pr5::run(&opts);
+    print!("{}", report.render());
+    println!("wrote {out}");
+}
+
+fn pr6_group(iters: usize, out: &str) {
+    let opts = pr6::Pr6Options {
+        iters,
+        out_path: Some(out.to_string()),
+        ..Default::default()
+    };
+    let report = pr6::run(&opts);
     print!("{}", report.render());
     println!("wrote {out}");
 }

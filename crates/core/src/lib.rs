@@ -48,10 +48,15 @@ use std::time::{Duration, Instant};
 
 /// Re-exports of the most commonly used items across the workspace.
 pub mod prelude {
-    pub use crate::{AnalysisReport, DiffAnalysis, IncrStats, O2Builder, Timings, O2};
+    pub use crate::{
+        peak_rss_bytes, AnalysisReport, DiffAnalysis, IncrStats, MemoryFootprint, O2Builder,
+        Timings, O2,
+    };
     pub use o2_analysis::{MemKey, OsaResult};
     pub use o2_db::AnalysisDb;
-    pub use o2_detect::{DeadlockReport, DetectConfig, OversyncReport, Race, RaceReport};
+    pub use o2_detect::{
+        DeadlockReport, DetectConfig, OversyncReport, PruneStats, Race, RaceReport,
+    };
     pub use o2_ir::{EntryPointConfig, OriginKind, Program};
     pub use o2_passes::{PipelineReport, Tier, TriagedRace};
     pub use o2_pta::{Policy, PtaConfig, PtaResult};
@@ -126,6 +131,18 @@ impl AnalysisReport {
         o2_passes::run_pipeline(program, &self.pta, &self.osa, &self.shb, &self.races)
     }
 
+    /// Per-structure heap estimates for this run's long-lived state.
+    pub fn memory_footprint(&self) -> MemoryFootprint {
+        let (shb_traces, shb_csr, shb_locks, shb_access_index) = self.shb.approx_bytes();
+        MemoryFootprint {
+            shb_traces,
+            shb_csr,
+            shb_locks,
+            shb_access_index,
+            osa: self.osa.approx_bytes(),
+        }
+    }
+
     /// A one-paragraph textual summary (policy, origins, sharing, races).
     pub fn summary(&self) -> String {
         format!(
@@ -147,6 +164,56 @@ impl AnalysisReport {
             self.timings.detect,
         )
     }
+}
+
+/// Approximate heap bytes held by each long-lived analysis structure,
+/// gathered from the per-crate `approx_bytes` estimators. These are
+/// capacity-based estimates (what the structures asked the allocator
+/// for), not allocator-measured truth — compare them against
+/// [`peak_rss_bytes`] for the whole-process ceiling.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// SHB per-origin traces (nodes + per-node metadata).
+    pub shb_traces: usize,
+    /// The frozen CSR adjacency (entry + join edge arrays).
+    pub shb_csr: usize,
+    /// Interned locksets: canonical element slices, bitset mirrors, and
+    /// the intern index.
+    pub shb_locks: usize,
+    /// The per-location access index driving candidate collection.
+    pub shb_access_index: usize,
+    /// OSA sharing entries, origin sets, and the location interner.
+    pub osa: usize,
+}
+
+impl MemoryFootprint {
+    /// Sum over all tracked structures.
+    pub fn total(&self) -> usize {
+        self.shb_traces + self.shb_csr + self.shb_locks + self.shb_access_index + self.osa
+    }
+}
+
+/// Peak resident-set size of the current process in bytes (`VmHWM` from
+/// `/proc/self/status`). Returns 0 on platforms without procfs — callers
+/// must treat 0 as "unavailable", not "tiny".
+pub fn peak_rss_bytes() -> usize {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: usize = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
 }
 
 /// Builder for an [`O2`] analyzer (C-BUILDER).

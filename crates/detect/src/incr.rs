@@ -260,6 +260,7 @@ fn detect_config_sig(config: &DetectConfig) -> Digest {
     h.write_bool(config.canonical_locksets);
     h.write_bool(config.lock_region_merging);
     h.write_bool(config.hb_cache);
+    h.write_bool(config.preloop_prune);
     h.write_u64(config.max_pairs_per_location as u64);
     h.finish()
 }
@@ -350,7 +351,8 @@ pub fn detect_incremental(
     let mut report = RaceReport::default();
     let mut names = std::mem::take(&mut db.names);
 
-    let candidates = collect_candidates(program, pta, osa, shb, config);
+    let (candidates, prune) = collect_candidates(program, pta, osa, shb, config);
+    report.prune = prune;
     let hb = hb_sigs(shb, canon, !config.integer_hb);
     let cfg_sig = detect_config_sig(config);
 
@@ -401,9 +403,14 @@ pub fn detect_incremental(
         }
     }
 
-    let workers = config.effective_threads().clamp(1, candidates.len().max(1));
-    let (checked, hits, misses, out_of_time) =
-        check_candidates_parallel(&candidates, &todo, shb, config, deadline, workers);
+    let (checked, hits, misses, out_of_time, workers) = check_candidates_parallel(
+        &candidates,
+        &todo,
+        shb,
+        config,
+        deadline,
+        config.effective_threads(),
+    );
     report.lock_cache_hits = hits;
     report.lock_cache_misses = misses;
     let candidates_rechecked = checked.len();

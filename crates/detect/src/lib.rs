@@ -79,6 +79,12 @@ pub struct DetectConfig {
     pub lock_region_merging: bool,
     /// Cache happens-before query results per position pair.
     pub hb_cache: bool,
+    /// PR 6 pre-loop pruning: candidates whose accesses all share a common
+    /// lock are resolved in closed form from per-location summaries
+    /// instead of enumerating their pairs. Sound — every pair of such a
+    /// candidate fails the lockset-disjointness test — and exact: the
+    /// synthesized outcome reproduces the loop's counters bit for bit.
+    pub preloop_prune: bool,
     /// Budget: maximum access pairs checked per memory location.
     pub max_pairs_per_location: usize,
     /// Wall-clock budget for the whole detection.
@@ -99,6 +105,7 @@ impl DetectConfig {
             canonical_locksets: true,
             lock_region_merging: true,
             hb_cache: true,
+            preloop_prune: true,
             max_pairs_per_location: 100_000,
             timeout: None,
             threads: 0,
@@ -114,6 +121,7 @@ impl DetectConfig {
             canonical_locksets: false,
             lock_region_merging: false,
             hb_cache: false,
+            preloop_prune: false,
             max_pairs_per_location: 100_000,
             timeout: None,
             threads: 0,
@@ -175,6 +183,54 @@ impl Race {
     }
 }
 
+/// Pre-loop pruning statistics (PR 6): per-LocId access summaries
+/// classify every location the SHB walk touched *before* any pair is
+/// enumerated, and whole classes are eliminated in closed form. Pair
+/// counts are over the raw (pre-region-merge) access lists, so the stages
+/// are comparable across configurations.
+///
+/// The taxonomy is a partition: `locations = read_only_locs +
+/// single_origin_locs + common_guard_locs + candidate_locs`, and likewise
+/// for pairs. Only `candidate_*` locations reach the pair loop when
+/// [`DetectConfig::preloop_prune`] is on.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PruneStats {
+    /// Locations with at least one SHB-indexed access.
+    pub locations: u64,
+    /// Unordered access pairs before any pruning (`Σ C(n, 2)`).
+    pub pre_prune_pairs: u64,
+    /// Stage 1 — locations never written: no pair can conflict.
+    pub read_only_locs: u64,
+    /// Raw pairs eliminated by stage 1.
+    pub read_only_pairs: u64,
+    /// Stage 2 — locations touched by one runtime origin only (not
+    /// origin-shared per OSA and no multi-instance writer).
+    pub single_origin_locs: u64,
+    /// Raw pairs eliminated by stage 2.
+    pub single_origin_pairs: u64,
+    /// Stage 3 — shared locations whose accesses all hold one common lock:
+    /// every pair fails the disjointness test, so the outcome is
+    /// synthesized without enumeration.
+    pub common_guard_locs: u64,
+    /// Raw pairs eliminated by stage 3.
+    pub common_guard_pairs: u64,
+    /// Locations that survive all three stages and are pair-enumerated.
+    pub candidate_locs: u64,
+    /// Raw pairs of the surviving candidates.
+    pub candidate_pairs: u64,
+}
+
+impl PruneStats {
+    /// Pairs eliminated before the pair loop, as a fraction of
+    /// `pre_prune_pairs` (0.0 when nothing was indexed).
+    pub fn prune_rate(&self) -> f64 {
+        if self.pre_prune_pairs == 0 {
+            return 0.0;
+        }
+        (self.pre_prune_pairs - self.candidate_pairs) as f64 / self.pre_prune_pairs as f64
+    }
+}
+
 /// Statistics and results of one detection run.
 #[derive(Clone, Debug, Default)]
 pub struct RaceReport {
@@ -203,6 +259,10 @@ pub struct RaceReport {
     pub lock_cache_hits: u64,
     /// Lockset-disjointness queries computed (summed over workers).
     pub lock_cache_misses: u64,
+    /// Pre-loop pruning classification of every SHB-indexed location
+    /// (computed during candidate collection, so warm and cold runs agree;
+    /// not serialized into [`RaceReport::to_json`]).
+    pub prune: PruneStats,
     /// Wall-clock duration of detection (excluding PTA/OSA/SHB).
     pub duration: Duration,
 }
@@ -283,6 +343,10 @@ struct Candidate {
     /// that never touch this location stay at the `(false, false)`
     /// default, which the checks below treat as "not multi-instance").
     flags: Vec<(bool, bool)>,
+    /// All accesses hold at least one common lock, so every pair is
+    /// lockset-pruned: with [`DetectConfig::preloop_prune`] the outcome is
+    /// synthesized in closed form instead of enumerated.
+    common_guard: bool,
 }
 
 /// Per-candidate results produced by a worker, merged serially in
@@ -328,7 +392,10 @@ impl LocalLockCache {
             return d;
         }
         self.misses += 1;
-        let d = locks.disjoint_uncached(a, b);
+        // Word-parallel bitset intersection over the frozen table (the
+        // slice-scan `disjoint_uncached` stays as the naive baseline's
+        // per-pair cost model).
+        let d = !locks.set_bits(a).intersects(locks.set_bits(b));
         self.cache.insert(key, d);
         d
     }
@@ -358,13 +425,19 @@ pub fn detect(
     let mut report = RaceReport::default();
 
     // ---- phase 1: serial candidate collection ---------------------------
-    let candidates = collect_candidates(program, pta, osa, shb, config);
+    let (candidates, prune) = collect_candidates(program, pta, osa, shb, config);
+    report.prune = prune;
 
     // ---- phase 2: parallel per-candidate checking -----------------------
     let todo: Vec<usize> = (0..candidates.len()).collect();
-    let workers = config.effective_threads().clamp(1, candidates.len().max(1));
-    let (mut merged, hits, misses, out_of_time) =
-        check_candidates_parallel(&candidates, &todo, shb, config, deadline, workers);
+    let (mut merged, hits, misses, out_of_time, workers) = check_candidates_parallel(
+        &candidates,
+        &todo,
+        shb,
+        config,
+        deadline,
+        config.effective_threads(),
+    );
     report.lock_cache_hits = hits;
     report.lock_cache_misses = misses;
 
@@ -398,15 +471,17 @@ pub fn detect(
 }
 
 /// Phase 1 of [`detect`]: collects the candidate locations with their
-/// (possibly region-merged) access lists and per-origin flags. Serial —
-/// the only detection phase that reads the pointer-analysis result.
+/// (possibly region-merged) access lists and per-origin flags, and
+/// classifies every SHB-indexed location into the pre-loop pruning
+/// taxonomy. Serial — the only detection phase that reads the
+/// pointer-analysis result.
 fn collect_candidates(
     program: &Program,
     pta: &PtaResult,
     osa: &OsaResult,
     shb: &ShbGraph,
     config: &DetectConfig,
-) -> Vec<Candidate> {
+) -> (Vec<Candidate>, PruneStats) {
     let _ = program;
 
     // Multi-instance origins: an abstract origin entered from two or more
@@ -465,13 +540,37 @@ fn collect_candidates(
     };
 
     let mut candidates: Vec<Candidate> = Vec::new();
+    let mut stats = PruneStats::default();
     // Walk candidate ids in canonical `MemKey` order (the order the old
     // keyed map iterated in), so region-merge representatives and the
     // phase-3 dedup retain exactly the same accesses as before the
     // dense-id refactor.
     for id in osa.locs.sorted_ids() {
+        let indexed = shb.accesses_of(id);
+        let raw_pairs = {
+            let n = indexed.len() as u64;
+            n * n.saturating_sub(1) / 2
+        };
+        if !indexed.is_empty() {
+            stats.locations += 1;
+            stats.pre_prune_pairs += raw_pairs;
+        }
         let Some(entry) = osa.entry(id) else {
-            continue; // interned by SHB only (e.g. truncated OSA scan)
+            // Interned by SHB only (e.g. truncated OSA scan): classify by
+            // the raw access list for the taxonomy.
+            if !indexed.is_empty() {
+                let any_write = indexed
+                    .iter()
+                    .any(|&(o, idx)| shb.traces[o.0 as usize].accesses[idx as usize].is_write);
+                if any_write {
+                    stats.single_origin_locs += 1;
+                    stats.single_origin_pairs += raw_pairs;
+                } else {
+                    stats.read_only_locs += 1;
+                    stats.read_only_pairs += raw_pairs;
+                }
+            }
+            continue;
         };
         let key = osa.locs.key(id);
         // Candidate locations: origin-shared per OSA, or written by a
@@ -482,9 +581,18 @@ fn collect_candidates(
             .iter()
             .any(|o| is_multi(o2_pta::OriginId(o)));
         if !entry.is_shared() && !self_shared {
+            if !indexed.is_empty() {
+                // Stage 1/2: never written, or confined to one origin.
+                if entry.write_origins.is_empty() {
+                    stats.read_only_locs += 1;
+                    stats.read_only_pairs += raw_pairs;
+                } else {
+                    stats.single_origin_locs += 1;
+                    stats.single_origin_pairs += raw_pairs;
+                }
+            }
             continue;
         }
-        let indexed = shb.accesses_of(id);
         if indexed.is_empty() {
             continue;
         }
@@ -524,20 +632,36 @@ fn collect_candidates(
                 flags[slot] = (multi, sole);
             }
         }
+        // Stage 3: a lock element held at *every* access (word-parallel
+        // bitset fold over the canonical locksets) means every pair fails
+        // the disjointness test — the outcome is a closed form.
+        let common_guard = shb
+            .locks
+            .common_guard(accesses.iter().map(|(_, a)| a.lockset));
+        if common_guard {
+            stats.common_guard_locs += 1;
+            stats.common_guard_pairs += raw_pairs;
+        } else {
+            stats.candidate_locs += 1;
+            stats.candidate_pairs += raw_pairs;
+        }
         candidates.push(Candidate {
             key,
             accesses,
             region_merged,
             flags,
+            common_guard,
         });
     }
-    candidates
+    (candidates, stats)
 }
 
 /// Phase 2 of [`detect`]: fans the candidate indices in `todo` out over
-/// `workers` threads. Returns the per-candidate outcomes (tagged with
-/// their index into `candidates`, unsorted), the summed lock-cache
-/// hit/miss counters, and whether the deadline expired.
+/// at most `workers` threads. Returns the per-candidate outcomes (tagged
+/// with their index into `candidates`, unsorted), the summed lock-cache
+/// hit/miss counters, whether the deadline expired, and the worker count
+/// actually spawned (capped at the number of claimable chunks, so
+/// oversubscribed small workloads don't spawn idle threads).
 fn check_candidates_parallel(
     candidates: &[Candidate],
     todo: &[usize],
@@ -545,7 +669,7 @@ fn check_candidates_parallel(
     config: &DetectConfig,
     deadline: Option<Instant>,
     workers: usize,
-) -> (Vec<(usize, KeyOutcome)>, u64, u64, bool) {
+) -> (Vec<(usize, KeyOutcome)>, u64, u64, bool, usize) {
     let next = AtomicUsize::new(0);
     let out_of_time = AtomicBool::new(false);
     // Claim contiguous chunks of the candidate range instead of single
@@ -554,7 +678,11 @@ fn check_candidates_parallel(
     // and reach-closure locality), while `workers * 8` chunks per worker
     // still balance the tail. Outcomes carry their candidate index, so the
     // claiming schedule cannot affect the merged report.
-    let chunk = (todo.len() / (workers.max(1) * 8)).max(1);
+    let workers = workers.clamp(1, todo.len().max(1));
+    let chunk = (todo.len() / (workers * 8)).max(1);
+    // A worker beyond the chunk count would exit its first claim without
+    // doing any work; don't spawn it.
+    let workers = workers.min(todo.len().div_ceil(chunk).max(1));
     let run_worker = || {
         let mut hb_cache: HbCache = HashMap::new();
         let mut locks = LocalLockCache::default();
@@ -585,7 +713,6 @@ fn check_candidates_parallel(
         }
         (outcomes, locks.hits, locks.misses)
     };
-    let workers = workers.clamp(1, todo.len().max(1));
     let worker_results: Vec<WorkerResult> = if workers <= 1 {
         vec![run_worker()]
     } else {
@@ -604,7 +731,13 @@ fn check_candidates_parallel(
         hits += h;
         misses += m;
     }
-    (merged, hits, misses, out_of_time.load(Ordering::Relaxed))
+    (
+        merged,
+        hits,
+        misses,
+        out_of_time.load(Ordering::Relaxed),
+        workers,
+    )
 }
 
 /// Checks every conflicting access pair of one candidate location.
@@ -626,6 +759,10 @@ fn check_candidate(
     let accesses = &cand.accesses;
     let multi = |o: OriginId| cand.flags.get(o.0 as usize).is_some_and(|f| f.0);
     let sole_alloc = |o: OriginId| cand.flags.get(o.0 as usize).is_some_and(|f| f.1);
+
+    if config.preloop_prune && cand.common_guard {
+        return synthesize_common_guard(cand, config, &multi, &sole_alloc);
+    }
 
     // Self-races of multi-instance origins: a write by an abstract
     // origin that stands for several runtime threads races with the
@@ -733,6 +870,56 @@ fn check_candidate(
         }
     }
     out
+}
+
+/// Closed-form outcome for a common-guard candidate: every enumerable
+/// pair shares the common lock, so the loop would count it once as
+/// `pairs_checked` and once as `lock_pruned` and find nothing — and the
+/// self-race scan finds nothing either, because a non-empty lockset is
+/// never self-disjoint. Reproduces the loop's counters exactly,
+/// including the per-location pair budget:
+///
+/// `P = [C(n,2) − C(r,2)] − Σ_{o : !multi(o) ∨ sole_alloc(o)} [C(n_o,2) − C(r_o,2)]`
+///
+/// where `n`/`r` count accesses/reads and `n_o`/`r_o` count them per
+/// origin (the subtracted term is the same-origin skip for
+/// single-instance or per-instance-allocating origins; read-read pairs
+/// are never counted).
+fn synthesize_common_guard(
+    cand: &Candidate,
+    config: &DetectConfig,
+    multi: &impl Fn(OriginId) -> bool,
+    sole_alloc: &impl Fn(OriginId) -> bool,
+) -> KeyOutcome {
+    let c2 = |n: u64| n * n.saturating_sub(1) / 2;
+    let (mut n, mut r) = (0u64, 0u64);
+    let mut per_origin: HashMap<u32, (u64, u64)> = HashMap::new();
+    for &(origin, a) in &cand.accesses {
+        n += 1;
+        let slot = per_origin.entry(origin.0).or_default();
+        slot.0 += 1;
+        if !a.is_write {
+            r += 1;
+            slot.1 += 1;
+        }
+    }
+    let mut countable = c2(n) - c2(r);
+    for (&o, &(no, ro)) in &per_origin {
+        let o = OriginId(o);
+        if !multi(o) || sole_alloc(o) {
+            countable -= c2(no) - c2(ro);
+        }
+    }
+    let budget = config.max_pairs_per_location as u64;
+    let pairs_checked = countable.min(budget);
+    KeyOutcome {
+        races: Vec::new(),
+        pairs_checked,
+        lock_pruned: pairs_checked,
+        hb_pruned: 0,
+        pairs_budget_hit: countable > budget,
+        timed_out: false,
+    }
 }
 
 /// Renders a memory location as `field` or `Class::field` for reports.

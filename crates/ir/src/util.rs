@@ -142,6 +142,126 @@ impl<'a> IntoIterator for &'a SparseSet {
     }
 }
 
+/// A dense set of `u32` keys packed into `u64` blocks.
+///
+/// The complement of [`SparseSet`]: where points-to sets are tiny and
+/// sparse, the detect hot path tests membership and intersection over
+/// *dense* id spaces (canonical lock elements, origin ids), where one
+/// 64-bit AND answers 64 membership questions at once. Blocks grow on
+/// demand; trailing blocks are allowed to be zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BitSet {
+    blocks: Vec<u64>,
+}
+
+impl BitSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        BitSet::default()
+    }
+
+    /// Creates an empty set with room for keys below `nbits` without
+    /// reallocation.
+    pub fn with_capacity(nbits: usize) -> Self {
+        BitSet {
+            blocks: Vec::with_capacity(nbits.div_ceil(64)),
+        }
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: u32) -> bool {
+        let (block, bit) = (value as usize / 64, value as usize % 64);
+        if block >= self.blocks.len() {
+            self.blocks.resize(block + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        let present = self.blocks[block] & mask != 0;
+        self.blocks[block] |= mask;
+        !present
+    }
+
+    /// Returns `true` if `value` is in the set.
+    pub fn contains(&self, value: u32) -> bool {
+        let (block, bit) = (value as usize / 64, value as usize % 64);
+        self.blocks.get(block).is_some_and(|b| b & (1 << bit) != 0)
+    }
+
+    /// Returns `true` if the set contains no elements.
+    pub fn is_empty(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Removes all elements, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.blocks.clear();
+    }
+
+    /// Returns `true` if the two sets share at least one element —
+    /// word-parallel, one AND per 64 candidate keys.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.blocks
+            .iter()
+            .zip(&other.blocks)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Intersects `other` into `self` (`self ∩= other`). Used to fold the
+    /// common-guard intersection over a candidate's locksets.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        let keep = self.blocks.len().min(other.blocks.len());
+        self.blocks.truncate(keep);
+        for (a, b) in self.blocks.iter_mut().zip(&other.blocks) {
+            *a &= b;
+        }
+    }
+
+    /// Iterates the elements in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u32> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(i, &block)| {
+            let base = (i * 64) as u32;
+            BitIter { block, base }
+        })
+    }
+
+    /// Heap bytes held by the set (capacity, not just length).
+    pub fn approx_bytes(&self) -> usize {
+        self.blocks.capacity() * 8
+    }
+}
+
+struct BitIter {
+    block: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.block == 0 {
+            return None;
+        }
+        let bit = self.block.trailing_zeros();
+        self.block &= self.block - 1;
+        Some(self.base + bit)
+    }
+}
+
+impl FromIterator<u32> for BitSet {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        let mut s = BitSet::new();
+        for v in iter {
+            s.insert(v);
+        }
+        s
+    }
+}
+
 /// A small deterministic pseudo-random number generator (SplitMix64).
 ///
 /// The workspace builds fully offline, so the workload generator and the
@@ -313,6 +433,56 @@ mod tests {
         assert!(a.intersects(&b));
         assert!(!a.intersects(&c));
         assert!(!a.intersects(&SparseSet::new()));
+    }
+
+    #[test]
+    fn bitset_insert_contains_iter() {
+        let mut s = BitSet::with_capacity(200);
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(s.insert(64));
+        assert!(s.insert(191));
+        assert!(!s.insert(64), "second insert reports already-present");
+        assert_eq!(s.len(), 3);
+        assert!(s.contains(3) && s.contains(64) && s.contains(191));
+        assert!(!s.contains(4) && !s.contains(1000));
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 64, 191]);
+        s.clear();
+        assert!(s.is_empty() && !s.contains(3));
+    }
+
+    #[test]
+    fn bitset_intersection_across_blocks() {
+        let a: BitSet = [1, 63, 64, 130].into_iter().collect();
+        let b: BitSet = [2, 130].into_iter().collect();
+        let c: BitSet = [65, 200].into_iter().collect();
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&BitSet::new()));
+        let mut acc = a.clone();
+        acc.intersect_with(&b);
+        assert_eq!(acc.iter().collect::<Vec<_>>(), vec![130]);
+        acc.intersect_with(&c);
+        assert!(acc.is_empty());
+    }
+
+    #[test]
+    fn bitset_matches_btreeset_on_random_inputs() {
+        use std::collections::BTreeSet;
+        let mut rng = SplitMix64::seed_from_u64(42);
+        for _ in 0..50 {
+            let mut s = BitSet::new();
+            let mut reference = BTreeSet::new();
+            for _ in 0..rng.next_below(40) {
+                let v = rng.next_below(300) as u32;
+                assert_eq!(s.insert(v), reference.insert(v));
+            }
+            assert_eq!(s.len(), reference.len());
+            assert_eq!(
+                s.iter().collect::<Vec<_>>(),
+                reference.iter().copied().collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]

@@ -144,6 +144,119 @@ pub struct ShbStats {
     pub num_locksets: usize,
 }
 
+/// Compressed-sparse-row adjacency over the entry edges, bucketed by
+/// parent origin. The frozen graph is traversed millions of times per
+/// detect run but never mutated, so the per-origin `Vec<Vec<usize>>`
+/// buckets are flattened into three parallel arrays scanned by an
+/// `offsets[o]..offsets[o+1]` slice: one contiguous cache line per origin
+/// instead of a pointer chase per bucket, and no per-edge indirection
+/// through `entry_edges` on the hot path (the fields the DFS needs are
+/// inlined into the row).
+#[derive(Debug, Default)]
+pub struct EntryCsr {
+    /// `offsets[o]..offsets[o + 1]` is origin `o`'s row; length
+    /// `num_origins + 1`.
+    pub offsets: Vec<u32>,
+    /// Entry position in the parent's trace, parallel to the row.
+    pub pos: Vec<u32>,
+    /// Raw child origin id, parallel to the row.
+    pub child: Vec<u32>,
+    /// Index into [`ShbGraph::entry_edges`] (for reporting walks that need
+    /// the full edge), parallel to the row.
+    pub edge_idx: Vec<u32>,
+}
+
+impl EntryCsr {
+    /// Builds the CSR from the edge list via a stable counting sort, so
+    /// each row keeps edge-emission order.
+    fn build(num_origins: usize, edges: &[EntryEdge]) -> EntryCsr {
+        let mut offsets = vec![0u32; num_origins + 1];
+        for e in edges {
+            offsets[e.parent.0 as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..num_origins].to_vec();
+        let n = edges.len();
+        let (mut pos, mut child, mut edge_idx) = (vec![0u32; n], vec![0u32; n], vec![0u32; n]);
+        for (i, e) in edges.iter().enumerate() {
+            let slot = cursor[e.parent.0 as usize] as usize;
+            cursor[e.parent.0 as usize] += 1;
+            pos[slot] = e.pos;
+            child[slot] = e.child.0;
+            edge_idx[slot] = i as u32;
+        }
+        EntryCsr {
+            offsets,
+            pos,
+            child,
+            edge_idx,
+        }
+    }
+
+    /// The row of origin `o` as an index range into the parallel arrays.
+    #[inline]
+    pub fn row(&self, o: OriginId) -> std::ops::Range<usize> {
+        self.offsets[o.0 as usize] as usize..self.offsets[o.0 as usize + 1] as usize
+    }
+
+    fn approx_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.pos.capacity() + self.child.capacity())
+            .saturating_add(self.edge_idx.capacity())
+            * 4
+    }
+}
+
+/// CSR adjacency over the join edges, bucketed by child origin (a join
+/// edge is traversed child → parent). Same layout rationale as
+/// [`EntryCsr`].
+#[derive(Debug, Default)]
+pub struct JoinCsr {
+    /// `offsets[o]..offsets[o + 1]` is origin `o`'s row.
+    pub offsets: Vec<u32>,
+    /// Join position in the parent's trace, parallel to the row.
+    pub pos: Vec<u32>,
+    /// Raw parent origin id, parallel to the row.
+    pub parent: Vec<u32>,
+}
+
+impl JoinCsr {
+    fn build(num_origins: usize, edges: &[JoinEdge]) -> JoinCsr {
+        let mut offsets = vec![0u32; num_origins + 1];
+        for j in edges {
+            offsets[j.child.0 as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..num_origins].to_vec();
+        let n = edges.len();
+        let (mut pos, mut parent) = (vec![0u32; n], vec![0u32; n]);
+        for j in edges {
+            let slot = cursor[j.child.0 as usize] as usize;
+            cursor[j.child.0 as usize] += 1;
+            pos[slot] = j.pos;
+            parent[slot] = j.parent.0;
+        }
+        JoinCsr {
+            offsets,
+            pos,
+            parent,
+        }
+    }
+
+    /// The row of origin `o` as an index range into the parallel arrays.
+    #[inline]
+    pub fn row(&self, o: OriginId) -> std::ops::Range<usize> {
+        self.offsets[o.0 as usize] as usize..self.offsets[o.0 as usize + 1] as usize
+    }
+
+    fn approx_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.pos.capacity() + self.parent.capacity()) * 4
+    }
+}
+
 /// The SHB graph: per-origin traces plus inter-origin edges.
 #[derive(Debug)]
 pub struct ShbGraph {
@@ -155,8 +268,10 @@ pub struct ShbGraph {
     pub entry_edges: Vec<EntryEdge>,
     /// All join edges.
     pub join_edges: Vec<JoinEdge>,
-    out_entries: Vec<Vec<usize>>,
-    out_joins: Vec<Vec<usize>>,
+    /// CSR adjacency of entry edges by parent origin.
+    pub entry_csr: EntryCsr,
+    /// CSR adjacency of join edges by child origin.
+    pub join_csr: JoinCsr,
     /// Dense access index: [`LocId`] → list of `(origin, index into
     /// `traces\[origin\].accesses`)`. Ids come from the run's shared
     /// [`LocTable`] (the one `build_shb` interned into), so a slot here
@@ -190,17 +305,15 @@ impl ShbGraph {
             if o == b.0 && p <= b.1 {
                 return true;
             }
-            for &ei in &self.out_entries[o.0 as usize] {
-                let e = &self.entry_edges[ei];
-                if e.pos >= p {
-                    stack.push((e.child, 0));
+            for k in self.entry_csr.row(o) {
+                if self.entry_csr.pos[k] >= p {
+                    stack.push((OriginId(self.entry_csr.child[k]), 0));
                 }
             }
             // A join edge is usable from any position in the child (the
             // child's last node is at or after every position).
-            for &ji in &self.out_joins[o.0 as usize] {
-                let j = &self.join_edges[ji];
-                stack.push((j.parent, j.pos));
+            for k in self.join_csr.row(o) {
+                stack.push((OriginId(self.join_csr.parent[k]), self.join_csr.pos[k]));
             }
         }
         false
@@ -291,9 +404,9 @@ impl ShbGraph {
 
     /// Entry edges leaving `origin`.
     pub fn entries_of(&self, origin: OriginId) -> impl Iterator<Item = &EntryEdge> {
-        self.out_entries[origin.0 as usize]
-            .iter()
-            .map(move |&i| &self.entry_edges[i])
+        self.entry_csr
+            .row(origin)
+            .map(move |k| &self.entry_edges[self.entry_csr.edge_idx[k] as usize])
     }
 
     /// Trace positions of every access to one interned location, empty if
@@ -322,18 +435,46 @@ impl ShbGraph {
                 continue;
             }
             best[o.0 as usize] = p;
-            for &ei in &self.out_entries[o.0 as usize] {
-                let e = &self.entry_edges[ei];
-                if e.pos >= p {
-                    stack.push((e.child, 0));
+            for k in self.entry_csr.row(o) {
+                if self.entry_csr.pos[k] >= p {
+                    stack.push((OriginId(self.entry_csr.child[k]), 0));
                 }
             }
-            for &ji in &self.out_joins[o.0 as usize] {
-                let j = &self.join_edges[ji];
-                stack.push((j.parent, j.pos));
+            for k in self.join_csr.row(o) {
+                stack.push((OriginId(self.join_csr.parent[k]), self.join_csr.pos[k]));
             }
         }
         best
+    }
+
+    /// Approximate heap bytes of the frozen graph, broken down by
+    /// structure: `(traces, csr, locks, accesses_by_loc)`.
+    pub fn approx_bytes(&self) -> (usize, usize, usize, usize) {
+        let traces: usize = self
+            .traces
+            .iter()
+            .map(|t| {
+                t.accesses.capacity() * std::mem::size_of::<AccessNode>()
+                    + t.acquires.capacity() * std::mem::size_of::<AcquireNode>()
+                    + t.acquires
+                        .iter()
+                        .map(|a| a.elems.capacity() * 4)
+                        .sum::<usize>()
+            })
+            .sum::<usize>()
+            + self.traces.capacity() * std::mem::size_of::<OriginTrace>();
+        let csr = self.entry_csr.approx_bytes()
+            + self.join_csr.approx_bytes()
+            + self.entry_edges.capacity() * std::mem::size_of::<EntryEdge>()
+            + self.join_edges.capacity() * std::mem::size_of::<JoinEdge>();
+        let locks = self.locks.approx_bytes();
+        let by_loc = self
+            .accesses_by_loc
+            .iter()
+            .map(|v| v.capacity() * std::mem::size_of::<(OriginId, u32)>())
+            .sum::<usize>()
+            + self.accesses_by_loc.capacity() * std::mem::size_of::<Vec<(OriginId, u32)>>();
+        (traces, csr, locks, by_loc)
     }
 }
 
@@ -416,14 +557,8 @@ impl<'a> Builder<'a> {
 
     pub(crate) fn finish(self, start: Instant) -> ShbGraph {
         let num_origins = self.traces.len();
-        let mut out_entries = vec![Vec::new(); num_origins];
-        for (i, e) in self.entry_edges.iter().enumerate() {
-            out_entries[e.parent.0 as usize].push(i);
-        }
-        let mut out_joins = vec![Vec::new(); num_origins];
-        for (i, j) in self.join_edges.iter().enumerate() {
-            out_joins[j.child.0 as usize].push(i);
-        }
+        let entry_csr = EntryCsr::build(num_origins, &self.entry_edges);
+        let join_csr = JoinCsr::build(num_origins, &self.join_edges);
         let stats = ShbStats {
             num_nodes: self.traces.iter().map(|t| t.len as u64).sum(),
             num_accesses: self.traces.iter().map(|t| t.accesses.len() as u64).sum(),
@@ -436,8 +571,8 @@ impl<'a> Builder<'a> {
             locks: self.locks,
             entry_edges: self.entry_edges,
             join_edges: self.join_edges,
-            out_entries,
-            out_joins,
+            entry_csr,
+            join_csr,
             accesses_by_loc: self.accesses_by_loc,
             stats,
             duration: start.elapsed(),

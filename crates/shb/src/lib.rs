@@ -42,8 +42,8 @@ pub mod incr;
 pub mod locks;
 
 pub use graph::{
-    build_shb, AccessNode, AcquireNode, EntryEdge, JoinEdge, OriginTrace, ShbConfig, ShbGraph,
-    ShbStats,
+    build_shb, AccessNode, AcquireNode, EntryCsr, EntryEdge, JoinCsr, JoinEdge, OriginTrace,
+    ShbConfig, ShbGraph, ShbStats,
 };
 pub use incr::{build_shb_incremental, ShbIncr};
 pub use locks::{LockElem, LockSetId, LockTable};

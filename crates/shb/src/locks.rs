@@ -6,7 +6,7 @@
 //! and turns the common-lock check into a cache lookup.
 
 use o2_ir::ids::ClassId;
-use o2_ir::util::Interner;
+use o2_ir::util::{BitSet, Interner};
 use o2_pta::ObjId;
 use std::collections::HashMap;
 
@@ -43,6 +43,10 @@ impl LockSetId {
 pub struct LockTable {
     elems: Interner<LockElem>,
     sets: Interner<Vec<u32>>,
+    /// Dense-bitset mirror of `sets`, indexed by canonical id: element ids
+    /// are small and dense, so one u64 AND tests 64 locks at once on the
+    /// disjointness miss path.
+    bits: Vec<BitSet>,
     disjoint_cache: HashMap<(u32, u32), bool>,
     /// Number of disjointness queries answered from the cache.
     pub cache_hits: u64,
@@ -63,12 +67,14 @@ impl LockTable {
         let mut t = LockTable {
             elems: Interner::new(),
             sets: Interner::new(),
+            bits: Vec::new(),
             disjoint_cache: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
         };
         let empty = t.sets.intern(Vec::new());
         debug_assert_eq!(empty, 0);
+        t.bits.push(BitSet::new());
         t
     }
 
@@ -81,7 +87,13 @@ impl LockTable {
     pub fn set(&mut self, mut elems: Vec<u32>) -> LockSetId {
         elems.sort_unstable();
         elems.dedup();
-        LockSetId(self.sets.intern(elems))
+        let id = self.sets.intern(elems);
+        if id as usize == self.bits.len() {
+            // Freshly interned: mirror it as a bitset.
+            self.bits
+                .push(self.sets.resolve(id).iter().copied().collect());
+        }
+        LockSetId(id)
     }
 
     /// Returns the element ids of a canonical lockset (sorted).
@@ -109,7 +121,8 @@ impl LockTable {
             return d;
         }
         self.cache_misses += 1;
-        let d = !intersects(self.sets.resolve(a.0), self.sets.resolve(b.0));
+        // Word-parallel miss path: one AND per 64 element ids.
+        let d = !self.bits[a.0 as usize].intersects(&self.bits[b.0 as usize]);
         self.disjoint_cache.insert(key, d);
         d
     }
@@ -120,9 +133,48 @@ impl LockTable {
         !intersects(self.sets.resolve(a.0), self.sets.resolve(b.0))
     }
 
+    /// The bitset mirror of a canonical lockset.
+    pub fn set_bits(&self, id: LockSetId) -> &BitSet {
+        &self.bits[id.0 as usize]
+    }
+
+    /// Returns `true` if every lockset in `ids` shares at least one common
+    /// lock element (the pre-loop "common guard" test). Any empty lockset —
+    /// or an empty iterator — yields `false`.
+    pub fn common_guard(&self, mut ids: impl Iterator<Item = LockSetId>) -> bool {
+        let Some(first) = ids.next() else {
+            return false;
+        };
+        let mut acc = self.bits[first.0 as usize].clone();
+        if acc.is_empty() {
+            return false;
+        }
+        for id in ids {
+            acc.intersect_with(&self.bits[id.0 as usize]);
+            if acc.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
     /// Number of distinct lock combinations seen.
     pub fn num_sets(&self) -> usize {
         self.sets.len()
+    }
+
+    /// Approximate heap bytes held by the table (interned sets, bitset
+    /// mirrors, and the disjointness cache).
+    pub fn approx_bytes(&self) -> usize {
+        let set_bytes: usize = (0..self.sets.len() as u32)
+            .map(|i| self.sets.resolve(i).capacity() * 4)
+            .sum();
+        let bit_bytes: usize = self.bits.iter().map(BitSet::approx_bytes).sum();
+        set_bytes
+            + bit_bytes
+            + self.bits.capacity() * std::mem::size_of::<BitSet>()
+            + self.disjoint_cache.capacity() * std::mem::size_of::<((u32, u32), bool)>()
+            + self.elems.len() * std::mem::size_of::<LockElem>()
     }
 }
 
@@ -177,5 +229,68 @@ mod tests {
         assert!(t.cache_hits >= 1);
         assert!(!t.disjoint_uncached(s_ab, s_bc));
         assert!(t.disjoint_uncached(s_ab, s_c));
+    }
+
+    #[test]
+    fn common_guard_folds_over_all_sets() {
+        let mut t = LockTable::new();
+        let a = t.elem(LockElem::Obj(ObjId(1)));
+        let b = t.elem(LockElem::Obj(ObjId(2)));
+        let c = t.elem(LockElem::Dispatcher(0));
+        let s_ab = t.set(vec![a, b]);
+        let s_abc = t.set(vec![a, b, c]);
+        let s_bc = t.set(vec![b, c]);
+        let s_c = t.set(vec![c]);
+        assert!(
+            t.common_guard([s_ab, s_abc, s_bc].into_iter()),
+            "b is common"
+        );
+        assert!(!t.common_guard([s_ab, s_abc, s_c].into_iter()));
+        assert!(!t.common_guard([s_ab, LockSetId::EMPTY].into_iter()));
+        assert!(!t.common_guard(std::iter::empty()));
+        assert!(t.common_guard([s_c].into_iter()), "singleton guards itself");
+    }
+
+    /// Property test (PR 6 satellite): the word-parallel bitset
+    /// intersection behind [`LockTable::disjoint`] must agree with a
+    /// reference `BTreeSet` intersection on SplitMix64-random locksets.
+    #[test]
+    fn bitset_disjointness_matches_btreeset_reference() {
+        use o2_ir::util::SplitMix64;
+        use std::collections::BTreeSet;
+        let mut rng = SplitMix64::seed_from_u64(0x9E3779B97F4A7C15);
+        let mut t = LockTable::new();
+        // A pool of element ids wide enough to span multiple u64 blocks.
+        let pool: Vec<u32> = (0..200).map(|i| t.elem(LockElem::Obj(ObjId(i)))).collect();
+        let mut sets: Vec<(LockSetId, BTreeSet<u32>)> = Vec::new();
+        for _ in 0..64 {
+            let n = rng.next_below(12) as usize;
+            let elems: Vec<u32> = (0..n)
+                .map(|_| pool[rng.next_below(pool.len() as u64) as usize])
+                .collect();
+            let reference: BTreeSet<u32> = elems.iter().copied().collect();
+            sets.push((t.set(elems), reference));
+        }
+        for i in 0..sets.len() {
+            for j in 0..sets.len() {
+                let (ia, ra) = &sets[i];
+                let (ib, rb) = &sets[j];
+                let expect = if ra.is_empty() || rb.is_empty() {
+                    true // empty locksets protect nothing in common
+                } else {
+                    ra.intersection(rb).next().is_none()
+                };
+                assert_eq!(
+                    t.disjoint(*ia, *ib),
+                    expect,
+                    "cached bitset path diverges from BTreeSet on {ra:?} vs {rb:?}"
+                );
+                assert_eq!(
+                    t.disjoint_uncached(*ia, *ib),
+                    ra.intersection(rb).next().is_none(),
+                    "slice-scan path diverges from BTreeSet on {ra:?} vs {rb:?}"
+                );
+            }
+        }
     }
 }

@@ -21,6 +21,7 @@
 pub mod android;
 pub mod figures;
 pub mod generator;
+pub mod mega;
 pub mod mutate;
 pub mod presets;
 pub mod realbugs;
@@ -28,6 +29,7 @@ pub mod realbugs_c;
 
 pub use android::{build_harness, ActivitySpec, AppSpec, HandlerSpec, TaskSpec};
 pub use generator::{generate, GeneratedWorkload, GroundTruth, WorkloadSpec};
+pub use mega::{mega_by_name, mega_presets, workload_by_name, MegaPreset};
 pub use mutate::single_function_edit;
 pub use presets::{all_presets, preset_by_name, Preset};
 pub use realbugs::{all_models, RealBugModel};

@@ -1,0 +1,233 @@
+//! Mega-scale presets: generator-driven workloads one to two orders of
+//! magnitude beyond the Table 5 presets, built to expose the scaling
+//! limits the §4.1 optimizations (and the PR 6 CSR/bitset/pre-loop-prune
+//! layers) exist to address.
+//!
+//! Shape: `spawn_sites` C-style spawn statements in `main` (each spawn
+//! statement mints one origin, so ≥1,000 sites means ≥1,000 origins) fan
+//! out over `worker_classes` worker functions. Worker functions touch
+//! `hot_statics` globally-shared static locations under one global lock —
+//! the hottest location is written and read by *every* origin, which
+//! alone contributes `C(2·sites, 2)` candidate pairs (over a million at
+//! `sites = 1024`), all of them eliminable by the common-guard pre-loop
+//! prune. Sharing density is Zipf-skewed two ways with the deterministic
+//! [`SplitMix64`] stream: spawn sites pick their worker class by a
+//! squared-uniform draw (low-numbered classes are spawned often, the tail
+//! rarely), and hot static `s` is touched only by classes divisible by
+//! `s + 1` (static 0 by everyone, static `s` by a `1/(s+1)` fraction).
+//! Each class also has an unguarded `cold_*` static (a realized race
+//! whenever the class is spawned from two or more sites) and reads a
+//! write-never `ro_*` static, populating the read-only and single-origin
+//! prune classes.
+
+use crate::generator::{GeneratedWorkload, GroundTruth};
+use o2_ir::builder::ProgramBuilder;
+use o2_ir::origins::OriginKind;
+use o2_ir::util::SplitMix64;
+
+/// Parameters of one mega workload.
+#[derive(Clone, Debug)]
+pub struct MegaPreset {
+    /// Preset name (`mega-*`).
+    pub name: &'static str,
+    /// Number of spawn statements in `main` (one origin each).
+    pub spawn_sites: usize,
+    /// Number of distinct worker functions spawn sites map onto.
+    pub worker_classes: usize,
+    /// Number of lock-guarded globally-shared statics.
+    pub hot_statics: usize,
+    /// Number of write-never statics read by the workers.
+    pub read_only_statics: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl MegaPreset {
+    /// Generates the preset's program and ground truth.
+    pub fn generate(&self) -> GeneratedWorkload {
+        let mut rng = SplitMix64::seed_from_u64(self.seed);
+        let mut pb = ProgramBuilder::new();
+        let w = self.worker_classes.max(1);
+
+        pb.add_class("MegaLock", None);
+        let state = pb.add_class("MegaState", None);
+        pb.field("slock");
+        pb.begin_ctor(state, &[]).finish();
+        let globals = pb.add_class("Globals", None);
+        let _ = globals;
+        for s in 0..self.hot_statics {
+            pb.field(format!("hot{s}"));
+        }
+        for c in 0..w {
+            pb.field(format!("cold{c}"));
+        }
+        let ro = self.read_only_statics.max(1);
+        for r in 0..ro {
+            pb.field(format!("ro{r}"));
+        }
+
+        // Zipf-skewed class choice per spawn site: squaring a uniform draw
+        // skews mass toward class 0, so low classes are spawned from many
+        // sites (dense sharing on their cold statics) while the tail is
+        // spawned once or never.
+        let mut sites_of_class = vec![0usize; w];
+        let picks: Vec<usize> = (0..self.spawn_sites)
+            .map(|_| {
+                let u = rng.next_below(w as u64);
+                let c = (u * u / w as u64) as usize;
+                sites_of_class[c] += 1;
+                c
+            })
+            .collect();
+
+        let work = pb.add_class("MegaWork", None);
+        for c in 0..w {
+            let mut m = pb.begin_static_method(work, &format!("work{c}"), &["shared"]);
+            m.load(Some("lock"), "shared", "slock");
+            for s in 0..self.hot_statics {
+                if c % (s + 1) == 0 {
+                    m.sync("lock", |m| {
+                        m.store_static("Globals", &format!("hot{s}"), "shared");
+                        m.load_static(None, "Globals", &format!("hot{s}"));
+                    });
+                }
+            }
+            // The unguarded per-class static: races with itself whenever
+            // two sites spawn this class.
+            m.store_static("Globals", &format!("cold{c}"), "shared");
+            m.load_static(None, "Globals", &format!("cold{c}"));
+            m.load_static(None, "Globals", &format!("ro{}", c % ro));
+            m.finish();
+        }
+
+        let main_cls = pb.add_class("MegaMain", None);
+        {
+            let mut m = pb.begin_static_method(main_cls, "main", &[]);
+            m.new_obj("lk", "MegaLock", &[]);
+            m.new_obj("sh", "MegaState", &[]);
+            m.store("sh", "slock", "lk");
+            for &c in &picks {
+                m.spawn(
+                    None,
+                    "MegaWork",
+                    &format!("work{c}"),
+                    &["sh"],
+                    OriginKind::Thread,
+                );
+            }
+            m.finish();
+        }
+
+        let program = pb
+            .finish()
+            .unwrap_or_else(|e| panic!("mega generator bug: {e}"));
+        o2_ir::validate::assert_valid(&program);
+
+        let mut truth = GroundTruth {
+            effective_threads: self.spawn_sites,
+            effective_events: 0,
+            ..Default::default()
+        };
+        for (c, &n) in sites_of_class.iter().enumerate() {
+            if n >= 2 {
+                truth.racy_fields.push(format!("cold{c}"));
+            }
+        }
+        for s in 0..self.hot_statics {
+            truth.benign_fields.push(format!("hot{s}"));
+        }
+        GeneratedWorkload {
+            name: self.name.to_string(),
+            program,
+            truth,
+        }
+    }
+}
+
+/// All mega presets. `mega-smoke` is sized for tier-1 test time; the
+/// others are bench-scale (see README for expected runtimes).
+pub fn mega_presets() -> Vec<MegaPreset> {
+    vec![
+        MegaPreset {
+            name: "mega-smoke",
+            spawn_sites: 96,
+            worker_classes: 16,
+            hot_statics: 4,
+            read_only_statics: 8,
+            seed: 0x5EED_0001,
+        },
+        MegaPreset {
+            name: "mega-grid",
+            spawn_sites: 1024,
+            worker_classes: 64,
+            hot_statics: 8,
+            read_only_statics: 32,
+            seed: 0x5EED_1024,
+        },
+        MegaPreset {
+            name: "mega-skew",
+            spawn_sites: 1280,
+            worker_classes: 96,
+            hot_statics: 12,
+            read_only_statics: 48,
+            seed: 0x5EED_1280,
+        },
+    ]
+}
+
+/// Looks up a mega preset by name.
+pub fn mega_by_name(name: &str) -> Option<MegaPreset> {
+    mega_presets().into_iter().find(|p| p.name == name)
+}
+
+/// Resolves any named workload: a Table 5 preset first, then a `mega-*`
+/// preset.
+pub fn workload_by_name(name: &str) -> Option<GeneratedWorkload> {
+    if let Some(p) = crate::presets::preset_by_name(name) {
+        return Some(p.generate());
+    }
+    mega_by_name(name).map(|m| m.generate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mega_smoke_generates_and_validates() {
+        let w = mega_by_name("mega-smoke").unwrap().generate();
+        assert_eq!(w.name, "mega-smoke");
+        assert!(w.program.num_statements() > 96);
+        assert!(!w.truth.racy_fields.is_empty());
+        assert!(w.truth.has_parallelism());
+    }
+
+    #[test]
+    fn mega_grid_has_enough_spawn_sites_for_thousand_origins() {
+        let p = mega_by_name("mega-grid").unwrap();
+        assert!(p.spawn_sites >= 1000);
+        let w = p.generate();
+        // One Spawn statement per site; each mints one origin in the PTA.
+        let spawns = w
+            .program
+            .all_stmts()
+            .filter(|&g| matches!(w.program.instr(g).stmt, o2_ir::program::Stmt::Spawn { .. }))
+            .count();
+        assert!(spawns >= 1000, "{spawns} spawn statements");
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = mega_by_name("mega-smoke").unwrap().generate();
+        let b = mega_by_name("mega-smoke").unwrap().generate();
+        assert_eq!(a.program.num_statements(), b.program.num_statements());
+        assert_eq!(a.truth.racy_fields, b.truth.racy_fields);
+    }
+
+    #[test]
+    fn workload_by_name_resolves_both_registries() {
+        assert!(workload_by_name("avrora").is_some());
+        assert!(workload_by_name("mega-smoke").is_some());
+        assert!(workload_by_name("nonsense").is_none());
+    }
+}

@@ -1,9 +1,15 @@
 #!/usr/bin/env sh
 # Full offline verification: formatting, release build, complete test
 # suite (which diffs the checked-in golden JSON/SARIF reports under
-# tests/golden/), lints, and the PR 1/PR 2/PR 3/PR 5 reports
-# (BENCH_pr1.json, BENCH_pr2.json, BENCH_pr3.json, and BENCH_pr5.json
-# at the repo root).
+# tests/golden/), lints, and the PR 1/PR 2/PR 3/PR 5/PR 6 reports
+# (BENCH_pr1.json through BENCH_pr6.json at the repo root).
+#
+# Bench groups that report cold end-to-end times (pr3, pr5, pr6) are
+# gated against the *committed* BENCH_*.json baselines: after each group
+# regenerates its report, `bench --regress` fails the script if any cold
+# row got more than 25% (and more than an absolute 5 ms) slower. The
+# committed baseline is snapshotted to a temp dir before the groups run,
+# so the gate always compares against what was last checked in.
 #
 # The workspace has no external dependencies, so every step runs with
 # --offline and must succeed without network access.
@@ -23,6 +29,13 @@ cargo test -q --offline --workspace
 echo "==> cargo clippy --offline -- -D warnings"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+# Snapshot the committed baselines before any group overwrites them.
+baseline_dir=$(mktemp -d)
+trap 'rm -rf "$baseline_dir"' EXIT
+for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json; do
+    if [ -f "$f" ]; then cp "$f" "$baseline_dir/$f"; fi
+done
+
 echo "==> bench --group pr1 (writes BENCH_pr1.json)"
 cargo run --release --offline -p o2-bench --bin bench -- --group pr1
 
@@ -35,10 +48,21 @@ cargo run --release --offline -p o2-bench --bin bench -- --group pr3
 echo "==> bench --group pr5 (writes BENCH_pr5.json)"
 cargo run --release --offline -p o2-bench --bin bench -- --group pr5
 
+echo "==> bench --group pr6 (writes BENCH_pr6.json)"
+cargo run --release --offline -p o2-bench --bin bench -- --group pr6
+
+echo "==> cold end-to-end regression gate (vs committed baselines)"
+for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json; do
+    if [ -f "$baseline_dir/$f" ]; then
+        cargo run --release --offline -p o2-bench --bin bench -- \
+            --regress "$baseline_dir/$f" "$f"
+    fi
+done
+
 echo "==> incremental warm-vs-cold equivalence"
 cargo test -q --offline --test incremental --test db_determinism --test roundtrip
 
-echo "==> golden report diffs"
-cargo test -q --offline --test golden
+echo "==> golden report diffs (incl. mega presets)"
+cargo test -q --offline --test golden --test mega
 
 echo "==> verify OK"
