@@ -22,6 +22,8 @@
 //!                      (writes BENCH_pr5.json; see `--out`)
 //!         pr6          mega-scale prune/cold-warm/memory summary
 //!                      (writes BENCH_pr6.json; see `--out`)
+//!         pr7          rwlock/condvar/async fixture precision + timing
+//!                      (writes BENCH_pr7.json; see `--out`)
 //!
 //! bench --regress BASELINE.json CURRENT.json
 //! ```
@@ -36,7 +38,7 @@
 //! `scripts/verify.sh` against the committed `BENCH_*.json` files.
 
 use o2_analysis::{run_escape, run_osa};
-use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5, pr6};
+use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5, pr6, pr7};
 use o2_detect::{detect, DetectConfig};
 use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 use o2_shb::{build_shb, ShbConfig};
@@ -87,6 +89,7 @@ fn main() {
             "pr3".into(),
             "pr5".into(),
             "pr6".into(),
+            "pr7".into(),
         ];
     }
     for g in &groups {
@@ -101,6 +104,7 @@ fn main() {
             "pr3" => pr3_group(iters, out.as_deref().unwrap_or("BENCH_pr3.json")),
             "pr5" => pr5_group(iters, out.as_deref().unwrap_or("BENCH_pr5.json")),
             "pr6" => pr6_group(iters, out.as_deref().unwrap_or("BENCH_pr6.json")),
+            "pr7" => pr7_group(iters, out.as_deref().unwrap_or("BENCH_pr7.json")),
             other => {
                 eprintln!("unknown group `{other}`");
                 usage();
@@ -345,5 +349,19 @@ fn pr6_group(iters: usize, out: &str) {
     };
     let report = pr6::run(&opts);
     print!("{}", report.render());
+    println!("wrote {out}");
+}
+
+fn pr7_group(iters: usize, out: &str) {
+    let opts = pr7::Pr7Options {
+        iters,
+        out_path: Some(out.to_string()),
+    };
+    let report = pr7::run(&opts);
+    print!("{}", report.render());
+    if !report.all_pass() {
+        eprintln!("pr7: a fixture missed its expected race count or warm replay");
+        std::process::exit(1);
+    }
     println!("wrote {out}");
 }

@@ -43,7 +43,9 @@ use std::collections::{BTreeMap, HashMap};
 /// On-disk format magic.
 pub const MAGIC: &[u8; 4] = b"O2DB";
 /// On-disk format version. Bump on any incompatible artifact change.
-pub const DB_VERSION: u32 = 1;
+/// v2: reader-writer lock elements, async-executor elements, and condvar
+/// wait/notify events in SHB origin artifacts.
+pub const DB_VERSION: u32 = 2;
 
 /// An append-only interner for the strings artifacts reference (method
 /// qnames, class names, field names). Keeps repeated names out of the
@@ -106,7 +108,7 @@ impl StableIds {
 
 /// A statement position in name-based canonical form: the method's
 /// interned qualified name plus the body index.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
 pub struct DbStmt {
     /// Stable id of the qualified method name (`Class.name/arity`).
     pub method: u32,
@@ -194,6 +196,19 @@ pub enum DbLockElem {
     Dispatcher(u16),
     /// The per-location exclusion token of an atomic cell.
     AtomicCell(Digest, u32),
+    /// The read side of a reader-writer lock on a concrete object.
+    RwRead(Digest),
+    /// The write side of a reader-writer lock on a concrete object.
+    RwWrite(Digest),
+    /// The read side of a reader-writer lock on the `k`-th fresh lock of
+    /// this origin (mode must survive the ordinal encoding: a read-side
+    /// fresh guard still never protects a write).
+    RwFreshRead(u32),
+    /// The write side of a reader-writer lock on the `k`-th fresh lock.
+    RwFreshWrite(u32),
+    /// The implicit serialization lock of single-worker async executor
+    /// `e`.
+    Executor(u16),
 }
 
 impl DbLockElem {
@@ -220,6 +235,26 @@ impl DbLockElem {
                 w.digest(d);
                 w.u32(f);
             }
+            DbLockElem::RwRead(d) => {
+                w.u8(5);
+                w.digest(d);
+            }
+            DbLockElem::RwWrite(d) => {
+                w.u8(6);
+                w.digest(d);
+            }
+            DbLockElem::RwFreshRead(k) => {
+                w.u8(7);
+                w.u32(k);
+            }
+            DbLockElem::RwFreshWrite(k) => {
+                w.u8(8);
+                w.u32(k);
+            }
+            DbLockElem::Executor(e) => {
+                w.u8(9);
+                w.u16(e);
+            }
         }
     }
 
@@ -230,6 +265,11 @@ impl DbLockElem {
             2 => DbLockElem::Class(r.u32()?),
             3 => DbLockElem::Dispatcher(r.u16()?),
             4 => DbLockElem::AtomicCell(r.digest()?, r.u32()?),
+            5 => DbLockElem::RwRead(r.digest()?),
+            6 => DbLockElem::RwWrite(r.digest()?),
+            7 => DbLockElem::RwFreshRead(r.u32()?),
+            8 => DbLockElem::RwFreshWrite(r.u32()?),
+            9 => DbLockElem::Executor(r.u16()?),
             _ => return Err(DbError::Corrupt("bad lock elem tag")),
         })
     }
@@ -315,6 +355,53 @@ pub struct DbShbAcquire {
     pub released_pos: u32,
 }
 
+/// A condition-variable wait or notify event in an origin trace. Edges
+/// between origins are *derived* (every notify reaches every wait on an
+/// overlapping condition object in another origin), so only the events
+/// themselves are stored and the cross-product is rebuilt at graph
+/// finish — identical to what a cold walk collects.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct DbCondEvent {
+    /// Trace position of the event (for waits: the wait-return node).
+    pub pos: u32,
+    /// The `wait`/`notify` statement.
+    pub stmt: DbStmt,
+    /// Canonical digests of the condition objects the event may address,
+    /// sorted. Empty when the condition variable's points-to set is empty
+    /// (the event then contributes no edges).
+    pub conds: Vec<Digest>,
+    /// `true` for `notifyall`; always `false` for waits.
+    pub all: bool,
+}
+
+impl DbCondEvent {
+    fn encode(&self, w: &mut Writer) {
+        w.u32(self.pos);
+        self.stmt.encode(w);
+        w.count(self.conds.len());
+        for d in &self.conds {
+            w.digest(*d);
+        }
+        w.bool(self.all);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
+        let pos = r.u32()?;
+        let stmt = DbStmt::decode(r)?;
+        let n = r.count()?;
+        let mut conds = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            conds.push(r.digest()?);
+        }
+        Ok(DbCondEvent {
+            pos,
+            stmt,
+            conds,
+            all: r.bool()?,
+        })
+    }
+}
+
 /// An inter-origin edge out of the artifact's origin.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DbEdge {
@@ -350,6 +437,10 @@ pub struct ShbOriginArtifact {
     pub join_edges: Vec<DbEdge>,
     /// Number of fresh locks the walk allocated.
     pub fresh_count: u32,
+    /// Condvar wait events of this origin's trace, in trace order.
+    pub waits: Vec<DbCondEvent>,
+    /// Condvar notify events of this origin's trace, in trace order.
+    pub notifies: Vec<DbCondEvent>,
 }
 
 impl ShbOriginArtifact {
@@ -393,6 +484,12 @@ impl ShbOriginArtifact {
             }
         }
         w.u32(self.fresh_count);
+        for events in [&self.waits, &self.notifies] {
+            w.count(events.len());
+            for e in events {
+                e.encode(w);
+            }
+        }
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, DbError> {
@@ -454,6 +551,18 @@ impl ShbOriginArtifact {
         }
         let join_edges = edge_lists.pop().expect("two edge lists");
         let entry_edges = edge_lists.pop().expect("two edge lists");
+        let fresh_count = r.u32()?;
+        let mut event_lists = Vec::with_capacity(2);
+        for _ in 0..2 {
+            let k = r.count()?;
+            let mut events = Vec::with_capacity(k.min(1 << 16));
+            for _ in 0..k {
+                events.push(DbCondEvent::decode(r)?);
+            }
+            event_lists.push(events);
+        }
+        let notifies = event_lists.pop().expect("two event lists");
+        let waits = event_lists.pop().expect("two event lists");
         Ok(ShbOriginArtifact {
             sig,
             sets,
@@ -463,7 +572,9 @@ impl ShbOriginArtifact {
             truncated,
             entry_edges,
             join_edges,
-            fresh_count: r.u32()?,
+            fresh_count,
+            waits,
+            notifies,
         })
     }
 }
@@ -830,6 +941,13 @@ mod tests {
                 sets: vec![
                     vec![],
                     vec![DbLockElem::Fresh(0), DbLockElem::Dispatcher(2)],
+                    vec![
+                        DbLockElem::RwRead(Digest(20, 21)),
+                        DbLockElem::RwWrite(Digest(20, 21)),
+                        DbLockElem::RwFreshRead(1),
+                        DbLockElem::RwFreshWrite(2),
+                        DbLockElem::Executor(7),
+                    ],
                 ],
                 accesses: vec![DbShbAccess {
                     key: DbMemKey::Static { class: m, field: f },
@@ -864,6 +982,24 @@ mod tests {
                 }],
                 join_edges: vec![],
                 fresh_count: 1,
+                waits: vec![DbCondEvent {
+                    pos: 3,
+                    stmt: DbStmt {
+                        method: m,
+                        index: 4,
+                    },
+                    conds: vec![Digest(22, 23)],
+                    all: false,
+                }],
+                notifies: vec![DbCondEvent {
+                    pos: 5,
+                    stmt: DbStmt {
+                        method: m,
+                        index: 5,
+                    },
+                    conds: vec![Digest(22, 23), Digest(24, 25)],
+                    all: true,
+                }],
             },
         );
         db.verdicts.insert(

@@ -77,6 +77,9 @@ impl DeadlockReport {
                     LockElem::AtomicCell(o, f) => {
                         format!("atomic obj#{}.{}", o.0, program.field_name(*f))
                     }
+                    LockElem::RwRead(o) => format!("rdlock obj#{}", o.0),
+                    LockElem::RwWrite(o) => format!("wrlock obj#{}", o.0),
+                    LockElem::Executor(e) => format!("executor#{e}"),
                 })
                 .collect();
             let _ = writeln!(

@@ -85,6 +85,26 @@ fn elem_digest(e: LockElem, program: &Program, canon: &CanonIndex, fresh_base: u
             h.write_digest(canon.obj_digest(o));
             h.write_str(program.field_name(f));
         }
+        LockElem::RwRead(o) if o.0 >= u32::MAX / 2 => {
+            h.write_u8(5);
+            h.write_u32((u32::MAX - o.0).wrapping_sub(fresh_base + 1));
+        }
+        LockElem::RwRead(o) => {
+            h.write_u8(6);
+            h.write_digest(canon.obj_digest(o));
+        }
+        LockElem::RwWrite(o) if o.0 >= u32::MAX / 2 => {
+            h.write_u8(7);
+            h.write_u32((u32::MAX - o.0).wrapping_sub(fresh_base + 1));
+        }
+        LockElem::RwWrite(o) => {
+            h.write_u8(8);
+            h.write_digest(canon.obj_digest(o));
+        }
+        LockElem::Executor(e) => {
+            h.write_u8(9);
+            h.write_u32(e as u32);
+        }
     }
     h.finish()
 }
@@ -143,6 +163,17 @@ fn hb_sigs(shb: &ShbGraph, canon: &CanonIndex, include_len: bool) -> HbSigs {
         h.write_u8(2);
         h.write_digest(canon.origin_digest(j.parent));
         h.write_u32(j.pos);
+    }
+    // Condvar edges (notifier → waiter) are part of the HB neighborhood
+    // exactly like entry edges: an edit that adds or moves a notify must
+    // invalidate every candidate whose traversal could cross it.
+    for c in &shb.cond_edges {
+        out_arcs[c.from.0 as usize].push(c.to.0);
+        let h = &mut hashers[c.from.0 as usize];
+        h.write_u8(3);
+        h.write_digest(canon.origin_digest(c.to));
+        h.write_u32(c.from_pos);
+        h.write_u32(c.to_pos);
     }
     let local: Vec<Digest> = hashers.into_iter().map(|h| h.finish()).collect();
     let mut reach: Vec<Vec<u32>> = Vec::with_capacity(n);

@@ -383,19 +383,21 @@ impl LocalLockCache {
         if a == LockSetId::EMPTY || b == LockSetId::EMPTY {
             return true;
         }
-        if a == b {
-            return false;
-        }
+        // No `a == b` fast path: a pure-reader lockset is disjoint from
+        // itself (two rdlock holders run concurrently), so self-queries
+        // must go through the conflict bits like any other pair.
         let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
         if let Some(&d) = self.cache.get(&key) {
             self.hits += 1;
             return d;
         }
         self.misses += 1;
-        // Word-parallel bitset intersection over the frozen table (the
-        // slice-scan `disjoint_uncached` stays as the naive baseline's
-        // per-pair cost model).
-        let d = !locks.set_bits(a).intersects(locks.set_bits(b));
+        // Word-parallel intersection of `a`'s members against the union
+        // of everything `b`'s members exclude — asymmetric, so rd/rd
+        // pairs pass while rd/wr and wr/wr pairs on the same rwlock
+        // conflict (the slice-scan `disjoint_uncached` stays as the
+        // naive baseline's per-pair cost model).
+        let d = !locks.set_bits(a).intersects(locks.excl_bits(b));
         self.cache.insert(key, d);
         d
     }
@@ -875,8 +877,10 @@ fn check_candidate(
 /// Closed-form outcome for a common-guard candidate: every enumerable
 /// pair shares the common lock, so the loop would count it once as
 /// `pairs_checked` and once as `lock_pruned` and find nothing — and the
-/// self-race scan finds nothing either, because a non-empty lockset is
-/// never self-disjoint. Reproduces the loop's counters exactly,
+/// self-race scan finds nothing either, because [`LockTable::common_guard`]
+/// only accepts *self-excluding* guards (a shared rdlock does not count),
+/// and a lockset holding one is never self-disjoint. Reproduces the
+/// loop's counters exactly,
 /// including the per-location pair budget:
 ///
 /// `P = [C(n,2) − C(r,2)] − Σ_{o : !multi(o) ∨ sole_alloc(o)} [C(n_o,2) − C(r_o,2)]`
@@ -1284,6 +1288,442 @@ mod tests {
         let (p, r) = detect_races(src, Policy::origin1(), &DetectConfig::o2());
         assert_eq!(r.num_races(), 0);
         assert!(r.render(&p).contains("no races"));
+    }
+}
+
+#[cfg(test)]
+mod sync_semantics_tests {
+    use super::*;
+    use o2_analysis::run_osa;
+    use o2_ir::parser::parse;
+    use o2_pta::{analyze, Policy, PtaConfig};
+    use o2_shb::{build_shb, ShbConfig};
+
+    fn races(src: &str, cfg: &DetectConfig) -> RaceReport {
+        let p = parse(src).unwrap();
+        o2_ir::validate::assert_valid(&p);
+        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let mut osa = run_osa(&p, &pta);
+        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
+        detect(&p, &pta, &osa, &shb, cfg)
+    }
+
+    /// Every fixture must agree across the o2 engine, the naive engine,
+    /// and preloop_prune on/off — the ISSUE's determinism bar.
+    fn races_all_engines(src: &str) -> RaceReport {
+        let o2 = races(src, &DetectConfig::o2());
+        let naive = races(src, &DetectConfig::naive());
+        assert_eq!(o2.races, naive.races, "naive engine disagrees");
+        let mut no_prune = DetectConfig::o2();
+        no_prune.preloop_prune = false;
+        let unpruned = races(src, &no_prune);
+        assert_eq!(o2.races, unpruned.races, "preloop_prune changes races");
+        o2
+    }
+
+    // ---- reader-writer locks -------------------------------------------
+
+    /// Positive: a write under only the read side of an rwlock races with
+    /// the same write in another reader (rdlock does not exclude rdlock).
+    #[test]
+    fn write_under_rdlock_races_with_other_reader() {
+        let src = r#"
+            class S { field hits; }
+            class R impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; rwread (s) { s.hits = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    r1 = new R(s);
+                    r2 = new R(s);
+                    r1.start();
+                    r2.start();
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 1, "{:?}", r.races);
+        assert!(r.races[0].is_write_write());
+    }
+
+    /// Negative: a read under rdlock is excluded by a write under wrlock
+    /// on the same lock object.
+    #[test]
+    fn rdlock_read_vs_wrlock_write_is_protected() {
+        let src = r#"
+            class S { field data; }
+            class R impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; rwread (s) { x = s.data; } }
+            }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; rwwrite (s) { s.data = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    r = new R(s);
+                    w = new W(s);
+                    r.start();
+                    w.start();
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 0, "{:?}", r.races);
+        assert!(r.lock_pruned >= 1);
+    }
+
+    /// Negative: two writers under wrlock are mutually exclusive.
+    #[test]
+    fn wrlock_writers_are_exclusive() {
+        let src = r#"
+            class S { field data; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; rwwrite (s) { s.data = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w1 = new W(s);
+                    w2 = new W(s);
+                    w1.start();
+                    w2.start();
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 0, "{:?}", r.races);
+    }
+
+    /// Positive (the LocalLockCache fix): a loop-spawned origin writing
+    /// under only rdlock must self-race — a pure-reader lockset is
+    /// disjoint from itself, so the removed `a == b` fast path would have
+    /// silently suppressed this.
+    #[test]
+    fn loop_spawned_writes_under_rdlock_self_race() {
+        let src = r#"
+            class S { field hits; }
+            class R impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; rwread (s) { s.hits = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    r = new R(s);
+                    loop { r.start(); }
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 1, "{:?}", r.races);
+        assert!(r.races[0].is_write_write());
+    }
+
+    /// Negative counterpart: the same loop-spawned shape under wrlock is
+    /// clean (instances exclude each other).
+    #[test]
+    fn loop_spawned_writes_under_wrlock_are_clean() {
+        let src = r#"
+            class S { field hits; }
+            class W impl Runnable {
+                field s;
+                method <init>(s) { this.s = s; }
+                method run() { s = this.s; rwwrite (s) { s.hits = s; } }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    w = new W(s);
+                    loop { w.start(); }
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 0, "{:?}", r.races);
+    }
+
+    // ---- condition variables -------------------------------------------
+
+    /// Negative: notify → wait-return orders a pre-notify write before a
+    /// post-wait read even when neither access holds a lock.
+    #[test]
+    fn notify_wait_edge_orders_handoff() {
+        let src = r#"
+            class Q { field payload; }
+            class Cond { }
+            class Producer impl Runnable {
+                field q; field m; field c;
+                method <init>(q, m, c) { this.q = q; this.m = m; this.c = c; }
+                method run() {
+                    q = this.q; m = this.m; c = this.c;
+                    q.payload = q;
+                    sync (m) { notify c; }
+                }
+            }
+            class Consumer impl Runnable {
+                field q; field m; field c;
+                method <init>(q, m, c) { this.q = q; this.m = m; this.c = c; }
+                method run() {
+                    q = this.q; m = this.m; c = this.c;
+                    sync (m) { wait (c, m); }
+                    x = q.payload;
+                }
+            }
+            class Main {
+                static method main() {
+                    q = new Q();
+                    m = new Cond();
+                    c = new Cond();
+                    p = new Producer(q, m, c);
+                    w = new Consumer(q, m, c);
+                    p.start();
+                    w.start();
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 0, "{:?}", r.races);
+        assert!(r.hb_pruned >= 1);
+    }
+
+    /// Positive: a write issued *after* the notify is not ordered against
+    /// the post-wait side — the edge runs notify → wait-return only.
+    #[test]
+    fn post_notify_write_still_races() {
+        let src = r#"
+            class Q { field stat; }
+            class Cond { }
+            class Producer impl Runnable {
+                field q; field m; field c;
+                method <init>(q, m, c) { this.q = q; this.m = m; this.c = c; }
+                method run() {
+                    q = this.q; m = this.m; c = this.c;
+                    sync (m) { notify c; }
+                    q.stat = q;
+                }
+            }
+            class Consumer impl Runnable {
+                field q; field m; field c;
+                method <init>(q, m, c) { this.q = q; this.m = m; this.c = c; }
+                method run() {
+                    q = this.q; m = this.m; c = this.c;
+                    sync (m) { wait (c, m); }
+                    q.stat = q;
+                }
+            }
+            class Main {
+                static method main() {
+                    q = new Q();
+                    m = new Cond();
+                    c = new Cond();
+                    p = new Producer(q, m, c);
+                    w = new Consumer(q, m, c);
+                    p.start();
+                    w.start();
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 1, "{:?}", r.races);
+        assert!(r.races[0].is_write_write());
+    }
+
+    /// Positive: a notify on a *different* condition variable provides no
+    /// ordering — the handoff of `notify_wait_edge_orders_handoff` with
+    /// mismatched condvars races.
+    #[test]
+    fn unrelated_condvar_gives_no_order() {
+        let src = r#"
+            class Q { field payload; }
+            class Cond { }
+            class Producer impl Runnable {
+                field q; field m; field c;
+                method <init>(q, m, c) { this.q = q; this.m = m; this.c = c; }
+                method run() {
+                    q = this.q; m = this.m; c = this.c;
+                    q.payload = q;
+                    sync (m) { notify c; }
+                }
+            }
+            class Consumer impl Runnable {
+                field q; field m; field c;
+                method <init>(q, m, c) { this.q = q; this.m = m; this.c = c; }
+                method run() {
+                    q = this.q; m = this.m; c = this.c;
+                    sync (m) { wait (c, m); }
+                    x = q.payload;
+                }
+            }
+            class Main {
+                static method main() {
+                    q = new Q();
+                    m = new Cond();
+                    c1 = new Cond();
+                    c2 = new Cond();
+                    p = new Producer(q, m, c1);
+                    w = new Consumer(q, m, c2);
+                    p.start();
+                    w.start();
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 1, "{:?}", r.races);
+    }
+
+    /// The wait splits its critical section: two accesses in the same
+    /// `sync` block on either side of a `wait` are in different lock
+    /// regions, so region merging must not collapse them.
+    #[test]
+    fn wait_splits_the_critical_section() {
+        let src = r#"
+            class Q { field a; }
+            class Cond { }
+            class W impl Runnable {
+                field q; field m; field c;
+                method <init>(q, m, c) { this.q = q; this.m = m; this.c = c; }
+                method run() {
+                    q = this.q; m = this.m; c = this.c;
+                    sync (m) { q.a = q; wait (c, m); q.a = q; }
+                }
+            }
+            class Main {
+                static method main() {
+                    q = new Q();
+                    m = new Cond();
+                    c = new Cond();
+                    w = new W(q, m, c);
+                    loop { w.start(); }
+                }
+            }
+        "#;
+        // Both writes hold the mutex, so instances never race — but the
+        // two writes must survive region merging as separate accesses.
+        let r = races(src, &DetectConfig::o2());
+        assert_eq!(r.num_races(), 0, "{:?}", r.races);
+        assert_eq!(r.region_merged, 0, "wait must split the lock region");
+    }
+
+    // ---- async-executor origins ----------------------------------------
+
+    /// Negative: tasks queued on the same single-threaded executor are
+    /// serialized by the executor itself.
+    #[test]
+    fn same_single_threaded_executor_tasks_do_not_race() {
+        let src = r#"
+            class S { field data; }
+            class T {
+                static method taskA(s) { s.data = s; }
+                static method taskB(s) { s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    spawn task(0) T::taskA(s);
+                    spawn task(0) T::taskB(s);
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 0, "{:?}", r.races);
+    }
+
+    /// Positive: the same two tasks on *different* executors race.
+    #[test]
+    fn tasks_on_different_executors_race() {
+        let src = r#"
+            class S { field data; }
+            class T {
+                static method taskA(s) { s.data = s; }
+                static method taskB(s) { s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    spawn task(0) T::taskA(s);
+                    spawn task(1) T::taskB(s);
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 1, "{:?}", r.races);
+    }
+
+    /// Positive: a multi-worker executor provides no serialization — its
+    /// tasks race with each other.
+    #[test]
+    fn multi_worker_executor_tasks_race() {
+        let src = r#"
+            class S { field data; }
+            class T {
+                static method taskA(s) { s.data = s; }
+                static method taskB(s) { s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    spawn task(0, 4) T::taskA(s);
+                    spawn task(0, 4) T::taskB(s);
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 1, "{:?}", r.races);
+    }
+
+    /// Positive: the paper's hallmark extended to async — a task on a
+    /// single-threaded executor still races with a plain thread.
+    #[test]
+    fn task_vs_thread_races() {
+        let src = r#"
+            class S { field data; }
+            class T {
+                static method onIo(s) { x = s.data; }
+                static method work(s) { s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    spawn task(0) T::onIo(s);
+                    spawn thread T::work(s);
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 1, "{:?}", r.races);
+    }
+
+    /// An await point bumps the lock region (handler boundary) without
+    /// destroying the executor's serialization.
+    #[test]
+    fn await_points_keep_executor_serialization() {
+        let src = r#"
+            class S { field data; }
+            class T {
+                static method taskA(s) { s.data = s; await; s.data = s; }
+                static method taskB(s) { await; s.data = s; }
+            }
+            class Main {
+                static method main() {
+                    s = new S();
+                    spawn task(0) T::taskA(s);
+                    spawn task(0) T::taskB(s);
+                }
+            }
+        "#;
+        let r = races_all_engines(src);
+        assert_eq!(r.num_races(), 0, "{:?}", r.races);
     }
 }
 

@@ -30,7 +30,7 @@
 use crate::ids::{ClassId, FieldId, MethodId, VarId};
 use crate::origins::{EntryPointConfig, OriginKind};
 use crate::program::{
-    Callee, Class, Instr, Method, Program, Selector, Stmt, ARRAY_CLASS_NAME, CTOR_NAME,
+    Callee, Class, Instr, Method, Program, RwMode, Selector, Stmt, ARRAY_CLASS_NAME, CTOR_NAME,
     EXTERNAL_CLASS_NAME, HANDLE_CLASS_NAME,
 };
 
@@ -649,6 +649,63 @@ impl<'p> MethodBuilder<'p> {
     pub fn sync_close(&mut self, lock: &str) -> &mut Self {
         let var = self.var(lock);
         self.emit(Stmt::MonitorExit { var });
+        self
+    }
+
+    /// Emits a `rwlock(lock).read { body }` region: a reader-writer lock
+    /// held in shared (read) mode around `body`.
+    pub fn rw_read(&mut self, lock: &str, body: impl FnOnce(&mut Self)) -> &mut Self {
+        self.rw_open(lock, RwMode::Read);
+        body(self);
+        self.rw_close(lock);
+        self
+    }
+
+    /// Emits a `rwlock(lock).write { body }` region: a reader-writer lock
+    /// held in exclusive (write) mode around `body`.
+    pub fn rw_write(&mut self, lock: &str, body: impl FnOnce(&mut Self)) -> &mut Self {
+        self.rw_open(lock, RwMode::Write);
+        body(self);
+        self.rw_close(lock);
+        self
+    }
+
+    /// Emits the `RwEnter` half of a reader-writer region. Prefer
+    /// [`Self::rw_read`] / [`Self::rw_write`]; this exists for non-nesting
+    /// callers such as the parser.
+    pub fn rw_open(&mut self, lock: &str, mode: RwMode) -> &mut Self {
+        let var = self.var(lock);
+        self.emit(Stmt::RwEnter { var, mode });
+        self
+    }
+
+    /// Emits the `RwExit` half of a reader-writer region.
+    pub fn rw_close(&mut self, lock: &str) -> &mut Self {
+        let var = self.var(lock);
+        self.emit(Stmt::RwExit { var });
+        self
+    }
+
+    /// Emits `wait (cond, lock);` — a condition-variable wait that releases
+    /// and reacquires `lock`. `lock` must be held at this point.
+    pub fn wait(&mut self, cond: &str, lock: &str) -> &mut Self {
+        let cond = self.var(cond);
+        let lock = self.var(lock);
+        self.emit(Stmt::Wait { cond, lock });
+        self
+    }
+
+    /// Emits `notify cond;` (`all = false`) or `notifyall cond;`
+    /// (`all = true`).
+    pub fn notify(&mut self, cond: &str, all: bool) -> &mut Self {
+        let cond = self.var(cond);
+        self.emit(Stmt::Notify { cond, all });
+        self
+    }
+
+    /// Emits `await;` — an async-task suspension point.
+    pub fn await_point(&mut self) -> &mut Self {
+        self.emit(Stmt::Await);
         self
     }
 

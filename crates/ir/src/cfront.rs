@@ -11,6 +11,12 @@
 //!   joinable handle, `pthread_join(t)` a [`crate::program::Stmt::Join`];
 //! - `pthread_mutex_lock(m)` / `pthread_mutex_unlock(m)` become monitor
 //!   regions;
+//! - `pthread_rwlock_rdlock(l)` / `pthread_rwlock_wrlock(l)` /
+//!   `pthread_rwlock_unlock(l)` become reader-writer regions
+//!   ([`crate::program::Stmt::RwEnter`] / [`crate::program::Stmt::RwExit`]);
+//! - `pthread_cond_wait(&c, &m)` becomes [`crate::program::Stmt::Wait`],
+//!   `pthread_cond_signal(&c)` / `pthread_cond_broadcast(&c)` become
+//!   [`crate::program::Stmt::Notify`];
 //! - `dispatch f(arg);` models an event-loop callback registration (an
 //!   event origin), and `syscall`/`kthread`/`irq` prefixes on `spawn`-like
 //!   forms cover the kernel origin kinds;
@@ -35,7 +41,7 @@
 use crate::builder::{MethodBuilder, ProgramBuilder};
 use crate::origins::OriginKind;
 use crate::parser::ParseError;
-use crate::program::Program;
+use crate::program::{Program, RwMode};
 
 #[derive(Clone, Debug, PartialEq, Eq)]
 enum Tok {
@@ -432,6 +438,66 @@ fn parse_stmt(p: &mut P, mb: &mut MethodBuilder<'_>) -> Result<(), ParseError> {
         mb.sync_close(&m);
         return Ok(());
     }
+    for (kw, mode) in [
+        ("pthread_rwlock_rdlock", RwMode::Read),
+        ("pthread_rwlock_wrlock", RwMode::Write),
+    ] {
+        if p.eat(kw) {
+            p.expect(Tok::LParen)?;
+            if matches!(p.peek(), Some(Tok::Amp)) {
+                p.next()?;
+            }
+            let m = p.ident()?;
+            p.expect(Tok::RParen)?;
+            p.expect(Tok::Semi)?;
+            mb.rw_open(&m, mode);
+            return Ok(());
+        }
+    }
+    if p.eat("pthread_rwlock_unlock") {
+        p.expect(Tok::LParen)?;
+        if matches!(p.peek(), Some(Tok::Amp)) {
+            p.next()?;
+        }
+        let m = p.ident()?;
+        p.expect(Tok::RParen)?;
+        p.expect(Tok::Semi)?;
+        mb.rw_close(&m);
+        return Ok(());
+    }
+    if p.eat("pthread_cond_wait") {
+        // pthread_cond_wait(&c, &m) — releases and reacquires m.
+        p.expect(Tok::LParen)?;
+        if matches!(p.peek(), Some(Tok::Amp)) {
+            p.next()?;
+        }
+        let c = p.ident()?;
+        p.expect(Tok::Comma)?;
+        if matches!(p.peek(), Some(Tok::Amp)) {
+            p.next()?;
+        }
+        let m = p.ident()?;
+        p.expect(Tok::RParen)?;
+        p.expect(Tok::Semi)?;
+        mb.wait(&c, &m);
+        return Ok(());
+    }
+    for (kw, all) in [
+        ("pthread_cond_signal", false),
+        ("pthread_cond_broadcast", true),
+    ] {
+        if p.eat(kw) {
+            p.expect(Tok::LParen)?;
+            if matches!(p.peek(), Some(Tok::Amp)) {
+                p.next()?;
+            }
+            let c = p.ident()?;
+            p.expect(Tok::RParen)?;
+            p.expect(Tok::Semi)?;
+            mb.notify(&c, all);
+            return Ok(());
+        }
+    }
     for (kw, kind) in [
         ("dispatch", OriginKind::Event { dispatcher: 0 }),
         ("spawn_syscall", OriginKind::Syscall),
@@ -731,6 +797,84 @@ mod tests {
             body[1].stmt,
             crate::program::Stmt::LoadStatic { .. }
         ));
+    }
+
+    #[test]
+    fn rwlock_and_condvar_intrinsics_lower() {
+        let src = r#"
+            struct S { any data; };
+            void reader(any s, any l) {
+                pthread_rwlock_rdlock(&l);
+                x = s->data;
+                pthread_rwlock_unlock(&l);
+            }
+            void writer(any s, any l) {
+                pthread_rwlock_wrlock(&l);
+                s->data = s;
+                pthread_rwlock_unlock(&l);
+            }
+            void waiter(any s, any m, any c) {
+                pthread_mutex_lock(&m);
+                pthread_cond_wait(&c, &m);
+                x = s->data;
+                pthread_mutex_unlock(&m);
+            }
+            void poster(any s, any m, any c) {
+                pthread_mutex_lock(&m);
+                s->data = s;
+                pthread_cond_signal(&c);
+                pthread_cond_broadcast(&c);
+                pthread_mutex_unlock(&m);
+            }
+            void main() {
+                s = malloc(S);
+                l = malloc(S);
+                m = malloc(S);
+                c = malloc(S);
+                pthread_create(&t1, reader, s, l);
+                pthread_create(&t2, writer, s, l);
+                pthread_create(&t3, waiter, s, m, c);
+                pthread_create(&t4, poster, s, m, c);
+            }
+        "#;
+        let p = parse_c(src).unwrap();
+        crate::validate::assert_valid(&p);
+        let method = |name: &str, arity: usize| {
+            let c = p.class_by_name(C_UNIT_CLASS).unwrap();
+            p.dispatch(c, &crate::program::Selector::new(name, arity))
+                .unwrap()
+        };
+        let reader = &p.method(method("reader", 2)).body;
+        assert!(matches!(
+            reader[0].stmt,
+            crate::program::Stmt::RwEnter {
+                mode: RwMode::Read,
+                ..
+            }
+        ));
+        assert!(matches!(
+            reader[2].stmt,
+            crate::program::Stmt::RwExit { .. }
+        ));
+        let writer = &p.method(method("writer", 2)).body;
+        assert!(matches!(
+            writer[0].stmt,
+            crate::program::Stmt::RwEnter {
+                mode: RwMode::Write,
+                ..
+            }
+        ));
+        let waiter = &p.method(method("waiter", 3)).body;
+        assert!(matches!(waiter[1].stmt, crate::program::Stmt::Wait { .. }));
+        let poster = &p.method(method("poster", 3)).body;
+        let notifies: Vec<bool> = poster
+            .iter()
+            .filter_map(|i| match i.stmt {
+                crate::program::Stmt::Notify { all, .. } => Some(all),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notifies, vec![false, true]);
     }
 
     #[test]

@@ -31,6 +31,11 @@ fn write_kind(h: &mut DigestHasher, kind: OriginKind) {
         OriginKind::Syscall => h.write_u8(3),
         OriginKind::KernelThread => h.write_u8(4),
         OriginKind::Interrupt => h.write_u8(5),
+        OriginKind::AsyncTask { executor, workers } => {
+            h.write_u8(6);
+            h.write_u32(u32::from(executor));
+            h.write_u8(workers);
+        }
     }
 }
 
@@ -40,7 +45,10 @@ fn write_kind(h: &mut DigestHasher, kind: OriginKind) {
 /// an artifact.
 pub fn fn_digest(program: &Program, id: MethodId) -> Digest {
     let m: &Method = program.method(id);
-    let mut h = DigestHasher::with_tag("o2.fn.v1");
+    // v2: adds RwEnter/RwExit/Wait/Notify/Await statement tags and the
+    // AsyncTask origin kind; bumped so db images from older semantics can
+    // never replay.
+    let mut h = DigestHasher::with_tag("o2.fn.v2");
     h.write_str(&program.class(m.class).name);
     h.write_str(&m.name);
     h.write_u64(m.num_params as u64);
@@ -189,6 +197,31 @@ pub fn fn_digest(program: &Program, id: MethodId) -> Digest {
                         h.write_u32(s.0);
                     }
                 }
+            }
+            Stmt::RwEnter { var, mode } => {
+                h.write_u8(27);
+                h.write_u32(var.0);
+                h.write_u8(match mode {
+                    crate::program::RwMode::Read => 0,
+                    crate::program::RwMode::Write => 1,
+                });
+            }
+            Stmt::RwExit { var } => {
+                h.write_u8(28);
+                h.write_u32(var.0);
+            }
+            Stmt::Wait { cond, lock } => {
+                h.write_u8(29);
+                h.write_u32(cond.0);
+                h.write_u32(lock.0);
+            }
+            Stmt::Notify { cond, all } => {
+                h.write_u8(30);
+                h.write_u32(cond.0);
+                h.write_bool(*all);
+            }
+            Stmt::Await => {
+                h.write_u8(31);
             }
         }
     }
@@ -518,6 +551,107 @@ mod tests {
         assert_eq!(diff.added, vec!["W.extra/0".to_string()]);
         let back = digest_diff(&new, &old);
         assert_eq!(back.removed, vec!["W.extra/0".to_string()]);
+    }
+
+    /// Every new synchronization statement kind must feed the function
+    /// digest: swapping one for another (or dropping it) changes the
+    /// containing function's digest, so warm runs invalidate correctly.
+    #[test]
+    fn sync_statement_kinds_are_digested() {
+        let template = |body: &str| {
+            format!(
+                r#"
+                class S {{ field f; }}
+                class Cond {{ }}
+                class K {{
+                    static method work(s, m, c) {{ {body} }}
+                }}
+                class Main {{
+                    static method main() {{
+                        s = new S();
+                        m = new Cond();
+                        c = new Cond();
+                        spawn thread K::work(s, m, c);
+                    }}
+                }}
+            "#
+            )
+        };
+        let variants = [
+            "rwread (s) { x = s.f; }",
+            "rwwrite (s) { x = s.f; }",
+            "sync (s) { x = s.f; }",
+            "sync (m) { wait (c, m); } x = s.f;",
+            "sync (m) { notify c; } x = s.f;",
+            "sync (m) { notifyall c; } x = s.f;",
+            "await; x = s.f;",
+            "x = s.f;",
+        ];
+        let digests: Vec<_> = variants
+            .iter()
+            .map(|body| {
+                let p = parse(&template(body)).unwrap();
+                crate::validate::assert_valid(&p);
+                let d = digest_program(&p);
+                d.fns
+                    .iter()
+                    .find(|(name, _)| name.starts_with("K.work"))
+                    .map(|(_, digest)| *digest)
+                    .expect("K.work digested")
+            })
+            .collect();
+        for i in 0..digests.len() {
+            for j in (i + 1)..digests.len() {
+                assert_ne!(
+                    digests[i], digests[j],
+                    "`{}` and `{}` must digest differently",
+                    variants[i], variants[j]
+                );
+            }
+        }
+    }
+
+    /// Executor ids, worker counts, and the task kind itself are part of
+    /// the origin signature: changing any of them changes the program
+    /// digest.
+    #[test]
+    fn async_task_spawn_parameters_are_digested() {
+        let template = |spawn: &str| {
+            format!(
+                r#"
+                class S {{ field f; }}
+                class K {{
+                    static method work(s) {{ s.f = s; }}
+                }}
+                class Main {{
+                    static method main() {{
+                        s = new S();
+                        {spawn}
+                    }}
+                }}
+            "#
+            )
+        };
+        let variants = [
+            "spawn task K::work(s);",
+            "spawn task(1) K::work(s);",
+            "spawn task(0, 4) K::work(s);",
+            "spawn thread K::work(s);",
+            "spawn event K::work(s);",
+        ];
+        let digests: Vec<_> = variants
+            .iter()
+            .map(|spawn| digest_program(&parse(&template(spawn)).unwrap()).program)
+            .collect();
+        for i in 0..digests.len() {
+            for j in (i + 1)..digests.len() {
+                assert_ne!(
+                    digests[i], digests[j],
+                    "`{}` and `{}` must digest differently",
+                    variants[i], variants[j]
+                );
+            }
+        }
     }
 
     #[test]

@@ -28,6 +28,22 @@ pub enum OriginKind {
         /// Identifier of the dispatching event loop (Android main thread = 0).
         dispatcher: u16,
     },
+    /// A task spawned onto an async executor. The executor plays the
+    /// dispatcher role of the origin abstraction: every spawned task is its
+    /// own origin, and `await` points act as handler boundaries.
+    ///
+    /// A *single-worker* executor (`workers <= 1`) runs its tasks
+    /// run-to-completion between awaits on one thread, so same-executor
+    /// tasks never race with each other — modeled like an event dispatcher
+    /// with an implicit per-executor lock. A *multi-worker* executor
+    /// (`workers > 1`) steals tasks onto parallel threads, so its tasks
+    /// race like ordinary threads.
+    AsyncTask {
+        /// Identifier of the executor the task is spawned onto.
+        executor: u16,
+        /// Number of worker threads of the executor (1 = single-threaded).
+        workers: u8,
+    },
     /// A system-call entry (`__x64_sys_*` in the Linux kernel evaluation).
     Syscall,
     /// A kernel thread (`kthread_create_*`).
@@ -40,7 +56,13 @@ impl OriginKind {
     /// Returns `true` if two instances of this kind may run concurrently
     /// with each other without any implicit serialization.
     pub fn is_preemptive(self) -> bool {
-        !matches!(self, OriginKind::Event { .. })
+        match self {
+            OriginKind::Event { .. } => false,
+            // Tasks of a single-worker executor are serialized by it;
+            // multi-worker executors run tasks in parallel.
+            OriginKind::AsyncTask { workers, .. } => workers > 1,
+            _ => true,
+        }
     }
 }
 
@@ -50,6 +72,9 @@ impl fmt::Display for OriginKind {
             OriginKind::Main => write!(f, "main"),
             OriginKind::Thread => write!(f, "thread"),
             OriginKind::Event { dispatcher } => write!(f, "event@{dispatcher}"),
+            OriginKind::AsyncTask { executor, workers } => {
+                write!(f, "task@{executor}x{workers}")
+            }
             OriginKind::Syscall => write!(f, "syscall"),
             OriginKind::KernelThread => write!(f, "kthread"),
             OriginKind::Interrupt => write!(f, "irq"),

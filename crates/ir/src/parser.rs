@@ -41,16 +41,20 @@
 //! stmt     := lhs "=" rhs ";" | NAME "." NAME "(" args ")" ";"
 //!           | NAME "::" NAME "(" args ")" ";"
 //!           | "sync" "(" NAME ")" block | "loop" block
+//!           | "rwread" "(" NAME ")" block | "rwwrite" "(" NAME ")" block
+//!           | "wait" "(" NAME "," NAME ")" ";"
+//!           | ("notify" | "notifyall") NAME ";" | "await" ";"
 //!           | "spawn" KIND NAME "::" NAME "(" args ")" ("*" NUM)? ("->" NAME)? ";"
 //!           | "join" NAME ";" | "return" NAME? ";"
 //! lhs      := NAME | NAME "." NAME | NAME "[" "*" "]" | NAME "::" NAME
 //! rhs      := "new" NAME "(" args ")" | "newarray" | call | lhs
 //! KIND     := "thread" | "event" ("(" NUM ")")? | "syscall" | "kthread" | "irq"
+//!           | "task" ("(" NUM ("," NUM)? ")")?
 //! ```
 
 use crate::builder::{BuildError, MethodBuilder, ProgramBuilder};
 use crate::origins::OriginKind;
-use crate::program::Program;
+use crate::program::{Program, RwMode};
 use std::error::Error;
 use std::fmt;
 
@@ -424,6 +428,10 @@ fn parse_kind_name(name: &str) -> Option<OriginKind> {
         "kthread" => Some(OriginKind::KernelThread),
         "irq" => Some(OriginKind::Interrupt),
         "event" => Some(OriginKind::Event { dispatcher: 0 }),
+        "task" => Some(OriginKind::AsyncTask {
+            executor: 0,
+            workers: 1,
+        }),
         _ => None,
     }
 }
@@ -555,6 +563,54 @@ fn parse_stmt(p: &mut Parser, mb: &mut MethodBuilder<'_>) -> Result<(), ParseErr
         mb.sync_close(&var);
         return Ok(());
     }
+    for (kw, mode) in [("rwread", RwMode::Read), ("rwwrite", RwMode::Write)] {
+        if matches!(p.peek(), Some(Tok::Ident(s)) if s == kw)
+            && matches!(p.peek2(), Some(Tok::LParen))
+        {
+            p.next()?;
+            p.expect(Tok::LParen)?;
+            let lock = p.ident()?;
+            p.expect(Tok::RParen)?;
+            mb.rw_open(&lock, mode);
+            parse_block(p, mb)?;
+            mb.rw_close(&lock);
+            return Ok(());
+        }
+    }
+    if matches!(p.peek(), Some(Tok::Ident(s)) if s == "wait")
+        && matches!(p.peek2(), Some(Tok::LParen))
+    {
+        // wait (cond, lock);
+        p.next()?;
+        p.expect(Tok::LParen)?;
+        let cond = p.ident()?;
+        p.expect(Tok::Comma)?;
+        let lock = p.ident()?;
+        p.expect(Tok::RParen)?;
+        p.expect(Tok::Semi)?;
+        mb.wait(&cond, &lock);
+        return Ok(());
+    }
+    for (kw, all) in [("notify", false), ("notifyall", true)] {
+        if matches!(p.peek(), Some(Tok::Ident(s)) if s == kw)
+            && matches!(p.peek2(), Some(Tok::Ident(_)))
+            && matches!(p.peek3(), Some(Tok::Semi))
+        {
+            p.next()?;
+            let cond = p.ident()?;
+            p.expect(Tok::Semi)?;
+            mb.notify(&cond, all);
+            return Ok(());
+        }
+    }
+    if matches!(p.peek(), Some(Tok::Ident(s)) if s == "await")
+        && matches!(p.peek2(), Some(Tok::Semi))
+    {
+        p.next()?;
+        p.expect(Tok::Semi)?;
+        mb.await_point();
+        return Ok(());
+    }
     if matches!(p.peek(), Some(Tok::Ident(s)) if s == "loop")
         && matches!(p.peek2(), Some(Tok::LBrace))
     {
@@ -573,6 +629,22 @@ fn parse_stmt(p: &mut Parser, mb: &mut MethodBuilder<'_>) -> Result<(), ParseErr
             let d = p.num()? as u16;
             p.expect(Tok::RParen)?;
             kind = OriginKind::Event { dispatcher: d };
+        }
+        if matches!(kind, OriginKind::AsyncTask { .. }) && matches!(p.peek(), Some(Tok::LParen)) {
+            // task(EXECUTOR) or task(EXECUTOR, WORKERS)
+            p.next()?;
+            let executor = p.num()? as u16;
+            let mut workers = 1u8;
+            if matches!(p.peek(), Some(Tok::Comma)) {
+                p.next()?;
+                let w = p.num()?;
+                if w == 0 || w > 255 {
+                    return Err(p.err("worker count must be between 1 and 255"));
+                }
+                workers = w as u8;
+            }
+            p.expect(Tok::RParen)?;
+            kind = OriginKind::AsyncTask { executor, workers };
         }
         let class = p.ident()?;
         p.expect(Tok::ColonColon)?;

@@ -76,7 +76,7 @@ fn print_method(p: &Program, _id: MethodId, m: &Method, out: &mut String) {
             out.push_str("}\n");
             in_loop = false;
         }
-        if matches!(s, Stmt::MonitorExit { .. }) {
+        if matches!(s, Stmt::MonitorExit { .. } | Stmt::RwExit { .. }) {
             depth = depth.saturating_sub(1);
         }
         for _ in 0..depth {
@@ -202,6 +202,15 @@ fn print_method(p: &Program, _id: MethodId, m: &Method, out: &mut String) {
                             format!("event({dispatcher})")
                         }
                     }
+                    crate::origins::OriginKind::AsyncTask { executor, workers } => {
+                        if *workers > 1 {
+                            format!("task({executor}, {workers})")
+                        } else if *executor != 0 {
+                            format!("task({executor})")
+                        } else {
+                            "task".to_string()
+                        }
+                    }
                     crate::origins::OriginKind::Thread => "thread".to_string(),
                     crate::origins::OriginKind::Syscall => "syscall".to_string(),
                     crate::origins::OriginKind::KernelThread => "kthread".to_string(),
@@ -229,6 +238,32 @@ fn print_method(p: &Program, _id: MethodId, m: &Method, out: &mut String) {
             }
             Stmt::MonitorExit { .. } => {
                 out.push_str("}\n");
+            }
+            Stmt::RwEnter { var, mode } => {
+                let kw = match mode {
+                    crate::program::RwMode::Read => "rwread",
+                    crate::program::RwMode::Write => "rwwrite",
+                };
+                let _ = writeln!(out, "{kw} ({}) {{", var_name(m, *var));
+                depth += 1;
+            }
+            Stmt::RwExit { .. } => {
+                out.push_str("}\n");
+            }
+            Stmt::Wait { cond, lock } => {
+                let _ = writeln!(
+                    out,
+                    "wait ({}, {});",
+                    var_name(m, *cond),
+                    var_name(m, *lock)
+                );
+            }
+            Stmt::Notify { cond, all } => {
+                let kw = if *all { "notifyall" } else { "notify" };
+                let _ = writeln!(out, "{kw} {};", var_name(m, *cond));
+            }
+            Stmt::Await => {
+                out.push_str("await;\n");
             }
             Stmt::Join { recv } => {
                 let _ = writeln!(out, "join {};", var_name(m, *recv));

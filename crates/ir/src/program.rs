@@ -88,6 +88,15 @@ pub enum Callee {
     },
 }
 
+/// The acquisition mode of a reader-writer lock (`Stmt::RwEnter`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RwMode {
+    /// Shared (read) acquisition: excludes writers but not other readers.
+    Read,
+    /// Exclusive (write) acquisition: excludes everyone.
+    Write,
+}
+
 /// One IR statement. Numbering in the doc comments refers to the rules of
 /// Table 2 / Table 4 in the paper.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -228,6 +237,50 @@ pub enum Stmt {
         /// Lock variable.
         var: VarId,
     },
+    /// `rwread (x) {` / `rwwrite (x) {` — reader-writer lock acquisition
+    /// (`pthread_rwlock_rdlock` / `pthread_rwlock_wrlock`) on every object
+    /// `x` may point to, in the given mode. Must be matched by a later
+    /// [`Stmt::RwExit`] on the same variable in the same method.
+    ///
+    /// Unlike monitors, read-mode acquisitions do not exclude each other:
+    /// two critical sections both holding only the *read* side of the same
+    /// lock still race if either performs a write.
+    RwEnter {
+        /// Lock variable.
+        var: VarId,
+        /// Acquisition mode.
+        mode: RwMode,
+    },
+    /// `}` closing a [`Stmt::RwEnter`] — reader-writer lock release
+    /// (`pthread_rwlock_unlock`).
+    RwExit {
+        /// Lock variable.
+        var: VarId,
+    },
+    /// `wait (c, m);` — condition-variable wait (`pthread_cond_wait`):
+    /// atomically releases the lock `m`, blocks until notified on `c`, and
+    /// reacquires `m` before returning. Splits the enclosing critical
+    /// section and receives a happens-before edge from every
+    /// [`Stmt::Notify`] on the same condition in another origin.
+    Wait {
+        /// Condition-variable reference.
+        cond: VarId,
+        /// The lock released/reacquired around the wait. Must be held.
+        lock: VarId,
+    },
+    /// `notify c;` / `notifyall c;` — condition-variable signal
+    /// (`pthread_cond_signal` / `pthread_cond_broadcast`). Orders this
+    /// point before the return of matching waits in other origins.
+    Notify {
+        /// Condition-variable reference.
+        cond: VarId,
+        /// `true` for broadcast (`notifyall`).
+        all: bool,
+    },
+    /// `await;` — an async-task suspension point. Acts as a handler
+    /// boundary: the task yields its executor worker, so the enclosing
+    /// run-to-completion region ends here.
+    Await,
     /// ⓭ `x.join()` — joins the origin(s) created from the thread or handle
     /// object `recv` points to.
     Join {

@@ -90,7 +90,44 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
     for (mi, method) in program.methods.iter().enumerate() {
         let mid = MethodId::from_usize(mi);
         let var_ok = |v: VarId| v.index() < method.num_vars;
-        let mut monitor_stack: Vec<VarId> = Vec::new();
+        // Unified lock-region stack: monitors and reader-writer locks
+        // both nest, but an `RwExit` must not close a `MonitorEnter` and
+        // vice versa.
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum LockKind {
+            Monitor,
+            RwLock,
+        }
+        let mut monitor_stack: Vec<(VarId, LockKind)> = Vec::new();
+        // Per-variable assignment summary for the join-target check: a
+        // variable whose every assignment is a `new` of a non-origin class
+        // (or a `newarray`) can never point to a thread or spawn handle,
+        // so a `join` on it is silently a no-op — flag it.
+        let mut assigned = vec![false; method.num_vars];
+        let mut maybe_handle = vec![false; method.num_vars];
+        for instr in &method.body {
+            let (dst, could_be_handle) = match &instr.stmt {
+                Stmt::New { dst, class, .. } => (Some(*dst), program.is_origin_class(*class)),
+                Stmt::NewArray { dst } => (Some(*dst), false),
+                // Any other assignment form (copies, loads, call returns,
+                // spawn handles) may produce a joinable object.
+                Stmt::Assign { dst, .. }
+                | Stmt::LoadField { dst, .. }
+                | Stmt::AtomicLoad { dst, .. }
+                | Stmt::LoadArray { dst, .. }
+                | Stmt::LoadStatic { dst, .. } => (Some(*dst), true),
+                Stmt::Call { dst, .. } | Stmt::Spawn { dst, .. } => (*dst, true),
+                _ => (None, false),
+            };
+            if let Some(d) = dst {
+                if d.index() < method.num_vars {
+                    assigned[d.index()] = true;
+                    if could_be_handle {
+                        maybe_handle[d.index()] = true;
+                    }
+                }
+            }
+        }
         let implicit_params = usize::from(!method.is_static);
         if method.num_vars < implicit_params + method.num_params {
             err(
@@ -201,12 +238,12 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
                 }
                 Stmt::MonitorEnter { var } => {
                     check_vars(&[*var]);
-                    monitor_stack.push(*var);
+                    monitor_stack.push((*var, LockKind::Monitor));
                 }
                 Stmt::MonitorExit { var } => {
                     check_vars(&[*var]);
                     match monitor_stack.pop() {
-                        Some(top) if top == *var => {}
+                        Some(top) if top == (*var, LockKind::Monitor) => {}
                         Some(_) => err(
                             Some(mid),
                             Some(si),
@@ -219,7 +256,54 @@ pub fn validate(program: &Program) -> Vec<ValidationError> {
                         ),
                     }
                 }
-                Stmt::Join { recv } => check_vars(&[*recv]),
+                Stmt::RwEnter { var, .. } => {
+                    check_vars(&[*var]);
+                    monitor_stack.push((*var, LockKind::RwLock));
+                }
+                Stmt::RwExit { var } => {
+                    check_vars(&[*var]);
+                    match monitor_stack.pop() {
+                        Some(top) if top == (*var, LockKind::RwLock) => {}
+                        Some(_) => err(
+                            Some(mid),
+                            Some(si),
+                            "rwlock exit does not match innermost enter".to_string(),
+                        ),
+                        None => err(
+                            Some(mid),
+                            Some(si),
+                            "rwlock exit without matching enter".to_string(),
+                        ),
+                    }
+                }
+                Stmt::Wait { cond, lock } => {
+                    check_vars(&[*cond, *lock]);
+                    // pthread_cond_wait requires the paired lock to be
+                    // held; waiting without it is undefined behavior.
+                    if !monitor_stack.iter().any(|(v, _)| v == lock) {
+                        err(
+                            Some(mid),
+                            Some(si),
+                            "wait without holding its paired lock".to_string(),
+                        );
+                    }
+                }
+                Stmt::Notify { cond, .. } => check_vars(&[*cond]),
+                Stmt::Await => {}
+                Stmt::Join { recv } => {
+                    check_vars(&[*recv]);
+                    if recv.index() < method.num_vars
+                        && assigned[recv.index()]
+                        && !maybe_handle[recv.index()]
+                    {
+                        err(
+                            Some(mid),
+                            Some(si),
+                            "join on a variable that can never point to a thread or handle"
+                                .to_string(),
+                        );
+                    }
+                }
                 Stmt::Return { src } => {
                     if let Some(s) = src {
                         check_vars(&[*s]);

@@ -101,7 +101,21 @@ pub fn infer_guard(ctx: &AnalysisCtx<'_>, key: MemKey) -> Option<GuardInference>
     for &(origin, idx) in accesses {
         let node = &ctx.shb.traces[origin.0 as usize].accesses[idx as usize];
         for &elem in ctx.locks().set_elems(node.lockset) {
-            *counts.entry(elem).or_insert(0) += 1;
+            // Guard-mode awareness: both sides of a reader-writer lock
+            // count toward the same inferred guard (represented by the
+            // write-side element id), but the read side covers *reads
+            // only* — a write under just `rdlock` is a discipline
+            // violation, exactly what this pass exists to surface.
+            let counted = match ctx.locks().elem_data(elem) {
+                LockElem::RwRead(_) => {
+                    if node.is_write {
+                        continue;
+                    }
+                    ctx.locks().conflict_ids(elem)[0]
+                }
+                _ => elem,
+            };
+            *counts.entry(counted).or_insert(0) += 1;
         }
     }
     let (&elem, &covered) = counts
@@ -132,6 +146,19 @@ pub fn lock_elem_label(program: &Program, pta: &PtaResult, locks: &LockTable, el
         LockElem::Obj(obj) => format!("unknown-lock#{}", u32::MAX - obj.0),
         LockElem::Class(c) => format!("{}.class", program.class(c).name),
         LockElem::Dispatcher(d) => format!("dispatcher#{d}"),
+        LockElem::RwRead(obj) if obj.0 < pta.arena.num_objects() as u32 => format!(
+            "{}#{} (rdlock)",
+            program.class(pta.arena.obj_data(obj).class).name,
+            obj.0
+        ),
+        LockElem::RwRead(obj) => format!("unknown-rwlock#{} (rdlock)", u32::MAX - obj.0),
+        LockElem::RwWrite(obj) if obj.0 < pta.arena.num_objects() as u32 => format!(
+            "{}#{} (rwlock)",
+            program.class(pta.arena.obj_data(obj).class).name,
+            obj.0
+        ),
+        LockElem::RwWrite(obj) => format!("unknown-rwlock#{} (rwlock)", u32::MAX - obj.0),
+        LockElem::Executor(e) => format!("executor#{e}"),
         LockElem::AtomicCell(obj, f) => {
             let cls = if obj.0 < pta.arena.num_objects() as u32 {
                 program.class(pta.arena.obj_data(obj).class).name.clone()

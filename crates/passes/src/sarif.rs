@@ -118,6 +118,9 @@ fn lock_label(elem: &LockElem, program: &Program) -> String {
         LockElem::AtomicCell(o, f) => {
             format!("obj#{}.{} (atomic)", o.0, program.field_name(*f))
         }
+        LockElem::RwRead(o) => format!("obj#{} (rdlock)", o.0),
+        LockElem::RwWrite(o) => format!("obj#{} (wrlock)", o.0),
+        LockElem::Executor(e) => format!("executor#{e}"),
     }
 }
 

@@ -62,6 +62,11 @@ fn write_kind(h: &mut DigestHasher, kind: OriginKind) {
         OriginKind::Syscall => h.write_u8(3),
         OriginKind::KernelThread => h.write_u8(4),
         OriginKind::Interrupt => h.write_u8(5),
+        OriginKind::AsyncTask { executor, workers } => {
+            h.write_u8(6);
+            h.write_u32(u32::from(executor));
+            h.write_u8(workers);
+        }
     }
 }
 
@@ -291,7 +296,10 @@ impl CanonIndex {
             }
             let (method, _) = pta.mi_data(mi);
             let body_len = program.method(method).body.len() as u32;
-            let mut h = DigestHasher::with_tag("o2.mi.scan.v1");
+            // v2: the SHB walk now also observes rwlock/condvar/await
+            // statements, so the scan signature version is bumped to keep
+            // pre-rwlock db images from replaying under the new semantics.
+            let mut h = DigestHasher::with_tag("o2.mi.scan.v2");
             h.write_digest(mi_sigs[mi.0 as usize]);
             // Merge the two ascending edge lists; at equal statement
             // indices the call block precedes the join block, matching
@@ -340,7 +348,7 @@ impl CanonIndex {
         for i in 0..num_origins as u32 {
             let origin = OriginId(i);
             let data = pta.arena.origin_data(origin).clone();
-            let mut h = DigestHasher::with_tag("o2.origin.sig.v2");
+            let mut h = DigestHasher::with_tag("o2.origin.sig.v3");
             h.write_digest(origin_digests[i as usize]);
             h.write_digest(b.ctx_digest(data.entry_ctx));
             let entries = pta.origin_entries(origin);

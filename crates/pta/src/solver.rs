@@ -913,7 +913,16 @@ impl<'p> Solver<'p> {
             } => {
                 self.process_spawn(mi, g, dst, entry, &args, kind, replicas);
             }
-            Stmt::MonitorEnter { .. } | Stmt::MonitorExit { .. } => {}
+            // Synchronization statements add no points-to constraints:
+            // lock/cond variables get their points-to sets from ordinary
+            // assignments, and await has no operands.
+            Stmt::MonitorEnter { .. }
+            | Stmt::MonitorExit { .. }
+            | Stmt::RwEnter { .. }
+            | Stmt::RwExit { .. }
+            | Stmt::Wait { .. }
+            | Stmt::Notify { .. }
+            | Stmt::Await => {}
             Stmt::Join { recv } => {
                 let recv_node = self.var_node(mi, recv);
                 let j = self.joins.len() as u32;

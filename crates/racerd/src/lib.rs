@@ -355,8 +355,12 @@ impl<'p> Analysis<'p> {
                     Stmt::StoreStatic { src, .. } => {
                         owned.remove(src);
                     }
-                    Stmt::MonitorEnter { .. } => lock_depth += 1,
-                    Stmt::MonitorExit { .. } => lock_depth = lock_depth.saturating_sub(1),
+                    // RacerD's coarse model has no reader/writer modes:
+                    // any rwlock region counts as "locked".
+                    Stmt::MonitorEnter { .. } | Stmt::RwEnter { .. } => lock_depth += 1,
+                    Stmt::MonitorExit { .. } | Stmt::RwExit { .. } => {
+                        lock_depth = lock_depth.saturating_sub(1)
+                    }
                     _ => {}
                 }
             }

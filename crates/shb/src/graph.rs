@@ -99,6 +99,44 @@ pub struct JoinEdge {
     pub stmt: GStmt,
 }
 
+/// A condition-variable wait or notify event recorded while walking one
+/// origin. Events are collected during the walk and cross-matched into
+/// [`CondEdge`]s at graph finish: every notify may be the one a wait on
+/// an overlapping condition object returns from.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CondEvent {
+    /// The origin whose trace contains the event.
+    pub origin: OriginId,
+    /// Trace position (for waits: the wait-*return* node, which is what
+    /// the notify happens-before).
+    pub pos: u32,
+    /// The `wait`/`notify` statement.
+    pub stmt: GStmt,
+    /// May-points-to set of the condition variable, sorted and deduped.
+    /// Empty (unknown condition) means the event matches nothing — no
+    /// happens-before is claimed, which is the sound direction.
+    pub conds: Vec<ObjId>,
+    /// `true` for notify-all; waits always carry `false`.
+    pub all: bool,
+}
+
+/// An inter-origin condvar edge: the notifier's node at `from_pos`
+/// happens-before the waiter's wait-return node at `to_pos`. Derived
+/// from [`CondEvent`]s whose condition sets overlap.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CondEdge {
+    /// Notifying origin.
+    pub from: OriginId,
+    /// Position of the notify node in the notifier's trace.
+    pub from_pos: u32,
+    /// Waiting origin.
+    pub to: OriginId,
+    /// Position of the wait-return node in the waiter's trace.
+    pub to_pos: u32,
+    /// The notify statement.
+    pub stmt: GStmt,
+}
+
 /// A lock acquisition in an origin's trace (used by the deadlock and
 /// over-synchronization analyses built on top of the SHB graph).
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -140,6 +178,8 @@ pub struct ShbStats {
     pub num_entry_edges: usize,
     /// Number of join edges.
     pub num_join_edges: usize,
+    /// Number of condvar (notify → wait-return) edges.
+    pub num_cond_edges: usize,
     /// Number of canonical locksets.
     pub num_locksets: usize,
 }
@@ -257,6 +297,61 @@ impl JoinCsr {
     }
 }
 
+/// CSR adjacency over the condvar edges, bucketed by notifying origin (a
+/// cond edge is traversed notifier → waiter). Same layout rationale as
+/// [`EntryCsr`].
+#[derive(Debug, Default)]
+pub struct CondCsr {
+    /// `offsets[o]..offsets[o + 1]` is origin `o`'s row.
+    pub offsets: Vec<u32>,
+    /// Notify position in the notifier's trace, parallel to the row.
+    pub pos: Vec<u32>,
+    /// Raw waiter origin id, parallel to the row.
+    pub to: Vec<u32>,
+    /// Wait-return position in the waiter's trace, parallel to the row.
+    pub to_pos: Vec<u32>,
+}
+
+impl CondCsr {
+    fn build(num_origins: usize, edges: &[CondEdge]) -> CondCsr {
+        let mut offsets = vec![0u32; num_origins + 1];
+        for e in edges {
+            offsets[e.from.0 as usize + 1] += 1;
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..num_origins].to_vec();
+        let n = edges.len();
+        let (mut pos, mut to, mut to_pos) = (vec![0u32; n], vec![0u32; n], vec![0u32; n]);
+        for e in edges {
+            let slot = cursor[e.from.0 as usize] as usize;
+            cursor[e.from.0 as usize] += 1;
+            pos[slot] = e.from_pos;
+            to[slot] = e.to.0;
+            to_pos[slot] = e.to_pos;
+        }
+        CondCsr {
+            offsets,
+            pos,
+            to,
+            to_pos,
+        }
+    }
+
+    /// The row of origin `o` as an index range into the parallel arrays.
+    #[inline]
+    pub fn row(&self, o: OriginId) -> std::ops::Range<usize> {
+        self.offsets[o.0 as usize] as usize..self.offsets[o.0 as usize + 1] as usize
+    }
+
+    fn approx_bytes(&self) -> usize {
+        (self.offsets.capacity() + self.pos.capacity() + self.to.capacity())
+            .saturating_add(self.to_pos.capacity())
+            * 4
+    }
+}
+
 /// The SHB graph: per-origin traces plus inter-origin edges.
 #[derive(Debug)]
 pub struct ShbGraph {
@@ -268,10 +363,14 @@ pub struct ShbGraph {
     pub entry_edges: Vec<EntryEdge>,
     /// All join edges.
     pub join_edges: Vec<JoinEdge>,
+    /// All condvar edges (derived from wait/notify events at finish).
+    pub cond_edges: Vec<CondEdge>,
     /// CSR adjacency of entry edges by parent origin.
     pub entry_csr: EntryCsr,
     /// CSR adjacency of join edges by child origin.
     pub join_csr: JoinCsr,
+    /// CSR adjacency of condvar edges by notifying origin.
+    pub cond_csr: CondCsr,
     /// Dense access index: [`LocId`] → list of `(origin, index into
     /// `traces\[origin\].accesses`)`. Ids come from the run's shared
     /// [`LocTable`] (the one `build_shb` interned into), so a slot here
@@ -315,6 +414,13 @@ impl ShbGraph {
             for k in self.join_csr.row(o) {
                 stack.push((OriginId(self.join_csr.parent[k]), self.join_csr.pos[k]));
             }
+            // A cond edge at or after `p` orders this node before the
+            // waiter's wait-return node (Table 4 style: notify ⟶ wait).
+            for k in self.cond_csr.row(o) {
+                if self.cond_csr.pos[k] >= p {
+                    stack.push((OriginId(self.cond_csr.to[k]), self.cond_csr.to_pos[k]));
+                }
+            }
         }
         false
     }
@@ -354,6 +460,11 @@ impl ShbGraph {
                 for e in &self.entry_edges {
                     if e.parent == o && e.pos == p {
                         stack.push((e.child, 0));
+                    }
+                }
+                for c in &self.cond_edges {
+                    if c.from == o && c.from_pos == p {
+                        stack.push((c.to, c.to_pos));
                     }
                 }
                 p += 1;
@@ -396,6 +507,13 @@ impl ShbGraph {
                 out,
                 "  o{} -> o{} [style=dashed, label=\"join@{}\"];",
                 j.child.0, j.parent.0, j.pos
+            );
+        }
+        for c in &self.cond_edges {
+            let _ = writeln!(
+                out,
+                "  o{} -> o{} [style=dotted, label=\"notify@{}\"];",
+                c.from.0, c.to.0, c.from_pos
             );
         }
         out.push_str("}\n");
@@ -443,6 +561,11 @@ impl ShbGraph {
             for k in self.join_csr.row(o) {
                 stack.push((OriginId(self.join_csr.parent[k]), self.join_csr.pos[k]));
             }
+            for k in self.cond_csr.row(o) {
+                if self.cond_csr.pos[k] >= p {
+                    stack.push((OriginId(self.cond_csr.to[k]), self.cond_csr.to_pos[k]));
+                }
+            }
         }
         best
     }
@@ -465,8 +588,10 @@ impl ShbGraph {
             + self.traces.capacity() * std::mem::size_of::<OriginTrace>();
         let csr = self.entry_csr.approx_bytes()
             + self.join_csr.approx_bytes()
+            + self.cond_csr.approx_bytes()
             + self.entry_edges.capacity() * std::mem::size_of::<EntryEdge>()
-            + self.join_edges.capacity() * std::mem::size_of::<JoinEdge>();
+            + self.join_edges.capacity() * std::mem::size_of::<JoinEdge>()
+            + self.cond_edges.capacity() * std::mem::size_of::<CondEdge>();
         let locks = self.locks.approx_bytes();
         let by_loc = self
             .accesses_by_loc
@@ -496,6 +621,20 @@ pub fn build_shb(
     builder.finish(start)
 }
 
+/// Sorted-slice intersection test (condition points-to sets are sorted
+/// and deduped when recorded).
+fn sorted_overlap(a: &[ObjId], b: &[ObjId]) -> bool {
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
 pub(crate) struct Builder<'a> {
     pub(crate) program: &'a Program,
     pub(crate) pta: &'a PtaResult,
@@ -505,6 +644,8 @@ pub(crate) struct Builder<'a> {
     pub(crate) traces: Vec<OriginTrace>,
     pub(crate) entry_edges: Vec<EntryEdge>,
     pub(crate) join_edges: Vec<JoinEdge>,
+    pub(crate) wait_events: Vec<CondEvent>,
+    pub(crate) notify_events: Vec<CondEvent>,
     pub(crate) accesses_by_loc: Vec<Vec<(OriginId, u32)>>,
     pub(crate) fresh_lock_counter: u32,
     pub(crate) deadline: Option<Instant>,
@@ -548,6 +689,8 @@ impl<'a> Builder<'a> {
             traces: vec![OriginTrace::default(); pta.num_origins()],
             entry_edges: Vec::new(),
             join_edges: Vec::new(),
+            wait_events: Vec::new(),
+            notify_events: Vec::new(),
             accesses_by_loc,
             fresh_lock_counter: 0,
             deadline: config.timeout.map(|t| start + t),
@@ -559,11 +702,33 @@ impl<'a> Builder<'a> {
         let num_origins = self.traces.len();
         let entry_csr = EntryCsr::build(num_origins, &self.entry_edges);
         let join_csr = JoinCsr::build(num_origins, &self.join_edges);
+        // Cross-match notify × wait into condvar edges: a notify may be
+        // the one a wait in *another* origin returns from whenever their
+        // condition points-to sets overlap. Same-origin pairs add nothing
+        // (intra-origin HB is already position order). The event lists
+        // are in walk order, so the edge list — and the CSR built from
+        // it — is deterministic.
+        let mut cond_edges = Vec::new();
+        for n in &self.notify_events {
+            for w in &self.wait_events {
+                if n.origin != w.origin && sorted_overlap(&n.conds, &w.conds) {
+                    cond_edges.push(CondEdge {
+                        from: n.origin,
+                        from_pos: n.pos,
+                        to: w.origin,
+                        to_pos: w.pos,
+                        stmt: n.stmt,
+                    });
+                }
+            }
+        }
+        let cond_csr = CondCsr::build(num_origins, &cond_edges);
         let stats = ShbStats {
             num_nodes: self.traces.iter().map(|t| t.len as u64).sum(),
             num_accesses: self.traces.iter().map(|t| t.accesses.len() as u64).sum(),
             num_entry_edges: self.entry_edges.len(),
             num_join_edges: self.join_edges.len(),
+            num_cond_edges: cond_edges.len(),
             num_locksets: self.locks.num_sets(),
         };
         ShbGraph {
@@ -571,8 +736,10 @@ impl<'a> Builder<'a> {
             locks: self.locks,
             entry_edges: self.entry_edges,
             join_edges: self.join_edges,
+            cond_edges,
             entry_csr,
             join_csr,
+            cond_csr,
             accesses_by_loc: self.accesses_by_loc,
             stats,
             duration: start.elapsed(),
@@ -589,6 +756,14 @@ impl<'a> Builder<'a> {
                 .config
                 .main_dispatcher
                 .map(|d| self.locks.elem(LockElem::Dispatcher(d))),
+            // A single-worker executor serializes its tasks exactly like
+            // an event dispatcher serializes handlers; multiple workers
+            // run tasks preemptively and get no implicit lock.
+            OriginKind::AsyncTask { executor, workers }
+                if workers <= 1 && self.config.event_dispatcher_lock =>
+            {
+                Some(self.locks.elem(LockElem::Executor(executor)))
+            }
             _ => None,
         };
         let mut st = WalkState {
@@ -637,6 +812,49 @@ impl<'a> Builder<'a> {
                 .map(|&o| self.locks.elem(LockElem::Obj(ObjId(o))))
                 .collect()
         }
+    }
+
+    /// Like [`Builder::lock_elems_for_var`] but for a reader-writer lock:
+    /// every points-to object maps to its mode-specific element, and an
+    /// unknown lock draws a fresh object that still keeps its mode — a
+    /// fresh read-side guard must never protect a write.
+    fn rw_lock_elems_for_var(
+        &mut self,
+        mi: Mi,
+        var: o2_ir::ids::VarId,
+        mode: o2_ir::program::RwMode,
+    ) -> Vec<u32> {
+        let wrap = |o: ObjId| match mode {
+            o2_ir::program::RwMode::Read => LockElem::RwRead(o),
+            o2_ir::program::RwMode::Write => LockElem::RwWrite(o),
+        };
+        let pts = self.pta.pts_var(mi, var);
+        if pts.is_empty() {
+            self.fresh_lock_counter += 1;
+            let id = self
+                .locks
+                .elem(wrap(ObjId(u32::MAX - self.fresh_lock_counter)));
+            vec![id]
+        } else {
+            pts.iter()
+                .map(|&o| self.locks.elem(wrap(ObjId(o))))
+                .collect()
+        }
+    }
+
+    /// May-points-to set of a condition variable, sorted and deduped for
+    /// the edge cross-match. An empty set stays empty: an unknown
+    /// condition claims no happens-before.
+    fn cond_objects(&self, mi: Mi, var: o2_ir::ids::VarId) -> Vec<ObjId> {
+        let mut conds: Vec<ObjId> = self
+            .pta
+            .pts_var(mi, var)
+            .iter()
+            .map(|&o| ObjId(o))
+            .collect();
+        conds.sort_unstable();
+        conds.dedup();
+        conds
     }
 
     fn record_acquire(&mut self, st: &mut WalkState, stmt: GStmt, elems: Vec<u32>) {
@@ -769,6 +987,60 @@ impl<'a> Builder<'a> {
                     st.lock_stack.pop();
                     self.record_release(st);
                     st.current_set = self.recompute_lockset(st);
+                    st.region += 1;
+                }
+                Stmt::RwEnter { var, mode } => {
+                    let elems = self.rw_lock_elems_for_var(mi, *var, *mode);
+                    self.record_acquire(st, g, elems.clone());
+                    st.lock_stack.push(elems);
+                    st.current_set = self.recompute_lockset(st);
+                    st.region += 1;
+                }
+                Stmt::RwExit { .. } => {
+                    st.lock_stack.pop();
+                    self.record_release(st);
+                    st.current_set = self.recompute_lockset(st);
+                    st.region += 1;
+                }
+                Stmt::Wait { cond, .. } => {
+                    // The wait blocks, releases its lock, and reacquires
+                    // before returning: the node recorded here is the
+                    // wait-*return*, the target of notify edges. It splits
+                    // the enclosing critical section — accesses before and
+                    // after it land in different lock regions — and starts
+                    // a new inter-origin epoch (incoming cond edges change
+                    // the HB status of everything after it).
+                    let conds = self.cond_objects(mi, *cond);
+                    self.wait_events.push(CondEvent {
+                        origin: st.origin,
+                        pos: st.pos,
+                        stmt: g,
+                        conds,
+                        all: false,
+                    });
+                    st.pos += 1;
+                    st.region += 1;
+                    st.inter_epoch += 1;
+                }
+                Stmt::Notify { cond, all } => {
+                    let conds = self.cond_objects(mi, *cond);
+                    self.notify_events.push(CondEvent {
+                        origin: st.origin,
+                        pos: st.pos,
+                        stmt: g,
+                        conds,
+                        all: *all,
+                    });
+                    st.pos += 1;
+                    st.region += 1;
+                    st.inter_epoch += 1;
+                }
+                Stmt::Await => {
+                    // A suspension point hands the worker back to the
+                    // executor: accesses on either side must not be merged
+                    // into one loop representative, but no happens-before
+                    // edge is created here (task ordering comes from the
+                    // executor element and entry edges).
                     st.region += 1;
                 }
                 Stmt::Call { .. } | Stmt::New { .. } | Stmt::Spawn { .. } => {

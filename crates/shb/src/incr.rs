@@ -21,12 +21,14 @@
 //! everything else is re-walked cold, and truncated walks are never
 //! cached.
 
-use crate::graph::{AccessNode, AcquireNode, Builder, EntryEdge, JoinEdge, ShbConfig, ShbGraph};
+use crate::graph::{
+    AccessNode, AcquireNode, Builder, CondEvent, EntryEdge, JoinEdge, ShbConfig, ShbGraph,
+};
 use crate::locks::LockElem;
 use o2_analysis::{memkey_from_db_cached, memkey_to_db, KeyResolver, LocTable, MemKey};
 use o2_db::{
-    AnalysisDb, DbEdge, DbLockElem, DbShbAccess, DbShbAcquire, DbStmt, Digest, FastMap, FastSet,
-    ShbOriginArtifact, StableIds,
+    AnalysisDb, DbCondEvent, DbEdge, DbLockElem, DbShbAccess, DbShbAcquire, DbStmt, Digest,
+    FastMap, FastSet, ShbOriginArtifact, StableIds,
 };
 use o2_ir::ids::{GStmt, MethodId};
 use o2_ir::origins::OriginKind;
@@ -60,6 +62,10 @@ struct DecodedOrigin {
     sets: Vec<Vec<LockElem>>,
     entry_edges: Vec<(OriginId, u32, GStmt)>,
     join_edges: Vec<(OriginId, u32, GStmt)>,
+    /// `(pos, stmt, conds, all)` condvar events; cond edges are rebuilt
+    /// from these at graph finish exactly as after a cold walk.
+    waits: Vec<(u32, GStmt, Vec<ObjId>, bool)>,
+    notifies: Vec<(u32, GStmt, Vec<ObjId>, bool)>,
 }
 
 fn stmt_to_db(g: GStmt, canon: &CanonIndex, names: &mut StableIds) -> DbStmt {
@@ -112,22 +118,32 @@ fn elem_to_db(
     fresh_before: u32,
     fresh_after: u32,
 ) -> Option<DbLockElem> {
-    Some(match e {
-        LockElem::Obj(o) if is_fresh(o, fresh_after) => {
-            let counter = u32::MAX - o.0;
-            // A fresh lock from another origin cannot appear here; bail
-            // (and walk cold) rather than encode a wrong ordinal.
-            if counter <= fresh_before {
-                return None;
-            }
-            DbLockElem::Fresh(counter - fresh_before - 1)
+    // A fresh lock from another origin cannot appear here; bail (and walk
+    // cold) rather than encode a wrong ordinal.
+    let fresh_ordinal = |o: ObjId| -> Option<u32> {
+        let counter = u32::MAX - o.0;
+        if counter <= fresh_before {
+            return None;
         }
+        Some(counter - fresh_before - 1)
+    };
+    Some(match e {
+        LockElem::Obj(o) if is_fresh(o, fresh_after) => DbLockElem::Fresh(fresh_ordinal(o)?),
         LockElem::Obj(o) => DbLockElem::Obj(canon.obj_digest(o)),
         LockElem::Class(c) => DbLockElem::Class(names.intern(&program.class(c).name)),
         LockElem::Dispatcher(d) => DbLockElem::Dispatcher(d),
         LockElem::AtomicCell(o, f) => {
             DbLockElem::AtomicCell(canon.obj_digest(o), names.intern(program.field_name(f)))
         }
+        LockElem::RwRead(o) if is_fresh(o, fresh_after) => {
+            DbLockElem::RwFreshRead(fresh_ordinal(o)?)
+        }
+        LockElem::RwRead(o) => DbLockElem::RwRead(canon.obj_digest(o)),
+        LockElem::RwWrite(o) if is_fresh(o, fresh_after) => {
+            DbLockElem::RwFreshWrite(fresh_ordinal(o)?)
+        }
+        LockElem::RwWrite(o) => DbLockElem::RwWrite(canon.obj_digest(o)),
+        LockElem::Executor(e) => DbLockElem::Executor(e),
     })
 }
 
@@ -148,6 +164,15 @@ fn elem_from_db(
             canon.obj_of_digest(d)?,
             cache.keys.field(program, names, f)?,
         ),
+        DbLockElem::RwRead(d) => LockElem::RwRead(canon.obj_of_digest(d)?),
+        DbLockElem::RwWrite(d) => LockElem::RwWrite(canon.obj_of_digest(d)?),
+        DbLockElem::RwFreshRead(ordinal) => {
+            LockElem::RwRead(ObjId(u32::MAX - (fresh_base + ordinal + 1)))
+        }
+        DbLockElem::RwFreshWrite(ordinal) => {
+            LockElem::RwWrite(ObjId(u32::MAX - (fresh_base + ordinal + 1)))
+        }
+        DbLockElem::Executor(e) => LockElem::Executor(e),
     })
 }
 
@@ -155,6 +180,7 @@ fn elem_from_db(
 /// `j0` and `fresh_before` are the edge-list lengths and fresh counter
 /// captured just before the walk. Returns `None` for truncated traces
 /// (never cached) or untranslatable state.
+#[allow(clippy::too_many_arguments)]
 fn encode_origin(
     builder: &Builder<'_>,
     origin: OriginId,
@@ -162,6 +188,8 @@ fn encode_origin(
     names: &mut StableIds,
     e0: usize,
     j0: usize,
+    w0: usize,
+    n0: usize,
     fresh_before: u32,
 ) -> Option<ShbOriginArtifact> {
     let program = builder.program;
@@ -252,6 +280,19 @@ fn encode_origin(
             stmt: stmt_to_db(j.stmt, canon, names),
         })
         .collect();
+    let encode_events = |events: &[CondEvent], names: &mut StableIds| -> Vec<DbCondEvent> {
+        events
+            .iter()
+            .map(|ev| DbCondEvent {
+                pos: ev.pos,
+                stmt: stmt_to_db(ev.stmt, canon, names),
+                conds: ev.conds.iter().map(|&o| canon.obj_digest(o)).collect(),
+                all: ev.all,
+            })
+            .collect()
+    };
+    let waits = encode_events(&builder.wait_events[w0..], names);
+    let notifies = encode_events(&builder.notify_events[n0..], names);
 
     Some(ShbOriginArtifact {
         sig: canon.origin_sig(origin),
@@ -263,6 +304,8 @@ fn encode_origin(
         entry_edges,
         join_edges,
         fresh_count: fresh_after - fresh_before,
+        waits,
+        notifies,
     })
 }
 
@@ -332,12 +375,37 @@ fn decode_origin(
             })
             .collect()
     };
+    let entry_edges = decode_edges(&art.entry_edges)?;
+    let join_edges = decode_edges(&art.join_edges)?;
+    type DecodedCondEvent = (u32, GStmt, Vec<ObjId>, bool);
+    let mut decode_events = |events: &[o2_db::DbCondEvent]| -> Option<Vec<DecodedCondEvent>> {
+        events
+            .iter()
+            .map(|ev| {
+                let conds: Option<Vec<ObjId>> =
+                    ev.conds.iter().map(|&d| canon.obj_of_digest(d)).collect();
+                let mut conds = conds?;
+                // Digests were stored in the cold walk's sorted ObjId
+                // order, but this run's dense ids may permute them.
+                conds.sort_unstable();
+                conds.dedup();
+                Some((
+                    ev.pos,
+                    stmt_from_db(ev.stmt, canon, names, cache)?,
+                    conds,
+                    ev.all,
+                ))
+            })
+            .collect()
+    };
     Some(DecodedOrigin {
         accesses,
         acquires,
         sets,
-        entry_edges: decode_edges(&art.entry_edges)?,
-        join_edges: decode_edges(&art.join_edges)?,
+        entry_edges,
+        join_edges,
+        waits: decode_events(&art.waits)?,
+        notifies: decode_events(&art.notifies)?,
     })
 }
 
@@ -360,6 +428,11 @@ fn apply_replay(
             if let Some(d) = builder.config.main_dispatcher {
                 builder.locks.elem(LockElem::Dispatcher(d));
             }
+        }
+        OriginKind::AsyncTask { executor, workers }
+            if workers <= 1 && builder.config.event_dispatcher_lock =>
+        {
+            builder.locks.elem(LockElem::Executor(executor));
         }
         _ => {}
     }
@@ -430,6 +503,20 @@ fn apply_replay(
             pos,
             stmt,
         });
+    }
+    for (list, dst) in [
+        (&dec.waits, &mut builder.wait_events),
+        (&dec.notifies, &mut builder.notify_events),
+    ] {
+        for (pos, stmt, conds, all) in list {
+            dst.push(CondEvent {
+                origin,
+                pos: *pos,
+                stmt: *stmt,
+                conds: conds.clone(),
+                all: *all,
+            });
+        }
     }
     let t = &mut builder.traces[origin.0 as usize];
     t.len = len;
@@ -506,9 +593,13 @@ pub fn build_shb_incremental(
             origins_walked += 1;
             let e0 = builder.entry_edges.len();
             let j0 = builder.join_edges.len();
+            let w0 = builder.wait_events.len();
+            let n0 = builder.notify_events.len();
             let f0 = builder.fresh_lock_counter;
             builder.walk_origin(origin);
-            if let Some(art) = encode_origin(&builder, origin, canon, &mut names, e0, j0, f0) {
+            if let Some(art) =
+                encode_origin(&builder, origin, canon, &mut names, e0, j0, w0, n0, f0)
+            {
                 walked_arts.push((od, art));
             }
         }
@@ -612,6 +703,7 @@ mod tests {
             })
             && a.entry_edges == b.entry_edges
             && a.join_edges == b.join_edges
+            && a.cond_edges == b.cond_edges
             && index_by_key(a) == index_by_key(b)
     }
 

@@ -27,6 +27,19 @@ pub enum LockElem {
     /// this element) still does — the paper's future-work treatment of
     /// `std::atomic`, modeled as happens-before via mutual exclusion.
     AtomicCell(ObjId, o2_ir::ids::FieldId),
+    /// The shared (read) side of a reader-writer lock on an abstract
+    /// object. Excludes [`LockElem::RwWrite`] of the same object but *not*
+    /// itself: two critical sections both holding only the read side can
+    /// run concurrently, so a read-only guard never protects a write.
+    RwRead(ObjId),
+    /// The exclusive (write) side of a reader-writer lock on an abstract
+    /// object. Excludes both itself and [`LockElem::RwRead`] of the same
+    /// object — a common write guard protects exactly like a monitor.
+    RwWrite(ObjId),
+    /// The implicit lock serializing all tasks of a single-worker async
+    /// executor: like [`LockElem::Dispatcher`], but in the executor id
+    /// space (multi-worker executors get no such element).
+    Executor(u16),
 }
 
 /// An interned canonical lockset.
@@ -38,6 +51,19 @@ impl LockSetId {
     pub const EMPTY: LockSetId = LockSetId(0);
 }
 
+/// Returns `true` if holding `a` in one critical section excludes holding
+/// `b` in another. Symmetric. Plain elements conflict only with
+/// themselves; the read side of a reader-writer lock conflicts with the
+/// write side of the same lock but not with itself.
+fn conflicts(a: LockElem, b: LockElem) -> bool {
+    match (a, b) {
+        (LockElem::RwRead(_), LockElem::RwRead(_)) => false,
+        (LockElem::RwRead(x), LockElem::RwWrite(y))
+        | (LockElem::RwWrite(x), LockElem::RwRead(y)) => x == y,
+        _ => a == b,
+    }
+}
+
 /// The lockset interner plus the disjointness cache.
 #[derive(Debug)]
 pub struct LockTable {
@@ -47,6 +73,18 @@ pub struct LockTable {
     /// are small and dense, so one u64 AND tests 64 locks at once on the
     /// disjointness miss path.
     bits: Vec<BitSet>,
+    /// Per-set *exclusion* bitset: the union of the conflict sets of its
+    /// members. A plain element contributes itself; `RwWrite(o)`
+    /// contributes itself plus `RwRead(o)`; `RwRead(o)` contributes only
+    /// `RwWrite(o)`. Two sets exclude each other iff `bits[a]` intersects
+    /// `excl[b]` (symmetric, because [`conflicts`] is).
+    excl: Vec<BitSet>,
+    /// Per-element conflict ids, indexed by element id.
+    elem_conflicts: Vec<Vec<u32>>,
+    /// Element ids that exclude themselves (everything except `RwRead`).
+    /// A lockset guards its *own* origin's re-executions — and a common
+    /// guard protects a candidate — only through one of these.
+    selfx: BitSet,
     disjoint_cache: HashMap<(u32, u32), bool>,
     /// Number of disjointness queries answered from the cache.
     pub cache_hits: u64,
@@ -68,6 +106,9 @@ impl LockTable {
             elems: Interner::new(),
             sets: Interner::new(),
             bits: Vec::new(),
+            excl: Vec::new(),
+            elem_conflicts: Vec::new(),
+            selfx: BitSet::new(),
             disjoint_cache: HashMap::new(),
             cache_hits: 0,
             cache_misses: 0,
@@ -75,12 +116,37 @@ impl LockTable {
         let empty = t.sets.intern(Vec::new());
         debug_assert_eq!(empty, 0);
         t.bits.push(BitSet::new());
+        t.excl.push(BitSet::new());
         t
     }
 
-    /// Interns one lock element.
+    /// Interns one lock element. Interning either side of a reader-writer
+    /// lock eagerly interns the paired side, so conflict ids always exist.
     pub fn elem(&mut self, e: LockElem) -> u32 {
-        self.elems.intern(e)
+        let id = self.elems.intern(e);
+        self.sync_elem_tables();
+        id
+    }
+
+    /// Catches the per-element tables up with the interner. Interning the
+    /// paired rw-mode element inside the loop may itself extend the
+    /// interner; the `while` re-checks until both are covered.
+    fn sync_elem_tables(&mut self) {
+        while self.elem_conflicts.len() < self.elems.len() {
+            let id = self.elem_conflicts.len() as u32;
+            let e = *self.elems.resolve(id);
+            let conflict_ids = match e {
+                LockElem::RwRead(o) => vec![self.elems.intern(LockElem::RwWrite(o))],
+                LockElem::RwWrite(o) => {
+                    vec![id, self.elems.intern(LockElem::RwRead(o))]
+                }
+                _ => vec![id],
+            };
+            if !matches!(e, LockElem::RwRead(_)) {
+                self.selfx.insert(id);
+            }
+            self.elem_conflicts.push(conflict_ids);
+        }
     }
 
     /// Interns a lockset from element ids (deduplicated and sorted here).
@@ -89,9 +155,17 @@ impl LockTable {
         elems.dedup();
         let id = self.sets.intern(elems);
         if id as usize == self.bits.len() {
-            // Freshly interned: mirror it as a bitset.
+            // Freshly interned: mirror it as a bitset plus its exclusion
+            // bitset (union of member conflict sets).
             self.bits
                 .push(self.sets.resolve(id).iter().copied().collect());
+            let mut ex = BitSet::new();
+            for &e in self.sets.resolve(id) {
+                for &c in &self.elem_conflicts[e as usize] {
+                    ex.insert(c);
+                }
+            }
+            self.excl.push(ex);
         }
         LockSetId(id)
     }
@@ -106,14 +180,17 @@ impl LockTable {
         *self.elems.resolve(id)
     }
 
-    /// Returns `true` if the two locksets share no lock. Cached per
-    /// unordered id pair.
+    /// Returns `true` if holding set `a` never excludes holding set `b`:
+    /// the two locksets share no *conflicting* lock. Cached per unordered
+    /// id pair.
+    ///
+    /// Note `disjoint(s, s)` can be `true`: a set holding only the read
+    /// side of a reader-writer lock does not exclude another critical
+    /// section holding the same set, which is how loop-replicated origins
+    /// writing under only `rdlock` self-race.
     pub fn disjoint(&mut self, a: LockSetId, b: LockSetId) -> bool {
         if a == LockSetId::EMPTY || b == LockSetId::EMPTY {
             return true;
-        }
-        if a == b {
-            return false;
         }
         let key = if a.0 <= b.0 { (a.0, b.0) } else { (b.0, a.0) };
         if let Some(&d) = self.disjoint_cache.get(&key) {
@@ -121,8 +198,9 @@ impl LockTable {
             return d;
         }
         self.cache_misses += 1;
-        // Word-parallel miss path: one AND per 64 element ids.
-        let d = !self.bits[a.0 as usize].intersects(&self.bits[b.0 as usize]);
+        // Word-parallel miss path: one AND per 64 element ids, against the
+        // exclusion bitset so rw-mode asymmetry is respected.
+        let d = !self.bits[a.0 as usize].intersects(&self.excl[b.0 as usize]);
         self.disjoint_cache.insert(key, d);
         d
     }
@@ -130,7 +208,22 @@ impl LockTable {
     /// Uncached disjointness — used by the naive baseline detector to model
     /// per-pair lock-list comparison.
     pub fn disjoint_uncached(&self, a: LockSetId, b: LockSetId) -> bool {
-        !intersects(self.sets.resolve(a.0), self.sets.resolve(b.0))
+        let (ea, eb) = (self.sets.resolve(a.0), self.sets.resolve(b.0));
+        // Plain pairwise scan (the baseline models per-pair lock lists);
+        // element ids differ for the two sides of one rw lock, so a
+        // sorted-merge equality scan would miss read/write conflicts.
+        !ea.iter().any(|&x| {
+            let dx = self.elem_data(x);
+            eb.iter().any(|&y| conflicts(dx, self.elem_data(y)))
+        })
+    }
+
+    /// The element ids `id` conflicts with: itself for plain elements,
+    /// the paired write side for `RwRead`, itself plus the paired read
+    /// side for `RwWrite`. The paired side always exists (interning one
+    /// rw side eagerly interns the other).
+    pub fn conflict_ids(&self, id: u32) -> &[u32] {
+        &self.elem_conflicts[id as usize]
     }
 
     /// The bitset mirror of a canonical lockset.
@@ -138,9 +231,20 @@ impl LockTable {
         &self.bits[id.0 as usize]
     }
 
+    /// The exclusion bitset of a canonical lockset (conflict ids of its
+    /// members). `a` and `b` exclude each other iff `set_bits(a)`
+    /// intersects `excl_bits(b)`.
+    pub fn excl_bits(&self, id: LockSetId) -> &BitSet {
+        &self.excl[id.0 as usize]
+    }
+
     /// Returns `true` if every lockset in `ids` shares at least one common
-    /// lock element (the pre-loop "common guard" test). Any empty lockset —
-    /// or an empty iterator — yields `false`.
+    /// *self-excluding* lock element (the pre-loop "common guard" test).
+    /// Any empty lockset — or an empty iterator — yields `false`.
+    ///
+    /// The self-exclusion requirement keeps the test sound under rw
+    /// modes: a shared `RwRead` element is common to all readers but does
+    /// not serialize them, so it must not count as a guard.
     pub fn common_guard(&self, mut ids: impl Iterator<Item = LockSetId>) -> bool {
         let Some(first) = ids.next() else {
             return false;
@@ -155,7 +259,7 @@ impl LockTable {
                 return false;
             }
         }
-        true
+        acc.intersects(&self.selfx)
     }
 
     /// Number of distinct lock combinations seen.
@@ -169,25 +273,20 @@ impl LockTable {
         let set_bytes: usize = (0..self.sets.len() as u32)
             .map(|i| self.sets.resolve(i).capacity() * 4)
             .sum();
-        let bit_bytes: usize = self.bits.iter().map(BitSet::approx_bytes).sum();
+        let bit_bytes: usize = self
+            .bits
+            .iter()
+            .chain(self.excl.iter())
+            .map(BitSet::approx_bytes)
+            .sum();
+        let conflict_bytes: usize = self.elem_conflicts.iter().map(|c| c.capacity() * 4).sum();
         set_bytes
             + bit_bytes
-            + self.bits.capacity() * std::mem::size_of::<BitSet>()
+            + conflict_bytes
+            + (self.bits.capacity() + self.excl.capacity()) * std::mem::size_of::<BitSet>()
             + self.disjoint_cache.capacity() * std::mem::size_of::<((u32, u32), bool)>()
             + self.elems.len() * std::mem::size_of::<LockElem>()
     }
-}
-
-fn intersects(a: &[u32], b: &[u32]) -> bool {
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => return true,
-        }
-    }
-    false
 }
 
 #[cfg(test)]
@@ -249,6 +348,64 @@ mod tests {
         assert!(!t.common_guard([s_ab, LockSetId::EMPTY].into_iter()));
         assert!(!t.common_guard(std::iter::empty()));
         assert!(t.common_guard([s_c].into_iter()), "singleton guards itself");
+    }
+
+    #[test]
+    fn rw_modes_are_asymmetric() {
+        let mut t = LockTable::new();
+        let r = t.elem(LockElem::RwRead(ObjId(7)));
+        let w = t.elem(LockElem::RwWrite(ObjId(7)));
+        let p = t.elem(LockElem::Obj(ObjId(8)));
+        let s_r = t.set(vec![r]);
+        let s_w = t.set(vec![w]);
+        let s_rp = t.set(vec![r, p]);
+        // Two read-side holders do not exclude each other — even the same
+        // canonical set is self-disjoint.
+        assert!(t.disjoint(s_r, s_r));
+        // Read vs write and write vs write of the same lock exclude.
+        assert!(!t.disjoint(s_r, s_w));
+        assert!(!t.disjoint(s_w, s_r));
+        assert!(!t.disjoint(s_w, s_w));
+        // A plain element in the set restores self-exclusion.
+        assert!(!t.disjoint(s_rp, s_rp));
+        // Uncached scan agrees on every combination.
+        assert!(t.disjoint_uncached(s_r, s_r));
+        assert!(!t.disjoint_uncached(s_r, s_w));
+        assert!(!t.disjoint_uncached(s_w, s_w));
+        assert!(!t.disjoint_uncached(s_rp, s_rp));
+        // Executors behave like plain elements.
+        let e = t.elem(LockElem::Executor(3));
+        let s_e = t.set(vec![e]);
+        assert!(!t.disjoint(s_e, s_e));
+    }
+
+    #[test]
+    fn interning_one_rw_side_creates_the_pair() {
+        let mut t = LockTable::new();
+        let r = t.elem(LockElem::RwRead(ObjId(1)));
+        // The paired write side already exists with the next id.
+        let w = t.elem(LockElem::RwWrite(ObjId(1)));
+        assert_eq!(w, r + 1);
+        assert_eq!(t.elem_data(w), LockElem::RwWrite(ObjId(1)));
+    }
+
+    #[test]
+    fn common_guard_requires_a_self_excluding_elem() {
+        let mut t = LockTable::new();
+        let r = t.elem(LockElem::RwRead(ObjId(1)));
+        let w = t.elem(LockElem::RwWrite(ObjId(1)));
+        let p = t.elem(LockElem::Obj(ObjId(2)));
+        let s_r = t.set(vec![r]);
+        let s_rp = t.set(vec![r, p]);
+        let s_w = t.set(vec![w]);
+        // All sets share RwRead — but readers don't exclude each other.
+        assert!(!t.common_guard([s_r, s_r, s_rp].into_iter()));
+        // A common plain element guards.
+        assert!(t.common_guard([s_rp, s_rp].into_iter()));
+        // A common write side guards like a monitor.
+        assert!(t.common_guard([s_w, s_w].into_iter()));
+        // Read side vs write side have no common element id at all.
+        assert!(!t.common_guard([s_r, s_w].into_iter()));
     }
 
     /// Property test (PR 6 satellite): the word-parallel bitset

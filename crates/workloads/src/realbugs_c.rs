@@ -265,6 +265,88 @@ pub fn tdengine_c() -> RealBugModel {
     )
 }
 
+/// OpenSSL-style session-cache bug, C syntax (1 race — same structure as
+/// [`crate::realbugs::openssl_rwlock`]): the hit counter is bumped under
+/// `pthread_rwlock_rdlock` only, so two lookup threads race on it, while
+/// the insert path under `pthread_rwlock_wrlock` is exclusive.
+pub fn openssl_rwlock_c() -> RealBugModel {
+    cmodel(
+        "OpenSSL-rwlock",
+        1,
+        "lookup bumps the hit counter under rdlock only; insert under \
+         wrlock is exclusive, C syntax",
+        r#"
+        struct Cache { any sessions; any hits; };
+        void lookup(any c) {
+            pthread_rwlock_rdlock(&c);
+            x = c->sessions;          /* safe: excluded by wrlock insert */
+            c->hits = c;              /* RACE: write under the read lock */
+            pthread_rwlock_unlock(&c);
+        }
+        void insert(any c) {
+            pthread_rwlock_wrlock(&c);
+            c->sessions = c;
+            c->hits = c;
+            pthread_rwlock_unlock(&c);
+        }
+        void main() {
+            c = malloc(Cache);
+            pthread_create(&r1, lookup, c);
+            pthread_create(&r2, lookup, c);
+            pthread_create(&w, insert, c);
+        }
+    "#,
+    )
+}
+
+/// Apache-httpd-style fd-queue bug, C syntax (1 race — same structure as
+/// [`crate::realbugs::httpd_fdqueue`]): the payload handoff is ordered by
+/// `pthread_cond_signal` → `pthread_cond_wait`, the slot is
+/// mutex-guarded, but both sides update the idle counter outside the
+/// protocol.
+pub fn httpd_fdqueue_c() -> RealBugModel {
+    cmodel(
+        "httpd-fdqueue",
+        1,
+        "condvar handoff orders the payload; the idlers counter is \
+         updated outside the protocol, C syntax",
+        r#"
+        struct Queue { any slot; any payload; any idlers; };
+        struct Sync { any s; };
+        void listener(any q, any m, any c) {
+            q->payload = q;               /* ordered by signal -> wait */
+            pthread_mutex_lock(&m);
+            q->slot = q;
+            pthread_cond_signal(&c);
+            pthread_mutex_unlock(&m);
+            q->idlers = q;                /* RACE: post-signal stats */
+        }
+        void worker(any q, any m, any c) {
+            pthread_mutex_lock(&m);
+            pthread_cond_wait(&c, &m);
+            x = q->slot;
+            pthread_mutex_unlock(&m);
+            y = q->payload;               /* safe: after wait returns */
+            q->idlers = q;                /* RACE (other side) */
+        }
+        void main() {
+            q = malloc(Queue);
+            m = malloc(Sync);
+            c = malloc(Sync);
+            pthread_create(&l, listener, q, m, c);
+            pthread_create(&w, worker, q, m, c);
+        }
+    "#,
+    )
+}
+
+/// C-syntax siblings of the [`crate::realbugs::extended_models`] rows
+/// that have a C surface (the async-executor model has no pthread
+/// analogue and stays Java-syntax only).
+pub fn extended_c_models() -> Vec<RealBugModel> {
+    vec![openssl_rwlock_c(), httpd_fdqueue_c()]
+}
+
 /// All C-syntax models (the Table 10 rows whose code bases are C/C++).
 pub fn all_c_models() -> Vec<RealBugModel> {
     vec![
@@ -288,5 +370,12 @@ mod tests {
         assert_eq!(models.len(), 7);
         let total: usize = models.iter().map(|m| m.expected_races).sum();
         assert_eq!(total, 35); // 6+6+5+3+7+5+3
+    }
+
+    #[test]
+    fn extended_c_models_build() {
+        let models = extended_c_models();
+        assert_eq!(models.len(), 2);
+        assert!(models.iter().all(|m| m.expected_races == 1));
     }
 }

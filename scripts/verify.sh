@@ -2,9 +2,9 @@
 # Full offline verification: formatting, release build, complete test
 # suite (which diffs the checked-in golden JSON/SARIF reports under
 # tests/golden/), lints, and the PR 1/PR 2/PR 3/PR 5/PR 6 reports
-# (BENCH_pr1.json through BENCH_pr6.json at the repo root).
+# (BENCH_pr1.json through BENCH_pr7.json at the repo root).
 #
-# Bench groups that report cold end-to-end times (pr3, pr5, pr6) are
+# Bench groups that report cold end-to-end times (pr3, pr5, pr6, pr7) are
 # gated against the *committed* BENCH_*.json baselines: after each group
 # regenerates its report, `bench --regress` fails the script if any cold
 # row got more than 25% (and more than an absolute 5 ms) slower. The
@@ -32,7 +32,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # Snapshot the committed baselines before any group overwrites them.
 baseline_dir=$(mktemp -d)
 trap 'rm -rf "$baseline_dir"' EXIT
-for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json; do
+for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json; do
     if [ -f "$f" ]; then cp "$f" "$baseline_dir/$f"; fi
 done
 
@@ -51,8 +51,11 @@ cargo run --release --offline -p o2-bench --bin bench -- --group pr5
 echo "==> bench --group pr6 (writes BENCH_pr6.json)"
 cargo run --release --offline -p o2-bench --bin bench -- --group pr6
 
+echo "==> bench --group pr7 (writes BENCH_pr7.json)"
+cargo run --release --offline -p o2-bench --bin bench -- --group pr7
+
 echo "==> cold end-to-end regression gate (vs committed baselines)"
-for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json; do
+for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json; do
     if [ -f "$baseline_dir/$f" ]; then
         cargo run --release --offline -p o2-bench --bin bench -- \
             --regress "$baseline_dir/$f" "$f"
@@ -60,7 +63,7 @@ for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.j
 done
 
 echo "==> incremental warm-vs-cold equivalence"
-cargo test -q --offline --test incremental --test db_determinism --test roundtrip
+cargo test -q --offline --test incremental --test db_determinism --test roundtrip --test sync_primitives
 
 echo "==> golden report diffs (incl. mega presets)"
 cargo test -q --offline --test golden --test mega

@@ -88,6 +88,22 @@ fn zookeeper_pipeline_reports_match_goldens() {
 }
 
 #[test]
+fn openssl_rwlock_pipeline_reports_match_goldens() {
+    let m = o2_workloads::realbugs::openssl_rwlock();
+    let (json, sarif) = render(&m);
+    check("openssl_rwlock", "json", &json);
+    check("openssl_rwlock", "sarif", &sarif);
+}
+
+#[test]
+fn libuv_loop_pipeline_reports_match_goldens() {
+    let m = o2_workloads::realbugs::libuv_loop();
+    let (json, sarif) = render(&m);
+    check("libuv_loop", "json", &json);
+    check("libuv_loop", "sarif", &sarif);
+}
+
+#[test]
 fn goldens_are_byte_identical_across_thread_counts() {
     // The detect worker count must never leak into any rendering: every
     // thread count reproduces the checked-in goldens byte for byte, and

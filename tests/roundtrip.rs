@@ -112,6 +112,54 @@ fn realbug_models_roundtrip_structurally() {
 }
 
 #[test]
+fn extended_models_roundtrip_structurally() {
+    for model in o2_workloads::extended_models() {
+        assert_roundtrip(model.name, &model.program);
+    }
+}
+
+/// A kitchen-sink program touching every synchronization statement the
+/// surface syntax has — rwread/rwwrite blocks, wait/notify/notifyall,
+/// await points, and async-task spawns with executor and worker counts —
+/// must survive print/parse exactly.
+#[test]
+fn sync_primitives_roundtrip_structurally() {
+    let src = r#"
+        class S { field a; field b; }
+        class Cond { }
+        class K {
+            static method reader(s) { rwread (s) { x = s.a; } }
+            static method writer(s) { rwwrite (s) { s.a = s; } }
+            static method waiter(s, m, c) {
+                sync (m) { wait (c, m); x = s.b; }
+            }
+            static method poster(s, m, c) {
+                sync (m) { s.b = s; notify c; }
+                sync (m) { notifyall c; }
+            }
+            static method task(s) { s.a = s; await; x = s.a; }
+        }
+        class Main {
+            static method main() {
+                s = new S();
+                m = new Cond();
+                c = new Cond();
+                spawn thread K::reader(s);
+                spawn thread K::writer(s);
+                spawn thread K::waiter(s, m, c);
+                spawn thread K::poster(s, m, c);
+                spawn task K::task(s);
+                spawn task(3) K::task(s);
+                spawn task(2, 8) K::task(s) * 2;
+            }
+        }
+    "#;
+    let program = parser::parse(src).unwrap();
+    validate::assert_valid(&program);
+    assert_roundtrip("sync-primitives", &program);
+}
+
+#[test]
 fn figures_roundtrip_structurally() {
     assert_roundtrip("figure2", &o2_workloads::figures::figure2());
     assert_roundtrip("figure3", &o2_workloads::figures::figure3());
