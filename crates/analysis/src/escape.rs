@@ -167,7 +167,10 @@ mod tests {
             }
         "#;
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::insensitive()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::insensitive()),
+        );
         let esc = run_escape(&p, &pta);
         // Both g and i (reachable through g.cfg) escape.
         assert_eq!(esc.escaped.len(), 2);
@@ -185,7 +188,10 @@ mod tests {
             }
         "#;
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::insensitive()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::insensitive()),
+        );
         let esc = run_escape(&p, &pta);
         assert!(esc.escaped.is_empty());
         assert_eq!(esc.num_shared_accesses(), 0);
@@ -212,8 +218,11 @@ mod tests {
             }
         "#;
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-        let osa = run_osa(&p, &pta);
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
+        let osa = run_osa(&o2_ir::ProgramCtx::solo(&p), &pta);
         let esc = run_escape(&p, &pta);
         assert_eq!(
             osa.num_shared_accesses(),
@@ -244,7 +253,10 @@ mod tests {
             }
         "#;
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         let esc = run_escape(&p, &pta);
         // s and the thread object w both escape.
         assert_eq!(esc.escaped.len(), 2);

@@ -12,6 +12,7 @@
 //!
 //! ```
 //! use o2_ir::parser::parse;
+//! use o2_ir::ProgramCtx;
 //! use o2_pta::{analyze, Policy, PtaConfig};
 //! use o2_analysis::osa::run_osa;
 //!
@@ -31,8 +32,9 @@
 //!         }
 //!     }
 //! "#).unwrap();
-//! let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
-//! let osa = run_osa(&program, &pta);
+//! let ctx = ProgramCtx::solo(&program);
+//! let pta = analyze(&ctx, &PtaConfig::with_policy(Policy::origin1()));
+//! let osa = run_osa(&ctx, &pta);
 //! // S.data (thread writes / main reads) plus the constructor handoff W.s.
 //! assert_eq!(osa.shared_entries().count(), 2);
 //! ```

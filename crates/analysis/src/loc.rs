@@ -18,6 +18,7 @@
 
 use crate::osa::MemKey;
 use o2_db::FastMap;
+use o2_ir::ProgramId;
 
 /// Dense id of one interned memory location, valid for one analysis run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -34,14 +35,32 @@ impl LocId {
 /// The memory-location interner: `MemKey` ↔ dense [`LocId`].
 #[derive(Clone, Debug, Default)]
 pub struct LocTable {
+    program: ProgramId,
     map: FastMap<MemKey, u32>,
     keys: Vec<MemKey>,
 }
 
 impl LocTable {
-    /// Creates an empty table.
+    /// Creates an empty table namespaced to [`ProgramId::SOLO`].
     pub fn new() -> Self {
         LocTable::default()
+    }
+
+    /// Creates an empty table namespaced to `program`. Stages that consume
+    /// the table assert (in debug builds) that its program id matches the
+    /// [`o2_ir::ProgramCtx`] they run under, so `LocId`s from two programs
+    /// of a batch run can never be mixed.
+    pub fn for_program(program: ProgramId) -> Self {
+        LocTable {
+            program,
+            ..LocTable::default()
+        }
+    }
+
+    /// The program this table's dense ids belong to.
+    #[inline]
+    pub fn program(&self) -> ProgramId {
+        self.program
     }
 
     /// Interns `key`, returning its dense id. A key already interned keeps

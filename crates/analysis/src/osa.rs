@@ -18,6 +18,7 @@ use crate::loc::{LocId, LocTable};
 use o2_ir::ids::{ClassId, FieldId, GStmt};
 use o2_ir::program::Program;
 use o2_ir::util::SparseSet;
+use o2_ir::ProgramCtx;
 use o2_pta::{Mi, ObjId, PtaResult};
 use std::time::{Duration, Instant};
 
@@ -183,8 +184,8 @@ impl OsaResult {
 /// reachable method instance, querying OPA for the points-to sets of the
 /// access bases and attributing each access to the origins that may
 /// execute the enclosing method instance.
-pub fn run_osa(program: &Program, pta: &PtaResult) -> OsaResult {
-    run_osa_bounded(program, pta, None)
+pub fn run_osa(ctx: &ProgramCtx<'_>, pta: &PtaResult) -> OsaResult {
+    run_osa_bounded(ctx, pta, None)
 }
 
 /// Returns the dense slot for an interned id, growing the store on first
@@ -199,11 +200,21 @@ pub(crate) fn entry_slot(entries: &mut Vec<SharingEntry>, id: LocId) -> &mut Sha
 /// Like [`run_osa`], with a wall-clock budget: the scan stops early (and
 /// sets [`OsaResult::truncated`]) when the budget expires. Needed when
 /// scanning the method-instance explosion of deep object-sensitive runs.
-pub fn run_osa_bounded(program: &Program, pta: &PtaResult, budget: Option<Duration>) -> OsaResult {
+pub fn run_osa_bounded(
+    ctx: &ProgramCtx<'_>,
+    pta: &PtaResult,
+    budget: Option<Duration>,
+) -> OsaResult {
+    debug_assert_eq!(
+        pta.program_id,
+        ctx.id(),
+        "run_osa: PtaResult from a different ProgramCtx"
+    );
+    let program = ctx.program();
     let start = Instant::now();
     let deadline = budget.map(|b| start + b);
     let mut truncated = false;
-    let mut locs = LocTable::new();
+    let mut locs = LocTable::for_program(ctx.id());
     let mut entries: Vec<SharingEntry> = Vec::new();
     let mut sink = Vec::new();
     let mut scanned: u64 = 0;
@@ -276,8 +287,9 @@ mod tests {
 
     fn osa_for(src: &str, policy: Policy) -> (o2_ir::Program, PtaResult, OsaResult) {
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(policy));
-        let osa = run_osa(&p, &pta);
+        let ctx = o2_ir::ProgramCtx::solo(&p);
+        let pta = analyze(&ctx, &PtaConfig::with_policy(policy));
+        let osa = run_osa(&ctx, &pta);
         (p, pta, osa)
     }
 

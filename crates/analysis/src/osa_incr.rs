@@ -17,6 +17,7 @@ use o2_db::{
 };
 use o2_ir::ids::{ClassId, FieldId, GStmt};
 use o2_ir::program::Program;
+use o2_ir::ProgramCtx;
 use o2_pta::{CanonIndex, ObjId, PtaResult};
 use std::time::{Duration, Instant};
 
@@ -137,16 +138,27 @@ pub struct OsaIncr {
 /// rest, and rewrites the database section to exactly the artifacts of
 /// this run (stale entries are dropped).
 pub fn run_osa_incremental(
-    program: &Program,
+    ctx: &ProgramCtx<'_>,
     pta: &PtaResult,
     canon: &CanonIndex,
     db: &mut AnalysisDb,
     budget: Option<Duration>,
 ) -> OsaIncr {
+    debug_assert_eq!(
+        pta.program_id,
+        ctx.id(),
+        "run_osa_incremental: PtaResult from a different ProgramCtx"
+    );
+    debug_assert_eq!(
+        canon.program_id(),
+        ctx.id(),
+        "run_osa_incremental: CanonIndex from a different ProgramCtx"
+    );
+    let program = ctx.program();
     let start = Instant::now();
     let deadline = budget.map(|b| start + b);
     let mut truncated = false;
-    let mut locs = LocTable::new();
+    let mut locs = LocTable::for_program(ctx.id());
     let mut entries: Vec<SharingEntry> = Vec::new();
     let mut sink = Vec::new();
     let mut scanned: u64 = 0;
@@ -292,9 +304,10 @@ mod tests {
 
     fn setup(src: &str) -> (o2_ir::Program, o2_pta::PtaResult, CanonIndex) {
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let ctx = ProgramCtx::solo(&p);
+        let pta = analyze(&ctx, &PtaConfig::with_policy(Policy::origin1()));
         let digests = o2_ir::digest_program(&p);
-        let canon = CanonIndex::build(&p, &pta, &digests);
+        let canon = CanonIndex::build(&ctx, &pta, &digests);
         (p, pta, canon)
     }
 
@@ -320,15 +333,16 @@ mod tests {
     #[test]
     fn warm_replay_equals_cold_scan() {
         let (p, pta, canon) = setup(SRC);
-        let cold = run_osa(&p, &pta);
+        let ctx = ProgramCtx::solo(&p);
+        let cold = run_osa(&ctx, &pta);
         let mut db = AnalysisDb::new(Digest(1, 1));
         // First incremental run populates the store (everything rescanned).
-        let first = run_osa_incremental(&p, &pta, &canon, &mut db, None);
+        let first = run_osa_incremental(&ctx, &pta, &canon, &mut db, None);
         assert_eq!(first.mis_replayed, 0);
         assert!(first.mis_rescanned > 0);
         assert!(entries_equal(&first.result, &cold));
         // Second run replays everything.
-        let second = run_osa_incremental(&p, &pta, &canon, &mut db, None);
+        let second = run_osa_incremental(&ctx, &pta, &canon, &mut db, None);
         assert_eq!(second.mis_rescanned, 0);
         assert_eq!(second.mis_replayed, first.mis_rescanned);
         assert!(entries_equal(&second.result, &cold));
@@ -338,12 +352,13 @@ mod tests {
     fn edit_rescans_only_the_changed_instance() {
         let (p, pta, canon) = setup(SRC);
         let mut db = AnalysisDb::new(Digest(1, 1));
-        run_osa_incremental(&p, &pta, &canon, &mut db, None);
+        run_osa_incremental(&ProgramCtx::solo(&p), &pta, &canon, &mut db, None);
         // Edit main: add a second read. Only main's instance rescans.
         let edited = SRC.replace("x = s.data;", "x = s.data; y = s.extra;");
         let (p2, pta2, canon2) = setup(&edited);
-        let warm = run_osa_incremental(&p2, &pta2, &canon2, &mut db, None);
-        let cold = run_osa(&p2, &pta2);
+        let ctx2 = ProgramCtx::solo(&p2);
+        let warm = run_osa_incremental(&ctx2, &pta2, &canon2, &mut db, None);
+        let cold = run_osa(&ctx2, &pta2);
         assert!(entries_equal(&warm.result, &cold));
         assert_eq!(warm.mis_rescanned, 1, "only the edited main rescans");
         assert!(warm.mis_replayed > 0);

@@ -24,6 +24,8 @@
 //!                      (writes BENCH_pr6.json; see `--out`)
 //!         pr7          rwlock/condvar/async fixture precision + timing
 //!                      (writes BENCH_pr7.json; see `--out`)
+//!         pr8          whole-corpus batch throughput at 1/2/4 workers
+//!                      (writes BENCH_pr8.json; see `--out`)
 //!
 //! bench --regress BASELINE.json CURRENT.json
 //! ```
@@ -38,7 +40,7 @@
 //! `scripts/verify.sh` against the committed `BENCH_*.json` files.
 
 use o2_analysis::{run_escape, run_osa};
-use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5, pr6, pr7};
+use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5, pr6, pr7, pr8};
 use o2_detect::{detect, DetectConfig};
 use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 use o2_shb::{build_shb, ShbConfig};
@@ -90,6 +92,7 @@ fn main() {
             "pr5".into(),
             "pr6".into(),
             "pr7".into(),
+            "pr8".into(),
         ];
     }
     for g in &groups {
@@ -105,6 +108,7 @@ fn main() {
             "pr5" => pr5_group(iters, out.as_deref().unwrap_or("BENCH_pr5.json")),
             "pr6" => pr6_group(iters, out.as_deref().unwrap_or("BENCH_pr6.json")),
             "pr7" => pr7_group(iters, out.as_deref().unwrap_or("BENCH_pr7.json")),
+            "pr8" => pr8_group(iters, out.as_deref().unwrap_or("BENCH_pr8.json")),
             other => {
                 eprintln!("unknown group `{other}`");
                 usage();
@@ -174,7 +178,9 @@ fn table5_pta(iters: usize) {
                 timeout: Some(Duration::from_secs(10)),
                 ..Default::default()
             };
-            let d = time(iters, || analyze(&w.program, &cfg));
+            let d = time(iters, || {
+                analyze(&o2_ir::ProgramCtx::solo(&w.program), &cfg)
+            });
             cell("table5_pta", &format!("{preset_name}/{policy}"), d);
         }
     }
@@ -186,8 +192,13 @@ fn table7_osa(iters: usize) {
         let w = o2_workloads::preset_by_name(preset_name)
             .expect("preset exists")
             .generate();
-        let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
-        let d = time(iters, || run_osa(&w.program, &pta));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&w.program),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
+        let d = time(iters, || {
+            run_osa(&o2_ir::ProgramCtx::solo(&w.program), &pta)
+        });
         cell("table7_osa", &format!("osa/{preset_name}"), d);
         let d = time(iters, || run_escape(&w.program, &pta));
         cell("table7_osa", &format!("escape/{preset_name}"), d);
@@ -201,11 +212,21 @@ fn ablation(iters: usize) {
         let w = o2_workloads::preset_by_name(preset_name)
             .expect("preset exists")
             .generate();
-        let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
-        let mut osa = run_osa(&w.program, &pta);
-        let shb = build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&w.program),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
+        let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&w.program), &pta);
+        let shb = build_shb(
+            &o2_ir::ProgramCtx::solo(&w.program),
+            &pta,
+            &ShbConfig::default(),
+            &mut osa.locs,
+        );
         for (label, cfg) in [("naive", DetectConfig::naive()), ("o2", DetectConfig::o2())] {
-            let d = time(iters, || detect(&w.program, &pta, &osa, &shb, &cfg));
+            let d = time(iters, || {
+                detect(&o2_ir::ProgramCtx::solo(&w.program), &pta, &osa, &shb, &cfg)
+            });
             cell("ablation", &format!("{label}/{preset_name}"), d);
         }
     }
@@ -217,9 +238,12 @@ fn shb_queries(iters: usize) {
     let w = o2_workloads::preset_by_name("zookeeper")
         .expect("preset exists")
         .generate();
-    let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
+    let pta = analyze(
+        &o2_ir::ProgramCtx::solo(&w.program),
+        &PtaConfig::with_policy(Policy::origin1()),
+    );
     let shb = build_shb(
-        &w.program,
+        &o2_ir::ProgramCtx::solo(&w.program),
         &pta,
         &ShbConfig::default(),
         &mut o2_analysis::LocTable::new(),
@@ -283,7 +307,9 @@ fn scaling(iters: usize) {
                 timeout: Some(Duration::from_secs(10)),
                 ..Default::default()
             };
-            let d = time(iters, || analyze(&w.program, &cfg));
+            let d = time(iters, || {
+                analyze(&o2_ir::ProgramCtx::solo(&w.program), &cfg)
+            });
             cell("scaling", &format!("{policy}/{stmts}stmts"), d);
         }
     }
@@ -299,6 +325,23 @@ fn pr1_group(iters: usize, out: &str) {
     };
     let report = pr1::run(&opts);
     print!("{}", report.render());
+    println!("wrote {out}");
+}
+
+fn pr8_group(iters: usize, out: &str) {
+    let opts = pr8::Pr8Options {
+        iters,
+        workers: vec![1, 2, 4],
+        out_path: Some(out.to_string()),
+    };
+    let report = pr8::run(&opts);
+    print!("{}", report.render());
+    if !report.all_pass() {
+        eprintln!(
+            "pr8: batch output diverged across worker counts or scored no cross-program hits"
+        );
+        std::process::exit(1);
+    }
     println!("wrote {out}");
 }
 

@@ -164,8 +164,12 @@ pub fn solver_rows(presets: &[String], iters: usize) -> Vec<SolverRow> {
             difference_propagation: false,
             ..Default::default()
         };
-        let (time_diff, diff) = best_of(iters, || analyze(&w.program, &diff_cfg));
-        let (time_full, full) = best_of(iters, || analyze(&w.program, &full_cfg));
+        let (time_diff, diff) = best_of(iters, || {
+            analyze(&o2_ir::ProgramCtx::solo(&w.program), &diff_cfg)
+        });
+        let (time_full, full) = best_of(iters, || {
+            analyze(&o2_ir::ProgramCtx::solo(&w.program), &full_cfg)
+        });
         assert_eq!(
             diff.stats.num_edges, full.stats.num_edges,
             "{name}: propagation mode must not change the graph"
@@ -195,9 +199,17 @@ pub fn scaling_rows(
     let w = o2_workloads::preset_by_name(preset_name)
         .expect("scaling preset exists")
         .generate();
-    let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
-    let mut osa = run_osa(&w.program, &pta);
-    let shb = build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
+    let pta = analyze(
+        &o2_ir::ProgramCtx::solo(&w.program),
+        &PtaConfig::with_policy(Policy::origin1()),
+    );
+    let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&w.program), &pta);
+    let shb = build_shb(
+        &o2_ir::ProgramCtx::solo(&w.program),
+        &pta,
+        &ShbConfig::default(),
+        &mut osa.locs,
+    );
 
     let mut rows: Vec<ScalingRow> = Vec::new();
     let mut serial_json = String::new();
@@ -205,7 +217,9 @@ pub fn scaling_rows(
     let mut races = 0usize;
     for &t in threads {
         let cfg = DetectConfig::o2().with_threads(t.max(1));
-        let (time, report) = best_of(iters, || detect(&w.program, &pta, &osa, &shb, &cfg));
+        let (time, report) = best_of(iters, || {
+            detect(&o2_ir::ProgramCtx::solo(&w.program), &pta, &osa, &shb, &cfg)
+        });
         let json = report.to_json(&w.program);
         if rows.is_empty() {
             serial_json = json.clone();

@@ -105,15 +105,41 @@ fn tier_count(report: &PipelineReport, tier: Tier) -> usize {
 /// Runs one preset under one policy and summarizes the pipeline effect.
 pub fn preset_row(name: &str, policy: Policy, iters: usize) -> Option<PresetRow> {
     let w = o2_workloads::preset_by_name(name)?.generate();
-    let pta = analyze(&w.program, &PtaConfig::with_policy(policy));
-    let mut osa = run_osa(&w.program, &pta);
-    let shb = build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
-    let races = detect(&w.program, &pta, &osa, &shb, &DetectConfig::o2());
+    let pta = analyze(
+        &o2_ir::ProgramCtx::solo(&w.program),
+        &PtaConfig::with_policy(policy),
+    );
+    let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&w.program), &pta);
+    let shb = build_shb(
+        &o2_ir::ProgramCtx::solo(&w.program),
+        &pta,
+        &ShbConfig::default(),
+        &mut osa.locs,
+    );
+    let races = detect(
+        &o2_ir::ProgramCtx::solo(&w.program),
+        &pta,
+        &osa,
+        &shb,
+        &DetectConfig::o2(),
+    );
     let mut best = Duration::MAX;
-    let mut report = run_pipeline(&w.program, &pta, &osa, &shb, &races);
+    let mut report = run_pipeline(
+        &o2_ir::ProgramCtx::solo(&w.program),
+        &pta,
+        &osa,
+        &shb,
+        &races,
+    );
     for _ in 0..iters.max(1) {
         let t0 = Instant::now();
-        let r = run_pipeline(&w.program, &pta, &osa, &shb, &races);
+        let r = run_pipeline(
+            &o2_ir::ProgramCtx::solo(&w.program),
+            &pta,
+            &osa,
+            &shb,
+            &races,
+        );
         let d = t0.elapsed();
         if d < best {
             best = d;
@@ -146,11 +172,31 @@ fn realbugs_summary<'a>(
     let mut all_high = true;
     let mut removed = 0usize;
     for (program, _expected) in programs {
-        let pta = analyze(program, &PtaConfig::with_policy(Policy::origin1()));
-        let mut osa = run_osa(program, &pta);
-        let shb = build_shb(program, &pta, &ShbConfig::default(), &mut osa.locs);
-        let detected = detect(program, &pta, &osa, &shb, &DetectConfig::o2());
-        let report = run_pipeline(program, &pta, &osa, &shb, &detected);
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(program),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
+        let mut osa = run_osa(&o2_ir::ProgramCtx::solo(program), &pta);
+        let shb = build_shb(
+            &o2_ir::ProgramCtx::solo(program),
+            &pta,
+            &ShbConfig::default(),
+            &mut osa.locs,
+        );
+        let detected = detect(
+            &o2_ir::ProgramCtx::solo(program),
+            &pta,
+            &osa,
+            &shb,
+            &DetectConfig::o2(),
+        );
+        let report = run_pipeline(
+            &o2_ir::ProgramCtx::solo(program),
+            &pta,
+            &osa,
+            &shb,
+            &detected,
+        );
         models += 1;
         races += report.races.len();
         removed += report.pruned.len() + report.suppressed.len();

@@ -195,9 +195,17 @@ pub fn mega_row(name: &str, iters: usize) -> Option<MegaRow> {
 /// the pipeline prefix once, then re-runs detection per worker count.
 pub fn scaling_rows_any(name: &str, threads: &[usize], iters: usize) -> (Vec<ScalingRow>, usize) {
     let w = o2_workloads::workload_by_name(name).expect("scaling workload exists");
-    let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
-    let mut osa = run_osa(&w.program, &pta);
-    let shb = o2_shb::build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
+    let pta = analyze(
+        &o2_ir::ProgramCtx::solo(&w.program),
+        &PtaConfig::with_policy(Policy::origin1()),
+    );
+    let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&w.program), &pta);
+    let shb = o2_shb::build_shb(
+        &o2_ir::ProgramCtx::solo(&w.program),
+        &pta,
+        &ShbConfig::default(),
+        &mut osa.locs,
+    );
 
     let mut rows: Vec<ScalingRow> = Vec::new();
     let mut serial_json = String::new();
@@ -209,7 +217,7 @@ pub fn scaling_rows_any(name: &str, threads: &[usize], iters: usize) -> (Vec<Sca
         let mut report = None;
         for _ in 0..iters.max(1) {
             let t0 = Instant::now();
-            let r = detect(&w.program, &pta, &osa, &shb, &cfg);
+            let r = detect(&o2_ir::ProgramCtx::solo(&w.program), &pta, &osa, &shb, &cfg);
             best = best.min(t0.elapsed());
             report = Some(r);
         }
@@ -258,7 +266,7 @@ pub fn run(opts: &Pr6Options) -> Pr6Report {
         scaling_workload: opts.scaling_workload.clone(),
         races,
         scaling,
-        peak_rss_bytes: peak_rss_bytes(),
+        peak_rss_bytes: peak_rss_bytes().unwrap_or(0),
     };
     if let Some(path) = &opts.out_path {
         std::fs::write(path, report.to_json()).expect("write BENCH_pr6.json");

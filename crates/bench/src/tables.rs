@@ -206,21 +206,21 @@ pub fn table7(budget: Duration) -> String {
         // evaluation of OPA"); the reported time includes OPA.
         let t0 = Instant::now();
         let pta = o2_pta::analyze(
-            &w.program,
+            &o2_ir::ProgramCtx::solo(&w.program),
             &o2_pta::PtaConfig {
                 policy: Policy::origin1(),
                 timeout: Some(budget),
                 ..Default::default()
             },
         );
-        let osa = run_osa(&w.program, &pta);
+        let osa = run_osa(&o2_ir::ProgramCtx::solo(&w.program), &pta);
         let osa_time = t0.elapsed();
         // The escape baseline mirrors TLOA: a context-sensitive information
         // flow — here: 1-CFA pointer analysis plus the reachability
         // closure, its time reported end-to-end.
         let t1 = Instant::now();
         let pta_cfa = o2_pta::analyze(
-            &w.program,
+            &o2_ir::ProgramCtx::solo(&w.program),
             &o2_pta::PtaConfig {
                 policy: Policy::cfa1(),
                 timeout: Some(budget),
@@ -388,14 +388,14 @@ pub fn ablation(budget: Duration) -> String {
         .unwrap()
         .generate();
     let pta = o2_pta::analyze(
-        &w.program,
+        &o2_ir::ProgramCtx::solo(&w.program),
         &o2_pta::PtaConfig {
             policy: Policy::origin1(),
             timeout: Some(budget),
             ..Default::default()
         },
     );
-    let mut osa = run_osa(&w.program, &pta);
+    let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&w.program), &pta);
     let configs: Vec<(&str, DetectConfig)> = vec![
         ("naive (D4-style)", DetectConfig::naive()),
         ("+ integer-id HB", {
@@ -415,8 +415,14 @@ pub fn ablation(budget: Duration) -> String {
     ];
     for (name, mut cfg) in configs {
         cfg.timeout = Some(budget);
-        let shb = o2_shb::build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
-        let report = o2_detect::detect(&w.program, &pta, &osa, &shb, &cfg);
+        let shb = o2_shb::build_shb(
+            &o2_ir::ProgramCtx::solo(&w.program),
+            &pta,
+            &ShbConfig::default(),
+            &mut osa.locs,
+        );
+        let report =
+            o2_detect::detect(&o2_ir::ProgramCtx::solo(&w.program), &pta, &osa, &shb, &cfg);
         out.push_str(&row(
             &[
                 name.to_string(),

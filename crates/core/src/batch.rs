@@ -1,0 +1,262 @@
+//! Whole-corpus analysis: the engine behind `o2 batch <manifest>`.
+//!
+//! A batch run analyzes every program of a manifest under one engine
+//! configuration, sharing a single digest-keyed artifact pool
+//! ([`SharedStore`]) across all workers. Each program is claimed by
+//! exactly one worker, checked out a private database seeded from the
+//! pool, analyzed with the ordinary incremental pipeline, and published
+//! back — so any function body two programs share is analyzed once and
+//! replayed everywhere else. Because each program is analyzed exactly
+//! once per batch, every replay its [`IncrStats`] counts is necessarily
+//! a *cross-program* hit, and [`run_batch`] records it as such.
+//!
+//! Scheduling is a std-only work-stealing pool: `workers` scoped threads
+//! race on one atomic claim counter; whoever claims index `i` analyzes
+//! entry `i`. The merged JSON and SARIF reports are byte-identical for
+//! every worker count and claim order — they are pure functions of the
+//! per-program reports sorted by program name, and replay is
+//! byte-identical to recompute by the store's invariant. Only the
+//! [`BatchReport::summary`] table (wall times, hit counts) is
+//! scheduling-dependent, which is why it is a separate artifact.
+
+use crate::incremental::IncrStats;
+use crate::{AnalysisReport, O2};
+use o2_db::{SharedStore, StoreStats};
+use o2_ir::{Program, ProgramCtx, ProgramId};
+use o2_passes::{PipelineReport, Tier};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// One named program of a batch manifest.
+#[derive(Debug)]
+pub struct BatchEntry {
+    /// Report key; must be unique within the batch.
+    pub name: String,
+    /// The program to analyze.
+    pub program: Program,
+}
+
+/// Parses a batch manifest: one entry per line, `#` comments and blank
+/// lines ignored. Each line is either
+///
+/// - a workload spec the unified registry resolves (`avrora`,
+///   `mega-smoke`, `realbug:ZooKeeper`, `realbug-c:Memcached`), or
+/// - `<name> = <path>` — analyze the `.o2` (or `.c`) source file at
+///   `path`, reported under `name`. Relative paths resolve against the
+///   manifest's directory.
+///
+/// Duplicate names are an error: the merged report is keyed by name.
+pub fn parse_manifest(text: &str, base: &std::path::Path) -> Result<Vec<BatchEntry>, String> {
+    let mut entries: Vec<BatchEntry> = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let entry = if let Some((name, path)) = line.split_once('=') {
+            let (name, path) = (name.trim(), path.trim());
+            if name.is_empty() || path.is_empty() {
+                return Err(format!("manifest line {}: empty name or path", lineno + 1));
+            }
+            let full = base.join(path);
+            let src = std::fs::read_to_string(&full)
+                .map_err(|e| format!("manifest line {}: cannot read {path}: {e}", lineno + 1))?;
+            let program = if path.ends_with(".c") {
+                o2_ir::cfront::parse_c(&src)
+            } else {
+                o2_ir::parser::parse(&src)
+            }
+            .map_err(|e| format!("manifest line {}: {path}: {e}", lineno + 1))?;
+            BatchEntry {
+                name: name.to_string(),
+                program,
+            }
+        } else {
+            let w = o2_workloads::workload_by_name(line)
+                .ok_or_else(|| format!("manifest line {}: unknown workload {line}", lineno + 1))?;
+            BatchEntry {
+                name: w.name,
+                program: w.program,
+            }
+        };
+        if entries.iter().any(|e| e.name == entry.name) {
+            return Err(format!(
+                "manifest line {}: duplicate program name {}",
+                lineno + 1,
+                entry.name
+            ));
+        }
+        entries.push(entry);
+    }
+    if entries.is_empty() {
+        return Err("manifest has no entries".to_string());
+    }
+    Ok(entries)
+}
+
+/// Per-program outcome of a batch run (summary-table data; the full
+/// triaged report lives in [`BatchReport::json`]/[`BatchReport::sarif`]).
+#[derive(Debug)]
+pub struct ProgramOutcome {
+    /// The manifest name.
+    pub name: String,
+    /// Surviving races by tier: (high, medium, low).
+    pub tiers: (usize, usize, usize),
+    /// Replay/recompute counters, with `cross_program_hits` set.
+    pub stats: IncrStats,
+    /// Wall time of this program's analysis (scheduling-dependent).
+    pub wall_ms: f64,
+}
+
+/// Everything a batch run produces.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-program outcomes, sorted by name.
+    pub programs: Vec<ProgramOutcome>,
+    /// The merged JSON report ([`o2_passes::corpus_json`] bytes).
+    pub json: String,
+    /// The merged SARIF report ([`o2_passes::corpus_sarif`] bytes).
+    pub sarif: String,
+    /// Shared-store accounting for the whole run.
+    pub store: StoreStats,
+    /// Wall time of the whole batch.
+    pub wall_ms: f64,
+}
+
+impl BatchReport {
+    /// Total cross-program digest hits across all programs.
+    pub fn cross_program_hits(&self) -> usize {
+        self.programs
+            .iter()
+            .map(|p| p.stats.cross_program_hits)
+            .sum()
+    }
+
+    /// Total surviving races across all programs.
+    pub fn total_races(&self) -> usize {
+        self.programs
+            .iter()
+            .map(|p| p.tiers.0 + p.tiers.1 + p.tiers.2)
+            .sum()
+    }
+
+    /// Fraction of artifact lookups served by replay, in `[0, 1]`.
+    pub fn hit_rate(&self) -> f64 {
+        let (mut hits, mut total) = (0usize, 0usize);
+        for p in &self.programs {
+            let s = &p.stats;
+            hits += s.total_replays();
+            total +=
+                s.total_replays() + s.mis_rescanned + s.origins_walked + s.candidates_rechecked;
+        }
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// The corpus summary table. Wall times and hit counts here depend
+    /// on scheduling; everything byte-pinned lives in `json`/`sarif`.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:<28} {:>5} {:>6} {:>4} {:>10} {:>9}",
+            "program", "high", "medium", "low", "xprog-hits", "wall-ms"
+        );
+        for p in &self.programs {
+            let _ = writeln!(
+                out,
+                "{:<28} {:>5} {:>6} {:>4} {:>10} {:>9.1}",
+                p.name, p.tiers.0, p.tiers.1, p.tiers.2, p.stats.cross_program_hits, p.wall_ms
+            );
+        }
+        let _ = writeln!(
+            out,
+            "corpus: {} programs, {} races, {} cross-program hits ({:.1}% replay rate), {:.1} ms",
+            self.programs.len(),
+            self.total_races(),
+            self.cross_program_hits(),
+            self.hit_rate() * 100.0,
+            self.wall_ms
+        );
+        out
+    }
+}
+
+struct Slot {
+    pipeline: PipelineReport,
+    outcome: ProgramOutcome,
+}
+
+/// Analyzes every entry under `engine`'s configuration with `workers`
+/// threads sharing one artifact pool. See the module docs for the
+/// determinism contract.
+pub fn run_batch(engine: &O2, entries: &[BatchEntry], workers: usize) -> BatchReport {
+    let workers = workers.max(1);
+    let t0 = Instant::now();
+    let store = SharedStore::new(engine.config_sig());
+    let claim = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..entries.len()).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(entries.len()) {
+            scope.spawn(|| loop {
+                let i = claim.fetch_add(1, Ordering::Relaxed);
+                if i >= entries.len() {
+                    break;
+                }
+                let entry = &entries[i];
+                // ProgramId is the manifest index: unique per entry, and
+                // purely internal — nothing id-derived reaches a report.
+                let ctx = ProgramCtx::new(ProgramId(i as u32), &entry.name, &entry.program);
+                let t = Instant::now();
+                let mut db = store.checkout();
+                let (report, mut stats): (AnalysisReport, IncrStats) =
+                    engine.analyze_with_db_ctx(&ctx, &mut db);
+                // Each program runs once per batch, so every replay came
+                // from an artifact another program published.
+                stats.cross_program_hits = stats.total_replays();
+                store.publish(&db);
+                let pipeline = report.run_pipeline(&entry.program);
+                let outcome = ProgramOutcome {
+                    name: entry.name.clone(),
+                    tiers: (
+                        pipeline.tier_count(Tier::High),
+                        pipeline.tier_count(Tier::Medium),
+                        pipeline.tier_count(Tier::Low),
+                    ),
+                    stats,
+                    wall_ms: t.elapsed().as_secs_f64() * 1000.0,
+                };
+                slots.lock().expect("batch slots poisoned")[i] = Some(Slot { pipeline, outcome });
+            });
+        }
+    });
+
+    let slots = slots.into_inner().expect("batch slots poisoned");
+    let mut done: Vec<(usize, Slot)> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| (i, s.expect("every claimed entry completes")))
+        .collect();
+    done.sort_by(|a, b| entries[a.0].name.cmp(&entries[b.0].name));
+
+    let merged: Vec<(&str, &PipelineReport, &Program)> = done
+        .iter()
+        .map(|(i, s)| (entries[*i].name.as_str(), &s.pipeline, &entries[*i].program))
+        .collect();
+    let json = o2_passes::corpus_json(&merged);
+    let sarif = o2_passes::corpus_sarif(&merged);
+
+    BatchReport {
+        programs: done.into_iter().map(|(_, s)| s.outcome).collect(),
+        json,
+        sarif,
+        store: store.stats(),
+        wall_ms: t0.elapsed().as_secs_f64() * 1000.0,
+    }
+}

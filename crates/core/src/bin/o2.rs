@@ -41,6 +41,10 @@ struct Options {
     /// Second input of `diff-analyze` mode.
     file2: String,
     diff: bool,
+    /// `batch` mode: `file` is a manifest, not a program.
+    batch: bool,
+    /// Worker threads of `batch` mode (default: available parallelism).
+    workers: Option<usize>,
     policy: Policy,
     naive: bool,
     dispatcher_lock: bool,
@@ -67,6 +71,8 @@ fn parse_args() -> Result<Options, String> {
         file: String::new(),
         file2: String::new(),
         diff: false,
+        batch: false,
+        workers: None,
         policy: Policy::origin1(),
         naive: false,
         dispatcher_lock: true,
@@ -137,6 +143,17 @@ fn parse_args() -> Result<Options, String> {
                 let secs: u64 = v.parse().map_err(|_| "invalid --timeout")?;
                 opts.timeout = Some(Duration::from_secs(secs));
             }
+            "--workers" => {
+                i += 1;
+                let v = args.get(i).ok_or("--workers needs a value")?;
+                let n: usize = v.parse().map_err(|_| "invalid --workers")?;
+                if n == 0 {
+                    return Err(
+                        "--workers must be at least 1 (omit the flag to use all cores)".to_string(),
+                    );
+                }
+                opts.workers = Some(n);
+            }
             "--threads" => {
                 i += 1;
                 let v = args.get(i).ok_or("--threads needs a value")?;
@@ -163,6 +180,12 @@ fn parse_args() -> Result<Options, String> {
         opts.diff = true;
         opts.file = files[1].clone();
         opts.file2 = files[2].clone();
+    } else if files.first().map(String::as_str) == Some("batch") {
+        if files.len() != 2 {
+            return Err("batch needs exactly one manifest file".to_string());
+        }
+        opts.batch = true;
+        opts.file = files[1].clone();
     } else {
         match files.len() {
             0 => return Err("no input file".to_string()),
@@ -203,8 +226,54 @@ fn usage() {
          \x20         [--quiet] [--json] [--format text|json|sarif] [--c]\n\
          \x20         [--dot-shb] [--dot-callgraph] [--html FILE]\n\
          \x20         [--save-db FILE] [--load-db FILE]\n\
-         \x20      o2 diff-analyze <old.o2> <new.o2> [same flags]"
+         \x20      o2 diff-analyze <old.o2> <new.o2> [same flags]\n\
+         \x20      o2 batch <manifest> [--workers N] [--format json|sarif] [same flags]\n\
+         \x20         manifest: one entry per line — a registry workload name\n\
+         \x20         (avrora, mega-smoke, realbug:ZooKeeper, realbug-c:Memcached)\n\
+         \x20         or `name = path/to/file.o2`; `#` starts a comment"
     );
+}
+
+/// `o2 batch manifest`: analyze the whole corpus over a shared artifact
+/// pool. The merged report (JSON or SARIF, byte-identical for every
+/// `--workers` value and manifest order) goes to stdout; the
+/// scheduling-dependent summary table goes to stderr.
+fn run_batch_mode(engine: &O2, opts: &Options) -> ExitCode {
+    let path = std::path::Path::new(&opts.file);
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    let base = path.parent().unwrap_or(std::path::Path::new("."));
+    let entries = match o2::parse_manifest(&text, base) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let workers = opts.workers.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    });
+    let report = o2::run_batch(engine, &entries, workers);
+    match opts.format {
+        Some(Format::Sarif) => print!("{}", report.sarif),
+        Some(Format::Text) | None => {}
+        _ => print!("{}", report.json),
+    }
+    if !opts.quiet {
+        eprint!("{}", report.summary());
+    }
+    if report.total_races() == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
 }
 
 /// Reads, parses (selecting the frontend by `--c` or the extension), and
@@ -279,14 +348,6 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let program = match load_program(&opts.file, opts.c_frontend) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
-        }
-    };
-
     let mut builder = O2Builder::new().policy(opts.policy).shb_config(ShbConfig {
         event_dispatcher_lock: opts.dispatcher_lock,
         ..Default::default()
@@ -301,6 +362,19 @@ fn main() -> ExitCode {
         builder = builder.pta_timeout(t).detect_timeout(t);
     }
     let engine = builder.build();
+
+    if opts.batch {
+        // The positional argument is a manifest, not a program.
+        return run_batch_mode(&engine, &opts);
+    }
+
+    let program = match load_program(&opts.file, opts.c_frontend) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
 
     if opts.diff {
         let new = match load_program(&opts.file2, opts.c_frontend) {

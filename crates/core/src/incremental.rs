@@ -20,7 +20,7 @@ use crate::{AnalysisReport, Timings, O2};
 use o2_analysis::{run_osa_bounded, run_osa_incremental};
 use o2_db::{AnalysisDb, Digest, DigestHasher};
 use o2_detect::{detect, detect_incremental, DetectConfig};
-use o2_ir::{digest_diff, digest_program, DigestDiff, Program};
+use o2_ir::{digest_diff, digest_program, DigestDiff, Program, ProgramCtx};
 use o2_pta::{CanonIndex, Policy};
 use o2_shb::{build_shb, build_shb_incremental, ShbConfig};
 use std::collections::BTreeMap;
@@ -63,6 +63,9 @@ pub struct IncrStats {
     pub pairs_replayed: u64,
     /// Access pairs examined by this run's checks.
     pub pairs_rechecked: u64,
+    /// Artifacts replayed from another program's run of the shared batch
+    /// store (set by `o2 batch` orchestration; always 0 in solo runs).
+    pub cross_program_hits: usize,
 }
 
 impl IncrStats {
@@ -83,6 +86,13 @@ impl IncrStats {
             self.pairs_replayed,
             self.pairs_rechecked,
         )
+    }
+
+    /// Total artifacts replayed across all three stages. In a batch run,
+    /// where each program is analyzed exactly once against the shared
+    /// store, every replay is necessarily a cross-program hit.
+    pub fn total_replays(&self) -> usize {
+        self.mis_replayed + self.origins_replayed + self.candidates_replayed
     }
 }
 
@@ -178,8 +188,19 @@ impl O2 {
         program: &Program,
         db: &mut AnalysisDb,
     ) -> (AnalysisReport, IncrStats) {
-        let digests = digest_program(program);
-        self.analyze_with_db_prepared(program, db, &digests)
+        self.analyze_with_db_ctx(&ProgramCtx::solo(program), db)
+    }
+
+    /// [`O2::analyze_with_db`] under an explicit [`ProgramCtx`] — the
+    /// entry point batch workers use, each with its own context and
+    /// checked-out database.
+    pub fn analyze_with_db_ctx(
+        &self,
+        ctx: &ProgramCtx<'_>,
+        db: &mut AnalysisDb,
+    ) -> (AnalysisReport, IncrStats) {
+        let digests = digest_program(ctx.program());
+        self.analyze_with_db_prepared_ctx(ctx, db, &digests)
     }
 
     /// [`O2::analyze_with_db`] with the program digests supplied by the
@@ -193,6 +214,16 @@ impl O2 {
         db: &mut AnalysisDb,
         digests: &o2_ir::ProgramDigests,
     ) -> (AnalysisReport, IncrStats) {
+        self.analyze_with_db_prepared_ctx(&ProgramCtx::solo(program), db, digests)
+    }
+
+    /// [`O2::analyze_with_db_prepared`] under an explicit [`ProgramCtx`].
+    pub fn analyze_with_db_prepared_ctx(
+        &self,
+        ctx: &ProgramCtx<'_>,
+        db: &mut AnalysisDb,
+        digests: &o2_ir::ProgramDigests,
+    ) -> (AnalysisReport, IncrStats) {
         let t0 = Instant::now();
         let cfg_sig = self.config_sig();
         if !db.compatible_with(cfg_sig) {
@@ -200,7 +231,7 @@ impl O2 {
         }
         db.config_sig = cfg_sig;
 
-        let pta = o2_pta::analyze(program, &self.pta);
+        let pta = o2_pta::analyze(ctx, &self.pta);
         let t_pta = pta.duration;
         let down_budget = if pta.timed_out {
             Some(Duration::from_millis(500))
@@ -209,19 +240,19 @@ impl O2 {
         };
 
         if pta.timed_out {
-            let mut osa = run_osa_bounded(program, &pta, down_budget);
+            let mut osa = run_osa_bounded(ctx, &pta, down_budget);
             let t_osa = osa.duration;
             let shb_cfg = ShbConfig {
                 timeout: self.shb.timeout.or(down_budget),
                 ..self.shb.clone()
             };
-            let shb = build_shb(program, &pta, &shb_cfg, &mut osa.locs);
+            let shb = build_shb(ctx, &pta, &shb_cfg, &mut osa.locs);
             let t_shb = shb.duration;
             let detect_cfg = DetectConfig {
                 timeout: Some(Duration::from_millis(500)),
                 ..self.detect.clone()
             };
-            let races = detect(program, &pta, &osa, &shb, &detect_cfg);
+            let races = detect(ctx, &pta, &osa, &shb, &detect_cfg);
             let t_detect = races.duration;
             let report = AnalysisReport {
                 pta,
@@ -239,21 +270,21 @@ impl O2 {
             return (report, IncrStats::default());
         }
 
-        let canon = CanonIndex::build(program, &pta, digests);
-        let mut osa = run_osa_incremental(program, &pta, &canon, db, down_budget);
+        let canon = CanonIndex::build(ctx, &pta, digests);
+        let mut osa = run_osa_incremental(ctx, &pta, &canon, db, down_budget);
         let t_osa = osa.result.duration;
         let shb_cfg = ShbConfig {
             timeout: self.shb.timeout.or(down_budget),
             ..self.shb.clone()
         };
-        let shb = build_shb_incremental(program, &pta, &shb_cfg, &canon, &mut osa.result.locs, db);
+        let shb = build_shb_incremental(ctx, &pta, &shb_cfg, &canon, &mut osa.result.locs, db);
         let t_shb = shb.graph.duration;
         let detect_cfg = DetectConfig {
             timeout: self.detect.timeout.or(self.pta.timeout),
             ..self.detect.clone()
         };
         let det = detect_incremental(
-            program,
+            ctx,
             &pta,
             &osa.result,
             &shb.graph,
@@ -288,6 +319,7 @@ impl O2 {
             candidates_rechecked: det.candidates_rechecked,
             pairs_replayed: det.pairs_replayed,
             pairs_rechecked: det.pairs_rechecked,
+            cross_program_hits: 0,
         };
         let report = AnalysisReport {
             pta,

@@ -35,13 +35,16 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod incremental;
 
+pub use batch::{parse_manifest, run_batch, BatchEntry, BatchReport, ProgramOutcome};
 pub use incremental::{DiffAnalysis, IncrStats};
 
 use o2_analysis::{run_osa_bounded, OsaResult};
 use o2_detect::{detect, DetectConfig, RaceReport};
 use o2_ir::program::Program;
+use o2_ir::{ProgramCtx, ProgramId};
 use o2_pta::{Policy, PtaConfig, PtaResult};
 use o2_shb::{build_shb, ShbConfig, ShbGraph};
 use std::time::{Duration, Instant};
@@ -112,6 +115,12 @@ impl AnalysisReport {
         self.races.races.len()
     }
 
+    /// The program namespace this report's dense ids belong to
+    /// ([`ProgramId::SOLO`] unless the report came from a batch run).
+    pub fn program_id(&self) -> ProgramId {
+        self.pta.program_id
+    }
+
     /// Runs the deadlock analysis (§3's "beyond race detection" client)
     /// over this report's SHB graph.
     pub fn detect_deadlocks(&self, program: &Program) -> o2_detect::DeadlockReport {
@@ -128,7 +137,10 @@ impl AnalysisReport {
     /// pruning, guarded-by inference, RacerD agreement, deadlock and
     /// over-sync checks) over this report and returns the triaged result.
     pub fn run_pipeline(&self, program: &Program) -> o2_passes::PipelineReport {
-        o2_passes::run_pipeline(program, &self.pta, &self.osa, &self.shb, &self.races)
+        // Rebuild a context in this report's own namespace so the
+        // pipeline's ProgramCtx agreement asserts hold for batch reports.
+        let ctx = ProgramCtx::new(self.program_id(), "", program);
+        o2_passes::run_pipeline(&ctx, &self.pta, &self.osa, &self.shb, &self.races)
     }
 
     /// Per-structure heap estimates for this run's long-lived state.
@@ -194,26 +206,25 @@ impl MemoryFootprint {
 }
 
 /// Peak resident-set size of the current process in bytes (`VmHWM` from
-/// `/proc/self/status`). Returns 0 on platforms without procfs — callers
-/// must treat 0 as "unavailable", not "tiny".
-pub fn peak_rss_bytes() -> usize {
+/// `/proc/self/status`). Returns `None` on platforms without procfs (or
+/// when the field is missing/unparsable), so callers can distinguish
+/// "unavailable" from a genuinely small peak.
+pub fn peak_rss_bytes() -> Option<usize> {
     #[cfg(target_os = "linux")]
     {
-        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
-            for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
-                    let kb: usize = rest
-                        .trim()
-                        .trim_end_matches("kB")
-                        .trim()
-                        .parse()
-                        .unwrap_or(0);
-                    return kb * 1024;
-                }
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        for line in status.lines() {
+            if let Some(rest) = line.strip_prefix("VmHWM:") {
+                let kb: usize = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+                return Some(kb * 1024);
             }
         }
+        None
     }
-    0
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
 }
 
 /// Builder for an [`O2`] analyzer (C-BUILDER).
@@ -301,10 +312,19 @@ impl Default for O2 {
 }
 
 impl O2 {
-    /// Runs the full pipeline on `program`.
+    /// Runs the full pipeline on `program` in the solo namespace.
     pub fn analyze(&self, program: &Program) -> AnalysisReport {
+        self.analyze_ctx(&ProgramCtx::solo(program))
+    }
+
+    /// Runs the full pipeline under an explicit [`ProgramCtx`]. All dense
+    /// id tables of the resulting report (points-to arena, `LocTable`,
+    /// SHB graph) are namespaced to `ctx.id()`; two contexts can run
+    /// concurrently from different threads because nothing here touches
+    /// shared mutable state.
+    pub fn analyze_ctx(&self, ctx: &ProgramCtx<'_>) -> AnalysisReport {
         let t0 = Instant::now();
-        let pta = o2_pta::analyze(program, &self.pta);
+        let pta = o2_pta::analyze(ctx, &self.pta);
         let t_pta = pta.duration;
         // The pointer-analysis stage budget also bounds the OSA scan: deep
         // object-sensitive runs can explode the method-instance count. If
@@ -316,7 +336,7 @@ impl O2 {
         } else {
             self.pta.timeout
         };
-        let mut osa = run_osa_bounded(program, &pta, down_budget);
+        let mut osa = run_osa_bounded(ctx, &pta, down_budget);
         let t_osa = osa.duration;
         let shb_cfg = ShbConfig {
             timeout: self.shb.timeout.or(down_budget),
@@ -324,7 +344,7 @@ impl O2 {
         };
         // SHB interns into OSA's location table so every downstream
         // consumer shares one dense id space.
-        let shb = build_shb(program, &pta, &shb_cfg, &mut osa.locs);
+        let shb = build_shb(ctx, &pta, &shb_cfg, &mut osa.locs);
         let t_shb = shb.duration;
         let detect_cfg = if pta.timed_out {
             DetectConfig {
@@ -339,7 +359,7 @@ impl O2 {
                 ..self.detect.clone()
             }
         };
-        let races = detect(program, &pta, &osa, &shb, &detect_cfg);
+        let races = detect(ctx, &pta, &osa, &shb, &detect_cfg);
         let t_detect = races.duration;
         AnalysisReport {
             pta,

@@ -33,10 +33,12 @@
 pub mod codec;
 pub mod digest;
 pub mod fxmap;
+pub mod store;
 
 pub use codec::{DbError, Reader, Writer};
 pub use digest::{digest_of_sorted, mix64, Digest, DigestHasher};
 pub use fxmap::{FastMap, FastSet, FxBuildHasher, FxHasher};
+pub use store::{SharedStore, StoreStats};
 
 use std::collections::{BTreeMap, HashMap};
 

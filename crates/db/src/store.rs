@@ -1,0 +1,319 @@
+//! The shared artifact store of a whole-corpus (`o2 batch`) run.
+//!
+//! Replay in this database is keyed purely by *content* digests: an
+//! artifact is reused iff its stored signature equals the signature
+//! recomputed from the current program and solver state. Nothing in that
+//! invariant mentions which program minted the artifact — two programs
+//! that share a function body (same canonical digests, same points-to
+//! partition signature) produce byte-identical artifacts for it. A
+//! batch run exploits this by pooling every worker's artifacts in one
+//! [`SharedStore`]: each program checks out a private [`AnalysisDb`]
+//! seeded from the pool, runs the ordinary incremental pipeline against
+//! it, and publishes its artifacts back for programs claimed later.
+//!
+//! The pool serializes access with a [`Mutex`]; workers hold the lock
+//! only while copying artifacts in or out, never while analyzing. The
+//! *reports* of a batch run are byte-identical regardless of worker
+//! count or claim order because replay is byte-identical to recompute —
+//! sharing changes how fast a program analyzes, never what it reports.
+//! Only the [`StoreStats`] counters (and wall-clock numbers derived
+//! from them) depend on scheduling.
+
+use crate::{AnalysisDb, DbLockElem, DbMemKey, DbRace, DbStmt, Digest};
+use std::sync::Mutex;
+
+/// Scheduling-dependent accounting of one batch run's shared store.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Databases checked out (one per program analyzed).
+    pub checkouts: usize,
+    /// Databases published back.
+    pub publishes: usize,
+    /// Artifacts copied out of the pool into checkouts.
+    pub artifacts_seeded: usize,
+    /// New artifacts the pool accepted from publishes (duplicates of
+    /// already-pooled digests are dropped, not overwritten).
+    pub artifacts_accepted: usize,
+}
+
+/// A digest-keyed artifact pool shared by every worker of a batch run.
+#[derive(Debug, Default)]
+pub struct SharedStore {
+    inner: Mutex<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    db: AnalysisDb,
+    stats: StoreStats,
+}
+
+impl SharedStore {
+    /// Creates an empty pool for runs under `config_sig`.
+    pub fn new(config_sig: Digest) -> Self {
+        SharedStore {
+            inner: Mutex::new(Inner {
+                db: AnalysisDb::new(config_sig),
+                stats: StoreStats::default(),
+            }),
+        }
+    }
+
+    /// Checks out a private database seeded with every pooled artifact.
+    /// The checkout carries no program identity (`program_sig` stays
+    /// default), so `AnalysisDb::compatible_with` accepts it for any
+    /// program analyzed under the pool's configuration.
+    pub fn checkout(&self) -> AnalysisDb {
+        let mut inner = self.inner.lock().expect("shared store poisoned");
+        let mut db = AnalysisDb::new(inner.db.config_sig);
+        let seeded = db.absorb_artifacts(&inner.db);
+        inner.stats.checkouts += 1;
+        inner.stats.artifacts_seeded += seeded;
+        db
+    }
+
+    /// Publishes a worker's post-run database back into the pool. Only
+    /// artifacts whose digest the pool has not seen yet are copied (a
+    /// digest collision means identical content, so first-in wins).
+    /// Returns how many artifacts the pool accepted.
+    pub fn publish(&self, db: &AnalysisDb) -> usize {
+        let mut inner = self.inner.lock().expect("shared store poisoned");
+        let accepted = inner.db.absorb_artifacts(db);
+        inner.stats.publishes += 1;
+        inner.stats.artifacts_accepted += accepted;
+        accepted
+    }
+
+    /// Point-in-time copy of the pool's accounting.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().expect("shared store poisoned").stats
+    }
+
+    /// Total artifacts currently pooled, by section.
+    pub fn pooled(&self) -> (usize, usize, usize) {
+        let inner = self.inner.lock().expect("shared store poisoned");
+        (
+            inner.db.osa_mi.len(),
+            inner.db.shb_origin.len(),
+            inner.db.verdicts.len(),
+        )
+    }
+}
+
+/// A stable-name-id remap: index = id in the source table, value = id in
+/// the destination table.
+fn name_remap(dst: &mut crate::StableIds, src: &crate::StableIds) -> Vec<u32> {
+    (0..src.len() as u32)
+        .map(|id| dst.intern(src.resolve(id).expect("dense StableIds")))
+        .collect()
+}
+
+fn remap_stmt(s: DbStmt, m: &[u32]) -> DbStmt {
+    DbStmt {
+        method: m[s.method as usize],
+        index: s.index,
+    }
+}
+
+fn remap_key(k: DbMemKey, m: &[u32]) -> DbMemKey {
+    match k {
+        DbMemKey::Field { obj, field } => DbMemKey::Field {
+            obj,
+            field: m[field as usize],
+        },
+        DbMemKey::Static { class, field } => DbMemKey::Static {
+            class: m[class as usize],
+            field: m[field as usize],
+        },
+    }
+}
+
+fn remap_elem(e: DbLockElem, m: &[u32]) -> DbLockElem {
+    match e {
+        DbLockElem::Class(c) => DbLockElem::Class(m[c as usize]),
+        DbLockElem::AtomicCell(d, f) => DbLockElem::AtomicCell(d, m[f as usize]),
+        other => other,
+    }
+}
+
+impl AnalysisDb {
+    /// Copies `other`'s artifact sections (OSA contributions, SHB
+    /// subgraphs, detection verdicts) into this database, translating
+    /// every embedded stable name id from `other`'s name table into this
+    /// one's. Digests already present are kept as-is — equal digests
+    /// imply equal canonical content. Program-identity sections
+    /// (`program_sig`, function digests, cached reports) are *not*
+    /// absorbed; they describe one program, not a pool.
+    ///
+    /// Returns the number of artifacts actually copied.
+    pub fn absorb_artifacts(&mut self, other: &AnalysisDb) -> usize {
+        let m = name_remap(&mut self.names, &other.names);
+        let mut copied = 0usize;
+        for (k, v) in &other.osa_mi {
+            if self.osa_mi.contains_key(k) {
+                continue;
+            }
+            let mut art = v.clone();
+            for a in &mut art.accesses {
+                a.key = remap_key(a.key, &m);
+            }
+            self.osa_mi.insert(*k, art);
+            copied += 1;
+        }
+        for (k, v) in &other.shb_origin {
+            if self.shb_origin.contains_key(k) {
+                continue;
+            }
+            let mut art = v.clone();
+            for set in &mut art.sets {
+                for e in set.iter_mut() {
+                    *e = remap_elem(*e, &m);
+                }
+            }
+            for a in &mut art.accesses {
+                a.key = remap_key(a.key, &m);
+                a.stmt = remap_stmt(a.stmt, &m);
+            }
+            for a in &mut art.acquires {
+                a.stmt = remap_stmt(a.stmt, &m);
+                for e in &mut a.elems {
+                    *e = remap_elem(*e, &m);
+                }
+            }
+            for e in art.entry_edges.iter_mut().chain(art.join_edges.iter_mut()) {
+                e.stmt = remap_stmt(e.stmt, &m);
+            }
+            for ev in art.waits.iter_mut().chain(art.notifies.iter_mut()) {
+                ev.stmt = remap_stmt(ev.stmt, &m);
+            }
+            self.shb_origin.insert(*k, art);
+            copied += 1;
+        }
+        for (k, v) in &other.verdicts {
+            if self.verdicts.contains_key(k) {
+                continue;
+            }
+            let mut art = v.clone();
+            for DbRace { key, a, b } in &mut art.races {
+                *key = remap_key(*key, &m);
+                a.stmt = remap_stmt(a.stmt, &m);
+                b.stmt = remap_stmt(b.stmt, &m);
+            }
+            self.verdicts.insert(*k, art);
+            copied += 1;
+        }
+        copied
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DbOsaAccess, DbRaceAccess, OsaMiArtifact, VerdictArtifact};
+
+    fn db_with_field_artifact(field_name: &str, filler: &[&str]) -> AnalysisDb {
+        let mut db = AnalysisDb::new(Digest(7, 7));
+        // Interning unrelated names first shifts the ids, so a correct
+        // absorb must remap rather than copy them.
+        for f in filler {
+            db.names.intern(f);
+        }
+        let field = db.names.intern(field_name);
+        db.osa_mi.insert(
+            Digest(1, 1),
+            OsaMiArtifact {
+                sig: Digest(2, 2),
+                accesses: vec![DbOsaAccess {
+                    key: DbMemKey::Field {
+                        obj: Digest(3, 3),
+                        field,
+                    },
+                    index: 0,
+                    is_write: true,
+                }],
+            },
+        );
+        db
+    }
+
+    #[test]
+    fn absorb_remaps_name_ids() {
+        let a = db_with_field_artifact("data", &[]);
+        let b = db_with_field_artifact("data", &["x", "y", "z"]);
+        let mut pool = AnalysisDb::new(Digest(7, 7));
+        assert_eq!(pool.absorb_artifacts(&a), 1);
+        // Same digest: b's copy is dropped, not overwritten.
+        assert_eq!(pool.absorb_artifacts(&b), 0);
+        let art = &pool.osa_mi[&Digest(1, 1)];
+        match art.accesses[0].key {
+            DbMemKey::Field { field, .. } => {
+                assert_eq!(pool.names.resolve(field), Some("data"));
+            }
+            _ => panic!("wrong key kind"),
+        }
+    }
+
+    #[test]
+    fn absorb_keeps_distinct_digests() {
+        let a = db_with_field_artifact("data", &[]);
+        let mut b = AnalysisDb::new(Digest(7, 7));
+        let f = b.names.intern("other");
+        b.verdicts.insert(
+            Digest(9, 9),
+            VerdictArtifact {
+                races: vec![DbRace {
+                    key: DbMemKey::Static { class: f, field: f },
+                    a: DbRaceAccess {
+                        origin: Digest(4, 4),
+                        stmt: DbStmt {
+                            method: b.names.intern("M.run/0"),
+                            index: 1,
+                        },
+                        is_write: true,
+                    },
+                    b: DbRaceAccess {
+                        origin: Digest(5, 5),
+                        stmt: DbStmt {
+                            method: 1,
+                            index: 2,
+                        },
+                        is_write: false,
+                    },
+                }],
+                ..VerdictArtifact::default()
+            },
+        );
+        let mut pool = AnalysisDb::new(Digest(7, 7));
+        assert_eq!(pool.absorb_artifacts(&a) + pool.absorb_artifacts(&b), 2);
+        assert_eq!(pool.osa_mi.len(), 1);
+        assert_eq!(pool.verdicts.len(), 1);
+        let v = &pool.verdicts[&Digest(9, 9)];
+        assert_eq!(
+            pool.names.resolve(match v.races[0].key {
+                DbMemKey::Static { class, .. } => class,
+                _ => panic!(),
+            }),
+            Some("other")
+        );
+        assert_eq!(
+            pool.names.resolve(v.races[0].a.stmt.method),
+            Some("M.run/0")
+        );
+    }
+
+    #[test]
+    fn shared_store_checkout_publish_roundtrip() {
+        let store = SharedStore::new(Digest(7, 7));
+        let first = store.checkout();
+        assert_eq!(first.osa_mi.len(), 0);
+        store.publish(&db_with_field_artifact("data", &[]));
+        let second = store.checkout();
+        assert_eq!(second.osa_mi.len(), 1, "pool seeds later checkouts");
+        let stats = store.stats();
+        assert_eq!(stats.checkouts, 2);
+        assert_eq!(stats.publishes, 1);
+        assert_eq!(stats.artifacts_accepted, 1);
+        assert_eq!(stats.artifacts_seeded, 1);
+        assert_eq!(store.pooled(), (1, 0, 0));
+    }
+}

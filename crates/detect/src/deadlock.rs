@@ -266,9 +266,12 @@ mod tests {
 
     fn deadlocks(src: &str) -> (o2_ir::Program, ShbGraph, DeadlockReport) {
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         let shb = build_shb(
-            &p,
+            &o2_ir::ProgramCtx::solo(&p),
             &pta,
             &ShbConfig::default(),
             &mut o2_analysis::LocTable::new(),
@@ -489,9 +492,12 @@ mod gate_tests {
             }
         "#;
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         let shb = build_shb(
-            &p,
+            &o2_ir::ProgramCtx::solo(&p),
             &pta,
             &ShbConfig::default(),
             &mut o2_analysis::LocTable::new(),

@@ -146,10 +146,24 @@ mod tests {
             }
         "#;
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-        let mut osa = run_osa(&p, &pta);
-        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
-        let report = detect(&p, &pta, &osa, &shb, &DetectConfig::o2());
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
+        let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&p), &pta);
+        let shb = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &ShbConfig::default(),
+            &mut osa.locs,
+        );
+        let report = detect(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &osa,
+            &shb,
+            &DetectConfig::o2(),
+        );
         let html = render_html(&p, &pta, &report);
         assert!(html.starts_with("<!DOCTYPE html>"));
         assert!(html.contains("<b>1</b>races"), "{html}");

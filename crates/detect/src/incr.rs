@@ -31,6 +31,7 @@ use o2_db::{
 };
 use o2_ir::ids::{GStmt, MethodId};
 use o2_ir::program::Program;
+use o2_ir::ProgramCtx;
 use o2_pta::{CanonIndex, OriginId, PtaResult};
 use o2_shb::{LockElem, ShbGraph};
 use std::collections::{BTreeMap, BTreeSet};
@@ -368,7 +369,7 @@ fn race_from_db(
 /// the run timed out.
 #[allow(clippy::too_many_arguments)]
 pub fn detect_incremental(
-    program: &Program,
+    ctx: &ProgramCtx<'_>,
     pta: &PtaResult,
     osa: &OsaResult,
     shb: &ShbGraph,
@@ -377,6 +378,22 @@ pub fn detect_incremental(
     fresh_base: &[u32],
     db: &mut AnalysisDb,
 ) -> DetectIncr {
+    debug_assert_eq!(
+        pta.program_id,
+        ctx.id(),
+        "detect_incremental: PtaResult from a different ProgramCtx"
+    );
+    debug_assert_eq!(
+        shb.program_id,
+        ctx.id(),
+        "detect_incremental: ShbGraph from a different ProgramCtx"
+    );
+    debug_assert_eq!(
+        canon.program_id(),
+        ctx.id(),
+        "detect_incremental: CanonIndex from a different ProgramCtx"
+    );
+    let program = ctx.program();
     let start = Instant::now();
     let deadline = config.timeout.map(|t| start + t);
     let mut report = RaceReport::default();
@@ -563,10 +580,13 @@ mod tests {
 
     fn stages(src: &str) -> Stages {
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         let digests = o2_ir::digest_program(&p);
-        let canon = CanonIndex::build(&p, &pta, &digests);
-        let osa = run_osa(&p, &pta);
+        let canon = CanonIndex::build(&o2_ir::ProgramCtx::solo(&p), &pta, &digests);
+        let osa = run_osa(&o2_ir::ProgramCtx::solo(&p), &pta);
         Stages { p, pta, canon, osa }
     }
 
@@ -585,16 +605,22 @@ mod tests {
         let cfg = DetectConfig::o2();
         let mut db = AnalysisDb::new(Digest(1, 1));
         let shb = build_shb_incremental(
-            &s.p,
+            &o2_ir::ProgramCtx::solo(&s.p),
             &s.pta,
             &ShbConfig::default(),
             &s.canon,
             &mut s.osa.locs,
             &mut db,
         );
-        let cold = detect(&s.p, &s.pta, &s.osa, &shb.graph, &cfg);
+        let cold = detect(
+            &o2_ir::ProgramCtx::solo(&s.p),
+            &s.pta,
+            &s.osa,
+            &shb.graph,
+            &cfg,
+        );
         let first = detect_incremental(
-            &s.p,
+            &o2_ir::ProgramCtx::solo(&s.p),
             &s.pta,
             &s.osa,
             &shb.graph,
@@ -606,7 +632,7 @@ mod tests {
         assert_eq!(first.candidates_replayed, 0);
         assert!(reports_equal(&first.report, &cold));
         let second = detect_incremental(
-            &s.p,
+            &o2_ir::ProgramCtx::solo(&s.p),
             &s.pta,
             &s.osa,
             &shb.graph,
@@ -631,7 +657,7 @@ mod tests {
         let cfg = DetectConfig::o2();
         let mut db = AnalysisDb::new(Digest(1, 1));
         let shb = build_shb_incremental(
-            &s.p,
+            &o2_ir::ProgramCtx::solo(&s.p),
             &s.pta,
             &ShbConfig::default(),
             &s.canon,
@@ -639,7 +665,7 @@ mod tests {
             &mut db,
         );
         let base = detect_incremental(
-            &s.p,
+            &o2_ir::ProgramCtx::solo(&s.p),
             &s.pta,
             &s.osa,
             &shb.graph,
@@ -658,7 +684,7 @@ mod tests {
         );
         let mut s2 = stages(&edited);
         let shb2 = build_shb_incremental(
-            &s2.p,
+            &o2_ir::ProgramCtx::solo(&s2.p),
             &s2.pta,
             &ShbConfig::default(),
             &s2.canon,
@@ -666,7 +692,7 @@ mod tests {
             &mut db,
         );
         let warm = detect_incremental(
-            &s2.p,
+            &o2_ir::ProgramCtx::solo(&s2.p),
             &s2.pta,
             &s2.osa,
             &shb2.graph,
@@ -675,7 +701,13 @@ mod tests {
             &shb2.fresh_base,
             &mut db,
         );
-        let cold = detect(&s2.p, &s2.pta, &s2.osa, &shb2.graph, &cfg);
+        let cold = detect(
+            &o2_ir::ProgramCtx::solo(&s2.p),
+            &s2.pta,
+            &s2.osa,
+            &shb2.graph,
+            &cfg,
+        );
         assert!(reports_equal(&warm.report, &cold));
         assert_eq!(warm.report.to_json(&s2.p), cold.to_json(&s2.p));
         assert!(
@@ -695,7 +727,7 @@ mod tests {
         let mut s = stages(SRC);
         let mut db = AnalysisDb::new(Digest(1, 1));
         let shb = build_shb_incremental(
-            &s.p,
+            &o2_ir::ProgramCtx::solo(&s.p),
             &s.pta,
             &ShbConfig::default(),
             &s.canon,
@@ -704,7 +736,7 @@ mod tests {
         );
         let cfg = DetectConfig::o2();
         detect_incremental(
-            &s.p,
+            &o2_ir::ProgramCtx::solo(&s.p),
             &s.pta,
             &s.osa,
             &shb.graph,
@@ -715,7 +747,7 @@ mod tests {
         );
         let naive = DetectConfig::naive();
         let warm = detect_incremental(
-            &s.p,
+            &o2_ir::ProgramCtx::solo(&s.p),
             &s.pta,
             &s.osa,
             &shb.graph,
@@ -725,7 +757,13 @@ mod tests {
             &mut db,
         );
         assert_eq!(warm.candidates_replayed, 0, "different engine, no replay");
-        let cold = detect(&s.p, &s.pta, &s.osa, &shb.graph, &naive);
+        let cold = detect(
+            &o2_ir::ProgramCtx::solo(&s.p),
+            &s.pta,
+            &s.osa,
+            &shb.graph,
+            &naive,
+        );
         assert!(reports_equal(&warm.report, &cold));
     }
 }

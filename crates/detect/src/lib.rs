@@ -19,6 +19,7 @@
 //!
 //! ```
 //! use o2_ir::parser::parse;
+//! use o2_ir::ProgramCtx;
 //! use o2_pta::{analyze, Policy, PtaConfig};
 //! use o2_analysis::run_osa;
 //! use o2_shb::{build_shb, ShbConfig};
@@ -40,10 +41,11 @@
 //!         }
 //!     }
 //! "#).unwrap();
-//! let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
-//! let mut osa = run_osa(&program, &pta);
-//! let shb = build_shb(&program, &pta, &ShbConfig::default(), &mut osa.locs);
-//! let report = detect(&program, &pta, &osa, &shb, &DetectConfig::o2());
+//! let ctx = ProgramCtx::solo(&program);
+//! let pta = analyze(&ctx, &PtaConfig::with_policy(Policy::origin1()));
+//! let mut osa = run_osa(&ctx, &pta);
+//! let shb = build_shb(&ctx, &pta, &ShbConfig::default(), &mut osa.locs);
+//! let report = detect(&ctx, &pta, &osa, &shb, &DetectConfig::o2());
 //! assert_eq!(report.races.len(), 1); // unsynchronized write/read on S.data
 //! ```
 
@@ -62,6 +64,7 @@ pub use oversync::{find_oversync, OversyncReport, OversyncWarning};
 use o2_analysis::{MemKey, OsaResult};
 use o2_ir::ids::GStmt;
 use o2_ir::program::Program;
+use o2_ir::ProgramCtx;
 use o2_pta::{OriginId, PtaResult};
 use o2_shb::{AccessNode, LockSetId, LockTable, ShbGraph};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -416,12 +419,28 @@ impl LocalLockCache {
 /// [`DetectConfig::timeout`], which aborts mid-flight wherever the clock
 /// expires).
 pub fn detect(
-    program: &Program,
+    ctx: &ProgramCtx<'_>,
     pta: &PtaResult,
     osa: &OsaResult,
     shb: &ShbGraph,
     config: &DetectConfig,
 ) -> RaceReport {
+    debug_assert_eq!(
+        pta.program_id,
+        ctx.id(),
+        "detect: PtaResult from a different ProgramCtx"
+    );
+    debug_assert_eq!(
+        shb.program_id,
+        ctx.id(),
+        "detect: ShbGraph from a different ProgramCtx"
+    );
+    debug_assert_eq!(
+        osa.locs.program(),
+        ctx.id(),
+        "detect: OsaResult from a different ProgramCtx"
+    );
+    let program = ctx.program();
     let start = Instant::now();
     let deadline = config.timeout.map(|t| start + t);
     let mut report = RaceReport::default();
@@ -997,10 +1016,18 @@ mod tests {
     fn detect_races(src: &str, policy: Policy, cfg: &DetectConfig) -> (o2_ir::Program, RaceReport) {
         let p = parse(src).unwrap();
         o2_ir::validate::assert_valid(&p);
-        let pta = analyze(&p, &PtaConfig::with_policy(policy));
-        let mut osa = run_osa(&p, &pta);
-        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
-        let report = detect(&p, &pta, &osa, &shb, cfg);
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(policy),
+        );
+        let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&p), &pta);
+        let shb = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &ShbConfig::default(),
+            &mut osa.locs,
+        );
+        let report = detect(&o2_ir::ProgramCtx::solo(&p), &pta, &osa, &shb, cfg);
         (p, report)
     }
 
@@ -1302,10 +1329,18 @@ mod sync_semantics_tests {
     fn races(src: &str, cfg: &DetectConfig) -> RaceReport {
         let p = parse(src).unwrap();
         o2_ir::validate::assert_valid(&p);
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-        let mut osa = run_osa(&p, &pta);
-        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
-        detect(&p, &pta, &osa, &shb, cfg)
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
+        let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&p), &pta);
+        let shb = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &ShbConfig::default(),
+            &mut osa.locs,
+        );
+        detect(&o2_ir::ProgramCtx::solo(&p), &pta, &osa, &shb, cfg)
     }
 
     /// Every fixture must agree across the o2 engine, the naive engine,
@@ -1737,10 +1772,24 @@ mod multi_instance_tests {
 
     fn races(src: &str, policy: Policy) -> RaceReport {
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(policy));
-        let mut osa = run_osa(&p, &pta);
-        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
-        detect(&p, &pta, &osa, &shb, &DetectConfig::o2())
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(policy),
+        );
+        let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&p), &pta);
+        let shb = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &ShbConfig::default(),
+            &mut osa.locs,
+        );
+        detect(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &osa,
+            &shb,
+            &DetectConfig::o2(),
+        )
     }
 
     /// A thread object allocated once but started in a loop stands for

@@ -115,9 +115,17 @@ mod tests {
 
     fn oversync(src: &str) -> (o2_ir::Program, OversyncReport) {
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-        let mut osa = run_osa(&p, &pta);
-        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
+        let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&p), &pta);
+        let shb = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &ShbConfig::default(),
+            &mut osa.locs,
+        );
         let report = find_oversync(&p, &osa, &shb);
         (p, report)
     }

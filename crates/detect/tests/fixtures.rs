@@ -15,9 +15,10 @@ use o2_shb::{build_shb, ShbConfig, ShbGraph};
 
 fn run(src: &str) -> (Program, ShbGraph, DeadlockReport, OversyncReport) {
     let p = parse(src).unwrap();
-    let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-    let mut osa = run_osa(&p, &pta);
-    let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut osa.locs);
+    let ctx = o2_ir::ProgramCtx::solo(&p);
+    let pta = analyze(&ctx, &PtaConfig::with_policy(Policy::origin1()));
+    let mut osa = run_osa(&ctx, &pta);
+    let shb = build_shb(&ctx, &pta, &ShbConfig::default(), &mut osa.locs);
     let deadlocks = detect_deadlocks(&p, &shb);
     let oversync = find_oversync(&p, &osa, &shb);
     (p, shb, deadlocks, oversync)

@@ -70,6 +70,22 @@ define_id!(
     VarId,
     "v"
 );
+define_id!(
+    /// Identifier of one program in a multi-program (batch) run.
+    ///
+    /// Every interned-id table of the data plane (`LocTable`, `CanonIndex`,
+    /// the SHB graph, …) records the `ProgramId` it was built for, so dense
+    /// ids from different programs can never be confused even when many
+    /// analyses coexist in one process. Single-program entry points use
+    /// [`ProgramId::SOLO`].
+    ProgramId,
+    "p"
+);
+
+impl ProgramId {
+    /// The program id used by single-program (non-batch) analyses.
+    pub const SOLO: ProgramId = ProgramId(0);
+}
 
 /// The reserved field identifier representing all array elements (`*`).
 ///

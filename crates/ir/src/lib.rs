@@ -39,6 +39,7 @@
 
 pub mod builder;
 pub mod cfront;
+pub mod ctx;
 pub mod digest;
 pub mod ids;
 pub mod origins;
@@ -48,7 +49,8 @@ pub mod program;
 pub mod util;
 pub mod validate;
 
+pub use ctx::ProgramCtx;
 pub use digest::{digest_diff, digest_program, fn_digest, DigestDiff, ProgramDigests};
-pub use ids::{ClassId, FieldId, GStmt, MethodId, VarId, ARRAY_FIELD};
+pub use ids::{ClassId, FieldId, GStmt, MethodId, ProgramId, VarId, ARRAY_FIELD};
 pub use origins::{EntryPointConfig, OriginKind};
 pub use program::{structurally_equal, Callee, Class, Instr, Method, Program, Selector, Stmt};

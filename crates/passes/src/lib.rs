@@ -36,11 +36,11 @@
 //!     }
 //! "#;
 //! let program = parse(src).unwrap();
-//! let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
-//! let mut osa = run_osa(&program, &pta);
-//! let shb = build_shb(&program, &pta, &ShbConfig::default(), &mut osa.locs);
-//! let races = detect(&program, &pta, &osa, &shb, &DetectConfig::o2());
-//! let report = run_pipeline(&program, &pta, &osa, &shb, &races);
+//! let pta = analyze(&o2_ir::ProgramCtx::solo(&program), &PtaConfig::with_policy(Policy::origin1()));
+//! let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&program), &pta);
+//! let shb = build_shb(&o2_ir::ProgramCtx::solo(&program), &pta, &ShbConfig::default(), &mut osa.locs);
+//! let races = detect(&o2_ir::ProgramCtx::solo(&program), &pta, &osa, &shb, &DetectConfig::o2());
+//! let report = run_pipeline(&o2_ir::ProgramCtx::solo(&program), &pta, &osa, &shb, &races);
 //! assert_eq!(report.races.len(), 1);
 //! assert_eq!(report.races[0].tier, Tier::High);
 //! ```
@@ -57,11 +57,13 @@ pub mod triage;
 use o2_analysis::osa::OsaResult;
 use o2_detect::{DeadlockReport, OversyncReport, Race, RaceReport};
 use o2_ir::program::Program;
+use o2_ir::ProgramCtx;
 use o2_pta::PtaResult;
 use o2_racerd::RacerDReport;
 use o2_shb::{LockTable, ShbGraph};
 use std::time::{Duration, Instant};
 
+pub use sarif::corpus_sarif;
 pub use triage::{PrunedRace, Tier, TriagedRace};
 
 /// The shared, immutable inputs every pass runs over: the program and the
@@ -229,17 +231,49 @@ impl PipelineReport {
     }
 }
 
+/// Serializes a whole corpus as one JSON document: entries sorted by
+/// program name, each carrying its full per-program report (the same
+/// bytes [`PipelineReport::to_json`] emits, embedded verbatim). Like the
+/// per-program serializers it contains no durations or scheduling
+/// artifacts, so batch output is byte-stable across worker counts.
+pub fn corpus_json(entries: &[(&str, &PipelineReport, &Program)]) -> String {
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by_key(|&i| entries[i].0);
+    let mut out = String::from("{\n  \"programs\": [\n");
+    for (k, &i) in order.iter().enumerate() {
+        let (name, report, program) = entries[i];
+        out.push_str("    {\"name\": \"");
+        out.push_str(&triage::json_escape(name));
+        out.push_str("\", \"report\": ");
+        out.push_str(report.to_json(program).trim_end());
+        out.push('}');
+        out.push_str(if k + 1 < order.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Convenience entry point: runs the standard pipeline over the usual
 /// four analysis artifacts.
 pub fn run_pipeline(
-    program: &Program,
+    pctx: &ProgramCtx<'_>,
     pta: &PtaResult,
     osa: &OsaResult,
     shb: &ShbGraph,
     races: &RaceReport,
 ) -> PipelineReport {
+    debug_assert_eq!(
+        pta.program_id,
+        pctx.id(),
+        "run_pipeline: PtaResult from a different ProgramCtx"
+    );
+    debug_assert_eq!(
+        shb.program_id,
+        pctx.id(),
+        "run_pipeline: ShbGraph from a different ProgramCtx"
+    );
     let ctx = AnalysisCtx {
-        program,
+        program: pctx.program(),
         pta,
         osa,
         shb,

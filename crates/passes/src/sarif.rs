@@ -61,13 +61,22 @@ fn location(out: &mut String, program: &Program, stmt: o2_ir::ids::GStmt) {
     );
 }
 
+/// The `"program": "<name>", ` prefix a corpus document injects into
+/// every result's `properties` object; empty for solo documents, so the
+/// solo byte format is untouched.
+fn program_prop(program_label: Option<&str>) -> String {
+    match program_label {
+        Some(name) => format!("\"program\": \"{}\", ", json_escape(name)),
+        None => String::new(),
+    }
+}
+
 fn race_result(
-    out: &mut String,
     program: &Program,
     tr: &TriagedRace,
     suppressed: bool,
-    last: bool,
-) {
+    program_label: Option<&str>,
+) -> String {
     let loc = json_escape(&o2_detect::mem_key_label(program, tr.race.key));
     let mut message = format!(
         "Data race on {loc}: {} vs {}.",
@@ -77,6 +86,7 @@ fn race_result(
     for note in &tr.notes {
         let _ = write!(message, " {note}.");
     }
+    let mut out = String::new();
     out.push_str("        {\n");
     let _ = writeln!(out, "          \"ruleId\": \"o2/race\",");
     let _ = writeln!(out, "          \"ruleIndex\": 0,");
@@ -87,10 +97,10 @@ fn race_result(
         json_escape(&message)
     );
     out.push_str("          \"locations\": [\n");
-    location(out, program, tr.race.a.stmt);
+    location(&mut out, program, tr.race.a.stmt);
     out.pop();
     out.push_str(",\n");
-    location(out, program, tr.race.b.stmt);
+    location(&mut out, program, tr.race.b.stmt);
     out.push_str("          ],\n");
     let _ = writeln!(
         out,
@@ -104,10 +114,13 @@ fn race_result(
     }
     let _ = writeln!(
         out,
-        "          \"properties\": {{\"tier\": \"{}\", \"score\": {}}}",
-        tr.tier, tr.score
+        "          \"properties\": {{{}\"tier\": \"{}\", \"score\": {}}}",
+        program_prop(program_label),
+        tr.tier,
+        tr.score
     );
-    out.push_str(if last { "        }\n" } else { "        },\n" });
+    out.push_str("        }");
+    out
 }
 
 fn lock_label(elem: &LockElem, program: &Program) -> String {
@@ -124,13 +137,107 @@ fn lock_label(elem: &LockElem, program: &Program) -> String {
     }
 }
 
-/// Serializes a pipeline report as a SARIF 2.1.0 document.
-pub fn to_sarif(report: &PipelineReport, program: &Program) -> String {
-    let mut out = String::new();
+/// All result objects of one program's report, in canonical order
+/// (surviving races, suppressed races, deadlock cycles, over-sync
+/// warnings). Each string is one complete result object with no trailing
+/// comma or newline; the document assemblers join them.
+fn result_objects(
+    report: &PipelineReport,
+    program: &Program,
+    program_label: Option<&str>,
+) -> Vec<String> {
+    let deadlocks = report
+        .deadlocks
+        .as_ref()
+        .map(|d| d.cycles.as_slice())
+        .unwrap_or(&[]);
+    let oversync = report
+        .oversync
+        .as_ref()
+        .map(|o| o.warnings.as_slice())
+        .unwrap_or(&[]);
+    let mut objects = Vec::new();
+
+    for tr in &report.races {
+        objects.push(race_result(program, tr, false, program_label));
+    }
+    for tr in &report.suppressed {
+        objects.push(race_result(program, tr, true, program_label));
+    }
+    for cycle in deadlocks {
+        let locks: Vec<String> = cycle.locks.iter().map(|e| lock_label(e, program)).collect();
+        let stmts: Vec<String> = cycle.stmts.iter().map(|&s| program.stmt_label(s)).collect();
+        let mut out = String::new();
+        out.push_str("        {\n");
+        out.push_str("          \"ruleId\": \"o2/deadlock\",\n");
+        out.push_str("          \"ruleIndex\": 1,\n");
+        out.push_str("          \"level\": \"error\",\n");
+        let _ = writeln!(
+            out,
+            "          \"message\": {{\"text\": \"Lock-order cycle {} acquired in conflicting order at {}.\"}},",
+            json_escape(&locks.join(" -> ")),
+            json_escape(&stmts.join(", "))
+        );
+        out.push_str("          \"locations\": [\n");
+        if let Some(&s) = cycle.stmts.first() {
+            location(&mut out, program, s);
+        }
+        finish_locations(&mut out, program_label);
+        objects.push(out);
+    }
+    for w in oversync {
+        let mut out = String::new();
+        out.push_str("        {\n");
+        out.push_str("          \"ruleId\": \"o2/oversync\",\n");
+        out.push_str("          \"ruleIndex\": 2,\n");
+        out.push_str("          \"level\": \"note\",\n");
+        let _ = writeln!(
+            out,
+            "          \"message\": {{\"text\": \"Synchronization at {} guards only origin-local data ({} guarded accesses).\"}},",
+            json_escape(&program.stmt_label(w.site)),
+            w.guarded_accesses
+        );
+        out.push_str("          \"locations\": [\n");
+        location(&mut out, program, w.site);
+        finish_locations(&mut out, program_label);
+        objects.push(out);
+    }
+    objects
+}
+
+/// Closes a result whose last member is `locations`, appending a
+/// `properties` object only when a corpus document needs the program
+/// marker (solo documents emit no properties here, as always).
+fn finish_locations(out: &mut String, program_label: Option<&str>) {
+    match program_label {
+        Some(name) => {
+            out.push_str("          ],\n");
+            let _ = writeln!(
+                out,
+                "          \"properties\": {{\"program\": \"{}\"}}",
+                json_escape(name)
+            );
+        }
+        None => out.push_str("          ]\n"),
+    }
+    out.push_str("        }");
+}
+
+/// The document preamble through `"results": [`. `automation_id` becomes
+/// the run's `automationDetails.id` (corpus documents use it to carry the
+/// single batch run id; solo documents omit it).
+fn header(out: &mut String, automation_id: Option<&str>) {
     out.push_str("{\n");
     out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
     out.push_str("  \"version\": \"2.1.0\",\n");
     out.push_str("  \"runs\": [\n    {\n");
+    if let Some(id) = automation_id {
+        let _ = writeln!(
+            out,
+            "      \"automationDetails\": {{\"id\": \"{}\"}},",
+            json_escape(id)
+        );
+    }
     out.push_str("      \"tool\": {\n        \"driver\": {\n");
     out.push_str("          \"name\": \"o2\",\n");
     out.push_str("          \"informationUri\": \"https://example.org/o2\",\n");
@@ -146,75 +253,40 @@ pub fn to_sarif(report: &PipelineReport, program: &Program) -> String {
     }
     out.push_str("          ]\n        }\n      },\n");
     out.push_str("      \"results\": [\n");
+}
 
-    let deadlocks = report
-        .deadlocks
-        .as_ref()
-        .map(|d| d.cycles.as_slice())
-        .unwrap_or(&[]);
-    let oversync = report
-        .oversync
-        .as_ref()
-        .map(|o| o.warnings.as_slice())
-        .unwrap_or(&[]);
-    let total = report.races.len() + report.suppressed.len() + deadlocks.len() + oversync.len();
-    let mut emitted = 0usize;
-
-    for tr in &report.races {
-        emitted += 1;
-        race_result(&mut out, program, tr, false, emitted == total);
+fn finish(out: &mut String, objects: Vec<String>) {
+    if !objects.is_empty() {
+        out.push_str(&objects.join(",\n"));
+        out.push('\n');
     }
-    for tr in &report.suppressed {
-        emitted += 1;
-        race_result(&mut out, program, tr, true, emitted == total);
-    }
-    for cycle in deadlocks {
-        emitted += 1;
-        let locks: Vec<String> = cycle.locks.iter().map(|e| lock_label(e, program)).collect();
-        let stmts: Vec<String> = cycle.stmts.iter().map(|&s| program.stmt_label(s)).collect();
-        out.push_str("        {\n");
-        out.push_str("          \"ruleId\": \"o2/deadlock\",\n");
-        out.push_str("          \"ruleIndex\": 1,\n");
-        out.push_str("          \"level\": \"error\",\n");
-        let _ = writeln!(
-            out,
-            "          \"message\": {{\"text\": \"Lock-order cycle {} acquired in conflicting order at {}.\"}},",
-            json_escape(&locks.join(" -> ")),
-            json_escape(&stmts.join(", "))
-        );
-        out.push_str("          \"locations\": [\n");
-        if let Some(&s) = cycle.stmts.first() {
-            location(&mut out, program, s);
-        }
-        out.push_str("          ]\n");
-        out.push_str(if emitted == total {
-            "        }\n"
-        } else {
-            "        },\n"
-        });
-    }
-    for w in oversync {
-        emitted += 1;
-        out.push_str("        {\n");
-        out.push_str("          \"ruleId\": \"o2/oversync\",\n");
-        out.push_str("          \"ruleIndex\": 2,\n");
-        out.push_str("          \"level\": \"note\",\n");
-        let _ = writeln!(
-            out,
-            "          \"message\": {{\"text\": \"Synchronization at {} guards only origin-local data ({} guarded accesses).\"}},",
-            json_escape(&program.stmt_label(w.site)),
-            w.guarded_accesses
-        );
-        out.push_str("          \"locations\": [\n");
-        location(&mut out, program, w.site);
-        out.push_str("          ]\n");
-        out.push_str(if emitted == total {
-            "        }\n"
-        } else {
-            "        },\n"
-        });
-    }
-
     out.push_str("      ]\n    }\n  ]\n}\n");
+}
+
+/// Serializes a pipeline report as a SARIF 2.1.0 document.
+pub fn to_sarif(report: &PipelineReport, program: &Program) -> String {
+    let mut out = String::new();
+    header(&mut out, None);
+    finish(&mut out, result_objects(report, program, None));
+    out
+}
+
+/// Serializes a whole corpus as one SARIF 2.1.0 document: a single run
+/// (`automationDetails.id` is `o2/batch`), results grouped by program in
+/// ascending program-name order, every result carrying its program name
+/// in `properties.program`. The bytes are a pure function of the
+/// (name, report, program) entries — worker count and claim order of the
+/// batch run that produced them cannot leak in.
+pub fn corpus_sarif(entries: &[(&str, &PipelineReport, &Program)]) -> String {
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by_key(|&i| entries[i].0);
+    let mut out = String::new();
+    header(&mut out, Some("o2/batch"));
+    let mut objects = Vec::new();
+    for i in order {
+        let (name, report, program) = entries[i];
+        objects.extend(result_objects(report, program, Some(name)));
+    }
+    finish(&mut out, objects);
     out
 }

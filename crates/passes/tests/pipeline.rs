@@ -13,11 +13,12 @@ fn pipeline_for(
     program: &o2_ir::program::Program,
     policy: Policy,
 ) -> (PipelineReport, o2_detect::RaceReport) {
-    let pta = analyze(program, &PtaConfig::with_policy(policy));
-    let mut osa = run_osa(program, &pta);
-    let shb = build_shb(program, &pta, &ShbConfig::default(), &mut osa.locs);
-    let races = detect(program, &pta, &osa, &shb, &DetectConfig::o2());
-    let report = run_pipeline(program, &pta, &osa, &shb, &races);
+    let ctx = o2_ir::ProgramCtx::solo(program);
+    let pta = analyze(&ctx, &PtaConfig::with_policy(policy));
+    let mut osa = run_osa(&ctx, &pta);
+    let shb = build_shb(&ctx, &pta, &ShbConfig::default(), &mut osa.locs);
+    let races = detect(&ctx, &pta, &osa, &shb, &DetectConfig::o2());
+    let report = run_pipeline(&ctx, &pta, &osa, &shb, &races);
     (report, races)
 }
 
@@ -146,14 +147,15 @@ fn reports_are_deterministic_across_thread_counts() {
     let w = o2_workloads::preset_by_name("zookeeper")
         .expect("preset exists")
         .generate();
-    let pta = analyze(&w.program, &PtaConfig::with_policy(Policy::origin1()));
-    let mut osa = run_osa(&w.program, &pta);
-    let shb = build_shb(&w.program, &pta, &ShbConfig::default(), &mut osa.locs);
+    let ctx = o2_ir::ProgramCtx::solo(&w.program);
+    let pta = analyze(&ctx, &PtaConfig::with_policy(Policy::origin1()));
+    let mut osa = run_osa(&ctx, &pta);
+    let shb = build_shb(&ctx, &pta, &ShbConfig::default(), &mut osa.locs);
     let mut outputs = Vec::new();
     for threads in [1usize, 4] {
         let cfg = DetectConfig::o2().with_threads(threads);
-        let races = detect(&w.program, &pta, &osa, &shb, &cfg);
-        let report = run_pipeline(&w.program, &pta, &osa, &shb, &races);
+        let races = detect(&ctx, &pta, &osa, &shb, &cfg);
+        let report = run_pipeline(&ctx, &pta, &osa, &shb, &races);
         outputs.push((report.to_json(&w.program), report.to_sarif(&w.program)));
     }
     assert_eq!(
@@ -202,11 +204,25 @@ fn refactored_passes_match_the_standalone_clients() {
         }
     "#;
     let program = parse(src).unwrap();
-    let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
-    let mut osa = run_osa(&program, &pta);
-    let shb = build_shb(&program, &pta, &ShbConfig::default(), &mut osa.locs);
-    let races = detect(&program, &pta, &osa, &shb, &DetectConfig::o2());
-    let report = run_pipeline(&program, &pta, &osa, &shb, &races);
+    let pta = analyze(
+        &o2_ir::ProgramCtx::solo(&program),
+        &PtaConfig::with_policy(Policy::origin1()),
+    );
+    let mut osa = run_osa(&o2_ir::ProgramCtx::solo(&program), &pta);
+    let shb = build_shb(
+        &o2_ir::ProgramCtx::solo(&program),
+        &pta,
+        &ShbConfig::default(),
+        &mut osa.locs,
+    );
+    let races = detect(
+        &o2_ir::ProgramCtx::solo(&program),
+        &pta,
+        &osa,
+        &shb,
+        &DetectConfig::o2(),
+    );
+    let report = run_pipeline(&o2_ir::ProgramCtx::solo(&program), &pta, &osa, &shb, &races);
 
     let standalone_dl = o2_detect::detect_deadlocks(&program, &shb);
     let standalone_os = o2_detect::find_oversync(&program, &osa, &shb);

@@ -27,12 +27,13 @@ use crate::solver::{CallTarget, Mi, PtaResult};
 use o2_db::FastMap;
 use o2_db::{Digest, DigestHasher};
 use o2_ir::program::Program;
-use o2_ir::{GStmt, MethodId, OriginKind, ProgramDigests};
+use o2_ir::{GStmt, MethodId, OriginKind, ProgramCtx, ProgramDigests, ProgramId};
 use std::collections::HashMap;
 
 /// Canonical digests and state signatures for one solved [`PtaResult`].
 #[derive(Debug)]
 pub struct CanonIndex {
+    program_id: ProgramId,
     qnames: Vec<String>,
     obj_digests: Vec<Digest>,
     origin_digests: Vec<Digest>,
@@ -188,8 +189,14 @@ impl BuilderImpl<'_> {
 
 impl CanonIndex {
     /// Builds the canonical index for `pta`, a solved result over
-    /// `program` whose structural digests are `digests`.
-    pub fn build(program: &Program, pta: &PtaResult, digests: &ProgramDigests) -> CanonIndex {
+    /// `ctx`'s program whose structural digests are `digests`.
+    pub fn build(ctx: &ProgramCtx<'_>, pta: &PtaResult, digests: &ProgramDigests) -> CanonIndex {
+        debug_assert_eq!(
+            pta.program_id,
+            ctx.id(),
+            "CanonIndex::build: PtaResult from a different ProgramCtx"
+        );
+        let program = ctx.program();
         let qnames = digests.qnames.clone();
         let num_objs = pta.arena.num_objects();
         let num_origins = pta.arena.num_origins();
@@ -385,6 +392,7 @@ impl CanonIndex {
             .collect();
 
         CanonIndex {
+            program_id: ctx.id(),
             qnames,
             obj_digests,
             origin_digests,
@@ -397,6 +405,11 @@ impl CanonIndex {
             by_obj,
             by_qname,
         }
+    }
+
+    /// The program whose ids this index canonicalizes.
+    pub fn program_id(&self) -> ProgramId {
+        self.program_id
     }
 
     /// Qualified name (`Class.name/arity`) of a method.
@@ -499,10 +512,16 @@ mod tests {
 
     fn index_of(src: &str) -> (CanonIndex, usize) {
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         let digests = o2_ir::digest_program(&p);
         let n = pta.num_origins();
-        (CanonIndex::build(&p, &pta, &digests), n)
+        (
+            CanonIndex::build(&o2_ir::ProgramCtx::solo(&p), &pta, &digests),
+            n,
+        )
     }
 
     #[test]
@@ -556,7 +575,10 @@ mod tests {
         let (idx, _) = index_of(TWO_THREADS);
         // Every reachable mi has a digest reversible to itself.
         let p = parse(TWO_THREADS).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         for mi in pta.reachable_mis() {
             let d = idx.mi_digest(mi);
             assert_eq!(idx.mi_of_digest(d), Some(mi));

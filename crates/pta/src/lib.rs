@@ -27,7 +27,7 @@
 //!         }
 //!     }
 //! "#).unwrap();
-//! let result = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
+//! let result = analyze(&o2_ir::ProgramCtx::solo(&program), &PtaConfig::with_policy(Policy::origin1()));
 //! assert_eq!(result.num_origins(), 2); // root + the worker thread
 //! ```
 
@@ -56,7 +56,10 @@ mod tests {
     fn run(src: &str, policy: Policy) -> (Program, PtaResult) {
         let p = parse(src).unwrap();
         o2_ir::validate::assert_valid(&p);
-        let r = analyze(&p, &PtaConfig::with_policy(policy));
+        let r = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(policy),
+        );
         (p, r)
     }
 
@@ -171,7 +174,10 @@ mod tests {
     #[test]
     fn figure3_opa_eliminates_false_aliasing() {
         let p = parse(FIGURE3).unwrap();
-        let r = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let r = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         let f = p.field_by_name("f").unwrap();
         let ta = p.class_by_name("TA").unwrap();
         let tb = p.class_by_name("TB").unwrap();
@@ -189,7 +195,10 @@ mod tests {
         assert_eq!(pts_b.len(), 1, "OPA: b.f has a single target");
         assert_ne!(pts_a[0], pts_b[0], "OPA: no false aliasing (Figure 3)");
         // The context-insensitive baseline conflates them.
-        let r0 = analyze(&p, &PtaConfig::with_policy(Policy::insensitive()));
+        let r0 = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::insensitive()),
+        );
         let a0 = (0..r0.arena.num_objects() as u32)
             .map(ObjId)
             .find(|o| r0.arena.obj_data(*o).class == ta)
@@ -275,7 +284,10 @@ mod tests {
             }
         "#;
         let p = parse(src).unwrap();
-        let r = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let r = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         // Two distinct call sites into the wrapper → two origins + root.
         assert_eq!(r.num_origins(), 3);
     }
@@ -370,7 +382,7 @@ mod tests {
             max_steps: 1,
             ..Default::default()
         };
-        let r = analyze(&p, &cfg);
+        let r = analyze(&o2_ir::ProgramCtx::solo(&p), &cfg);
         assert!(r.timed_out);
     }
 

@@ -10,7 +10,10 @@ use o2_ir::program::Program;
 fn run(src: &str) -> (Program, PtaResult) {
     let p = parse(src).unwrap();
     o2_ir::validate::assert_valid(&p);
-    let r = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+    let r = analyze(
+        &o2_ir::ProgramCtx::solo(&p),
+        &PtaConfig::with_policy(Policy::origin1()),
+    );
     (p, r)
 }
 
@@ -282,7 +285,7 @@ fn missing_target_yields_external_object() {
     assert!(r.callees(mi, 1).is_empty());
     // The config can turn the modeling off.
     let r2 = analyze(
-        &p,
+        &o2_ir::ProgramCtx::solo(&p),
         &PtaConfig {
             anonymous_external_objects: false,
             ..PtaConfig::with_policy(Policy::origin1())
@@ -315,7 +318,7 @@ fn recursive_spawn_terminates() {
         max_origin_depth: 4,
         ..Default::default()
     };
-    let r = analyze(&p, &cfg);
+    let r = analyze(&o2_ir::ProgramCtx::solo(&p), &cfg);
     assert!(!r.timed_out, "depth bound must force a fixpoint");
     // Root + a bounded chain of nested origins.
     assert!(r.num_origins() >= 4);
@@ -419,9 +422,12 @@ fn difference_propagation_matches_full_set_baseline() {
     for (i, src) in fixtures.iter().enumerate() {
         let p = parse(src).unwrap();
         for policy in policies {
-            let diff = analyze(&p, &PtaConfig::with_policy(policy));
+            let diff = analyze(
+                &o2_ir::ProgramCtx::solo(&p),
+                &PtaConfig::with_policy(policy),
+            );
             let full = analyze(
-                &p,
+                &o2_ir::ProgramCtx::solo(&p),
                 &PtaConfig {
                     difference_propagation: false,
                     ..PtaConfig::with_policy(policy)
@@ -474,9 +480,9 @@ fn difference_propagation_strictly_beats_baseline_on_refiring_flow() {
         }
     "#;
     let p = parse(src).unwrap();
-    let diff = analyze(&p, &PtaConfig::default());
+    let diff = analyze(&o2_ir::ProgramCtx::solo(&p), &PtaConfig::default());
     let full = analyze(
-        &p,
+        &o2_ir::ProgramCtx::solo(&p),
         &PtaConfig {
             difference_propagation: false,
             ..Default::default()
@@ -530,7 +536,10 @@ fn korigin_refines_nested_spawns() {
     "#;
     let p = parse(src).unwrap();
     for k in [1usize, 2] {
-        let r = analyze(&p, &PtaConfig::with_policy(Policy::origin(k)));
+        let r = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin(k)),
+        );
         // Each Outer spawns its own Inner: 1 root + 2 outer + 2 inner.
         assert_eq!(r.num_origins(), 5, "k={k}");
         // Under both k the sinks are per-outer-origin; under k=2 the Val

@@ -22,7 +22,8 @@ use crate::context::{
     AllocSite, Arena, Ctx, CtxElem, ObjData, ObjId, OriginId, OriginKey, OriginSite,
 };
 use crate::policy::Policy;
-use o2_ir::ids::{ClassId, FieldId, GStmt, MethodId, VarId, ARRAY_FIELD};
+use o2_ir::ctx::ProgramCtx;
+use o2_ir::ids::{ClassId, FieldId, GStmt, MethodId, ProgramId, VarId, ARRAY_FIELD};
 use o2_ir::origins::OriginKind;
 use o2_ir::program::{Callee, Program, Selector, Stmt, CTOR_NAME, HANDLE_CLASS_NAME};
 use o2_ir::util::{Interner, SparseSet};
@@ -231,6 +232,10 @@ struct MiInfo {
 /// the origin table, and statistics.
 #[derive(Debug)]
 pub struct PtaResult {
+    /// The program this result's dense ids (origins, objects, method
+    /// instances) belong to. Downstream stages assert agreement so id
+    /// spaces from different programs never mix.
+    pub program_id: ProgramId,
     /// The policy that produced this result.
     pub policy: Policy,
     /// Interned contexts/objects/origins.
@@ -523,12 +528,13 @@ impl PtaResult {
     }
 }
 
-/// Runs the pointer analysis on `program` with `config`.
-pub fn analyze(program: &Program, config: &PtaConfig) -> PtaResult {
+/// Runs the pointer analysis on `ctx`'s program with `config`. The
+/// result's dense ids are namespaced by `ctx.id()`.
+pub fn analyze(ctx: &ProgramCtx<'_>, config: &PtaConfig) -> PtaResult {
     let start = Instant::now();
-    let mut solver = Solver::new(program, config.clone());
+    let mut solver = Solver::new(ctx.program(), config.clone());
     solver.solve();
-    solver.into_result(start.elapsed())
+    solver.into_result(ctx.id(), start.elapsed())
 }
 
 struct Solver<'p> {
@@ -1526,7 +1532,7 @@ impl<'p> Solver<'p> {
 
     // ---- finish -----------------------------------------------------------
 
-    fn into_result(self, duration: Duration) -> PtaResult {
+    fn into_result(self, program_id: ProgramId, duration: Duration) -> PtaResult {
         let num_pointers = self
             .node_keys
             .iter()
@@ -1574,6 +1580,7 @@ impl<'p> Solver<'p> {
             }
         }
         PtaResult {
+            program_id,
             policy: self.cfg.policy,
             arena: self.arena,
             mis: self.mis,

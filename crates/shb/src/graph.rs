@@ -6,9 +6,10 @@
 
 use crate::locks::{LockElem, LockSetId, LockTable};
 use o2_analysis::{LocId, LocTable, MemKey};
-use o2_ir::ids::GStmt;
+use o2_ir::ids::{GStmt, ProgramId};
 use o2_ir::origins::OriginKind;
 use o2_ir::program::{Program, Stmt};
+use o2_ir::ProgramCtx;
 use o2_pta::{CallTarget, Mi, ObjId, OriginId, PtaResult};
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -355,6 +356,10 @@ impl CondCsr {
 /// The SHB graph: per-origin traces plus inter-origin edges.
 #[derive(Debug)]
 pub struct ShbGraph {
+    /// The program this graph's dense ids (origins, `LocId`s, lockset
+    /// ids) belong to — the namespace of the [`ProgramCtx`] it was built
+    /// under. Detection asserts agreement before consuming the graph.
+    pub program_id: ProgramId,
     /// Traces indexed by raw origin id.
     pub traces: Vec<OriginTrace>,
     /// Canonical lockset table (mutable for its disjointness cache).
@@ -608,13 +613,23 @@ impl ShbGraph {
 /// run minted, so that one id space spans both stages. (The walk can
 /// still intern locations OSA never saw, e.g. after a truncated scan.)
 pub fn build_shb(
-    program: &Program,
+    ctx: &ProgramCtx<'_>,
     pta: &PtaResult,
     config: &ShbConfig,
     locs: &mut LocTable,
 ) -> ShbGraph {
+    debug_assert_eq!(
+        pta.program_id,
+        ctx.id(),
+        "build_shb: PtaResult from a different ProgramCtx"
+    );
+    debug_assert_eq!(
+        locs.program(),
+        ctx.id(),
+        "build_shb: LocTable from a different ProgramCtx"
+    );
     let start = Instant::now();
-    let mut builder = Builder::new(program, pta, config, locs, start);
+    let mut builder = Builder::new(ctx.program(), pta, config, locs, start);
     for (origin, _) in pta.arena.origins() {
         builder.walk_origin(origin);
     }
@@ -732,6 +747,7 @@ impl<'a> Builder<'a> {
             num_locksets: self.locks.num_sets(),
         };
         ShbGraph {
+            program_id: self.locs.program(),
             traces: self.traces,
             locks: self.locks,
             entry_edges: self.entry_edges,

@@ -33,6 +33,7 @@ use o2_db::{
 use o2_ir::ids::{GStmt, MethodId};
 use o2_ir::origins::OriginKind;
 use o2_ir::program::Program;
+use o2_ir::ProgramCtx;
 use o2_pta::{CanonIndex, ObjId, OriginId, PtaResult};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -547,13 +548,29 @@ fn intern_set(
 /// and rewrites the database section to exactly this run's (non-
 /// truncated) artifacts.
 pub fn build_shb_incremental(
-    program: &Program,
+    ctx: &ProgramCtx<'_>,
     pta: &PtaResult,
     config: &ShbConfig,
     canon: &CanonIndex,
     locs: &mut LocTable,
     db: &mut AnalysisDb,
 ) -> ShbIncr {
+    debug_assert_eq!(
+        pta.program_id,
+        ctx.id(),
+        "build_shb_incremental: PtaResult from a different ProgramCtx"
+    );
+    debug_assert_eq!(
+        canon.program_id(),
+        ctx.id(),
+        "build_shb_incremental: CanonIndex from a different ProgramCtx"
+    );
+    debug_assert_eq!(
+        locs.program(),
+        ctx.id(),
+        "build_shb_incremental: LocTable from a different ProgramCtx"
+    );
+    let program = ctx.program();
     let start = Instant::now();
     let mut builder = Builder::new(program, pta, config, locs, start);
     let mut names = std::mem::take(&mut db.names);
@@ -654,9 +671,12 @@ mod tests {
 
     fn setup(src: &str) -> (o2_ir::Program, o2_pta::PtaResult, CanonIndex) {
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         let digests = o2_ir::digest_program(&p);
-        let canon = CanonIndex::build(&p, &pta, &digests);
+        let canon = CanonIndex::build(&o2_ir::ProgramCtx::solo(&p), &pta, &digests);
         (p, pta, canon)
     }
 
@@ -710,10 +730,15 @@ mod tests {
     #[test]
     fn warm_replay_equals_cold_build() {
         let (p, pta, canon) = setup(SRC);
-        let cold = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
+        let cold = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &ShbConfig::default(),
+            &mut LocTable::new(),
+        );
         let mut db = AnalysisDb::new(Digest(1, 1));
         let first = build_shb_incremental(
-            &p,
+            &o2_ir::ProgramCtx::solo(&p),
             &pta,
             &ShbConfig::default(),
             &canon,
@@ -723,7 +748,7 @@ mod tests {
         assert_eq!(first.origins_replayed, 0);
         assert!(graphs_equal(&first.graph, &cold));
         let second = build_shb_incremental(
-            &p,
+            &o2_ir::ProgramCtx::solo(&p),
             &pta,
             &ShbConfig::default(),
             &canon,
@@ -740,7 +765,7 @@ mod tests {
         let (p, pta, canon) = setup(SRC);
         let mut db = AnalysisDb::new(Digest(1, 1));
         build_shb_incremental(
-            &p,
+            &o2_ir::ProgramCtx::solo(&p),
             &pta,
             &ShbConfig::default(),
             &canon,
@@ -751,14 +776,19 @@ mod tests {
         let edited = SRC.replace("s = this.s; s.b = s;", "s = this.s; s.b = s; y = s.b;");
         let (p2, pta2, canon2) = setup(&edited);
         let warm = build_shb_incremental(
-            &p2,
+            &o2_ir::ProgramCtx::solo(&p2),
             &pta2,
             &ShbConfig::default(),
             &canon2,
             &mut LocTable::new(),
             &mut db,
         );
-        let cold = build_shb(&p2, &pta2, &ShbConfig::default(), &mut LocTable::new());
+        let cold = build_shb(
+            &o2_ir::ProgramCtx::solo(&p2),
+            &pta2,
+            &ShbConfig::default(),
+            &mut LocTable::new(),
+        );
         assert!(graphs_equal(&warm.graph, &cold));
         assert!(warm.origins_replayed >= 1, "untouched origins replay");
         assert!(
@@ -790,7 +820,12 @@ mod tests {
             }
         "#;
         let (p, pta, canon) = setup(src);
-        let cold = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
+        let cold = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &ShbConfig::default(),
+            &mut LocTable::new(),
+        );
         let has_fresh = cold.traces.iter().flat_map(|t| &t.acquires).any(|q| {
             q.elems
                 .iter()
@@ -799,7 +834,7 @@ mod tests {
         assert!(has_fresh, "test setup must exercise a fresh lock");
         let mut db = AnalysisDb::new(Digest(1, 1));
         build_shb_incremental(
-            &p,
+            &o2_ir::ProgramCtx::solo(&p),
             &pta,
             &ShbConfig::default(),
             &canon,
@@ -807,7 +842,7 @@ mod tests {
             &mut db,
         );
         let warm = build_shb_incremental(
-            &p,
+            &o2_ir::ProgramCtx::solo(&p),
             &pta,
             &ShbConfig::default(),
             &canon,
@@ -826,12 +861,31 @@ mod tests {
             ..Default::default()
         };
         let mut db = AnalysisDb::new(Digest(1, 1));
-        let first = build_shb_incremental(&p, &pta, &cfg, &canon, &mut LocTable::new(), &mut db);
+        let first = build_shb_incremental(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &cfg,
+            &canon,
+            &mut LocTable::new(),
+            &mut db,
+        );
         assert!(first.graph.traces.iter().any(|t| t.truncated));
-        let warm = build_shb_incremental(&p, &pta, &cfg, &canon, &mut LocTable::new(), &mut db);
+        let warm = build_shb_incremental(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &cfg,
+            &canon,
+            &mut LocTable::new(),
+            &mut db,
+        );
         // Truncated origins were never stored, so they walk again.
         assert!(warm.origins_walked > 0);
-        let cold = build_shb(&p, &pta, &cfg, &mut LocTable::new());
+        let cold = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &cfg,
+            &mut LocTable::new(),
+        );
         assert!(graphs_equal(&warm.graph, &cold));
     }
 }

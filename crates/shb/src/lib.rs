@@ -17,6 +17,7 @@
 //! ```
 //! use o2_analysis::LocTable;
 //! use o2_ir::parser::parse;
+//! use o2_ir::ProgramCtx;
 //! use o2_pta::{analyze, Policy, PtaConfig};
 //! use o2_shb::{build_shb, ShbConfig};
 //!
@@ -26,9 +27,10 @@
 //!         static method main() { w = new W(); w.start(); join w; }
 //!     }
 //! "#).unwrap();
-//! let pta = analyze(&program, &PtaConfig::with_policy(Policy::origin1()));
+//! let ctx = ProgramCtx::solo(&program);
+//! let pta = analyze(&ctx, &PtaConfig::with_policy(Policy::origin1()));
 //! let mut locs = LocTable::new();
-//! let shb = build_shb(&program, &pta, &ShbConfig::default(), &mut locs);
+//! let shb = build_shb(&ctx, &pta, &ShbConfig::default(), &mut locs);
 //! assert_eq!(shb.entry_edges.len(), 1);
 //! assert_eq!(shb.join_edges.len(), 1);
 //! ```
@@ -58,9 +60,17 @@ mod tests {
     fn shb_for(src: &str) -> (o2_ir::Program, o2_pta::PtaResult, ShbGraph, LocTable) {
         let p = parse(src).unwrap();
         o2_ir::validate::assert_valid(&p);
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         let mut locs = LocTable::new();
-        let shb = build_shb(&p, &pta, &ShbConfig::default(), &mut locs);
+        let shb = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &ShbConfig::default(),
+            &mut locs,
+        );
         (p, pta, shb, locs)
     }
 
@@ -265,12 +275,20 @@ mod tests {
             }
         "#;
         let p = parse(src).unwrap();
-        let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+        let pta = analyze(
+            &o2_ir::ProgramCtx::solo(&p),
+            &PtaConfig::with_policy(Policy::origin1()),
+        );
         let cfg = ShbConfig {
             event_dispatcher_lock: false,
             ..Default::default()
         };
-        let shb = build_shb(&p, &pta, &cfg, &mut LocTable::new());
+        let shb = build_shb(
+            &o2_ir::ProgramCtx::solo(&p),
+            &pta,
+            &cfg,
+            &mut LocTable::new(),
+        );
         let ev = pta
             .arena
             .origins()
@@ -287,12 +305,20 @@ mod tests {
     fn node_budget_truncates() {
         let (_, _, shb) = {
             let p = parse(FORK_JOIN).unwrap();
-            let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
+            let pta = analyze(
+                &o2_ir::ProgramCtx::solo(&p),
+                &PtaConfig::with_policy(Policy::origin1()),
+            );
             let cfg = ShbConfig {
                 node_budget: 1,
                 ..Default::default()
             };
-            let shb = build_shb(&p, &pta, &cfg, &mut LocTable::new());
+            let shb = build_shb(
+                &o2_ir::ProgramCtx::solo(&p),
+                &pta,
+                &cfg,
+                &mut LocTable::new(),
+            );
             (p, pta, shb)
         };
         assert!(shb.traces[0].truncated);

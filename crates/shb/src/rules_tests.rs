@@ -10,8 +10,16 @@ use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 
 fn shb(src: &str) -> (o2_ir::Program, ShbGraph) {
     let p = parse(src).unwrap();
-    let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-    let g = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
+    let pta = analyze(
+        &o2_ir::ProgramCtx::solo(&p),
+        &PtaConfig::with_policy(Policy::origin1()),
+    );
+    let g = build_shb(
+        &o2_ir::ProgramCtx::solo(&p),
+        &pta,
+        &ShbConfig::default(),
+        &mut LocTable::new(),
+    );
     (p, g)
 }
 
@@ -268,8 +276,16 @@ fn dot_exports() {
         }
     "#;
     let p = parse(src).unwrap();
-    let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-    let g = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
+    let pta = analyze(
+        &o2_ir::ProgramCtx::solo(&p),
+        &PtaConfig::with_policy(Policy::origin1()),
+    );
+    let g = build_shb(
+        &o2_ir::ProgramCtx::solo(&p),
+        &pta,
+        &ShbConfig::default(),
+        &mut LocTable::new(),
+    );
     let shb_dot = g.to_dot(&pta);
     assert!(shb_dot.starts_with("digraph shb {"), "{shb_dot}");
     assert!(shb_dot.contains("thread"), "{shb_dot}");
@@ -308,8 +324,16 @@ fn rewalk_after_inter_origin_edge() {
         }
     "#;
     let p = parse(src).unwrap();
-    let pta = analyze(&p, &PtaConfig::with_policy(Policy::origin1()));
-    let g = build_shb(&p, &pta, &ShbConfig::default(), &mut LocTable::new());
+    let pta = analyze(
+        &o2_ir::ProgramCtx::solo(&p),
+        &PtaConfig::with_policy(Policy::origin1()),
+    );
+    let g = build_shb(
+        &o2_ir::ProgramCtx::solo(&p),
+        &pta,
+        &ShbConfig::default(),
+        &mut LocTable::new(),
+    );
     let data = p.field_by_name("data").unwrap();
     let root = &g.traces[OriginId::ROOT.0 as usize];
     let reads: Vec<u32> = root

@@ -26,11 +26,13 @@ pub mod mutate;
 pub mod presets;
 pub mod realbugs;
 pub mod realbugs_c;
+pub mod registry;
 
 pub use android::{build_harness, ActivitySpec, AppSpec, HandlerSpec, TaskSpec};
 pub use generator::{generate, GeneratedWorkload, GroundTruth, WorkloadSpec};
-pub use mega::{mega_by_name, mega_presets, workload_by_name, MegaPreset};
+pub use mega::{mega_by_name, mega_presets, MegaPreset};
 pub use mutate::single_function_edit;
 pub use presets::{all_presets, preset_by_name, Preset};
 pub use realbugs::{all_models, extended_models, RealBugModel};
 pub use realbugs_c::{all_c_models, extended_c_models};
+pub use registry::{all_workload_names, workload_by_name};

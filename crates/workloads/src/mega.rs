@@ -180,15 +180,6 @@ pub fn mega_by_name(name: &str) -> Option<MegaPreset> {
     mega_presets().into_iter().find(|p| p.name == name)
 }
 
-/// Resolves any named workload: a Table 5 preset first, then a `mega-*`
-/// preset.
-pub fn workload_by_name(name: &str) -> Option<GeneratedWorkload> {
-    if let Some(p) = crate::presets::preset_by_name(name) {
-        return Some(p.generate());
-    }
-    mega_by_name(name).map(|m| m.generate())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -222,12 +213,5 @@ mod tests {
         let b = mega_by_name("mega-smoke").unwrap().generate();
         assert_eq!(a.program.num_statements(), b.program.num_statements());
         assert_eq!(a.truth.racy_fields, b.truth.racy_fields);
-    }
-
-    #[test]
-    fn workload_by_name_resolves_both_registries() {
-        assert!(workload_by_name("avrora").is_some());
-        assert!(workload_by_name("mega-smoke").is_some());
-        assert!(workload_by_name("nonsense").is_none());
     }
 }

@@ -1,0 +1,142 @@
+//! The one name → workload registry.
+//!
+//! Four sources feed the workspace's benchmarks — Table 5–9 presets,
+//! mega-scale presets, and the Java-style and C-style real-bug models —
+//! and before this module each consumer stitched its own subset together.
+//! [`workload_by_name`] resolves them all behind one spec syntax, which
+//! is also exactly what a batch manifest line holds:
+//!
+//! - `avrora`, `mega-grid`, … — a preset (Tables 5–9) or mega preset;
+//! - `realbug:zookeeper` — a §5.4 real-bug model (Java-style frontend);
+//! - `realbug-c:memcached` — a C-style real-bug model.
+//!
+//! The prefixes exist because the namespaces overlap: the preset
+//! `zookeeper` (a synthetic workload matching the benchmark's Table 5
+//! statistics) and the real-bug model `zookeeper` (the §5.4 bug) are
+//! different programs, so a bare name never silently resolves to a
+//! real-bug model.
+
+use crate::generator::{GeneratedWorkload, GroundTruth};
+use crate::mega::mega_by_name;
+use crate::presets::preset_by_name;
+use crate::realbugs::{all_models, extended_models, RealBugModel};
+use crate::realbugs_c::{all_c_models, extended_c_models};
+
+fn model_workload(m: RealBugModel, prefix: &str) -> GeneratedWorkload {
+    GeneratedWorkload {
+        name: format!("{prefix}{}", m.name),
+        program: m.program,
+        truth: GroundTruth {
+            // The confirmed bug count stands in for planted racy fields:
+            // one synthetic entry per expected race keeps
+            // `GroundTruth::has_parallelism`-style consumers working
+            // without pretending we know the field names.
+            racy_fields: (0..m.expected_races)
+                .map(|i| format!("confirmed#{i}"))
+                .collect(),
+            ..GroundTruth::default()
+        },
+    }
+}
+
+fn realbug_by_name(name: &str) -> Option<RealBugModel> {
+    all_models()
+        .into_iter()
+        .chain(extended_models())
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+fn realbug_c_by_name(name: &str) -> Option<RealBugModel> {
+    all_c_models()
+        .into_iter()
+        .chain(extended_c_models())
+        .find(|m| m.name.eq_ignore_ascii_case(name))
+}
+
+/// Resolves a workload spec against every registry. Returns `None` for
+/// unknown names — including a known real-bug name given without its
+/// prefix, because bare names are reserved for the preset namespaces.
+pub fn workload_by_name(spec: &str) -> Option<GeneratedWorkload> {
+    if let Some(name) = spec.strip_prefix("realbug:") {
+        return realbug_by_name(name).map(|m| model_workload(m, "realbug:"));
+    }
+    if let Some(name) = spec.strip_prefix("realbug-c:") {
+        return realbug_c_by_name(name).map(|m| model_workload(m, "realbug-c:"));
+    }
+    if let Some(p) = preset_by_name(spec) {
+        return Some(p.generate());
+    }
+    mega_by_name(spec).map(|m| m.generate())
+}
+
+/// Every spec the registry can resolve, in a stable order (presets, mega
+/// presets, prefixed real-bug models). Useful for building exhaustive
+/// manifests and for diagnostics on unknown names.
+pub fn all_workload_names() -> Vec<String> {
+    let mut names: Vec<String> = crate::presets::all_presets()
+        .iter()
+        .map(|p| p.name.to_string())
+        .collect();
+    names.extend(
+        crate::mega::mega_presets()
+            .iter()
+            .map(|m| m.name.to_string()),
+    );
+    names.extend(
+        all_models()
+            .into_iter()
+            .chain(extended_models())
+            .map(|m| format!("realbug:{}", m.name)),
+    );
+    names.extend(
+        all_c_models()
+            .into_iter()
+            .chain(extended_c_models())
+            .map(|m| format!("realbug-c:{}", m.name)),
+    );
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_all_four_registries() {
+        assert!(workload_by_name("avrora").is_some());
+        assert!(workload_by_name("mega-smoke").is_some());
+        // Lookups are case-insensitive; the workload carries the
+        // canonical Table 10 name.
+        let rb = workload_by_name("realbug:zookeeper").unwrap();
+        assert_eq!(rb.name, "realbug:ZooKeeper");
+        assert!(!rb.truth.racy_fields.is_empty());
+        assert!(workload_by_name("realbug-c:memcached").is_some());
+        assert!(workload_by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn bare_names_never_resolve_to_realbug_models() {
+        // `zookeeper` exists as both a preset and (modulo case) a
+        // real-bug model; the bare name must resolve to the preset.
+        let w = workload_by_name("zookeeper").unwrap();
+        assert_eq!(w.name, "zookeeper");
+        let m = workload_by_name("realbug:zookeeper").unwrap();
+        assert!(
+            w.program.num_statements() != m.program.num_statements(),
+            "preset and model are different programs"
+        );
+    }
+
+    #[test]
+    fn every_listed_name_resolves() {
+        let names = all_workload_names();
+        assert!(names.len() > 20, "{} names", names.len());
+        for n in &names {
+            assert!(workload_by_name(n).is_some(), "{n} must resolve");
+        }
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "specs are unique");
+    }
+}

@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Full offline verification: formatting, release build, complete test
 # suite (which diffs the checked-in golden JSON/SARIF reports under
-# tests/golden/), lints, and the PR 1/PR 2/PR 3/PR 5/PR 6 reports
-# (BENCH_pr1.json through BENCH_pr7.json at the repo root).
+# tests/golden/), lints, and the PR 1 through PR 8 reports
+# (BENCH_pr1.json through BENCH_pr8.json at the repo root).
 #
 # Bench groups that report cold end-to-end times (pr3, pr5, pr6, pr7) are
 # gated against the *committed* BENCH_*.json baselines: after each group
@@ -32,7 +32,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # Snapshot the committed baselines before any group overwrites them.
 baseline_dir=$(mktemp -d)
 trap 'rm -rf "$baseline_dir"' EXIT
-for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json; do
+for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json; do
     if [ -f "$f" ]; then cp "$f" "$baseline_dir/$f"; fi
 done
 
@@ -54,8 +54,11 @@ cargo run --release --offline -p o2-bench --bin bench -- --group pr6
 echo "==> bench --group pr7 (writes BENCH_pr7.json)"
 cargo run --release --offline -p o2-bench --bin bench -- --group pr7
 
+echo "==> bench --group pr8 (writes BENCH_pr8.json)"
+cargo run --release --offline -p o2-bench --bin bench -- --group pr8
+
 echo "==> cold end-to-end regression gate (vs committed baselines)"
-for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json; do
+for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json; do
     if [ -f "$baseline_dir/$f" ]; then
         cargo run --release --offline -p o2-bench --bin bench -- \
             --regress "$baseline_dir/$f" "$f"
@@ -67,5 +70,17 @@ cargo test -q --offline --test incremental --test db_determinism --test roundtri
 
 echo "==> golden report diffs (incl. mega presets)"
 cargo test -q --offline --test golden --test mega
+
+echo "==> batch determinism tests + o2 batch smoke"
+cargo test -q --offline --test batch
+batch_manifest=$(mktemp)
+batch_a=$(mktemp)
+batch_b=$(mktemp)
+trap 'rm -rf "$baseline_dir" "$batch_manifest" "$batch_a" "$batch_b"' EXIT
+printf 'avrora\nlusearch\nmega-smoke\nrealbug:ZooKeeper\nrealbug-c:Memcached\n' > "$batch_manifest"
+./target/release/o2 batch "$batch_manifest" --workers 1 --format sarif --quiet > "$batch_a" || true
+./target/release/o2 batch "$batch_manifest" --workers 4 --format sarif --quiet > "$batch_b" || true
+cmp "$batch_a" "$batch_b"
+echo "batch smoke: merged SARIF byte-identical at 1 and 4 workers"
 
 echo "==> verify OK"

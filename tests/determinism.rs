@@ -84,9 +84,12 @@ fn delta_solver_matches_baseline_on_presets() {
         let w = o2_workloads::preset_by_name(name)
             .expect("preset exists")
             .generate();
-        let diff = o2_pta::analyze(&w.program, &o2_pta::PtaConfig::default());
+        let diff = o2_pta::analyze(
+            &o2_ir::ProgramCtx::solo(&w.program),
+            &o2_pta::PtaConfig::default(),
+        );
         let full = o2_pta::analyze(
-            &w.program,
+            &o2_ir::ProgramCtx::solo(&w.program),
             &o2_pta::PtaConfig {
                 difference_propagation: false,
                 ..Default::default()

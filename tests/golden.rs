@@ -131,6 +131,32 @@ fn goldens_are_byte_identical_across_thread_counts() {
 }
 
 #[test]
+fn corpus_sarif_matches_golden() {
+    // The merged `o2 batch` SARIF document: one run (a single
+    // `automationDetails.id`), results grouped by program in ascending
+    // name order, every result tagged with `properties.program`. The
+    // golden pins the exact bytes, so any drift in the corpus merge —
+    // ordering, run identity, program tagging — shows up as a diff.
+    let engine = O2Builder::new().build();
+    let entries: Vec<o2::BatchEntry> = ["realbug:Memcached", "realbug:ZooKeeper", "avrora"]
+        .iter()
+        .map(|spec| {
+            let w = o2_workloads::workload_by_name(spec).unwrap();
+            o2::BatchEntry {
+                name: w.name,
+                program: w.program,
+            }
+        })
+        .collect();
+    let run = o2::run_batch(&engine, &entries, 2);
+    check("corpus", "sarif", &run.sarif);
+    // The same entries through a second batch with different worker
+    // count must reproduce the golden too.
+    let run1 = o2::run_batch(&engine, &entries, 1);
+    check("corpus", "sarif", &run1.sarif);
+}
+
+#[test]
 fn goldens_put_every_race_in_the_high_tier() {
     // The goldens must never silently capture a recall regression: each
     // model's triaged report carries exactly the paper's confirmed races,
