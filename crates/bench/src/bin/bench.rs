@@ -26,6 +26,8 @@
 //!                      (writes BENCH_pr7.json; see `--out`)
 //!         pr8          whole-corpus batch throughput at 1/2/4 workers
 //!                      (writes BENCH_pr8.json; see `--out`)
+//!         pr9          o2 serve daemon cold/warm latency + loadgen row
+//!                      (writes BENCH_pr9.json; see `--out`)
 //!
 //! bench --regress BASELINE.json CURRENT.json
 //! ```
@@ -40,7 +42,7 @@
 //! `scripts/verify.sh` against the committed `BENCH_*.json` files.
 
 use o2_analysis::{run_escape, run_osa};
-use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5, pr6, pr7, pr8};
+use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5, pr6, pr7, pr8, pr9};
 use o2_detect::{detect, DetectConfig};
 use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 use o2_shb::{build_shb, ShbConfig};
@@ -93,6 +95,7 @@ fn main() {
             "pr6".into(),
             "pr7".into(),
             "pr8".into(),
+            "pr9".into(),
         ];
     }
     for g in &groups {
@@ -109,6 +112,7 @@ fn main() {
             "pr6" => pr6_group(iters, out.as_deref().unwrap_or("BENCH_pr6.json")),
             "pr7" => pr7_group(iters, out.as_deref().unwrap_or("BENCH_pr7.json")),
             "pr8" => pr8_group(iters, out.as_deref().unwrap_or("BENCH_pr8.json")),
+            "pr9" => pr9_group(iters, out.as_deref().unwrap_or("BENCH_pr9.json")),
             other => {
                 eprintln!("unknown group `{other}`");
                 usage();
@@ -339,6 +343,24 @@ fn pr8_group(iters: usize, out: &str) {
     if !report.all_pass() {
         eprintln!(
             "pr8: batch output diverged across worker counts or scored no cross-program hits"
+        );
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+fn pr9_group(iters: usize, out: &str) {
+    let opts = pr9::Pr9Options {
+        iters,
+        out_path: Some(out.to_string()),
+        ..Default::default()
+    };
+    let report = pr9::run(&opts);
+    print!("{}", report.render());
+    if !report.all_pass() {
+        eprintln!(
+            "pr9: a daemon response diverged from the solo CLI or warm latency \
+             missed the 0.5x-of-cold bar on two presets"
         );
         std::process::exit(1);
     }

@@ -25,6 +25,7 @@ pub mod pr5;
 pub mod pr6;
 pub mod pr7;
 pub mod pr8;
+pub mod pr9;
 pub mod tables;
 
 /// The outcome of running one (program, policy) cell of a table.

@@ -183,6 +183,19 @@ impl BatchReport {
             self.hit_rate() * 100.0,
             self.wall_ms
         );
+        let s = &self.store;
+        let _ = writeln!(
+            out,
+            "store: {} checkouts, {} publishes, {} artifacts pooled ({} offered, \
+             {} digest collisions, {:.1}% collision rate), {:.1}% cross-program hit rate",
+            s.checkouts,
+            s.publishes,
+            s.artifacts_accepted,
+            s.artifacts_offered,
+            s.digest_collisions(),
+            s.collision_rate() * 100.0,
+            self.hit_rate() * 100.0,
+        );
         out
     }
 }
@@ -196,9 +209,22 @@ struct Slot {
 /// threads sharing one artifact pool. See the module docs for the
 /// determinism contract.
 pub fn run_batch(engine: &O2, entries: &[BatchEntry], workers: usize) -> BatchReport {
+    let store = SharedStore::new(engine.config_sig());
+    run_batch_with_store(engine, entries, workers, &store)
+}
+
+/// [`run_batch`] against a caller-provided artifact pool. The pool must
+/// carry `engine.config_sig()` (checkout/publish assert it); after the
+/// run its accumulated artifacts can be snapshotted and persisted, which
+/// is how `o2 batch --save-db` seeds a daemon's warm start.
+pub fn run_batch_with_store(
+    engine: &O2,
+    entries: &[BatchEntry],
+    workers: usize,
+    store: &SharedStore,
+) -> BatchReport {
     let workers = workers.max(1);
     let t0 = Instant::now();
-    let store = SharedStore::new(engine.config_sig());
     let claim = AtomicUsize::new(0);
     let slots: Mutex<Vec<Option<Slot>>> = Mutex::new((0..entries.len()).map(|_| None).collect());
 

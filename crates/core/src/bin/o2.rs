@@ -64,6 +64,14 @@ struct Options {
     html: Option<String>,
     save_db: Option<String>,
     load_db: Option<String>,
+    /// `serve` mode: `file` is a listen address, not a program.
+    serve: bool,
+    /// `loadgen` mode: `file` is a daemon address, not a program.
+    loadgen: bool,
+    /// `serve --port-file`: write the bound address here once listening.
+    port_file: Option<String>,
+    lg: o2::LoadgenConfig,
+    smoke: bool,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -92,6 +100,11 @@ fn parse_args() -> Result<Options, String> {
         html: None,
         save_db: None,
         load_db: None,
+        serve: false,
+        loadgen: false,
+        port_file: None,
+        lg: o2::LoadgenConfig::default(),
+        smoke: false,
     };
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut files: Vec<String> = Vec::new();
@@ -137,6 +150,65 @@ fn parse_args() -> Result<Options, String> {
             }
             "--dot-shb" => opts.dot_shb = true,
             "--dot-callgraph" => opts.dot_callgraph = true,
+            "--port-file" => {
+                i += 1;
+                opts.port_file = Some(args.get(i).ok_or("--port-file needs a path")?.clone());
+            }
+            "--seed" => {
+                i += 1;
+                let v = args.get(i).ok_or("--seed needs a value")?;
+                opts.lg.seed = v.parse().map_err(|_| "invalid --seed")?;
+            }
+            "--clients" => {
+                i += 1;
+                let v = args.get(i).ok_or("--clients needs a value")?;
+                let n: usize = v.parse().map_err(|_| "invalid --clients")?;
+                if n == 0 {
+                    return Err("--clients must be at least 1".to_string());
+                }
+                opts.lg.clients = n;
+            }
+            "--requests" => {
+                i += 1;
+                let v = args.get(i).ok_or("--requests needs a value")?;
+                opts.lg.requests = v.parse().map_err(|_| "invalid --requests")?;
+            }
+            "--rate" => {
+                i += 1;
+                let v = args.get(i).ok_or("--rate needs a value")?;
+                let r: f64 = v.parse().map_err(|_| "invalid --rate")?;
+                if !r.is_finite() || r < 0.0 {
+                    return Err("--rate must be a finite non-negative number".to_string());
+                }
+                opts.lg.rate = r;
+            }
+            "--workloads" => {
+                i += 1;
+                let v = args.get(i).ok_or("--workloads needs a comma list")?;
+                opts.lg.workloads = v.split(',').map(|s| s.trim().to_string()).collect();
+            }
+            "--zipf" => {
+                i += 1;
+                let v = args.get(i).ok_or("--zipf needs a value")?;
+                opts.lg.zipf_s = v.parse().map_err(|_| "invalid --zipf")?;
+            }
+            "--edit-prob" => {
+                i += 1;
+                let v = args.get(i).ok_or("--edit-prob needs a value")?;
+                let p: f64 = v.parse().map_err(|_| "invalid --edit-prob")?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err("--edit-prob must be in 0..=1".to_string());
+                }
+                opts.lg.edit_prob = p;
+            }
+            "--max-edit" => {
+                i += 1;
+                let v = args.get(i).ok_or("--max-edit needs a value")?;
+                opts.lg.max_edit = v.parse().map_err(|_| "invalid --max-edit")?;
+            }
+            "--verify" => opts.lg.verify = true,
+            "--shutdown" => opts.lg.shutdown = true,
+            "--smoke" => opts.smoke = true,
             "--timeout" => {
                 i += 1;
                 let v = args.get(i).ok_or("--timeout needs a value")?;
@@ -186,6 +258,18 @@ fn parse_args() -> Result<Options, String> {
         }
         opts.batch = true;
         opts.file = files[1].clone();
+    } else if files.first().map(String::as_str) == Some("serve") {
+        if files.len() != 2 {
+            return Err("serve needs exactly one listen address (e.g. 127.0.0.1:7411)".to_string());
+        }
+        opts.serve = true;
+        opts.file = files[1].clone();
+    } else if files.first().map(String::as_str) == Some("loadgen") {
+        if files.len() != 2 {
+            return Err("loadgen needs exactly one daemon address".to_string());
+        }
+        opts.loadgen = true;
+        opts.file = files[1].clone();
     } else {
         match files.len() {
             0 => return Err("no input file".to_string()),
@@ -227,11 +311,156 @@ fn usage() {
          \x20         [--dot-shb] [--dot-callgraph] [--html FILE]\n\
          \x20         [--save-db FILE] [--load-db FILE]\n\
          \x20      o2 diff-analyze <old.o2> <new.o2> [same flags]\n\
-         \x20      o2 batch <manifest> [--workers N] [--format json|sarif] [same flags]\n\
+         \x20      o2 batch <manifest> [--workers N] [--format json|sarif] [--save-db FILE]\n\
+         \x20         [same flags]\n\
          \x20         manifest: one entry per line — a registry workload name\n\
          \x20         (avrora, mega-smoke, realbug:ZooKeeper, realbug-c:Memcached)\n\
-         \x20         or `name = path/to/file.o2`; `#` starts a comment"
+         \x20         or `name = path/to/file.o2`; `#` starts a comment\n\
+         \x20      o2 serve <addr> [--workers N] [--load-db FILE] [--save-db FILE]\n\
+         \x20         [--port-file FILE] [--quiet] [same engine flags]\n\
+         \x20         resident daemon; line-delimited JSON protocol (DESIGN §14)\n\
+         \x20      o2 loadgen <addr> [--seed N] [--clients N] [--requests N] [--rate R]\n\
+         \x20         [--workloads a,b,c] [--zipf S] [--edit-prob P] [--max-edit N]\n\
+         \x20         [--verify] [--smoke] [--shutdown] [--json]\n\
+         \x20         deterministic open-system load driver (latency p50/p90/p99)"
     );
+}
+
+/// `o2 serve <addr>`: bind, optionally pre-seed the artifact pool from
+/// `--load-db`, and run the accept loop until a `shutdown` request.
+/// With `--save-db` the pool is snapshotted to disk on the way out.
+fn run_serve_mode(engine: &O2, opts: &Options) -> ExitCode {
+    use std::sync::Arc;
+    let state = Arc::new(o2::serve::ServeState::new(engine.clone()));
+    if let Some(path) = &opts.load_db {
+        let p = std::path::Path::new(path);
+        if p.exists() {
+            match AnalysisDb::load(p) {
+                Ok(image) => match state.preseed(&image) {
+                    Ok(n) => {
+                        if !opts.quiet {
+                            eprintln!("o2 serve: pre-seeded {n} artifacts from {path}");
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("error: {path}: {e}");
+                        return ExitCode::from(2);
+                    }
+                },
+                Err(e) => {
+                    eprintln!("error: {path}: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    }
+    let listener = match std::net::TcpListener::bind(&opts.file) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("error: cannot bind {}: {e}", opts.file);
+            return ExitCode::from(2);
+        }
+    };
+    let local = match listener.local_addr() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(path) = &opts.port_file {
+        if let Err(e) = std::fs::write(path, format!("{local}\n")) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+    }
+    if !opts.quiet {
+        eprintln!("o2 serve: listening on {local}");
+    }
+    let serve_opts = o2::ServeOptions {
+        workers: opts.workers.unwrap_or(0),
+        ..Default::default()
+    };
+    if let Err(e) = o2::serve::run(listener, &state, &serve_opts) {
+        eprintln!("error: {e}");
+        return ExitCode::from(2);
+    }
+    if let Some(path) = &opts.save_db {
+        if let Err(e) = state.snapshot_db().save(std::path::Path::new(path)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        if !opts.quiet {
+            eprintln!("o2 serve: saved artifact pool to {path}");
+        }
+    }
+    if !opts.quiet {
+        let s = state.stats();
+        eprintln!(
+            "o2 serve: {} requests ({} analyze, {} diff, {} errors), \
+             {} report hits, {:.1}% replay rate",
+            s.requests,
+            s.analyze_ok,
+            s.diff_ok,
+            s.errors,
+            s.report_hits,
+            s.replay_rate() * 100.0
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `o2 loadgen <addr>`: drive a running daemon. `--smoke` runs the CI
+/// sequence (cold + warm + byte-compare against the solo oracle)
+/// instead of the full schedule.
+fn run_loadgen_mode(engine: &O2, opts: &Options) -> ExitCode {
+    if opts.smoke {
+        return match o2::loadgen::run_smoke(&opts.file, engine, opts.lg.shutdown) {
+            Ok(line) => {
+                println!("{line}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(1)
+            }
+        };
+    }
+    match o2::run_loadgen(&opts.file, engine, &opts.lg) {
+        Ok(report) => {
+            if opts.json {
+                println!(
+                    "{{\"requests\":{},\"errors\":{},\"mismatches\":{},\"warm\":{},\
+                     \"wall_ms\":{:.3},\"analyses_per_sec\":{:.3},\
+                     \"cold_p50_ms\":{:.3},\"cold_p90_ms\":{:.3},\"cold_p99_ms\":{:.3},\
+                     \"warm_p50_ms\":{:.3},\"warm_p90_ms\":{:.3},\"warm_p99_ms\":{:.3}}}",
+                    report.requests,
+                    report.errors,
+                    report.mismatches,
+                    report.warm_responses,
+                    report.wall_ms,
+                    report.analyses_per_sec,
+                    report.cold.p50,
+                    report.cold.p90,
+                    report.cold.p99,
+                    report.warm.p50,
+                    report.warm.p90,
+                    report.warm.p99,
+                );
+            } else {
+                print!("{}", report.render());
+            }
+            if report.errors == 0 && report.mismatches == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
 }
 
 /// `o2 batch manifest`: analyze the whole corpus over a shared artifact
@@ -260,7 +489,17 @@ fn run_batch_mode(engine: &O2, opts: &Options) -> ExitCode {
             .map(|n| n.get())
             .unwrap_or(1)
     });
-    let report = o2::run_batch(engine, &entries, workers);
+    let store = o2_db::SharedStore::new(engine.config_sig());
+    let report = o2::run_batch_with_store(engine, &entries, workers, &store);
+    if let Some(path) = &opts.save_db {
+        if let Err(e) = store.snapshot().save(std::path::Path::new(path)) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        if !opts.quiet {
+            eprintln!("o2 batch: saved artifact pool to {path}");
+        }
+    }
     match opts.format {
         Some(Format::Sarif) => print!("{}", report.sarif),
         Some(Format::Text) | None => {}
@@ -366,6 +605,14 @@ fn main() -> ExitCode {
     if opts.batch {
         // The positional argument is a manifest, not a program.
         return run_batch_mode(&engine, &opts);
+    }
+    if opts.serve {
+        // The positional argument is a listen address.
+        return run_serve_mode(&engine, &opts);
+    }
+    if opts.loadgen {
+        // The positional argument is a running daemon's address.
+        return run_loadgen_mode(&engine, &opts);
     }
 
     let program = match load_program(&opts.file, opts.c_frontend) {

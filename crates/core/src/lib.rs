@@ -37,9 +37,15 @@
 
 pub mod batch;
 pub mod incremental;
+pub mod loadgen;
+pub mod serve;
 
-pub use batch::{parse_manifest, run_batch, BatchEntry, BatchReport, ProgramOutcome};
+pub use batch::{
+    parse_manifest, run_batch, run_batch_with_store, BatchEntry, BatchReport, ProgramOutcome,
+};
 pub use incremental::{DiffAnalysis, IncrStats};
+pub use loadgen::{run_loadgen, LatencyStats, LoadgenConfig, LoadgenReport};
+pub use serve::{Client, ServeOptions, ServerHandle};
 
 use o2_analysis::{run_osa_bounded, OsaResult};
 use o2_detect::{detect, DetectConfig, RaceReport};

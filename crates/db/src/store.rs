@@ -34,6 +34,28 @@ pub struct StoreStats {
     /// New artifacts the pool accepted from publishes (duplicates of
     /// already-pooled digests are dropped, not overwritten).
     pub artifacts_accepted: usize,
+    /// Artifacts offered across all publishes, accepted or not.
+    pub artifacts_offered: usize,
+}
+
+impl StoreStats {
+    /// Offered artifacts whose digest the pool had already seen
+    /// (first-in-wins drops; identical content by the digest invariant).
+    pub fn digest_collisions(&self) -> usize {
+        self.artifacts_offered
+            .saturating_sub(self.artifacts_accepted)
+    }
+
+    /// Fraction of offered artifacts the pool already held, in `[0, 1]`.
+    /// A high rate means publishers mostly recomputed (or replayed) what
+    /// some earlier publisher had already minted.
+    pub fn collision_rate(&self) -> f64 {
+        if self.artifacts_offered == 0 {
+            0.0
+        } else {
+            self.digest_collisions() as f64 / self.artifacts_offered as f64
+        }
+    }
 }
 
 /// A digest-keyed artifact pool shared by every worker of a batch run.
@@ -77,11 +99,54 @@ impl SharedStore {
     /// digest collision means identical content, so first-in wins).
     /// Returns how many artifacts the pool accepted.
     pub fn publish(&self, db: &AnalysisDb) -> usize {
+        let offered = db.osa_mi.len() + db.shb_origin.len() + db.verdicts.len();
         let mut inner = self.inner.lock().expect("shared store poisoned");
         let accepted = inner.db.absorb_artifacts(db);
         inner.stats.publishes += 1;
         inner.stats.artifacts_accepted += accepted;
+        inner.stats.artifacts_offered += offered;
         accepted
+    }
+
+    /// Seeds the pool from a persisted database image (the
+    /// `--save-db`/`--load-db` warm-restart path). The image's artifacts
+    /// are absorbed without counting as a publish, so [`StoreStats`]
+    /// still describes only this process's traffic. The image must have
+    /// been recorded under the pool's configuration signature; an
+    /// incompatible image is rejected so stale artifacts can never leak
+    /// into replay.
+    ///
+    /// Returns how many artifacts were seeded, or an error message on a
+    /// configuration mismatch.
+    pub fn preseed(&self, image: &AnalysisDb) -> Result<usize, String> {
+        let mut inner = self.inner.lock().expect("shared store poisoned");
+        if image.config_sig != inner.db.config_sig {
+            return Err(format!(
+                "database image was recorded under a different analysis \
+                 configuration (image {:?}, store {:?})",
+                image.config_sig, inner.db.config_sig
+            ));
+        }
+        Ok(inner.db.absorb_artifacts(image))
+    }
+
+    /// A point-in-time copy of the pooled artifacts as a standalone
+    /// database image, suitable for [`AnalysisDb::save`]. The snapshot
+    /// carries only pool state (configuration signature + artifact
+    /// sections); program-identity sections stay default, exactly as in
+    /// a live pool.
+    pub fn snapshot(&self) -> AnalysisDb {
+        self.inner.lock().expect("shared store poisoned").db.clone()
+    }
+
+    /// The configuration signature this pool's artifacts were minted
+    /// under.
+    pub fn config_sig(&self) -> Digest {
+        self.inner
+            .lock()
+            .expect("shared store poisoned")
+            .db
+            .config_sig
     }
 
     /// Point-in-time copy of the pool's accounting.
@@ -314,6 +379,45 @@ mod tests {
         assert_eq!(stats.publishes, 1);
         assert_eq!(stats.artifacts_accepted, 1);
         assert_eq!(stats.artifacts_seeded, 1);
+        assert_eq!(stats.artifacts_offered, 1);
+        assert_eq!(stats.digest_collisions(), 0);
         assert_eq!(store.pooled(), (1, 0, 0));
+    }
+
+    #[test]
+    fn republishing_counts_collisions_not_accepts() {
+        let store = SharedStore::new(Digest(7, 7));
+        store.publish(&db_with_field_artifact("data", &[]));
+        // Same digest offered again: dropped first-in-wins, counted as a
+        // collision.
+        store.publish(&db_with_field_artifact("data", &["x"]));
+        let stats = store.stats();
+        assert_eq!(stats.artifacts_offered, 2);
+        assert_eq!(stats.artifacts_accepted, 1);
+        assert_eq!(stats.digest_collisions(), 1);
+        assert!((stats.collision_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn snapshot_preseed_restores_pool_across_stores() {
+        let store = SharedStore::new(Digest(7, 7));
+        store.publish(&db_with_field_artifact("data", &[]));
+        let image = store.snapshot();
+        assert_eq!(image.config_sig, Digest(7, 7));
+
+        // A restarted store under the same configuration starts warm.
+        let restarted = SharedStore::new(Digest(7, 7));
+        assert_eq!(restarted.preseed(&image), Ok(1));
+        assert_eq!(restarted.pooled(), (1, 0, 0));
+        // Pre-seeding is not a publish: traffic counters stay zero.
+        assert_eq!(restarted.stats().publishes, 0);
+        assert_eq!(restarted.stats().artifacts_offered, 0);
+        let db = restarted.checkout();
+        assert_eq!(db.osa_mi.len(), 1, "preseeded artifacts seed checkouts");
+
+        // A store under a different configuration rejects the image.
+        let other = SharedStore::new(Digest(8, 8));
+        assert!(other.preseed(&image).is_err());
+        assert_eq!(other.pooled(), (0, 0, 0));
     }
 }

@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Full offline verification: formatting, release build, complete test
 # suite (which diffs the checked-in golden JSON/SARIF reports under
-# tests/golden/), lints, and the PR 1 through PR 8 reports
-# (BENCH_pr1.json through BENCH_pr8.json at the repo root).
+# tests/golden/), lints, and the PR 1 through PR 9 reports
+# (BENCH_pr1.json through BENCH_pr9.json at the repo root).
 #
 # Bench groups that report cold end-to-end times (pr3, pr5, pr6, pr7) are
 # gated against the *committed* BENCH_*.json baselines: after each group
@@ -32,7 +32,7 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 # Snapshot the committed baselines before any group overwrites them.
 baseline_dir=$(mktemp -d)
 trap 'rm -rf "$baseline_dir"' EXIT
-for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json; do
+for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json; do
     if [ -f "$f" ]; then cp "$f" "$baseline_dir/$f"; fi
 done
 
@@ -57,8 +57,11 @@ cargo run --release --offline -p o2-bench --bin bench -- --group pr7
 echo "==> bench --group pr8 (writes BENCH_pr8.json)"
 cargo run --release --offline -p o2-bench --bin bench -- --group pr8
 
+echo "==> bench --group pr9 (writes BENCH_pr9.json)"
+cargo run --release --offline -p o2-bench --bin bench -- --group pr9
+
 echo "==> cold end-to-end regression gate (vs committed baselines)"
-for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json; do
+for f in BENCH_pr1.json BENCH_pr2.json BENCH_pr3.json BENCH_pr5.json BENCH_pr6.json BENCH_pr7.json BENCH_pr8.json BENCH_pr9.json; do
     if [ -f "$baseline_dir/$f" ]; then
         cargo run --release --offline -p o2-bench --bin bench -- \
             --regress "$baseline_dir/$f" "$f"
@@ -82,5 +85,31 @@ printf 'avrora\nlusearch\nmega-smoke\nrealbug:ZooKeeper\nrealbug-c:Memcached\n' 
 ./target/release/o2 batch "$batch_manifest" --workers 4 --format sarif --quiet > "$batch_b" || true
 cmp "$batch_a" "$batch_b"
 echo "batch smoke: merged SARIF byte-identical at 1 and 4 workers"
+
+echo "==> serve daemon tests + o2 serve smoke"
+cargo test -q --offline --test serve
+port_file=$(mktemp)
+serve_db=$(mktemp -u)
+trap 'rm -rf "$baseline_dir" "$batch_manifest" "$batch_a" "$batch_b" "$port_file" "$serve_db"' EXIT
+rm -f "$port_file"
+./target/release/o2 serve 127.0.0.1:0 --port-file "$port_file" --save-db "$serve_db" --quiet &
+serve_pid=$!
+tries=0
+while [ ! -s "$port_file" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "serve smoke: daemon never wrote its port file" >&2
+        kill "$serve_pid" 2>/dev/null || true
+        exit 1
+    fi
+    sleep 0.1
+done
+serve_addr=$(cat "$port_file")
+# One cold + one warm request, byte-compared against the solo CLI
+# oracle inside loadgen's smoke mode, then a clean protocol shutdown.
+./target/release/o2 loadgen "$serve_addr" --smoke --shutdown
+wait "$serve_pid"
+test -s "$serve_db"
+echo "serve smoke: cold+warm byte-identical to solo, clean shutdown, pool saved"
 
 echo "==> verify OK"
