@@ -28,6 +28,9 @@
 //!                      (writes BENCH_pr8.json; see `--out`)
 //!         pr9          o2 serve daemon cold/warm latency + loadgen row
 //!                      (writes BENCH_pr9.json; see `--out`)
+//!         pr10         error-plane latency: structured error answers,
+//!                      budget overhead, malformed-injection load
+//!                      (writes BENCH_pr10.json; see `--out`)
 //!
 //! bench --regress BASELINE.json CURRENT.json
 //! ```
@@ -42,7 +45,7 @@
 //! `scripts/verify.sh` against the committed `BENCH_*.json` files.
 
 use o2_analysis::{run_escape, run_osa};
-use o2_bench::{fmt_dur, pr1, pr2, pr3, pr5, pr6, pr7, pr8, pr9};
+use o2_bench::{fmt_dur, pr1, pr10, pr2, pr3, pr5, pr6, pr7, pr8, pr9};
 use o2_detect::{detect, DetectConfig};
 use o2_pta::{analyze, OriginId, Policy, PtaConfig};
 use o2_shb::{build_shb, ShbConfig};
@@ -96,6 +99,7 @@ fn main() {
             "pr7".into(),
             "pr8".into(),
             "pr9".into(),
+            "pr10".into(),
         ];
     }
     for g in &groups {
@@ -113,6 +117,7 @@ fn main() {
             "pr7" => pr7_group(iters, out.as_deref().unwrap_or("BENCH_pr7.json")),
             "pr8" => pr8_group(iters, out.as_deref().unwrap_or("BENCH_pr8.json")),
             "pr9" => pr9_group(iters, out.as_deref().unwrap_or("BENCH_pr9.json")),
+            "pr10" => pr10_group(iters, out.as_deref().unwrap_or("BENCH_pr10.json")),
             other => {
                 eprintln!("unknown group `{other}`");
                 usage();
@@ -361,6 +366,24 @@ fn pr9_group(iters: usize, out: &str) {
         eprintln!(
             "pr9: a daemon response diverged from the solo CLI or warm latency \
              missed the 0.5x-of-cold bar on two presets"
+        );
+        std::process::exit(1);
+    }
+    println!("wrote {out}");
+}
+
+fn pr10_group(iters: usize, out: &str) {
+    let opts = pr10::Pr10Options {
+        iters,
+        out_path: Some(out.to_string()),
+        ..Default::default()
+    };
+    let report = pr10::run(&opts);
+    print!("{}", report.render());
+    if !report.all_pass() {
+        eprintln!(
+            "pr10: an error request answered unstructured, the injection load saw \
+             residual errors, or the budget checkpoints cost more than 1.5x"
         );
         std::process::exit(1);
     }

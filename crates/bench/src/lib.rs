@@ -19,6 +19,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 pub mod pr1;
+pub mod pr10;
 pub mod pr2;
 pub mod pr3;
 pub mod pr5;

@@ -1,0 +1,319 @@
+//! The PR 10 error-plane harness: what a failure costs, written to
+//! `BENCH_pr10.json`.
+//!
+//! Three questions, one row each:
+//!
+//! - `err-parse` / `err-resolve` / `err-timeout` — how fast a live
+//!   daemon answers a structured error for a broken inline source, an
+//!   unknown workload, and a `deadline_ms: 0` request (best-of-N
+//!   round-trip, `cold_ms`). Error answers must be far cheaper than
+//!   analyses: nothing is computed, nothing is cached.
+//! - `budget-overhead` — the cost of the request-lifecycle [`Budget`]
+//!   on the success path: `try_analyze` with an unlimited budget vs the
+//!   plain infallible `analyze`, same program, best-of-N. The ratio
+//!   must stay within noise of 1.0 (checkpoints are two atomic loads).
+//! - `err-load` — an `o2 loadgen` run with `malformed_frac = 0.25`:
+//!   every injected request must come back as a structured error on a
+//!   surviving connection (`errors == 0`), with the error-path latency
+//!   percentiles reported alongside the analysis ones.
+//!
+//! Rows are one JSON object per line carrying `"workload"` and
+//! `"cold_ms"` so the shared `--regress` gate (pr6::cold_rows) can
+//! compare them against the committed baseline.
+
+use o2::serve::{spawn, Client, ServeState};
+use o2::{LoadgenConfig, O2Builder, ServeOptions, O2};
+use o2_ir::Budget;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Options for the PR 10 harness run.
+#[derive(Clone, Debug)]
+pub struct Pr10Options {
+    /// Repetitions per timed cell (best-of-N).
+    pub iters: usize,
+    /// Total requests of the error-injection load row.
+    pub load_requests: usize,
+    /// Concurrent clients of the error-injection load row.
+    pub load_clients: usize,
+    /// Fraction of injected malformed requests in the load row.
+    pub malformed_frac: f64,
+    /// Where to write the JSON report; `None` skips the write.
+    pub out_path: Option<String>,
+}
+
+impl Default for Pr10Options {
+    fn default() -> Self {
+        Pr10Options {
+            iters: 5,
+            load_requests: 48,
+            load_clients: 4,
+            malformed_frac: 0.25,
+            out_path: Some("BENCH_pr10.json".to_string()),
+        }
+    }
+}
+
+/// One error-path latency row.
+#[derive(Clone, Debug)]
+pub struct ErrRow {
+    /// Row name (`err-parse`, `err-resolve`, `err-timeout`).
+    pub name: String,
+    /// Best-of-N request round-trip (ms).
+    pub cold_ms: f64,
+    /// The stage tag the daemon answered.
+    pub stage: String,
+    /// Every response was a structured `"ok":false` line.
+    pub structured: bool,
+}
+
+/// The success-path budget-overhead row.
+#[derive(Clone, Debug)]
+pub struct OverheadRow {
+    /// Best-of-N `try_analyze` with an unlimited budget (ms).
+    pub cold_ms: f64,
+    /// Best-of-N plain `analyze` (ms).
+    pub plain_ms: f64,
+    /// `cold_ms / plain_ms`.
+    pub ratio: f64,
+}
+
+/// The error-injection load row.
+#[derive(Clone, Debug)]
+pub struct ErrLoadRow {
+    /// Requests sent (including injected ones).
+    pub requests: usize,
+    /// Injected malformed requests.
+    pub malformed: usize,
+    /// Injected requests answered with a structured error.
+    pub malformed_ok: usize,
+    /// Residual errors (must be 0: every injection answered, every
+    /// well-formed request succeeded).
+    pub errors: usize,
+    /// Error-path p50 under load (ms) — the regress-gated cell.
+    pub cold_ms: f64,
+    /// Error-path p99 under load (ms).
+    pub err_p99_ms: f64,
+    /// Successful-analysis p50 under load (ms), for contrast.
+    pub ok_p50_ms: f64,
+}
+
+/// The full harness result.
+#[derive(Clone, Debug)]
+pub struct Pr10Report {
+    /// One row per probed error shape.
+    pub errs: Vec<ErrRow>,
+    /// The budget-overhead row.
+    pub overhead: OverheadRow,
+    /// The error-injection load row.
+    pub load: ErrLoadRow,
+}
+
+fn best_of(iters: usize, mut f: impl FnMut() -> bool) -> (f64, bool) {
+    let mut best = f64::MAX;
+    let mut all_ok = true;
+    for _ in 0..iters.max(1) {
+        let t0 = Instant::now();
+        all_ok &= f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, all_ok)
+}
+
+fn err_row(client: &mut Client, iters: usize, name: &str, line: &str, stage: &str) -> ErrRow {
+    let (cold_ms, structured) = best_of(iters, || {
+        let map = client.request(line).expect("daemon answers errors");
+        map.get("ok").and_then(|v| v.as_bool()) == Some(false)
+            && map.get("stage").and_then(|v| v.as_str()) == Some(stage)
+    });
+    ErrRow {
+        name: name.to_string(),
+        cold_ms,
+        stage: stage.to_string(),
+        structured,
+    }
+}
+
+fn overhead_row(engine: &O2, iters: usize) -> OverheadRow {
+    let w = o2_workloads::workload_by_name("avrora").expect("preset resolves");
+    let (plain_ms, _) = best_of(iters, || {
+        std::hint::black_box(engine.analyze(&w.program));
+        true
+    });
+    let (cold_ms, ok) = best_of(iters, || {
+        engine
+            .try_analyze(&w.program, &Budget::unlimited())
+            .map(std::hint::black_box)
+            .is_ok()
+    });
+    assert!(ok, "unlimited budget cannot trip");
+    OverheadRow {
+        cold_ms,
+        plain_ms,
+        ratio: if plain_ms > 0.0 {
+            cold_ms / plain_ms
+        } else {
+            0.0
+        },
+    }
+}
+
+fn err_load_row(engine: &O2, opts: &Pr10Options) -> ErrLoadRow {
+    let state = Arc::new(ServeState::new(engine.clone()));
+    let server = spawn("127.0.0.1:0", state, ServeOptions::default()).expect("bind loopback");
+    let config = LoadgenConfig {
+        seed: 0x10_2026,
+        clients: opts.load_clients,
+        requests: opts.load_requests,
+        rate: 0.0,
+        workloads: vec!["avrora".to_string(), "realbug:ZooKeeper".to_string()],
+        zipf_s: 1.0,
+        edit_prob: 0.2,
+        max_edit: 2,
+        verify: false,
+        shutdown: false,
+        malformed_frac: opts.malformed_frac,
+    };
+    let report =
+        o2::run_loadgen(&server.addr().to_string(), engine, &config).expect("loadgen completes");
+    server.shutdown().expect("clean shutdown");
+    ErrLoadRow {
+        requests: report.requests,
+        malformed: report.malformed,
+        malformed_ok: report.malformed_ok,
+        errors: report.errors,
+        cold_ms: report.err.p50,
+        err_p99_ms: report.err.p99,
+        ok_p50_ms: report.all.p50,
+    }
+}
+
+/// Runs the full harness and (optionally) writes `BENCH_pr10.json`.
+pub fn run(opts: &Pr10Options) -> Pr10Report {
+    let engine = O2Builder::new().build();
+    let state = Arc::new(ServeState::new(engine.clone()));
+    let server = spawn("127.0.0.1:0", state, ServeOptions::default()).expect("bind loopback");
+    let mut client = Client::connect(server.addr()).expect("connect");
+    let errs = vec![
+        err_row(
+            &mut client,
+            opts.iters,
+            "err-parse",
+            "{\"op\":\"analyze\",\"source\":\"class Broken {\"}",
+            "parse",
+        ),
+        err_row(
+            &mut client,
+            opts.iters,
+            "err-resolve",
+            "{\"op\":\"analyze\",\"workload\":\"no-such-workload\"}",
+            "resolve",
+        ),
+        err_row(
+            &mut client,
+            opts.iters,
+            "err-timeout",
+            "{\"op\":\"analyze\",\"workload\":\"avrora\",\"deadline_ms\":0}",
+            "timeout",
+        ),
+    ];
+    server.shutdown().expect("clean shutdown");
+    let overhead = overhead_row(&engine, opts.iters);
+    let load = err_load_row(&engine, opts);
+    let report = Pr10Report {
+        errs,
+        overhead,
+        load,
+    };
+    if let Some(path) = &opts.out_path {
+        std::fs::write(path, report.to_json()).expect("write BENCH_pr10.json");
+    }
+    report
+}
+
+impl Pr10Report {
+    /// `true` when every probed error answered structured, the load row
+    /// saw every injection answered and zero residual errors, and the
+    /// unlimited-budget overhead stayed under 1.5x (generous: the two
+    /// paths differ by atomic loads, but tiny presets are noisy).
+    pub fn all_pass(&self) -> bool {
+        self.errs.iter().all(|r| r.structured)
+            && self.load.errors == 0
+            && self.load.malformed_ok == self.load.malformed
+            && self.load.malformed > 0
+            && self.overhead.ratio < 1.5
+    }
+
+    /// Serializes the report (hand-rolled JSON, stable schema; one row
+    /// per line so the `--regress` gate can read `cold_ms`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"rows\": [\n");
+        for r in &self.errs {
+            let _ = writeln!(
+                out,
+                "    {{\"workload\": \"{}\", \"cold_ms\": {:.3}, \
+                 \"stage\": \"{}\", \"structured\": {}}},",
+                r.name, r.cold_ms, r.stage, r.structured,
+            );
+        }
+        let o = &self.overhead;
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"budget-overhead\", \"cold_ms\": {:.3}, \
+             \"plain_ms\": {:.3}, \"ratio\": {:.4}}},",
+            o.cold_ms, o.plain_ms, o.ratio,
+        );
+        let l = &self.load;
+        let _ = writeln!(
+            out,
+            "    {{\"workload\": \"err-load\", \"cold_ms\": {:.3}, \
+             \"err_p99_ms\": {:.3}, \"ok_p50_ms\": {:.3}, \"requests\": {}, \
+             \"malformed\": {}, \"malformed_ok\": {}, \"errors\": {}}}",
+            l.cold_ms, l.err_p99_ms, l.ok_p50_ms, l.requests, l.malformed, l.malformed_ok, l.errors,
+        );
+        let _ = writeln!(out, "  ],");
+        let _ = writeln!(out, "  \"all_pass\": {},", self.all_pass());
+        out.push_str(
+            "  \"notes\": [\n    \"err-* cold_ms is the best-of-N daemon round-trip for a \
+             request that fails at that stage; nothing is computed or cached\",\n    \
+             \"budget-overhead compares try_analyze with an unlimited Budget against the \
+             plain analyze on the same preset\",\n    \
+             \"err-load drives loadgen with malformed_frac injections; cold_ms is the \
+             error-path p50 under load\"\n  ]\n}\n",
+        );
+        out
+    }
+
+    /// Renders the human-readable summary printed by the harness.
+    pub fn render(&self) -> String {
+        let mut out = String::from("## PR 10 error-plane latency\n\n");
+        let _ = writeln!(
+            out,
+            "{:<16} {:>9} {:>9} {:>11}",
+            "row", "cold", "stage", "structured"
+        );
+        for r in &self.errs {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>7.2}ms {:>9} {:>11}",
+                r.name, r.cold_ms, r.stage, r.structured,
+            );
+        }
+        let o = &self.overhead;
+        let _ = writeln!(
+            out,
+            "\nbudget-overhead: try_analyze {:.2} ms vs analyze {:.2} ms ({:.3}x)",
+            o.cold_ms, o.plain_ms, o.ratio,
+        );
+        let l = &self.load;
+        let _ = writeln!(
+            out,
+            "err-load: {} requests, {} injected, {} answered structured, {} errors; \
+             err p50 {:.2} ms (p99 {:.2} ms) vs ok p50 {:.2} ms",
+            l.requests, l.malformed, l.malformed_ok, l.errors, l.cold_ms, l.err_p99_ms, l.ok_p50_ms,
+        );
+        let _ = writeln!(out, "\nall_pass: {}", self.all_pass());
+        out
+    }
+}

@@ -92,7 +92,7 @@ fn corpus_entries() -> Vec<BatchEntry> {
             let w = o2_workloads::workload_by_name(spec).expect("corpus spec resolves");
             BatchEntry {
                 name: w.name,
-                program: w.program,
+                program: Ok(w.program),
             }
         })
         .collect()

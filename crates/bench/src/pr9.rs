@@ -214,6 +214,7 @@ fn load_row(engine: &O2, opts: &Pr9Options) -> LoadRow {
         max_edit: 2,
         verify: true,
         shutdown: false,
+        malformed_frac: 0.0,
     };
     let report =
         o2::run_loadgen(&server.addr().to_string(), engine, &config).expect("loadgen completes");

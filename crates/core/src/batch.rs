@@ -22,20 +22,25 @@
 use crate::incremental::IncrStats;
 use crate::{AnalysisReport, O2};
 use o2_db::{SharedStore, StoreStats};
-use o2_ir::{Program, ProgramCtx, ProgramId};
+use o2_ir::{O2Error, Program, ProgramCtx, ProgramId};
 use o2_passes::{PipelineReport, Tier};
 use std::fmt::Write as _;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-/// One named program of a batch manifest.
+/// One named program of a batch manifest. A program that failed to load
+/// (unreadable file, parse error, unknown workload) carries its typed
+/// error instead: the batch analyzes everything that loaded and reports
+/// the failures as per-program error entries in the merged output, so
+/// one bad program never aborts a corpus run.
 #[derive(Debug)]
 pub struct BatchEntry {
     /// Report key; must be unique within the batch.
     pub name: String,
-    /// The program to analyze.
-    pub program: Program,
+    /// The program to analyze, or why it could not be loaded.
+    pub program: Result<Program, O2Error>,
 }
 
 /// Parses a batch manifest: one entry per line, `#` comments and blank
@@ -48,6 +53,13 @@ pub struct BatchEntry {
 ///   manifest's directory.
 ///
 /// Duplicate names are an error: the merged report is keyed by name.
+///
+/// A syntactically valid line whose program fails to *load* — the path
+/// is unreadable, the source does not parse, the workload spec is
+/// unknown — is not a manifest error: it becomes an entry carrying the
+/// typed [`O2Error`], which the batch run reports without aborting the
+/// rest of the corpus. Only malformed manifest structure (empty name or
+/// path, duplicate names, an empty manifest) fails the whole parse.
 pub fn parse_manifest(text: &str, base: &std::path::Path) -> Result<Vec<BatchEntry>, String> {
     let mut entries: Vec<BatchEntry> = Vec::new();
     for (lineno, raw) in text.lines().enumerate() {
@@ -61,24 +73,29 @@ pub fn parse_manifest(text: &str, base: &std::path::Path) -> Result<Vec<BatchEnt
                 return Err(format!("manifest line {}: empty name or path", lineno + 1));
             }
             let full = base.join(path);
-            let src = std::fs::read_to_string(&full)
-                .map_err(|e| format!("manifest line {}: cannot read {path}: {e}", lineno + 1))?;
-            let program = if path.ends_with(".c") {
-                o2_ir::cfront::parse_c(&src)
-            } else {
-                o2_ir::parser::parse(&src)
-            }
-            .map_err(|e| format!("manifest line {}: {path}: {e}", lineno + 1))?;
+            let program = match std::fs::read_to_string(&full) {
+                Err(e) => Err(O2Error::Io(format!("cannot read {path}: {e}"))),
+                Ok(src) => if path.ends_with(".c") {
+                    o2_ir::cfront::parse_c(&src)
+                } else {
+                    o2_ir::parser::parse(&src)
+                }
+                .map_err(O2Error::from),
+            };
             BatchEntry {
                 name: name.to_string(),
                 program,
             }
         } else {
-            let w = o2_workloads::workload_by_name(line)
-                .ok_or_else(|| format!("manifest line {}: unknown workload {line}", lineno + 1))?;
-            BatchEntry {
-                name: w.name,
-                program: w.program,
+            match o2_workloads::workload_by_name(line) {
+                Some(w) => BatchEntry {
+                    name: w.name,
+                    program: Ok(w.program),
+                },
+                None => BatchEntry {
+                    name: line.to_string(),
+                    program: Err(O2Error::Resolve(format!("unknown workload {line}"))),
+                },
             }
         };
         if entries.iter().any(|e| e.name == entry.name) {
@@ -102,12 +119,17 @@ pub fn parse_manifest(text: &str, base: &std::path::Path) -> Result<Vec<BatchEnt
 pub struct ProgramOutcome {
     /// The manifest name.
     pub name: String,
-    /// Surviving races by tier: (high, medium, low).
+    /// Surviving races by tier: (high, medium, low). All zero when the
+    /// entry failed.
     pub tiers: (usize, usize, usize),
     /// Replay/recompute counters, with `cross_program_hits` set.
     pub stats: IncrStats,
     /// Wall time of this program's analysis (scheduling-dependent).
     pub wall_ms: f64,
+    /// Why this entry produced no report: a load failure carried in
+    /// from the manifest, or a panic the batch worker caught. `None`
+    /// for every successfully analyzed program.
+    pub error: Option<O2Error>,
 }
 
 /// Everything a batch run produces.
@@ -126,6 +148,17 @@ pub struct BatchReport {
 }
 
 impl BatchReport {
+    /// The first failing entry in name order, if any — the CLI maps its
+    /// stage to the process exit code when the corpus has no races.
+    pub fn first_error(&self) -> Option<&O2Error> {
+        self.programs.iter().find_map(|p| p.error.as_ref())
+    }
+
+    /// Number of entries that failed (load errors plus caught panics).
+    pub fn error_count(&self) -> usize {
+        self.programs.iter().filter(|p| p.error.is_some()).count()
+    }
+
     /// Total cross-program digest hits across all programs.
     pub fn cross_program_hits(&self) -> usize {
         self.programs
@@ -168,6 +201,16 @@ impl BatchReport {
             "program", "high", "medium", "low", "xprog-hits", "wall-ms"
         );
         for p in &self.programs {
+            if let Some(err) = &p.error {
+                let _ = writeln!(
+                    out,
+                    "{:<28} error at stage {}: {}",
+                    p.name,
+                    err.stage(),
+                    err
+                );
+                continue;
+            }
             let _ = writeln!(
                 out,
                 "{:<28} {:>5} {:>6} {:>4} {:>10} {:>9.1}",
@@ -176,9 +219,11 @@ impl BatchReport {
         }
         let _ = writeln!(
             out,
-            "corpus: {} programs, {} races, {} cross-program hits ({:.1}% replay rate), {:.1} ms",
+            "corpus: {} programs, {} races, {} errors, {} cross-program hits \
+             ({:.1}% replay rate), {:.1} ms",
             self.programs.len(),
             self.total_races(),
+            self.error_count(),
             self.cross_program_hits(),
             self.hit_rate() * 100.0,
             self.wall_ms
@@ -201,8 +246,19 @@ impl BatchReport {
 }
 
 struct Slot {
-    pipeline: PipelineReport,
+    /// `None` when the entry failed (outcome carries the error).
+    pipeline: Option<PipelineReport>,
     outcome: ProgramOutcome,
+}
+
+fn error_outcome(name: &str, error: O2Error, wall_ms: f64) -> ProgramOutcome {
+    ProgramOutcome {
+        name: name.to_string(),
+        tiers: (0, 0, 0),
+        stats: IncrStats::default(),
+        wall_ms,
+        error: Some(error),
+    }
 }
 
 /// Analyzes every entry under `engine`'s configuration with `workers`
@@ -236,29 +292,57 @@ pub fn run_batch_with_store(
                     break;
                 }
                 let entry = &entries[i];
+                let t = Instant::now();
+                let program = match &entry.program {
+                    Ok(p) => p,
+                    Err(e) => {
+                        slots.lock().expect("batch slots poisoned")[i] = Some(Slot {
+                            pipeline: None,
+                            outcome: error_outcome(&entry.name, e.clone(), 0.0),
+                        });
+                        continue;
+                    }
+                };
                 // ProgramId is the manifest index: unique per entry, and
                 // purely internal — nothing id-derived reaches a report.
-                let ctx = ProgramCtx::new(ProgramId(i as u32), &entry.name, &entry.program);
-                let t = Instant::now();
-                let mut db = store.checkout();
-                let (report, mut stats): (AnalysisReport, IncrStats) =
-                    engine.analyze_with_db_ctx(&ctx, &mut db);
-                // Each program runs once per batch, so every replay came
-                // from an artifact another program published.
-                stats.cross_program_hits = stats.total_replays();
-                store.publish(&db);
-                let pipeline = report.run_pipeline(&entry.program);
-                let outcome = ProgramOutcome {
-                    name: entry.name.clone(),
-                    tiers: (
-                        pipeline.tier_count(Tier::High),
-                        pipeline.tier_count(Tier::Medium),
-                        pipeline.tier_count(Tier::Low),
-                    ),
-                    stats,
-                    wall_ms: t.elapsed().as_secs_f64() * 1000.0,
+                let ctx = ProgramCtx::new(ProgramId(i as u32), &entry.name, program);
+                // Panic backstop: a bug in one program's analysis becomes
+                // that entry's error; the worker claims the next entry.
+                let run = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut db = store.checkout();
+                    let (report, mut stats): (AnalysisReport, IncrStats) =
+                        engine.analyze_with_db_ctx(&ctx, &mut db);
+                    // Each program runs once per batch, so every replay
+                    // came from an artifact another program published.
+                    stats.cross_program_hits = stats.total_replays();
+                    store.publish(&db);
+                    (report.run_pipeline(program), stats)
+                }));
+                let wall_ms = t.elapsed().as_secs_f64() * 1000.0;
+                let slot = match run {
+                    Ok((pipeline, stats)) => {
+                        let outcome = ProgramOutcome {
+                            name: entry.name.clone(),
+                            tiers: (
+                                pipeline.tier_count(Tier::High),
+                                pipeline.tier_count(Tier::Medium),
+                                pipeline.tier_count(Tier::Low),
+                            ),
+                            stats,
+                            wall_ms,
+                            error: None,
+                        };
+                        Slot {
+                            pipeline: Some(pipeline),
+                            outcome,
+                        }
+                    }
+                    Err(payload) => Slot {
+                        pipeline: None,
+                        outcome: error_outcome(&entry.name, O2Error::from_panic(payload), wall_ms),
+                    },
                 };
-                slots.lock().expect("batch slots poisoned")[i] = Some(Slot { pipeline, outcome });
+                slots.lock().expect("batch slots poisoned")[i] = Some(slot);
             });
         }
     });
@@ -273,10 +357,21 @@ pub fn run_batch_with_store(
 
     let merged: Vec<(&str, &PipelineReport, &Program)> = done
         .iter()
-        .map(|(i, s)| (entries[*i].name.as_str(), &s.pipeline, &entries[*i].program))
+        .filter_map(|(i, s)| {
+            let pipeline = s.pipeline.as_ref()?;
+            let program = entries[*i]
+                .program
+                .as_ref()
+                .expect("a pipeline report implies the program loaded");
+            Some((entries[*i].name.as_str(), pipeline, program))
+        })
         .collect();
-    let json = o2_passes::corpus_json(&merged);
-    let sarif = o2_passes::corpus_sarif(&merged);
+    let errors: Vec<(&str, &O2Error)> = done
+        .iter()
+        .filter_map(|(i, s)| Some((entries[*i].name.as_str(), s.outcome.error.as_ref()?)))
+        .collect();
+    let json = o2_passes::corpus_json_with_errors(&merged, &errors);
+    let sarif = o2_passes::corpus_sarif_with_errors(&merged, &errors);
 
     BatchReport {
         programs: done.into_iter().map(|(_, s)| s.outcome).collect(),

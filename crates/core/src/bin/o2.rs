@@ -22,10 +22,31 @@
 //! to a cold run. `diff-analyze` runs both versions in one process and
 //! reports what was re-analyzed.
 
+//! # Exit codes
+//!
+//! `0` — clean run, no races; `1` — races found; `2` — usage or
+//! option errors. Typed pipeline failures map their [`O2Error`] stage
+//! to a distinct code: parse 10, resolve 11, pta 12, analysis 13,
+//! detect 14, db 15, io 16, timeout 17, budget 18, internal (caught
+//! panic) 19.
+
 use o2::prelude::*;
 use o2_db::{AnalysisDb, CachedReports};
+use std::panic::AssertUnwindSafe;
 use std::process::ExitCode;
 use std::time::Duration;
+
+/// Runs `f` under a panic backstop: a panic anywhere in the pipeline
+/// becomes a typed `internal` error (exit 19) instead of an abort.
+fn run_guarded<T>(f: impl FnOnce() -> T) -> Result<T, O2Error> {
+    std::panic::catch_unwind(AssertUnwindSafe(f)).map_err(O2Error::from_panic)
+}
+
+/// Prints a typed error and maps its stage to the process exit code.
+fn fail(err: &O2Error) -> ExitCode {
+    eprintln!("error: {err}");
+    ExitCode::from(err.exit_code())
+}
 
 /// Output selector for the triaged pipeline report (`--format`). `None`
 /// keeps the legacy raw-detector output paths.
@@ -206,6 +227,15 @@ fn parse_args() -> Result<Options, String> {
                 let v = args.get(i).ok_or("--max-edit needs a value")?;
                 opts.lg.max_edit = v.parse().map_err(|_| "invalid --max-edit")?;
             }
+            "--malformed-frac" => {
+                i += 1;
+                let v = args.get(i).ok_or("--malformed-frac needs a value")?;
+                let p: f64 = v.parse().map_err(|_| "invalid --malformed-frac")?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err("--malformed-frac must be in 0..=1".to_string());
+                }
+                opts.lg.malformed_frac = p;
+            }
             "--verify" => opts.lg.verify = true,
             "--shutdown" => opts.lg.shutdown = true,
             "--smoke" => opts.smoke = true,
@@ -321,8 +351,10 @@ fn usage() {
          \x20         resident daemon; line-delimited JSON protocol (DESIGN §14)\n\
          \x20      o2 loadgen <addr> [--seed N] [--clients N] [--requests N] [--rate R]\n\
          \x20         [--workloads a,b,c] [--zipf S] [--edit-prob P] [--max-edit N]\n\
-         \x20         [--verify] [--smoke] [--shutdown] [--json]\n\
-         \x20         deterministic open-system load driver (latency p50/p90/p99)"
+         \x20         [--malformed-frac P] [--verify] [--smoke] [--shutdown] [--json]\n\
+         \x20         deterministic open-system load driver (latency p50/p90/p99);\n\
+         \x20         --malformed-frac injects broken requests the daemon must\n\
+         \x20         answer with structured errors"
     );
 }
 
@@ -431,13 +463,17 @@ fn run_loadgen_mode(engine: &O2, opts: &Options) -> ExitCode {
             if opts.json {
                 println!(
                     "{{\"requests\":{},\"errors\":{},\"mismatches\":{},\"warm\":{},\
+                     \"malformed\":{},\"malformed_ok\":{},\
                      \"wall_ms\":{:.3},\"analyses_per_sec\":{:.3},\
                      \"cold_p50_ms\":{:.3},\"cold_p90_ms\":{:.3},\"cold_p99_ms\":{:.3},\
-                     \"warm_p50_ms\":{:.3},\"warm_p90_ms\":{:.3},\"warm_p99_ms\":{:.3}}}",
+                     \"warm_p50_ms\":{:.3},\"warm_p90_ms\":{:.3},\"warm_p99_ms\":{:.3},\
+                     \"err_p50_ms\":{:.3},\"err_p99_ms\":{:.3}}}",
                     report.requests,
                     report.errors,
                     report.mismatches,
                     report.warm_responses,
+                    report.malformed,
+                    report.malformed_ok,
                     report.wall_ms,
                     report.analyses_per_sec,
                     report.cold.p50,
@@ -446,6 +482,8 @@ fn run_loadgen_mode(engine: &O2, opts: &Options) -> ExitCode {
                     report.warm.p50,
                     report.warm.p90,
                     report.warm.p99,
+                    report.err.p50,
+                    report.err.p99,
                 );
             } else {
                 print!("{}", report.render());
@@ -508,26 +546,35 @@ fn run_batch_mode(engine: &O2, opts: &Options) -> ExitCode {
     if !opts.quiet {
         eprint!("{}", report.summary());
     }
-    if report.total_races() == 0 {
-        ExitCode::SUCCESS
-    } else {
+    // Races dominate the exit code; otherwise the first failing entry
+    // (in name order) maps its stage, and a fully clean corpus exits 0.
+    if report.total_races() > 0 {
         ExitCode::from(1)
+    } else if let Some(err) = report.first_error() {
+        ExitCode::from(err.exit_code())
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
 /// Reads, parses (selecting the frontend by `--c` or the extension), and
-/// validates one input program.
-fn load_program(path: &str, force_c: bool) -> Result<Program, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+/// validates one input program. Failures carry their stage: an
+/// unreadable file is an `io` error, a syntax error is a `parse` error
+/// with source position, an invalid program is a `resolve` error.
+fn load_program(path: &str, force_c: bool) -> Result<Program, O2Error> {
+    let src = std::fs::read_to_string(path)
+        .map_err(|e| O2Error::Io(format!("cannot read {path}: {e}")))?;
     let use_c = force_c || path.ends_with(".c");
     let program = if use_c {
-        o2_ir::cfront::parse_c(&src).map_err(|e| format!("{path}: {e}"))?
+        o2_ir::cfront::parse_c(&src).map_err(O2Error::from)?
     } else {
-        o2_ir::parser::parse(&src).map_err(|e| format!("{path}: {e}"))?
+        o2_ir::parser::parse(&src).map_err(O2Error::from)?
     };
     let issues = o2_ir::validate::validate(&program);
     if let Some(issue) = issues.first() {
-        return Err(format!("{path}: invalid program: {issue}"));
+        return Err(O2Error::Resolve(format!(
+            "{path}: invalid program: {issue}"
+        )));
     }
     Ok(program)
 }
@@ -536,7 +583,10 @@ fn load_program(path: &str, force_c: bool) -> Result<Program, String> {
 /// `old`'s in-memory database, print the function-level digest diff and
 /// the replay counters, then the triaged report of `new`.
 fn run_diff(engine: &O2, opts: &Options, old: &Program, new: &Program) -> ExitCode {
-    let d = engine.diff_analyze(old, new);
+    let d = match run_guarded(|| engine.diff_analyze(old, new)) {
+        Ok(d) => d,
+        Err(e) => return fail(&e),
+    };
     if !opts.quiet {
         println!(
             "diff: {} changed, {} added, {} removed, {} invalidated",
@@ -618,8 +668,8 @@ fn main() -> ExitCode {
     let program = match load_program(&opts.file, opts.c_frontend) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("error: {e}");
-            return ExitCode::from(2);
+            eprintln!("error: {}: {e}", opts.file);
+            return ExitCode::from(e.exit_code());
         }
     };
 
@@ -627,8 +677,8 @@ fn main() -> ExitCode {
         let new = match load_program(&opts.file2, opts.c_frontend) {
             Ok(p) => p,
             Err(e) => {
-                eprintln!("error: {e}");
-                return ExitCode::from(2);
+                eprintln!("error: {}: {e}", opts.file2);
+                return ExitCode::from(e.exit_code());
             }
         };
         return run_diff(&engine, &opts, &program, &new);
@@ -700,11 +750,17 @@ fn main() -> ExitCode {
         }
     }
 
-    let (report, incr_stats) = if let Some(digests) = &digests {
-        let (r, s) = engine.analyze_with_db_prepared(&program, &mut db, digests);
-        (r, Some(s))
-    } else {
-        (engine.analyze(&program), None)
+    let run = run_guarded(|| {
+        if let Some(digests) = &digests {
+            let (r, s) = engine.analyze_with_db_prepared(&program, &mut db, digests);
+            (r, Some(s))
+        } else {
+            (engine.analyze(&program), None)
+        }
+    });
+    let (report, incr_stats) = match run {
+        Ok(v) => v,
+        Err(e) => return fail(&e),
     };
 
     if !opts.quiet {

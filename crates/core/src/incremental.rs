@@ -19,8 +19,8 @@
 use crate::{AnalysisReport, Timings, O2};
 use o2_analysis::{run_osa_bounded, run_osa_incremental};
 use o2_db::{AnalysisDb, Digest, DigestHasher};
-use o2_detect::{detect, detect_incremental, DetectConfig};
-use o2_ir::{digest_diff, digest_program, DigestDiff, Program, ProgramCtx};
+use o2_detect::{detect_budgeted, detect_incremental_budgeted, DetectConfig};
+use o2_ir::{digest_diff, digest_program, Budget, DigestDiff, O2Error, Program, ProgramCtx};
 use o2_pta::{CanonIndex, Policy};
 use o2_shb::{build_shb, build_shb_incremental, ShbConfig};
 use std::collections::BTreeMap;
@@ -224,6 +224,24 @@ impl O2 {
         db: &mut AnalysisDb,
         digests: &o2_ir::ProgramDigests,
     ) -> (AnalysisReport, IncrStats) {
+        self.try_analyze_with_db_prepared_ctx(ctx, db, digests, &Budget::unlimited())
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// [`O2::analyze_with_db_prepared_ctx`] under a [`Budget`]. The
+    /// budget is checked at every stage boundary and polled inside the
+    /// solver and detection loops; when it trips, the run aborts with a
+    /// typed [`O2Error`]. Artifacts committed by stages that finished
+    /// before the trip are valid and signature-matched, so they replay
+    /// on the next run; the final program-identity commit is skipped,
+    /// which keeps cached rendered reports describing a completed run.
+    pub fn try_analyze_with_db_prepared_ctx(
+        &self,
+        ctx: &ProgramCtx<'_>,
+        db: &mut AnalysisDb,
+        digests: &o2_ir::ProgramDigests,
+        budget: &Budget,
+    ) -> Result<(AnalysisReport, IncrStats), O2Error> {
         let t0 = Instant::now();
         let cfg_sig = self.config_sig();
         if !db.compatible_with(cfg_sig) {
@@ -231,7 +249,7 @@ impl O2 {
         }
         db.config_sig = cfg_sig;
 
-        let pta = o2_pta::analyze(ctx, &self.pta);
+        let pta = o2_pta::analyze_budgeted(ctx, &self.pta, budget)?;
         let t_pta = pta.duration;
         let down_budget = if pta.timed_out {
             Some(Duration::from_millis(500))
@@ -240,8 +258,10 @@ impl O2 {
         };
 
         if pta.timed_out {
+            budget.check("osa entry")?;
             let mut osa = run_osa_bounded(ctx, &pta, down_budget);
             let t_osa = osa.duration;
+            budget.check("shb entry")?;
             let shb_cfg = ShbConfig {
                 timeout: self.shb.timeout.or(down_budget),
                 ..self.shb.clone()
@@ -252,7 +272,7 @@ impl O2 {
                 timeout: Some(Duration::from_millis(500)),
                 ..self.detect.clone()
             };
-            let races = detect(ctx, &pta, &osa, &shb, &detect_cfg);
+            let races = detect_budgeted(ctx, &pta, &osa, &shb, &detect_cfg, budget)?;
             let t_detect = races.duration;
             let report = AnalysisReport {
                 pta,
@@ -267,12 +287,14 @@ impl O2 {
                     total: t0.elapsed(),
                 },
             };
-            return (report, IncrStats::default());
+            return Ok((report, IncrStats::default()));
         }
 
+        budget.check("osa entry")?;
         let canon = CanonIndex::build(ctx, &pta, digests);
         let mut osa = run_osa_incremental(ctx, &pta, &canon, db, down_budget);
         let t_osa = osa.result.duration;
+        budget.check("shb entry")?;
         let shb_cfg = ShbConfig {
             timeout: self.shb.timeout.or(down_budget),
             ..self.shb.clone()
@@ -283,7 +305,7 @@ impl O2 {
             timeout: self.detect.timeout.or(self.pta.timeout),
             ..self.detect.clone()
         };
-        let det = detect_incremental(
+        let det = detect_incremental_budgeted(
             ctx,
             &pta,
             &osa.result,
@@ -292,7 +314,8 @@ impl O2 {
             &canon,
             &shb.fresh_base,
             db,
-        );
+            budget,
+        )?;
         let t_detect = det.report.duration;
 
         // Commit the program identity the database now describes. Cached
@@ -334,7 +357,7 @@ impl O2 {
                 total: t0.elapsed(),
             },
         };
-        (report, stats)
+        Ok((report, stats))
     }
 
     /// Analyzes `old`, then `new` warm from `old`'s database, and

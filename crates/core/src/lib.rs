@@ -48,9 +48,9 @@ pub use loadgen::{run_loadgen, LatencyStats, LoadgenConfig, LoadgenReport};
 pub use serve::{Client, ServeOptions, ServerHandle};
 
 use o2_analysis::{run_osa_bounded, OsaResult};
-use o2_detect::{detect, DetectConfig, RaceReport};
+use o2_detect::{DetectConfig, RaceReport};
 use o2_ir::program::Program;
-use o2_ir::{ProgramCtx, ProgramId};
+use o2_ir::{Budget, O2Error, ProgramCtx, ProgramId};
 use o2_pta::{Policy, PtaConfig, PtaResult};
 use o2_shb::{build_shb, ShbConfig, ShbGraph};
 use std::time::{Duration, Instant};
@@ -66,7 +66,7 @@ pub mod prelude {
     pub use o2_detect::{
         DeadlockReport, DetectConfig, OversyncReport, PruneStats, Race, RaceReport,
     };
-    pub use o2_ir::{EntryPointConfig, OriginKind, Program};
+    pub use o2_ir::{Budget, EntryPointConfig, O2Error, OriginKind, Program};
     pub use o2_passes::{PipelineReport, Tier, TriagedRace};
     pub use o2_pta::{Policy, PtaConfig, PtaResult};
     pub use o2_shb::{ShbConfig, ShbGraph};
@@ -329,8 +329,28 @@ impl O2 {
     /// concurrently from different threads because nothing here touches
     /// shared mutable state.
     pub fn analyze_ctx(&self, ctx: &ProgramCtx<'_>) -> AnalysisReport {
+        self.try_analyze_ctx(ctx, &Budget::unlimited())
+            .expect("unlimited budget cannot trip")
+    }
+
+    /// Runs the full pipeline under `ctx` with a request-scoped [`Budget`]
+    /// checked at every stage boundary (and polled inside the OPA solver
+    /// loop and the detect chunk-claim loop). With an unlimited budget
+    /// this is exactly [`Self::analyze_ctx`]; with a deadline or step
+    /// ceiling, tripping the budget aborts the request with
+    /// [`O2Error::Timeout`] / [`O2Error::Budget`] instead of returning a
+    /// truncated report.
+    ///
+    /// # Errors
+    ///
+    /// The budget's typed error when it trips at any checkpoint.
+    pub fn try_analyze_ctx(
+        &self,
+        ctx: &ProgramCtx<'_>,
+        budget: &Budget,
+    ) -> Result<AnalysisReport, O2Error> {
         let t0 = Instant::now();
-        let pta = o2_pta::analyze(ctx, &self.pta);
+        let pta = o2_pta::analyze_budgeted(ctx, &self.pta, budget)?;
         let t_pta = pta.duration;
         // The pointer-analysis stage budget also bounds the OSA scan: deep
         // object-sensitive runs can explode the method-instance count. If
@@ -342,8 +362,10 @@ impl O2 {
         } else {
             self.pta.timeout
         };
+        budget.check("osa entry")?;
         let mut osa = run_osa_bounded(ctx, &pta, down_budget);
         let t_osa = osa.duration;
+        budget.check("shb entry")?;
         let shb_cfg = ShbConfig {
             timeout: self.shb.timeout.or(down_budget),
             ..self.shb.clone()
@@ -365,9 +387,9 @@ impl O2 {
                 ..self.detect.clone()
             }
         };
-        let races = detect(ctx, &pta, &osa, &shb, &detect_cfg);
+        let races = o2_detect::detect_budgeted(ctx, &pta, &osa, &shb, &detect_cfg, budget)?;
         let t_detect = races.duration;
-        AnalysisReport {
+        Ok(AnalysisReport {
             pta,
             osa,
             shb,
@@ -379,7 +401,21 @@ impl O2 {
                 detect: t_detect,
                 total: t0.elapsed(),
             },
-        }
+        })
+    }
+
+    /// Runs the full pipeline on `program` in the solo namespace with a
+    /// request-scoped [`Budget`] (see [`Self::try_analyze_ctx`]).
+    ///
+    /// # Errors
+    ///
+    /// The budget's typed error when it trips at any checkpoint.
+    pub fn try_analyze(
+        &self,
+        program: &Program,
+        budget: &Budget,
+    ) -> Result<AnalysisReport, O2Error> {
+        self.try_analyze_ctx(&ProgramCtx::solo(program), budget)
     }
 
     /// Parses `src` with the textual frontend and analyzes it.
@@ -390,6 +426,22 @@ impl O2 {
     pub fn analyze_source(&self, src: &str) -> Result<AnalysisReport, o2_ir::parser::ParseError> {
         let program = o2_ir::parser::parse(src)?;
         Ok(self.analyze(&program))
+    }
+
+    /// Parses `src` and analyzes it under `budget`, with every failure —
+    /// parse errors included — surfaced as a stage-tagged [`O2Error`].
+    ///
+    /// # Errors
+    ///
+    /// [`O2Error::Parse`] (with source position) on malformed source, or
+    /// the budget's typed error when it trips.
+    pub fn try_analyze_source(
+        &self,
+        src: &str,
+        budget: &Budget,
+    ) -> Result<AnalysisReport, O2Error> {
+        let program = o2_ir::parser::parse(src).map_err(O2Error::from)?;
+        self.try_analyze(&program, budget)
     }
 }
 

@@ -176,6 +176,12 @@ pub struct LoadgenConfig {
     pub verify: bool,
     /// Send a `shutdown` request after the run.
     pub shutdown: bool,
+    /// Probability a scheduled request is replaced by an injected
+    /// malformed one (broken inline source, unknown workload, unknown
+    /// op, or a non-JSON line). The daemon must answer each with a
+    /// structured `"ok":false` line and keep the connection alive;
+    /// anything else counts as an error.
+    pub malformed_frac: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -191,6 +197,7 @@ impl Default for LoadgenConfig {
             max_edit: 2,
             verify: false,
             shutdown: false,
+            malformed_frac: 0.0,
         }
     }
 }
@@ -200,10 +207,14 @@ struct Scheduled {
     arrival_s: f64,
     /// The request line to send.
     line: String,
-    /// Oracle key: `spec#edit`.
+    /// Oracle key: `spec#edit` (empty for injected malformed requests,
+    /// which the oracle skips).
     key: String,
     /// Which client connection carries it.
     client: usize,
+    /// Injected malformed request: the expected outcome is a structured
+    /// error response, not a report.
+    expect_err: bool,
 }
 
 /// One response's accounting.
@@ -212,6 +223,11 @@ struct Sample {
     warm: bool,
     ok: bool,
     matched: bool,
+    /// Mirrors [`Scheduled::expect_err`].
+    injected: bool,
+    /// The daemon answered a parseable response line (as opposed to a
+    /// transport failure or closed connection).
+    answered: bool,
 }
 
 /// What one loadgen run measured.
@@ -226,6 +242,12 @@ pub struct LoadgenReport {
     pub mismatches: usize,
     /// Responses answered warm (`digest_hit` or ≥ 1 artifact replay).
     pub warm_responses: usize,
+    /// Injected malformed requests sent (`malformed_frac` > 0).
+    pub malformed: usize,
+    /// Injected requests the daemon answered with a structured
+    /// `"ok":false` line on a surviving connection (the expected
+    /// outcome; anything else counts in `errors`).
+    pub malformed_ok: usize,
     /// Wall time of the whole run.
     pub wall_ms: f64,
     /// Completed analyses per second of wall time.
@@ -236,6 +258,8 @@ pub struct LoadgenReport {
     pub warm: LatencyStats,
     /// Latency of all responses.
     pub all: LatencyStats,
+    /// Latency of answered injected-error responses.
+    pub err: LatencyStats,
 }
 
 impl LoadgenReport {
@@ -254,6 +278,16 @@ impl LoadgenReport {
             self.errors,
             self.mismatches,
         );
+        if self.malformed > 0 {
+            let _ = writeln!(
+                out,
+                "error injection: {} malformed sent, {} answered with a \
+                 structured error ({:.1}% error rate by design)",
+                self.malformed,
+                self.malformed_ok,
+                100.0 * self.malformed as f64 / self.requests.max(1) as f64,
+            );
+        }
         let row = |name: &str, s: &LatencyStats| {
             format!(
                 "{name:<6} n={:<5} p50={:>8.2}ms p90={:>8.2}ms p99={:>8.2}ms mean={:>8.2}ms",
@@ -263,6 +297,9 @@ impl LoadgenReport {
         let _ = writeln!(out, "{}", row("cold", &self.cold));
         let _ = writeln!(out, "{}", row("warm", &self.warm));
         let _ = writeln!(out, "{}", row("all", &self.all));
+        if self.malformed > 0 {
+            let _ = writeln!(out, "{}", row("err", &self.err));
+        }
         out
     }
 }
@@ -290,6 +327,26 @@ fn build_schedule(config: &LoadgenConfig) -> Result<Vec<Scheduled>, String> {
         if config.rate > 0.0 {
             clock += rng.next_exp(config.rate);
         }
+        if config.malformed_frac > 0.0 && rng.next_f64() < config.malformed_frac {
+            // Injected error request. Four rotating shapes, all of which
+            // the daemon must answer with a structured `"ok":false` line
+            // (never an empty line — the server skips those, so the
+            // client would hang waiting for a response).
+            let line = match rng.next_u64() % 4 {
+                0 => "{\"op\":\"analyze\",\"source\":\"class Broken {\"}".to_string(),
+                1 => "{\"op\":\"analyze\",\"workload\":\"no-such-workload\"}".to_string(),
+                2 => "{\"op\":\"frobnicate\"}".to_string(),
+                _ => "this is not json".to_string(),
+            };
+            schedule.push(Scheduled {
+                arrival_s: clock,
+                line,
+                key: String::new(),
+                client: i % config.clients.max(1),
+                expect_err: true,
+            });
+            continue;
+        }
         let w = zipf.draw(&mut rng);
         let spec = &config.workloads[w];
         let edit = if editable[w] && config.max_edit > 0 && rng.next_f64() < config.edit_prob {
@@ -311,6 +368,7 @@ fn build_schedule(config: &LoadgenConfig) -> Result<Vec<Scheduled>, String> {
             line,
             key: format!("{spec}#{edit}"),
             client: i % config.clients.max(1),
+            expect_err: false,
         });
     }
     Ok(schedule)
@@ -322,7 +380,7 @@ fn build_schedule(config: &LoadgenConfig) -> Result<Vec<Scheduled>, String> {
 fn build_oracle(engine: &O2, schedule: &[Scheduled]) -> Result<FastMap<String, String>, String> {
     let mut oracle: FastMap<String, String> = FastMap::default();
     for s in schedule {
-        if oracle.contains_key(&s.key) {
+        if s.expect_err || oracle.contains_key(&s.key) {
             continue;
         }
         let (spec, edit) = s.key.rsplit_once('#').expect("oracle keys are spec#edit");
@@ -409,6 +467,7 @@ pub fn run_loadgen(
                             let (ok, warm) = classify(&map);
                             let matched = match oracle {
                                 None => true,
+                                Some(_) if s.expect_err => true,
                                 Some(o) => {
                                     map.get("output").and_then(|v| v.as_str())
                                         == o.get(&s.key).map(|s| s.as_str())
@@ -419,6 +478,8 @@ pub fn run_loadgen(
                                 warm,
                                 ok,
                                 matched,
+                                injected: s.expect_err,
+                                answered: true,
                             });
                         }
                         Err(e) => {
@@ -428,6 +489,8 @@ pub fn run_loadgen(
                                 warm: false,
                                 ok: false,
                                 matched: true,
+                                injected: s.expect_err,
+                                answered: false,
                             });
                             let _ = e;
                         }
@@ -449,7 +512,16 @@ pub fn run_loadgen(
         let _ = c.send_line("{\"op\":\"shutdown\"}");
     }
     let samples = samples.into_inner().expect("loadgen samples poisoned");
-    let errors = samples.iter().filter(|s| !s.ok).count();
+    let malformed = samples.iter().filter(|s| s.injected).count();
+    // An injected request succeeds when the daemon answered a structured
+    // `"ok":false` line; a transport failure or an `"ok":true` answer to
+    // garbage both count as errors.
+    let malformed_ok = samples
+        .iter()
+        .filter(|s| s.injected && s.answered && !s.ok)
+        .count();
+    let errors =
+        samples.iter().filter(|s| !s.injected && !s.ok).count() + (malformed - malformed_ok);
     let mismatches = samples.iter().filter(|s| !s.matched).count();
     let warm_responses = samples.iter().filter(|s| s.ok && s.warm).count();
     let cold_ms: Vec<f64> = samples
@@ -463,12 +535,19 @@ pub fn run_loadgen(
         .map(|s| s.ms)
         .collect();
     let all_ms: Vec<f64> = samples.iter().filter(|s| s.ok).map(|s| s.ms).collect();
+    let err_ms: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.injected && s.answered)
+        .map(|s| s.ms)
+        .collect();
     let completed = all_ms.len();
     Ok(LoadgenReport {
         requests: samples.len(),
         errors,
         mismatches,
         warm_responses,
+        malformed,
+        malformed_ok,
         wall_ms,
         analyses_per_sec: if wall_ms > 0.0 {
             completed as f64 / (wall_ms / 1e3)
@@ -478,6 +557,7 @@ pub fn run_loadgen(
         cold: LatencyStats::from_ms(cold_ms),
         warm: LatencyStats::from_ms(warm_ms),
         all: LatencyStats::from_ms(all_ms),
+        err: LatencyStats::from_ms(err_ms),
     })
 }
 
@@ -487,8 +567,11 @@ pub fn run_loadgen(
 
 /// The CI smoke (`o2 loadgen <addr> --smoke`): one cold request, one
 /// warm repeat, both byte-compared against the local solo oracle, plus
-/// a stats round-trip. `engine` must match the daemon's configuration.
-/// Returns a one-line summary, or the first discrepancy as an error.
+/// a stats round-trip and an error-plane probe (a non-JSON line and a
+/// `deadline_ms: 0` request must both answer structured errors without
+/// killing the connection). `engine` must match the daemon's
+/// configuration. Returns a one-line summary, or the first discrepancy
+/// as an error.
 pub fn run_smoke(addr: &str, engine: &O2, shutdown: bool) -> Result<String, String> {
     let spec = "realbug:ZooKeeper";
     let w = o2_workloads::workload_by_name(spec).expect("smoke workload exists");
@@ -523,12 +606,31 @@ pub fn run_smoke(addr: &str, engine: &O2, shutdown: bool) -> Result<String, Stri
     {
         return Err("stats did not count the report hit".to_string());
     }
+    // Error plane: garbage must come back as a structured error on the
+    // same connection, not a panic or a dropped socket.
+    let bad = client.request("this is not json")?;
+    if bad.get("ok").and_then(|v| v.as_bool()) != Some(false) {
+        return Err("malformed line was not answered with ok:false".to_string());
+    }
+    // A zero deadline must be rejected at admission with stage=timeout —
+    // even though this workload's report is already cached.
+    let timed = client.request(&format!(
+        "{{\"op\":\"analyze\",\"workload\":\"{spec}\",\"deadline_ms\":0}}"
+    ))?;
+    if timed.get("stage").and_then(|v| v.as_str()) != Some("timeout") {
+        return Err("deadline_ms=0 request did not answer stage=timeout".to_string());
+    }
+    // And the daemon keeps serving afterwards.
+    let after = client.request(&line)?;
+    if after.get("output").and_then(|v| v.as_str()) != Some(solo.text.as_str()) {
+        return Err("post-error response differs from solo CLI output".to_string());
+    }
     if shutdown {
         let _ = client.send_line("{\"op\":\"shutdown\"}");
     }
     Ok(format!(
         "smoke ok: {spec} cold {cold_ms:.1} ms, warm {warm_ms:.1} ms (digest hit), \
-         outputs byte-identical to solo"
+         outputs byte-identical to solo, error plane answers structured errors"
     ))
 }
 
@@ -588,6 +690,28 @@ mod tests {
         }
         assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
         assert!(a.iter().any(|s| s.line.contains("\"edit\":")));
+    }
+
+    #[test]
+    fn malformed_injection_is_deterministic_and_never_blank() {
+        let config = LoadgenConfig {
+            requests: 64,
+            malformed_frac: 0.5,
+            ..LoadgenConfig::default()
+        };
+        let a = build_schedule(&config).unwrap();
+        let b = build_schedule(&config).unwrap();
+        let injected: Vec<_> = a.iter().filter(|s| s.expect_err).collect();
+        assert!(!injected.is_empty(), "frac 0.5 over 64 requests injects");
+        assert!(injected.len() < 64, "not every request is malformed");
+        // Injected lines are keyless (oracle skips them) and never empty
+        // (the server skips blank lines, which would hang the client).
+        assert!(injected.iter().all(|s| s.key.is_empty()));
+        assert!(injected.iter().all(|s| !s.line.trim().is_empty()));
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.line, y.line);
+            assert_eq!(x.expect_err, y.expect_err);
+        }
     }
 
     #[test]

@@ -29,12 +29,24 @@
 //! - `analyze` — `workload` (registry spec) or `source` (inline
 //!   program; `frontend:"c"` selects the C frontend), optional `edit`
 //!   (apply N deterministic single-function edits), `format`
-//!   (`text|json|sarif`, default `text`).
+//!   (`text|json|sarif`, default `text`), `deadline_ms` (per-request
+//!   wall-clock budget; an exceeded deadline answers a structured
+//!   `timeout` error and the worker returns to the pool).
 //! - `diff-analyze` — `workload`+`edit` (old = base, new = edited) or
 //!   `old_source`/`new_source`; answers with the digest diff counts and
-//!   the new version's report.
+//!   the new version's report. Also honors `deadline_ms`.
 //! - `stats` — cumulative [`ServeStats`] + [`StoreStats`] counters.
 //! - `ping`, `shutdown`.
+//!
+//! # Errors
+//!
+//! A request that fails inside the pipeline answers one line of the
+//! shape `{"ok":false,"error":"...","stage":"<tag>"}` where the tag is
+//! the [`O2Error`] stage (`parse`, `resolve`, `timeout`, …). Protocol
+//! errors (unparseable line, unknown op, bad fields) answer without a
+//! stage. Every analysis runs under a panic backstop: a bug that would
+//! abort a solo run answers a structured `internal` error here and the
+//! daemon keeps serving.
 //!
 //! # Invariants
 //!
@@ -52,12 +64,15 @@
 //! mutexes held only for copies, never across an analysis.
 
 use crate::incremental::IncrStats;
-use crate::O2;
+use crate::{AnalysisReport, O2};
 use o2_db::{AnalysisDb, CachedReports, Digest, DigestHasher, FastMap, SharedStore, StoreStats};
-use o2_ir::{digest_diff, digest_program, Program, ProgramCtx, ProgramDigests, ProgramId};
+use o2_ir::{
+    digest_diff, digest_program, Budget, O2Error, Program, ProgramCtx, ProgramDigests, ProgramId,
+};
 use std::collections::BTreeMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -360,11 +375,13 @@ enum Request {
     Analyze {
         target: Target,
         format: Format,
+        deadline_ms: Option<u64>,
     },
     Diff {
         old: Target,
         new: Target,
         format: Format,
+        deadline_ms: Option<u64>,
     },
     Stats,
     Ping,
@@ -389,6 +406,25 @@ fn get_format(map: &BTreeMap<String, JsonValue>) -> Result<Format, String> {
     }
 }
 
+fn get_deadline(map: &BTreeMap<String, JsonValue>) -> Result<Option<u64>, String> {
+    match map.get("deadline_ms") {
+        None => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| "deadline_ms must be a non-negative integer".to_string()),
+    }
+}
+
+/// The per-request [`Budget`]: a wall-clock deadline when the client
+/// sent `deadline_ms`, unlimited otherwise.
+fn budget_for(deadline_ms: Option<u64>) -> Budget {
+    match deadline_ms {
+        Some(ms) => Budget::with_deadline(Duration::from_millis(ms)),
+        None => Budget::unlimited(),
+    }
+}
+
 impl Request {
     fn from_map(map: &BTreeMap<String, JsonValue>) -> Result<Request, String> {
         let op = map
@@ -401,6 +437,7 @@ impl Request {
             "shutdown" => Ok(Request::Shutdown),
             "analyze" => {
                 let format = get_format(map)?;
+                let deadline_ms = get_deadline(map)?;
                 let edit = get_edit(map, "edit")?;
                 let target = match (map.get("workload"), map.get("source")) {
                     (Some(w), None) => Target::Workload {
@@ -419,10 +456,15 @@ impl Request {
                         return Err("analyze needs a \"workload\" or \"source\" field".into())
                     }
                 };
-                Ok(Request::Analyze { target, format })
+                Ok(Request::Analyze {
+                    target,
+                    format,
+                    deadline_ms,
+                })
             }
             "diff-analyze" => {
                 let format = get_format(map)?;
+                let deadline_ms = get_deadline(map)?;
                 let c = matches!(map.get("frontend").and_then(|v| v.as_str()), Some("c"));
                 let (old, new) = match (
                     map.get("workload"),
@@ -461,7 +503,12 @@ impl Request {
                             .into())
                     }
                 };
-                Ok(Request::Diff { old, new, format })
+                Ok(Request::Diff {
+                    old,
+                    new,
+                    format,
+                    deadline_ms,
+                })
             }
             other => Err(format!(
                 "unknown op {other:?} (analyze|diff-analyze|stats|ping|shutdown)"
@@ -470,9 +517,20 @@ impl Request {
     }
 }
 
-/// Builds the one-line error response for `msg`.
+/// Builds the one-line error response for `msg` (protocol-level errors
+/// with no pipeline stage).
 pub fn error_response(msg: &str) -> String {
     format!("{{\"ok\":false,\"error\":\"{}\"}}", json_escape(msg))
+}
+
+/// Builds the one-line error response for a typed pipeline error,
+/// tagging the stage it came from (`parse`, `resolve`, `timeout`, …).
+pub fn staged_error_response(err: &O2Error) -> String {
+    format!(
+        "{{\"ok\":false,\"error\":\"{}\",\"stage\":\"{}\"}}",
+        json_escape(&err.to_string()),
+        err.stage()
+    )
 }
 
 // ---------------------------------------------------------------------
@@ -509,6 +567,19 @@ pub struct ServeStats {
     pub cold_ms_total: f64,
     /// Total wall milliseconds spent answering warm requests.
     pub warm_ms_total: f64,
+    /// Requests aborted by a per-request `deadline_ms` budget.
+    pub timeouts: u64,
+    /// Requests answered by the panic backstop (also counted in
+    /// `errors`).
+    pub panics: u64,
+    /// Resolved-program cache hits (request shape seen before).
+    pub program_cache_hits: u64,
+    /// Resolved-program cache LRU evictions.
+    pub program_cache_evictions: u64,
+    /// Rendered-report cache hits (lookup found the digest).
+    pub report_cache_hits: u64,
+    /// Rendered-report cache LRU evictions.
+    pub report_cache_evictions: u64,
 }
 
 impl ServeStats {
@@ -547,23 +618,83 @@ struct ResolvedProgram {
     digests: ProgramDigests,
 }
 
+/// A bounded map with least-recently-used eviction and hit/evict
+/// accounting. A lookup bumps the entry's recency stamp; inserting a
+/// new key at capacity evicts the stalest entry instead of clearing the
+/// whole cache, so a resident daemon keeps its hot set under an
+/// adversarial request stream. Eviction scans all entries for the
+/// minimum stamp — O(cap), and the caps are small (hundreds).
+struct LruCache<K, V> {
+    map: FastMap<K, (V, u64)>,
+    tick: u64,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<K: std::hash::Hash + Eq + Clone, V: Clone> LruCache<K, V> {
+    fn new(cap: usize) -> LruCache<K, V> {
+        LruCache {
+            map: FastMap::default(),
+            tick: 0,
+            cap: cap.max(1),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((v, stamp)) => {
+                *stamp = self.tick;
+                self.hits += 1;
+                Some(v.clone())
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            let stalest = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone());
+            if let Some(stalest) = stalest {
+                self.map.remove(&stalest);
+                self.evictions += 1;
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
 /// All state one server process shares across requests: the engine
 /// configuration, the artifact pool, the program / report caches, and
 /// the counters. See the module docs for the reentrancy contract.
 pub struct ServeState {
     engine: O2,
     store: SharedStore,
-    programs: Mutex<FastMap<String, Arc<ResolvedProgram>>>,
-    reports: Mutex<FastMap<Digest, Arc<CachedReports>>>,
+    /// LRU-bounded caches (cap 512 each): resolved request shapes and
+    /// rendered whole-program reports.
+    programs: Mutex<LruCache<String, Arc<ResolvedProgram>>>,
+    reports: Mutex<LruCache<Digest, Arc<CachedReports>>>,
     stats: Mutex<ServeStats>,
     next_id: AtomicU32,
     shutdown: AtomicBool,
     addr: Mutex<Option<SocketAddr>>,
-    /// Entry caps for the two caches; crossing one clears that cache
-    /// (crude but bounded — a resident daemon must not grow without
-    /// limit on an adversarial request stream).
-    program_cap: usize,
-    report_cap: usize,
 }
 
 impl ServeState {
@@ -573,16 +704,14 @@ impl ServeState {
         ServeState {
             engine,
             store,
-            programs: Mutex::new(FastMap::default()),
-            reports: Mutex::new(FastMap::default()),
+            programs: Mutex::new(LruCache::new(512)),
+            reports: Mutex::new(LruCache::new(512)),
             stats: Mutex::new(ServeStats::default()),
             // ProgramId(0) is reserved for solo runs; request ids start
             // at 1 so a request namespace never masquerades as SOLO.
             next_id: AtomicU32::new(1),
             shutdown: AtomicBool::new(false),
             addr: Mutex::new(None),
-            program_cap: 512,
-            report_cap: 512,
         }
     }
 
@@ -605,9 +734,21 @@ impl ServeState {
         self.store.snapshot()
     }
 
-    /// Point-in-time copy of the request counters.
+    /// Point-in-time copy of the request counters, with the cache
+    /// hit/evict counters folded in from the two LRU caches.
     pub fn stats(&self) -> ServeStats {
-        *self.stats.lock().expect("serve stats poisoned")
+        let mut s = *self.stats.lock().expect("serve stats poisoned");
+        {
+            let p = self.programs.lock().expect("program cache poisoned");
+            s.program_cache_hits = p.hits;
+            s.program_cache_evictions = p.evictions;
+        }
+        {
+            let r = self.reports.lock().expect("report cache poisoned");
+            s.report_cache_hits = r.hits;
+            s.report_cache_evictions = r.evictions;
+        }
+        s
     }
 
     /// Point-in-time copy of the artifact pool's accounting.
@@ -638,6 +779,17 @@ impl ServeState {
         s.errors += 1;
     }
 
+    fn count_staged_error(&self, err: &O2Error) {
+        let mut s = self.stats.lock().expect("serve stats poisoned");
+        s.requests += 1;
+        s.errors += 1;
+        match err {
+            O2Error::Timeout(_) | O2Error::Budget(_) => s.timeouts += 1,
+            O2Error::Internal(_) => s.panics += 1,
+            _ => {}
+        }
+    }
+
     fn count_misc(&self) {
         self.stats.lock().expect("serve stats poisoned").requests += 1;
     }
@@ -648,7 +800,7 @@ impl ServeState {
 
     // -- program resolution -------------------------------------------
 
-    fn resolve_target(&self, target: &Target) -> Result<Arc<ResolvedProgram>, String> {
+    fn resolve_target(&self, target: &Target) -> Result<Arc<ResolvedProgram>, O2Error> {
         let key = match target {
             Target::Workload { spec, edit } => format!("w\u{1}{spec}\u{1}{edit}"),
             Target::Source { src, c, edit } => {
@@ -666,7 +818,7 @@ impl ServeState {
             .expect("program cache poisoned")
             .get(&key)
         {
-            return Ok(p.clone());
+            return Ok(p);
         }
         // Resolve outside the lock: generation / parsing can be slow and
         // two concurrent resolutions of the same key are merely wasted
@@ -674,23 +826,25 @@ impl ServeState {
         let (base_name, mut program, edit) = match target {
             Target::Workload { spec, edit } => {
                 let w = o2_workloads::workload_by_name(spec)
-                    .ok_or_else(|| format!("unknown workload {spec:?}"))?;
+                    .ok_or_else(|| O2Error::Resolve(format!("unknown workload {spec:?}")))?;
                 (w.name, w.program, *edit)
             }
             Target::Source { src, c, edit } => {
                 let program = if *c {
-                    o2_ir::cfront::parse_c(src).map_err(|e| e.to_string())?
+                    o2_ir::cfront::parse_c(src).map_err(O2Error::from)?
                 } else {
-                    o2_ir::parser::parse(src).map_err(|e| e.to_string())?
+                    o2_ir::parser::parse(src).map_err(O2Error::from)?
                 };
                 if let Some(issue) = o2_ir::validate::validate(&program).first() {
-                    return Err(format!("invalid program: {issue}"));
+                    return Err(O2Error::Resolve(format!("invalid program: {issue}")));
                 }
                 ("inline".to_string(), program, *edit)
             }
         };
         if edit > 0 && !has_memory_access(&program) {
-            return Err("program has no memory access to edit".to_string());
+            return Err(O2Error::Resolve(
+                "program has no memory access to edit".to_string(),
+            ));
         }
         for _ in 0..edit {
             program = o2_workloads::single_function_edit(&program).0;
@@ -706,11 +860,10 @@ impl ServeState {
             program,
             digests,
         });
-        let mut cache = self.programs.lock().expect("program cache poisoned");
-        if cache.len() >= self.program_cap {
-            cache.clear();
-        }
-        cache.insert(key, resolved.clone());
+        self.programs
+            .lock()
+            .expect("program cache poisoned")
+            .insert(key, resolved.clone());
         Ok(resolved)
     }
 
@@ -751,32 +904,65 @@ impl ServeState {
                     true,
                 )
             }
-            Request::Analyze { target, format } => match self.analyze(&target, format, t0) {
+            Request::Analyze {
+                target,
+                format,
+                deadline_ms,
+            } => match self.analyze(&target, format, deadline_ms, t0) {
                 Ok(resp) => (resp, false),
                 Err(e) => {
-                    self.count_error();
-                    (error_response(&e), false)
+                    self.count_staged_error(&e);
+                    (staged_error_response(&e), false)
                 }
             },
-            Request::Diff { old, new, format } => match self.diff(&old, &new, format, t0) {
+            Request::Diff {
+                old,
+                new,
+                format,
+                deadline_ms,
+            } => match self.diff(&old, &new, format, deadline_ms, t0) {
                 Ok(resp) => (resp, false),
                 Err(e) => {
-                    self.count_error();
-                    (error_response(&e), false)
+                    self.count_staged_error(&e);
+                    (staged_error_response(&e), false)
                 }
             },
         }
     }
 
+    /// Runs the budgeted incremental pipeline under a panic backstop.
+    /// No `ServeState` lock is held across this call, so a caught panic
+    /// can never poison shared state; it surfaces as a structured
+    /// `internal` error and the worker returns to the pool.
+    fn run_pipeline_guarded(
+        &self,
+        ctx: &ProgramCtx<'_>,
+        db: &mut AnalysisDb,
+        digests: &ProgramDigests,
+        budget: &Budget,
+    ) -> Result<(AnalysisReport, IncrStats), O2Error> {
+        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            self.engine
+                .try_analyze_with_db_prepared_ctx(ctx, db, digests, budget)
+        })) {
+            Ok(result) => result,
+            Err(payload) => Err(O2Error::from_panic(payload)),
+        }
+    }
+
     /// Runs the incremental pipeline for `resolved` against a store
     /// checkout and caches the rendered reports. Returns the reports and
-    /// the run's replay counters.
-    fn analyze_uncached(&self, resolved: &ResolvedProgram) -> (Arc<CachedReports>, IncrStats) {
+    /// the run's replay counters; a budget trip or caught panic aborts
+    /// the request without publishing and without caching.
+    fn analyze_uncached(
+        &self,
+        resolved: &ResolvedProgram,
+        budget: &Budget,
+    ) -> Result<(Arc<CachedReports>, IncrStats), O2Error> {
         let ctx = ProgramCtx::new(self.fresh_program_id(), &resolved.name, &resolved.program);
         let mut db = self.store.checkout();
         let (report, stats) =
-            self.engine
-                .analyze_with_db_prepared_ctx(&ctx, &mut db, &resolved.digests);
+            self.run_pipeline_guarded(&ctx, &mut db, &resolved.digests, budget)?;
         self.store.publish(&db);
         let pipeline = report.run_pipeline(&resolved.program);
         let cached = Arc::new(CachedReports {
@@ -785,12 +971,11 @@ impl ServeState {
             json: pipeline.to_json(&resolved.program),
             sarif: pipeline.to_sarif(&resolved.program),
         });
-        let mut cache = self.reports.lock().expect("report cache poisoned");
-        if cache.len() >= self.report_cap {
-            cache.clear();
-        }
-        cache.insert(resolved.digests.program, cached.clone());
-        (cached, stats)
+        self.reports
+            .lock()
+            .expect("report cache poisoned")
+            .insert(resolved.digests.program, cached.clone());
+        Ok((cached, stats))
     }
 
     fn account_analysis(
@@ -823,18 +1008,25 @@ impl ServeState {
         }
     }
 
-    fn analyze(&self, target: &Target, format: Format, t0: Instant) -> Result<String, String> {
+    fn analyze(
+        &self,
+        target: &Target,
+        format: Format,
+        deadline_ms: Option<u64>,
+        t0: Instant,
+    ) -> Result<String, O2Error> {
+        let budget = budget_for(deadline_ms);
+        budget.check("request admission")?;
         let resolved = self.resolve_target(target)?;
         let cached = self
             .reports
             .lock()
             .expect("report cache poisoned")
-            .get(&resolved.digests.program)
-            .cloned();
+            .get(&resolved.digests.program);
         let (reports, digest_hit, stats) = match cached {
             Some(r) => (r, true, IncrStats::default()),
             None => {
-                let (r, stats) = self.analyze_uncached(&resolved);
+                let (r, stats) = self.analyze_uncached(&resolved, &budget)?;
                 (r, false, stats)
             }
         };
@@ -854,8 +1046,11 @@ impl ServeState {
         old_t: &Target,
         new_t: &Target,
         format: Format,
+        deadline_ms: Option<u64>,
         t0: Instant,
-    ) -> Result<String, String> {
+    ) -> Result<String, O2Error> {
+        let budget = budget_for(deadline_ms);
+        budget.check("request admission")?;
         let old = self.resolve_target(old_t)?;
         let new = self.resolve_target(new_t)?;
         // One checkout, two runs: the new version runs warm from the old
@@ -864,13 +1059,11 @@ impl ServeState {
         let ctx_old = ProgramCtx::new(self.fresh_program_id(), &old.name, &old.program);
         let mut db = self.store.checkout();
         let (_old_report, _old_stats) =
-            self.engine
-                .analyze_with_db_prepared_ctx(&ctx_old, &mut db, &old.digests);
+            self.run_pipeline_guarded(&ctx_old, &mut db, &old.digests, &budget)?;
         self.store.publish(&db);
         let ctx_new = ProgramCtx::new(self.fresh_program_id(), &new.name, &new.program);
         let (new_report, stats) =
-            self.engine
-                .analyze_with_db_prepared_ctx(&ctx_new, &mut db, &new.digests);
+            self.run_pipeline_guarded(&ctx_new, &mut db, &new.digests, &budget)?;
         self.store.publish(&db);
         let diff = digest_diff(&old.digests, &new.digests);
         let pipeline = new_report.run_pipeline(&new.program);
@@ -880,13 +1073,10 @@ impl ServeState {
             json: pipeline.to_json(&new.program),
             sarif: pipeline.to_sarif(&new.program),
         });
-        {
-            let mut cache = self.reports.lock().expect("report cache poisoned");
-            if cache.len() >= self.report_cap {
-                cache.clear();
-            }
-            cache.insert(new.digests.program, reports.clone());
-        }
+        self.reports
+            .lock()
+            .expect("report cache poisoned")
+            .insert(new.digests.program, reports.clone());
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
         self.account_analysis(AnalysisKind::Diff, false, &stats, wall_ms);
         let mut out = String::with_capacity(256);
@@ -913,6 +1103,7 @@ impl ServeState {
         let st = self.store_stats();
         let (osa, shb, verdicts) = self.store.pooled();
         let cached = self.reports.lock().expect("report cache poisoned").len();
+        let cached_programs = self.programs.lock().expect("program cache poisoned").len();
         let mut out = String::with_capacity(512);
         let _ = write!(
             out,
@@ -932,6 +1123,18 @@ impl ServeState {
             s.warm_requests,
             s.cold_ms_mean(),
             s.warm_ms_mean(),
+        );
+        let _ = write!(
+            out,
+            ",\"timeouts\":{},\"panics\":{},\"program_cache_hits\":{},\
+             \"program_cache_evictions\":{},\"report_cache_hits\":{},\
+             \"report_cache_evictions\":{},\"cached_programs\":{cached_programs}",
+            s.timeouts,
+            s.panics,
+            s.program_cache_hits,
+            s.program_cache_evictions,
+            s.report_cache_hits,
+            s.report_cache_evictions,
         );
         let _ = write!(
             out,

@@ -53,19 +53,21 @@ fn clean_program_exits_zero() {
 }
 
 #[test]
-fn parse_error_exits_two() {
+fn parse_error_exits_with_parse_stage_code() {
     let file = write_temp("bad.o2", "class {");
     let out = Command::new(o2_bin()).arg(&file).output().unwrap();
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(10), "parse stage exit code");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("parse error"), "{stderr}");
 }
 
 #[test]
-fn missing_file_exits_two() {
+fn missing_file_exits_with_io_stage_code() {
     let out = Command::new(o2_bin())
         .arg("/nonexistent/file.o2")
         .output()
         .unwrap();
-    assert_eq!(out.status.code(), Some(2));
+    assert_eq!(out.status.code(), Some(16), "io stage exit code");
 }
 
 #[test]

@@ -29,6 +29,7 @@ use o2_db::{
     digest_of_sorted, AnalysisDb, DbRace, DbRaceAccess, DbStmt, Digest, DigestHasher, FastMap,
     StableIds, VerdictArtifact,
 };
+use o2_ir::error::{Budget, O2Error};
 use o2_ir::ids::{GStmt, MethodId};
 use o2_ir::program::Program;
 use o2_ir::ProgramCtx;
@@ -378,6 +379,58 @@ pub fn detect_incremental(
     fresh_base: &[u32],
     db: &mut AnalysisDb,
 ) -> DetectIncr {
+    detect_incremental_inner(ctx, pta, osa, shb, config, canon, fresh_base, db, None).0
+}
+
+/// Like [`detect_incremental`], but polls a request-scoped [`Budget`] in
+/// the chunk-claim loop and aborts with a typed error when it trips. A
+/// budget-aborted run keeps the database's previous verdicts (same rule
+/// as a truncation timeout: the run never saw the full candidate set).
+///
+/// # Errors
+///
+/// [`O2Error::Timeout`] / [`O2Error::Budget`] when the budget trips.
+#[allow(clippy::too_many_arguments)]
+pub fn detect_incremental_budgeted(
+    ctx: &ProgramCtx<'_>,
+    pta: &PtaResult,
+    osa: &OsaResult,
+    shb: &ShbGraph,
+    config: &DetectConfig,
+    canon: &CanonIndex,
+    fresh_base: &[u32],
+    db: &mut AnalysisDb,
+    budget: &Budget,
+) -> Result<DetectIncr, O2Error> {
+    budget.check("detect entry")?;
+    let b = if budget.is_unlimited() {
+        None
+    } else {
+        Some(budget)
+    };
+    let (incr, budget_hit) =
+        detect_incremental_inner(ctx, pta, osa, shb, config, canon, fresh_base, db, b);
+    if budget_hit {
+        budget.check("detect chunk claim")?;
+        return Err(O2Error::Timeout(
+            "deadline exceeded at detect chunk claim".into(),
+        ));
+    }
+    Ok(incr)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn detect_incremental_inner(
+    ctx: &ProgramCtx<'_>,
+    pta: &PtaResult,
+    osa: &OsaResult,
+    shb: &ShbGraph,
+    config: &DetectConfig,
+    canon: &CanonIndex,
+    fresh_base: &[u32],
+    db: &mut AnalysisDb,
+    budget: Option<&Budget>,
+) -> (DetectIncr, bool) {
     debug_assert_eq!(
         pta.program_id,
         ctx.id(),
@@ -451,6 +504,7 @@ pub fn detect_incremental(
         }
     }
 
+    let budget_flag = std::sync::atomic::AtomicBool::new(false);
     let (checked, hits, misses, out_of_time, workers) = check_candidates_parallel(
         &candidates,
         &todo,
@@ -458,7 +512,10 @@ pub fn detect_incremental(
         config,
         deadline,
         config.effective_threads(),
+        budget,
+        &budget_flag,
     );
+    let budget_hit = budget_flag.load(std::sync::atomic::Ordering::Relaxed);
     report.lock_cache_hits = hits;
     report.lock_cache_misses = misses;
     let candidates_rechecked = checked.len();
@@ -468,10 +525,10 @@ pub fn detect_incremental(
         outcomes[i] = Some(o);
     }
 
-    // A timed-out run saw only part of the candidate set; it keeps the
-    // old verdicts rather than dropping artifacts it never got to, so
-    // verdict storage is skipped entirely below.
-    let timed_out_run = out_of_time || outcomes.iter().flatten().any(|o| o.timed_out);
+    // A timed-out (or budget-aborted) run saw only part of the candidate
+    // set; it keeps the old verdicts rather than dropping artifacts it
+    // never got to, so verdict storage is skipped entirely below.
+    let timed_out_run = out_of_time || budget_hit || outcomes.iter().flatten().any(|o| o.timed_out);
 
     // Deterministic merge, identical to the cold path's phase 3.
     let mut seen: std::collections::HashSet<(MemKey, GStmt, GStmt)> = Default::default();
@@ -528,13 +585,16 @@ pub fn detect_incremental(
     };
     db.names = names;
     let _ = pta;
-    DetectIncr {
-        report,
-        candidates_replayed,
-        candidates_rechecked,
-        pairs_replayed,
-        pairs_rechecked,
-    }
+    (
+        DetectIncr {
+            report,
+            candidates_replayed,
+            candidates_rechecked,
+            pairs_replayed,
+            pairs_rechecked,
+        },
+        budget_hit,
+    )
 }
 
 #[cfg(test)]

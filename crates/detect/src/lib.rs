@@ -58,10 +58,11 @@ pub mod oversync;
 
 pub use deadlock::{detect_deadlocks, DeadlockCycle, DeadlockReport};
 pub use html::render_html;
-pub use incr::{detect_incremental, DetectIncr};
+pub use incr::{detect_incremental, detect_incremental_budgeted, DetectIncr};
 pub use oversync::{find_oversync, OversyncReport, OversyncWarning};
 
 use o2_analysis::{MemKey, OsaResult};
+use o2_ir::error::{Budget, O2Error};
 use o2_ir::ids::GStmt;
 use o2_ir::program::Program;
 use o2_ir::ProgramCtx;
@@ -425,6 +426,52 @@ pub fn detect(
     shb: &ShbGraph,
     config: &DetectConfig,
 ) -> RaceReport {
+    detect_with_budget(ctx, pta, osa, shb, config, None).0
+}
+
+/// Like [`detect`], but polls a request-scoped [`Budget`] in the
+/// chunk-claim loop of the parallel phase and *aborts* with a typed
+/// error when it trips — unlike [`DetectConfig::timeout`], which
+/// truncates the report ([`RaceReport::timed_out`]) and keeps going.
+///
+/// # Errors
+///
+/// [`O2Error::Timeout`] when the budget's deadline has passed,
+/// [`O2Error::Budget`] when its step ceiling is exhausted.
+pub fn detect_budgeted(
+    ctx: &ProgramCtx<'_>,
+    pta: &PtaResult,
+    osa: &OsaResult,
+    shb: &ShbGraph,
+    config: &DetectConfig,
+    budget: &Budget,
+) -> Result<RaceReport, O2Error> {
+    budget.check("detect entry")?;
+    let b = if budget.is_unlimited() {
+        None
+    } else {
+        Some(budget)
+    };
+    let (report, budget_hit) = detect_with_budget(ctx, pta, osa, shb, config, b);
+    if budget_hit {
+        budget.check("detect chunk claim")?;
+        // The flag was set but a sub-millisecond re-check came back
+        // clean; report the abort honestly anyway.
+        return Err(O2Error::Timeout(
+            "deadline exceeded at detect chunk claim".into(),
+        ));
+    }
+    Ok(report)
+}
+
+fn detect_with_budget(
+    ctx: &ProgramCtx<'_>,
+    pta: &PtaResult,
+    osa: &OsaResult,
+    shb: &ShbGraph,
+    config: &DetectConfig,
+    budget: Option<&Budget>,
+) -> (RaceReport, bool) {
     debug_assert_eq!(
         pta.program_id,
         ctx.id(),
@@ -451,6 +498,7 @@ pub fn detect(
 
     // ---- phase 2: parallel per-candidate checking -----------------------
     let todo: Vec<usize> = (0..candidates.len()).collect();
+    let budget_hit = AtomicBool::new(false);
     let (mut merged, hits, misses, out_of_time, workers) = check_candidates_parallel(
         &candidates,
         &todo,
@@ -458,6 +506,8 @@ pub fn detect(
         config,
         deadline,
         config.effective_threads(),
+        budget,
+        &budget_hit,
     );
     report.lock_cache_hits = hits;
     report.lock_cache_misses = misses;
@@ -488,7 +538,7 @@ pub fn detect(
         .races
         .sort_by_key(|r| (r.key, r.a.stmt, r.b.stmt, r.a.origin.0, r.b.origin.0));
     report.duration = start.elapsed();
-    report
+    (report, budget_hit.load(Ordering::Relaxed))
 }
 
 /// Phase 1 of [`detect`]: collects the candidate locations with their
@@ -683,6 +733,7 @@ fn collect_candidates(
 /// hit/miss counters, whether the deadline expired, and the worker count
 /// actually spawned (capped at the number of claimable chunks, so
 /// oversubscribed small workloads don't spawn idle threads).
+#[allow(clippy::too_many_arguments)]
 fn check_candidates_parallel(
     candidates: &[Candidate],
     todo: &[usize],
@@ -690,6 +741,8 @@ fn check_candidates_parallel(
     config: &DetectConfig,
     deadline: Option<Instant>,
     workers: usize,
+    budget: Option<&Budget>,
+    budget_hit: &AtomicBool,
 ) -> (Vec<(usize, KeyOutcome)>, u64, u64, bool, usize) {
     let next = AtomicUsize::new(0);
     let out_of_time = AtomicBool::new(false);
@@ -711,8 +764,21 @@ fn check_candidates_parallel(
         let mut outcomes: Vec<(usize, KeyOutcome)> = Vec::new();
         'claim: loop {
             let begin = next.fetch_add(chunk, Ordering::Relaxed);
-            if begin >= todo.len() || out_of_time.load(Ordering::Relaxed) {
+            if begin >= todo.len()
+                || out_of_time.load(Ordering::Relaxed)
+                || budget_hit.load(Ordering::Relaxed)
+            {
                 break;
+            }
+            // Request-budget checkpoint: one poll per claimed chunk (the
+            // per-pair deadline checks below stay the fine-grained guard
+            // for the truncation path).
+            if let Some(b) = budget {
+                b.step(chunk as u64);
+                if b.exceeded() {
+                    budget_hit.store(true, Ordering::Relaxed);
+                    break;
+                }
             }
             let end = (begin + chunk).min(todo.len());
             for &i in &todo[begin..end] {

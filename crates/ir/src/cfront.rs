@@ -40,7 +40,7 @@
 
 use crate::builder::{MethodBuilder, ProgramBuilder};
 use crate::origins::OriginKind;
-use crate::parser::ParseError;
+use crate::parser::{ParseError, Pos};
 use crate::program::{Program, RwMode};
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -61,17 +61,24 @@ enum Tok {
     Star,
 }
 
-fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
+fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, ParseError> {
     let mut toks = Vec::new();
     let mut line = 1u32;
+    let mut line_start: usize = 0;
     let bytes = src.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        // `i` is at the first byte of the candidate token for every arm.
+        let pos = Pos {
+            line,
+            col: (i - line_start) as u32 + 1,
+        };
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => i += 1,
             '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
@@ -84,57 +91,58 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
                 while i + 1 < bytes.len() && !(bytes[i] == b'*' && bytes[i + 1] == b'/') {
                     if bytes[i] == b'\n' {
                         line += 1;
+                        line_start = i + 1;
                     }
                     i += 1;
                 }
                 i = (i + 2).min(bytes.len());
             }
             '{' => {
-                toks.push((Tok::LBrace, line));
+                toks.push((Tok::LBrace, pos));
                 i += 1;
             }
             '}' => {
-                toks.push((Tok::RBrace, line));
+                toks.push((Tok::RBrace, pos));
                 i += 1;
             }
             '(' => {
-                toks.push((Tok::LParen, line));
+                toks.push((Tok::LParen, pos));
                 i += 1;
             }
             ')' => {
-                toks.push((Tok::RParen, line));
+                toks.push((Tok::RParen, pos));
                 i += 1;
             }
             '[' => {
-                toks.push((Tok::LBracket, line));
+                toks.push((Tok::LBracket, pos));
                 i += 1;
             }
             ']' => {
-                toks.push((Tok::RBracket, line));
+                toks.push((Tok::RBracket, pos));
                 i += 1;
             }
             ';' => {
-                toks.push((Tok::Semi, line));
+                toks.push((Tok::Semi, pos));
                 i += 1;
             }
             ',' => {
-                toks.push((Tok::Comma, line));
+                toks.push((Tok::Comma, pos));
                 i += 1;
             }
             '=' => {
-                toks.push((Tok::Eq, line));
+                toks.push((Tok::Eq, pos));
                 i += 1;
             }
             '&' => {
-                toks.push((Tok::Amp, line));
+                toks.push((Tok::Amp, pos));
                 i += 1;
             }
             '*' => {
-                toks.push((Tok::Star, line));
+                toks.push((Tok::Star, pos));
                 i += 1;
             }
             '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
-                toks.push((Tok::Arrow, line));
+                toks.push((Tok::Arrow, pos));
                 i += 2;
             }
             c if c.is_ascii_digit() => {
@@ -144,9 +152,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
                 }
                 let n = src[start..i].parse().map_err(|_| ParseError {
                     line,
+                    col: pos.col,
                     message: "invalid number".into(),
                 })?;
-                toks.push((Tok::Num(n), line));
+                toks.push((Tok::Num(n), pos));
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
                 let start = i;
@@ -158,11 +167,12 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
                         break;
                     }
                 }
-                toks.push((Tok::Ident(src[start..i].to_string()), line));
+                toks.push((Tok::Ident(src[start..i].to_string()), pos));
             }
             other => {
                 return Err(ParseError {
                     line,
+                    col: pos.col,
                     message: format!("unexpected character `{other}`"),
                 })
             }
@@ -172,7 +182,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
 }
 
 struct P {
-    toks: Vec<(Tok, u32)>,
+    toks: Vec<(Tok, Pos)>,
     pos: usize,
 }
 
@@ -180,16 +190,21 @@ impl P {
     fn peek(&self) -> Option<&Tok> {
         self.toks.get(self.pos).map(|(t, _)| t)
     }
-    fn line(&self) -> u32 {
+    fn cur_pos(&self) -> Pos {
         self.toks
             .get(self.pos)
             .or_else(|| self.toks.last())
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+            .map(|(_, p)| *p)
+            .unwrap_or(Pos { line: 0, col: 0 })
+    }
+    fn line(&self) -> u32 {
+        self.cur_pos().line
     }
     fn err(&self, m: impl Into<String>) -> ParseError {
+        let at = self.cur_pos();
         ParseError {
-            line: self.line(),
+            line: at.line,
+            col: at.col,
             message: m.into(),
         }
     }

@@ -41,6 +41,7 @@ pub mod builder;
 pub mod cfront;
 pub mod ctx;
 pub mod digest;
+pub mod error;
 pub mod ids;
 pub mod origins;
 pub mod parser;
@@ -51,6 +52,7 @@ pub mod validate;
 
 pub use ctx::ProgramCtx;
 pub use digest::{digest_diff, digest_program, fn_digest, DigestDiff, ProgramDigests};
+pub use error::{Budget, O2Error};
 pub use ids::{ClassId, FieldId, GStmt, MethodId, ProgramId, VarId, ARRAY_FIELD};
 pub use origins::{EntryPointConfig, OriginKind};
 pub use program::{structurally_equal, Callee, Class, Instr, Method, Program, Selector, Stmt};

@@ -61,15 +61,25 @@ use std::fmt;
 /// An error produced while parsing source text.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
-    /// 1-based source line of the error.
+    /// 1-based source line of the error (0 = program-level).
     pub line: u32,
+    /// 1-based source column of the error (0 = whole-line).
+    pub col: u32,
     /// Human-readable message.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at line {}: {}", self.line, self.message)
+        if self.col > 0 {
+            write!(
+                f,
+                "parse error at line {}, col {}: {}",
+                self.line, self.col, self.message
+            )
+        } else {
+            write!(f, "parse error at line {}: {}", self.line, self.message)
+        }
     }
 }
 
@@ -79,9 +89,17 @@ impl From<BuildError> for ParseError {
     fn from(e: BuildError) -> Self {
         ParseError {
             line: 0,
+            col: 0,
             message: e.to_string(),
         }
     }
+}
+
+/// A 1-based source position attached to every token.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Pos {
+    pub(crate) line: u32,
+    pub(crate) col: u32,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -129,17 +147,25 @@ impl fmt::Display for Tok {
     }
 }
 
-fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
+fn lex(src: &str) -> Result<Vec<(Tok, Pos)>, ParseError> {
     let mut toks = Vec::new();
     let mut line: u32 = 1;
+    let mut line_start: usize = 0;
     let bytes = src.as_bytes();
     let mut i = 0;
     while i < bytes.len() {
         let c = bytes[i] as char;
+        // `i` is at the first byte of the candidate token here, so the
+        // column is valid for every arm below (multi-byte tokens included).
+        let pos = Pos {
+            line,
+            col: (i - line_start) as u32 + 1,
+        };
         match c {
             '\n' => {
                 line += 1;
                 i += 1;
+                line_start = i;
             }
             c if c.is_whitespace() => i += 1,
             '/' if i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
@@ -148,64 +174,64 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
                 }
             }
             '{' => {
-                toks.push((Tok::LBrace, line));
+                toks.push((Tok::LBrace, pos));
                 i += 1;
             }
             '}' => {
-                toks.push((Tok::RBrace, line));
+                toks.push((Tok::RBrace, pos));
                 i += 1;
             }
             '(' => {
-                toks.push((Tok::LParen, line));
+                toks.push((Tok::LParen, pos));
                 i += 1;
             }
             ')' => {
-                toks.push((Tok::RParen, line));
+                toks.push((Tok::RParen, pos));
                 i += 1;
             }
             '[' => {
-                toks.push((Tok::LBracket, line));
+                toks.push((Tok::LBracket, pos));
                 i += 1;
             }
             ']' => {
-                toks.push((Tok::RBracket, line));
+                toks.push((Tok::RBracket, pos));
                 i += 1;
             }
             ';' => {
-                toks.push((Tok::Semi, line));
+                toks.push((Tok::Semi, pos));
                 i += 1;
             }
             ',' => {
-                toks.push((Tok::Comma, line));
+                toks.push((Tok::Comma, pos));
                 i += 1;
             }
             '=' => {
-                toks.push((Tok::Eq, line));
+                toks.push((Tok::Eq, pos));
                 i += 1;
             }
             '.' => {
-                toks.push((Tok::Dot, line));
+                toks.push((Tok::Dot, pos));
                 i += 1;
             }
             '*' => {
-                toks.push((Tok::Star, line));
+                toks.push((Tok::Star, pos));
                 i += 1;
             }
             '@' => {
-                toks.push((Tok::At, line));
+                toks.push((Tok::At, pos));
                 i += 1;
             }
             ':' => {
                 if i + 1 < bytes.len() && bytes[i + 1] == b':' {
-                    toks.push((Tok::ColonColon, line));
+                    toks.push((Tok::ColonColon, pos));
                     i += 2;
                 } else {
-                    toks.push((Tok::Colon, line));
+                    toks.push((Tok::Colon, pos));
                     i += 1;
                 }
             }
             '-' if i + 1 < bytes.len() && bytes[i + 1] == b'>' => {
-                toks.push((Tok::Arrow, line));
+                toks.push((Tok::Arrow, pos));
                 i += 2;
             }
             '<' => {
@@ -223,10 +249,11 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
                 }
                 if i < bytes.len() && bytes[i] == b'>' && i - start > 1 {
                     i += 1;
-                    toks.push((Tok::Ident(src[start..i].to_string()), line));
+                    toks.push((Tok::Ident(src[start..i].to_string()), pos));
                 } else {
                     return Err(ParseError {
                         line,
+                        col: pos.col,
                         message: "malformed `<...>` identifier".to_string(),
                     });
                 }
@@ -238,9 +265,10 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
                 }
                 let n: u64 = src[start..i].parse().map_err(|_| ParseError {
                     line,
+                    col: pos.col,
                     message: "invalid number".to_string(),
                 })?;
-                toks.push((Tok::Num(n), line));
+                toks.push((Tok::Num(n), pos));
             }
             c if c.is_ascii_alphabetic() || c == '_' || c == '$' => {
                 let start = i;
@@ -252,11 +280,12 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
                         break;
                     }
                 }
-                toks.push((Tok::Ident(src[start..i].to_string()), line));
+                toks.push((Tok::Ident(src[start..i].to_string()), pos));
             }
             other => {
                 return Err(ParseError {
                     line,
+                    col: pos.col,
                     message: format!("unexpected character `{other}`"),
                 })
             }
@@ -266,7 +295,7 @@ fn lex(src: &str) -> Result<Vec<(Tok, u32)>, ParseError> {
 }
 
 struct Parser {
-    toks: Vec<(Tok, u32)>,
+    toks: Vec<(Tok, Pos)>,
     pos: usize,
 }
 
@@ -283,17 +312,23 @@ impl Parser {
         self.toks.get(self.pos + 2).map(|(t, _)| t)
     }
 
-    fn line(&self) -> u32 {
+    fn cur_pos(&self) -> Pos {
         self.toks
             .get(self.pos)
             .or_else(|| self.toks.last())
-            .map(|(_, l)| *l)
-            .unwrap_or(0)
+            .map(|(_, p)| *p)
+            .unwrap_or(Pos { line: 0, col: 0 })
+    }
+
+    fn line(&self) -> u32 {
+        self.cur_pos().line
     }
 
     fn err(&self, message: impl Into<String>) -> ParseError {
+        let at = self.cur_pos();
         ParseError {
-            line: self.line(),
+            line: at.line,
+            col: at.col,
             message: message.into(),
         }
     }
@@ -409,6 +444,7 @@ pub fn parse(src: &str) -> Result<Program, ParseError> {
             .expect("pre-scanned class must be registered");
         let sup_id = pb.class_id(&sup).ok_or_else(|| ParseError {
             line: 0,
+            col: 0,
             message: format!("unknown superclass {sup}"),
         })?;
         pb.set_superclass(sub_id, Some(sup_id));

@@ -63,7 +63,7 @@ use o2_racerd::RacerDReport;
 use o2_shb::{LockTable, ShbGraph};
 use std::time::{Duration, Instant};
 
-pub use sarif::corpus_sarif;
+pub use sarif::{corpus_sarif, corpus_sarif_with_errors};
 pub use triage::{PrunedRace, Tier, TriagedRace};
 
 /// The shared, immutable inputs every pass runs over: the program and the
@@ -237,17 +237,42 @@ impl PipelineReport {
 /// per-program serializers it contains no durations or scheduling
 /// artifacts, so batch output is byte-stable across worker counts.
 pub fn corpus_json(entries: &[(&str, &PipelineReport, &Program)]) -> String {
-    let mut order: Vec<usize> = (0..entries.len()).collect();
-    order.sort_by_key(|&i| entries[i].0);
+    corpus_json_with_errors(entries, &[])
+}
+
+/// [`corpus_json`] for a corpus where some programs failed: failed
+/// entries appear in the same name-sorted `programs` array as
+/// `{"name": ..., "error": {"stage": ..., "message": ...}}` objects.
+/// With no errors the bytes are identical to [`corpus_json`], so a
+/// clean corpus is unaffected by the error plane.
+pub fn corpus_json_with_errors(
+    entries: &[(&str, &PipelineReport, &Program)],
+    errors: &[(&str, &o2_ir::O2Error)],
+) -> String {
+    let mut items: Vec<(&str, String)> = Vec::with_capacity(entries.len() + errors.len());
+    for &(name, report, program) in entries {
+        let mut s = String::from("    {\"name\": \"");
+        s.push_str(&triage::json_escape(name));
+        s.push_str("\", \"report\": ");
+        s.push_str(report.to_json(program).trim_end());
+        s.push('}');
+        items.push((name, s));
+    }
+    for &(name, err) in errors {
+        let mut s = String::from("    {\"name\": \"");
+        s.push_str(&triage::json_escape(name));
+        s.push_str("\", \"error\": {\"stage\": \"");
+        s.push_str(err.stage());
+        s.push_str("\", \"message\": \"");
+        s.push_str(&triage::json_escape(&err.to_string()));
+        s.push_str("\"}}");
+        items.push((name, s));
+    }
+    items.sort_by_key(|&(name, _)| name);
     let mut out = String::from("{\n  \"programs\": [\n");
-    for (k, &i) in order.iter().enumerate() {
-        let (name, report, program) = entries[i];
-        out.push_str("    {\"name\": \"");
-        out.push_str(&triage::json_escape(name));
-        out.push_str("\", \"report\": ");
-        out.push_str(report.to_json(program).trim_end());
-        out.push('}');
-        out.push_str(if k + 1 < order.len() { ",\n" } else { "\n" });
+    for (k, (_, s)) in items.iter().enumerate() {
+        out.push_str(s);
+        out.push_str(if k + 1 < items.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
     out

@@ -278,15 +278,54 @@ pub fn to_sarif(report: &PipelineReport, program: &Program) -> String {
 /// (name, report, program) entries — worker count and claim order of the
 /// batch run that produced them cannot leak in.
 pub fn corpus_sarif(entries: &[(&str, &PipelineReport, &Program)]) -> String {
-    let mut order: Vec<usize> = (0..entries.len()).collect();
-    order.sort_by_key(|&i| entries[i].0);
+    corpus_sarif_with_errors(entries, &[])
+}
+
+/// [`corpus_sarif`] for a corpus where some programs failed: each failed
+/// program contributes one `o2/analysis-error` result at level `error`,
+/// carrying the program name and failing stage in `properties`, merged
+/// into the same ascending program-name order as the analyzed results.
+/// The rule is referenced by id only (not added to the driver's rule
+/// array), so a corpus with no errors serializes byte-identically to
+/// [`corpus_sarif`].
+pub fn corpus_sarif_with_errors(
+    entries: &[(&str, &PipelineReport, &Program)],
+    errors: &[(&str, &o2_ir::O2Error)],
+) -> String {
+    let mut groups: Vec<(&str, Vec<String>)> = entries
+        .iter()
+        .map(|&(name, report, program)| (name, result_objects(report, program, Some(name))))
+        .collect();
+    for &(name, err) in errors {
+        groups.push((name, vec![error_result(name, err)]));
+    }
+    groups.sort_by_key(|&(name, _)| name);
     let mut out = String::new();
     header(&mut out, Some("o2/batch"));
     let mut objects = Vec::new();
-    for i in order {
-        let (name, report, program) = entries[i];
-        objects.extend(result_objects(report, program, Some(name)));
+    for (_, objs) in groups {
+        objects.extend(objs);
     }
     finish(&mut out, objects);
+    out
+}
+
+fn error_result(name: &str, err: &o2_ir::O2Error) -> String {
+    let mut out = String::new();
+    out.push_str("        {\n");
+    out.push_str("          \"ruleId\": \"o2/analysis-error\",\n");
+    out.push_str("          \"level\": \"error\",\n");
+    let _ = writeln!(
+        out,
+        "          \"message\": {{\"text\": \"{}\"}},",
+        json_escape(&err.to_string())
+    );
+    let _ = writeln!(
+        out,
+        "          \"properties\": {{\"program\": \"{}\", \"stage\": \"{}\"}}",
+        json_escape(name),
+        err.stage()
+    );
+    out.push_str("        }");
     out
 }

@@ -45,7 +45,9 @@ pub use context::{
     AllocSite, Arena, Ctx, CtxElem, ObjData, ObjId, OriginData, OriginId, OriginKey, OriginSite,
 };
 pub use policy::Policy;
-pub use solver::{analyze, CallTarget, Mi, NodeKey, PtaConfig, PtaResult, PtaStats};
+pub use solver::{
+    analyze, analyze_budgeted, CallTarget, Mi, NodeKey, PtaConfig, PtaResult, PtaStats,
+};
 
 #[cfg(test)]
 mod tests {

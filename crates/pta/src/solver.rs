@@ -23,6 +23,7 @@ use crate::context::{
 };
 use crate::policy::Policy;
 use o2_ir::ctx::ProgramCtx;
+use o2_ir::error::{Budget, O2Error};
 use o2_ir::ids::{ClassId, FieldId, GStmt, MethodId, ProgramId, VarId, ARRAY_FIELD};
 use o2_ir::origins::OriginKind;
 use o2_ir::program::{Callee, Program, Selector, Stmt, CTOR_NAME, HANDLE_CLASS_NAME};
@@ -537,6 +538,47 @@ pub fn analyze(ctx: &ProgramCtx<'_>, config: &PtaConfig) -> PtaResult {
     solver.into_result(ctx.id(), start.elapsed())
 }
 
+/// Like [`analyze`], but polls a request-scoped [`Budget`] inside the
+/// solver's main loop (at its existing 256-iteration deadline cadence)
+/// and *aborts* with a typed error when it trips.
+///
+/// This is distinct from [`PtaConfig::timeout`] / [`PtaConfig::max_steps`]:
+/// those are per-stage *truncation* budgets (the result comes back with
+/// [`PtaResult::timed_out`] set and the pipeline degrades gracefully),
+/// while an exceeded `Budget` means the whole request is over — the
+/// partial solver state is discarded.
+///
+/// # Errors
+///
+/// [`O2Error::Timeout`] when the budget's deadline has passed,
+/// [`O2Error::Budget`] when its step ceiling is exhausted.
+pub fn analyze_budgeted(
+    ctx: &ProgramCtx<'_>,
+    config: &PtaConfig,
+    budget: &Budget,
+) -> Result<PtaResult, O2Error> {
+    budget.check("pta entry")?;
+    let start = Instant::now();
+    let mut solver = Solver::new(ctx.program(), config.clone());
+    if !budget.is_unlimited() {
+        solver.budget = Some(budget);
+    }
+    solver.solve();
+    if solver.budget_hit {
+        // The solver broke out of its main loop because the request
+        // budget tripped; surface the typed error instead of a
+        // truncated result.
+        budget.check("pta solve loop")?;
+        // `exceeded()` saw the deadline pass but the re-check above came
+        // back clean (sub-millisecond race): treat it as a timeout all
+        // the same so the abort is honest.
+        return Err(O2Error::Timeout(
+            "deadline exceeded at pta solve loop".into(),
+        ));
+    }
+    Ok(solver.into_result(ctx.id(), start.elapsed()))
+}
+
 struct Solver<'p> {
     program: &'p Program,
     cfg: PtaConfig,
@@ -558,6 +600,11 @@ struct Solver<'p> {
     iters: u64,
     timed_out: bool,
     deadline: Option<Instant>,
+    // Request-scoped abort budget (`analyze_budgeted`); polled at the
+    // same cadence as `deadline` but turns into a typed error instead
+    // of a truncated result.
+    budget: Option<&'p Budget>,
+    budget_hit: bool,
     root_origin: OriginId,
     // Method-instance processing queue (avoids deep recursion on long call
     // chains).
@@ -588,6 +635,8 @@ impl<'p> Solver<'p> {
             iters: 0,
             timed_out: false,
             deadline,
+            budget: None,
+            budget_hit: false,
             root_origin: OriginId::ROOT,
             mi_queue: VecDeque::new(),
         }
@@ -637,6 +686,13 @@ impl<'p> Solver<'p> {
             if let Some(d) = self.deadline {
                 if Instant::now() > d {
                     self.timed_out = true;
+                    return true;
+                }
+            }
+            if let Some(b) = self.budget {
+                b.step(256);
+                if b.exceeded() {
+                    self.budget_hit = true;
                     return true;
                 }
             }

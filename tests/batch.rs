@@ -32,7 +32,7 @@ fn corpus_entries(order: &[&str]) -> Vec<BatchEntry> {
             let w = o2_workloads::workload_by_name(spec).expect("corpus spec resolves");
             BatchEntry {
                 name: w.name,
-                program: w.program,
+                program: Ok(w.program),
             }
         })
         .collect()
@@ -145,11 +145,11 @@ fn common_function_body_hits_across_programs_without_changing_reports() {
         let entries = vec![
             BatchEntry {
                 name: "a".to_string(),
-                program: o2_ir::parser::parse(SHARED_A).unwrap(),
+                program: Ok(o2_ir::parser::parse(SHARED_A).unwrap()),
             },
             BatchEntry {
                 name: "b".to_string(),
-                program: o2_ir::parser::parse(SHARED_B).unwrap(),
+                program: Ok(o2_ir::parser::parse(SHARED_B).unwrap()),
             },
         ];
         let run = run_batch(&engine, &entries, workers);
@@ -188,10 +188,15 @@ fn manifest_parses_names_files_and_rejects_duplicates() {
     assert!(parse_manifest("avrora\navrora\n", &dir)
         .unwrap_err()
         .contains("duplicate"));
-    assert!(parse_manifest("no-such-workload\n", &dir)
-        .unwrap_err()
-        .contains("unknown workload"));
     assert!(parse_manifest("", &dir).unwrap_err().contains("no entries"));
+
+    // A loadable manifest with an unknown workload parses; the bad line
+    // becomes an error entry instead of aborting the whole manifest.
+    let entries = parse_manifest("no-such-workload\n", &dir).unwrap();
+    assert_eq!(entries.len(), 1);
+    let err = entries[0].program.as_ref().unwrap_err();
+    assert_eq!(err.stage(), "resolve");
+    assert!(err.to_string().contains("unknown workload"));
 }
 
 #[test]

@@ -1,0 +1,2 @@
+struct S { any data; };
+void worker(any s) { s->data = s;

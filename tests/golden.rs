@@ -144,7 +144,7 @@ fn corpus_sarif_matches_golden() {
             let w = o2_workloads::workload_by_name(spec).unwrap();
             o2::BatchEntry {
                 name: w.name,
-                program: w.program,
+                program: Ok(w.program),
             }
         })
         .collect();

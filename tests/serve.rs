@@ -163,7 +163,7 @@ fn preseeded_server_starts_warm() {
     let w = o2_workloads::workload_by_name("realbug:ZooKeeper").unwrap();
     let entries = vec![o2::BatchEntry {
         name: w.name.clone(),
-        program: w.program.clone(),
+        program: Ok(w.program.clone()),
     }];
     let store = o2_db::SharedStore::new(engine.config_sig());
     o2::run_batch_with_store(&engine, &entries, 1, &store);
